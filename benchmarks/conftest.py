@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+the reproduced rows (visible with ``pytest benchmarks/ --benchmark-only -s``)
+and asserts the paper's *shape* claims: who wins, what is zero, which
+trends hold.  Absolute numbers are simulator time and differ from the
+paper's wall-clock — see EXPERIMENTS.md for the side-by-side reading.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

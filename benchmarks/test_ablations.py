@@ -1,0 +1,23 @@
+"""Bench: design-choice ablations (ELSC, RULE 2, benign detection, LE)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(once):
+    result = once(ablations.run)
+    print()
+    print(result.render())
+
+    for app, row in result.rows_by_app.items():
+        # dropping the reversed-replay benign pass keeps edges the
+        # transformation would have removed: never faster, usually slower
+        assert row.free_time_no_benign >= row.free_time_rule2, app
+        # RULE 2 adds ordering constraints: with it the ULCP-free replay
+        # cannot be faster than without it
+        assert row.free_time_rule2 >= row.free_time_no_rule2, app
+        # the ULCP-free trace beats (or at worst matches, within the DLS
+        # bookkeeping overhead Table 3 quantifies) the original execution
+        assert row.free_time_rule2 <= row.elsc_time * 1.05, app
+        # lock elision also beats the original but pays abort penalties
+        # that PERFPLAY's static fix does not
+        assert row.elision_time >= row.free_time_rule2, app

@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 13 (replay fidelity of the four schemes)."""
+
+from repro.experiments import figure13
+from repro.replay import ELSC_S, MEM_S, ORIG_S, SYNC_S
+
+
+def test_figure13(once):
+    result = once(
+        figure13.run,
+        apps=("bodytrack", "dedup", "fluidanimate", "vips", "x264"),
+        threads=4,
+        replays=8,
+    )
+    print()
+    print(result.render())
+
+    for app, by_scheme in result.series.items():
+        mem = by_scheme[MEM_S]
+        sync = by_scheme[SYNC_S]
+        elsc = by_scheme[ELSC_S]
+        orig = by_scheme[ORIG_S]
+        # enforcement cost ordering: MEM-S slowest, SYNC-S above ELSC-S
+        assert mem.mean > sync.mean > elsc.mean, app
+        # precision: ELSC matches the unenforced mean within 2%
+        assert abs(elsc.mean - orig.mean) / orig.mean < 0.02, app
+        # stability: the unenforced replay fluctuates at least as much as
+        # ELSC (apps whose ordering is dominated by recorded wait/post
+        # pairing, like x264's frame-dependency cond waits, can tie)
+        assert orig.spread + 300 >= elsc.spread, app
+        # deterministic schemes stay tight despite timing jitter
+        assert elsc.cv < 0.01, app
+        assert sync.cv < 0.01, app
+        assert mem.cv < 0.01, app

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 14 (normalized time with/without ULCPs)."""
+
+from repro.experiments import figure14
+
+ZERO_APPS = ("blackscholes", "canneal", "streamcluster", "swaptions")
+
+
+def test_figure14(once):
+    result = once(figure14.run)
+    print()
+    print(result.render())
+    rows = result.rows_by_app
+
+    # the quiet apps gain (essentially) nothing
+    for app in ZERO_APPS:
+        assert rows[app].degradation < 0.01, app
+    # the ULCP-heavy apps land in the paper's single-digit to ~11% band
+    for app in ("openldap", "mysql", "pbzip2", "fluidanimate", "vips", "x264"):
+        assert 0.01 < rows[app].degradation < 0.15, (app, rows[app].degradation)
+    # average improvement in the paper's ballpark (5.1%)
+    assert 0.02 < result.average_degradation() < 0.09
+    # §6.3's observation: facesim beats fluidanimate despite fewer ULCPs
+    assert rows["facesim"].total_ulcps < rows["fluidanimate"].total_ulcps
+    assert rows["facesim"].degradation > rows["fluidanimate"].degradation

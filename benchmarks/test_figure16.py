@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 16 (ULCP impact vs input size)."""
+
+from repro.experiments import figure16
+
+
+def test_figure16(once):
+    result = once(figure16.run)
+    print()
+    print(result.render())
+
+    assert all(v < 0.01 for v in result.loss["canneal"])
+    for app in ("bodytrack", "fluidanimate"):
+        loss = result.loss[app]
+        waste = result.waste[app]
+        # both performance loss and waste grow (or hold) with input size
+        assert loss[-1] >= loss[0] - 0.005, app
+        assert waste[-1] >= waste[0] - 0.005, app
+        assert loss[-1] > 0.01, app

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 19 (BUG 1 / BUG 2 sensitivity)."""
+
+from repro.experiments import figure19
+
+
+def test_figure19(once):
+    result = once(figure19.run, thread_counts=(2, 4, 8))
+    print()
+    print(result.render())
+
+    bug1 = result.by_threads["bug1-openldap-spinwait"]
+    bug2 = result.by_threads["bug2-pbzip2-join"]
+
+    # BUG 1: stable resource wasting per thread as threads grow
+    wastes = [m.normalized_waste_per_thread for m in bug1]
+    assert max(wastes) - min(wastes) < 0.05
+    assert min(wastes) > 0.01
+    # BUG 2: increasing performance loss with the thread count
+    losses = [m.normalized_loss for m in bug2]
+    assert losses[-1] > losses[0]
+
+    # both bugs' impact declines as the input grows (fixed bug frequency)
+    for bug, series in result.by_size.items():
+        losses = [m.normalized_loss for m in series]
+        assert losses[0] >= losses[-1], bug
+        assert losses[0] > 0.01, bug

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 2 (#ULCPs vs thread count)."""
+
+from repro.experiments import figure2
+
+
+def test_figure2(once):
+    result = once(figure2.run, thread_counts=(2, 4, 8, 16))
+    print()
+    print(result.render())
+
+    for app, series in result.series.items():
+        # monotone growth with the thread count
+        assert all(b > a for a, b in zip(series, series[1:])), app
+        # close to proportional order: 8x threads -> at least 4x ULCPs
+        assert result.growth_ratio(app) >= 4.0, app

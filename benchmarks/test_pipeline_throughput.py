@@ -1,0 +1,70 @@
+"""Bench: throughput of the tool itself (record / analyze / replay).
+
+The paper argues replay-based *performance* analysis is practical
+(selective recording, <4.3% lockset overhead).  These benchmarks measure
+our pipeline's throughput on the largest workload model (fluidanimate)
+so regressions in the analysis algorithms show up as timing regressions.
+Unlike the table/figure benches these use real multi-round benchmarking.
+"""
+
+import pytest
+
+from repro.analysis import analyze_pairs, transform
+from repro.replay import ELSC_S, Replayer
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def fluid_trace():
+    return get_workload("fluidanimate", threads=2).record().trace
+
+
+@pytest.fixture(scope="module")
+def fluid_transform(fluid_trace):
+    return transform(fluid_trace)
+
+
+def test_recording_throughput(benchmark):
+    workload = get_workload("fluidanimate", threads=2)
+
+    def record_once():
+        return workload.record()
+
+    result = benchmark.pedantic(record_once, rounds=3, iterations=1)
+    events = len(result.trace)
+    assert events > 1000
+    print(f"\nrecorded {events} events")
+
+
+def test_pair_analysis_throughput(benchmark, fluid_trace):
+    result = benchmark.pedantic(
+        analyze_pairs, args=(fluid_trace,), rounds=3, iterations=1
+    )
+    assert result.breakdown.total_ulcps > 0
+
+
+def test_transformation_throughput(benchmark, fluid_trace):
+    result = benchmark.pedantic(
+        transform, args=(fluid_trace,), rounds=3, iterations=1
+    )
+    assert len(result.sections) > 100
+
+
+def test_elsc_replay_throughput(benchmark, fluid_trace):
+    replayer = Replayer(jitter=0.0)
+
+    def replay_once():
+        return replayer.replay(fluid_trace, scheme=ELSC_S)
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    assert result.end_time > 0
+
+
+def test_transformed_replay_throughput(benchmark, fluid_transform):
+    replayer = Replayer(jitter=0.0)
+
+    def replay_once():
+        return replayer.replay_transformed(fluid_transform)
+
+    result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
+    assert result.end_time > 0

@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 1 (ULCP breakdown per application)."""
+
+from repro.experiments import table1
+
+ZERO_APPS = ("blackscholes", "canneal", "streamcluster", "swaptions")
+
+
+def test_table1(once):
+    result = once(table1.run)
+    print()
+    print(result.render())
+
+    rows = result.rows_by_app
+    # paper shape: the four quiet apps report no ULCPs at all
+    for app in ZERO_APPS:
+        assert rows[app].total_ulcps == 0, app
+    # blackscholes takes no locks whatsoever
+    assert rows["blackscholes"].locks == 0
+    # ULCPs are pervasive everywhere else
+    for app, row in rows.items():
+        if app not in ZERO_APPS:
+            assert row.total_ulcps > 0, app
+    # category signatures: x264 null-lock heavy, ferret benign-dominant,
+    # mysql/fluidanimate read-read dominant, fluidanimate the most ULCPs
+    assert rows["x264"].null_lock == max(r.null_lock for r in rows.values())
+    assert rows["ferret"].benign >= rows["ferret"].read_read
+    assert rows["mysql"].read_read > rows["mysql"].disjoint_write
+    assert rows["fluidanimate"].total_ulcps == max(
+        r.total_ulcps for r in rows.values()
+    )

@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 2 (grouped ULCP code regions + top P)."""
+
+from repro.experiments import table2
+
+
+def test_table2(once):
+    result = once(table2.run)
+    print()
+    print(result.render())
+    rows = result.rows_by_app
+
+    # zero-ULCP apps have nothing to group
+    assert rows["blackscholes"].grouped_ulcps == 0
+    assert rows["swaptions"].grouped_ulcps == 0
+    # mysql spreads ULCPs over the most regions, diluting the best one
+    assert rows["mysql"].grouped_ulcps == max(
+        r.grouped_ulcps for r in rows.values()
+    )
+    assert rows["mysql"].top_p < rows["pbzip2"].top_p
+    # every non-empty app concentrates a meaningful share at the top
+    for app, row in rows.items():
+        if row.grouped_ulcps:
+            assert 0.05 < row.top_p <= 1.0, app
+            # P is a distribution: top share at least the uniform share
+            assert row.top_p >= 1.0 / row.grouped_ulcps, app

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Case study: MySQL bug #68573 — the query-cache timeout that grows.
+
+``Query_cache::try_lock`` holds ``structure_guard_mutex`` and loops on a
+timed cond-wait.  The designed behaviour is "wait at most 50ms for the
+cache lock, then run without the cache" — but when several SELECTs hit
+the code at once, the post-timeout re-acquisitions serialize and every
+null-lock wake stretches the effective timeout (§6.6, Figure 17).
+
+This script records the pattern at increasing client counts and shows
+how the tail past the nominal timeout grows, then lets PERFPLAY point
+at the offending region.
+
+Run:  python examples/mysql_query_cache.py
+"""
+
+from repro import PerfPlay
+from repro.analysis import analyze_pairs
+from repro.workloads import get_workload
+
+TIMEOUT = 800  # the model's "50ms", in simulated ns
+
+
+def main():
+    print("clients | run time | tail past timeout | null-locks")
+    print("--------+----------+-------------------+-----------")
+    for clients in (2, 4, 8, 16):
+        workload = get_workload("case9-querycache-timeout", threads=clients)
+        recorded = workload.record()
+        tail = recorded.recorded_time - TIMEOUT
+        nl = analyze_pairs(recorded.trace).breakdown.null_lock
+        print(f"{clients:7} | {recorded.recorded_time:8} | {tail:17} | {nl:9}")
+
+    print()
+    print("PERFPLAY's diagnosis at 8 clients:")
+    workload = get_workload("case9-querycache-timeout", threads=8)
+    report = PerfPlay().analyze(workload.record().trace)
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Case study: pbzip2's consumer shutdown checks (#BUG 2, Figure 18).
+
+Every consumer repeatedly takes ``mu`` to read ``fifo.empty`` and nests
+``muDone`` to read ``producerDone`` — pure read-read ULCPs with extra
+nested-lock overhead that serialize the joins.  The paper's fix: the
+producer *signals* completion and consumers just wait.
+
+Run:  python examples/pbzip2_consumer_join.py
+"""
+
+from repro import PerfPlay
+from repro.workloads import get_workload
+
+
+def main():
+    print("threads | original | signal/wait fix | speedup")
+    print("--------+----------+-----------------+--------")
+    for threads in (2, 4, 8):
+        original = get_workload(
+            "bug2-pbzip2-join", threads=threads
+        ).record(num_cores=threads + 2)
+        fixed = get_workload(
+            "bug2-pbzip2-join", threads=threads, fixed=True
+        ).record(num_cores=threads + 2)
+        speedup = original.recorded_time / max(1, fixed.recorded_time)
+        print(
+            f"{threads:7} | {original.recorded_time:8} | "
+            f"{fixed.recorded_time:15} | {speedup:6.3f}x"
+        )
+
+    print("\nPERFPLAY finds the nested read-read checks (8 threads):")
+    trace = get_workload("bug2-pbzip2-join", threads=8).record(num_cores=10).trace
+    report = PerfPlay().analyze(trace)
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

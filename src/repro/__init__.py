@@ -1,0 +1,94 @@
+"""PERFPLAY reproduction: replay-based performance debugging of
+unnecessary lock contention (Zheng et al., CGO 2015).
+
+Quickstart::
+
+    from repro import PerfPlay
+    from repro.sim import Acquire, Release, Read, Compute
+
+    def worker():
+        yield Compute(100)
+        yield Acquire(lock="L")
+        yield Read("shared")
+        yield Compute(500)
+        yield Release(lock="L")
+
+    report = PerfPlay().debug([(worker(), "a"), (worker(), "b")], name="demo")
+    print(report.render())
+
+Package map:
+
+==================  ====================================================
+``repro.sim``       deterministic discrete-event multicore machine
+``repro.trace``     trace events, builder, (de)serialization, validation
+``repro.record``    recording phase
+``repro.analysis``  ULCP identification, topology RULE 1-4, transform
+``repro.replay``    ORIG-S / ELSC-S / SYNC-S / MEM-S replay engine
+``repro.perfdebug`` Eq. 1 metrics, Algorithm 2 fusion, Eq. 2 ranking
+``repro.races``     Eraser + happens-before detectors (Theorem 1)
+``repro.baselines`` lock-elision comparison model
+``repro.workloads`` the paper's 16 application models + bug cases
+``repro.experiments`` one module per evaluation table/figure
+==================  ====================================================
+"""
+
+from repro.analysis import TransformResult, UlcpBreakdown, UlcpPair, transform
+from repro.errors import (
+    DeadlockError,
+    ReplayError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TransformError,
+    WorkloadError,
+)
+from repro.perfdebug import DebugReport, PerfPlay
+from repro.record import RecordResult, Recorder, record
+from repro.selfcheck import SelfCheckReport, run_selfcheck
+from repro.replay import (
+    ALL_SCHEMES,
+    ELSC_S,
+    MEM_S,
+    ORIG_S,
+    SYNC_S,
+    Replayer,
+    ReplayResult,
+    ReplaySeries,
+)
+from repro.trace import CodeRegion, CodeSite, Trace, TraceMeta
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PerfPlay",
+    "DebugReport",
+    "Recorder",
+    "RecordResult",
+    "record",
+    "run_selfcheck",
+    "SelfCheckReport",
+    "Replayer",
+    "ReplayResult",
+    "ReplaySeries",
+    "transform",
+    "TransformResult",
+    "UlcpPair",
+    "UlcpBreakdown",
+    "Trace",
+    "TraceMeta",
+    "CodeSite",
+    "CodeRegion",
+    "ORIG_S",
+    "ELSC_S",
+    "SYNC_S",
+    "MEM_S",
+    "ALL_SCHEMES",
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "TraceError",
+    "TransformError",
+    "ReplayError",
+    "WorkloadError",
+    "__version__",
+]

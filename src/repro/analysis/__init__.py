@@ -1,0 +1,72 @@
+"""ULCP analysis core: identification, topology, re-sync, transformation."""
+
+from repro.analysis.benign import WriteTimeline, is_benign
+from repro.analysis.classify import FALSE, classify_pair
+from repro.analysis.dls import (
+    FLAG_CHECK_COST,
+    LocksetCost,
+    effective_lockset,
+    end_flag,
+    plan_cost,
+)
+from repro.analysis.pairs import PairAnalysis, analyze_pairs
+from repro.analysis.resync import ResyncPlan, build_resync_plan, mutually_exclusive
+from repro.analysis.sections import (
+    CriticalSection,
+    extract_sections,
+    sections_by_lock,
+)
+from repro.analysis.shadow import (
+    ShadowMemory,
+    annotate_shared_sets,
+    shared_addresses,
+)
+from repro.analysis.topology import CAUSAL, ORDER, Topology, build_topology
+from repro.analysis.transform import TransformResult, transform
+from repro.analysis.ulcp import (
+    BENIGN,
+    DISJOINT_WRITE,
+    NULL_LOCK,
+    READ_READ,
+    TLCP,
+    ULCP_KINDS,
+    UlcpBreakdown,
+    UlcpPair,
+)
+
+__all__ = [
+    "CriticalSection",
+    "extract_sections",
+    "sections_by_lock",
+    "ShadowMemory",
+    "shared_addresses",
+    "annotate_shared_sets",
+    "classify_pair",
+    "FALSE",
+    "WriteTimeline",
+    "is_benign",
+    "PairAnalysis",
+    "analyze_pairs",
+    "Topology",
+    "build_topology",
+    "CAUSAL",
+    "ORDER",
+    "ResyncPlan",
+    "build_resync_plan",
+    "mutually_exclusive",
+    "effective_lockset",
+    "end_flag",
+    "plan_cost",
+    "LocksetCost",
+    "FLAG_CHECK_COST",
+    "TransformResult",
+    "transform",
+    "UlcpPair",
+    "UlcpBreakdown",
+    "NULL_LOCK",
+    "READ_READ",
+    "DISJOINT_WRITE",
+    "BENIGN",
+    "TLCP",
+    "ULCP_KINDS",
+]

@@ -1,0 +1,100 @@
+"""Benign-vs-TLCP separation via reversed replay.
+
+Algorithm 1 cannot distinguish a benign false conflict (redundant writes,
+commutative updates) from a true conflict: both intersect.  The paper
+replays the trace with the two critical sections in reversed order and
+compares results.  Here the reversed replay is a micro-interpretation of
+the two CS bodies' memory operations: because trace writes carry their
+micro-op (``store v`` / ``add k``), both orders can be re-executed from
+the memory state the pair originally saw, and the outcomes compared —
+final memory state *and* the values every read observes.
+
+The initial state is reconstructed from the recorded write timeline, so
+each pair is judged against the state it actually executed under.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.analysis.sections import CriticalSection
+from repro.sim.requests import decode_op
+from repro.trace.events import READ, WRITE, TraceEvent
+from repro.trace.trace import Trace
+
+
+class WriteTimeline:
+    """Per-address sorted write history, for point-in-time state lookups."""
+
+    def __init__(self, trace: Trace):
+        self._writes: Dict[str, List[Tuple[int, int]]] = {}
+        for event in trace.iter_time_order():
+            if event.kind == WRITE:
+                self._writes.setdefault(event.addr, []).append((event.t, event.value))
+
+    def value_at(self, addr: str, t: int) -> int:
+        """The value of ``addr`` just *before* simulated time ``t``."""
+        history = self._writes.get(addr)
+        if not history:
+            return 0
+        idx = bisect.bisect_left(history, (t, -(1 << 62))) - 1
+        if idx < 0:
+            return 0
+        return history[idx][1]
+
+
+def _memory_ops(cs: CriticalSection) -> List[TraceEvent]:
+    return [e for e in cs.body if e.kind in (READ, WRITE)]
+
+
+def _interpret(
+    first: List[TraceEvent], second: List[TraceEvent], state: Dict[str, int]
+) -> Tuple[Dict[str, int], List[int]]:
+    """Run two op sequences back to back over ``state``; collect read values."""
+    state = dict(state)
+    read_values: List[int] = []
+    for event in list(first) + list(second):
+        if event.kind == READ:
+            read_values.append(state.get(event.addr, 0))
+        else:
+            op = decode_op(event.op)
+            state[event.addr] = op.apply(state.get(event.addr, 0))
+    return state, read_values
+
+
+def is_benign(
+    c1: CriticalSection, c2: CriticalSection, timeline: WriteTimeline
+) -> bool:
+    """Reversed replay: does swapping the pair leave the outcome unchanged?
+
+    Read values are compared *per section* (each section's reads must see
+    the same values in both orders), and the final memory state must match.
+    """
+    ops1 = _memory_ops(c1)
+    ops2 = _memory_ops(c2)
+    touched = {e.addr for e in ops1} | {e.addr for e in ops2}
+    start = {addr: timeline.value_at(addr, c1.t_start) for addr in touched}
+
+    forward_state, _ = _interpret(ops1, ops2, start)
+    reversed_state, _ = _interpret(ops2, ops1, start)
+    if forward_state != reversed_state:
+        return False
+
+    # Per-section read comparison: c1's reads in forward order vs c1's reads
+    # when it runs second, and symmetrically for c2.
+    def reads_of(ops, state):
+        state = dict(state)
+        values = []
+        for event in ops:
+            if event.kind == READ:
+                values.append(state.get(event.addr, 0))
+            else:
+                state[event.addr] = decode_op(event.op).apply(state.get(event.addr, 0))
+        return values, state
+
+    c1_first_reads, state_after_c1 = reads_of(ops1, start)
+    c2_second_reads, _ = reads_of(ops2, state_after_c1)
+    c2_first_reads, state_after_c2 = reads_of(ops2, start)
+    c1_second_reads, _ = reads_of(ops1, state_after_c2)
+    return c1_first_reads == c1_second_reads and c2_first_reads == c2_second_reads

@@ -1,0 +1,31 @@
+"""Algorithm 1: ULCP identification by read/write-set intersection.
+
+Given two critical sections in sequential (lock acquisition) order, the
+classifier returns one of the ULCP categories or ``FALSE`` (a conflicting
+pair).  Conflicting pairs are *candidates* for TLCP — the reversed-replay
+pass (:mod:`repro.analysis.benign`) then separates benign ULCPs from true
+conflicts, exactly as the paper extends Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sections import CriticalSection
+from repro.analysis.ulcp import DISJOINT_WRITE, NULL_LOCK, READ_READ
+
+#: Algorithm 1's FALSE: the sets conflict; needs the benign/TLCP replay test.
+FALSE = "false"
+
+
+def classify_pair(c1: CriticalSection, c2: CriticalSection) -> str:
+    """Line-by-line transcription of the paper's Algorithm 1."""
+    if (not c1.srd and not c1.swr) or (not c2.srd and not c2.swr):
+        return NULL_LOCK
+    if not c1.swr and not c2.swr:
+        return READ_READ
+    if (
+        not (c1.srd & c2.swr)
+        and not (c1.swr & c2.srd)
+        and not (c1.swr & c2.swr)
+    ):
+        return DISJOINT_WRITE
+    return FALSE

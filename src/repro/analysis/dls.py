@@ -1,0 +1,63 @@
+"""Dynamic locking strategy (DLS) accounting helpers (paper §3.2, Fig. 9).
+
+At replay time each source node raises an END flag when it finishes; a
+target node's *effective* lockset excludes the locks of sources that have
+already ENDed.  The runtime behaviour lives in the replayer (it checks the
+flags with :class:`repro.sim.requests.CheckFlag`); this module provides
+the static cost model used by the Table 3 experiment and by reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from repro.analysis.resync import ResyncPlan
+
+#: Cost of testing one END flag at runtime (vs. a full lock acquisition).
+FLAG_CHECK_COST = 5
+
+
+def end_flag(cs_uid: str) -> str:
+    """The END-flag name a finished section raises."""
+    return f"END:{cs_uid}"
+
+
+def effective_lockset(
+    plan: ResyncPlan, cs_uid: str, ended: Set[str]
+) -> List[str]:
+    """The lockset a section must still acquire given finished sources."""
+    lockset: List[str] = []
+    own = plan.aux_locks.get(cs_uid)
+    if own is not None:
+        lockset.append(own)
+    for pred in plan.preds.get(cs_uid, ()):
+        if pred in ended:
+            continue
+        pred_lock = plan.aux_locks.get(pred)
+        if pred_lock is not None and pred_lock not in lockset:
+            lockset.append(pred_lock)
+    return lockset
+
+
+@dataclass
+class LocksetCost:
+    """Static lockset-maintenance cost of a plan, with/without DLS."""
+
+    full_entries: int
+    sections: int
+
+    def cost_without_dls(self, lock_cost: int) -> int:
+        """Every lockset entry pays a full acquire + release."""
+        return 2 * self.full_entries * lock_cost
+
+    def cost_with_dls_bound(self, lock_cost: int, flag_cost: int = FLAG_CHECK_COST) -> int:
+        """Upper bound: every entry degenerates to a flag check."""
+        return self.full_entries * flag_cost
+
+
+def plan_cost(plan: ResyncPlan) -> LocksetCost:
+    return LocksetCost(
+        full_entries=plan.total_lockset_entries(),
+        sections=len(plan.locksets),
+    )

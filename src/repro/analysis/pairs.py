@@ -1,0 +1,76 @@
+"""ULCP pair enumeration and classification over a whole trace.
+
+Pairs are the paper's unit of analysis: for every lock, consecutive
+critical sections from *different* threads in the lock's acquisition
+order form candidate pairs (three sequential sections encode as two
+pairs, as §2.1 prescribes).  Each pair runs through Algorithm 1 and, when
+Algorithm 1 answers FALSE, through the reversed-replay benign test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.benign import WriteTimeline, is_benign
+from repro.analysis.classify import FALSE, classify_pair
+from repro.analysis.sections import (
+    CriticalSection,
+    extract_sections,
+    sections_by_lock,
+)
+from repro.analysis.shadow import annotate_shared_sets, shared_addresses
+from repro.analysis.ulcp import BENIGN, TLCP, UlcpBreakdown, UlcpPair
+from repro.trace.trace import Trace
+
+
+@dataclass
+class PairAnalysis:
+    """Everything the pair pass learned about a trace."""
+
+    sections: List[CriticalSection] = field(default_factory=list)
+    pairs: List[UlcpPair] = field(default_factory=list)
+    breakdown: UlcpBreakdown = field(default_factory=UlcpBreakdown)
+
+    @property
+    def ulcps(self) -> List[UlcpPair]:
+        return [p for p in self.pairs if p.is_ulcp]
+
+    @property
+    def tlcps(self) -> List[UlcpPair]:
+        return [p for p in self.pairs if p.kind == TLCP]
+
+    def pairs_by_lock(self) -> Dict[str, List[UlcpPair]]:
+        grouped: Dict[str, List[UlcpPair]] = {}
+        for pair in self.pairs:
+            grouped.setdefault(pair.lock, []).append(pair)
+        return grouped
+
+
+def analyze_pairs(trace: Trace, *, benign_detection: bool = True) -> PairAnalysis:
+    """Extract, annotate, enumerate and classify all same-lock pairs.
+
+    ``benign_detection=False`` skips the reversed replay and counts every
+    conflicting pair as a TLCP — the ablation for how much the benign pass
+    buys (misclassified benign pairs keep causal edges they don't need).
+    """
+    sections = extract_sections(trace)
+    shared = shared_addresses(trace)
+    annotate_shared_sets(sections, shared)
+    timeline = WriteTimeline(trace) if benign_detection else None
+
+    analysis = PairAnalysis(sections=sections)
+    for lock_sections in sections_by_lock(sections).values():
+        for first, second in zip(lock_sections, lock_sections[1:]):
+            if first.tid == second.tid:
+                continue  # program order already serializes these
+            kind = classify_pair(first, second)
+            if kind == FALSE:
+                if benign_detection and is_benign(first, second, timeline):
+                    kind = BENIGN
+                else:
+                    kind = TLCP
+            pair = UlcpPair(c1=first, c2=second, kind=kind)
+            analysis.pairs.append(pair)
+            analysis.breakdown.add(kind)
+    return analysis

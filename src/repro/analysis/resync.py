@@ -1,0 +1,96 @@
+"""RULE 3 and RULE 4: lockset re-synchronization of the ULCP-free topology.
+
+RULE 3 — every node with an outdegree gets a fresh auxiliary lock (written
+``@L<n>`` as in the paper); every node with an indegree is additionally
+synchronized by the auxiliary locks of its source nodes.  A node's lockset
+is therefore ``{own aux} ∪ {aux of each predecessor}``.
+
+RULE 4 — two sections are mutually exclusive iff their locksets intersect
+(:func:`mutually_exclusive`).
+
+Null-locks and standalone nodes lose their lock/unlock events entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis.topology import Topology
+
+
+@dataclass
+class ResyncPlan:
+    """The auxiliary synchronization assignment for a transformed trace."""
+
+    #: cs uid -> its own auxiliary lock (only nodes with outdegree).
+    aux_locks: Dict[str, str] = field(default_factory=dict)
+    #: cs uid -> predecessor cs uids, ordered by original acquisition time.
+    preds: Dict[str, List[str]] = field(default_factory=dict)
+    #: cs uid -> full lockset (own aux first, then predecessors' aux locks).
+    locksets: Dict[str, List[str]] = field(default_factory=dict)
+    #: cs uids whose synchronization is dropped (null-locks / standalone).
+    removed: Set[str] = field(default_factory=set)
+    #: aux lock -> cs uids in intended acquisition order (owner node first,
+    #: then its successors by original time): the ELSC schedule of the
+    #: auxiliary locks for lockset-mode replay.
+    aux_schedule: Dict[str, List[str]] = field(default_factory=dict)
+
+    def lockset_of(self, cs_uid: str) -> List[str]:
+        return list(self.locksets.get(cs_uid, ()))
+
+    def max_lockset_size(self) -> int:
+        if not self.locksets:
+            return 0
+        return max(len(ls) for ls in self.locksets.values())
+
+    def total_lockset_entries(self) -> int:
+        return sum(len(ls) for ls in self.locksets.values())
+
+
+def mutually_exclusive(plan: ResyncPlan, uid_a: str, uid_b: str) -> bool:
+    """RULE 4: the pair is mutex iff their locksets intersect."""
+    return bool(set(plan.lockset_of(uid_a)) & set(plan.lockset_of(uid_b)))
+
+
+def build_resync_plan(topology: Topology) -> ResyncPlan:
+    """Assign auxiliary locks per RULE 3 over a built topology."""
+    plan = ResyncPlan()
+    # deterministic aux lock numbering: nodes by original acquisition time
+    ordered = sorted(topology.nodes.values(), key=lambda cs: (cs.t_start, cs.uid))
+    counter = 0
+    for cs in ordered:
+        if topology.is_standalone(cs.uid):
+            plan.removed.add(cs.uid)
+            continue
+        if topology.outdegree(cs.uid) > 0:
+            plan.aux_locks[cs.uid] = f"@L{counter}"
+            counter += 1
+
+    by_time = {cs.uid: (cs.t_start, cs.uid) for cs in ordered}
+    for cs in ordered:
+        if cs.uid in plan.removed:
+            continue
+        preds = sorted(topology.preds(cs.uid), key=lambda uid: by_time[uid])
+        plan.preds[cs.uid] = preds
+        lockset: List[str] = []
+        own = plan.aux_locks.get(cs.uid)
+        if own is not None:
+            lockset.append(own)
+        for pred in preds:
+            pred_lock = plan.aux_locks.get(pred)
+            if pred_lock is not None and pred_lock not in lockset:
+                lockset.append(pred_lock)
+        plan.locksets[cs.uid] = lockset
+
+    # Aux-lock acquisition schedules: owner first, successors by time.
+    owners = {lock: uid for uid, lock in plan.aux_locks.items()}
+    for lock, owner_uid in owners.items():
+        holders = [owner_uid]
+        successors = sorted(
+            (uid for uid in topology.succs(owner_uid) if uid not in plan.removed),
+            key=lambda uid: by_time[uid],
+        )
+        holders.extend(successors)
+        plan.aux_schedule[lock] = holders
+    return plan

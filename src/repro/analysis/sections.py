@@ -1,0 +1,165 @@
+"""Critical-section extraction from a recorded trace.
+
+A critical section (CS) is the span of one thread's events between a lock
+acquisition and its matching release.  Nested locks produce nested
+sections; a CS's *body* contains every event strictly between its acquire
+and release (including nested lock events).
+
+A CS's uid is the uid of its acquire event; the transformation and the
+performance metrics reference sections by this uid throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import TraceError
+from repro.trace.codesite import CodeRegion, CodeSite
+from repro.trace.events import ACQUIRE, READ, RELEASE, TraceEvent, WRITE
+from repro.trace.trace import Trace
+
+
+@dataclass
+class CriticalSection:
+    """One dynamic critical section."""
+
+    uid: str
+    tid: str
+    lock: str
+    acquire: TraceEvent
+    release: TraceEvent
+    body: List[TraceEvent] = field(default_factory=list)
+
+    #: All / shared reads and writes in the body (addresses).  The shared
+    #: sets (the paper's C.Srd / C.Swr) are filled in by the shadow pass.
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    srd: Set[str] = field(default_factory=set)
+    swr: Set[str] = field(default_factory=set)
+
+    #: Anchors for the Eq. 1 performance labels: the uid of the last event
+    #: before the CS in this thread (Time1 anchor) and of the first event
+    #: after it (Time2/Time3 anchor).  Either may be None at thread edges.
+    pre_anchor: Optional[str] = None
+    post_anchor: Optional[str] = None
+
+    #: Position of this CS in its lock's acquisition order.
+    lock_index: int = -1
+
+    @property
+    def t_start(self) -> int:
+        return self.acquire.t
+
+    @property
+    def t_end(self) -> int:
+        return self.release.t
+
+    @property
+    def duration(self) -> int:
+        return self.t_end - self.t_start
+
+    @property
+    def region(self) -> CodeRegion:
+        """The code region between the lock and unlock sites."""
+        acquire_site = self.acquire.site or CodeSite("<unknown>", 0)
+        release_site = self.release.site or acquire_site
+        return CodeRegion.from_sites(acquire_site, release_site)
+
+    @property
+    def is_empty(self) -> bool:
+        """No shared accesses at all (the null-lock shape)."""
+        return not self.srd and not self.swr
+
+    def conflicts_with(self, other: "CriticalSection") -> bool:
+        """True when the shared access sets truly collide (Algorithm 1 l.5)."""
+        return bool(
+            (self.srd & other.swr)
+            or (self.swr & other.srd)
+            or (self.swr & other.swr)
+        )
+
+    def __repr__(self):
+        return (
+            f"<CS {self.uid} {self.tid} lock={self.lock} "
+            f"[{self.t_start},{self.t_end}]>"
+        )
+
+
+def extract_sections(trace: Trace) -> List[CriticalSection]:
+    """Extract every critical section, in global acquisition-time order."""
+    sections: List[CriticalSection] = []
+    for tid, events in trace.threads.items():
+        open_by_lock: Dict[str, CriticalSection] = {}
+        # sections currently open, for body attribution (innermost last)
+        stack: List[CriticalSection] = []
+        for event in events:
+            if event.kind == ACQUIRE:
+                if event.lock in open_by_lock:
+                    raise TraceError(
+                        f"{tid}: nested acquire of same lock {event.lock}"
+                    )
+                for open_cs in stack:
+                    open_cs.body.append(event)
+                cs = CriticalSection(
+                    uid=event.uid,
+                    tid=tid,
+                    lock=event.lock,
+                    acquire=event,
+                    release=event,  # patched at RELEASE
+                )
+                open_by_lock[event.lock] = cs
+                stack.append(cs)
+                sections.append(cs)
+            elif event.kind == RELEASE:
+                cs = open_by_lock.pop(event.lock, None)
+                if cs is None:
+                    raise TraceError(f"{tid}: release of unheld {event.lock}")
+                cs.release = event
+                stack.remove(cs)
+                for open_cs in stack:
+                    open_cs.body.append(event)
+            else:
+                for open_cs in stack:
+                    open_cs.body.append(event)
+                    if event.kind == READ:
+                        open_cs.reads.add(event.addr)
+                    elif event.kind == WRITE:
+                        open_cs.writes.add(event.addr)
+        if open_by_lock:
+            raise TraceError(f"{tid}: unclosed critical sections")
+
+    _attach_anchors(trace, sections)
+    sections.sort(key=lambda cs: (cs.t_start, cs.uid))
+    by_lock: Dict[str, int] = {}
+    for cs in sections:
+        cs.lock_index = by_lock.get(cs.lock, 0)
+        by_lock[cs.lock] = cs.lock_index + 1
+    return sections
+
+
+def _attach_anchors(trace: Trace, sections: List[CriticalSection]) -> None:
+    """Set each CS's pre/post anchor uids (for the Eq. 1 time labels)."""
+    index_maps = {
+        tid: {e.uid: i for i, e in enumerate(events)}
+        for tid, events in trace.threads.items()
+    }
+    for cs in sections:
+        events = trace.threads[cs.tid]
+        indices = index_maps[cs.tid]
+        acquire_idx = indices[cs.acquire.uid]
+        release_idx = indices[cs.release.uid]
+        if acquire_idx > 0:
+            cs.pre_anchor = events[acquire_idx - 1].uid
+        if release_idx + 1 < len(events):
+            cs.post_anchor = events[release_idx + 1].uid
+
+
+def sections_by_lock(sections: List[CriticalSection]) -> Dict[str, List[CriticalSection]]:
+    """Group sections per lock, each group in acquisition order."""
+    grouped: Dict[str, List[CriticalSection]] = {}
+    for cs in sections:
+        grouped.setdefault(cs.lock, []).append(cs)
+    for group in grouped.values():
+        group.sort(key=lambda cs: cs.lock_index)
+    return grouped

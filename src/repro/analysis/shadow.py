@@ -1,0 +1,74 @@
+"""Shadow memory: shared-address discovery and per-CS access-set state.
+
+The paper uses shadow memory to maintain, per critical section, the sets
+of shared reads (C.Srd) and shared writes (C.Swr).  An address is *shared*
+when more than one thread touches it anywhere in the trace; accesses to
+thread-private addresses never make a lock necessary and are excluded
+from the sets Algorithm 1 intersects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.sections import CriticalSection
+from repro.trace.events import READ, WRITE
+from repro.trace.trace import Trace
+
+
+def shared_addresses(trace: Trace) -> Set[str]:
+    """Addresses accessed by two or more distinct threads."""
+    first_toucher: Dict[str, str] = {}
+    shared: Set[str] = set()
+    for tid, events in trace.threads.items():
+        for event in events:
+            if event.kind not in (READ, WRITE):
+                continue
+            owner = first_toucher.setdefault(event.addr, tid)
+            if owner != tid:
+                shared.add(event.addr)
+    return shared
+
+
+def annotate_shared_sets(
+    sections: Iterable[CriticalSection], shared: Set[str]
+) -> List[CriticalSection]:
+    """Fill each section's C.Srd / C.Swr from its raw access sets."""
+    result = []
+    for cs in sections:
+        cs.srd = cs.reads & shared
+        cs.swr = cs.writes & shared
+        result.append(cs)
+    return result
+
+
+class ShadowMemory:
+    """Incremental shadow state, for streaming/online analyses.
+
+    Tracks which threads have read/written each address so far.  The batch
+    helpers above are sufficient for offline trace analysis; this class
+    backs the race detector and incremental tooling.
+    """
+
+    def __init__(self):
+        self._readers: Dict[str, Set[str]] = {}
+        self._writers: Dict[str, Set[str]] = {}
+
+    def record_read(self, tid: str, addr: str) -> None:
+        self._readers.setdefault(addr, set()).add(tid)
+
+    def record_write(self, tid: str, addr: str) -> None:
+        self._writers.setdefault(addr, set()).add(tid)
+
+    def readers(self, addr: str) -> Set[str]:
+        return set(self._readers.get(addr, ()))
+
+    def writers(self, addr: str) -> Set[str]:
+        return set(self._writers.get(addr, ()))
+
+    def is_shared(self, addr: str) -> bool:
+        touchers = self.readers(addr) | self.writers(addr)
+        return len(touchers) > 1
+
+    def addresses(self) -> Set[str]:
+        return set(self._readers) | set(self._writers)

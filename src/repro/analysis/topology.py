@@ -1,0 +1,197 @@
+"""Causal-order topology (RULE 1 and RULE 2).
+
+Nodes are critical sections; a *causal edge* connects a section to the
+first true-conflicting (TLCP) section of every other thread, found by
+sequential searching forward in the lock's acquisition order (RULE 1).
+ULCP relations produce no edge — that is precisely how the false
+inter-thread dependencies disappear from the graph.
+
+RULE 2 (performance stability) is materialized as *order edges*: the
+causal-edge nodes of each lock are chained in their original partial
+order, so every replay of the transformed trace serializes them the same
+way the original execution did.
+
+The construction is index-accelerated: for each (lock, thread, address)
+we keep the sorted lock-order positions of sections reading/writing that
+address, so "first conflicting section after position i" is a bisect, not
+a scan.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.benign import WriteTimeline, is_benign
+from repro.analysis.sections import CriticalSection, sections_by_lock
+from repro.trace.trace import Trace
+
+CAUSAL = "causal"
+ORDER = "order"
+
+
+@dataclass
+class Topology:
+    """The causal-order graph over critical sections."""
+
+    nodes: Dict[str, CriticalSection] = field(default_factory=dict)
+    edges: Set[Tuple[str, str, str]] = field(default_factory=set)  # (src, dst, kind)
+    _preds: Dict[str, Set[str]] = field(default_factory=dict)
+    _succs: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add_node(self, cs: CriticalSection) -> None:
+        self.nodes[cs.uid] = cs
+        self._preds.setdefault(cs.uid, set())
+        self._succs.setdefault(cs.uid, set())
+
+    def add_edge(self, src: str, dst: str, kind: str = CAUSAL) -> None:
+        if src == dst:
+            raise ValueError("self edge in topology")
+        self.edges.add((src, dst, kind))
+        self._preds[dst].add(src)
+        self._succs[src].add(dst)
+
+    def preds(self, uid: str) -> Set[str]:
+        return self._preds.get(uid, set())
+
+    def succs(self, uid: str) -> Set[str]:
+        return self._succs.get(uid, set())
+
+    def outdegree(self, uid: str) -> int:
+        return len(self.succs(uid))
+
+    def indegree(self, uid: str) -> int:
+        return len(self.preds(uid))
+
+    def is_standalone(self, uid: str) -> bool:
+        """No causal or order relation at all (RULE 3 drops its locks)."""
+        return not self.preds(uid) and not self.succs(uid)
+
+    def causal_edges(self) -> List[Tuple[str, str]]:
+        return [(s, d) for (s, d, k) in self.edges if k == CAUSAL]
+
+    def order_edges(self) -> List[Tuple[str, str]]:
+        return [(s, d) for (s, d, k) in self.edges if k == ORDER]
+
+    def toposort(self) -> List[str]:
+        """Kahn's algorithm; raises if a cycle sneaked in."""
+        indeg = {uid: self.indegree(uid) for uid in self.nodes}
+        queue = sorted(uid for uid, d in indeg.items() if d == 0)
+        out: List[str] = []
+        while queue:
+            uid = queue.pop(0)
+            out.append(uid)
+            for succ in sorted(self.succs(uid)):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    queue.append(succ)
+        if len(out) != len(self.nodes):
+            raise ValueError("cycle in causal-order topology")
+        return out
+
+
+class _LockIndex:
+    """Per-lock acceleration structure for RULE 1's sequential searching."""
+
+    def __init__(self, sections: List[CriticalSection]):
+        self.sections = sections  # in acquisition order
+        self.by_thread: Dict[str, List[CriticalSection]] = {}
+        # (tid, addr) -> sorted lock_index positions of write / any access
+        self.write_pos: Dict[Tuple[str, str], List[int]] = {}
+        self.access_pos: Dict[Tuple[str, str], List[int]] = {}
+        self.by_index: Dict[int, CriticalSection] = {}
+        for cs in sections:
+            self.by_thread.setdefault(cs.tid, []).append(cs)
+            self.by_index[cs.lock_index] = cs
+            for addr in cs.swr:
+                self.write_pos.setdefault((cs.tid, addr), []).append(cs.lock_index)
+                self.access_pos.setdefault((cs.tid, addr), []).append(cs.lock_index)
+            for addr in cs.srd - cs.swr:
+                self.access_pos.setdefault((cs.tid, addr), []).append(cs.lock_index)
+
+    def first_conflict_after(
+        self, cs: CriticalSection, tid: str, after_index: int
+    ) -> Optional[CriticalSection]:
+        """First section of ``tid`` past ``after_index`` whose sets collide."""
+        best: Optional[int] = None
+        for addr in cs.swr:
+            for table in (self.access_pos,):
+                positions = table.get((tid, addr))
+                if positions:
+                    i = bisect.bisect_right(positions, after_index)
+                    if i < len(positions):
+                        pos = positions[i]
+                        if best is None or pos < best:
+                            best = pos
+        for addr in cs.srd:
+            positions = self.write_pos.get((tid, addr))
+            if positions:
+                i = bisect.bisect_right(positions, after_index)
+                if i < len(positions):
+                    pos = positions[i]
+                    if best is None or pos < best:
+                        best = pos
+        if best is None:
+            return None
+        return self.by_index[best]
+
+
+def build_topology(
+    trace: Trace,
+    sections: List[CriticalSection],
+    *,
+    benign_detection: bool = True,
+    order_edges: bool = True,
+) -> Topology:
+    """Apply RULE 1 (+ RULE 2 when ``order_edges``) to annotated sections.
+
+    ``sections`` must already carry their shared sets (see
+    :func:`repro.analysis.shadow.annotate_shared_sets`).
+    """
+    topology = Topology()
+    for cs in sections:
+        topology.add_node(cs)
+
+    timeline = WriteTimeline(trace) if benign_detection else None
+    benign_cache: Dict[Tuple[str, str], bool] = {}
+
+    def tlcp(first: CriticalSection, second: CriticalSection) -> bool:
+        """A true conflict that the reversed replay cannot excuse as benign."""
+        if not benign_detection:
+            return True
+        key = (first.uid, second.uid)
+        if key not in benign_cache:
+            benign_cache[key] = is_benign(first, second, timeline)
+        return not benign_cache[key]
+
+    for lock_sections in sections_by_lock(sections).values():
+        index = _LockIndex(lock_sections)
+        threads = list(index.by_thread)
+        for cs in lock_sections:
+            for tid in threads:
+                if tid == cs.tid:
+                    continue
+                cursor = cs.lock_index
+                while True:
+                    candidate = index.first_conflict_after(cs, tid, cursor)
+                    if candidate is None:
+                        break
+                    if tlcp(cs, candidate):
+                        topology.add_edge(cs.uid, candidate.uid, CAUSAL)
+                        break
+                    cursor = candidate.lock_index  # benign: keep searching
+
+        if order_edges:
+            causal_nodes = [
+                cs
+                for cs in lock_sections
+                if topology.preds(cs.uid) or topology.succs(cs.uid)
+            ]
+            for first, second in zip(causal_nodes, causal_nodes[1:]):
+                if first.tid == second.tid:
+                    continue  # program order already covers it
+                if second.uid not in topology.succs(first.uid):
+                    topology.add_edge(first.uid, second.uid, ORDER)
+
+    return topology

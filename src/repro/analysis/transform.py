@@ -1,0 +1,168 @@
+"""The end-to-end ULCP trace transformation (Figure 6 of the paper).
+
+Pipeline::
+
+    ULCP trace --(traditional lock semantics)--> sections + shared sets
+               --(Algorithm 1 + reversed replay)--> classified pairs
+               --(RULE 1/2)--> ULCP-free topology
+               --(RULE 3/4)--> resynchronization plan
+               --(rewrite)--> ULCP-free trace
+
+The rewritten trace replaces every surviving critical section's original
+lock/unlock events with ``CS_ENTER``/``CS_EXIT`` markers (uid-stable with
+the original acquire/release events) and drops the lock events of removed
+sections entirely.  The replayer materializes the markers according to
+the chosen synchronization mode (DLS END-flags or full locksets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.pairs import PairAnalysis, analyze_pairs
+from repro.analysis.resync import ResyncPlan, build_resync_plan
+from repro.analysis.sections import CriticalSection
+from repro.analysis.topology import ORDER, Topology, build_topology
+from repro.trace.events import ACQUIRE, CS_ENTER, CS_EXIT, RELEASE, TraceEvent
+from repro.trace.trace import Trace, TraceMeta
+from repro.trace.validate import validate
+
+
+@dataclass
+class TransformResult:
+    """Everything produced by one transformation run."""
+
+    original: Trace
+    trace: Trace
+    analysis: PairAnalysis
+    topology: Topology
+    plan: ResyncPlan
+
+    @property
+    def sections(self) -> List[CriticalSection]:
+        return self.analysis.sections
+
+    def section(self, cs_uid: str) -> CriticalSection:
+        return self.topology.nodes[cs_uid]
+
+    @property
+    def removed_sections(self) -> int:
+        return len(self.plan.removed)
+
+
+def transform(
+    trace: Trace,
+    *,
+    benign_detection: bool = True,
+    order_edges: bool = True,
+    validate_output: bool = True,
+    fix_categories: Optional[Set[str]] = None,
+) -> TransformResult:
+    """Transform a recorded trace into its ULCP-free counterpart.
+
+    ``order_edges=False`` disables RULE 2 (the stability ablation);
+    ``benign_detection=False`` treats every conflicting pair as a TLCP.
+
+    ``fix_categories`` restricts the transformation to a subset of ULCP
+    categories (e.g. ``{"read_read"}``): pairs of every *other* category
+    keep their original serialization (an order edge is re-inserted), so
+    the replayed gain isolates what fixing just those categories buys —
+    the per-strategy estimates of :mod:`repro.perfdebug.advisor`.
+    """
+    analysis = analyze_pairs(trace, benign_detection=benign_detection)
+    topology = build_topology(
+        trace,
+        analysis.sections,
+        benign_detection=benign_detection,
+        order_edges=order_edges,
+    )
+    if fix_categories is not None:
+        _reserialize_unselected(topology, analysis, fix_categories)
+    plan = build_resync_plan(topology)
+    new_trace = _rewrite(trace, analysis.sections, plan)
+    if validate_output:
+        validate(new_trace)
+    return TransformResult(
+        original=trace,
+        trace=new_trace,
+        analysis=analysis,
+        topology=topology,
+        plan=plan,
+    )
+
+
+def _reserialize_unselected(
+    topology: Topology, analysis: PairAnalysis, fix_categories: Set[str]
+) -> None:
+    """Re-insert order edges for ULCP pairs outside ``fix_categories``.
+
+    Those pairs keep exactly the serialization the original lock imposed
+    (adjacent re-serialization chains transitively, like the lock did).
+    """
+    for pair in analysis.ulcps:
+        if pair.kind in fix_categories:
+            continue
+        if pair.c2.uid not in topology.succs(pair.c1.uid):
+            topology.add_edge(pair.c1.uid, pair.c2.uid, ORDER)
+
+
+def _rewrite(
+    trace: Trace, sections: List[CriticalSection], plan: ResyncPlan
+) -> Trace:
+    """Produce the marker-based ULCP-free trace."""
+    release_to_cs: Dict[str, CriticalSection] = {
+        cs.release.uid: cs for cs in sections
+    }
+    acquire_to_cs: Dict[str, CriticalSection] = {cs.uid: cs for cs in sections}
+
+    meta = trace.meta
+    new_trace = Trace(
+        TraceMeta(
+            name=f"{meta.name}+ulcpfree" if meta.name else "ulcpfree",
+            seed=meta.seed,
+            num_cores=meta.num_cores,
+            lock_cost=meta.lock_cost,
+            mem_cost=meta.mem_cost,
+            params={**meta.params, "transformed": True},
+        )
+    )
+    new_trace.side = trace.side  # selective-recording deltas carry over
+    for tid, events in trace.threads.items():
+        new_trace.add_thread(tid)
+        out = new_trace.threads[tid]
+        for event in events:
+            if event.kind == ACQUIRE:
+                cs = acquire_to_cs[event.uid]
+                if cs.uid in plan.removed:
+                    continue
+                out.append(
+                    TraceEvent(
+                        uid=event.uid,
+                        tid=tid,
+                        kind=CS_ENTER,
+                        t=event.t,
+                        lock=event.lock,
+                        token=cs.uid,
+                        site=event.site,
+                        spin=event.spin,
+                    )
+                )
+            elif event.kind == RELEASE:
+                cs = release_to_cs.get(event.uid)
+                if cs is None or cs.uid in plan.removed:
+                    continue
+                out.append(
+                    TraceEvent(
+                        uid=event.uid,
+                        tid=tid,
+                        kind=CS_EXIT,
+                        t=event.t,
+                        lock=event.lock,
+                        token=cs.uid,
+                        site=event.site,
+                    )
+                )
+            else:
+                out.append(event)
+    return new_trace

@@ -1,0 +1,91 @@
+"""ULCP records and category constants.
+
+A ULCP (Unnecessary Lock Contention Pair) is two critical sections
+protected by the same lock whose bodies do not truly conflict.  The four
+categories follow §2.1 of the paper; ``TLCP`` marks a true lock
+contention pair (a real conflict) for which the causal edge must be kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.sections import CriticalSection
+from repro.trace.codesite import CodeRegion
+
+NULL_LOCK = "null_lock"
+READ_READ = "read_read"
+DISJOINT_WRITE = "disjoint_write"
+BENIGN = "benign"
+TLCP = "tlcp"
+
+ULCP_KINDS = (NULL_LOCK, READ_READ, DISJOINT_WRITE, BENIGN)
+
+
+@dataclass
+class UlcpPair:
+    """One classified pair of same-lock critical sections."""
+
+    c1: CriticalSection
+    c2: CriticalSection
+    kind: str
+
+    @property
+    def lock(self) -> str:
+        return self.c1.lock
+
+    @property
+    def is_ulcp(self) -> bool:
+        return self.kind in ULCP_KINDS
+
+    @property
+    def contended(self) -> bool:
+        """Did the second section actually wait while the first held the lock?"""
+        return (
+            self.c2.acquire.wait_time > 0
+            and self.c2.acquire.t_request < self.c1.t_end
+        )
+
+    @property
+    def region1(self) -> CodeRegion:
+        return self.c1.region
+
+    @property
+    def region2(self) -> CodeRegion:
+        return self.c2.region
+
+    def key(self) -> tuple:
+        return (self.c1.uid, self.c2.uid)
+
+    def __repr__(self):
+        return f"<UlcpPair {self.kind} {self.c1.uid}~{self.c2.uid} lock={self.lock}>"
+
+
+@dataclass
+class UlcpBreakdown:
+    """Per-category pair counts (one row of the paper's Table 1)."""
+
+    null_lock: int = 0
+    read_read: int = 0
+    disjoint_write: int = 0
+    benign: int = 0
+    tlcp: int = 0
+
+    @property
+    def total_ulcps(self) -> int:
+        return self.null_lock + self.read_read + self.disjoint_write + self.benign
+
+    def add(self, kind: str) -> None:
+        if kind == NULL_LOCK:
+            self.null_lock += 1
+        elif kind == READ_READ:
+            self.read_read += 1
+        elif kind == DISJOINT_WRITE:
+            self.disjoint_write += 1
+        elif kind == BENIGN:
+            self.benign += 1
+        elif kind == TLCP:
+            self.tlcp += 1
+        else:
+            raise ValueError(f"unknown ULCP kind {kind!r}")

@@ -1,0 +1,9 @@
+"""Baselines the paper compares against (dynamic ULCP elimination)."""
+
+from repro.baselines.lock_elision import (
+    ABORT_PENALTY_FACTOR,
+    elision_programs,
+    replay_lock_elision,
+)
+
+__all__ = ["replay_lock_elision", "elision_programs", "ABORT_PENALTY_FACTOR"]

@@ -1,0 +1,108 @@
+"""Speculative lock elision (Rajwar & Goodman) as a trace-replay baseline.
+
+LE executes critical sections speculatively without taking the lock and
+falls back to acquisition on a data conflict.  On the simulator this is
+modelled at the trace level:
+
+* a critical section with no true conflict (no causal edge in the
+  topology) runs lock-free — its lock/unlock events are elided;
+* a conflicting section first *aborts* (wasting a rollback penalty
+  proportional to the work it speculated) and then re-executes with the
+  lock, reproducing LE's known weakness — the paper's motivation for
+  letting programmers fix ULCPs instead (§2.2, §7.1).
+
+Unlike PERFPLAY's transformation, LE gives no debugging output; this
+module exists for head-to-head benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.sections import CriticalSection
+from repro.analysis.topology import Topology
+from repro.analysis.transform import TransformResult
+from repro.replay.collector import TimestampCollector
+from repro.replay.programs import _base_request
+from repro.replay.results import ReplayResult
+from repro.sim import requests as rq
+from repro.sim.machine import Machine
+from repro.trace.events import ACQUIRE, RELEASE, TraceEvent
+from repro.trace.trace import Trace
+
+#: An aborted speculation wastes this fraction of the section's body work
+#: (one failed attempt plus rollback bookkeeping).
+ABORT_PENALTY_FACTOR = 1.0
+
+
+def _conflicting_cs_uids(topology: Topology) -> set:
+    """Sections participating in any causal (true-conflict) edge."""
+    uids = set()
+    for src, dst in topology.causal_edges():
+        uids.add(src)
+        uids.add(dst)
+    return uids
+
+
+def _elided_thread(
+    events: List[TraceEvent],
+    sections_by_acquire: Dict[str, CriticalSection],
+    sections_by_release: Dict[str, CriticalSection],
+    conflicting: set,
+) -> Iterator:
+    for event in events:
+        if event.kind == ACQUIRE:
+            cs = sections_by_acquire[event.uid]
+            if cs.uid in conflicting:
+                # failed speculation: wasted body work, then take the lock
+                penalty = int(cs.duration * ABORT_PENALTY_FACTOR)
+                if penalty:
+                    yield rq.Compute(penalty, site=event.site)
+                yield rq.Acquire(
+                    lock=event.lock, spin=event.spin, site=event.site, uid=event.uid
+                )
+            # non-conflicting: elided entirely
+        elif event.kind == RELEASE:
+            cs = sections_by_release.get(event.uid)
+            if cs is not None and cs.uid in conflicting:
+                yield rq.Release(lock=event.lock, site=event.site, uid=event.uid)
+        else:
+            request = _base_request(event)
+            if request is not None:
+                yield request
+
+
+def elision_programs(result: TransformResult) -> List[Tuple[Iterator, str]]:
+    """Replayable LE programs for a transformed analysis result."""
+    conflicting = _conflicting_cs_uids(result.topology)
+    by_acquire = {cs.uid: cs for cs in result.sections}
+    by_release = {cs.release.uid: cs for cs in result.sections}
+    return [
+        (_elided_thread(events, by_acquire, by_release, conflicting), tid)
+        for tid, events in result.original.threads.items()
+    ]
+
+
+def replay_lock_elision(result: TransformResult, *, seed: int = 0) -> ReplayResult:
+    """Replay the original trace under the lock-elision model."""
+    trace: Trace = result.original
+    collector = TimestampCollector()
+    machine = Machine(
+        num_cores=trace.meta.num_cores,
+        observer=collector,
+        lock_cost=trace.meta.lock_cost,
+        mem_cost=trace.meta.mem_cost,
+    )
+    for program, tid in elision_programs(result):
+        machine.add_thread(program, name=tid)
+    machine_result = machine.run()
+    return ReplayResult(
+        scheme="lock-elision",
+        seed=seed,
+        end_time=machine_result.end_time,
+        machine_result=machine_result,
+        timestamps=collector.timestamps,
+        thread_start=collector.thread_start,
+        thread_end=collector.thread_end,
+        final_memory=machine.memory.snapshot(),
+    )

@@ -1,0 +1,353 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show registered workloads (by category) and experiment names.
+``record WORKLOAD -o TRACE``
+    Record a workload execution into a JSONL trace file.
+``replay TRACE [--scheme S] [--runs N]``
+    Replay a trace under one of the four schemes; prints timing stats.
+``transform TRACE [-o OUT]``
+    Run the ULCP transformation; prints the breakdown and plan summary.
+``debug WORKLOAD | debug --trace TRACE``
+    Full PERFPLAY pipeline; prints the recommendation report.
+``timeline TRACE``
+    ASCII per-thread activity lanes.
+``experiment NAME``
+    Regenerate one of the paper's tables/figures (or ``all``).
+``sensitivity WORKLOAD``
+    Cross-input robustness classification of the recommendations.
+``stats TRACE`` / ``locks TRACE``
+    Structural summary / per-lock contention profile of a trace.
+``advise WORKLOAD`` / ``fix WORKLOAD --lock L --fix F``
+    Per-category fix strategies with measured gains; apply one and verify.
+``selfcheck WORKLOAD``
+    Verify the pipeline invariants (determinism, exact ELSC replay, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perfdebug.framework import PerfPlay
+from repro.replay.replayer import Replayer
+from repro.replay.schemes import ALL_SCHEMES, ELSC_S
+from repro.trace import serialize
+from repro.workloads import get_workload, workload_names
+
+
+def _add_workload_options(parser):
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--input-size", default="simlarge",
+                        choices=("simsmall", "simmedium", "simlarge"))
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _workload_from(args):
+    return get_workload(
+        args.workload,
+        threads=args.threads,
+        input_size=args.input_size,
+        scale=args.scale,
+        seed=args.seed,
+    )
+
+
+def cmd_list(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    print("real-world workloads:")
+    for name in workload_names(category="realworld"):
+        print(f"  {name}")
+    print("PARSEC workloads:")
+    for name in workload_names(category="parsec"):
+        print(f"  {name}")
+    print("bug cases:")
+    for name in workload_names(category="bug"):
+        print(f"  {name}")
+    print("experiments:")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_record(args) -> int:
+    workload = _workload_from(args)
+    recorded = workload.record()
+    serialize.dump(recorded.trace, args.output)
+    print(
+        f"recorded {args.workload}: {len(recorded.trace)} events, "
+        f"{recorded.recorded_time} ns -> {args.output}"
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    trace = serialize.load(args.trace)
+    replayer = Replayer(jitter=args.jitter)
+    series = replayer.replay_many(
+        trace, scheme=args.scheme, runs=args.runs, base_seed=args.seed
+    )
+    summary = series.summary()
+    print(f"scheme={args.scheme} runs={args.runs}")
+    print(f"recorded time : {trace.end_time} ns")
+    print(f"mean replay   : {summary.mean:.0f} ns")
+    print(f"stdev         : {summary.stdev:.1f} ns")
+    print(f"spread        : {summary.spread} ns")
+    return 0
+
+
+def cmd_transform(args) -> int:
+    from repro.analysis.transform import transform
+
+    trace = serialize.load(args.trace)
+    result = transform(trace)
+    breakdown = result.analysis.breakdown
+    print(f"critical sections : {len(result.sections)}")
+    print(
+        "ULCP pairs        : "
+        f"null-lock={breakdown.null_lock} read-read={breakdown.read_read} "
+        f"disjoint-write={breakdown.disjoint_write} benign={breakdown.benign} "
+        f"(TLCP={breakdown.tlcp})"
+    )
+    print(f"causal edges      : {len(result.topology.causal_edges())}")
+    print(f"order edges       : {len(result.topology.order_edges())}")
+    print(f"removed sections  : {result.removed_sections}")
+    print(f"auxiliary locks   : {len(result.plan.aux_locks)}")
+    if args.output:
+        serialize.dump(result.trace, args.output)
+        print(f"ULCP-free trace -> {args.output}")
+    return 0
+
+
+def cmd_debug(args) -> int:
+    perfplay = PerfPlay(jitter=args.jitter)
+    if args.trace:
+        trace = serialize.load(args.trace)
+        report = perfplay.analyze(trace, seed=args.seed)
+    else:
+        if not args.workload:
+            print("debug: need a WORKLOAD or --trace FILE", file=sys.stderr)
+            return 2
+        workload = _workload_from(args)
+        report = perfplay.analyze(workload.record().trace, seed=args.seed)
+    print(report.render())
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.trace.render import render_timeline
+
+    trace = serialize.load(args.trace)
+    print(render_timeline(trace, width=args.width))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.trace.stats import trace_stats
+
+    trace = serialize.load(args.trace)
+    print(trace_stats(trace).render())
+    return 0
+
+
+def cmd_advise(args) -> int:
+    from repro.perfdebug.advisor import advise
+
+    if args.trace:
+        trace = serialize.load(args.trace)
+    else:
+        if not args.workload:
+            print("advise: need a WORKLOAD or --trace FILE", file=sys.stderr)
+            return 2
+        trace = _workload_from(args).record().trace
+    print(advise(trace).render())
+    return 0
+
+
+def cmd_locks(args) -> int:
+    from repro.perfdebug.lockstats import profile_locks, render_lock_profiles
+
+    trace = serialize.load(args.trace)
+    print(render_lock_profiles(profile_locks(trace), limit=args.limit))
+    return 0
+
+
+def cmd_fix(args) -> int:
+    from repro.perfdebug.rewrite import FIXES, try_fix
+
+    if args.trace:
+        trace = serialize.load(args.trace)
+    else:
+        if not args.workload:
+            print("fix: need a WORKLOAD or --trace FILE", file=sys.stderr)
+            return 2
+        trace = _workload_from(args).record().trace
+    if args.fix not in FIXES:
+        print(f"unknown fix {args.fix!r}; known: {', '.join(sorted(FIXES))}",
+              file=sys.stderr)
+        return 2
+    outcome = try_fix(trace, args.lock, args.fix)
+    print(outcome)
+    return 0
+
+
+def cmd_selfcheck(args) -> int:
+    from repro.selfcheck import run_selfcheck
+
+    if args.trace:
+        report = run_selfcheck(trace=serialize.load(args.trace))
+    else:
+        if not args.workload:
+            print("selfcheck: need a WORKLOAD or --trace FILE", file=sys.stderr)
+            return 2
+        report = run_selfcheck(_workload_from(args))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_compare(args) -> int:
+    from repro.perfdebug.compare import compare_reports
+
+    perfplay = PerfPlay()
+    before = perfplay.analyze(serialize.load(args.before))
+    after = perfplay.analyze(serialize.load(args.after))
+    comparison = compare_reports(before, after)
+    print(comparison.render())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if args.name == "all":
+        names = list(ALL_EXPERIMENTS)
+    elif args.name in ALL_EXPERIMENTS:
+        names = [args.name]
+    else:
+        print(f"unknown experiment {args.name!r}; known: "
+              f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    for name in names:
+        ALL_EXPERIMENTS[name].main()
+        print()
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    from repro.perfdebug.sensitivity import sweep
+
+    result = sweep(
+        args.workload,
+        thread_counts=tuple(args.threads_list),
+        input_sizes=tuple(args.sizes),
+        scale=args.scale,
+    )
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PERFPLAY reproduction: replay-based ULCP debugging",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads and experiments")
+
+    p = sub.add_parser("record", help="record a workload into a trace file")
+    p.add_argument("workload")
+    _add_workload_options(p)
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("replay", help="replay a trace file")
+    p.add_argument("trace")
+    p.add_argument("--scheme", default=ELSC_S, choices=ALL_SCHEMES)
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jitter", type=float, default=0.02)
+
+    p = sub.add_parser("transform", help="ULCP-transform a trace file")
+    p.add_argument("trace")
+    p.add_argument("-o", "--output")
+
+    p = sub.add_parser("debug", help="full PERFPLAY pipeline")
+    p.add_argument("workload", nargs="?")
+    p.add_argument("--trace")
+    _add_workload_options(p)
+    p.add_argument("--jitter", type=float, default=0.0)
+
+    p = sub.add_parser("timeline", help="ASCII timeline of a trace")
+    p.add_argument("trace")
+    p.add_argument("--width", type=int, default=72)
+
+    p = sub.add_parser("stats", help="structural summary of a trace")
+    p.add_argument("trace")
+
+    p = sub.add_parser("advise", help="per-category fix strategies with gains")
+    p.add_argument("workload", nargs="?")
+    p.add_argument("--trace")
+    _add_workload_options(p)
+
+    p = sub.add_parser("locks", help="per-lock contention profile of a trace")
+    p.add_argument("trace")
+    p.add_argument("--limit", type=int, default=10)
+
+    p = sub.add_parser("fix", help="apply a suggested fix to a trace and measure")
+    p.add_argument("workload", nargs="?")
+    p.add_argument("--trace")
+    p.add_argument("--lock", required=True)
+    p.add_argument("--fix", required=True)
+    _add_workload_options(p)
+
+    p = sub.add_parser("compare", help="diff two traces' debug reports (before/after a fix)")
+    p.add_argument("before")
+    p.add_argument("after")
+
+    p = sub.add_parser("selfcheck", help="verify pipeline invariants on an input")
+    p.add_argument("workload", nargs="?")
+    p.add_argument("--trace")
+    _add_workload_options(p)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name")
+
+    p = sub.add_parser("sensitivity", help="cross-input robustness sweep")
+    p.add_argument("workload")
+    p.add_argument("--threads-list", type=int, nargs="+", default=[2, 4])
+    p.add_argument("--sizes", nargs="+", default=["simsmall", "simlarge"])
+    p.add_argument("--scale", type=float, default=1.0)
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "record": cmd_record,
+    "replay": cmd_replay,
+    "transform": cmd_transform,
+    "debug": cmd_debug,
+    "timeline": cmd_timeline,
+    "stats": cmd_stats,
+    "advise": cmd_advise,
+    "locks": cmd_locks,
+    "fix": cmd_fix,
+    "compare": cmd_compare,
+    "selfcheck": cmd_selfcheck,
+    "experiment": cmd_experiment,
+    "sensitivity": cmd_sensitivity,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

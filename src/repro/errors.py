@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event machine reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """No thread can make progress but some threads are not finished."""
+
+    def __init__(self, blocked_threads, now):
+        self.blocked_threads = list(blocked_threads)
+        self.now = now
+        names = ", ".join(str(t) for t in self.blocked_threads)
+        super().__init__(f"deadlock at t={now}: blocked threads [{names}]")
+
+
+class TraceError(ReproError):
+    """A trace is malformed or violates well-formedness invariants."""
+
+
+class TransformError(ReproError):
+    """ULCP transformation could not be applied to a trace."""
+
+
+class ReplayError(ReproError):
+    """A replay diverged from the trace or its enforcement scheme."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured with invalid parameters."""

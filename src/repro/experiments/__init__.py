@@ -1,0 +1,49 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+=============  ==========================================================
+``table1``     ULCP breakdown per application (2 threads)
+``figure2``    #ULCPs vs thread count (openldap/pbzip2/bodytrack)
+``figure13``   replay fidelity of MEM-S / SYNC-S / ELSC-S / ORIG-S
+``figure14``   normalized exec time with/without ULCPs (all 16 apps)
+``table2``     fused ULCP groups + best region's P
+``table3``     lockset overhead w/o vs w/ dynamic locking
+``figure15``   impact vs thread count (canneal/bodytrack/fluidanimate)
+``figure16``   impact vs input size (same apps)
+``figure19``   BUG 1 / BUG 2 sensitivity, original vs fixed
+``ablations``  design-choice ablations (ELSC, RULE 2, benign, elision)
+=============  ==========================================================
+
+Run any module directly: ``python -m repro.experiments.table1``.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    contention_sweep,
+    figure2,
+    figure13,
+    stability,
+    figure14,
+    figure15,
+    figure16,
+    figure19,
+    table1,
+    table2,
+    table3,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "figure2": figure2,
+    "figure13": figure13,
+    "figure14": figure14,
+    "table2": table2,
+    "table3": table3,
+    "figure15": figure15,
+    "figure16": figure16,
+    "figure19": figure19,
+    "ablations": ablations,
+    "contention_sweep": contention_sweep,
+    "stability": stability,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

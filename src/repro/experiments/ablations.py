@@ -1,0 +1,124 @@
+"""Ablations of PERFPLAY's design choices (beyond the paper's tables).
+
+* **ELSC off** — replay stability collapses without the enforced lock
+  serialization (ORIG-S spread vs ELSC-S spread).
+* **RULE 2 off** — dropping the partial-order edges leaves the
+  transformed replay under-constrained; sections that conflicted in the
+  original may reorder between replays.
+* **Benign detection off** — every conflicting pair counts as a TLCP,
+  keeping causal edges the reversed replay would have removed (lost
+  optimization opportunity, measured as extra transformed-replay time).
+* **Lock elision** — the dynamic baseline: eliminates ULCP serialization
+  at runtime but pays abort/rollback penalties on every true conflict
+  and produces no debugging output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis import transform
+from repro.baselines import replay_lock_elision
+from repro.experiments.runner import format_table
+from repro.replay import ELSC_S, ORIG_S, Replayer
+from repro.workloads import get_workload
+
+DEFAULT_APPS = ("openldap", "pbzip2", "fluidanimate")
+
+
+@dataclass
+class AblationRow:
+    app: str
+    elsc_spread: float
+    orig_spread: float
+    free_time_rule2: int
+    free_time_no_rule2: int
+    free_time_no_benign: int
+    elision_time: int
+    elsc_time: int
+
+
+@dataclass
+class AblationResult:
+    rows_by_app: Dict[str, AblationRow] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        return [
+            [
+                r.app,
+                f"{r.orig_spread / 1000:.1f}us",
+                f"{r.elsc_spread / 1000:.1f}us",
+                r.free_time_rule2,
+                r.free_time_no_rule2,
+                r.free_time_no_benign,
+                r.elision_time,
+                r.elsc_time,
+            ]
+            for r in self.rows_by_app.values()
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "app",
+                "ORIG spread",
+                "ELSC spread",
+                "free(R2)",
+                "free(noR2)",
+                "free(noBenign)",
+                "lock-elision",
+                "original",
+            ],
+            self.rows(),
+            title="Ablations: enforcement, RULE 2, benign detection, elision",
+        )
+
+
+def run(
+    *,
+    apps: Sequence[str] = DEFAULT_APPS,
+    threads: int = 4,
+    scale: float = 1.0,
+    seed: int = 0,
+    replays: int = 6,
+) -> AblationResult:
+    result = AblationResult()
+    noisy = Replayer(jitter=0.02)
+    clean = Replayer(jitter=0.0)
+    for app in apps:
+        recorded = get_workload(app, threads=threads, scale=scale, seed=seed).record()
+        trace = recorded.trace
+
+        orig_series = noisy.replay_many(trace, scheme=ORIG_S, runs=replays)
+        elsc_series = noisy.replay_many(trace, scheme=ELSC_S, runs=replays)
+
+        with_rule2 = transform(trace, order_edges=True)
+        without_rule2 = transform(trace, order_edges=False)
+        without_benign = transform(trace, benign_detection=False)
+
+        free_r2 = clean.replay_transformed(with_rule2).end_time
+        free_no_r2 = clean.replay_transformed(without_rule2).end_time
+        free_no_benign = clean.replay_transformed(without_benign).end_time
+        elision = replay_lock_elision(with_rule2).end_time
+        original = clean.replay(trace, scheme=ELSC_S).end_time
+
+        result.rows_by_app[app] = AblationRow(
+            app=app,
+            elsc_spread=elsc_series.summary().spread,
+            orig_spread=orig_series.summary().spread,
+            free_time_rule2=free_r2,
+            free_time_no_rule2=free_no_r2,
+            free_time_no_benign=free_no_benign,
+            elision_time=elision,
+            elsc_time=original,
+        )
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Extra experiment: ULCP cost as a function of lock utilization.
+
+Not a paper figure — a characterization of the substrate: sweeping the
+critical-section duty cycle of a pure read-read workload shows how the
+removable serialization grows with contention.  Used to sanity-check the
+calibration of the application models (their Figure 14 numbers must sit
+on this curve at their measured utilizations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.experiments.runner import format_table, percent
+from repro.perfdebug.framework import PerfPlay
+from repro.workloads.synthetic import TunableContention
+
+
+@dataclass
+class SweepPoint:
+    utilization: float
+    degradation: float
+    pairs: int
+    contention_rate: float
+
+
+@dataclass
+class ContentionSweepResult:
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def rows(self) -> List[List]:
+        return [
+            [f"{p.utilization:.2f}", percent(p.degradation), p.pairs,
+             percent(p.contention_rate)]
+            for p in self.points
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            ["utilization", "degradation", "pairs", "contended"],
+            self.rows(),
+            title="Contention sweep: removable ULCP cost vs lock duty cycle",
+        )
+
+    def is_monotone(self) -> bool:
+        degradations = [p.degradation for p in self.points]
+        return all(b >= a - 0.01 for a, b in zip(degradations, degradations[1:]))
+
+
+def run(
+    *,
+    utilizations: Sequence[float] = (0.1, 0.2, 0.35, 0.5, 0.65, 0.8),
+    threads: int = 2,
+    rounds: int = 25,
+    seed: int = 0,
+) -> ContentionSweepResult:
+    result = ContentionSweepResult()
+    perfplay = PerfPlay()
+    for utilization in utilizations:
+        workload = TunableContention(
+            utilization=utilization, rounds=rounds, threads=threads, seed=seed
+        )
+        recorded = workload.record()
+        report = perfplay.analyze(recorded.trace, seed=seed)
+        hot = recorded.machine_result.locks.get("hot")
+        contention = (
+            hot.contended_acquisitions / hot.acquisitions if hot else 0.0
+        )
+        result.points.append(
+            SweepPoint(
+                utilization=utilization,
+                degradation=report.normalized_degradation,
+                pairs=report.breakdown.total_ulcps,
+                contention_rate=contention,
+            )
+        )
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Figure 13 — Performance fidelity of the four replay schemes.
+
+Each PARSEC trace is replayed ten times under MEM-S, SYNC-S, ELSC-S and
+ORIG-S.  The paper's claims, all checked here:
+
+* MEM-S and SYNC-S are deterministic (small error bars) but *slow* —
+  both add enforcement cost over the original execution;
+* ORIG-S matches the original time on average but fluctuates run to run
+  (large error bars);
+* ELSC-S is both stable *and* matches ORIG-S's mean: fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import format_table
+from repro.replay import ALL_SCHEMES, Replayer
+from repro.util.stats import Summary
+from repro.workloads import get_workload, workload_names
+
+#: replay noise: deterministic schemes must stay stable despite it
+DEFAULT_JITTER = 0.02
+
+
+@dataclass
+class Figure13Result:
+    #: app -> scheme -> Summary over replays
+    series: Dict[str, Dict[str, Summary]] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        rows = []
+        for app, by_scheme in self.series.items():
+            row = [app]
+            for scheme in ALL_SCHEMES:
+                summary = by_scheme[scheme]
+                row.append(
+                    f"{summary.mean / 1e6:.2f}ms±{summary.stdev / 1e3:.1f}us"
+                )
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        return format_table(
+            ["app"] + list(ALL_SCHEMES),
+            self.rows(),
+            title="Figure 13: replay time mean±stdev per scheme (10 replays)",
+        )
+
+    def stability(self, app: str, scheme: str) -> float:
+        return self.series[app][scheme].cv
+
+
+def run(
+    *,
+    apps: Sequence[str] = None,
+    threads: int = 4,
+    input_size: str = "simlarge",
+    scale: float = 1.0,
+    seed: int = 0,
+    replays: int = 10,
+    jitter: float = DEFAULT_JITTER,
+) -> Figure13Result:
+    if apps is None:
+        apps = workload_names(category="parsec")
+    replayer = Replayer(jitter=jitter)
+    result = Figure13Result()
+    for app in apps:
+        recorded = get_workload(
+            app, threads=threads, input_size=input_size, scale=scale, seed=seed
+        ).record()
+        by_scheme: Dict[str, Summary] = {}
+        for scheme in ALL_SCHEMES:
+            series = replayer.replay_many(
+                recorded.trace, scheme=scheme, runs=replays, base_seed=seed
+            )
+            by_scheme[scheme] = series.summary()
+        result.series[app] = by_scheme
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Figure 14 — Normalized execution time with and without ULCPs.
+
+For all 16 applications (two threads): replay the original and ULCP-free
+traces, report the normalized performance degradation (T_pd / T_real)
+and the normalized CPU wasting per thread (T_rw / N / T_real).  The
+paper's shape: blackscholes/canneal/streamcluster/swaptions ≈ 0; the
+ULCP-heavy apps improve by single-digit to ~11 percent; facesim beats
+fluidanimate despite fewer ULCPs (bigger critical sections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.experiments.runner import bar_chart, debug_app, format_table, percent
+from repro.workloads import TABLE1_ORDER
+
+
+@dataclass
+class Figure14Row:
+    app: str
+    degradation: float      # T_pd / T_real
+    cpu_waste_per_thread: float  # (T_rw / N) / T_real
+    total_ulcps: int
+
+
+@dataclass
+class Figure14Result:
+    rows_by_app: Dict[str, Figure14Row] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        return [
+            [r.app, percent(r.degradation), percent(r.cpu_waste_per_thread), r.total_ulcps]
+            for r in self.rows_by_app.values()
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            ["app", "perf degradation", "CPU waste/thread", "#ULCPs"],
+            self.rows(),
+            title="Figure 14: normalized ULCP performance impact (2 threads)",
+        )
+
+    def average_degradation(self) -> float:
+        rows = list(self.rows_by_app.values())
+        return sum(r.degradation for r in rows) / len(rows)
+
+
+def run(
+    *, threads: int = 2, scale: float = 1.0, seed: int = 0
+) -> Figure14Result:
+    result = Figure14Result()
+    for app in TABLE1_ORDER:
+        run_ = debug_app(app, threads=threads, scale=scale, seed=seed)
+        report = run_.report
+        result.rows_by_app[app] = Figure14Row(
+            app=app,
+            degradation=report.normalized_degradation,
+            cpu_waste_per_thread=report.normalized_cpu_waste_per_thread,
+            total_ulcps=report.breakdown.total_ulcps,
+        )
+    return result
+
+
+def main():
+    result = run()
+    print(result.render())
+    print()
+    print(bar_chart(
+        [(r.app, r.degradation) for r in result.rows_by_app.values()],
+        title="performance degradation (bar view)",
+    ))
+    print(f"average degradation: {percent(result.average_degradation())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Figure 15 — ULCP impact vs. thread count (canneal/bodytrack/fluidanimate).
+
+The paper's shape: performance loss *increases* with the thread count
+(more threads re-execute the same ULCP-producing code) while the CPU
+wasting per thread stays roughly flat; canneal shows nothing at any
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import debug_app, format_table, percent
+
+APPS = ("canneal", "bodytrack", "fluidanimate")
+DEFAULT_THREADS = (2, 4, 6, 8)
+
+
+@dataclass
+class Figure15Result:
+    thread_counts: Sequence[int]
+    #: app -> [normalized degradation per thread count]
+    loss: Dict[str, List[float]] = field(default_factory=dict)
+    #: app -> [normalized CPU waste per thread]
+    waste: Dict[str, List[float]] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        rows = []
+        for app in self.loss:
+            rows.append(
+                [app, "loss"] + [percent(v) for v in self.loss[app]]
+            )
+            rows.append(
+                [app, "waste/thr"] + [percent(v) for v in self.waste[app]]
+            )
+        return rows
+
+    def render(self) -> str:
+        headers = ["app", "metric"] + [f"{n}t" for n in self.thread_counts]
+        return format_table(
+            headers, self.rows(),
+            title="Figure 15: ULCP impact vs thread count",
+        )
+
+
+def run(
+    *,
+    apps: Sequence[str] = APPS,
+    thread_counts: Sequence[int] = DEFAULT_THREADS,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Figure15Result:
+    result = Figure15Result(thread_counts=list(thread_counts))
+    for app in apps:
+        losses, wastes = [], []
+        for threads in thread_counts:
+            report = debug_app(app, threads=threads, scale=scale, seed=seed).report
+            losses.append(report.normalized_degradation)
+            wastes.append(report.normalized_cpu_waste_per_thread)
+        result.loss[app] = losses
+        result.waste[app] = wastes
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

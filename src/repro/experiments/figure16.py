@@ -1,0 +1,67 @@
+"""Figure 16 — ULCP impact vs. input size (canneal/bodytrack/fluidanimate).
+
+The paper's shape: both the normalized performance loss and the CPU
+wasting grow with the input size (bigger inputs re-execute the locking
+hot loops more, while fixed startup work stays constant); canneal stays
+at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import debug_app, format_table, percent
+
+APPS = ("canneal", "bodytrack", "fluidanimate")
+SIZES = ("simsmall", "simmedium", "simlarge")
+
+
+@dataclass
+class Figure16Result:
+    sizes: Sequence[str]
+    loss: Dict[str, List[float]] = field(default_factory=dict)
+    waste: Dict[str, List[float]] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        rows = []
+        for app in self.loss:
+            rows.append([app, "loss"] + [percent(v) for v in self.loss[app]])
+            rows.append([app, "waste/thr"] + [percent(v) for v in self.waste[app]])
+        return rows
+
+    def render(self) -> str:
+        headers = ["app", "metric"] + list(self.sizes)
+        return format_table(
+            headers, self.rows(), title="Figure 16: ULCP impact vs input size"
+        )
+
+
+def run(
+    *,
+    apps: Sequence[str] = APPS,
+    sizes: Sequence[str] = SIZES,
+    threads: int = 2,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Figure16Result:
+    result = Figure16Result(sizes=list(sizes))
+    for app in apps:
+        losses, wastes = [], []
+        for size in sizes:
+            report = debug_app(
+                app, threads=threads, input_size=size, scale=scale, seed=seed
+            ).report
+            losses.append(report.normalized_degradation)
+            wastes.append(report.normalized_cpu_waste_per_thread)
+        result.loss[app] = losses
+        result.waste[app] = wastes
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""Figure 19 — Sensitivity of the two exploited bugs (#BUG 1 and #BUG 2).
+
+Like §6.6, both bugs are re-implemented in a ULCP-free fashion (barrier
+for the openldap spin-wait, signal/wait for the pbzip2 join) and
+re-quantified by running the original and fixed variants:
+
+* #BUG 1's CPU waste per thread is roughly stable as threads grow;
+* #BUG 2's performance loss grows with the thread count;
+* both bugs' *normalized* impact declines as the input grows, because the
+  bug code runs a fixed number of times while the useful work scales —
+  the opposite trend of Figure 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import format_table, percent
+from repro.workloads import get_workload
+
+BUGS = ("bug1-openldap-spinwait", "bug2-pbzip2-join")
+DEFAULT_THREADS = (2, 4, 6, 8)
+SIZES = ("simsmall", "simmedium", "simlarge")
+
+
+@dataclass
+class BugMeasurement:
+    """Original-vs-fixed comparison of one configuration."""
+
+    threads: int
+    input_size: str
+    original_time: int
+    fixed_time: int
+    original_cpu: int
+    fixed_cpu: int
+
+    @property
+    def normalized_loss(self) -> float:
+        if self.original_time == 0:
+            return 0.0
+        return max(0.0, (self.original_time - self.fixed_time) / self.original_time)
+
+    @property
+    def normalized_waste_per_thread(self) -> float:
+        """CPU the bug burns that the fix does not, per thread, normalized.
+
+        Measured as the total-CPU delta between variants: the spin-wait's
+        polling work disappears entirely under the barrier fix."""
+        if self.original_time == 0:
+            return 0.0
+        waste = max(0, self.original_cpu - self.fixed_cpu) / self.threads
+        return waste / self.original_time
+
+
+def _measure(bug: str, *, threads: int, input_size: str, scale: float, seed: int) -> BugMeasurement:
+    # keep a core available for every thread (workers + the helper thread)
+    # so the measurement isolates the bug, not core oversubscription
+    num_cores = threads + 2
+    original = get_workload(
+        bug, threads=threads, input_size=input_size, scale=scale, seed=seed
+    ).record(num_cores=num_cores)
+    fixed = get_workload(
+        bug, threads=threads, input_size=input_size, scale=scale, seed=seed,
+        fixed=True,
+    ).record(num_cores=num_cores)
+    return BugMeasurement(
+        threads=threads,
+        input_size=input_size,
+        original_time=original.recorded_time,
+        fixed_time=fixed.recorded_time,
+        original_cpu=original.machine_result.total_cpu_ns,
+        fixed_cpu=fixed.machine_result.total_cpu_ns,
+    )
+
+
+@dataclass
+class Figure19Result:
+    thread_counts: Sequence[int]
+    sizes: Sequence[str]
+    #: bug -> [measurement per thread count] (at simlarge)
+    by_threads: Dict[str, List[BugMeasurement]] = field(default_factory=dict)
+    #: bug -> [measurement per input size] (at 2 threads)
+    by_size: Dict[str, List[BugMeasurement]] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        rows = []
+        for bug, series in self.by_threads.items():
+            rows.append(
+                [bug, "loss vs threads"]
+                + [percent(m.normalized_loss) for m in series]
+            )
+            rows.append(
+                [bug, "waste/thr vs threads"]
+                + [percent(m.normalized_waste_per_thread) for m in series]
+            )
+        for bug, series in self.by_size.items():
+            rows.append(
+                [bug, "loss vs size"]
+                + [percent(m.normalized_loss) for m in series]
+            )
+        return rows
+
+    def render(self) -> str:
+        width = max(len(self.thread_counts), len(self.sizes))
+        headers = ["bug", "metric"] + [f"x{i}" for i in range(width)]
+        return format_table(
+            headers, self.rows(),
+            title=(
+                "Figure 19: bug sensitivity "
+                f"(threads={list(self.thread_counts)}, sizes={list(self.sizes)})"
+            ),
+        )
+
+
+def run(
+    *,
+    thread_counts: Sequence[int] = DEFAULT_THREADS,
+    sizes: Sequence[str] = SIZES,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Figure19Result:
+    result = Figure19Result(thread_counts=list(thread_counts), sizes=list(sizes))
+    for bug in BUGS:
+        result.by_threads[bug] = [
+            _measure(bug, threads=n, input_size="simlarge", scale=scale, seed=seed)
+            for n in thread_counts
+        ]
+        result.by_size[bug] = [
+            _measure(bug, threads=2, input_size=size, scale=scale, seed=seed)
+            for size in sizes
+        ]
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

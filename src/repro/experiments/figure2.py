@@ -1,0 +1,68 @@
+"""Figure 2 — Number of ULCPs with increasing thread count.
+
+openldap, pbzip2 and bodytrack at 2..32 threads: ULCP counts grow close
+to proportionally with the thread count, because the pairs come from
+common code every thread re-executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis import analyze_pairs
+from repro.experiments.runner import format_table
+from repro.workloads import get_workload
+
+APPS = ("openldap", "pbzip2", "bodytrack")
+DEFAULT_THREADS = (2, 4, 8, 16, 32)
+
+
+@dataclass
+class Figure2Result:
+    thread_counts: Sequence[int]
+    #: app -> [total ULCPs per thread count]
+    series: Dict[str, List[int]] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        return [
+            [app] + counts for app, counts in self.series.items()
+        ]
+
+    def render(self) -> str:
+        headers = ["app"] + [f"{n}t" for n in self.thread_counts]
+        return format_table(
+            headers, self.rows(), title="Figure 2: #ULCPs vs thread count"
+        )
+
+    def growth_ratio(self, app: str) -> float:
+        """Last-point count divided by first-point count."""
+        series = self.series[app]
+        return series[-1] / series[0] if series[0] else float("inf")
+
+
+def run(
+    *,
+    thread_counts: Sequence[int] = DEFAULT_THREADS,
+    scale: float = 1.0,
+    seed: int = 0,
+    apps: Sequence[str] = APPS,
+) -> Figure2Result:
+    result = Figure2Result(thread_counts=list(thread_counts))
+    for app in apps:
+        counts = []
+        for threads in thread_counts:
+            recorded = get_workload(
+                app, threads=threads, scale=scale, seed=seed
+            ).record()
+            counts.append(analyze_pairs(recorded.trace).breakdown.total_ulcps)
+        result.series[app] = counts
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Shared plumbing for the experiment modules.
+
+Every experiment module exposes ``run(**params) -> <Result>`` returning a
+dataclass with ``rows()`` (machine-readable) and ``render()`` (the
+table/series the paper prints), plus a ``main()`` so it can be executed
+as ``python -m repro.experiments.<name>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.perfdebug.framework import DebugReport, PerfPlay
+from repro.workloads import get_workload
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def percent(value: float) -> str:
+    return f"{100 * value:.1f}%"
+
+
+def bar_chart(items, *, width: int = 36, formatter=percent, title: str = "") -> str:
+    """ASCII horizontal bars for (label, value) pairs — the closest a
+    terminal gets to the paper's bar figures."""
+    items = list(items)
+    if not items:
+        return title
+    peak = max(value for _label, value in items) or 1.0
+    label_width = max(len(str(label)) for label, _value in items)
+    lines = [title] if title else []
+    for label, value in items:
+        filled = int(round(width * max(0.0, value) / peak))
+        lines.append(
+            f"{str(label):>{label_width}} |{'#' * filled}{' ' * (width - filled)}| "
+            f"{formatter(value)}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class AppDebugRun:
+    """One app pushed through the full PERFPLAY pipeline."""
+
+    name: str
+    report: DebugReport
+
+
+def debug_app(
+    name: str,
+    *,
+    threads: int = 2,
+    input_size: str = "simlarge",
+    scale: float = 1.0,
+    seed: int = 0,
+    jitter: float = 0.0,
+    workload_kwargs: Optional[dict] = None,
+) -> AppDebugRun:
+    """Record a workload and run the whole debugging pipeline on it."""
+    workload = get_workload(
+        name,
+        threads=threads,
+        input_size=input_size,
+        scale=scale,
+        seed=seed,
+        **(workload_kwargs or {}),
+    )
+    recorded = workload.record()
+    perfplay = PerfPlay(jitter=jitter)
+    report = perfplay.analyze(recorded.trace, seed=seed)
+    return AppDebugRun(name=name, report=report)

@@ -1,0 +1,100 @@
+"""Extra experiment: recommendation stability across recording seeds.
+
+A debugging tool is only useful if its advice does not flip between
+runs.  For each app we record with several seeds, run the full pipeline,
+and measure (a) how often the per-seed top recommendation overlaps the
+consensus top region and (b) how many of the consensus regions persist
+across every seed.  PERFPLAY's determinism claim (ELSC, §5.2) is about
+one trace; this experiment quantifies the tool's robustness across
+*different* traces of the same program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import format_table, percent
+from repro.perfdebug.framework import PerfPlay
+from repro.perfdebug.multitrace import aggregate
+from repro.workloads import get_workload
+
+DEFAULT_APPS = ("openldap", "mysql", "pbzip2", "bodytrack", "fluidanimate")
+
+
+@dataclass
+class StabilityRow:
+    app: str
+    seeds: int
+    top1_agreement: float     # per-seed top matches consensus top
+    persistent_fraction: float  # consensus regions present in every seed
+    consensus_regions: int
+
+
+@dataclass
+class StabilityResult:
+    rows_by_app: Dict[str, StabilityRow] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        return [
+            [r.app, r.seeds, percent(r.top1_agreement),
+             percent(r.persistent_fraction), r.consensus_regions]
+            for r in self.rows_by_app.values()
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            ["app", "seeds", "top-1 agreement", "persistent", "#regions"],
+            self.rows(),
+            title="Recommendation stability across recording seeds",
+        )
+
+
+def run(
+    *,
+    apps: Sequence[str] = DEFAULT_APPS,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    threads: int = 2,
+    scale: float = 1.0,
+) -> StabilityResult:
+    result = StabilityResult()
+    perfplay = PerfPlay()
+    for app in apps:
+        reports = []
+        for seed in seeds:
+            recorded = get_workload(app, threads=threads, scale=scale,
+                                    seed=seed).record()
+            reports.append(perfplay.analyze(recorded.trace, seed=seed))
+        consensus = aggregate(reports)
+        ranked = consensus.ranked()
+        if not ranked:
+            result.rows_by_app[app] = StabilityRow(
+                app=app, seeds=len(seeds), top1_agreement=1.0,
+                persistent_fraction=1.0, consensus_regions=0,
+            )
+            continue
+        top = ranked[0]
+        agreements = 0
+        for report in reports:
+            best = report.most_beneficial
+            if best is None:
+                continue
+            if top.matches(best.group.cr1, best.group.cr2) is not None:
+                agreements += 1
+        persistent = [r for r in ranked if r.appearances >= len(seeds)]
+        result.rows_by_app[app] = StabilityRow(
+            app=app,
+            seeds=len(seeds),
+            top1_agreement=agreements / len(reports),
+            persistent_fraction=len(persistent) / len(ranked),
+            consensus_regions=len(ranked),
+        )
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Table 1 — Breakdown of ULCPs in real-world programs and PARSEC.
+
+For every application (two threads, the paper's configuration) this
+reports the dynamic lock count and the per-category ULCP pair counts.
+Counts are at the workload models' documented 1/100-per-thread scaling
+of the paper's raw numbers; the comparison target is the *shape*: which
+apps are zero, which categories dominate where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis import analyze_pairs
+from repro.analysis.ulcp import UlcpBreakdown
+from repro.experiments.runner import format_table
+from repro.workloads import TABLE1_ORDER, get_workload
+
+
+@dataclass
+class Table1Row:
+    app: str
+    locks: int
+    null_lock: int
+    read_read: int
+    disjoint_write: int
+    benign: int
+    tlcp: int
+
+    @property
+    def total_ulcps(self) -> int:
+        return self.null_lock + self.read_read + self.disjoint_write + self.benign
+
+
+@dataclass
+class Table1Result:
+    rows_by_app: Dict[str, Table1Row] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        return [
+            [r.app, r.locks, r.null_lock, r.read_read, r.disjoint_write, r.benign]
+            for r in self.rows_by_app.values()
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            ["app", "#locks", "NL", "RR", "DW", "benign"],
+            self.rows(),
+            title="Table 1: ULCP breakdown (2 threads)",
+        )
+
+
+def run(*, threads: int = 2, scale: float = 1.0, seed: int = 0) -> Table1Result:
+    result = Table1Result()
+    for app in TABLE1_ORDER:
+        recorded = get_workload(app, threads=threads, scale=scale, seed=seed).record()
+        analysis = analyze_pairs(recorded.trace)
+        breakdown: UlcpBreakdown = analysis.breakdown
+        locks = sum(len(uids) for uids in recorded.trace.lock_schedule.values())
+        result.rows_by_app[app] = Table1Row(
+            app=app,
+            locks=locks,
+            null_lock=breakdown.null_lock,
+            read_read=breakdown.read_read,
+            disjoint_write=breakdown.disjoint_write,
+            benign=breakdown.benign,
+            tlcp=breakdown.tlcp,
+        )
+    return result
+
+
+def main():
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

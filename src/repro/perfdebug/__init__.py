@@ -1,0 +1,67 @@
+"""Performance debugging: Eq. 1 metrics, fusion, ranking, the facade."""
+
+from repro.perfdebug.compare import ReportComparison, compare_reports
+from repro.perfdebug.framework import DebugReport, PerfPlay
+from repro.perfdebug.fusion import FusedUlcp, fuse
+from repro.perfdebug.metrics import (
+    AnchorResolver,
+    UlcpPerformance,
+    evaluate_pair,
+    evaluate_pairs,
+    performance_degradation,
+    resource_wasting,
+    spin_delta,
+)
+from repro.perfdebug.advisor import CATEGORY_FIXES, FixAdvice, FixEstimate, advise
+from repro.perfdebug.lockstats import LockProfile, profile_locks, render_lock_profiles
+from repro.perfdebug.multitrace import MultiTraceReport, RegionConsensus, aggregate
+from repro.perfdebug.recommend import Recommendation, recommend
+from repro.perfdebug.report import render_report
+from repro.perfdebug.rewrite import (
+    FIXES,
+    FixOutcome,
+    apply_atomic_fix,
+    apply_branch_fix,
+    apply_lock_split_fix,
+    apply_rwlock_fix,
+    try_fix,
+)
+from repro.perfdebug.sensitivity import SensitivityResult, sweep
+
+__all__ = [
+    "PerfPlay",
+    "DebugReport",
+    "AnchorResolver",
+    "UlcpPerformance",
+    "evaluate_pair",
+    "evaluate_pairs",
+    "performance_degradation",
+    "resource_wasting",
+    "spin_delta",
+    "FusedUlcp",
+    "fuse",
+    "Recommendation",
+    "recommend",
+    "render_report",
+    "compare_reports",
+    "ReportComparison",
+    "aggregate",
+    "MultiTraceReport",
+    "RegionConsensus",
+    "sweep",
+    "SensitivityResult",
+    "advise",
+    "FixAdvice",
+    "FixEstimate",
+    "CATEGORY_FIXES",
+    "profile_locks",
+    "LockProfile",
+    "render_lock_profiles",
+    "try_fix",
+    "FixOutcome",
+    "FIXES",
+    "apply_rwlock_fix",
+    "apply_lock_split_fix",
+    "apply_atomic_fix",
+    "apply_branch_fix",
+]

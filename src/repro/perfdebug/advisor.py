@@ -1,0 +1,139 @@
+"""The fix advisor: per-category fix strategies with measured gains.
+
+The paper's position (§1, §2.2) is that programmers — not speculative
+hardware — should fix ULCPs, and it names a fix per category: move the
+lock into the guarded branch for null-locks (Figure 3), barrier/rwlock
+rewrites for read-read spin patterns (Figure 4), per-object locks for
+disjoint writes, atomics for benign conflicts.
+
+``advise(trace)`` quantifies each strategy separately: it transforms the
+trace *restricted to one ULCP category* (every other pair keeps its
+original serialization), replays it, and reports the isolated gain —
+so a programmer knows which rewrite is worth doing first, not just which
+code region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.transform import transform
+from repro.analysis.ulcp import BENIGN, DISJOINT_WRITE, NULL_LOCK, READ_READ
+from repro.replay.replayer import Replayer
+from repro.replay.schemes import ELSC_S
+from repro.trace.trace import Trace
+
+#: the source-level rewrite the paper recommends per category
+CATEGORY_FIXES = {
+    NULL_LOCK: (
+        "move the lock/unlock into the branch that actually touches the "
+        "shared state (Figure 3), or drop the empty section"
+    ),
+    READ_READ: (
+        "use a readers-writer lock / RCU for the read-mostly data; for "
+        "spin-wait polling, a barrier or cond-wait (Figure 4 / #BUG 1)"
+    ),
+    DISJOINT_WRITE: (
+        "split the uniform-reference lock into per-object locks, or hash "
+        "the lock by the aliased target"
+    ),
+    BENIGN: (
+        "replace the mutex with lock-free atomics — the updates commute "
+        "(redundant stores / disjoint bits / commutative adds)"
+    ),
+}
+
+
+@dataclass
+class FixEstimate:
+    """Measured payoff of fixing one ULCP category."""
+
+    category: str
+    pairs: int
+    gain_ns: int
+    normalized_gain: float
+    suggestion: str
+
+    def __str__(self):
+        return (
+            f"[{self.category}] {self.pairs} pair(s), "
+            f"gain {self.gain_ns} ns ({self.normalized_gain:.1%}): "
+            f"{self.suggestion}"
+        )
+
+
+@dataclass
+class FixAdvice:
+    """All per-category estimates plus the all-categories bound."""
+
+    baseline_ns: int
+    total_gain_ns: int
+    estimates: List[FixEstimate] = field(default_factory=list)
+
+    @property
+    def best(self) -> Optional[FixEstimate]:
+        return self.estimates[0] if self.estimates else None
+
+    @property
+    def total_normalized_gain(self) -> float:
+        return self.total_gain_ns / self.baseline_ns if self.baseline_ns else 0.0
+
+    def render(self) -> str:
+        lines = [
+            "Fix advisor",
+            f"original execution: {self.baseline_ns} ns; fixing everything "
+            f"recovers {self.total_gain_ns} ns ({self.total_normalized_gain:.1%})",
+            "-" * 72,
+        ]
+        if not self.estimates:
+            lines.append("no ULCPs found: the locks are earning their keep")
+        for estimate in self.estimates:
+            lines.append(str(estimate))
+        return "\n".join(lines)
+
+
+def advise(
+    trace: Trace,
+    *,
+    seed: int = 0,
+    replayer: Replayer = None,
+    min_pairs: int = 1,
+) -> FixAdvice:
+    """Estimate the payoff of each category's fix on a recorded trace."""
+    replayer = replayer or Replayer(jitter=0.0)
+    baseline = replayer.replay(trace, scheme=ELSC_S, seed=seed)
+
+    full = transform(trace)
+    breakdown = full.analysis.breakdown
+    counts: Dict[str, int] = {
+        NULL_LOCK: breakdown.null_lock,
+        READ_READ: breakdown.read_read,
+        DISJOINT_WRITE: breakdown.disjoint_write,
+        BENIGN: breakdown.benign,
+    }
+    full_free = replayer.replay_transformed(full, seed=seed)
+    total_gain = max(0, baseline.end_time - full_free.end_time)
+
+    estimates: List[FixEstimate] = []
+    for category, pairs in counts.items():
+        if pairs < min_pairs:
+            continue
+        restricted = transform(trace, fix_categories={category})
+        free = replayer.replay_transformed(restricted, seed=seed)
+        gain = max(0, baseline.end_time - free.end_time)
+        estimates.append(
+            FixEstimate(
+                category=category,
+                pairs=pairs,
+                gain_ns=gain,
+                normalized_gain=gain / baseline.end_time if baseline.end_time else 0.0,
+                suggestion=CATEGORY_FIXES[category],
+            )
+        )
+    estimates.sort(key=lambda e: (-e.gain_ns, e.category))
+    return FixAdvice(
+        baseline_ns=baseline.end_time,
+        total_gain_ns=total_gain,
+        estimates=estimates,
+    )

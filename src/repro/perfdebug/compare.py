@@ -1,0 +1,145 @@
+"""Report comparison: did the fix help, and what should be fixed next?
+
+After a programmer applies a recommended fix, they re-record and re-run
+PERFPLAY.  ``compare_reports(before, after)`` diffs two debug reports:
+
+* whole-program movement (T_pd, end time, ULCP counts per category),
+* which recommended regions disappeared (fixed), shrank, grew, or are
+  new, matched by code-region overlap in either orientation.
+
+This closes the loop the paper leaves to the programmer: recommend →
+fix → *verify the fix landed* → next recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.perfdebug.framework import DebugReport
+from repro.perfdebug.fusion import FusedUlcp
+
+GONE = "fixed"
+SHRUNK = "shrunk"
+GREW = "grew"
+NEW = "new"
+UNCHANGED = "unchanged"
+
+
+@dataclass
+class RegionChange:
+    label: str
+    before_delta_t: int
+    after_delta_t: int
+    status: str
+
+    def __str__(self):
+        return (
+            f"[{self.status:9}] {self.label}: ΔT {self.before_delta_t} -> "
+            f"{self.after_delta_t}"
+        )
+
+
+@dataclass
+class ReportComparison:
+    before: DebugReport
+    after: DebugReport
+    changes: List[RegionChange] = field(default_factory=list)
+
+    @property
+    def end_time_change(self) -> float:
+        base = self.before.original_replay.end_time
+        if not base:
+            return 0.0
+        return (self.after.original_replay.end_time - base) / base
+
+    @property
+    def degradation_change(self) -> float:
+        return (
+            self.after.normalized_degradation
+            - self.before.normalized_degradation
+        )
+
+    @property
+    def fixed_regions(self) -> List[RegionChange]:
+        return [c for c in self.changes if c.status == GONE]
+
+    @property
+    def improved(self) -> bool:
+        """The headline: less removable ULCP cost than before."""
+        return self.after.t_pd < self.before.t_pd
+
+    def render(self) -> str:
+        lines = [
+            "Before/after comparison",
+            f"execution time : {self.before.original_replay.end_time} -> "
+            f"{self.after.original_replay.end_time} ns "
+            f"({self.end_time_change:+.1%})",
+            f"removable T_pd : {self.before.t_pd} -> {self.after.t_pd} ns",
+            f"ULCP pairs     : {self.before.breakdown.total_ulcps} -> "
+            f"{self.after.breakdown.total_ulcps}",
+            "-" * 64,
+        ]
+        for change in self.changes:
+            lines.append(str(change))
+        if self.after.recommendations:
+            lines.append(
+                f"next: {self.after.most_beneficial.where} "
+                f"(P={self.after.most_beneficial.p:.0%})"
+            )
+        else:
+            lines.append("next: nothing left to fix")
+        return "\n".join(lines)
+
+
+def _match(group: FusedUlcp, candidates: List[FusedUlcp]) -> Optional[FusedUlcp]:
+    for other in candidates:
+        straight = group.cr1.overlaps(other.cr1) and group.cr2.overlaps(other.cr2)
+        crossed = group.cr1.overlaps(other.cr2) and group.cr2.overlaps(other.cr1)
+        if straight or crossed:
+            return other
+    return None
+
+
+def compare_reports(before: DebugReport, after: DebugReport,
+                    *, tolerance: float = 0.15) -> ReportComparison:
+    """Diff two debug reports by fused code region."""
+    comparison = ReportComparison(before=before, after=after)
+    after_groups = list(after.fused)
+    matched_after = set()
+    for group in before.fused:
+        other = _match(group, after_groups)
+        if other is None:
+            status = GONE
+            after_delta = 0
+        else:
+            matched_after.add(id(other))
+            after_delta = other.delta_t
+            base = max(1, abs(group.delta_t))
+            ratio = (other.delta_t - group.delta_t) / base
+            if ratio < -tolerance:
+                status = SHRUNK
+            elif ratio > tolerance:
+                status = GREW
+            else:
+                status = UNCHANGED
+        comparison.changes.append(
+            RegionChange(
+                label=group.describe(),
+                before_delta_t=group.delta_t,
+                after_delta_t=after_delta,
+                status=status,
+            )
+        )
+    for other in after_groups:
+        if id(other) not in matched_after:
+            comparison.changes.append(
+                RegionChange(
+                    label=other.describe(),
+                    before_delta_t=0,
+                    after_delta_t=other.delta_t,
+                    status=NEW,
+                )
+            )
+    comparison.changes.sort(key=lambda c: -max(c.before_delta_t, c.after_delta_t))
+    return comparison

@@ -1,0 +1,167 @@
+"""The PERFPLAY facade: record → transform → replay → recommend.
+
+:class:`PerfPlay` strings the whole pipeline together (Figure 5):
+
+1. selective recording of the program into a trace,
+2. ULCP identification and trace transformation (Figure 6's four rules),
+3. replay of both traces under ELSC for performance fidelity,
+4. per-ULCP Eq. 1 deltas, Algorithm 2 fusion, Eq. 2 ranking.
+
+If the original and ULCP-free replays disagree on final memory, the
+report carries the interleaving-sensitive data races found by the
+happens-before pass over the transformed trace (Theorem 1's fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.transform import TransformResult, transform
+from repro.analysis.ulcp import UlcpBreakdown
+from repro.perfdebug.fusion import FusedUlcp, fuse
+from repro.perfdebug.metrics import (
+    UlcpPerformance,
+    evaluate_pairs,
+    performance_degradation,
+    resource_wasting,
+    spin_delta,
+)
+from repro.perfdebug.recommend import Recommendation, recommend
+from repro.record.recorder import Recorder
+from repro.replay.replayer import Replayer
+from repro.replay.results import ReplayResult
+from repro.replay.schemes import ELSC_S
+from repro.trace.trace import Trace
+
+
+@dataclass
+class DebugReport:
+    """Everything one PERFPLAY debugging session produced."""
+
+    trace: Trace
+    transform_result: TransformResult
+    original_replay: ReplayResult
+    free_replay: ReplayResult
+    pair_performances: List[UlcpPerformance]
+    fused: List[FusedUlcp]
+    recommendations: List[Recommendation]
+    t_pd: int
+    t_rw: int
+    data_races: List = field(default_factory=list)
+
+    @property
+    def breakdown(self) -> UlcpBreakdown:
+        return self.transform_result.analysis.breakdown
+
+    @property
+    def normalized_degradation(self) -> float:
+        """T_pd / T_real: Figure 14's "performance degradation" bar."""
+        if self.original_replay.end_time == 0:
+            return 0.0
+        return max(0.0, self.t_pd / self.original_replay.end_time)
+
+    @property
+    def cpu_waste_per_thread(self) -> float:
+        """T_rw / N_threads (the paper's per-thread CPU wasting metric)."""
+        n = len(self.trace.thread_ids)
+        return self.t_rw / n if n else 0.0
+
+    @property
+    def normalized_cpu_waste_per_thread(self) -> float:
+        if self.original_replay.end_time == 0:
+            return 0.0
+        return self.cpu_waste_per_thread / self.original_replay.end_time
+
+    @property
+    def spin_waste_removed(self) -> int:
+        """Directly measured spin-time reduction (simulator ground truth)."""
+        return spin_delta(self.original_replay, self.free_replay)
+
+    @property
+    def most_beneficial(self) -> Optional[Recommendation]:
+        return self.recommendations[0] if self.recommendations else None
+
+    def render(self) -> str:
+        from repro.perfdebug.report import render_report
+
+        return render_report(self)
+
+
+class PerfPlay:
+    """End-to-end performance debugging of ULCPs."""
+
+    def __init__(
+        self,
+        *,
+        num_cores: int = 8,
+        lock_cost: int = None,
+        mem_cost: int = None,
+        jitter: float = 0.0,
+        benign_detection: bool = True,
+        order_edges: bool = True,
+    ):
+        from repro.sim.timebase import DEFAULT_LOCK_COST, DEFAULT_MEM_COST
+
+        self.recorder = Recorder(
+            num_cores=num_cores,
+            lock_cost=DEFAULT_LOCK_COST if lock_cost is None else lock_cost,
+            mem_cost=DEFAULT_MEM_COST if mem_cost is None else mem_cost,
+        )
+        self.replayer = Replayer(jitter=jitter)
+        self.benign_detection = benign_detection
+        self.order_edges = order_edges
+
+    # ------------------------------------------------------------ pipeline
+
+    def record(self, programs, *, name: str = "", seed: int = 0,
+               params: Optional[dict] = None,
+               semaphores: Optional[Dict[str, int]] = None):
+        """Step 1: record the program execution into a trace."""
+        return self.recorder.record(
+            programs, name=name, seed=seed, params=params, semaphores=semaphores
+        )
+
+    def analyze(self, trace: Trace, *, seed: int = 0) -> DebugReport:
+        """Steps 2-4: transform, replay both traces, score and rank."""
+        result = transform(
+            trace,
+            benign_detection=self.benign_detection,
+            order_edges=self.order_edges,
+        )
+        original_replay = self.replayer.replay(trace, scheme=ELSC_S, seed=seed)
+        free_replay = self.replayer.replay_transformed(result, seed=seed)
+
+        performances = evaluate_pairs(result, original_replay, free_replay)
+        fused = fuse(performances)
+        recommendations = recommend(fused)
+        t_pd = performance_degradation(original_replay, free_replay)
+        t_rw = resource_wasting(performances, t_pd)
+
+        data_races = []
+        if original_replay.final_memory != free_replay.final_memory:
+            from repro.races.happens_before import transformed_trace_races
+
+            data_races = transformed_trace_races(result)
+
+        return DebugReport(
+            trace=trace,
+            transform_result=result,
+            original_replay=original_replay,
+            free_replay=free_replay,
+            pair_performances=performances,
+            fused=fused,
+            recommendations=recommendations,
+            t_pd=t_pd,
+            t_rw=t_rw,
+            data_races=data_races,
+        )
+
+    def debug(self, programs, *, name: str = "", seed: int = 0,
+              params: Optional[dict] = None,
+              semaphores: Optional[Dict[str, int]] = None) -> DebugReport:
+        """Record a program and analyze it in one call."""
+        recorded = self.record(
+            programs, name=name, seed=seed, params=params, semaphores=semaphores
+        )
+        return self.analyze(recorded.trace, seed=seed)

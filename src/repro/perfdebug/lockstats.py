@@ -1,0 +1,81 @@
+"""Per-lock contention profiling from a recorded trace.
+
+A mutrace-style report: acquisitions, contended fraction, waiting and
+holding time, and the hottest acquire sites per lock.  PERFPLAY's
+recommendations say *which pairs to fix*; this profile says *where the
+lock time goes* — the two views together cover §2.3's "figure out which
+code-site incurs the highest performance impact".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.sections import extract_sections
+from repro.trace.trace import Trace
+
+
+@dataclass
+class LockProfile:
+    """Contention summary of one lock."""
+
+    lock: str
+    acquisitions: int = 0
+    contended: int = 0
+    total_wait_ns: int = 0
+    total_hold_ns: int = 0
+    max_wait_ns: int = 0
+    threads: set = field(default_factory=set)
+    sites: Counter = field(default_factory=Counter)
+
+    @property
+    def contention_rate(self) -> float:
+        return self.contended / self.acquisitions if self.acquisitions else 0.0
+
+    @property
+    def mean_hold_ns(self) -> float:
+        return self.total_hold_ns / self.acquisitions if self.acquisitions else 0.0
+
+    def top_sites(self, n: int = 3) -> List[str]:
+        return [str(site) for site, _count in self.sites.most_common(n)]
+
+
+def profile_locks(trace: Trace) -> List[LockProfile]:
+    """Build per-lock profiles, hottest (most total waiting) first."""
+    profiles: Dict[str, LockProfile] = {}
+    for cs in extract_sections(trace):
+        profile = profiles.setdefault(cs.lock, LockProfile(lock=cs.lock))
+        profile.acquisitions += 1
+        wait = cs.acquire.wait_time
+        if wait > 0:
+            profile.contended += 1
+            profile.total_wait_ns += wait
+            profile.max_wait_ns = max(profile.max_wait_ns, wait)
+        profile.total_hold_ns += cs.duration
+        profile.threads.add(cs.tid)
+        if cs.acquire.site is not None:
+            profile.sites[cs.acquire.site] += 1
+    return sorted(
+        profiles.values(), key=lambda p: (-p.total_wait_ns, -p.acquisitions)
+    )
+
+
+def render_lock_profiles(profiles: List[LockProfile], *, limit: int = 10) -> str:
+    """Plain-text contention table."""
+    lines = [
+        f"{'lock':24} {'acq':>6} {'cont':>6} {'rate':>6} "
+        f"{'wait(ns)':>10} {'hold(ns)':>10}  hottest sites",
+        "-" * 100,
+    ]
+    for profile in profiles[:limit]:
+        lines.append(
+            f"{profile.lock:24} {profile.acquisitions:>6} "
+            f"{profile.contended:>6} {profile.contention_rate:>6.0%} "
+            f"{profile.total_wait_ns:>10} {profile.total_hold_ns:>10}  "
+            f"{', '.join(profile.top_sites())}"
+        )
+    if len(profiles) > limit:
+        lines.append(f"... and {len(profiles) - limit} more locks")
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""ULCP performance metrics (paper §4.1, Eq. 1 and §6.3).
+
+Each ULCP ⟨A, B⟩ is scored by replaying the original and the ULCP-free
+trace and differencing three timestamps (Figure 10):
+
+* ``Time1`` — end of A's precursor segment (the last event before A),
+* ``Time2`` — start of A's successor segment (first event after A),
+* ``Time3`` — start of B's successor segment (first event after B),
+
+ΔT_ULCP = Δmax{Time2, Time3} − ΔTime1, where Δx = x_original − x_free.
+
+Anchors are event uids on the *original* trace.  An anchor that did not
+survive transformation (e.g. the release of a removed null-lock) is
+resolved by walking to the nearest surviving event in the same thread;
+thread edges fall back to the replayed thread start/end times.
+
+Whole-program metrics: T_pd = T_ut − T_uft (performance degradation) and
+T_rw = ΣΔT_ULCP − T_pd (resource wasting, the paper's indirect formula).
+The direct spin-time delta is also exposed — on the simulator both are
+observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.sections import CriticalSection
+from repro.analysis.transform import TransformResult
+from repro.analysis.ulcp import UlcpPair
+from repro.replay.results import ReplayResult
+from repro.trace.trace import Trace
+
+
+class AnchorResolver:
+    """Resolves anchor uids to replay timestamps with surviving-event walk."""
+
+    def __init__(self, trace: Trace, replay: ReplayResult):
+        self._trace = trace
+        self._replay = replay
+        self._index: Dict[str, tuple] = {}
+        for tid, events in trace.threads.items():
+            for i, event in enumerate(events):
+                self._index[event.uid] = (tid, i)
+
+    def resolve(self, uid: Optional[str], tid: str, direction: str) -> int:
+        """Timestamp of ``uid`` in the replay, or of its nearest survivor.
+
+        ``direction`` is ``"backward"`` for Time1 anchors (walk toward the
+        thread start) and ``"forward"`` for Time2/Time3 anchors (walk
+        toward the thread end).
+        """
+        if uid is None:
+            if direction == "backward":
+                return self._replay.thread_start.get(tid, 0)
+            return self._replay.thread_end.get(tid, self._replay.end_time)
+        where = self._index.get(uid)
+        if where is None:
+            return self._fallback(tid, direction)
+        tid, idx = where
+        events = self._trace.threads[tid]
+        step = -1 if direction == "backward" else 1
+        i = idx
+        while 0 <= i < len(events):
+            t = self._replay.timestamps.get(events[i].uid)
+            if t is not None:
+                return t
+            i += step
+        return self._fallback(tid, direction)
+
+    def _fallback(self, tid: str, direction: str) -> int:
+        if direction == "backward":
+            return self._replay.thread_start.get(tid, 0)
+        return self._replay.thread_end.get(tid, self._replay.end_time)
+
+
+@dataclass
+class UlcpPerformance:
+    """Eq. 1 evaluation of one ULCP."""
+
+    pair: UlcpPair
+    delta_t: int
+    time1_original: int
+    time1_free: int
+    time23_original: int
+    time23_free: int
+
+    @property
+    def kind(self) -> str:
+        return self.pair.kind
+
+
+def evaluate_pair(
+    pair: UlcpPair,
+    original_resolver: AnchorResolver,
+    free_resolver: AnchorResolver,
+) -> UlcpPerformance:
+    """Apply Eq. 1 to one pair using the two replays' timestamps."""
+    a: CriticalSection = pair.c1
+    b: CriticalSection = pair.c2
+
+    t1_orig = original_resolver.resolve(a.pre_anchor, a.tid, "backward")
+    t1_free = free_resolver.resolve(a.pre_anchor, a.tid, "backward")
+    t2_orig = original_resolver.resolve(a.post_anchor, a.tid, "forward")
+    t2_free = free_resolver.resolve(a.post_anchor, a.tid, "forward")
+    t3_orig = original_resolver.resolve(b.post_anchor, b.tid, "forward")
+    t3_free = free_resolver.resolve(b.post_anchor, b.tid, "forward")
+
+    t23_orig = max(t2_orig, t3_orig)
+    t23_free = max(t2_free, t3_free)
+    delta = (t23_orig - t23_free) - (t1_orig - t1_free)
+    return UlcpPerformance(
+        pair=pair,
+        delta_t=delta,
+        time1_original=t1_orig,
+        time1_free=t1_free,
+        time23_original=t23_orig,
+        time23_free=t23_free,
+    )
+
+
+def evaluate_pairs(
+    result: TransformResult,
+    original_replay: ReplayResult,
+    free_replay: ReplayResult,
+) -> List[UlcpPerformance]:
+    """Eq. 1 for every ULCP the analysis found."""
+    original_resolver = AnchorResolver(result.original, original_replay)
+    free_resolver = AnchorResolver(result.original, free_replay)
+    return [
+        evaluate_pair(pair, original_resolver, free_resolver)
+        for pair in result.analysis.ulcps
+    ]
+
+
+def performance_degradation(
+    original_replay: ReplayResult, free_replay: ReplayResult
+) -> int:
+    """T_pd: how much the ULCPs stretched the whole execution."""
+    return original_replay.end_time - free_replay.end_time
+
+
+def resource_wasting(
+    performances: List[UlcpPerformance], t_pd: int
+) -> int:
+    """T_rw via the paper's formula ΣΔT_ULCP − T_pd (clamped at zero)."""
+    total = sum(max(0, p.delta_t) for p in performances)
+    return max(0, total - t_pd)
+
+
+def spin_delta(original_replay: ReplayResult, free_replay: ReplayResult) -> int:
+    """Directly-measured wasted CPU: spin time removed by the transformation."""
+    return max(
+        0, original_replay.total_spin_ns - free_replay.total_spin_ns
+    )

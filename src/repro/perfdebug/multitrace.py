@@ -1,0 +1,108 @@
+"""Multi-trace debugging: aggregate PERFPLAY reports across executions.
+
+The paper analyzes one trace per program but notes (§6.7) that PERFPLAY
+"can be extended to multiple traces".  This module does that: it merges
+the per-code-region recommendations of several debugging sessions (for
+example different seeds, inputs, or thread counts of the same program)
+into one consensus list, reporting for each region
+
+* the accumulated ΔT across all runs,
+* how many runs it appeared in (persistence — a region that only shows
+  up under one input is risky to "fix"; cf. the paper's input-sensitivity
+  caveat in §8), and
+* its consensus P share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.perfdebug.framework import DebugReport
+from repro.trace.codesite import CodeRegion
+
+
+@dataclass
+class RegionConsensus:
+    """One code-region pair aggregated over several runs."""
+
+    cr1: CodeRegion
+    cr2: CodeRegion
+    total_delta_t: int = 0
+    appearances: int = 0
+    pair_count: int = 0
+
+    def describe(self) -> str:
+        if self.cr1 == self.cr2:
+            return str(self.cr1)
+        return f"{self.cr1} ~ {self.cr2}"
+
+    def matches(self, cr1: CodeRegion, cr2: CodeRegion) -> Optional[Tuple]:
+        """Overlap test in straight or crossed orientation."""
+        if self.cr1.overlaps(cr1) and self.cr2.overlaps(cr2):
+            return (cr1, cr2)
+        if self.cr1.overlaps(cr2) and self.cr2.overlaps(cr1):
+            return (cr2, cr1)
+        return None
+
+    def absorb(self, cr1: CodeRegion, cr2: CodeRegion, delta_t: int, pairs: int):
+        self.cr1 = self.cr1.merge(cr1)
+        self.cr2 = self.cr2.merge(cr2)
+        self.total_delta_t += max(0, delta_t)
+        self.appearances += 1
+        self.pair_count += pairs
+
+
+@dataclass
+class MultiTraceReport:
+    """Consensus recommendations over several debugging sessions."""
+
+    runs: int
+    regions: List[RegionConsensus] = field(default_factory=list)
+
+    def ranked(self) -> List[RegionConsensus]:
+        """Most beneficial first; persistence breaks ΔT ties."""
+        return sorted(
+            self.regions,
+            key=lambda r: (-r.total_delta_t, -r.appearances, r.describe()),
+        )
+
+    def persistent(self, min_fraction: float = 0.5) -> List[RegionConsensus]:
+        """Regions appearing in at least ``min_fraction`` of the runs."""
+        threshold = self.runs * min_fraction
+        return [r for r in self.ranked() if r.appearances >= threshold]
+
+    def consensus_p(self, region: RegionConsensus) -> float:
+        total = sum(r.total_delta_t for r in self.regions)
+        return region.total_delta_t / total if total else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"Multi-trace consensus over {self.runs} run(s)",
+            f"{'ΔT':>12}  {'P':>6}  {'runs':>4}  {'pairs':>5}  region",
+            "-" * 64,
+        ]
+        for region in self.ranked()[:15]:
+            lines.append(
+                f"{region.total_delta_t:>12}  {self.consensus_p(region):>6.1%}  "
+                f"{region.appearances:>4}  {region.pair_count:>5}  "
+                f"{region.describe()}"
+            )
+        return "\n".join(lines)
+
+
+def aggregate(reports: List[DebugReport]) -> MultiTraceReport:
+    """Merge the fused groups of several reports by code region."""
+    result = MultiTraceReport(runs=len(reports))
+    for report in reports:
+        for group in report.fused:
+            for region in result.regions:
+                oriented = region.matches(group.cr1, group.cr2)
+                if oriented is not None:
+                    region.absorb(*oriented, group.delta_t, group.count)
+                    break
+            else:
+                consensus = RegionConsensus(cr1=group.cr1, cr2=group.cr2)
+                consensus.absorb(group.cr1, group.cr2, group.delta_t, group.count)
+                result.regions.append(consensus)
+    return result

@@ -1,0 +1,41 @@
+"""Eq. 2: ranking fused ULCPs by relative optimization opportunity.
+
+P = ΔT_ULCP / Σ ΔT_ULCP over the fused group set; the list is sorted by P
+descending and the head is "the most performance critical ULCP" the tool
+recommends fixing first.  Negative ΔTs (measurement noise) contribute 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.perfdebug.fusion import FusedUlcp
+
+
+@dataclass
+class Recommendation:
+    """One ranked entry of the PERFPLAY output list."""
+
+    rank: int
+    group: FusedUlcp
+    p: float
+
+    @property
+    def delta_t(self) -> int:
+        return self.group.delta_t
+
+    @property
+    def where(self) -> str:
+        return self.group.describe()
+
+
+def recommend(groups: List[FusedUlcp]) -> List[Recommendation]:
+    """Rank fused groups by P (Eq. 2), descending."""
+    total = sum(max(0, g.delta_t) for g in groups)
+    ranked = sorted(groups, key=lambda g: (-max(0, g.delta_t), g.describe()))
+    out: List[Recommendation] = []
+    for i, group in enumerate(ranked):
+        p = (max(0, group.delta_t) / total) if total > 0 else 0.0
+        out.append(Recommendation(rank=i + 1, group=group, p=p))
+    return out

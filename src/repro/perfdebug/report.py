@@ -1,0 +1,68 @@
+"""Human-readable rendering of a PERFPLAY debugging session."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.timebase import format_ns
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_report(report) -> str:
+    """Render a :class:`repro.perfdebug.framework.DebugReport` as text."""
+    lines: List[str] = []
+    breakdown = report.breakdown
+    lines.append("=" * 72)
+    lines.append(f"PERFPLAY report: {report.trace.meta.name or '<unnamed trace>'}")
+    lines.append("=" * 72)
+    lines.append(
+        f"threads={len(report.trace.thread_ids)}  "
+        f"locks={len(report.trace.lock_schedule)}  "
+        f"critical sections={len(report.transform_result.sections)}"
+    )
+    lines.append(
+        "ULCP breakdown: "
+        f"null-lock={breakdown.null_lock}  read-read={breakdown.read_read}  "
+        f"disjoint-write={breakdown.disjoint_write}  benign={breakdown.benign}  "
+        f"(TLCPs: {breakdown.tlcp})"
+    )
+    lines.append("")
+    lines.append(
+        f"replayed original (ELSC-S):  {format_ns(report.original_replay.end_time)}"
+    )
+    lines.append(
+        f"replayed ULCP-free (DLS):    {format_ns(report.free_replay.end_time)}"
+    )
+    lines.append(
+        f"performance degradation Tpd: {format_ns(report.t_pd)} "
+        f"({report.normalized_degradation:.1%} of execution)"
+    )
+    lines.append(
+        f"CPU waste per thread:        {format_ns(int(report.cpu_waste_per_thread))}"
+    )
+    if report.data_races:
+        lines.append("")
+        lines.append(
+            f"WARNING: replays disagree on final memory; "
+            f"{len(report.data_races)} interleaving-sensitive data race(s):"
+        )
+        for race in report.data_races[:5]:
+            lines.append(f"  - {race}")
+    lines.append("")
+    lines.append(f"grouped ULCP code regions: {len(report.recommendations)}")
+    lines.append("-" * 72)
+    lines.append(f"{'rank':>4}  {'P':>6}  {'ΔT':>12}  {'pairs':>5}  code regions")
+    lines.append("-" * 72)
+    for rec in report.recommendations[:10]:
+        lines.append(
+            f"{rec.rank:>4}  {rec.p:>6.1%}  {format_ns(max(0, rec.delta_t)):>12}  "
+            f"{rec.group.count:>5}  {rec.where}  [{_bar(rec.p)}]"
+        )
+    if len(report.recommendations) > 10:
+        lines.append(f"... and {len(report.recommendations) - 10} more")
+    lines.append("=" * 72)
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Trace-level fix application: try the advisor's rewrites before coding them.
+
+The advisor (:mod:`repro.perfdebug.advisor`) estimates gains through the
+ULCP transformation.  This module goes one step further: it *applies* the
+suggested source-level fix directly to the trace — the same edit a
+programmer would make — and replays the result with real synchronization
+semantics:
+
+* :func:`apply_rwlock_fix` — read-only critical sections on a lock become
+  shared (reader-mode) acquisitions, the readers-writer rewrite;
+* :func:`apply_lock_split_fix` — the uniform-reference lock becomes one
+  lock per written object (fine-grained locking for disjoint writes);
+* :func:`apply_atomic_fix` — sections whose writes all commute lose the
+  lock entirely (lock-free atomics);
+* :func:`apply_branch_fix` — empty (null-lock) sections lose their
+  lock/unlock, i.e. the lock moved inside the never-taken branch.
+
+Fixed traces replay unenforced (FIFO, zero jitter): the recorded ELSC
+schedule no longer applies to rewritten synchronization, and the replay
+is still deterministic.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.sections import CriticalSection, extract_sections
+from repro.analysis.shadow import annotate_shared_sets, shared_addresses
+from repro.replay.replayer import Replayer
+from repro.replay.schemes import ELSC_S, ORIG_S
+from repro.trace.events import ACQUIRE, RELEASE, WRITE, TraceEvent
+from repro.trace.trace import Trace, TraceMeta
+
+
+def _annotated_sections(trace: Trace) -> List[CriticalSection]:
+    sections = extract_sections(trace)
+    annotate_shared_sets(sections, shared_addresses(trace))
+    return sections
+
+
+def _clone_trace(
+    trace: Trace,
+    name_suffix: str,
+    event_map: Callable[[TraceEvent], Optional[TraceEvent]],
+) -> Trace:
+    """Copy a trace, mapping each event (None drops it); schedules rebuilt."""
+    meta = trace.meta
+    clone = Trace(
+        TraceMeta(
+            name=f"{meta.name}{name_suffix}",
+            seed=meta.seed,
+            num_cores=meta.num_cores,
+            lock_cost=meta.lock_cost,
+            mem_cost=meta.mem_cost,
+            params=dict(meta.params),
+        )
+    )
+    clone.side = trace.side
+    acquires: List[TraceEvent] = []
+    for tid, events in trace.threads.items():
+        clone.add_thread(tid)
+        out = clone.threads[tid]
+        for event in events:
+            mapped = event_map(event)
+            if mapped is None:
+                continue
+            out.append(mapped)
+            if mapped.kind == ACQUIRE:
+                acquires.append(mapped)
+    # grant-time order per (possibly renamed) lock
+    acquires.sort(key=lambda e: (e.t, e.uid))
+    for event in acquires:
+        clone.lock_schedule.setdefault(event.lock, []).append(event.uid)
+    return clone
+
+
+def _copy_event(event: TraceEvent, **overrides) -> TraceEvent:
+    clone = copy.copy(event)
+    clone.woken = list(event.woken)
+    for key, value in overrides.items():
+        setattr(clone, key, value)
+    return clone
+
+
+def apply_rwlock_fix(trace: Trace, lock: str) -> Trace:
+    """Reader-mode acquisitions for sections that never write under ``lock``."""
+    read_only = {
+        cs.uid
+        for cs in _annotated_sections(trace)
+        if cs.lock == lock and not cs.writes
+    }
+
+    def mapper(event: TraceEvent):
+        if event.kind == ACQUIRE and event.uid in read_only:
+            return _copy_event(event, shared=True)
+        return event
+
+    return _clone_trace(trace, "+rwlock", mapper)
+
+
+def apply_lock_split_fix(trace: Trace, lock: str) -> Trace:
+    """One lock per written object: ``L`` becomes ``L#<addr>``.
+
+    Sections that only read keep the original lock (they continue to
+    exclude nothing relevant once writers moved to per-object locks; a
+    real refactor would make them readers — combine with the rwlock fix
+    for that).
+    """
+    sections = _annotated_sections(trace)
+    new_lock_of: Dict[str, str] = {}
+    release_of: Dict[str, str] = {}
+    for cs in sections:
+        if cs.lock != lock:
+            continue
+        written = sorted(cs.writes)
+        if written:
+            new_lock_of[cs.uid] = f"{lock}#{written[0]}"
+            release_of[cs.release.uid] = f"{lock}#{written[0]}"
+
+    def mapper(event: TraceEvent):
+        if event.kind == ACQUIRE and event.uid in new_lock_of:
+            return _copy_event(event, lock=new_lock_of[event.uid])
+        if event.kind == RELEASE and event.uid in release_of:
+            return _copy_event(event, lock=release_of[event.uid])
+        return event
+
+    return _clone_trace(trace, "+split", mapper)
+
+
+def apply_atomic_fix(trace: Trace, lock: str) -> Trace:
+    """Drop the lock around commutative-write sections (atomics).
+
+    Only sections whose every write is an ``add`` op (and that read
+    nothing under the lock) qualify; others keep the lock.
+    """
+    atomic = set()
+    drop_releases = set()
+    for cs in _annotated_sections(trace):
+        if cs.lock != lock:
+            continue
+        writes = [e for e in cs.body if e.kind == WRITE]
+        reads_nothing = not cs.reads
+        commutative = writes and all(
+            e.op is not None and e.op[0] == "add" for e in writes
+        )
+        if reads_nothing and commutative:
+            atomic.add(cs.uid)
+            drop_releases.add(cs.release.uid)
+
+    def mapper(event: TraceEvent):
+        if event.kind == ACQUIRE and event.uid in atomic:
+            return None
+        if event.kind == RELEASE and event.uid in drop_releases:
+            return None
+        return event
+
+    return _clone_trace(trace, "+atomic", mapper)
+
+
+def apply_branch_fix(trace: Trace, lock: str) -> Trace:
+    """Remove the lock/unlock of empty (null-lock) sections on ``lock``."""
+    empty = set()
+    drop_releases = set()
+    for cs in _annotated_sections(trace):
+        if cs.lock == lock and cs.is_empty and not cs.body:
+            empty.add(cs.uid)
+            drop_releases.add(cs.release.uid)
+
+    def mapper(event: TraceEvent):
+        if event.kind == ACQUIRE and event.uid in empty:
+            return None
+        if event.kind == RELEASE and event.uid in drop_releases:
+            return None
+        return event
+
+    return _clone_trace(trace, "+branch", mapper)
+
+
+FIXES = {
+    "rwlock": apply_rwlock_fix,
+    "split": apply_lock_split_fix,
+    "atomic": apply_atomic_fix,
+    "branch": apply_branch_fix,
+}
+
+
+@dataclass
+class FixOutcome:
+    """Measured effect of one applied fix."""
+
+    lock: str
+    fix: str
+    original_ns: int
+    fixed_ns: int
+
+    @property
+    def gain_ns(self) -> int:
+        return max(0, self.original_ns - self.fixed_ns)
+
+    @property
+    def normalized_gain(self) -> float:
+        return self.gain_ns / self.original_ns if self.original_ns else 0.0
+
+    def __str__(self):
+        return (
+            f"{self.fix} fix on {self.lock}: {self.original_ns} -> "
+            f"{self.fixed_ns} ns ({self.normalized_gain:+.1%})"
+        )
+
+
+def measure_fix(
+    trace: Trace, fixed: Trace, *, seed: int = 0, replayer: Replayer = None
+) -> FixOutcome:
+    """Replay the original (ELSC) and fixed (unenforced) traces."""
+    replayer = replayer or Replayer(jitter=0.0)
+    original = replayer.replay(trace, scheme=ELSC_S, seed=seed)
+    fixed_replay = replayer.replay(fixed, scheme=ORIG_S, seed=seed)
+    fix_name = fixed.meta.name.rsplit("+", 1)[-1]
+    lock = "?"
+    return FixOutcome(
+        lock=lock,
+        fix=fix_name,
+        original_ns=original.end_time,
+        fixed_ns=fixed_replay.end_time,
+    )
+
+
+def try_fix(
+    trace: Trace, lock: str, fix: str, *, seed: int = 0,
+    replayer: Replayer = None,
+) -> FixOutcome:
+    """Apply one named fix to one lock and measure it."""
+    if fix not in FIXES:
+        raise ValueError(f"unknown fix {fix!r}; known: {sorted(FIXES)}")
+    fixed = FIXES[fix](trace, lock)
+    outcome = measure_fix(trace, fixed, seed=seed, replayer=replayer)
+    outcome.lock = lock
+    outcome.fix = fix
+    return outcome

@@ -1,0 +1,97 @@
+"""Input-sensitivity analysis — the paper's stated future work (§8).
+
+"PERFPLAY currently helps the ULCP debugging of the input which produces
+that trace, but may not help the execution of program on other inputs...
+this may prohibit any code modification that could lead to performance
+improvement in some cases but not all."
+
+This module runs the full pipeline over a sweep of inputs / thread
+counts and classifies each recommended code region as
+
+* **robust**   — recommended (with positive ΔT) for every configuration,
+* **partial**  — recommended for some configurations only, or
+* **fragile**  — beneficial in exactly one configuration;
+
+so a programmer knows which fixes are safe across inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.perfdebug.framework import PerfPlay
+from repro.perfdebug.multitrace import MultiTraceReport, aggregate
+from repro.workloads import get_workload
+
+ROBUST = "robust"
+PARTIAL = "partial"
+FRAGILE = "fragile"
+
+
+@dataclass
+class SensitivityResult:
+    """Cross-configuration classification of recommended regions."""
+
+    configurations: List[dict]
+    consensus: MultiTraceReport
+    classification: Dict[str, str] = field(default_factory=dict)
+
+    def regions_by_class(self, label: str) -> List[str]:
+        return sorted(k for k, v in self.classification.items() if v == label)
+
+    def render(self) -> str:
+        lines = [
+            f"Input sensitivity over {len(self.configurations)} configurations",
+            "-" * 64,
+        ]
+        for region in self.consensus.ranked()[:15]:
+            label = self.classification.get(region.describe(), FRAGILE)
+            lines.append(
+                f"[{label:7}] {region.describe()}  "
+                f"(in {region.appearances}/{len(self.configurations)} configs, "
+                f"ΔT={region.total_delta_t})"
+            )
+        return "\n".join(lines)
+
+
+def sweep(
+    workload_name: str,
+    *,
+    thread_counts: Sequence[int] = (2, 4),
+    input_sizes: Sequence[str] = ("simsmall", "simlarge"),
+    seeds: Sequence[int] = (0,),
+    scale: float = 1.0,
+    perfplay: PerfPlay = None,
+) -> SensitivityResult:
+    """Debug a workload across a configuration grid and classify regions."""
+    perfplay = perfplay or PerfPlay()
+    configurations = []
+    reports = []
+    for threads in thread_counts:
+        for size in input_sizes:
+            for seed in seeds:
+                config = {"threads": threads, "input_size": size, "seed": seed}
+                configurations.append(config)
+                workload = get_workload(
+                    workload_name, scale=scale, **config
+                )
+                recorded = workload.record()
+                reports.append(perfplay.analyze(recorded.trace, seed=seed))
+
+    consensus = aggregate(reports)
+    total_configs = len(configurations)
+    classification = {}
+    for region in consensus.regions:
+        if region.appearances >= total_configs and region.total_delta_t > 0:
+            label = ROBUST
+        elif region.appearances > 1:
+            label = PARTIAL
+        else:
+            label = FRAGILE
+        classification[region.describe()] = label
+    return SensitivityResult(
+        configurations=configurations,
+        consensus=consensus,
+        classification=classification,
+    )

@@ -1,0 +1,19 @@
+"""Race detection: Eraser-style locksets and happens-before vector clocks."""
+
+from repro.races.eraser import EraserDetector, RaceReport, eraser_races
+from repro.races.happens_before import (
+    HbRace,
+    VectorClock,
+    happens_before_races,
+    transformed_trace_races,
+)
+
+__all__ = [
+    "EraserDetector",
+    "RaceReport",
+    "eraser_races",
+    "VectorClock",
+    "HbRace",
+    "happens_before_races",
+    "transformed_trace_races",
+]

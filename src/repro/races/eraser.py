@@ -1,0 +1,114 @@
+"""Eraser: lockset-based data-race detection (Savage et al., 1997).
+
+The classic state machine per shared address:
+
+* *virgin* → *exclusive* on first access (one thread, no checking),
+* *exclusive* → *shared* when a second thread reads,
+* → *shared-modified* when a second thread writes (or a write happens in
+  the shared state).
+
+In the shared states, the candidate lockset C(addr) is refined to the
+intersection of the locks held at each access; an empty C(addr) in the
+shared-modified state is reported as a race.  PERFPLAY relies on locksets
+for RULE 3 and uses race reports as the Theorem 1 escape hatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.trace.events import ACQUIRE, READ, RELEASE, WRITE
+from repro.trace.trace import Trace
+
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared_modified"
+
+
+@dataclass
+class RaceReport:
+    """One address whose candidate lockset drained while shared-modified."""
+
+    addr: str
+    event_uid: str
+    tid: str
+    state: str
+
+    def __str__(self):
+        return f"race on {self.addr} at {self.event_uid} ({self.tid}, {self.state})"
+
+
+@dataclass
+class _AddrState:
+    state: str = VIRGIN
+    owner: Optional[str] = None
+    lockset: Optional[Set[str]] = None  # None = not yet initialized
+
+
+class EraserDetector:
+    """Streaming Eraser over trace events."""
+
+    def __init__(self):
+        self._held: Dict[str, Set[str]] = {}
+        self._addr: Dict[str, _AddrState] = {}
+        self.reports: List[RaceReport] = []
+        self._reported: Set[str] = set()
+
+    def _locks_of(self, tid: str) -> Set[str]:
+        return self._held.setdefault(tid, set())
+
+    def on_acquire(self, tid: str, lock: str) -> None:
+        self._locks_of(tid).add(lock)
+
+    def on_release(self, tid: str, lock: str) -> None:
+        self._locks_of(tid).discard(lock)
+
+    def on_access(self, tid: str, addr: str, is_write: bool, uid: str) -> None:
+        state = self._addr.setdefault(addr, _AddrState())
+        held = self._locks_of(tid)
+
+        if state.state == VIRGIN:
+            state.state = EXCLUSIVE
+            state.owner = tid
+            return
+        if state.state == EXCLUSIVE:
+            if tid == state.owner:
+                return
+            state.state = SHARED_MODIFIED if is_write else SHARED
+            state.lockset = set(held)
+            self._check(state, addr, tid, uid)
+            return
+        # shared / shared-modified: refine the candidate lockset
+        if is_write and state.state == SHARED:
+            state.state = SHARED_MODIFIED
+        state.lockset = (state.lockset if state.lockset is not None else set(held)) & held
+        self._check(state, addr, tid, uid)
+
+    def _check(self, state: _AddrState, addr: str, tid: str, uid: str) -> None:
+        if (
+            state.state == SHARED_MODIFIED
+            and state.lockset is not None
+            and not state.lockset
+            and addr not in self._reported
+        ):
+            self._reported.add(addr)
+            self.reports.append(
+                RaceReport(addr=addr, event_uid=uid, tid=tid, state=state.state)
+            )
+
+
+def eraser_races(trace: Trace) -> List[RaceReport]:
+    """Run Eraser over a recorded trace, in recorded time order."""
+    detector = EraserDetector()
+    for event in trace.iter_time_order():
+        if event.kind == ACQUIRE:
+            detector.on_acquire(event.tid, event.lock)
+        elif event.kind == RELEASE:
+            detector.on_release(event.tid, event.lock)
+        elif event.kind == READ:
+            detector.on_access(event.tid, event.addr, False, event.uid)
+        elif event.kind == WRITE:
+            detector.on_access(event.tid, event.addr, True, event.uid)
+    return detector.reports

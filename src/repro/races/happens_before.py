@@ -1,0 +1,177 @@
+"""Happens-before race detection with vector clocks.
+
+Builds the happens-before relation of a trace from program order plus
+synchronization edges, then reports conflicting unordered access pairs.
+Two variants:
+
+* :func:`happens_before_races` — for original traces: release→acquire
+  edges per lock (in acquisition order) and post→wait token edges.
+* :func:`transformed_trace_races` — for ULCP-free traces: token edges
+  plus the transformation plan's predecessor edges (cs_exit → cs_enter).
+  This is what PERFPLAY consults when the original and ULCP-free replays
+  disagree on final memory (Theorem 1's "report the data races" branch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.events import (
+    ACQUIRE,
+    CS_ENTER,
+    CS_EXIT,
+    POST,
+    READ,
+    RELEASE,
+    WAIT,
+    WRITE,
+)
+from repro.trace.trace import Trace
+
+
+class VectorClock:
+    """A sparse vector clock over thread ids."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Dict[str, int] = None):
+        self.clocks = dict(clocks or {})
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clocks)
+
+    def tick(self, tid: str) -> None:
+        self.clocks[tid] = self.clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        for tid, value in other.clocks.items():
+            if self.clocks.get(tid, 0) < value:
+                self.clocks[tid] = value
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """self ≤ other componentwise (and they are comparable that way)."""
+        return all(other.clocks.get(tid, 0) >= v for tid, v in self.clocks.items())
+
+    def __repr__(self):
+        return f"VC({self.clocks})"
+
+
+@dataclass
+class HbRace:
+    """Two conflicting accesses with no happens-before order."""
+
+    addr: str
+    first_uid: str
+    first_tid: str
+    second_uid: str
+    second_tid: str
+
+    def __str__(self):
+        return (
+            f"race on {self.addr}: {self.first_uid}({self.first_tid}) || "
+            f"{self.second_uid}({self.second_tid})"
+        )
+
+
+@dataclass
+class _LastAccess:
+    uid: str
+    tid: str
+    vc: VectorClock
+
+
+def _detect(
+    trace: Trace,
+    extra_edges: Dict[str, List[str]],
+    use_lock_edges: bool,
+    max_reports: int,
+) -> List[HbRace]:
+    """Core sweep in time order.
+
+    ``extra_edges`` maps an event uid to the uids of events that must
+    happen-before it (beyond program order / lock / token edges).
+    """
+    vc: Dict[str, VectorClock] = {tid: VectorClock() for tid in trace.threads}
+    for tid in trace.threads:
+        vc[tid].tick(tid)
+    lock_release_vc: Dict[str, VectorClock] = {}
+    token_vc: Dict[str, VectorClock] = {}
+    event_vc: Dict[str, VectorClock] = {}
+    last_writer: Dict[str, _LastAccess] = {}
+    last_readers: Dict[str, Dict[str, _LastAccess]] = {}
+    races: List[HbRace] = []
+
+    for event in trace.iter_time_order():
+        tid = event.tid
+        mine = vc.get(tid)
+        if mine is None:
+            mine = vc[tid] = VectorClock()
+        for pred_uid in extra_edges.get(event.uid, ()):
+            pred_vc = event_vc.get(pred_uid)
+            if pred_vc is not None:
+                mine.join(pred_vc)
+        if event.kind == ACQUIRE and use_lock_edges:
+            prev = lock_release_vc.get(event.lock)
+            if prev is not None:
+                mine.join(prev)
+        elif event.kind == RELEASE and use_lock_edges:
+            lock_release_vc[event.lock] = mine.copy()
+        elif event.kind == WAIT and event.token is not None:
+            prev = token_vc.get(event.token)
+            if prev is not None:
+                mine.join(prev)
+        elif event.kind == POST:
+            token_vc[event.token] = mine.copy()
+        elif event.kind in (READ, WRITE):
+            addr = event.addr
+            writer = last_writer.get(addr)
+            if writer is not None and writer.tid != tid:
+                if not writer.vc.happens_before(mine):
+                    races.append(
+                        HbRace(addr, writer.uid, writer.tid, event.uid, tid)
+                    )
+            if event.kind == WRITE:
+                for reader in last_readers.get(addr, {}).values():
+                    if reader.tid != tid and not reader.vc.happens_before(mine):
+                        races.append(
+                            HbRace(addr, reader.uid, reader.tid, event.uid, tid)
+                        )
+                last_writer[addr] = _LastAccess(event.uid, tid, mine.copy())
+                last_readers[addr] = {}
+            else:
+                last_readers.setdefault(addr, {})[tid] = _LastAccess(
+                    event.uid, tid, mine.copy()
+                )
+        mine.tick(tid)
+        event_vc[event.uid] = mine.copy()
+        if len(races) >= max_reports:
+            break
+    return races
+
+
+def happens_before_races(trace: Trace, *, max_reports: int = 100) -> List[HbRace]:
+    """Races in an original trace (lock + token edges)."""
+    return _detect(trace, {}, use_lock_edges=True, max_reports=max_reports)
+
+
+def transformed_trace_races(result, *, max_reports: int = 100) -> List[HbRace]:
+    """Races in a ULCP-free trace given its transformation plan.
+
+    Synchronization edges: token waits/posts plus cs_exit(pred) →
+    cs_enter(succ) for every planned predecessor.
+    """
+    trace: Trace = result.trace
+    plan = result.plan
+    exit_uid: Dict[str, str] = {}
+    for event in trace.iter_events():
+        if event.kind == CS_EXIT:
+            exit_uid[event.token] = event.uid
+    extra: Dict[str, List[str]] = {}
+    for event in trace.iter_events():
+        if event.kind == CS_ENTER:
+            preds = plan.preds.get(event.token, ())
+            extra[event.uid] = [
+                exit_uid[pred] for pred in preds if pred in exit_uid
+            ]
+    return _detect(trace, extra, use_lock_edges=False, max_reports=max_reports)

@@ -1,0 +1,5 @@
+"""Recording: run programs on a machine and capture a trace."""
+
+from repro.record.recorder import RecordResult, Recorder, record
+
+__all__ = ["Recorder", "RecordResult", "record"]

@@ -1,0 +1,51 @@
+"""Replay engine: schemes, gates, program reconstruction, results."""
+
+from repro.replay.collector import TimestampCollector
+from repro.replay.elsc import ELSCGate
+from repro.replay.kendo import KendoGate
+from repro.replay.memsched import MemOrderGate, access_order
+from repro.replay.programs import (
+    DLS_MODE,
+    LOCKSET_MODE,
+    aux_lock_schedule,
+    original_programs,
+    transformed_programs,
+)
+from repro.replay.replayer import Replayer
+from repro.replay.results import ReplayResult, ReplaySeries
+from repro.replay.schemes import (
+    ALL_SCHEMES,
+    ELSC_S,
+    KENDO_LOCK_OVERHEAD,
+    MEM_ACCESS_OVERHEAD,
+    MEM_S,
+    ORIG_S,
+    SYNC_S,
+    SchemeSetup,
+    setup_scheme,
+)
+
+__all__ = [
+    "Replayer",
+    "ReplayResult",
+    "ReplaySeries",
+    "TimestampCollector",
+    "ELSCGate",
+    "KendoGate",
+    "MemOrderGate",
+    "access_order",
+    "original_programs",
+    "transformed_programs",
+    "aux_lock_schedule",
+    "DLS_MODE",
+    "LOCKSET_MODE",
+    "ORIG_S",
+    "ELSC_S",
+    "SYNC_S",
+    "MEM_S",
+    "ALL_SCHEMES",
+    "SchemeSetup",
+    "setup_scheme",
+    "KENDO_LOCK_OVERHEAD",
+    "MEM_ACCESS_OVERHEAD",
+]

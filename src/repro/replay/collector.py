@@ -1,0 +1,57 @@
+"""Timestamp collection during replay.
+
+The collector maps every replayed event uid to its *completion* time in
+the replay, plus per-thread start/end times.  Because transformation
+preserves uids, the performance metrics can subtract the timestamp of the
+same uid across the original and ULCP-free replays (the Δ of Eq. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.observer import NullObserver
+
+
+class TimestampCollector(NullObserver):
+    """Observer recording uid -> completion timestamp."""
+
+    def __init__(self):
+        self.timestamps: Dict[str, int] = {}
+        self.thread_start: Dict[str, int] = {}
+        self.thread_end: Dict[str, int] = {}
+
+    def _stamp(self, uid, t):
+        if uid is not None:
+            self.timestamps[uid] = t
+
+    def on_thread_start(self, tid, name, t):
+        self.thread_start[tid] = t
+
+    def on_thread_end(self, tid, t):
+        self.thread_end[tid] = t
+
+    def on_compute(self, tid, t_start, duration, site, uid):
+        self._stamp(uid, t_start + duration)
+
+    def on_acquired(self, tid, lock, t_request, t_acquired, site, uid, spin,
+                    shared=False):
+        self._stamp(uid, t_acquired)
+
+    def on_released(self, tid, lock, t, site, uid):
+        self._stamp(uid, t)
+
+    def on_read(self, tid, addr, value, t, site, uid):
+        self._stamp(uid, t)
+
+    def on_write(self, tid, addr, op, value_after, t, site, uid):
+        self._stamp(uid, t)
+
+    def on_wait_end(self, tid, kind, token, reason, t_start, t_end, site, uid):
+        self._stamp(uid, t_end)
+
+    def on_post(self, tid, kind, token, woken, t, site, uid):
+        self._stamp(uid, t)
+
+    def on_sleep(self, tid, duration, t, site, uid):
+        self._stamp(uid, t + duration)

@@ -1,0 +1,44 @@
+"""ELSC: the enforced locking serialization constraint (paper §5.2).
+
+The gate pins, per lock, the total order of acquisitions to the order
+observed at *recording* time (schedule-driven, unlike Kendo's
+input-driven order).  A thread may acquire a lock only when its acquire
+event's uid is the next one in the recorded schedule; everyone else waits
+exactly as they would have waited behind the original owner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.gates import Gate
+
+
+class ELSCGate(Gate):
+    """Enforces a recorded per-lock acquisition schedule."""
+
+    def __init__(self, lock_schedule: Dict[str, List[str]]):
+        self._schedule = {lock: list(uids) for lock, uids in lock_schedule.items()}
+        self._cursor: Dict[str, int] = {lock: 0 for lock in self._schedule}
+
+    def may_acquire(self, tid: str, lock: str, uid: str) -> bool:
+        schedule = self._schedule.get(lock)
+        if schedule is None:
+            return True  # lock unknown to the schedule: unconstrained
+        cursor = self._cursor[lock]
+        if cursor >= len(schedule):
+            return True  # schedule exhausted (extra acquires unconstrained)
+        return schedule[cursor] == uid
+
+    def on_acquired(self, tid: str, lock: str, uid: str) -> None:
+        schedule = self._schedule.get(lock)
+        if schedule is None:
+            return
+        cursor = self._cursor[lock]
+        if cursor < len(schedule) and schedule[cursor] == uid:
+            self._cursor[lock] = cursor + 1
+
+    def remaining(self, lock: str) -> int:
+        """How many scheduled acquisitions have not happened yet."""
+        schedule = self._schedule.get(lock, [])
+        return len(schedule) - self._cursor.get(lock, 0)

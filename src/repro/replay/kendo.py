@@ -1,0 +1,56 @@
+"""SYNC-S: a Kendo-style deterministic lock scheduler (Olszewski et al.).
+
+Kendo enforces a deterministic total order of lock acquisitions for the
+same *input* by letting a thread acquire only when its deterministic
+logical clock is globally minimal.  The logical clock advances with
+deterministic per-thread progress (requested compute durations and
+memory-op costs), so the acquisition order is independent of physical
+timing — at the price of extra waiting whenever a thread with a smaller
+clock has not yet reached its acquisition point.  That extra waiting is
+exactly the overhead Figure 12/13 of the PERFPLAY paper attributes to
+input-driven enforcement.
+
+Threads blocked on held locks or asleep are excluded from the minimum
+(real Kendo keeps ticking their clocks while they spin; the exclusion is
+the discrete-event equivalent and avoids artificial deadlock).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.gates import Gate
+
+
+class KendoGate(Gate):
+    """Deterministic logical-clock lock admission."""
+
+    def __init__(self):
+        self._clock: Dict[str, int] = {}
+        self._done = set()
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+
+    def on_progress(self, tid: str, amount: int) -> None:
+        self._clock[tid] = self._clock.get(tid, 0) + amount
+
+    def on_thread_end(self, tid: str) -> None:
+        self._done.add(tid)
+
+    def clock(self, tid: str) -> int:
+        return self._clock.get(tid, 0)
+
+    def may_acquire(self, tid: str, lock: str, uid: str) -> bool:
+        mine = (self._clock.get(tid, 0), tid)
+        for other in self.machine.gate_eligible_tids():
+            if other == tid or other in self._done:
+                continue
+            if (self._clock.get(other, 0), other) < mine:
+                return False
+        return True
+
+    def on_acquired(self, tid: str, lock: str, uid: str) -> None:
+        # Acquisitions themselves advance the clock so a thread taking many
+        # locks in a row cannot starve everyone else at the same clock value.
+        self._clock[tid] = self._clock.get(tid, 0) + 1

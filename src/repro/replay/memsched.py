@@ -1,0 +1,48 @@
+"""MEM-S: memory-based deterministic schedule (PinPlay / CoreDet style).
+
+Enforces one global total order over *all* shared-memory accesses (the
+recorded time order) on top of the recorded lock order.  This is the
+strongest — and slowest — enforcement: every access must wait for every
+earlier access of any thread, which is why deterministic memory-order
+replay systems report 2x-20x slowdowns and why Figure 13 shows MEM-S far
+above the other schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.replay.elsc import ELSCGate
+from repro.trace.events import READ, WRITE
+from repro.trace.trace import Trace
+
+
+def access_order(trace: Trace) -> List[str]:
+    """Uids of every shared-memory access, in recorded time order."""
+    accesses = [e for e in trace.iter_events() if e.kind in (READ, WRITE)]
+    accesses.sort(key=lambda e: (e.t, e.uid))
+    return [e.uid for e in accesses]
+
+
+class MemOrderGate(ELSCGate):
+    """ELSC lock order plus a global total order over memory accesses."""
+
+    def __init__(self, lock_schedule: Dict[str, List[str]], order: List[str]):
+        super().__init__(lock_schedule)
+        self._order = list(order)
+        self._position = {uid: i for i, uid in enumerate(self._order)}
+        self._next = 0
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "MemOrderGate":
+        return cls(trace.lock_schedule, access_order(trace))
+
+    def may_access(self, tid: str, addr: str, uid: str) -> bool:
+        position = self._position.get(uid)
+        if position is None:
+            return True  # access unknown to the recording: unconstrained
+        return position == self._next
+
+    def on_access(self, tid: str, addr: str, uid: str) -> None:
+        if self._position.get(uid) == self._next:
+            self._next += 1

@@ -1,0 +1,213 @@
+"""Reconstruct executable thread programs from traces.
+
+``original_programs`` turns each recorded thread event list back into a
+request generator; ``transformed_programs`` does the same for ULCP-free
+traces, expanding the ``CS_ENTER``/``CS_EXIT`` markers according to the
+chosen synchronization mode:
+
+* ``"dls"`` (default) — predecessor END-flag gating with the dynamic
+  locking strategy: each source's END flag is tested (cheap) and only the
+  unfinished sources cost a lock acquisition before the wait.
+* ``"lockset"`` — full RULE 3/4 locksets: every lockset entry is a real
+  auxiliary-lock acquisition (the Table 3 "w/o DLS" configuration).  The
+  replay must run under the auxiliary ELSC gate (see
+  :func:`aux_lock_schedule`) so RULE 2's partial order holds.
+
+Marker uids are stamped with zero-duration computes so the timestamp
+collector sees them in both replays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.dls import FLAG_CHECK_COST, end_flag
+from repro.analysis.resync import ResyncPlan
+from repro.errors import ReplayError
+from repro.sim import requests as rq
+from repro.trace.events import (
+    ACQUIRE,
+    COMPUTE,
+    CS_ENTER,
+    CS_EXIT,
+    POST,
+    READ,
+    RELEASE,
+    SLEEP,
+    THREAD_END,
+    THREAD_START,
+    TraceEvent,
+    WAIT,
+    WRITE,
+)
+from repro.trace.trace import Trace
+
+DLS_MODE = "dls"
+LOCKSET_MODE = "lockset"
+
+
+def _base_request(event: TraceEvent):
+    """The request for a non-marker trace event, or None to skip."""
+    if event.kind in (THREAD_START, THREAD_END):
+        return None
+    if event.kind == COMPUTE:
+        return rq.Compute(event.duration, site=event.site, uid=event.uid)
+    if event.kind == ACQUIRE:
+        return rq.Acquire(
+            lock=event.lock, spin=event.spin, shared=event.shared,
+            site=event.site, uid=event.uid,
+        )
+    if event.kind == RELEASE:
+        return rq.Release(lock=event.lock, site=event.site, uid=event.uid)
+    if event.kind == READ:
+        return rq.Read(addr=event.addr, site=event.site, uid=event.uid)
+    if event.kind == WRITE:
+        from repro.sim.requests import decode_op
+
+        return rq.Write(
+            addr=event.addr, op=decode_op(event.op), site=event.site, uid=event.uid
+        )
+    if event.kind == WAIT:
+        if event.reason == "timeout" or event.token is None:
+            return rq.Sleep(duration=event.duration, site=event.site, uid=event.uid)
+        return rq.AwaitFlag(flag=event.token, site=event.site, uid=event.uid)
+    if event.kind == POST:
+        return rq.SetFlag(flag=event.token, site=event.site, uid=event.uid)
+    if event.kind == SLEEP:
+        return rq.Sleep(duration=event.duration, site=event.site, uid=event.uid)
+    raise ReplayError(f"cannot replay event kind {event.kind!r} ({event.uid})")
+
+
+def _original_thread(events: List[TraceEvent], side) -> Iterator:
+    for event in events:
+        if event.kind == SLEEP and side is not None:
+            delta = side.delta_for(event.uid)
+            if delta is not None:
+                yield rq.Opaque(
+                    duration=event.duration, changes=dict(delta.changes),
+                    site=event.site, uid=event.uid,
+                )
+                continue
+        request = _base_request(event)
+        if request is not None:
+            yield request
+
+
+def original_programs(trace: Trace) -> List[Tuple[Iterator, str]]:
+    """One replayable generator per recorded thread, in tid order."""
+    side = getattr(trace, "side", None)
+    return [
+        (_original_thread(events, side), tid)
+        for tid, events in trace.threads.items()
+    ]
+
+
+def _dls_enter(cs_uid: str, plan: ResyncPlan, lock_cost: int, flag_cost: int, event):
+    # a kept section still synchronizes: entering its own protection costs
+    # one lock operation, like the original acquire did (only *removed*
+    # sections save their lock costs)
+    if lock_cost:
+        yield rq.Compute(lock_cost, site=event.site)
+    for pred in plan.preds.get(cs_uid, ()):
+        flag = end_flag(pred)
+        already_done = yield rq.CheckFlag(flag=flag, site=event.site)
+        if already_done:
+            if flag_cost:
+                yield rq.Compute(flag_cost, site=event.site)
+        else:
+            # unfinished source: its lock stays in the effective lockset
+            if lock_cost:
+                yield rq.Compute(lock_cost, site=event.site)
+            yield rq.AwaitFlag(flag=flag, site=event.site)
+    yield rq.Compute(0, site=event.site, uid=event.uid)  # stamp the marker
+
+
+def _dls_exit(cs_uid: str, plan: ResyncPlan, lock_cost: int, event):
+    if lock_cost:
+        yield rq.Compute(lock_cost, site=event.site)
+    if cs_uid in plan.aux_locks:  # has successors: raise END for them
+        yield rq.SetFlag(flag=end_flag(cs_uid), site=event.site)
+    yield rq.Compute(0, site=event.site, uid=event.uid)
+
+
+def _aux_uid(cs_uid: str, lock: str) -> str:
+    return f"{cs_uid}@{lock}"
+
+
+def _lockset_order(lockset: List[str]) -> List[str]:
+    """Canonical global acquisition order over aux locks (deadlock-free)."""
+    return sorted(lockset, key=lambda name: int(name.lstrip("@L") or 0))
+
+
+def _lockset_enter(cs_uid: str, plan: ResyncPlan, event):
+    for lock in _lockset_order(plan.lockset_of(cs_uid)):
+        yield rq.Acquire(lock=lock, site=event.site, uid=_aux_uid(cs_uid, lock))
+    yield rq.Compute(0, site=event.site, uid=event.uid)
+
+
+def _lockset_exit(cs_uid: str, plan: ResyncPlan, event):
+    for lock in reversed(_lockset_order(plan.lockset_of(cs_uid))):
+        yield rq.Release(lock=lock, site=event.site)
+    if cs_uid in plan.aux_locks:
+        # END flags still raised so DLS-mode consumers can interoperate
+        yield rq.SetFlag(flag=end_flag(cs_uid), site=event.site)
+    yield rq.Compute(0, site=event.site, uid=event.uid)
+
+
+def _transformed_thread(
+    events: List[TraceEvent],
+    plan: ResyncPlan,
+    mode: str,
+    lock_cost: int,
+    flag_cost: int,
+    side,
+) -> Iterator:
+    for event in events:
+        if event.kind == CS_ENTER:
+            if mode == DLS_MODE:
+                yield from _dls_enter(event.token, plan, lock_cost, flag_cost, event)
+            else:
+                yield from _lockset_enter(event.token, plan, event)
+        elif event.kind == CS_EXIT:
+            if mode == DLS_MODE:
+                yield from _dls_exit(event.token, plan, lock_cost, event)
+            else:
+                yield from _lockset_exit(event.token, plan, event)
+        else:
+            if event.kind == SLEEP and side is not None:
+                delta = side.delta_for(event.uid)
+                if delta is not None:
+                    yield rq.Opaque(
+                        duration=event.duration, changes=dict(delta.changes),
+                        site=event.site, uid=event.uid,
+                    )
+                    continue
+            request = _base_request(event)
+            if request is not None:
+                yield request
+
+
+def transformed_programs(
+    trace: Trace,
+    plan: ResyncPlan,
+    *,
+    mode: str = DLS_MODE,
+    lock_cost: int = 0,
+    flag_cost: int = FLAG_CHECK_COST,
+) -> List[Tuple[Iterator, str]]:
+    """Replayable generators for a ULCP-free (marker) trace."""
+    if mode not in (DLS_MODE, LOCKSET_MODE):
+        raise ReplayError(f"unknown transformed-replay mode {mode!r}")
+    side = getattr(trace, "side", None)
+    return [
+        (_transformed_thread(events, plan, mode, lock_cost, flag_cost, side), tid)
+        for tid, events in trace.threads.items()
+    ]
+
+
+def aux_lock_schedule(plan: ResyncPlan) -> Dict[str, List[str]]:
+    """ELSC schedule over auxiliary locks for lockset-mode replay."""
+    return {
+        lock: [_aux_uid(cs_uid, lock) for cs_uid in holders]
+        for lock, holders in plan.aux_schedule.items()
+    }

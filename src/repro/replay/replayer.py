@@ -1,0 +1,161 @@
+"""The replay engine: re-execute traces on the simulated machine.
+
+The replayer reconstructs thread programs from a trace, configures a
+machine according to the chosen scheme (gate + wake policy + enforcement
+costs), runs it, and returns timing plus per-uid timestamps.
+
+A small physical-timing jitter (default 2%) is applied to every replay's
+compute durations: deterministic schemes must show stable end-to-end
+times *despite* it (that is the performance-stability claim of Figure
+13), while ORIG-S amplifies it through different lock interleavings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.dls import FLAG_CHECK_COST
+from repro.analysis.transform import TransformResult
+from repro.replay.collector import TimestampCollector
+from repro.replay.elsc import ELSCGate
+from repro.replay.programs import (
+    DLS_MODE,
+    LOCKSET_MODE,
+    aux_lock_schedule,
+    original_programs,
+    transformed_programs,
+)
+from repro.replay.results import ReplayResult, ReplaySeries
+from repro.replay.schemes import ELSC_S, setup_scheme
+from repro.sim.machine import Machine
+from repro.sim.policies import FifoPolicy
+from repro.trace.trace import Trace
+from repro.util.rng import derive_rng
+
+
+class Replayer:
+    """Replays original and ULCP-free traces."""
+
+    def __init__(self, *, jitter: float = 0.02):
+        self.jitter = jitter
+
+    # ------------------------------------------------------------ original
+
+    def replay(self, trace: Trace, *, scheme: str = ELSC_S, seed: int = 0) -> ReplayResult:
+        """Replay a recorded trace once under ``scheme``."""
+        setup = setup_scheme(scheme, trace, seed)
+        collector = TimestampCollector()
+        machine = Machine(
+            num_cores=trace.meta.num_cores,
+            observer=collector,
+            gate=setup.gate,
+            wake_policy=setup.wake_policy,
+            sched_rng=setup.sched_rng,
+            jitter=self.jitter,
+            jitter_rng=derive_rng(seed, "jitter") if self.jitter else None,
+            lock_cost=setup.lock_cost,
+            mem_cost=setup.mem_cost,
+        )
+        for program, tid in original_programs(trace):
+            machine.add_thread(program, name=tid)
+        machine_result = machine.run()
+        return ReplayResult(
+            scheme=scheme,
+            seed=seed,
+            end_time=machine_result.end_time,
+            machine_result=machine_result,
+            timestamps=collector.timestamps,
+            thread_start=collector.thread_start,
+            thread_end=collector.thread_end,
+            final_memory=machine.memory.snapshot(),
+        )
+
+    def replay_many(
+        self, trace: Trace, *, scheme: str = ELSC_S, runs: int = 10, base_seed: int = 0
+    ) -> ReplaySeries:
+        """Replay a trace several times with distinct seeds."""
+        series = ReplaySeries(scheme=scheme)
+        for i in range(runs):
+            series.runs.append(self.replay(trace, scheme=scheme, seed=base_seed + i))
+        return series
+
+    # --------------------------------------------------------- transformed
+
+    def replay_transformed(
+        self,
+        result: TransformResult,
+        *,
+        mode: str = DLS_MODE,
+        seed: int = 0,
+        flag_cost: int = FLAG_CHECK_COST,
+        lock_cost: Optional[int] = None,
+    ) -> ReplayResult:
+        """Replay the ULCP-free trace of a transformation.
+
+        ``mode="dls"`` uses END-flag gating with the dynamic locking
+        strategy; ``mode="lockset"`` uses full auxiliary-lock locksets
+        under an auxiliary ELSC gate (RULE 2's order enforcement).
+        ``lock_cost`` overrides the per-lock-operation cost charged inside
+        locksets/DLS (defaults to the recording's lock cost).
+        """
+        trace = result.trace
+        meta = trace.meta
+        effective_lock_cost = meta.lock_cost if lock_cost is None else lock_cost
+        gate = None
+        if mode == LOCKSET_MODE:
+            gate = ELSCGate(aux_lock_schedule(result.plan))
+        collector = TimestampCollector()
+        machine = Machine(
+            num_cores=meta.num_cores,
+            observer=collector,
+            gate=gate,
+            wake_policy=FifoPolicy(),
+            jitter=self.jitter,
+            jitter_rng=derive_rng(seed, "jitter") if self.jitter else None,
+            lock_cost=effective_lock_cost,
+            mem_cost=meta.mem_cost,
+        )
+        programs = transformed_programs(
+            trace,
+            result.plan,
+            mode=mode,
+            lock_cost=effective_lock_cost,
+            flag_cost=flag_cost,
+        )
+        for program, tid in programs:
+            machine.add_thread(program, name=tid)
+        machine_result = machine.run()
+        return ReplayResult(
+            scheme=f"ULCP-free/{mode}",
+            seed=seed,
+            end_time=machine_result.end_time,
+            machine_result=machine_result,
+            timestamps=collector.timestamps,
+            thread_start=collector.thread_start,
+            thread_end=collector.thread_end,
+            mode=mode,
+            final_memory=machine.memory.snapshot(),
+        )
+
+    def replay_transformed_many(
+        self,
+        result: TransformResult,
+        *,
+        mode: str = DLS_MODE,
+        runs: int = 10,
+        base_seed: int = 0,
+        flag_cost: int = FLAG_CHECK_COST,
+        lock_cost: Optional[int] = None,
+    ) -> ReplaySeries:
+        series = ReplaySeries(scheme=f"ULCP-free/{mode}")
+        for i in range(runs):
+            series.runs.append(
+                self.replay_transformed(
+                    result,
+                    mode=mode,
+                    seed=base_seed + i,
+                    flag_cost=flag_cost,
+                    lock_cost=lock_cost,
+                )
+            )
+        return series

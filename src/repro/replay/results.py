@@ -1,0 +1,59 @@
+"""Replay results and multi-replay aggregates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.stats import MachineResult
+from repro.util.stats import Summary, summarize
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay run."""
+
+    scheme: str
+    seed: int
+    end_time: int
+    machine_result: MachineResult
+    timestamps: Dict[str, int] = field(default_factory=dict)
+    thread_start: Dict[str, int] = field(default_factory=dict)
+    thread_end: Dict[str, int] = field(default_factory=dict)
+    mode: Optional[str] = None  # dls / lockset for transformed replays
+    final_memory: Dict[str, int] = field(default_factory=dict)
+
+    def timestamp(self, uid: str) -> Optional[int]:
+        return self.timestamps.get(uid)
+
+    @property
+    def total_spin_ns(self) -> int:
+        return self.machine_result.total_spin_ns
+
+    @property
+    def total_block_ns(self) -> int:
+        return self.machine_result.total_block_ns
+
+
+@dataclass
+class ReplaySeries:
+    """Several replays of the same trace under the same scheme."""
+
+    scheme: str
+    runs: List[ReplayResult] = field(default_factory=list)
+
+    @property
+    def end_times(self) -> List[int]:
+        return [r.end_time for r in self.runs]
+
+    def summary(self) -> Summary:
+        return summarize(self.end_times)
+
+    @property
+    def mean_time(self) -> float:
+        return self.summary().mean
+
+    @property
+    def stability(self) -> float:
+        """Coefficient of variation across runs (0 = perfectly stable)."""
+        return self.summary().cv

@@ -1,0 +1,106 @@
+"""The four replay schemes of the evaluation (paper §6.1).
+
+===========  ===============================================================
+ORIG-S       parallel replay with no enforcement: lock grants are randomized
+             (seeded) and dispatch order jitters, modelling OS-scheduler
+             nondeterminism — replay times fluctuate run to run.
+ELSC-S       the paper's scheme: per-lock acquisition order pinned to the
+             recorded schedule; no other constraint, so the replay tracks
+             the original execution with no added cost.
+SYNC-S       Kendo-style deterministic lock order for the same input;
+             deterministic but adds clock-waiting plus a per-lock-op
+             enforcement cost.
+MEM-S        PinPlay/CoreDet-style total order over all shared-memory
+             accesses; deterministic and much slower (every access pays an
+             enforcement cost and global serialization).
+===========  ===============================================================
+
+The ``*_OVERHEAD`` constants are cost multipliers calibrating the
+*instrumentation* cost of each baseline on the simulated machine; the
+*waiting* costs emerge from the gates themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReplayError
+from repro.replay.elsc import ELSCGate
+from repro.replay.kendo import KendoGate
+from repro.replay.memsched import MemOrderGate
+from repro.sim.gates import Gate
+from repro.sim.policies import FifoPolicy, RandomPolicy, WakePolicy
+from repro.trace.trace import Trace
+from repro.util.rng import derive_rng
+
+ORIG_S = "ORIG-S"
+ELSC_S = "ELSC-S"
+SYNC_S = "SYNC-S"
+MEM_S = "MEM-S"
+
+ALL_SCHEMES = (MEM_S, SYNC_S, ELSC_S, ORIG_S)
+
+#: SYNC-S pays this factor on every lock operation (deterministic-lock
+#: bookkeeping — Kendo reports ~16% app slowdowns).
+KENDO_LOCK_OVERHEAD = 4
+
+#: MEM-S pays this factor on every shared-memory access (global-token
+#: handoff and instrumentation — PinPlay/CoreDet report 2x-20x whole-program
+#: slowdowns, so the per-access factor must be large since accesses are a
+#: fraction of execution).
+MEM_ACCESS_OVERHEAD = 150
+
+
+@dataclass
+class SchemeSetup:
+    """Everything the replayer needs to configure a machine for a scheme."""
+
+    name: str
+    gate: Optional[Gate]
+    wake_policy: WakePolicy
+    sched_rng: Optional[object]
+    lock_cost: int
+    mem_cost: int
+
+
+def setup_scheme(scheme: str, trace: Trace, seed: int) -> SchemeSetup:
+    """Build the gate/policy/cost configuration for one replay."""
+    meta = trace.meta
+    if scheme == ORIG_S:
+        return SchemeSetup(
+            name=scheme,
+            gate=None,
+            wake_policy=RandomPolicy(derive_rng(seed, "wake")),
+            sched_rng=derive_rng(seed, "sched"),
+            lock_cost=meta.lock_cost,
+            mem_cost=meta.mem_cost,
+        )
+    if scheme == ELSC_S:
+        return SchemeSetup(
+            name=scheme,
+            gate=ELSCGate(trace.lock_schedule),
+            wake_policy=FifoPolicy(),
+            sched_rng=None,
+            lock_cost=meta.lock_cost,
+            mem_cost=meta.mem_cost,
+        )
+    if scheme == SYNC_S:
+        return SchemeSetup(
+            name=scheme,
+            gate=KendoGate(),
+            wake_policy=FifoPolicy(),
+            sched_rng=None,
+            lock_cost=meta.lock_cost * KENDO_LOCK_OVERHEAD,
+            mem_cost=meta.mem_cost,
+        )
+    if scheme == MEM_S:
+        return SchemeSetup(
+            name=scheme,
+            gate=MemOrderGate.from_trace(trace),
+            wake_policy=FifoPolicy(),
+            sched_rng=None,
+            lock_cost=meta.lock_cost,
+            mem_cost=meta.mem_cost * MEM_ACCESS_OVERHEAD,
+        )
+    raise ReplayError(f"unknown replay scheme {scheme!r}")

@@ -1,0 +1,85 @@
+"""Discrete-event multicore simulator: the execution substrate.
+
+The public surface is :class:`Machine` plus the request vocabulary from
+:mod:`repro.sim.requests`.  Thread programs are generators that yield
+requests; see the package README for a quickstart.
+"""
+
+from repro.sim.gates import Gate
+from repro.sim.machine import Machine
+from repro.sim.memory import SharedMemory
+from repro.sim.observer import NullObserver
+from repro.sim.policies import FifoPolicy, LifoPolicy, RandomPolicy, WakePolicy
+from repro.sim.requests import (
+    Acquire,
+    CheckFlag,
+    Add,
+    Opaque,
+    AwaitFlag,
+    BarrierWait,
+    Broadcast,
+    Compute,
+    CondWait,
+    Read,
+    Release,
+    Request,
+    SemAcquire,
+    SemRelease,
+    SetFlag,
+    Signal,
+    Sleep,
+    Store,
+    Write,
+    decode_op,
+)
+from repro.sim.stats import LockStats, MachineResult, ThreadStats
+from repro.sim.timebase import (
+    DEFAULT_LOCK_COST,
+    DEFAULT_MEM_COST,
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    SECOND,
+    format_ns,
+)
+
+__all__ = [
+    "Machine",
+    "Gate",
+    "SharedMemory",
+    "NullObserver",
+    "WakePolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "LifoPolicy",
+    "Request",
+    "Compute",
+    "Acquire",
+    "Release",
+    "Read",
+    "Write",
+    "Store",
+    "Add",
+    "decode_op",
+    "CondWait",
+    "Signal",
+    "Broadcast",
+    "SemAcquire",
+    "SemRelease",
+    "BarrierWait",
+    "Sleep",
+    "Opaque",
+    "AwaitFlag",
+    "SetFlag",
+    "CheckFlag",
+    "MachineResult",
+    "ThreadStats",
+    "LockStats",
+    "NANOSECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "DEFAULT_LOCK_COST",
+    "DEFAULT_MEM_COST",
+    "format_ns",
+]

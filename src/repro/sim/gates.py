@@ -1,0 +1,43 @@
+"""Enforcement gates: the mechanism behind replay schemes.
+
+A gate can veto lock acquisitions and shared-memory accesses until the
+enforced order allows them.  The replay schemes of the paper (ELSC-S,
+SYNC-S/Kendo, MEM-S) are implemented as gates in :mod:`repro.replay`;
+the simulator only knows this small protocol.
+
+Gate callbacks may change gate state; the machine re-checks parked
+threads after every ``on_*`` notification.
+"""
+
+from __future__ import annotations
+
+
+class Gate:
+    """Base gate: everything is allowed (equivalent to no gate)."""
+
+    def attach(self, machine) -> None:
+        """Called once by the machine before the run starts."""
+        self.machine = machine
+
+    def may_acquire(self, tid: str, lock: str, uid: str) -> bool:
+        """May ``tid`` acquire ``lock`` for the acquisition event ``uid``?"""
+        return True
+
+    def on_acquired(self, tid: str, lock: str, uid: str) -> None:
+        pass
+
+    def on_released(self, tid: str, lock: str, uid: str) -> None:
+        pass
+
+    def may_access(self, tid: str, addr: str, uid: str) -> bool:
+        """May ``tid`` perform the shared-memory access event ``uid``?"""
+        return True
+
+    def on_access(self, tid: str, addr: str, uid: str) -> None:
+        pass
+
+    def on_progress(self, tid: str, amount: int) -> None:
+        """Called when a thread makes ``amount`` ns of deterministic progress."""
+
+    def on_thread_end(self, tid: str) -> None:
+        pass

@@ -1,0 +1,784 @@
+"""The discrete-event multicore machine.
+
+This module is the execution substrate standing in for the paper's real
+2x quad-core Xeon + pthreads + Pin stack.  Threads are Python generators
+yielding :mod:`repro.sim.requests` objects; the machine interleaves them
+over ``num_cores`` simulated cores, arbitrates locks, applies memory ops,
+and accounts CPU/spin/block time per thread.
+
+Determinism: given the same programs and the same seeds (``sched_rng``,
+``jitter_rng``, wake policy RNG), a run is bit-for-bit reproducible.  All
+run-to-run variance used by the ORIG-S replay scheme comes exclusively
+from those seeds.
+
+Waiting semantics: a thread waiting on a busy lock either *blocks*
+(``block_ns``) or *spins* (``spin_ns``, also charged as ``cpu_ns`` — pure
+waste, the paper's "CPU time wasting").  Spinning is an accounting mode,
+not a core-occupancy mode; this keeps the scheduler livelock-free while
+preserving the waste metric the paper reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import requests as rq
+from repro.sim.gates import Gate
+from repro.sim.memory import SharedMemory
+from repro.sim.observer import NullObserver
+from repro.sim.policies import FifoPolicy, WakePolicy
+from repro.sim.stats import LockStats, MachineResult, ThreadStats
+from repro.sim.timebase import DEFAULT_LOCK_COST, DEFAULT_MEM_COST
+from repro.util.ids import IdGenerator
+
+_NEW = "new"
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class _Thread:
+    __slots__ = (
+        "tid",
+        "name",
+        "gen",
+        "state",
+        "stats",
+        "send_value",
+        "pending_cost",
+        "wait_start",
+        "wait_is_spin",
+        "wait_req",
+        "blocked_reason",
+    )
+
+    def __init__(self, tid: str, name: str, gen: Generator):
+        self.tid = tid
+        self.name = name
+        self.gen = gen
+        self.state = _NEW
+        self.stats = ThreadStats(tid=tid, name=name)
+        self.send_value = None
+        self.pending_cost = 0
+        self.wait_start = 0
+        self.wait_is_spin = False
+        self.wait_req: Optional[rq.Acquire] = None
+        self.blocked_reason = ""
+
+    def __repr__(self):
+        return f"<_Thread {self.tid} {self.name!r} {self.state}>"
+
+
+class _Lock:
+    __slots__ = (
+        "name", "owner", "readers", "reader_t", "waiters", "stats", "t_acquired",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.owner: Optional[_Thread] = None  # exclusive holder
+        self.readers: set = set()  # shared holders
+        self.reader_t: Dict[str, int] = {}
+        self.waiters: List[_Thread] = []
+        self.stats = LockStats(lock=name)
+        self.t_acquired = 0
+
+    def admits(self, shared: bool) -> bool:
+        """Can a new holder of the given mode enter right now?"""
+        if shared:
+            return self.owner is None
+        return self.owner is None and not self.readers
+
+    @property
+    def held(self) -> bool:
+        return self.owner is not None or bool(self.readers)
+
+
+class _Sem:
+    __slots__ = ("name", "init_count", "credits", "waiters")
+
+    def __init__(self, name: str, count: int = 0):
+        self.name = name
+        self.init_count = count
+        self.credits: List[str] = []  # uids of unconsumed V() posts
+        self.waiters: List[tuple] = []
+
+
+class Machine:
+    """A deterministic discrete-event multicore machine."""
+
+    def __init__(
+        self,
+        num_cores: int = 8,
+        *,
+        observer: NullObserver = None,
+        gate: Gate = None,
+        wake_policy: WakePolicy = None,
+        sched_rng=None,
+        jitter: float = 0.0,
+        jitter_rng=None,
+        lock_cost: int = DEFAULT_LOCK_COST,
+        mem_cost: int = DEFAULT_MEM_COST,
+        memory: SharedMemory = None,
+        max_time: Optional[int] = None,
+    ):
+        if num_cores < 1:
+            raise SimulationError("machine needs at least one core")
+        if jitter and jitter_rng is None:
+            raise SimulationError("jitter requires a jitter_rng")
+        self.num_cores = num_cores
+        self.now = 0
+        self.memory = memory if memory is not None else SharedMemory()
+        self.observer = observer if observer is not None else NullObserver()
+        self.gate = gate if gate is not None else Gate()
+        self.wake_policy = wake_policy if wake_policy is not None else FifoPolicy()
+        self._sched_rng = sched_rng
+        self._jitter = jitter
+        self._jitter_rng = jitter_rng
+        self.lock_cost = lock_cost
+        self.mem_cost = mem_cost
+        self.max_time = max_time
+
+        self._ids = IdGenerator()
+        self._threads: Dict[str, _Thread] = {}
+        self._ready: deque = deque()
+        self._free_cores = num_cores
+        self._eventq: List[tuple] = []
+        self._seq = 0
+        self._done_count = 0
+
+        self._locks: Dict[str, _Lock] = {}
+        self._conds: Dict[str, List[tuple]] = {}
+        self._sems: Dict[str, _Sem] = {}
+        self._barriers: Dict[str, List[tuple]] = {}
+        self._barrier_round: Dict[str, int] = {}
+        self._flags: Dict[str, tuple] = {}  # name -> (set, last_post_uid)
+        self._flag_waiters: Dict[str, List[tuple]] = {}
+        self._gated_mem: List[tuple] = []  # (thread, request)
+        self._starved_locks: set = set()  # free locks whose waiters a gate vetoed
+        self._recheck_scheduled = False
+        self._ran = False
+
+        self.gate.attach(self)
+
+    # ------------------------------------------------------------- setup
+
+    def add_thread(self, program: Generator, name: str = None) -> str:
+        """Register a thread program (a generator of requests)."""
+        if self._ran:
+            raise SimulationError("cannot add threads after run()")
+        tid = self._ids.next("t")
+        thread = _Thread(tid, name or tid, program)
+        self._threads[tid] = thread
+        return tid
+
+    def set_semaphore(self, name: str, count: int) -> None:
+        """Pre-charge a counting semaphore with ``count`` credits."""
+        self._sems[name] = _Sem(name, count)
+
+    # --------------------------------------------------------------- run
+
+    def run(self) -> MachineResult:
+        """Run all threads to completion and return the accounting."""
+        if self._ran:
+            raise SimulationError("a Machine can only run() once")
+        self._ran = True
+        for thread in self._threads.values():
+            thread.state = _READY
+            self._ready.append(thread)
+            self.observer.on_thread_start(thread.tid, thread.name, self.now)
+
+        while True:
+            self._dispatch()
+            if self._done_count == len(self._threads):
+                break
+            if not self._eventq:
+                blocked = [
+                    f"{t.tid}({t.blocked_reason})"
+                    for t in self._threads.values()
+                    if t.state != _DONE
+                ]
+                raise DeadlockError(blocked, self.now)
+            t, _, fn, args = heapq.heappop(self._eventq)
+            if t > self.now:
+                self.now = t
+            if self.max_time is not None and self.now > self.max_time:
+                raise SimulationError(f"exceeded max_time={self.max_time}")
+            fn(*args)
+
+        return self._result()
+
+    def _result(self) -> MachineResult:
+        return MachineResult(
+            end_time=self.now,
+            threads={tid: th.stats for tid, th in self._threads.items()},
+            locks={name: lk.stats for name, lk in self._locks.items()},
+        )
+
+    # --------------------------------------------------------- scheduling
+
+    def _schedule(self, delay: int, fn: Callable, *args) -> None:
+        self._seq += 1
+        heapq.heappush(self._eventq, (self.now + delay, self._seq, fn, args))
+
+    def _dispatch(self) -> None:
+        while self._free_cores > 0 and self._ready:
+            if self._sched_rng is not None and len(self._ready) > 1:
+                idx = self._sched_rng.randrange(len(self._ready))
+                self._ready.rotate(-idx)
+                thread = self._ready.popleft()
+                self._ready.rotate(idx)
+            else:
+                thread = self._ready.popleft()
+            if thread.state != _READY:
+                continue
+            thread.state = _RUNNING
+            self._free_cores -= 1
+            cost = thread.pending_cost
+            thread.pending_cost = 0
+            if cost > 0:
+                thread.stats.cpu_ns += cost
+                self._schedule(cost, self._step, thread)
+            else:
+                self._step(thread)
+
+    def _make_ready(self, thread: _Thread, send_value=None, cost: int = 0) -> None:
+        thread.state = _READY
+        thread.send_value = send_value
+        thread.pending_cost = cost
+        thread.blocked_reason = ""
+        self._ready.append(thread)
+
+    def _block(self, thread: _Thread, reason: str) -> None:
+        thread.state = _BLOCKED
+        thread.blocked_reason = reason
+        self._release_core()
+        # blocking can change gate eligibility (e.g. the Kendo clock
+        # minimum moves to a parked thread), so parked work gets re-checked
+        self._request_recheck()
+
+    def _release_core(self) -> None:
+        self._free_cores += 1
+
+    def _finish(self, thread: _Thread) -> None:
+        for lock in self._locks.values():
+            if lock.owner is thread or thread in lock.readers:
+                raise SimulationError(
+                    f"thread {thread.tid} exited holding lock {lock.name}"
+                )
+        thread.state = _DONE
+        thread.stats.end_time = self.now
+        self._done_count += 1
+        self._release_core()
+        self.observer.on_thread_end(thread.tid, self.now)
+        self.gate.on_thread_end(thread.tid)
+        self._request_recheck()
+
+    # -------------------------------------------------------------- step
+
+    def _step(self, thread: _Thread) -> None:
+        """Drive a RUNNING thread until it blocks, computes, or finishes."""
+        while True:
+            value, thread.send_value = thread.send_value, None
+            try:
+                if value is None:
+                    req = next(thread.gen)
+                else:
+                    req = thread.gen.send(value)
+            except StopIteration:
+                self._finish(thread)
+                self._dispatch()
+                return
+            action, cost = self._handle(thread, req)
+            if action == "block":
+                self._dispatch()
+                return
+            if cost > 0:
+                thread.stats.cpu_ns += cost
+                self._schedule(cost, self._step, thread)
+                return
+            # zero-cost request: keep stepping inline
+
+    def _handle(self, thread: _Thread, req: rq.Request):
+        handler = self._HANDLERS.get(type(req))
+        if handler is None:
+            raise SimulationError(f"unknown request {req!r} from {thread.tid}")
+        return handler(self, thread, req)
+
+    # ---------------------------------------------------------- requests
+
+    def _jittered(self, duration: int) -> int:
+        if not self._jitter or duration <= 0:
+            return duration
+        factor = 1.0 + self._jitter_rng.uniform(-self._jitter, self._jitter)
+        return max(0, round(duration * factor))
+
+    def _on_compute(self, thread: _Thread, req: rq.Compute):
+        actual = self._jittered(req.duration)
+        self.observer.on_compute(thread.tid, self.now, req.duration, req.site, req.uid)
+        self.gate.on_progress(thread.tid, req.duration)
+        self._request_recheck()
+        return "continue", actual
+
+    def _get_lock(self, name: str) -> _Lock:
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = self._locks[name] = _Lock(name)
+        return lock
+
+    def _on_acquire(self, thread: _Thread, req: rq.Acquire):
+        lock = self._get_lock(req.lock)
+        if lock.owner is thread or thread in lock.readers:
+            raise SimulationError(
+                f"thread {thread.tid} re-acquired non-recursive lock {req.lock}"
+            )
+        uid = req.uid or self._ids.next("a")
+        req = rq.Acquire(
+            lock=req.lock, spin=req.spin, shared=req.shared, site=req.site, uid=uid
+        )
+        if lock.admits(req.shared) and self.gate.may_acquire(thread.tid, req.lock, uid):
+            self._grant(lock, thread, req, t_request=self.now, waited=0)
+            return "continue", self.lock_cost
+        # must wait: either contended or gate-vetoed
+        thread.wait_req = req
+        thread.wait_start = self.now
+        thread.wait_is_spin = req.spin
+        lock.waiters.append(thread)
+        if lock.admits(req.shared):
+            self._starved_locks.add(lock.name)
+        self._block(thread, f"lock:{req.lock}")
+        return "block", 0
+
+    def _grant(self, lock: _Lock, thread: _Thread, req: rq.Acquire, t_request, waited):
+        if req.shared:
+            lock.readers.add(thread)
+            lock.reader_t[thread.tid] = self.now
+        else:
+            lock.owner = thread
+            lock.t_acquired = self.now
+        lock.stats.acquisitions += 1
+        if waited > 0:
+            lock.stats.contended_acquisitions += 1
+            lock.stats.total_wait_ns += waited
+        self.observer.on_acquired(
+            thread.tid, lock.name, t_request, self.now, req.site, req.uid,
+            req.spin, req.shared,
+        )
+        self.gate.on_acquired(thread.tid, lock.name, req.uid)
+        self._request_recheck()
+
+    def _try_grant(self, lock: _Lock) -> None:
+        """Grant eligible parked waiters; shared holders admit in batches."""
+        while lock.waiters:
+            eligible = [
+                w
+                for w in lock.waiters
+                if lock.admits(w.wait_req.shared)
+                and self.gate.may_acquire(w.tid, lock.name, w.wait_req.uid)
+            ]
+            if not eligible:
+                break
+            winner = self.wake_policy.choose(lock.name, eligible)
+            lock.waiters.remove(winner)
+            waited = self.now - winner.wait_start
+            if winner.wait_is_spin:
+                winner.stats.spin_ns += waited
+                winner.stats.cpu_ns += waited
+            else:
+                winner.stats.block_ns += waited
+            self._grant(lock, winner, winner.wait_req, winner.wait_start, waited)
+            winner.wait_req = None
+            # preserve any wake value (e.g. a cond wait's signaled/timeout)
+            self._make_ready(winner, send_value=winner.send_value, cost=self.lock_cost)
+        if lock.waiters and any(
+            lock.admits(w.wait_req.shared) for w in lock.waiters
+        ):
+            self._starved_locks.add(lock.name)
+        else:
+            self._starved_locks.discard(lock.name)
+
+    def _on_release(self, thread: _Thread, req: rq.Release):
+        lock = self._get_lock(req.lock)
+        if lock.owner is not thread and thread not in lock.readers:
+            raise SimulationError(
+                f"thread {thread.tid} released lock {req.lock} it does not hold"
+            )
+        self._do_release(thread, lock, req.site, req.uid)
+        return "continue", self.lock_cost
+
+    def _do_release(self, thread: _Thread, lock: _Lock, site, uid) -> None:
+        uid = uid or self._ids.next("r")
+        if lock.owner is thread:
+            lock.stats.total_hold_ns += self.now - lock.t_acquired
+            lock.owner = None
+        else:
+            lock.readers.discard(thread)
+            lock.stats.total_hold_ns += self.now - lock.reader_t.pop(thread.tid, self.now)
+        self.observer.on_released(thread.tid, lock.name, self.now, site, uid)
+        self.gate.on_released(thread.tid, lock.name, uid)
+        self._try_grant(lock)
+        self._request_recheck()
+
+    def _on_read(self, thread: _Thread, req: rq.Read):
+        uid = req.uid or self._ids.next("m")
+        if not self.gate.may_access(thread.tid, req.addr, uid):
+            self._gated_mem.append((thread, rq.Read(addr=req.addr, site=req.site, uid=uid)))
+            thread.wait_start = self.now
+            self._block(thread, f"mem:{req.addr}")
+            return "block", 0
+        value = self._perform_read(thread, req.addr, req.site, uid)
+        thread.send_value = value
+        return "continue", self.mem_cost
+
+    def _perform_read(self, thread: _Thread, addr, site, uid) -> int:
+        value = self.memory.read(addr)
+        self.observer.on_read(thread.tid, addr, value, self.now, site, uid)
+        self.gate.on_access(thread.tid, addr, uid)
+        self.gate.on_progress(thread.tid, self.mem_cost)
+        self._request_recheck()
+        return value
+
+    def _on_write(self, thread: _Thread, req: rq.Write):
+        uid = req.uid or self._ids.next("m")
+        if not self.gate.may_access(thread.tid, req.addr, uid):
+            self._gated_mem.append(
+                (thread, rq.Write(addr=req.addr, op=req.op, site=req.site, uid=uid))
+            )
+            thread.wait_start = self.now
+            self._block(thread, f"mem:{req.addr}")
+            return "block", 0
+        value = self._perform_write(thread, req.addr, req.op, req.site, uid)
+        thread.send_value = value
+        return "continue", self.mem_cost
+
+    def _perform_write(self, thread: _Thread, addr, op, site, uid) -> int:
+        value = self.memory.write(addr, op)
+        self.observer.on_write(thread.tid, addr, op, value, self.now, site, uid)
+        self.gate.on_access(thread.tid, addr, uid)
+        self.gate.on_progress(thread.tid, self.mem_cost)
+        self._request_recheck()
+        return value
+
+    # ------------------------------------------------- condition variables
+
+    def _on_cond_wait(self, thread: _Thread, req: rq.CondWait):
+        lock = self._get_lock(req.lock)
+        if lock.owner is not thread:
+            raise SimulationError(
+                f"thread {thread.tid} cond-waits on {req.cond} without holding {req.lock}"
+            )
+        self._do_release(thread, lock, req.site, None)
+        # the release op costs like any unlock; the wait starts after it
+        # (keeps recorded timing identical to the lowered replay, where the
+        # RELEASE request is charged before the wait begins)
+        thread.stats.cpu_ns += self.lock_cost
+        self._schedule(self.lock_cost, self._enter_cond_wait, thread, req)
+        self._block(thread, f"cond:{req.cond}")
+        return "block", 0
+
+    def _enter_cond_wait(self, thread: _Thread, req: rq.CondWait) -> None:
+        wait_uid = req.uid or self._ids.next("w")
+        self.observer.on_wait_start(
+            thread.tid, "cond", req.cond, self.now, req.site, wait_uid
+        )
+        cancel = [False]
+        entry = (thread, wait_uid, req.lock, req.site, cancel)
+        self._conds.setdefault(req.cond, []).append(entry)
+        thread.wait_start = self.now
+        if req.timeout is not None:
+            self._schedule(req.timeout, self._cond_timeout, req.cond, entry)
+
+    def _cond_timeout(self, cond_name: str, entry) -> None:
+        thread, wait_uid, lock_name, site, cancel = entry
+        if cancel[0]:
+            return
+        cancel[0] = True
+        self._conds[cond_name].remove(entry)
+        self.observer.on_wait_end(
+            thread.tid, "cond", None, "timeout", thread.wait_start, self.now, site, wait_uid
+        )
+        thread.send_value = "timeout"
+        self._wake_into_lock(thread, lock_name, site)
+        self._dispatch()
+
+    def _wake_into_lock(self, thread: _Thread, lock_name: str, site) -> None:
+        """After a cond wake, the thread re-contends for its mutex."""
+        thread.stats.block_ns += self.now - thread.wait_start
+        lock = self._get_lock(lock_name)
+        req = rq.Acquire(lock=lock_name, site=site, uid=self._ids.next("a"))
+        thread.wait_req = req
+        thread.wait_start = self.now
+        thread.wait_is_spin = False
+        lock.waiters.append(thread)
+        thread.blocked_reason = f"lock:{lock_name}"
+        self._try_grant(lock)
+
+    def _on_signal(self, thread: _Thread, req: rq.Signal, broadcast: bool = False):
+        post_uid = req.uid or self._ids.next("p")
+        waiters = self._conds.get(req.cond, [])
+        to_wake = list(waiters) if broadcast else waiters[:1]
+        # post first: the trace must record the POST before the waits it wakes
+        self.observer.on_post(
+            thread.tid, "cond", post_uid, [e[1] for e in to_wake],
+            self.now, req.site, post_uid,
+        )
+        for entry in to_wake:
+            waiter, wait_uid, lock_name, wsite, cancel = entry
+            cancel[0] = True
+            waiters.remove(entry)
+            self.observer.on_wait_end(
+                waiter.tid, "cond", post_uid, "posted",
+                waiter.wait_start, self.now, wsite, wait_uid,
+            )
+            waiter.send_value = "signaled"
+            self._wake_into_lock(waiter, lock_name, wsite)
+        return "continue", 0
+
+    def _on_broadcast(self, thread: _Thread, req: rq.Broadcast):
+        return self._on_signal(
+            thread, rq.Signal(cond=req.cond, site=req.site, uid=req.uid), broadcast=True
+        )
+
+    # ----------------------------------------------------------- semaphores
+
+    def _on_sem_acquire(self, thread: _Thread, req: rq.SemAcquire):
+        sem = self._sems.setdefault(req.sem, _Sem(req.sem))
+        wait_uid = req.uid or self._ids.next("w")
+        if sem.credits:
+            token = sem.credits.pop(0)
+            self.observer.on_wait_start(thread.tid, "sem", req.sem, self.now, req.site, wait_uid)
+            self.observer.on_wait_end(
+                thread.tid, "sem", token, "posted", self.now, self.now, req.site, wait_uid
+            )
+            if self.lock_cost:
+                # the P()'s own cost must be a trace event so the lowered
+                # replay charges it too
+                self.observer.on_compute(thread.tid, self.now, self.lock_cost, req.site, None)
+            return "continue", self.lock_cost
+        if sem.init_count > 0:
+            sem.init_count -= 1
+            if self.lock_cost:
+                self.observer.on_compute(thread.tid, self.now, self.lock_cost, req.site, None)
+            return "continue", self.lock_cost
+        sem.waiters.append((thread, wait_uid, req.site))
+        self.observer.on_wait_start(thread.tid, "sem", req.sem, self.now, req.site, wait_uid)
+        thread.wait_start = self.now
+        self._block(thread, f"sem:{req.sem}")
+        return "block", 0
+
+    def _on_sem_release(self, thread: _Thread, req: rq.SemRelease):
+        sem = self._sems.setdefault(req.sem, _Sem(req.sem))
+        post_uid = req.uid or self._ids.next("p")
+        if sem.waiters:
+            waiter, wait_uid, wsite = sem.waiters.pop(0)
+            self.observer.on_post(
+                thread.tid, "sem", post_uid, [wait_uid], self.now, req.site, post_uid
+            )
+            self.observer.on_wait_end(
+                waiter.tid, "sem", post_uid, "posted",
+                waiter.wait_start, self.now, wsite, wait_uid,
+            )
+            waiter.stats.block_ns += self.now - waiter.wait_start
+            if self.lock_cost:
+                # the wake-side semaphore bookkeeping must appear in the
+                # trace so the lowered replay charges the same cost
+                self.observer.on_compute(
+                    waiter.tid, self.now, self.lock_cost, wsite, None
+                )
+            self._make_ready(waiter, send_value=None, cost=self.lock_cost)
+        else:
+            sem.credits.append(post_uid)
+            self.observer.on_post(
+                thread.tid, "sem", post_uid, [], self.now, req.site, post_uid
+            )
+        if self.lock_cost:
+            # the V()'s own cost, as a trace event (replay parity)
+            self.observer.on_compute(thread.tid, self.now, self.lock_cost, req.site, None)
+        return "continue", self.lock_cost
+
+    # ------------------------------------------------------------- barriers
+
+    def _on_barrier(self, thread: _Thread, req: rq.BarrierWait):
+        waiters = self._barriers.setdefault(req.barrier, [])
+        wait_uid = req.uid or self._ids.next("w")
+        if len(waiters) + 1 >= req.parties:
+            post_uid = self._ids.next("p")
+            self.observer.on_post(
+                thread.tid, "barrier", post_uid, [w[1] for w in waiters],
+                self.now, req.site, post_uid,
+            )
+            for waiter, wuid, wsite in waiters:
+                self.observer.on_wait_end(
+                    waiter.tid, "barrier", post_uid, "posted",
+                    waiter.wait_start, self.now, wsite, wuid,
+                )
+                waiter.stats.block_ns += self.now - waiter.wait_start
+                self._make_ready(waiter, send_value=None, cost=0)
+            waiters.clear()
+            self._barrier_round[req.barrier] = self._barrier_round.get(req.barrier, 0) + 1
+            return "continue", 0
+        waiters.append((thread, wait_uid, req.site))
+        self.observer.on_wait_start(
+            thread.tid, "barrier", req.barrier, self.now, req.site, wait_uid
+        )
+        thread.wait_start = self.now
+        self._block(thread, f"barrier:{req.barrier}")
+        return "block", 0
+
+    # ------------------------------------------------------------ sleep/flags
+
+    def _on_sleep(self, thread: _Thread, req: rq.Sleep):
+        self.observer.on_sleep(thread.tid, req.duration, self.now, req.site, req.uid)
+        thread.stats.block_ns += req.duration
+        self._schedule(req.duration, self._sleep_wake, thread)
+        self._block(thread, "sleep")
+        return "block", 0
+
+    def _on_opaque(self, thread: _Thread, req: rq.Opaque):
+        uid = req.uid or self._ids.next("o")
+        self.observer.on_opaque(
+            thread.tid, req.duration, dict(req.changes), self.now, req.site, uid
+        )
+        thread.stats.block_ns += req.duration
+        self._schedule(req.duration, self._opaque_wake, thread, req.changes)
+        self._block(thread, "opaque")
+        return "block", 0
+
+    def _opaque_wake(self, thread: _Thread, changes) -> None:
+        # the bypassed range's net memory effect lands silently (no events)
+        from repro.sim.requests import Store
+
+        for addr, value in changes.items():
+            self.memory.write(addr, Store(value))
+        self._make_ready(thread, send_value=None, cost=0)
+        self._dispatch()
+
+    def _sleep_wake(self, thread: _Thread) -> None:
+        self._make_ready(thread, send_value=None, cost=0)
+        self._dispatch()
+
+    def _on_await_flag(self, thread: _Thread, req: rq.AwaitFlag):
+        wait_uid = req.uid or self._ids.next("w")
+        state = self._flags.get(req.flag)
+        if state is not None and state[0]:
+            self.observer.on_wait_start(
+                thread.tid, "flag", req.flag, self.now, req.site, wait_uid
+            )
+            self.observer.on_wait_end(
+                thread.tid, "flag", state[1], "posted", self.now, self.now, req.site, wait_uid
+            )
+            return "continue", 0
+        self._flag_waiters.setdefault(req.flag, []).append((thread, wait_uid, req.site))
+        self.observer.on_wait_start(thread.tid, "flag", req.flag, self.now, req.site, wait_uid)
+        thread.wait_start = self.now
+        self._block(thread, f"flag:{req.flag}")
+        return "block", 0
+
+    def _on_check_flag(self, thread: _Thread, req: rq.CheckFlag):
+        state = self._flags.get(req.flag)
+        thread.send_value = bool(state and state[0])
+        return "continue", 0
+
+    def _on_set_flag(self, thread: _Thread, req: rq.SetFlag):
+        post_uid = req.uid or self._ids.next("p")
+        self._flags[req.flag] = (True, post_uid)
+        waiters = self._flag_waiters.pop(req.flag, [])
+        self.observer.on_post(
+            thread.tid, "flag", post_uid, [w[1] for w in waiters],
+            self.now, req.site, post_uid,
+        )
+        for waiter, wait_uid, wsite in waiters:
+            self.observer.on_wait_end(
+                waiter.tid, "flag", post_uid, "posted",
+                waiter.wait_start, self.now, wsite, wait_uid,
+            )
+            waiter.stats.block_ns += self.now - waiter.wait_start
+            self._make_ready(waiter, send_value=None, cost=0)
+        return "continue", 0
+
+    # ----------------------------------------------------------- gate hooks
+
+    def gate_eligible_tids(self) -> List[str]:
+        """Threads whose progress currently depends only on the gate.
+
+        Used by deterministic schedulers (Kendo-style gates): a thread
+        blocked on a *held* lock or asleep cannot acquire anything, so it
+        must not stall the logical-clock minimum.  Gate-parked threads
+        (vetoed on a free lock, or a gated memory access) stay eligible —
+        they are exactly the ones the gate must eventually admit.
+        """
+        gated_mem_tids = {thread.tid for thread, _ in self._gated_mem}
+        eligible = []
+        for tid, thread in self._threads.items():
+            if thread.state == _DONE:
+                continue
+            if thread.state == _BLOCKED:
+                if tid in gated_mem_tids:
+                    eligible.append(tid)
+                    continue
+                reason = thread.blocked_reason
+                if reason.startswith("lock:"):
+                    lock = self._locks.get(reason[5:])
+                    if (
+                        lock is not None
+                        and thread.wait_req is not None
+                        and lock.admits(thread.wait_req.shared)
+                    ):
+                        eligible.append(tid)
+                continue
+            eligible.append(tid)
+        return eligible
+
+    def _request_recheck(self) -> None:
+        """Re-examine gate-parked threads after any gate-relevant change."""
+        if self._recheck_scheduled:
+            return
+        if not self._gated_mem and not self._starved_locks:
+            return
+        self._recheck_scheduled = True
+        self._schedule(0, self._recheck)
+
+    def _recheck(self) -> None:
+        self._recheck_scheduled = False
+        # gate-parked memory accesses
+        still_parked = []
+        for thread, req in self._gated_mem:
+            if not self.gate.may_access(thread.tid, req.addr, req.uid):
+                still_parked.append((thread, req))
+                continue
+            thread.stats.block_ns += self.now - thread.wait_start
+            if isinstance(req, rq.Read):
+                value = self._perform_read(thread, req.addr, req.site, req.uid)
+            else:
+                value = self._perform_write(thread, req.addr, req.op, req.site, req.uid)
+            self._make_ready(thread, send_value=value, cost=self.mem_cost)
+        self._gated_mem = still_parked
+        # gate-parked lock waiters (lock free but a gate said no earlier)
+        for name in list(self._starved_locks):
+            self._try_grant(self._locks[name])
+        self._dispatch()
+
+    # ------------------------------------------------------------ dispatch map
+
+    _HANDLERS = {
+        rq.Compute: _on_compute,
+        rq.Acquire: _on_acquire,
+        rq.Release: _on_release,
+        rq.Read: _on_read,
+        rq.Write: _on_write,
+        rq.CondWait: _on_cond_wait,
+        rq.Signal: _on_signal,
+        rq.Broadcast: _on_broadcast,
+        rq.SemAcquire: _on_sem_acquire,
+        rq.SemRelease: _on_sem_release,
+        rq.BarrierWait: _on_barrier,
+        rq.Sleep: _on_sleep,
+        rq.Opaque: _on_opaque,
+        rq.AwaitFlag: _on_await_flag,
+        rq.SetFlag: _on_set_flag,
+        rq.CheckFlag: _on_check_flag,
+    }

@@ -1,0 +1,44 @@
+"""Shared-memory model.
+
+Addresses are string labels (``"fifo.empty"``, ``"hash[7]"``).  Every cell
+holds an integer, defaulting to 0.  Writes are micro-ops (:class:`Store` or
+:class:`Add` from :mod:`repro.sim.requests`) so that the reversed-replay
+benign classifier can re-execute them in either order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+
+class SharedMemory:
+    """A flat map of integer cells with op-based writes."""
+
+    def __init__(self, initial: Dict[str, int] = None):
+        self._cells: Dict[str, int] = dict(initial or {})
+
+    def read(self, addr: str) -> int:
+        return self._cells.get(addr, 0)
+
+    def write(self, addr: str, op) -> int:
+        """Apply ``op`` to ``addr`` and return the new value."""
+        new = op.apply(self._cells.get(addr, 0))
+        self._cells[addr] = new
+        return new
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of all touched cells (for checkpoints/state deltas)."""
+        return dict(self._cells)
+
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        """Replace contents with a snapshot (selective-recording restore)."""
+        self._cells = dict(snapshot)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        return self._cells.items()
+
+    def __contains__(self, addr: str) -> bool:
+        return addr in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)

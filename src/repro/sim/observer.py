@@ -1,0 +1,55 @@
+"""Observer protocol: how recorders watch a running machine.
+
+The machine invokes the observer synchronously at each simulated event.
+:class:`NullObserver` provides no-op defaults so observers only override
+what they need (the trace recorder overrides nearly everything).
+
+Wake pairings (``woken`` arguments) matter: the recorder lowers high-level
+synchronization (condvars, semaphores, barriers, flags) into primitive
+*wait(token)* / *post(token)* trace events, and needs to know exactly which
+waiter each signal/release/last-arrival woke so the replay reproduces the
+original pairing.
+"""
+
+from __future__ import annotations
+
+
+class NullObserver:
+    """Base observer; every callback is a no-op."""
+
+    def on_thread_start(self, tid, name, t):
+        pass
+
+    def on_thread_end(self, tid, t):
+        pass
+
+    def on_compute(self, tid, t_start, duration, site, uid):
+        pass
+
+    def on_acquired(self, tid, lock, t_request, t_acquired, site, uid, spin,
+                    shared=False):
+        pass
+
+    def on_released(self, tid, lock, t, site, uid):
+        pass
+
+    def on_read(self, tid, addr, value, t, site, uid):
+        pass
+
+    def on_write(self, tid, addr, op, value_after, t, site, uid):
+        pass
+
+    def on_wait_start(self, tid, kind, token, t, site, uid):
+        """A thread started waiting (cond/sem/barrier/flag), kind names it."""
+
+    def on_wait_end(self, tid, kind, token, reason, t_start, t_end, site, uid):
+        """The wait ended; ``reason`` is 'posted' or 'timeout'."""
+
+    def on_post(self, tid, kind, token, woken, t, site, uid):
+        """A thread posted a token, waking the wait-uids in ``woken``."""
+
+    def on_sleep(self, tid, duration, t, site, uid):
+        pass
+
+    def on_opaque(self, tid, duration, changes, t, site, uid):
+        """A bypassed range: ``changes`` is its net memory delta."""

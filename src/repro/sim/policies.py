@@ -1,0 +1,44 @@
+"""Lock wake policies: who gets a contended lock next.
+
+The machine consults the policy whenever a lock is free and has eligible
+waiters.  ``FifoPolicy`` is deterministic; ``RandomPolicy`` models the
+OS-scheduler nondeterminism that makes un-enforced replays (ORIG-S)
+fluctuate run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+class WakePolicy:
+    """Strategy interface for picking the next lock owner."""
+
+    def choose(self, lock: str, waiters: Sequence) -> object:
+        """Return one element of non-empty ``waiters``."""
+        raise NotImplementedError
+
+
+class FifoPolicy(WakePolicy):
+    """Grant the lock in arrival order."""
+
+    def choose(self, lock: str, waiters: Sequence):
+        return waiters[0]
+
+
+class RandomPolicy(WakePolicy):
+    """Grant the lock to a uniformly random eligible waiter."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def choose(self, lock: str, waiters: Sequence):
+        return waiters[self._rng.randrange(len(waiters))]
+
+
+class LifoPolicy(WakePolicy):
+    """Grant the lock to the most recent arrival (unfair; for ablations)."""
+
+    def choose(self, lock: str, waiters: Sequence):
+        return waiters[-1]

@@ -1,0 +1,207 @@
+"""Request objects yielded by thread programs.
+
+A thread program is a Python generator.  Each ``yield`` hands the machine one
+of the request dataclasses below; the machine performs the requested action,
+advances simulated time, and sends the result (if any) back into the
+generator.  This is the only interface between workload code and the
+simulator, and also the interface the replayer uses to re-execute traces.
+
+Every request can carry:
+
+* ``site``  — an opaque code-site object (see :mod:`repro.trace.codesite`)
+  identifying the source location that issued the operation, and
+* ``uid``   — a stable event uid.  The recorder allocates uids; the replayer
+  passes the recorded uids back in so that enforcement gates and
+  cross-replay timestamp correlation can match events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Store:
+    """Write a literal value to a memory location."""
+
+    value: int
+
+    def apply(self, old: int) -> int:
+        return self.value
+
+    def encode(self) -> Tuple[str, int]:
+        return ("store", self.value)
+
+
+@dataclass(frozen=True)
+class Add:
+    """Add a delta to a memory location (commutes with itself)."""
+
+    delta: int
+
+    def apply(self, old: int) -> int:
+        return old + self.delta
+
+    def encode(self) -> Tuple[str, int]:
+        return ("add", self.delta)
+
+
+def decode_op(encoded) -> "Store | Add":
+    """Inverse of ``Store.encode`` / ``Add.encode``."""
+    kind, operand = encoded
+    if kind == "store":
+        return Store(int(operand))
+    if kind == "add":
+        return Add(int(operand))
+    raise ValueError(f"unknown memory op {kind!r}")
+
+
+@dataclass
+class Request:
+    """Base class for everything a thread program may yield."""
+
+    site: Any = field(default=None, kw_only=True)
+    uid: Optional[str] = field(default=None, kw_only=True)
+
+
+@dataclass
+class Compute(Request):
+    """Burn ``duration`` nanoseconds of CPU on the owning core."""
+
+    duration: int = 0
+
+
+@dataclass
+class Acquire(Request):
+    """Acquire a lock.  ``spin=True`` accounts the wait as burned CPU.
+
+    ``shared=True`` takes the lock in reader mode: any number of shared
+    holders may coexist, but they exclude (and are excluded by) exclusive
+    holders.  This is the readers-writer rewrite the fix advisor suggests
+    for read-read ULCPs; plain mutexes are ``shared=False``.
+    """
+
+    lock: str = ""
+    spin: bool = False
+    shared: bool = False
+
+
+@dataclass
+class Release(Request):
+    """Release a mutex held by this thread."""
+
+    lock: str = ""
+
+
+@dataclass
+class Read(Request):
+    """Read a shared-memory location; the value is sent back to the program."""
+
+    addr: str = ""
+
+
+@dataclass
+class Write(Request):
+    """Apply ``op`` (Store/Add) to a shared-memory location."""
+
+    addr: str = ""
+    op: Any = None
+
+
+@dataclass
+class CondWait(Request):
+    """Wait on a condition variable, releasing ``lock`` while asleep.
+
+    The machine sends back ``"signaled"`` or ``"timeout"``.  On wake the
+    thread re-acquires ``lock`` before the program resumes (mirroring
+    ``pthread_cond_wait`` — the source of the paper's Case 1 null-locks).
+    """
+
+    cond: str = ""
+    lock: str = ""
+    timeout: Optional[int] = None
+
+
+@dataclass
+class Signal(Request):
+    """Wake one waiter of a condition variable."""
+
+    cond: str = ""
+
+
+@dataclass
+class Broadcast(Request):
+    """Wake every waiter of a condition variable."""
+
+    cond: str = ""
+
+
+@dataclass
+class SemAcquire(Request):
+    """P() on a counting semaphore (non-mutual-exclusive sync)."""
+
+    sem: str = ""
+
+
+@dataclass
+class SemRelease(Request):
+    """V() on a counting semaphore."""
+
+    sem: str = ""
+
+
+@dataclass
+class BarrierWait(Request):
+    """Block until ``parties`` threads have reached the named barrier."""
+
+    barrier: str = ""
+    parties: int = 2
+
+
+@dataclass
+class Sleep(Request):
+    """Block off-core for ``duration`` nanoseconds."""
+
+    duration: int = 0
+
+
+@dataclass
+class AwaitFlag(Request):
+    """Block until a named boolean flag becomes true."""
+
+    flag: str = ""
+
+
+@dataclass
+class SetFlag(Request):
+    """Set a named boolean flag and wake its waiters."""
+
+    flag: str = ""
+
+
+@dataclass
+class Opaque(Request):
+    """A bypassed code range (selective recording, paper §5.1).
+
+    Models a system call / library call / spin loop whose internals are
+    not worth recording: the thread blocks off-core for ``duration`` and
+    the range's net memory effect ``changes`` is applied atomically at
+    the end, without per-access events.  The recorder stores the delta in
+    the trace's side table; replay restores it the same way.
+    """
+
+    duration: int = 0
+    changes: dict = field(default_factory=dict)
+
+
+@dataclass
+class CheckFlag(Request):
+    """Non-blocking flag test; sends True/False back to the program.
+
+    The dynamic locking strategy (paper §3.2, Figure 9) uses this to test
+    each source node's END state at runtime and skip the locks of sections
+    that already finished.
+    """
+
+    flag: str = ""

@@ -1,0 +1,64 @@
+"""Per-thread and per-lock accounting collected during a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ThreadStats:
+    """CPU/wait accounting for one simulated thread."""
+
+    tid: str
+    name: str = ""
+    start_time: int = 0
+    end_time: int = 0
+    #: Time spent computing (includes lock/memory op costs and spin waits).
+    cpu_ns: int = 0
+    #: Portion of ``cpu_ns`` burned spinning on busy locks (pure waste).
+    spin_ns: int = 0
+    #: Time spent blocked (mutex waits, cond waits, sleeps, gates).
+    block_ns: int = 0
+
+    @property
+    def lifetime_ns(self) -> int:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class LockStats:
+    """Contention accounting for one lock."""
+
+    lock: str
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+    total_wait_ns: int = 0
+    total_hold_ns: int = 0
+
+
+@dataclass
+class MachineResult:
+    """Outcome of one :meth:`Machine.run` call."""
+
+    end_time: int
+    threads: Dict[str, ThreadStats] = field(default_factory=dict)
+    locks: Dict[str, LockStats] = field(default_factory=dict)
+
+    @property
+    def total_cpu_ns(self) -> int:
+        return sum(t.cpu_ns for t in self.threads.values())
+
+    @property
+    def total_spin_ns(self) -> int:
+        return sum(t.spin_ns for t in self.threads.values())
+
+    @property
+    def total_block_ns(self) -> int:
+        return sum(t.block_ns for t in self.threads.values())
+
+    def cpu_waste_per_thread(self) -> float:
+        """Average pure-waste CPU time per thread (spin waits)."""
+        if not self.threads:
+            return 0.0
+        return self.total_spin_ns / len(self.threads)

@@ -1,0 +1,29 @@
+"""Simulated time base and default cost constants.
+
+All simulated time is integer nanoseconds.  The constants below are the
+default micro-costs of synchronization and memory operations; they are
+machine parameters and can be overridden per :class:`repro.sim.Machine`.
+"""
+
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+#: Cost charged to a thread for a lock acquire or release operation
+#: (an uncontended futex op is a few tens of ns).
+DEFAULT_LOCK_COST = 20
+
+#: Cost charged to a thread for one shared-memory read or write.
+DEFAULT_MEM_COST = 10
+
+
+def format_ns(ns: int) -> str:
+    """Render a nanosecond count in a human-friendly unit."""
+    if ns >= SECOND:
+        return f"{ns / SECOND:.3f}s"
+    if ns >= MILLISECOND:
+        return f"{ns / MILLISECOND:.3f}ms"
+    if ns >= MICROSECOND:
+        return f"{ns / MICROSECOND:.3f}us"
+    return f"{ns}ns"

@@ -1,0 +1,63 @@
+"""Trace substrate: events, code sites, containers, builder, serialization."""
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.checkpoint import Checkpoint, slice_from, take_checkpoint
+from repro.trace.codesite import CodeRegion, CodeSite
+from repro.trace.diff import TraceDiff, diff_traces
+from repro.trace.render import render_timeline
+from repro.trace.stats import TraceStats, trace_stats
+from repro.trace.events import (
+    ACQUIRE,
+    COMPUTE,
+    POST,
+    READ,
+    RELEASE,
+    SLEEP,
+    SYNC_KINDS,
+    THREAD_END,
+    THREAD_START,
+    TraceEvent,
+    WAIT,
+    WRITE,
+)
+from repro.trace.selective import SideTable, StateDelta, diff_snapshots
+from repro.trace.serialize import dump, dumps, load, loads
+from repro.trace.trace import Trace, TraceMeta
+from repro.trace.validate import problems, validate
+
+__all__ = [
+    "Trace",
+    "TraceMeta",
+    "TraceBuilder",
+    "TraceEvent",
+    "CodeSite",
+    "CodeRegion",
+    "Checkpoint",
+    "take_checkpoint",
+    "slice_from",
+    "SideTable",
+    "StateDelta",
+    "diff_snapshots",
+    "diff_traces",
+    "TraceDiff",
+    "render_timeline",
+    "trace_stats",
+    "TraceStats",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "validate",
+    "problems",
+    "THREAD_START",
+    "THREAD_END",
+    "COMPUTE",
+    "ACQUIRE",
+    "RELEASE",
+    "READ",
+    "WRITE",
+    "WAIT",
+    "POST",
+    "SLEEP",
+    "SYNC_KINDS",
+]

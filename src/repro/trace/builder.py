@@ -1,0 +1,204 @@
+"""TraceBuilder: the observer that turns machine callbacks into a Trace.
+
+The builder performs the *lowering* described in :mod:`repro.trace.events`:
+machine-level waits/posts arrive already tokenized (the machine reports
+which post woke which wait), so the builder just materializes events and
+assigns globally-ordered uids ``e0, e1, ...``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.observer import NullObserver
+from repro.trace.events import (
+    ACQUIRE,
+    COMPUTE,
+    POST,
+    READ,
+    RELEASE,
+    SLEEP,
+    THREAD_END,
+    THREAD_START,
+    TraceEvent,
+    WAIT,
+    WRITE,
+)
+from repro.trace.selective import StateDelta
+from repro.trace.trace import Trace, TraceMeta
+from repro.util.ids import IdGenerator
+
+
+class TraceBuilder(NullObserver):
+    """Builds a :class:`Trace` while attached to a machine as observer."""
+
+    def __init__(self, meta: TraceMeta = None):
+        self.trace = Trace(meta)
+        self._ids = IdGenerator()
+        # machine wait-uid -> trace WAIT event uid (posts name machine uids)
+        self._wait_uid_map = {}
+        self._pending_waits = {}
+        self._post_uid_map = {}
+        self._post_events = {}
+
+    def _uid(self) -> str:
+        return self._ids.next("e")
+
+    # ----------------------------------------------------------- callbacks
+
+    def on_thread_start(self, tid, name, t):
+        self.trace.add_thread(tid)
+        self.trace.append(
+            TraceEvent(uid=self._uid(), tid=tid, kind=THREAD_START, t=t)
+        )
+
+    def on_thread_end(self, tid, t):
+        self.trace.append(TraceEvent(uid=self._uid(), tid=tid, kind=THREAD_END, t=t))
+
+    def on_compute(self, tid, t_start, duration, site, uid):
+        self.trace.append(
+            TraceEvent(
+                uid=self._uid(),
+                tid=tid,
+                kind=COMPUTE,
+                t=t_start + duration,
+                duration=duration,
+                site=site,
+            )
+        )
+
+    def on_acquired(self, tid, lock, t_request, t_acquired, site, uid, spin,
+                    shared=False):
+        self.trace.append(
+            TraceEvent(
+                uid=self._uid(),
+                tid=tid,
+                kind=ACQUIRE,
+                t=t_acquired,
+                t_request=t_request,
+                lock=lock,
+                spin=spin,
+                shared=shared,
+                site=site,
+            )
+        )
+
+    def on_released(self, tid, lock, t, site, uid):
+        self.trace.append(
+            TraceEvent(
+                uid=self._uid(), tid=tid, kind=RELEASE, t=t, lock=lock, site=site
+            )
+        )
+
+    def on_read(self, tid, addr, value, t, site, uid):
+        self.trace.append(
+            TraceEvent(
+                uid=self._uid(),
+                tid=tid,
+                kind=READ,
+                t=t,
+                addr=addr,
+                value=value,
+                site=site,
+            )
+        )
+
+    def on_write(self, tid, addr, op, value_after, t, site, uid):
+        self.trace.append(
+            TraceEvent(
+                uid=self._uid(),
+                tid=tid,
+                kind=WRITE,
+                t=t,
+                addr=addr,
+                op=op.encode(),
+                value=value_after,
+                site=site,
+            )
+        )
+
+    def on_wait_start(self, tid, kind, token, t, site, uid):
+        # Materialized at wait end, when duration and poster are known.
+        pass
+
+    def on_wait_end(self, tid, kind, token, reason, t_start, t_end, site, uid):
+        """Record a finished wait.
+
+        ``token`` is the *machine* uid of the post that woke it (None on
+        timeout).  The machine notifies waiters *before* the poster, but
+        the trace must record the POST first (its uid is the token waits
+        reference, and replay/race analyses process record order at equal
+        timestamps).  Waits whose post has not been recorded yet are
+        buffered and flushed by :meth:`on_post`.
+        """
+        if token is not None and token not in self._post_uid_map:
+            self._pending_waits.setdefault(token, []).append(
+                (tid, reason, t_start, t_end, site, uid)
+            )
+            return
+        trace_token = self._post_uid_map.get(token) if token is not None else None
+        self._emit_wait(tid, trace_token, reason, t_start, t_end, site, uid)
+
+    def _emit_wait(self, tid, trace_token, reason, t_start, t_end, site, uid):
+        event = TraceEvent(
+            uid=self._uid(),
+            tid=tid,
+            kind=WAIT,
+            t=t_end,
+            duration=t_end - t_start,
+            token=trace_token,
+            reason=reason,
+            site=site,
+        )
+        self._wait_uid_map[uid] = event.uid
+        if trace_token is not None:
+            poster = self._post_events.get(trace_token)
+            if poster is not None:
+                poster.woken.append(event.uid)
+        self.trace.append(event)
+        return event.uid
+
+    def on_post(self, tid, kind, token, woken, t, site, uid):
+        event = TraceEvent(
+            uid=self._uid(),
+            tid=tid,
+            kind=POST,
+            t=t,
+            token=None,
+            site=site,
+        )
+        event.token = event.uid  # a post's token is its own trace uid
+        self._post_uid_map[uid] = event.uid
+        self._post_events[event.uid] = event
+        self.trace.append(event)
+        # flush any waits that arrived before this post was recorded
+        for entry in self._pending_waits.pop(uid, []):
+            w_tid, reason, t_start, t_end, w_site, w_uid = entry
+            self._emit_wait(w_tid, event.uid, reason, t_start, t_end, w_site, w_uid)
+
+    def on_sleep(self, tid, duration, t, site, uid):
+        self.trace.append(
+            TraceEvent(
+                uid=self._uid(),
+                tid=tid,
+                kind=SLEEP,
+                t=t + duration,
+                duration=duration,
+                site=site,
+            )
+        )
+
+    def on_opaque(self, tid, duration, changes, t, site, uid):
+        """Selective recording: the bypassed range becomes one SLEEP event
+        plus a state delta in the trace's side table."""
+        event = TraceEvent(
+            uid=self._uid(),
+            tid=tid,
+            kind=SLEEP,
+            t=t + duration,
+            duration=duration,
+            site=site,
+        )
+        self.trace.append(event)
+        if changes:
+            self.trace.side.deltas.append(
+                StateDelta(sleep_uid=event.uid, duration=duration, changes=changes)
+            )

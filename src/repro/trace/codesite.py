@@ -1,0 +1,90 @@
+"""Code sites and code regions.
+
+A :class:`CodeSite` identifies the static program location that issued a
+dynamic event (file, line, function) — the granularity at which PERFPLAY
+reports ULCPs back to the programmer.  A :class:`CodeRegion` is a span of
+lines in one file; critical sections map to the region between their lock
+and unlock sites, and ULCP fusion (Algorithm 2) merges regions with the
+``overlaps`` / ``merge`` operators (the paper's ⊓ and ⊔).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class CodeSite:
+    """One static source location."""
+
+    file: str
+    line: int
+    function: str = ""
+
+    def __str__(self):
+        suffix = f":{self.function}" if self.function else ""
+        return f"{self.file}:{self.line}{suffix}"
+
+    def encode(self):
+        return [self.file, self.line, self.function]
+
+    @staticmethod
+    def decode(data) -> Optional["CodeSite"]:
+        if data is None:
+            return None
+        file, line, function = data
+        return CodeSite(file, int(line), function)
+
+
+@dataclass(frozen=True, order=True)
+class CodeRegion:
+    """A contiguous span of lines in one file."""
+
+    file: str
+    start_line: int
+    end_line: int
+
+    def __post_init__(self):
+        if self.end_line < self.start_line:
+            raise ValueError(
+                f"region end {self.end_line} before start {self.start_line}"
+            )
+
+    @staticmethod
+    def from_sites(first: CodeSite, second: CodeSite) -> "CodeRegion":
+        """Region spanning two sites (e.g. a lock site and its unlock site)."""
+        if first.file != second.file:
+            # Lock and unlock in different files: degrade to the lock site.
+            return CodeRegion(first.file, first.line, first.line)
+        low, high = sorted((first.line, second.line))
+        return CodeRegion(first.file, low, high)
+
+    def overlaps(self, other: "CodeRegion") -> bool:
+        """The paper's ⊓ test: do two regions share any code?"""
+        if self.file != other.file:
+            return False
+        return self.start_line <= other.end_line and other.start_line <= self.end_line
+
+    def merge(self, other: "CodeRegion") -> "CodeRegion":
+        """The paper's ⊔: conflate two overlapping regions."""
+        if not self.overlaps(other):
+            raise ValueError(f"cannot merge disjoint regions {self} and {other}")
+        return CodeRegion(
+            self.file,
+            min(self.start_line, other.start_line),
+            max(self.end_line, other.end_line),
+        )
+
+    def __str__(self):
+        if self.start_line == self.end_line:
+            return f"{self.file}:{self.start_line}"
+        return f"{self.file}:{self.start_line}-{self.end_line}"
+
+    def encode(self):
+        return [self.file, self.start_line, self.end_line]
+
+    @staticmethod
+    def decode(data) -> "CodeRegion":
+        file, start, end = data
+        return CodeRegion(file, int(start), int(end))

@@ -1,0 +1,118 @@
+"""Trace comparison: what changed between two traces?
+
+Used when debugging the pipeline itself (did the transformation touch
+anything it should not have?) and for regression checks on serialized
+traces.  The diff is structural — per-thread event sequences compared by
+kind/payload — plus summary-level deltas (event counts, lock schedules,
+end times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+@dataclass
+class EventDelta:
+    """One per-thread position where the traces disagree."""
+
+    tid: str
+    index: int
+    left: Optional[TraceEvent]
+    right: Optional[TraceEvent]
+
+    def describe(self) -> str:
+        def show(event):
+            if event is None:
+                return "<missing>"
+            extra = event.lock or event.addr or event.token or ""
+            return f"{event.kind}({extra})@{event.t}"
+
+        return f"{self.tid}[{self.index}]: {show(self.left)} != {show(self.right)}"
+
+
+@dataclass
+class TraceDiff:
+    """All differences found between two traces."""
+
+    thread_changes: List[str] = field(default_factory=list)
+    event_deltas: List[EventDelta] = field(default_factory=list)
+    schedule_changes: List[str] = field(default_factory=list)
+    summary_changes: List[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not (
+            self.thread_changes
+            or self.event_deltas
+            or self.schedule_changes
+            or self.summary_changes
+        )
+
+    def render(self, *, limit: int = 20) -> str:
+        if self.identical:
+            return "traces are identical"
+        lines: List[str] = []
+        lines.extend(self.thread_changes)
+        lines.extend(self.schedule_changes)
+        lines.extend(self.summary_changes)
+        for delta in self.event_deltas[:limit]:
+            lines.append(delta.describe())
+        if len(self.event_deltas) > limit:
+            lines.append(f"... and {len(self.event_deltas) - limit} more event deltas")
+        return "\n".join(lines)
+
+
+def _events_equal(left: TraceEvent, right: TraceEvent) -> bool:
+    return left.encode() == right.encode()
+
+
+def diff_traces(left: Trace, right: Trace, *, ignore_times: bool = False) -> TraceDiff:
+    """Compare two traces; ``ignore_times`` masks timestamp-only changes."""
+    result = TraceDiff()
+
+    left_tids = set(left.threads)
+    right_tids = set(right.threads)
+    for tid in sorted(left_tids - right_tids):
+        result.thread_changes.append(f"thread {tid} only in left trace")
+    for tid in sorted(right_tids - left_tids):
+        result.thread_changes.append(f"thread {tid} only in right trace")
+
+    def key(event: TraceEvent) -> dict:
+        data = event.encode()
+        if ignore_times:
+            data.pop("t", None)
+            data.pop("t_request", None)
+            data.pop("duration", None)
+        return data
+
+    for tid in sorted(left_tids & right_tids):
+        a = left.threads[tid]
+        b = right.threads[tid]
+        for i in range(max(len(a), len(b))):
+            ea = a[i] if i < len(a) else None
+            eb = b[i] if i < len(b) else None
+            if ea is None or eb is None or key(ea) != key(eb):
+                result.event_deltas.append(
+                    EventDelta(tid=tid, index=i, left=ea, right=eb)
+                )
+
+    for lock in sorted(set(left.lock_schedule) | set(right.lock_schedule)):
+        a = left.lock_schedule.get(lock)
+        b = right.lock_schedule.get(lock)
+        if a != b:
+            result.schedule_changes.append(
+                f"lock schedule for {lock}: {len(a or [])} vs {len(b or [])} "
+                f"acquisitions"
+                + ("" if (a or []) == (b or []) else " (order/content differ)")
+            )
+
+    if not ignore_times and left.end_time != right.end_time:
+        result.summary_changes.append(
+            f"end time: {left.end_time} vs {right.end_time}"
+        )
+    return result

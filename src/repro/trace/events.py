@@ -1,0 +1,144 @@
+"""Trace event model.
+
+The recorder lowers every machine observation into the small vocabulary
+below.  High-level synchronization (condvars, semaphores, barriers, flags)
+is lowered into ``WAIT``/``POST`` token events whose pairing reproduces the
+original wake order during replay; a timed-out wait is lowered into its
+observed duration and replayed as a sleep.
+
+Every event has a stable ``uid`` assigned at record time.  Transformation
+preserves uids (it only rewrites synchronization), so a timestamp measured
+at an event in the original replay can be compared with the timestamp of
+the same uid in the ULCP-free replay — this is what makes the paper's
+Eq. 1 (ΔTime at labels) computable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.trace.codesite import CodeSite
+
+THREAD_START = "thread_start"
+THREAD_END = "thread_end"
+COMPUTE = "compute"
+ACQUIRE = "acquire"
+RELEASE = "release"
+READ = "read"
+WRITE = "write"
+WAIT = "wait"
+POST = "post"
+SLEEP = "sleep"
+
+# Markers emitted by the ULCP transformation in place of the original
+# lock/unlock events of a critical section.  ``token`` carries the cs uid;
+# ``lock`` keeps the original lock name for diagnostics.  The replayer
+# expands them into auxiliary-lock acquisitions (lockset mode) or
+# predecessor END-flag waits (DLS mode).
+CS_ENTER = "cs_enter"
+CS_EXIT = "cs_exit"
+
+#: Events that constitute synchronization (vs. computation/memory).
+SYNC_KINDS = frozenset({ACQUIRE, RELEASE, WAIT, POST})
+
+
+@dataclass
+class TraceEvent:
+    """One recorded dynamic event.
+
+    ``t`` is the event's primary timestamp (its completion for waits, its
+    grant time for acquires).  Kind-specific payloads live in the optional
+    fields; unused fields stay at their defaults.
+    """
+
+    uid: str
+    tid: str
+    kind: str
+    t: int
+    site: Optional[CodeSite] = None
+
+    # compute / sleep / wait
+    duration: int = 0
+
+    # acquire / release
+    lock: str = ""
+    t_request: int = 0
+    spin: bool = False
+    shared: bool = False  # reader-mode acquisition (rwlock)
+
+    # read / write
+    addr: str = ""
+    value: int = 0
+    op: Optional[Tuple[str, int]] = None  # encoded Store/Add
+
+    # wait / post
+    token: Optional[str] = None
+    reason: str = ""
+    woken: List[str] = field(default_factory=list)
+
+    @property
+    def is_sync(self) -> bool:
+        return self.kind in SYNC_KINDS
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (READ, WRITE)
+
+    @property
+    def wait_time(self) -> int:
+        """For acquires: how long the thread waited for the grant."""
+        if self.kind == ACQUIRE:
+            return self.t - self.t_request
+        return 0
+
+    def encode(self) -> dict:
+        """Compact dict for JSONL serialization (defaults omitted)."""
+        data = {"uid": self.uid, "tid": self.tid, "kind": self.kind, "t": self.t}
+        if self.site is not None:
+            data["site"] = self.site.encode()
+        if self.duration:
+            data["duration"] = self.duration
+        if self.lock:
+            data["lock"] = self.lock
+        if self.t_request:
+            data["t_request"] = self.t_request
+        if self.spin:
+            data["spin"] = True
+        if self.shared:
+            data["shared"] = True
+        if self.addr:
+            data["addr"] = self.addr
+        if self.value:
+            data["value"] = self.value
+        if self.op is not None:
+            data["op"] = list(self.op)
+        if self.token is not None:
+            data["token"] = self.token
+        if self.reason:
+            data["reason"] = self.reason
+        if self.woken:
+            data["woken"] = self.woken
+        return data
+
+    @staticmethod
+    def decode(data: dict) -> "TraceEvent":
+        op = data.get("op")
+        return TraceEvent(
+            uid=data["uid"],
+            tid=data["tid"],
+            kind=data["kind"],
+            t=data["t"],
+            site=CodeSite.decode(data.get("site")),
+            duration=data.get("duration", 0),
+            lock=data.get("lock", ""),
+            t_request=data.get("t_request", 0),
+            spin=data.get("spin", False),
+            shared=data.get("shared", False),
+            addr=data.get("addr", ""),
+            value=data.get("value", 0),
+            op=tuple(op) if op is not None else None,
+            token=data.get("token"),
+            reason=data.get("reason", ""),
+            woken=list(data.get("woken", [])),
+        )

@@ -1,0 +1,87 @@
+"""ASCII timeline rendering of traces — a quick visual debugging aid.
+
+One lane per thread; each column is a time bucket.  Glyphs:
+
+* ``#`` — inside a critical section,
+* ``=`` — computing outside any critical section,
+* ``~`` — blocked (waiting for a lock / cond / token),
+* `` `` — idle / finished.
+
+``render_timeline(trace)`` returns the picture as a string; pass
+``width`` to control the resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.trace.events import (
+    ACQUIRE,
+    COMPUTE,
+    CS_ENTER,
+    CS_EXIT,
+    RELEASE,
+    SLEEP,
+    THREAD_END,
+    THREAD_START,
+    WAIT,
+)
+from repro.trace.trace import Trace
+
+IN_CS = "#"
+BUSY = "="
+BLOCKED = "~"
+IDLE = " "
+
+
+def _spans(events) -> List[Tuple[int, int, str]]:
+    """(start, end, glyph) spans for one thread's events."""
+    spans: List[Tuple[int, int, str]] = []
+    cs_depth = 0
+    for event in events:
+        if event.kind in (THREAD_START, THREAD_END):
+            continue
+        glyph = None
+        start = end = None
+        if event.kind == COMPUTE:
+            start, end = event.t - event.duration, event.t
+            glyph = IN_CS if cs_depth > 0 else BUSY
+        elif event.kind in (ACQUIRE, CS_ENTER):
+            if event.kind == ACQUIRE and event.wait_time > 0:
+                spans.append((event.t_request, event.t, BLOCKED))
+            cs_depth += 1
+        elif event.kind in (RELEASE, CS_EXIT):
+            cs_depth = max(0, cs_depth - 1)
+        elif event.kind in (WAIT, SLEEP):
+            start, end = event.t - event.duration, event.t
+            glyph = BLOCKED
+        if glyph is not None and start is not None and end > start:
+            spans.append((start, end, glyph))
+    return spans
+
+
+def render_timeline(trace: Trace, *, width: int = 72) -> str:
+    """Render per-thread activity lanes over simulated time."""
+    end_time = max(1, trace.end_time)
+    scale = width / end_time
+    lanes: Dict[str, List[str]] = {}
+    for tid, events in trace.threads.items():
+        lane = [IDLE] * width
+        for start, end, glyph in _spans(events):
+            lo = min(width - 1, int(start * scale))
+            hi = min(width, max(lo + 1, int(end * scale)))
+            for i in range(lo, hi):
+                # critical sections win over compute, blocked over idle
+                if lane[i] == IDLE or (lane[i] == BUSY and glyph == IN_CS):
+                    lane[i] = glyph
+                elif glyph == BLOCKED and lane[i] == IDLE:
+                    lane[i] = glyph
+        lanes[tid] = lane
+
+    label_width = max(len(tid) for tid in lanes) if lanes else 2
+    lines = [
+        f"timeline 0..{end_time}ns  (#=in CS  ==compute  ~=blocked)",
+    ]
+    for tid, lane in lanes.items():
+        lines.append(f"{tid:>{label_width}} |{''.join(lane)}|")
+    return "\n".join(lines)

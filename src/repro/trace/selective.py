@@ -1,0 +1,80 @@
+"""Selective recording: bypass a code range, record only its state delta.
+
+The paper (§5.1) reduces record/replay cost by recording, for expensive
+uninteresting ranges (system calls, library calls, spin loops), only the
+memory-state changes and the elapsed time — during replay the range is
+skipped and the state restored.
+
+Here a bypassed range appears in the trace as a single ``SLEEP`` event of
+the observed duration (the replayer simply waits it out, off-core) plus a
+``StateDelta`` carried in the recording's side table, applied to simulated
+memory when the sleep completes during replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.requests import Store
+
+
+@dataclass
+class StateDelta:
+    """Memory changes observed across a bypassed range."""
+
+    sleep_uid: str
+    duration: int
+    changes: Dict[str, int] = field(default_factory=dict)
+
+    def encode(self) -> dict:
+        return {
+            "sleep_uid": self.sleep_uid,
+            "duration": self.duration,
+            "changes": dict(self.changes),
+        }
+
+    @staticmethod
+    def decode(data: dict) -> "StateDelta":
+        return StateDelta(
+            sleep_uid=data["sleep_uid"],
+            duration=data["duration"],
+            changes=dict(data["changes"]),
+        )
+
+    def apply(self, memory) -> None:
+        """Install the recorded post-range state into simulated memory."""
+        for addr, value in self.changes.items():
+            memory.write(addr, Store(value))
+
+
+def diff_snapshots(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Cells that changed (or appeared) between two memory snapshots."""
+    changes = {}
+    for addr, value in after.items():
+        if before.get(addr, 0) != value:
+            changes[addr] = value
+    for addr in before:
+        if addr not in after:
+            changes[addr] = 0
+    return changes
+
+
+@dataclass
+class SideTable:
+    """Per-trace side data: state deltas and checkpoint markers."""
+
+    deltas: List[StateDelta] = field(default_factory=list)
+
+    def delta_for(self, sleep_uid: str):
+        for delta in self.deltas:
+            if delta.sleep_uid == sleep_uid:
+                return delta
+        return None
+
+    def encode(self) -> dict:
+        return {"deltas": [d.encode() for d in self.deltas]}
+
+    @staticmethod
+    def decode(data: dict) -> "SideTable":
+        return SideTable(deltas=[StateDelta.decode(d) for d in data.get("deltas", [])])

@@ -1,0 +1,70 @@
+"""JSONL (de)serialization of traces.
+
+Format: the first line is the metadata object (``{"meta": ...}``), the
+second is the lock schedule (``{"lock_schedule": ...}``), and every
+subsequent line is one event in per-thread record order, interleaved in
+the order events were appended during recording.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import TraceError
+from repro.trace.events import TraceEvent
+from repro.trace.selective import SideTable
+from repro.trace.trace import Trace, TraceMeta
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize a trace to a JSONL string."""
+    out = io.StringIO()
+    out.write(json.dumps({"meta": trace.meta.encode()}) + "\n")
+    out.write(json.dumps({"lock_schedule": trace.lock_schedule}) + "\n")
+    out.write(json.dumps({"threads": list(trace.threads)}) + "\n")
+    if trace.side.deltas:
+        out.write(json.dumps({"side": trace.side.encode()}) + "\n")
+    for event in trace.iter_events():
+        out.write(json.dumps(event.encode()) + "\n")
+    return out.getvalue()
+
+
+def loads(text: str) -> Trace:
+    """Deserialize a trace from a JSONL string."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) < 3:
+        raise TraceError("truncated trace: missing header lines")
+    header = json.loads(lines[0])
+    schedule = json.loads(lines[1])
+    threads = json.loads(lines[2])
+    if "meta" not in header or "lock_schedule" not in schedule:
+        raise TraceError("malformed trace header")
+    trace = Trace(TraceMeta.decode(header["meta"]))
+    for tid in threads.get("threads", []):
+        trace.add_thread(tid)
+    body_lines = lines[3:]
+    if body_lines and "side" in json.loads(body_lines[0]):
+        trace.side = SideTable.decode(json.loads(body_lines[0])["side"])
+        body_lines = body_lines[1:]
+    for line in body_lines:
+        event = TraceEvent.decode(json.loads(line))
+        # append() would re-derive the lock schedule; bypass it and install
+        # the recorded schedule verbatim below.
+        trace.threads.setdefault(event.tid, []).append(event)
+    trace.lock_schedule = {
+        lock: list(uids) for lock, uids in schedule["lock_schedule"].items()
+    }
+    return trace
+
+
+def dump(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to a file."""
+    Path(path).write_text(dumps(trace), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> Trace:
+    """Read a trace from a file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,106 @@
+"""Trace statistics: a structural summary of a recorded execution.
+
+Answers the first questions one asks of an unfamiliar trace — how many
+events of each kind, how busy each thread is, how synchronization-dense
+the execution is — before any ULCP analysis runs.  Exposed on the CLI
+as ``python -m repro stats <trace>``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.trace.events import (
+    ACQUIRE,
+    COMPUTE,
+    POST,
+    READ,
+    RELEASE,
+    SLEEP,
+    WAIT,
+    WRITE,
+)
+from repro.trace.trace import Trace
+
+
+@dataclass
+class ThreadSummary:
+    tid: str
+    events: int = 0
+    compute_ns: int = 0
+    acquisitions: int = 0
+    contended: int = 0
+    wait_ns: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def sync_density(self) -> float:
+        """Lock operations per event."""
+        return self.acquisitions / self.events if self.events else 0.0
+
+
+@dataclass
+class TraceStats:
+    total_events: int
+    end_time: int
+    kinds: Counter = field(default_factory=Counter)
+    threads: Dict[str, ThreadSummary] = field(default_factory=dict)
+    locks: int = 0
+    shared_addresses: int = 0
+
+    @property
+    def contention_rate(self) -> float:
+        acquisitions = sum(t.acquisitions for t in self.threads.values())
+        contended = sum(t.contended for t in self.threads.values())
+        return contended / acquisitions if acquisitions else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"events={self.total_events}  end={self.end_time}ns  "
+            f"locks={self.locks}  shared addrs={self.shared_addresses}  "
+            f"contended acquires={self.contention_rate:.0%}",
+            "kinds: " + "  ".join(
+                f"{kind}={count}" for kind, count in self.kinds.most_common()
+            ),
+            f"{'thread':12} {'events':>7} {'compute':>9} {'acq':>5} "
+            f"{'cont':>5} {'wait(ns)':>9} {'rd':>5} {'wr':>5}",
+        ]
+        for summary in self.threads.values():
+            lines.append(
+                f"{summary.tid:12} {summary.events:>7} {summary.compute_ns:>9} "
+                f"{summary.acquisitions:>5} {summary.contended:>5} "
+                f"{summary.wait_ns:>9} {summary.reads:>5} {summary.writes:>5}"
+            )
+        return "\n".join(lines)
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    """Compute the structural summary of a trace."""
+    from repro.analysis.shadow import shared_addresses
+
+    stats = TraceStats(total_events=len(trace), end_time=trace.end_time)
+    for tid, events in trace.threads.items():
+        summary = stats.threads.setdefault(tid, ThreadSummary(tid=tid))
+        for event in events:
+            stats.kinds[event.kind] += 1
+            summary.events += 1
+            if event.kind == COMPUTE:
+                summary.compute_ns += event.duration
+            elif event.kind == ACQUIRE:
+                summary.acquisitions += 1
+                wait = event.wait_time
+                if wait > 0:
+                    summary.contended += 1
+                    summary.wait_ns += wait
+            elif event.kind == READ:
+                summary.reads += 1
+            elif event.kind == WRITE:
+                summary.writes += 1
+            elif event.kind in (WAIT, SLEEP):
+                summary.wait_ns += event.duration
+    stats.locks = len(trace.lock_schedule)
+    stats.shared_addresses = len(shared_addresses(trace))
+    return stats

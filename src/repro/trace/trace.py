@@ -1,0 +1,137 @@
+"""The Trace container: per-thread event sequences plus the lock schedule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import re
+
+from repro.errors import TraceError
+from repro.trace.events import ACQUIRE, TraceEvent
+from repro.trace.selective import SideTable
+
+_UID_NUM = re.compile(r"(\d+)$")
+
+
+def _uid_order(uid: str):
+    """Sort key ordering ``e2`` before ``e10`` (record order), robust to
+    non-numeric uids."""
+    match = _UID_NUM.search(uid)
+    if match:
+        return (0, int(match.group(1)), uid)
+    return (1, 0, uid)
+
+
+@dataclass
+class TraceMeta:
+    """Recording parameters needed to replay on an identical machine."""
+
+    name: str = ""
+    seed: int = 0
+    num_cores: int = 8
+    lock_cost: int = 50
+    mem_cost: int = 10
+    params: dict = field(default_factory=dict)
+
+    def encode(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "num_cores": self.num_cores,
+            "lock_cost": self.lock_cost,
+            "mem_cost": self.mem_cost,
+            "params": dict(self.params),
+        }
+
+    @staticmethod
+    def decode(data: dict) -> "TraceMeta":
+        return TraceMeta(
+            name=data.get("name", ""),
+            seed=data.get("seed", 0),
+            num_cores=data.get("num_cores", 8),
+            lock_cost=data.get("lock_cost", 50),
+            mem_cost=data.get("mem_cost", 10),
+            params=dict(data.get("params", {})),
+        )
+
+
+class Trace:
+    """A recorded execution.
+
+    * ``threads`` — per-thread, record-order event lists (the replay
+      "program" of each thread),
+    * ``lock_schedule`` — per lock, the acquire-event uids in grant order
+      (the ELSC total order), and
+    * ``meta`` — machine parameters of the recording run.
+    """
+
+    def __init__(self, meta: TraceMeta = None):
+        self.meta = meta if meta is not None else TraceMeta()
+        self.threads: Dict[str, List[TraceEvent]] = {}
+        self.lock_schedule: Dict[str, List[str]] = {}
+        self.side = SideTable()  # selective-recording state deltas
+        self._by_uid: Optional[Dict[str, TraceEvent]] = None
+
+    # ------------------------------------------------------------ building
+
+    def add_thread(self, tid: str) -> None:
+        if tid in self.threads:
+            raise TraceError(f"duplicate thread {tid}")
+        self.threads[tid] = []
+
+    def append(self, event: TraceEvent) -> None:
+        if event.tid not in self.threads:
+            self.add_thread(event.tid)
+        self.threads[event.tid].append(event)
+        if event.kind == ACQUIRE:
+            self.lock_schedule.setdefault(event.lock, []).append(event.uid)
+        self._by_uid = None
+
+    # ------------------------------------------------------------ querying
+
+    @property
+    def thread_ids(self) -> List[str]:
+        return list(self.threads)
+
+    def events_of(self, tid: str) -> List[TraceEvent]:
+        return self.threads[tid]
+
+    def event(self, uid: str) -> TraceEvent:
+        if self._by_uid is None:
+            self._by_uid = {e.uid: e for e in self.iter_events()}
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise TraceError(f"no event with uid {uid!r}") from None
+
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """All events, thread by thread, in per-thread record order."""
+        for events in self.threads.values():
+            yield from events
+
+    def iter_time_order(self) -> List[TraceEvent]:
+        """All events sorted by timestamp.
+
+        Ties break on record order (the numeric part of the builder's
+        ``e<n>`` uids), which matters semantically: a POST and the WAIT it
+        wakes can share a timestamp, and the waiters are recorded first.
+        """
+        return sorted(self.iter_events(), key=lambda e: (e.t, _uid_order(e.uid)))
+
+    def __len__(self) -> int:
+        return sum(len(events) for events in self.threads.values())
+
+    @property
+    def end_time(self) -> int:
+        latest = 0
+        for events in self.threads.values():
+            if events:
+                latest = max(latest, events[-1].t)
+        return latest
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.iter_events() if e.kind == kind)
+
+    def locks(self) -> List[str]:
+        return list(self.lock_schedule)

@@ -1,0 +1,85 @@
+"""Trace well-formedness checks.
+
+``validate(trace)`` raises :class:`TraceError` on the first violation;
+``problems(trace)`` returns every violation as a string, for diagnostics.
+The transformation pipeline validates its output trace before replaying
+it, so a buggy transformation fails loudly instead of producing nonsense
+performance numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    ACQUIRE,
+    POST,
+    RELEASE,
+    THREAD_END,
+    THREAD_START,
+    WAIT,
+)
+from repro.trace.trace import Trace
+
+
+def problems(trace: Trace) -> List[str]:
+    """Return a list of well-formedness violations (empty when clean)."""
+    issues: List[str] = []
+    posts = {}
+    for event in trace.iter_events():
+        if event.kind == POST:
+            posts[event.token] = event
+
+    for tid, events in trace.threads.items():
+        held = set()
+        last_t = -1
+        for i, event in enumerate(events):
+            if event.t < last_t:
+                issues.append(
+                    f"{tid}: event {event.uid} at t={event.t} before t={last_t}"
+                )
+            last_t = event.t
+            if event.kind == THREAD_START and i != 0:
+                issues.append(f"{tid}: thread_start not first ({event.uid})")
+            if event.kind == THREAD_END and i != len(events) - 1:
+                issues.append(f"{tid}: thread_end not last ({event.uid})")
+            if event.kind == ACQUIRE:
+                if event.lock in held:
+                    issues.append(f"{tid}: re-acquired {event.lock} ({event.uid})")
+                held.add(event.lock)
+            elif event.kind == RELEASE:
+                if event.lock not in held:
+                    issues.append(
+                        f"{tid}: released unheld {event.lock} ({event.uid})"
+                    )
+                held.discard(event.lock)
+            elif event.kind == WAIT:
+                if event.reason == "posted" and event.token not in posts:
+                    issues.append(
+                        f"{tid}: wait {event.uid} references missing post "
+                        f"{event.token!r}"
+                    )
+        if held:
+            issues.append(f"{tid}: locks never released: {sorted(held)}")
+
+    for lock, uids in trace.lock_schedule.items():
+        seen_uids = {
+            e.uid for e in trace.iter_events() if e.kind == ACQUIRE and e.lock == lock
+        }
+        for uid in uids:
+            if uid not in seen_uids:
+                issues.append(f"schedule[{lock}]: unknown acquire uid {uid}")
+        if len(uids) != len(seen_uids):
+            issues.append(
+                f"schedule[{lock}]: {len(uids)} scheduled vs "
+                f"{len(seen_uids)} recorded acquires"
+            )
+    return issues
+
+
+def validate(trace: Trace) -> None:
+    """Raise :class:`TraceError` if the trace is malformed."""
+    issues = problems(trace)
+    if issues:
+        raise TraceError("; ".join(issues[:10]))

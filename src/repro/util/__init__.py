@@ -1,0 +1,7 @@
+"""Small shared utilities: id generation, RNG plumbing, statistics."""
+
+from repro.util.ids import IdGenerator
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.stats import Summary, summarize
+
+__all__ = ["IdGenerator", "derive_rng", "derive_seed", "Summary", "summarize"]

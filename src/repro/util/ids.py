@@ -1,0 +1,33 @@
+"""Deterministic id generation.
+
+Every entity that must be referenced across pipeline stages (trace events,
+critical sections, auxiliary locks) carries a stable string uid.  Uids are
+allocated sequentially from named streams so that a (workload, seed) pair
+always produces the same ids.
+"""
+
+from __future__ import annotations
+
+
+class IdGenerator:
+    """Allocates sequential ids of the form ``"<prefix><n>"`` per prefix."""
+
+    def __init__(self):
+        self._counters = {}
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix`` (``"e0"``, ``"e1"``, ...)."""
+        n = self._counters.get(prefix, 0)
+        self._counters[prefix] = n + 1
+        return f"{prefix}{n}"
+
+    def peek(self, prefix: str) -> int:
+        """Return the number of ids already allocated for ``prefix``."""
+        return self._counters.get(prefix, 0)
+
+    def reset(self, prefix: str = None) -> None:
+        """Reset one prefix, or every prefix when none is given."""
+        if prefix is None:
+            self._counters.clear()
+        else:
+            self._counters.pop(prefix, None)

@@ -1,0 +1,26 @@
+"""Seeded randomness plumbing.
+
+All nondeterminism in the simulator flows through ``random.Random`` instances
+derived here.  Derivation is by stable string labels, so adding a new consumer
+of randomness does not perturb the streams of existing consumers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(base_seed: int, *labels: str) -> int:
+    """Derive a child seed from ``base_seed`` and a path of string labels."""
+    digest = hashlib.sha256()
+    digest.update(str(base_seed).encode("utf-8"))
+    for label in labels:
+        digest.update(b"/")
+        digest.update(label.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def derive_rng(base_seed: int, *labels: str) -> random.Random:
+    """Return a ``random.Random`` seeded from ``derive_seed``."""
+    return random.Random(derive_seed(base_seed, *labels))

@@ -1,0 +1,50 @@
+"""Tiny descriptive-statistics helpers used by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of a sample of measurements."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (stdev / mean); 0 for a zero mean."""
+        if self.mean == 0:
+            return 0.0
+        return self.stdev / abs(self.mean)
+
+    @property
+    def spread(self) -> float:
+        """Max - min of the sample."""
+        return self.maximum - self.minimum
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a non-empty sample."""
+    data: Sequence[float] = list(values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    if n > 1:
+        var = sum((x - mean) ** 2 for x in data) / (n - 1)
+    else:
+        var = 0.0
+    return Summary(
+        n=n,
+        mean=mean,
+        stdev=math.sqrt(var),
+        minimum=min(data),
+        maximum=max(data),
+    )

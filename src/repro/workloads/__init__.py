@@ -1,0 +1,57 @@
+"""Workload models: the paper's 16 evaluated applications plus bug cases.
+
+Importing this package populates the registry; use
+:func:`get_workload`/:func:`workload_names` to enumerate and build them.
+"""
+
+from repro.workloads import bugs, cases, synthetic  # noqa: F401  (registration side effects)
+from repro.workloads.base import (
+    INPUT_SIZES,
+    Workload,
+    get_workload,
+    register,
+    workload_names,
+)
+from repro.workloads.bugs import Bug1SpinWait, Bug2ConsumerJoin
+from repro.workloads.cases import APPENDIX_CASES
+from repro.workloads.mix import PatternMixWorkload
+from repro.workloads.parsec import PARSEC_WORKLOADS
+from repro.workloads.realworld import REALWORLD_WORKLOADS
+from repro.workloads.synthetic import MixedBag, TunableContention
+
+#: the 16 applications of the paper's evaluation, in Table 1 order
+TABLE1_ORDER = (
+    "openldap",
+    "mysql",
+    "pbzip2",
+    "transmissionBT",
+    "handbrake",
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "facesim",
+    "ferret",
+    "fluidanimate",
+    "streamcluster",
+    "swaptions",
+    "vips",
+    "x264",
+)
+
+__all__ = [
+    "Workload",
+    "PatternMixWorkload",
+    "register",
+    "get_workload",
+    "workload_names",
+    "INPUT_SIZES",
+    "TABLE1_ORDER",
+    "PARSEC_WORKLOADS",
+    "REALWORLD_WORKLOADS",
+    "APPENDIX_CASES",
+    "Bug1SpinWait",
+    "Bug2ConsumerJoin",
+    "TunableContention",
+    "MixedBag",
+]

@@ -1,0 +1,131 @@
+"""The two exploited ULCP bugs of §6.6, each with original + fixed variants.
+
+* **BUG 1** (openldap, Figure 4): worker threads spin-wait on a
+  reference count under a mutex.  Fixed variant: a barrier — the paper's
+  recommended ``pthread_mutex_barrier`` rewrite.
+* **BUG 2** (pbzip2, Figure 18): the shutdown read-read check
+  (``fifo.empty`` + nested ``producerDone``) serializes consumer joins.
+  Fixed variant: the signal/wait model — the producer raises a flag and
+  consumers exit without checking.
+
+Figure 19's sensitivity claims hold by construction: the bug code runs a
+*fixed* number of times per thread regardless of input size, while the
+input size scales the surrounding useful work — so the bugs' normalized
+impact declines as inputs grow (opposite of Figure 16), and grows with
+thread count.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    AwaitFlag,
+    BarrierWait,
+    Compute,
+    Read,
+    Release,
+    SetFlag,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.realworld.openldap import release_refcount, spin_wait_refcount
+from repro.workloads.realworld.pbzip2 import consumer_done_check
+
+PB_FILE = "pbzip2.cpp"
+MP_FILE = "mp_fopen.c"
+
+
+class _BugWorkload(Workload):
+    """Shared shape: per-thread useful work scaled by input size, plus a
+    fixed-frequency bug pattern."""
+
+    category = "bug"
+    useful_work = 4000  # per thread, scaled by input size
+
+    def __init__(self, *, fixed: bool = False, **kwargs):
+        super().__init__(**kwargs)
+        self.fixed = fixed
+
+    def scaled_work(self) -> int:
+        return max(1, round(self.useful_work * self.size_factor * self.scale))
+
+
+@register
+class Bug1SpinWait(_BugWorkload):
+    """openldap's spin-wait refcount (original) vs. barrier (fixed)."""
+
+    name = "bug1-openldap-spinwait"
+    max_polls = 12
+    poll_gap = 200
+    closer_work = 2400
+
+    def _worker(self, k: int) -> Iterator:
+        rng = self.rng(f"worker{k}")
+        yield Compute(1 + 7 * k)
+        yield Compute(self.scaled_work(), site=CodeSite(MP_FILE, 600, "work"))
+        if self.fixed:
+            yield BarrierWait(
+                barrier="close_barrier",
+                parties=self.threads + 1,
+                site=CodeSite(MP_FILE, 654, "__memp_fclose"),
+            )
+        else:
+            yield from spin_wait_refcount(
+                max_polls=self.max_polls, poll_gap=self.poll_gap, rng=rng
+            )
+
+    def _closer(self) -> Iterator:
+        yield Compute(self.scaled_work() // 2, site=CodeSite(MP_FILE, 610, "work"))
+        if self.fixed:
+            yield Compute(self.closer_work, site=CodeSite(MP_FILE, 620, "__memp_sync"))
+            yield BarrierWait(
+                barrier="close_barrier",
+                parties=self.threads + 1,
+                site=CodeSite(MP_FILE, 655, "__memp_sync"),
+            )
+        else:
+            yield from release_refcount(work=self.closer_work)
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._worker(k), f"bug1-w{k}") for k in range(self.threads)]
+        programs.append((self._closer(), "bug1-closer"))
+        return programs
+
+
+@register
+class Bug2ConsumerJoin(_BugWorkload):
+    """pbzip2's read-read shutdown checks (original) vs. signal/wait (fixed)."""
+
+    name = "bug2-pbzip2-join"
+    join_polls = 6
+    poll_gap = 150
+    useful_work = 25000
+
+    def _producer(self) -> Iterator:
+        yield Compute(self.scaled_work(), site=CodeSite(PB_FILE, 1800, "producer"))
+        yield Acquire(lock="muDone", site=CodeSite(PB_FILE, 527, "syncSetProducerDone"))
+        yield Write("producerDone", op=Store(1), site=CodeSite(PB_FILE, 528, "syncSetProducerDone"))
+        yield Release(lock="muDone", site=CodeSite(PB_FILE, 529, "syncSetProducerDone"))
+        yield Acquire(lock="mu", site=CodeSite(PB_FILE, 1890, "producer"))
+        yield Write("fifo.empty", op=Store(1), site=CodeSite(PB_FILE, 1891, "producer"))
+        yield Release(lock="mu", site=CodeSite(PB_FILE, 1892, "producer"))
+        if self.fixed:
+            yield SetFlag(flag="consumers.exit", site=CodeSite(PB_FILE, 1895, "producer"))
+
+    def _consumer(self, k: int) -> Iterator:
+        rng = self.rng(f"consumer{k}")
+        yield Compute(1 + 9 * k)
+        yield Compute(self.scaled_work(), site=CodeSite(PB_FILE, 2140, "BZ2_compress"))
+        if self.fixed:
+            yield AwaitFlag(flag="consumers.exit", site=CodeSite(PB_FILE, 2109, "consumer"))
+        else:
+            for _ in range(self.join_polls):
+                yield from consumer_done_check(rng=rng, polls=1)
+                yield Compute(self.poll_gap, site=CodeSite(PB_FILE, 2130, "consumer"))
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._consumer(k), f"bug2-c{k}") for k in range(self.threads)]
+        programs.append((self._producer(), "bug2-producer"))
+        return programs

@@ -1,0 +1,202 @@
+"""Appendix A cases: small self-contained ULCP demonstrations.
+
+Each case reproduces one real-world manifestation from the paper's
+appendix and is primarily used by tests and examples to show what the
+classifier reports for it.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Compute,
+    CondWait,
+    Read,
+    Release,
+    Signal,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+
+
+@register
+class Case1CondWaitNullLock(Workload):
+    """Case 1: pthread_cond_wait's re-acquisition produces null-locks."""
+
+    name = "case1-condwait-nulllock"
+    category = "bug"
+
+    def _waiter(self) -> Iterator:
+        fn = "waiter"
+        yield Acquire(lock="L", site=CodeSite("case1.c", 10, fn))
+        yield CondWait(cond="cond", lock="L", site=CodeSite("case1.c", 12, fn))
+        # the wake re-acquired L with no shared access: a null-lock
+        yield Release(lock="L", site=CodeSite("case1.c", 16, fn))
+
+    def _signaler(self) -> Iterator:
+        fn = "signaler"
+        yield Compute(500, site=CodeSite("case1.c", 30, fn))
+        yield Acquire(lock="L", site=CodeSite("case1.c", 31, fn))
+        yield Signal(cond="cond", site=CodeSite("case1.c", 32, fn))
+        yield Release(lock="L", site=CodeSite("case1.c", 33, fn))
+
+    def programs(self) -> List[Tuple]:
+        return [(self._waiter(), "waiter"), (self._signaler(), "signaler")]
+
+
+@register
+class Case3DisjointFields(Workload):
+    """Case 3: two threads touch disjoint fields of the same slot object."""
+
+    name = "case3-disjoint-fields"
+    category = "bug"
+
+    def _releaser(self) -> Iterator:
+        fn = "srv_release_threads"
+        yield Acquire(lock="srv_sys.mutex", site=CodeSite("srv0srv.cc", 100, fn))
+        yield Write("slot.suspended", op=Store(0), site=CodeSite("srv0srv.cc", 102, fn))
+        yield Release(lock="srv_sys.mutex", site=CodeSite("srv0srv.cc", 104, fn))
+
+    def _checker(self) -> Iterator:
+        fn = "srv_threads_has_released_slot"
+        yield Compute(60, site=CodeSite("srv0srv.cc", 198, fn))
+        yield Acquire(lock="srv_sys.mutex", site=CodeSite("srv0srv.cc", 200, fn))
+        yield Read("slot.in_use", site=CodeSite("srv0srv.cc", 201, fn))
+        yield Read("slot.type", site=CodeSite("srv0srv.cc", 202, fn))
+        yield Release(lock="srv_sys.mutex", site=CodeSite("srv0srv.cc", 206, fn))
+
+    def _toucher(self) -> Iterator:
+        # background reads making all fields shared
+        yield Compute(600)
+        yield Read("slot.suspended")
+        yield Read("slot.in_use")
+        yield Read("slot.type")
+
+    def programs(self) -> List[Tuple]:
+        return [
+            (self._releaser(), "releaser"),
+            (self._checker(), "checker"),
+            (self._toucher(), "monitor"),
+        ]
+
+
+@register
+class Case5DisjointMembers(Workload):
+    """Case 5: set_query_id vs set_mysys_var under one LOCK_thd_data."""
+
+    name = "case5-thd-members"
+    category = "bug"
+
+    def _set_query_id(self) -> Iterator:
+        fn = "THD::set_query_id"
+        yield Acquire(lock="LOCK_thd_data", site=CodeSite("sql_class.cc", 4526, fn))
+        yield Write("thd.query_id", op=Store(9), site=CodeSite("sql_class.cc", 4527, fn))
+        yield Release(lock="LOCK_thd_data", site=CodeSite("sql_class.cc", 4528, fn))
+
+    def _set_mysys_var(self) -> Iterator:
+        fn = "THD::set_mysys_var"
+        yield Compute(40, site=CodeSite("sql_class.cc", 4533, fn))
+        yield Acquire(lock="LOCK_thd_data", site=CodeSite("sql_class.cc", 4534, fn))
+        yield Write("thd.mysys_var", op=Store(3), site=CodeSite("sql_class.cc", 4535, fn))
+        yield Release(lock="LOCK_thd_data", site=CodeSite("sql_class.cc", 4536, fn))
+
+    def _toucher(self) -> Iterator:
+        yield Compute(500)
+        yield Read("thd.query_id")
+        yield Read("thd.mysys_var")
+
+    def programs(self) -> List[Tuple]:
+        return [
+            (self._set_query_id(), "t1"),
+            (self._set_mysys_var(), "t2"),
+            (self._toucher(), "monitor"),
+        ]
+
+
+@register
+class Case8HashLookups(Workload):
+    """Case 8: fil_space_get_by_id called 4x per block read, serialized."""
+
+    name = "case8-hash-lookups"
+    category = "bug"
+
+    def _reader(self, k: int) -> Iterator:
+        rng = self.rng(f"r{k}")
+        for _ in range(self.rounds(4)):
+            yield Compute(rng.randint(40, 90))
+            for fn, line in (
+                ("fil_space_get_version", 5400),
+                ("fil_inc_pending_ops", 5430),
+                ("fil_decr_pending_ops", 5460),
+                ("fil_space_get_size", 5490),
+            ):
+                yield Acquire(lock="fil_system.mutex", site=CodeSite("fil0fil.cc", line, fn))
+                yield Read("fil_system.hash", site=CodeSite("fil0fil.cc", line + 2, fn))
+                yield Compute(70, site=CodeSite("fil0fil.cc", line + 3, fn))
+                yield Release(lock="fil_system.mutex",
+                              site=CodeSite("fil0fil.cc", line + 5, fn))
+
+    def programs(self) -> List[Tuple]:
+        return [(self._reader(k), f"trx-{k}") for k in range(self.threads)]
+
+
+@register
+class Case9QueryCacheTimeout(Workload):
+    """Case 9 (= bug #68573): the 50ms SELECT timeout silently grows."""
+
+    name = "case9-querycache-timeout"
+    category = "bug"
+
+    timeout = 800
+
+    def _select(self, k: int) -> Iterator:
+        fn = "Query_cache::try_lock"
+        yield Compute(1 + 5 * k)
+        yield Acquire(lock="structure_guard_mutex", site=CodeSite("sql_cache.cc", 310, fn))
+        yield CondWait(
+            cond="COND_cache_status_changed",
+            lock="structure_guard_mutex",
+            timeout=self.timeout,
+            site=CodeSite("sql_cache.cc", 314, fn),
+        )
+        yield Compute(120, site=CodeSite("sql_cache.cc", 318, fn))
+        yield Release(lock="structure_guard_mutex", site=CodeSite("sql_cache.cc", 322, fn))
+
+    def programs(self) -> List[Tuple]:
+        return [(self._select(k), f"select-{k}") for k in range(self.threads)]
+
+
+@register
+class Case10GlobalReadLock(Workload):
+    """Case 10 (bug #60951): UPDATE and DELETE serialized by the global
+    read lock even when touching different fields."""
+
+    name = "case10-global-read-lock"
+    category = "bug"
+
+    def _stmt(self, k: int, field: str, line: int) -> Iterator:
+        fn = "wait_if_global_read_lock"
+        yield Compute(30 * (k + 1))
+        yield Acquire(lock="LOCK_global_read_lock", site=CodeSite("lock.cc", 1231, fn))
+        yield Read("global_read_lock.count", site=CodeSite("lock.cc", 1249, fn))
+        yield Compute(250, site=CodeSite("lock.cc", 1251, fn))
+        yield Release(lock="LOCK_global_read_lock", site=CodeSite("lock.cc", 1268, fn))
+        yield Write(field, op=Store(k + 1), site=CodeSite("sql_parse.cc", line, "mysql_execute"))
+
+    def programs(self) -> List[Tuple]:
+        return [
+            (self._stmt(0, "table.rows", 3796), "update"),
+            (self._stmt(1, "table.index", 4015), "delete"),
+        ]
+
+
+APPENDIX_CASES = (
+    Case1CondWaitNullLock,
+    Case3DisjointFields,
+    Case5DisjointMembers,
+    Case8HashLookups,
+    Case9QueryCacheTimeout,
+    Case10GlobalReadLock,
+)

@@ -1,0 +1,162 @@
+"""Pattern-mix workloads: Table 1 profiles as declarative class attributes.
+
+A declarative alternative to hand-structured models: a subclass mixes the
+four ULCP pattern generators plus true conflicts and private locks by
+per-thread base round counts, and the zero/non-zero structure and
+category ratios follow Table 1 at ~1/100 of the raw counts per thread
+(multiply ``scale`` to approach the paper's numbers).  The quiet apps
+(blackscholes/canneal/swaptions) use this base; the contended apps have
+hand-structured pipeline/barrier models in their own modules, which
+supersede the mixes they started as.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import Compute
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    benign_add_rounds,
+    dw_warmup,
+    compute_only_rounds,
+    disjoint_write_rounds,
+    null_lock_rounds,
+    private_lock_rounds,
+    read_read_rounds,
+    tlcp_rounds,
+)
+
+
+class PatternMixWorkload(Workload):
+    """Declarative pattern mix; subclasses set the class attributes."""
+
+    file = "app.c"
+
+    #: per-thread base rounds of each pattern (before size/scale factors)
+    null_lock = 0.0
+    read_read = 0.0
+    disjoint_write = 0.0
+    benign = 0.0
+    tlcp = 0.0
+    #: per-thread rounds on a private (uncontended) lock
+    extra_locks = 0.0
+    #: per-thread lock-free compute rounds
+    pure_compute = 0.0
+
+    #: timing profile
+    cs_len = 300
+    gap = 150
+    compute_work = 400
+    #: read-read sections use spin acquisition (CPU-wasting waits)
+    spin_reads = False
+    #: distinct shared objects behind the disjoint-write uniform reference
+    dw_slots = 8
+    #: distinct static code regions feeding the shared locks (Table 2's
+    #: grouped-ULCP counts come from fusing across these)
+    rr_variants = 1
+    dw_variants = 1
+
+    def _round_makers(self, k: int, rng) -> List[Tuple[int, object]]:
+        """(count, make_round(round_index) -> generator) per active pattern."""
+        makers: List[Tuple[int, object]] = []
+        if self.pure_compute:
+            makers.append((
+                self.rounds_fixed(self.pure_compute),
+                lambda r: compute_only_rounds(
+                    1, file=self.file, line=10, work=self.compute_work, rng=rng
+                ),
+            ))
+        if self.null_lock:
+            makers.append((
+                self.rounds(self.null_lock),
+                lambda r: null_lock_rounds(
+                    "nl_lock", 1, file=self.file, line=100, gap=self.gap, rng=rng
+                ),
+            ))
+        if self.read_read:
+            makers.append((
+                self.rounds(self.read_read),
+                lambda r: read_read_rounds(
+                    "rr_lock", f"{self.file}:shared_table", 1,
+                    file=self.file, line=200, gap=self.gap,
+                    cs_len=self.cs_len, rng=rng, spin=self.spin_reads,
+                    site_variants=self.rr_variants, start_round=r,
+                ),
+            ))
+        if self.disjoint_write:
+            slots = 2 * self.threads + 1
+            makers.append((
+                self.rounds(self.disjoint_write),
+                lambda r: disjoint_write_rounds(
+                    "dw_lock", f"{self.file}:obj", slots, k, 1,
+                    file=self.file, line=300, gap=self.gap,
+                    cs_len=self.cs_len, rng=rng,
+                    stride=self.threads, start_round=r,
+                    site_variants=self.dw_variants,
+                ),
+            ))
+        if self.benign:
+            makers.append((
+                self.rounds(self.benign),
+                lambda r: benign_add_rounds(
+                    "bn_lock", f"{self.file}:counter", 1,
+                    file=self.file, line=400, gap=self.gap,
+                    cs_len=self.cs_len, rng=rng,
+                ),
+            ))
+        if self.tlcp:
+            makers.append((
+                self.rounds(self.tlcp),
+                lambda r: tlcp_rounds(
+                    "tc_lock", f"{self.file}:state", 1,
+                    file=self.file, line=500, gap=self.gap,
+                    cs_len=self.cs_len, rng=rng,
+                    thread_index=k, start_round=r,
+                ),
+            ))
+        if self.extra_locks:
+            makers.append((
+                self.rounds(self.extra_locks),
+                lambda r: private_lock_rounds(
+                    "priv", k, 1, file=self.file, line=600,
+                    gap=self.gap // 2, cs_len=self.cs_len // 4, rng=rng,
+                ),
+            ))
+        return makers
+
+    def _thread(self, k: int) -> Iterator:
+        """Emit all patterns round-robin interleaved (largest remainder).
+
+        Interleaving keeps every thread inside every pattern for the whole
+        run, so cross-thread adjacency — the thing pair enumeration counts
+        — happens for all categories, not just the longest-running one.
+        """
+        rng = self.rng(f"thread{k}")
+        yield Compute(1 + 17 * k, site=CodeSite(self.file, 1, "start"))
+        if self.disjoint_write:
+            yield from dw_warmup(
+                "dw_lock", f"{self.file}:obj", 2 * self.threads + 1,
+                file=self.file, line=290,
+            )
+        makers = self._round_makers(k, rng)
+        counts = [count for count, _ in makers]
+        emitted = [0] * len(makers)
+        total = sum(counts)
+        for step in range(total):
+            # pick the pattern lagging most behind its proportional share
+            best, best_lag = 0, None
+            for i, count in enumerate(counts):
+                if emitted[i] >= count:
+                    continue
+                lag = emitted[i] / count - step / total
+                if best_lag is None or lag < best_lag:
+                    best, best_lag = i, lag
+            yield from makers[best][1](emitted[best])
+            emitted[best] += 1
+
+    def programs(self) -> List[Tuple]:
+        return [
+            (self._thread(k), f"{self.name}-{k}") for k in range(self.threads)
+        ]

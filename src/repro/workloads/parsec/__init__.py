@@ -1,0 +1,32 @@
+"""PARSEC benchmark models (11 of the 12; freqmine is OpenMP and excluded
+by the paper).  Each module declares a pattern mix calibrated to Table 1:
+same zero/non-zero structure and dominant categories, counts at ~1/100 of
+the paper's raw numbers per thread (see EXPERIMENTS.md)."""
+
+from repro.workloads.parsec.blackscholes import Blackscholes
+from repro.workloads.parsec.bodytrack import Bodytrack
+from repro.workloads.parsec.canneal import Canneal
+from repro.workloads.parsec.dedup import Dedup
+from repro.workloads.parsec.facesim import Facesim
+from repro.workloads.parsec.ferret import Ferret
+from repro.workloads.parsec.fluidanimate import Fluidanimate
+from repro.workloads.parsec.streamcluster import Streamcluster
+from repro.workloads.parsec.swaptions import Swaptions
+from repro.workloads.parsec.vips import Vips
+from repro.workloads.parsec.x264 import X264
+
+PARSEC_WORKLOADS = (
+    Blackscholes,
+    Bodytrack,
+    Canneal,
+    Dedup,
+    Facesim,
+    Ferret,
+    Fluidanimate,
+    Streamcluster,
+    Swaptions,
+    Vips,
+    X264,
+)
+
+__all__ = [cls.__name__ for cls in PARSEC_WORKLOADS] + ["PARSEC_WORKLOADS"]

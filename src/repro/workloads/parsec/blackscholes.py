@@ -1,0 +1,18 @@
+"""blackscholes: embarrassingly parallel option pricing — zero locks.
+
+Table 1: 0 dynamic locks, 0 ULCPs of any category.  The model is pure
+per-thread computation; the debugging pipeline must report nothing.
+"""
+
+from repro.workloads.base import register
+from repro.workloads.mix import PatternMixWorkload
+
+
+@register
+class Blackscholes(PatternMixWorkload):
+    name = "blackscholes"
+    category = "parsec"
+    file = "blackscholes.c"
+
+    pure_compute = 50
+    compute_work = 600

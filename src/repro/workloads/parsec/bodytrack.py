@@ -1,0 +1,95 @@
+"""bodytrack: particle-filter body tracking.
+
+Modelled as the real kernel: the worker pool processes frames in lock
+step (a barrier per frame).  Within a frame each worker evaluates its
+particle range — consulting the shared camera-frame edge maps *read-only*
+under the observation lock (the read-read signature, Table 1's 1,322),
+writing its particles' weights into distinct slots of the weight array
+under the pool lock (disjoint writes, 321), and accumulating the
+likelihood normalization with commutative adds (benign, 43).  Per-worker
+work-stealing deques use private locks (the bulk of the 32,642 dynamic
+locks).  No null-locks, as in Table 1.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Add,
+    BarrierWait,
+    Compute,
+    Read,
+    Release,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import private_lock_rounds
+
+FILE = "bodytrack.cpp"
+
+
+@register
+class Bodytrack(Workload):
+    name = "bodytrack"
+    category = "parsec"
+
+    frames = 4
+    lookups_per_frame = 3
+    eval_work = 1600
+    cs_len = 170
+    gap = 1300
+    steal_rounds_per_frame = 40
+
+    def _worker(self, k: int) -> Iterator:
+        rng = self.rng(f"worker{k}")
+        fn = "ParticleFilter::Update"
+        slots = 2 * self.threads + 1
+        frames = self.rounds(self.frames)
+        yield Compute(1 + 9 * k, site=CodeSite(FILE, 100, fn))
+        # edge-map scan making the weight slots shared
+        yield Acquire(lock="pool.weights_lock", site=CodeSite(FILE, 105, fn))
+        for s in range(slots):
+            yield Read(f"weights[{s}]", site=CodeSite(FILE, 106, fn))
+        yield Release(lock="pool.weights_lock", site=CodeSite(FILE, 108, fn))
+        for frame in range(frames):
+            for lookup in range(self.rounds(self.lookups_per_frame)):
+                yield Compute(
+                    rng.randint(self.gap // 2, self.gap),
+                    site=CodeSite(FILE, 118, fn),
+                )
+                # read-only edge-map consultation (the hot read-read lock)
+                line = 120 + 40 * (lookup % 2)
+                yield Acquire(lock="obs.lock", site=CodeSite(FILE, line, "ImageMeasurements"))
+                yield Read("edge_maps", site=CodeSite(FILE, line + 1, "ImageMeasurements"))
+                yield Compute(self.cs_len, site=CodeSite(FILE, line + 2, "ImageMeasurements"))
+                yield Release(lock="obs.lock", site=CodeSite(FILE, line + 3, "ImageMeasurements"))
+            yield Compute(
+                rng.randint(self.eval_work // 2, self.eval_work),
+                site=CodeSite(FILE, 200, fn),
+            )
+            # write this worker's particle weights (disjoint slot per round)
+            slot = (k + frame * self.threads) % slots
+            yield Acquire(lock="pool.weights_lock", site=CodeSite(FILE, 210, fn))
+            yield Write(f"weights[{slot}]", op=Store(5), site=CodeSite(FILE, 211, fn))
+            yield Compute(self.cs_len // 2, site=CodeSite(FILE, 212, fn))
+            yield Release(lock="pool.weights_lock", site=CodeSite(FILE, 214, fn))
+            if frame % 2 == 1:
+                # likelihood normalization: commutative accumulation
+                yield Acquire(lock="pool.sum_lock", site=CodeSite(FILE, 220, fn))
+                yield Write("likelihood.sum", op=Add(3), site=CodeSite(FILE, 221, fn))
+                yield Release(lock="pool.sum_lock", site=CodeSite(FILE, 223, fn))
+            # per-worker work-stealing deque: private lock traffic
+            yield from private_lock_rounds(
+                "bt.deque", k, self.rounds(self.steal_rounds_per_frame),
+                file=FILE, line=230, gap=self.gap // 3, cs_len=60, rng=rng,
+            )
+            # frame barrier: everyone advances together
+            yield BarrierWait(
+                barrier="frame_barrier", parties=self.threads,
+                site=CodeSite(FILE, 250, "TicketDispenser"),
+            )
+
+    def programs(self) -> List[Tuple]:
+        return [(self._worker(k), f"bt-{k}") for k in range(self.threads)]

@@ -1,0 +1,25 @@
+"""canneal: cache-aware simulated annealing.
+
+Table 1: only 34 dynamic locks and zero ULCPs — locks protect genuinely
+conflicting element swaps.  The model performs a handful of true
+read-modify-write conflicts and nothing else; the pipeline must find no
+optimization opportunity at any thread count or input size (§6.5 singles
+canneal out for exactly this).
+"""
+
+from repro.workloads.base import register
+from repro.workloads.mix import PatternMixWorkload
+
+
+@register
+class Canneal(PatternMixWorkload):
+    name = "canneal"
+    category = "parsec"
+    file = "canneal.cpp"
+
+    tlcp = 1.0
+    pure_compute = 30
+    compute_work = 500
+
+    cs_len = 200
+    gap = 400

@@ -1,0 +1,93 @@
+"""facesim: physics simulation of a human face.
+
+Modelled as the real kernel's partitioned Newton solver: worker threads
+own mesh partitions; per iteration they read the shared boundary state
+under the solver lock in *long* critical sections — facesim's sections
+are the largest of the suite (§6.3 explains its speedup > fluidanimate
+despite far fewer ULCPs) — then write their partition's residual slot
+(disjoint writes) and occasionally probe the empty dirty-list
+(null-locks).  Partitions synchronize with a barrier per iteration.
+
+Table 1 profile: 14,541 locks; RR 871 ~ DW 819 balanced, NL 102, BN 12.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Add,
+    BarrierWait,
+    Compute,
+    Read,
+    Release,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import private_lock_rounds
+
+FILE = "facesim.cpp"
+
+
+@register
+class Facesim(Workload):
+    name = "facesim"
+    category = "parsec"
+
+    iterations = 9
+    solve_work = 6800
+    cs_len = 1500  # large-scale critical sections
+    gap = 2100
+    local_rounds = 6
+
+    def _worker(self, k: int) -> Iterator:
+        rng = self.rng(f"worker{k}")
+        fn = "NEWTON_STEP"
+        iters = self.rounds(self.iterations)
+        slots = 2 * self.threads + 1
+        yield Compute(1 + 11 * k, site=CodeSite(FILE, 100, fn))
+        yield Acquire(lock="solver.residual_lock", site=CodeSite(FILE, 102, fn))
+        for s in range(slots):
+            yield Read(f"residual[{s}]", site=CodeSite(FILE, 103, fn))
+        yield Release(lock="solver.residual_lock", site=CodeSite(FILE, 105, fn))
+        for it in range(iters):
+            yield Compute(
+                rng.randint(self.gap // 2, self.gap),
+                site=CodeSite(FILE, 118, fn),
+            )
+            # long read-only boundary consultation (facesim's signature)
+            yield Acquire(lock="solver.lock", site=CodeSite(FILE, 120, "Boundary_Read"))
+            yield Read("mesh.boundary", site=CodeSite(FILE, 121, "Boundary_Read"))
+            yield Compute(self.cs_len, site=CodeSite(FILE, 122, "Boundary_Read"))
+            yield Release(lock="solver.lock", site=CodeSite(FILE, 124, "Boundary_Read"))
+            yield Compute(
+                rng.randint(self.solve_work // 2, self.solve_work),
+                site=CodeSite(FILE, 140, fn),
+            )
+            # partition residual into its own slot (long disjoint writes)
+            slot = (k + it * self.threads) % slots
+            yield Acquire(lock="solver.residual_lock", site=CodeSite(FILE, 150, fn))
+            yield Write(f"residual[{slot}]", op=Store(8), site=CodeSite(FILE, 151, fn))
+            yield Compute(self.cs_len, site=CodeSite(FILE, 152, fn))
+            yield Release(lock="solver.residual_lock", site=CodeSite(FILE, 154, fn))
+            if it % 5 == 2:
+                # dirty-list probe that finds nothing (null-lock)
+                yield Acquire(lock="solver.dirty_lock", site=CodeSite(FILE, 160, fn))
+                yield Release(lock="solver.dirty_lock", site=CodeSite(FILE, 162, fn))
+            if it % 7 == 3:
+                # convergence counter (commutative, benign)
+                yield Acquire(lock="solver.count_lock", site=CodeSite(FILE, 170, fn))
+                yield Write("solver.converged", op=Add(1), site=CodeSite(FILE, 171, fn))
+                yield Release(lock="solver.count_lock", site=CodeSite(FILE, 173, fn))
+            yield from private_lock_rounds(
+                "fs.partition", k, self.rounds(self.local_rounds),
+                file=FILE, line=180, gap=self.gap // 3, cs_len=120, rng=rng,
+            )
+            yield BarrierWait(
+                barrier="newton_barrier", parties=self.threads,
+                site=CodeSite(FILE, 190, fn),
+            )
+
+    def programs(self) -> List[Tuple]:
+        return [(self._worker(k), f"fs-{k}") for k in range(self.threads)]

@@ -1,0 +1,130 @@
+"""ferret: content-based similarity-search pipeline.
+
+Modelled as the real kernel's stages: a *loader* enqueues query images
+through a semaphore; *rank workers* (the ``threads`` parameter) segment
+and extract features (compute), consult the shared index read-only
+(read-read), write their query's result slot (disjoint writes under the
+uniform output lock), and — the ferret signature — bump shared ranking
+statistics counters on *every* query (commutative adds: benign pairs
+dominate, Table 1's 343 vs 101 read-read).  An *output* thread drains
+the result slots.
+
+Table 1 profile: 6,231 locks; NL 11 / RR 101 / DW 231 / benign 343.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Add,
+    Compute,
+    Read,
+    Release,
+    SemAcquire,
+    SemRelease,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import private_lock_rounds
+
+FILE = "ferret.c"
+
+
+@register
+class Ferret(Workload):
+    name = "ferret"
+    category = "parsec"
+
+    queries_per_worker = 4
+    segment_work = 700
+    rank_work = 900
+    gap = 300
+
+    @property
+    def total_queries(self) -> int:
+        return self.rounds(self.queries_per_worker) * self.threads
+
+    def _loader(self) -> Iterator:
+        rng = self.rng("loader")
+        fn = "t_load"
+        for i in range(self.total_queries):
+            yield Compute(rng.randint(120, 260), site=CodeSite(FILE, 60, fn))
+            yield Acquire(lock="load_q.mutex", site=CodeSite(FILE, 70, fn))
+            yield Write(f"query[{i}]", op=Store(i + 1), site=CodeSite(FILE, 71, fn))
+            yield Release(lock="load_q.mutex", site=CodeSite(FILE, 73, fn))
+            yield SemRelease(sem="load_q.items", site=CodeSite(FILE, 75, fn))
+
+    def _worker(self, k: int) -> Iterator:
+        rng = self.rng(f"rank{k}")
+        fn = "t_rank"
+        my_queries = self.rounds(self.queries_per_worker)
+        slots = 2 * self.threads + 1
+        # one shared scan making the result slots shared objects
+        yield Compute(1 + 5 * k, site=CodeSite(FILE, 100, fn))
+        yield Acquire(lock="out.mutex", site=CodeSite(FILE, 102, fn))
+        for s in range(slots):
+            yield Read(f"result[{s}]", site=CodeSite(FILE, 103, fn))
+        yield Release(lock="out.mutex", site=CodeSite(FILE, 105, fn))
+        for i in range(my_queries):
+            yield SemAcquire(sem="load_q.items", site=CodeSite(FILE, 110, fn))
+            yield Acquire(lock="load_q.mutex", site=CodeSite(FILE, 112, fn))
+            yield Read(f"query[{k * my_queries + i}]", site=CodeSite(FILE, 113, fn))
+            yield Release(lock="load_q.mutex", site=CodeSite(FILE, 115, fn))
+            yield Compute(
+                rng.randint(self.segment_work // 2, self.segment_work),
+                site=CodeSite(FILE, 130, "t_seg"),
+            )
+            if i % 2 == 0:
+                # read-only index probe (read-read pairs)
+                yield Acquire(lock="index.mutex", site=CodeSite(FILE, 150, "t_vec"))
+                yield Read("index.tree", site=CodeSite(FILE, 151, "t_vec"))
+                yield Compute(120, site=CodeSite(FILE, 152, "t_vec"))
+                yield Release(lock="index.mutex", site=CodeSite(FILE, 154, "t_vec"))
+            yield Compute(
+                rng.randint(self.rank_work // 2, self.rank_work),
+                site=CodeSite(FILE, 170, fn),
+            )
+            # the ferret signature: shared ranking statistics, commutative
+            yield Acquire(lock="stats.mutex", site=CodeSite(FILE, 176, "t_extract"))
+            yield Write("stats.cnt_rank", op=Add(1), site=CodeSite(FILE, 177, "t_extract"))
+            yield Release(lock="stats.mutex", site=CodeSite(FILE, 178, "t_extract"))
+            yield Compute(rng.randint(self.gap // 2, self.gap),
+                          site=CodeSite(FILE, 179, fn))
+            yield Acquire(lock="stats.mutex", site=CodeSite(FILE, 180, fn))
+            yield Write("stats.cnt_rank", op=Add(1), site=CodeSite(FILE, 181, fn))
+            yield Release(lock="stats.mutex", site=CodeSite(FILE, 183, fn))
+            yield Compute(rng.randint(self.gap // 2, self.gap),
+                          site=CodeSite(FILE, 185, fn))
+            yield Acquire(lock="stats.mutex", site=CodeSite(FILE, 186, fn))
+            yield Write("stats.cnt_rank", op=Add(1), site=CodeSite(FILE, 187, fn))
+            yield Release(lock="stats.mutex", site=CodeSite(FILE, 189, fn))
+            # write this query's result slot via the uniform reference
+            slot = (k + i * self.threads) % slots
+            yield Acquire(lock="out.mutex", site=CodeSite(FILE, 200, fn))
+            yield Write(f"result[{slot}]", op=Store(9), site=CodeSite(FILE, 201, fn))
+            yield Release(lock="out.mutex", site=CodeSite(FILE, 203, fn))
+            yield SemRelease(sem="out.items", site=CodeSite(FILE, 205, fn))
+            if i % 7 == 3:
+                # cancelled-query fast path: nothing shared (null-lock)
+                yield Acquire(lock="cancel.mutex", site=CodeSite(FILE, 210, fn))
+                yield Release(lock="cancel.mutex", site=CodeSite(FILE, 212, fn))
+            # private per-thread bookkeeping (dynamic lock count only)
+            yield from private_lock_rounds(
+                "ferret.local", k, self.rounds(3),
+                file=FILE, line=220, gap=self.gap // 2, cs_len=70, rng=rng,
+            )
+
+    def _output(self) -> Iterator:
+        rng = self.rng("output")
+        fn = "t_out"
+        for _ in range(self.total_queries):
+            yield SemAcquire(sem="out.items", site=CodeSite(FILE, 240, fn))
+            yield Compute(rng.randint(80, 160), site=CodeSite(FILE, 242, fn))
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._worker(k), f"ferret-r{k}") for k in range(self.threads)]
+        programs.append((self._loader(), "ferret-loader"))
+        programs.append((self._output(), "ferret-out"))
+        return programs

@@ -1,0 +1,141 @@
+"""fluidanimate: SPH fluid dynamics with fine-grained per-cell locks.
+
+Modelled as the real kernel: the grid is striped across workers; the
+boundary rows between stripes carry one lock per cell — the suite's most
+lock-intensive app (Table 1: 82,142 dynamic acquisitions).  Per timestep:
+
+* **density phase** — both neighbouring workers read each boundary
+  cell's density/pressure under its cell lock (tiny read-only sections:
+  the 10,501 read-read pairs);
+* **force phase** — each side writes its force contribution into its own
+  per-side slot of the cell (same lock, different addresses: the 6,694
+  disjoint writes);
+* **reduction** — the boundary's owner combines both sides (a true
+  dependency), then a barrier ends the step;
+* occasional commutative collision counters (benign) and empty ghost-cell
+  probes (null-locks) round out the profile.
+
+Critical sections are tiny (§6.3's explanation for why facesim's speedup
+beats fluidanimate's despite far fewer ULCPs), and §6.4 uses this model
+as the lockset-overhead stress test.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Add,
+    BarrierWait,
+    Compute,
+    Read,
+    Release,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import private_lock_rounds
+
+FILE = "fluidanimate.cpp"
+#: cells per boundary row between two adjacent stripes
+ROW_CELLS = 5
+
+
+@register
+class Fluidanimate(Workload):
+    name = "fluidanimate"
+    category = "parsec"
+
+    timesteps = 12
+    interior_work = 5200
+    cs_len = 55  # fine-grained sections
+    gap = 750
+    local_rounds = 8
+    startup_compute = 5  # fixed, does not scale with input size
+
+    def _boundaries_of(self, k: int) -> List[int]:
+        """Boundary rows adjacent to stripe ``k`` (between k-1/k and k/k+1)."""
+        rows = []
+        if k > 0:
+            rows.append(k - 1)
+        if k < self.threads - 1:
+            rows.append(k)
+        return rows
+
+    def _cell_lock(self, b: int, j: int) -> str:
+        return f"cell[{b}][{j}]"
+
+    def _worker(self, k: int) -> Iterator:
+        rng = self.rng(f"worker{k}")
+        fn = "ComputeForcesMT"
+        steps = self.rounds(self.timesteps)
+        yield Compute(1 + 13 * k, site=CodeSite(FILE, 100, fn))
+        for _ in range(self.rounds_fixed(self.startup_compute)):
+            yield Compute(rng.randint(300, 500), site=CodeSite(FILE, 101, "InitSim"))
+        for step in range(steps):
+            yield Compute(
+                rng.randint(self.interior_work // 2, self.interior_work)
+                + 230 * k,  # stripes reach the boundary storm staggered
+                site=CodeSite(FILE, 120, "ComputeDensitiesMT"),
+            )
+            # density phase: read every adjacent boundary cell, twice
+            # (near- and far-neighbour passes: two static sites)
+            for b in self._boundaries_of(k):
+                for j in range(ROW_CELLS):
+                    for line, pass_fn in ((140, "GetNeighborCells"),
+                                          (180, "ComputeDensity2")):
+                        yield Compute(rng.randint(self.gap // 2, self.gap),
+                                      site=CodeSite(FILE, line - 1, pass_fn))
+                        yield Acquire(lock=self._cell_lock(b, j),
+                                      site=CodeSite(FILE, line, pass_fn))
+                        yield Read(f"cell[{b}][{j}].rho",
+                                   site=CodeSite(FILE, line + 1, pass_fn))
+                        yield Compute(self.cs_len, site=CodeSite(FILE, line + 2, pass_fn))
+                        yield Release(lock=self._cell_lock(b, j),
+                                      site=CodeSite(FILE, line + 3, pass_fn))
+            # force phase: write this side's contribution slot per cell
+            for b in self._boundaries_of(k):
+                side = 0 if b == k - 1 else 1
+                for j in range(ROW_CELLS):
+                    yield Compute(rng.randint(self.gap // 2, self.gap),
+                                  site=CodeSite(FILE, 219, "ComputeForces2"))
+                    yield Acquire(lock=self._cell_lock(b, j),
+                                  site=CodeSite(FILE, 220, "ComputeForces2"))
+                    yield Write(f"cell[{b}][{j}].force{side}", op=Store(3),
+                                site=CodeSite(FILE, 221, "ComputeForces2"))
+                    yield Compute(self.cs_len, site=CodeSite(FILE, 222, "ComputeForces2"))
+                    yield Release(lock=self._cell_lock(b, j),
+                                  site=CodeSite(FILE, 223, "ComputeForces2"))
+            yield BarrierWait(barrier="force_barrier", parties=self.threads,
+                              site=CodeSite(FILE, 230, fn))
+            # reduction: each stripe owner folds the *neighbour's*
+            # contribution into its own cells (a true cross-thread
+            # dependency; also what makes the force slots shared)
+            for b in self._boundaries_of(k):
+                other_side = 1 if b == k - 1 else 0
+                for j in range(ROW_CELLS):
+                    yield Acquire(lock=self._cell_lock(b, j),
+                                  site=CodeSite(FILE, 240, "ProcessCollisionsMT"))
+                    yield Read(f"cell[{b}][{j}].force{other_side}",
+                               site=CodeSite(FILE, 241, "ProcessCollisionsMT"))
+                    yield Release(lock=self._cell_lock(b, j),
+                                  site=CodeSite(FILE, 244, "ProcessCollisionsMT"))
+            if step % 3 == 1:
+                # collision counter: commutative (benign)
+                yield Acquire(lock="sim.collision_lock", site=CodeSite(FILE, 250, fn))
+                yield Write("sim.collisions", op=Add(1), site=CodeSite(FILE, 251, fn))
+                yield Release(lock="sim.collision_lock", site=CodeSite(FILE, 253, fn))
+            if step % 6 == 2:
+                # empty ghost-cell probe (null-lock)
+                yield Acquire(lock="sim.ghost_lock", site=CodeSite(FILE, 260, fn))
+                yield Release(lock="sim.ghost_lock", site=CodeSite(FILE, 262, fn))
+            # per-thread particle bookkeeping (dynamic lock count)
+            yield from private_lock_rounds(
+                "fa.particles", k, self.rounds(self.local_rounds),
+                file=FILE, line=270, gap=self.gap, cs_len=40, rng=rng,
+            )
+            yield BarrierWait(barrier="step_barrier", parties=self.threads,
+                              site=CodeSite(FILE, 280, fn))
+
+    def programs(self) -> List[Tuple]:
+        return [(self._worker(k), f"fa-{k}") for k in range(self.threads)]

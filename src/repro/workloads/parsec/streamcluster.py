@@ -1,0 +1,42 @@
+"""streamcluster: online clustering, barrier-synchronized phases.
+
+Table 1: 191 locks, zero ULCPs.  streamcluster synchronizes with
+barriers between phases; the few locks guard true conflicts (the shared
+cluster-center update).  The model alternates compute phases, barrier
+waits, and a genuine conflicting update — the pipeline must find nothing
+to optimize.
+"""
+
+from typing import Iterator
+
+from repro.sim.requests import BarrierWait, Compute
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import register
+from repro.workloads.mix import PatternMixWorkload
+from repro.workloads.patterns import tlcp_rounds
+
+
+@register
+class Streamcluster(PatternMixWorkload):
+    name = "streamcluster"
+    category = "parsec"
+    file = "streamcluster.cpp"
+
+    phases = 6
+    cs_len = 180
+    gap = 250
+
+    def _thread(self, k: int) -> Iterator:
+        rng = self.rng(f"thread{k}")
+        phase_site = CodeSite(self.file, 50, "pkmedian")
+        barrier_site = CodeSite(self.file, 60, "pkmedian")
+        for phase in range(self.rounds(self.phases)):
+            yield Compute(rng.randint(2400, 4000), site=phase_site)
+            yield from tlcp_rounds(
+                "center_lock", "cluster.center", 1,
+                file=self.file, line=70, gap=0, cs_len=self.cs_len,
+                rng=rng, thread_index=k,
+            )
+            yield BarrierWait(
+                barrier="phase", parties=self.threads, site=barrier_site
+            )

@@ -1,0 +1,23 @@
+"""swaptions: Monte-Carlo swaption pricing — nearly lock-free.
+
+Table 1: 23 dynamic locks, zero ULCPs.  Threads price disjoint swaption
+ranges; the only lock guards a truly conflicting result aggregation at
+the end.
+"""
+
+from repro.workloads.base import register
+from repro.workloads.mix import PatternMixWorkload
+
+
+@register
+class Swaptions(PatternMixWorkload):
+    name = "swaptions"
+    category = "parsec"
+    file = "swaptions.cpp"
+
+    pure_compute = 40
+    compute_work = 700
+    tlcp = 0.5
+
+    cs_len = 150
+    gap = 500

@@ -1,0 +1,78 @@
+"""vips: image-processing pipeline over tiles.
+
+Modelled as the real library's threadpool: workers claim tiles and, per
+tile, consult the shared image's region descriptors *read-only* under
+the image lock — by far the hottest pattern (Table 1: 4,512 read-read) —
+then compute the operation and write the result into their tile's slot
+of the output image via the uniform reference (disjoint writes, 1,142).
+Cache probes that find nothing produce occasional null-locks (142), and
+per-thread buffer management uses private locks (most of the 33,586
+dynamic acquisitions).
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import Acquire, Compute, Read, Release, Store, Write
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import private_lock_rounds
+
+FILE = "vips.c"
+
+
+@register
+class Vips(Workload):
+    name = "vips"
+    category = "parsec"
+
+    tiles_per_worker = 15
+    lookups_per_tile = 3
+    convolve_work = 700
+    cs_len = 200
+    gap = 700
+    buffer_rounds_per_tile = 11
+
+    def _worker(self, k: int) -> Iterator:
+        rng = self.rng(f"worker{k}")
+        fn = "vips_threadpool_run"
+        tiles = self.rounds(self.tiles_per_worker)
+        slots = 2 * self.threads + 1
+        yield Compute(1 + 13 * k, site=CodeSite(FILE, 100, fn))
+        # output image is scanned by the writer elsewhere: slots are shared
+        yield Acquire(lock="im.out_lock", site=CodeSite(FILE, 102, fn))
+        for s in range(slots):
+            yield Read(f"out_tile[{s}]", site=CodeSite(FILE, 103, fn))
+        yield Release(lock="im.out_lock", site=CodeSite(FILE, 105, fn))
+        for tile in range(tiles):
+            for lookup in range(self.rounds(self.lookups_per_tile)):
+                yield Compute(
+                    rng.randint(self.gap // 2, self.gap),
+                    site=CodeSite(FILE, 118, fn),
+                )
+                # read-only region-descriptor consultation
+                line = 120 + 40 * (lookup % 3)
+                yield Acquire(lock="im.lock", site=CodeSite(FILE, line, "vips_region_prepare"))
+                yield Read("im.regions", site=CodeSite(FILE, line + 1, "vips_region_prepare"))
+                yield Compute(self.cs_len, site=CodeSite(FILE, line + 2, "vips_region_prepare"))
+                yield Release(lock="im.lock", site=CodeSite(FILE, line + 3, "vips_region_prepare"))
+            yield Compute(
+                rng.randint(self.convolve_work // 2, self.convolve_work),
+                site=CodeSite(FILE, 240, "vips_conv_gen"),
+            )
+            # write this tile into its own slot of the output image
+            slot = (k + tile * self.threads) % slots
+            yield Acquire(lock="im.out_lock", site=CodeSite(FILE, 250, fn))
+            yield Write(f"out_tile[{slot}]", op=Store(6), site=CodeSite(FILE, 251, fn))
+            yield Release(lock="im.out_lock", site=CodeSite(FILE, 253, fn))
+            if tile % 11 == 5:
+                # cache probe that finds nothing (null-lock)
+                yield Acquire(lock="im.cache_lock", site=CodeSite(FILE, 260, "vips_cache"))
+                yield Release(lock="im.cache_lock", site=CodeSite(FILE, 262, "vips_cache"))
+            # per-thread buffer recycling (private lock traffic)
+            yield from private_lock_rounds(
+                "vips.buffer", k, self.rounds(self.buffer_rounds_per_tile),
+                file=FILE, line=270, gap=self.gap // 3, cs_len=50, rng=rng,
+            )
+
+    def programs(self) -> List[Tuple]:
+        return [(self._worker(k), f"vips-{k}") for k in range(self.threads)]

@@ -1,0 +1,102 @@
+"""x264: H.264 video encoding with frame-parallel dependency waits.
+
+x264 encodes frames in parallel; a frame thread may only encode a row
+once its reference frame has progressed past it.  The dependency check —
+take the progress lock, test, cond-wait when behind — is the paper's
+null-lock factory (Table 1: 941 NLs, the most of any app; every wake
+re-acquires the mutex around an empty body, appendix Case 1).  Encoder
+parameters are consulted read-only under a shared lock on every row
+(read-read, 3,841), and finished macroblock rows land in distinct output
+slots (disjoint writes, 412).
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Broadcast,
+    Compute,
+    CondWait,
+    Read,
+    Release,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import private_lock_rounds
+
+FILE = "x264.c"
+
+
+@register
+class X264(Workload):
+    name = "x264"
+    category = "parsec"
+
+    rows_per_frame = 10
+    encode_work = 800
+    gap = 350
+    local_rounds = 12
+
+    def _encoder(self, k: int) -> Iterator:
+        """Encode frame ``k``; frame 0 has no reference."""
+        rng = self.rng(f"enc{k}")
+        fn = "x264_slice_write"
+        rows = self.rounds(self.rows_per_frame)
+        slots = 2 * self.threads + 1
+        yield Compute(1 + 11 * k, site=CodeSite(FILE, 100, fn))
+        # one pass over the output slots (they are muxed elsewhere)
+        yield Acquire(lock="out.lock", site=CodeSite(FILE, 102, fn))
+        for s in range(slots):
+            yield Read(f"mb_out[{s}]", site=CodeSite(FILE, 103, fn))
+        yield Release(lock="out.lock", site=CodeSite(FILE, 105, fn))
+        for row in range(rows):
+            # consult the shared encoder parameters (read-only, every row)
+            yield Acquire(lock="params.lock", site=CodeSite(FILE, 120, "x264_ratecontrol"))
+            yield Read("encoder.params", site=CodeSite(FILE, 121, "x264_ratecontrol"))
+            yield Compute(90, site=CodeSite(FILE, 122, "x264_ratecontrol"))
+            yield Release(lock="params.lock", site=CodeSite(FILE, 124, "x264_ratecontrol"))
+            if k > 0:
+                # frame dependency: wait until the reference is past us
+                # (Case 1: every cond wake re-acquires around an empty body)
+                yield Acquire(lock="dep.lock", site=CodeSite(FILE, 140, "x264_frame_cond_wait"))
+                progress = yield Read(f"progress[{k - 1}]", site=CodeSite(FILE, 141, "x264_frame_cond_wait"))
+                while progress <= row:
+                    outcome = yield CondWait(
+                        cond=f"dep.cond[{k - 1}]", lock="dep.lock",
+                        timeout=4000,
+                        site=CodeSite(FILE, 143, "x264_frame_cond_wait"),
+                    )
+                    progress = yield Read(
+                        f"progress[{k - 1}]",
+                        site=CodeSite(FILE, 144, "x264_frame_cond_wait"),
+                    )
+                yield Release(lock="dep.lock", site=CodeSite(FILE, 147, "x264_frame_cond_wait"))
+            yield Compute(
+                rng.randint(self.encode_work // 2, self.encode_work),
+                site=CodeSite(FILE, 160, fn),
+            )
+            # publish our progress and wake dependents
+            yield Acquire(lock="dep.lock", site=CodeSite(FILE, 170, "x264_frame_cond_broadcast"))
+            yield Write(f"progress[{k}]", op=Store(row + 1),
+                        site=CodeSite(FILE, 171, "x264_frame_cond_broadcast"))
+            yield Broadcast(cond=f"dep.cond[{k}]",
+                            site=CodeSite(FILE, 172, "x264_frame_cond_broadcast"))
+            yield Release(lock="dep.lock", site=CodeSite(FILE, 174, "x264_frame_cond_broadcast"))
+            if row % 3 == 2:
+                # finished macroblock rows go to distinct output slots
+                slot = (k + row * self.threads) % slots
+                yield Acquire(lock="out.lock", site=CodeSite(FILE, 180, fn))
+                yield Write(f"mb_out[{slot}]", op=Store(4), site=CodeSite(FILE, 181, fn))
+                yield Release(lock="out.lock", site=CodeSite(FILE, 183, fn))
+            yield Compute(rng.randint(self.gap // 2, self.gap),
+                          site=CodeSite(FILE, 190, fn))
+            # per-thread lookahead bookkeeping (private lock traffic)
+            yield from private_lock_rounds(
+                "x264.lookahead", k, self.rounds(self.local_rounds),
+                file=FILE, line=200, gap=self.gap // 2, cs_len=50, rng=rng,
+            )
+
+    def programs(self) -> List[Tuple]:
+        return [(self._encoder(k), f"x264-{k}") for k in range(self.threads)]

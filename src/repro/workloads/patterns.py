@@ -1,0 +1,186 @@
+"""Reusable locking-pattern generators (the four ULCP shapes + friends).
+
+Each helper yields the request stream of one thread's rounds of a
+pattern.  Patterns are parameterized by code site (file + base line) so
+the fusion/recommendation pipeline can attribute every dynamic pair back
+to its static region, exactly like the paper's per-code-site grouping.
+
+All randomness comes from the caller-provided ``rng`` (gap jitter only —
+structure is deterministic).
+"""
+
+from __future__ import annotations
+
+from repro.sim.requests import Acquire, Add, Compute, Read, Release, Store, Write
+from repro.trace.codesite import CodeSite
+
+
+def _gap(rng, gap: int) -> int:
+    """A jittered inter-round think time."""
+    if gap <= 0:
+        return 0
+    return rng.randint(max(1, gap // 2), gap + gap // 2)
+
+
+def null_lock_rounds(lock, rounds, *, file, line, gap, rng, fn="null_lock"):
+    """Figure 3's shape: lock/unlock around a branch that never executes."""
+    lock_site = CodeSite(file, line, fn)
+    unlock_site = CodeSite(file, line + 3, fn)
+    for _ in range(rounds):
+        think = _gap(rng, gap)
+        if think:
+            yield Compute(think, site=CodeSite(file, line - 1, fn))
+        yield Acquire(lock=lock, site=lock_site)
+        # if (local_variable) shared_variable++;   -- local is false
+        yield Release(lock=lock, site=unlock_site)
+
+
+def read_read_rounds(
+    lock, addr, rounds, *, file, line, gap, cs_len, rng, fn="reader",
+    spin=False, site_variants=1, start_round=0,
+):
+    """Read-only critical sections on shared data (Figure 4's shape).
+
+    ``site_variants`` spreads rounds over that many distinct static code
+    regions (40 lines apart), modelling several call sites sharing one
+    lock — this is what gives Algorithm 2 several groups to fuse.
+    """
+    for i in range(rounds):
+        r = start_round + i
+        base = line + 40 * (r % site_variants)
+        think = _gap(rng, gap)
+        if think:
+            yield Compute(think, site=CodeSite(file, base - 1, fn))
+        yield Acquire(lock=lock, site=CodeSite(file, base, fn), spin=spin)
+        yield Read(addr, site=CodeSite(file, base + 1, fn))
+        if cs_len:
+            yield Compute(cs_len, site=CodeSite(file, base + 2, fn))
+        yield Release(lock=lock, site=CodeSite(file, base + 3, fn))
+
+
+def disjoint_write_rounds(
+    lock,
+    slot_prefix,
+    slot_count,
+    start_slot,
+    rounds,
+    *,
+    file,
+    line,
+    gap,
+    cs_len,
+    rng,
+    fn="updater",
+    value=7,
+    stride=1,
+    start_round=0,
+    site_variants=1,
+):
+    """Disjoint writes via a uniform reference (pointer-alias shape).
+
+    Round ``r`` of the thread starting at ``start_slot`` writes slot
+    ``(start_slot + r*stride) % slot_count``.  With ``stride`` set to the
+    thread count and ``slot_count`` odd/coprime (the mix uses 2T+1),
+    threads in the same round always write *different* shared objects
+    (disjoint-write pairs), yet every slot is revisited by another thread
+    two rounds later, which makes the slots genuinely shared.  The stored
+    value is constant, so those delayed revisits are benign, not true
+    conflicts.
+    """
+    for i in range(rounds):
+        r = start_round + i
+        base = line + 40 * (r % site_variants)
+        think = _gap(rng, gap)
+        if think:
+            yield Compute(think, site=CodeSite(file, base - 1, fn))
+        slot = (start_slot + r * stride) % slot_count
+        yield Acquire(lock=lock, site=CodeSite(file, base, fn))
+        yield Write(
+            f"{slot_prefix}[{slot}]", op=Store(value),
+            site=CodeSite(file, base + 1, fn),
+        )
+        if cs_len:
+            yield Compute(cs_len, site=CodeSite(file, base + 2, fn))
+        yield Release(lock=lock, site=CodeSite(file, base + 3, fn))
+
+
+def dw_warmup(lock, slot_prefix, slot_count, *, file, line, fn="scan"):
+    """One read-only scan of every slot behind the uniform reference.
+
+    Emitted once per thread before its disjoint-write rounds: it makes
+    every slot genuinely *shared* (so Algorithm 1 sees the writes) the
+    way real code does when the objects are displayed or checkpointed
+    elsewhere.  The scan truly conflicts with the writers, so it costs a
+    few TLCP edges — negligible and realistic.
+    """
+    yield Acquire(lock=lock, site=CodeSite(file, line, fn))
+    for slot in range(slot_count):
+        yield Read(f"{slot_prefix}[{slot}]", site=CodeSite(file, line + 1, fn))
+    yield Release(lock=lock, site=CodeSite(file, line + 2, fn))
+
+
+def benign_add_rounds(
+    lock, addr, rounds, *, file, line, gap, cs_len, rng, fn="counter", delta=1
+):
+    """Commutative counter updates: conflicting but benign pairs."""
+    lock_site = CodeSite(file, line, fn)
+    add_site = CodeSite(file, line + 1, fn)
+    body_site = CodeSite(file, line + 2, fn)
+    unlock_site = CodeSite(file, line + 3, fn)
+    for _ in range(rounds):
+        think = _gap(rng, gap)
+        if think:
+            yield Compute(think, site=CodeSite(file, line - 1, fn))
+        yield Acquire(lock=lock, site=lock_site)
+        yield Write(addr, op=Add(delta), site=add_site)
+        if cs_len:
+            yield Compute(cs_len, site=body_site)
+        yield Release(lock=lock, site=unlock_site)
+
+
+def tlcp_rounds(
+    lock, addr, rounds, *, file, line, gap, cs_len, rng, thread_index,
+    fn="mutator", start_round=0,
+):
+    """True conflicts: read-modify-write with thread-unique stored values."""
+    lock_site = CodeSite(file, line, fn)
+    read_site = CodeSite(file, line + 1, fn)
+    write_site = CodeSite(file, line + 2, fn)
+    unlock_site = CodeSite(file, line + 3, fn)
+    for i in range(rounds):
+        r = start_round + i
+        think = _gap(rng, gap)
+        if think:
+            yield Compute(think, site=CodeSite(file, line - 1, fn))
+        yield Acquire(lock=lock, site=lock_site)
+        yield Read(addr, site=read_site)
+        yield Write(addr, op=Store(1000 * (thread_index + 1) + r), site=write_site)
+        if cs_len:
+            yield Compute(cs_len, site=CodeSite(file, line + 3, fn))
+        yield Release(lock=lock, site=unlock_site)
+
+
+def private_lock_rounds(
+    lock_prefix, thread_index, rounds, *, file, line, gap, cs_len, rng, fn="local"
+):
+    """Per-thread distinct locks: inflate the dynamic lock count (Table 1's
+    #Locks column) without creating any cross-thread pairs."""
+    lock = f"{lock_prefix}#{thread_index}"
+    lock_site = CodeSite(file, line, fn)
+    unlock_site = CodeSite(file, line + 2, fn)
+    for r in range(rounds):
+        think = _gap(rng, gap)
+        if think:
+            yield Compute(think, site=CodeSite(file, line - 1, fn))
+        yield Acquire(lock=lock, site=lock_site)
+        yield Write(f"{lock_prefix}.data#{thread_index}", op=Store(r), site=CodeSite(file, line + 1, fn))
+        if cs_len:
+            yield Compute(cs_len, site=CodeSite(file, line + 1, fn))
+        yield Release(lock=lock, site=unlock_site)
+
+
+def compute_only_rounds(rounds, *, file, line, work, rng, fn="kernel"):
+    """Lock-free number crunching (blackscholes/swaptions shape)."""
+    site = CodeSite(file, line, fn)
+    for _ in range(rounds):
+        yield Compute(_gap(rng, work) or work, site=site)

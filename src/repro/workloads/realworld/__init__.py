@@ -1,0 +1,14 @@
+"""Real-world application models: openldap, mysql, pbzip2,
+transmissionBT, handbrake — each built around the actual ULCP patterns
+the paper documents for it (Figures 1, 4, 17, 18 and the appendix cases),
+plus a Table 1-calibrated background mix."""
+
+from repro.workloads.realworld.handbrake import Handbrake
+from repro.workloads.realworld.mysql import Mysql
+from repro.workloads.realworld.openldap import Openldap
+from repro.workloads.realworld.pbzip2 import Pbzip2
+from repro.workloads.realworld.transmissionbt import TransmissionBT
+
+REALWORLD_WORKLOADS = (Openldap, Mysql, Pbzip2, TransmissionBT, Handbrake)
+
+__all__ = [cls.__name__ for cls in REALWORLD_WORKLOADS] + ["REALWORLD_WORKLOADS"]

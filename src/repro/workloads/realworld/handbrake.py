@@ -1,0 +1,109 @@
+"""handBrake: video transcoder (DVD -> MP4, H.264).
+
+Modelled as the transcode pipeline: a *demux* thread queues source
+frames through a semaphore; *encoder workers* consult the shared codec
+context read-only on every frame (read-read, Table 1's 1,536), write
+their encoded frames into distinct slots of the output ring via the
+uniform reference (disjoint writes, 1,143), bump the commutative
+progress counter (benign, 189), and occasionally probe the empty
+subtitle track (null-locks, 10).  Per-frame scratch buffers use private
+locks — handbrake's 18,316 dynamic acquisitions with comparatively few
+ULCPs.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Add,
+    Compute,
+    Read,
+    Release,
+    SemAcquire,
+    SemRelease,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import private_lock_rounds
+
+FILE = "encavcodec.c"
+
+
+@register
+class Handbrake(Workload):
+    name = "handbrake"
+    category = "realworld"
+
+    frames_per_worker = 14
+    demux_work = 240
+    encode_work = 850
+    cs_len = 240
+    gap = 650
+    scratch_rounds_per_frame = 6
+
+    @property
+    def total_frames(self) -> int:
+        return self.rounds(self.frames_per_worker) * self.threads
+
+    def _demux(self) -> Iterator:
+        rng = self.rng("demux")
+        fn = "reader_io"
+        for i in range(self.total_frames):
+            yield Compute(rng.randint(self.demux_work // 2, self.demux_work),
+                          site=CodeSite(FILE, 60, fn))
+            yield Acquire(lock="fifo.lock", site=CodeSite(FILE, 70, fn))
+            yield Write(f"src_frame[{i}]", op=Store(i + 1), site=CodeSite(FILE, 71, fn))
+            yield Release(lock="fifo.lock", site=CodeSite(FILE, 73, fn))
+            yield SemRelease(sem="fifo.items", site=CodeSite(FILE, 75, fn))
+
+    def _encoder(self, k: int) -> Iterator:
+        rng = self.rng(f"enc{k}")
+        fn = "encavcodecWork"
+        frames = self.rounds(self.frames_per_worker)
+        slots = 2 * self.threads + 1
+        yield Compute(1 + 7 * k, site=CodeSite(FILE, 100, fn))
+        yield Acquire(lock="out.ring_lock", site=CodeSite(FILE, 102, fn))
+        for s in range(slots):
+            yield Read(f"out_ring[{s}]", site=CodeSite(FILE, 103, fn))
+        yield Release(lock="out.ring_lock", site=CodeSite(FILE, 105, fn))
+        for i in range(frames):
+            yield SemAcquire(sem="fifo.items", site=CodeSite(FILE, 110, fn))
+            yield Acquire(lock="fifo.lock", site=CodeSite(FILE, 112, fn))
+            yield Read(f"src_frame[{k * frames + i}]", site=CodeSite(FILE, 113, fn))
+            yield Release(lock="fifo.lock", site=CodeSite(FILE, 115, fn))
+            # shared codec context, consulted read-only on every frame
+            yield Acquire(lock="codec.lock", site=CodeSite(FILE, 130, "hb_avcodec"))
+            yield Read("codec.context", site=CodeSite(FILE, 131, "hb_avcodec"))
+            yield Compute(self.cs_len, site=CodeSite(FILE, 132, "hb_avcodec"))
+            yield Release(lock="codec.lock", site=CodeSite(FILE, 134, "hb_avcodec"))
+            yield Compute(
+                rng.randint(self.encode_work // 2, self.encode_work),
+                site=CodeSite(FILE, 150, fn),
+            )
+            # encoded frame into a distinct slot of the output ring
+            slot = (k + i * self.threads) % slots
+            yield Acquire(lock="out.ring_lock", site=CodeSite(FILE, 160, fn))
+            yield Write(f"out_ring[{slot}]", op=Store(2), site=CodeSite(FILE, 161, fn))
+            yield Release(lock="out.ring_lock", site=CodeSite(FILE, 163, fn))
+            if i % 3 == 1:
+                # commutative progress accounting (benign)
+                yield Acquire(lock="job.progress_lock", site=CodeSite(FILE, 170, fn))
+                yield Write("job.frames_done", op=Add(1), site=CodeSite(FILE, 171, fn))
+                yield Release(lock="job.progress_lock", site=CodeSite(FILE, 173, fn))
+            if i % 13 == 7:
+                # empty subtitle-track probe (null-lock)
+                yield Acquire(lock="subtitle.lock", site=CodeSite(FILE, 180, fn))
+                yield Release(lock="subtitle.lock", site=CodeSite(FILE, 182, fn))
+            yield Compute(rng.randint(self.gap // 2, self.gap),
+                          site=CodeSite(FILE, 190, fn))
+            yield from private_lock_rounds(
+                "hb.scratch", k, self.rounds(self.scratch_rounds_per_frame),
+                file=FILE, line=200, gap=self.gap // 3, cs_len=60, rng=rng,
+            )
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._encoder(k), f"hb-{k}") for k in range(self.threads)]
+        programs.append((self._demux(), "hb-demux"))
+        return programs

@@ -1,0 +1,130 @@
+"""mysql: database server model around the paper's mysql cases.
+
+Three documented ULCP sources (Figures 1, 17 and appendix cases 5/8/9):
+
+* **query-cache timed wait** (bug #68573, Case 9): ``try_lock`` holds
+  ``structure_guard_mutex`` and loops on ``mysql_cond_timedwait`` — the
+  re-acquisition after each timeout is a null-lock and the wait
+  serializes SELECTs;
+* **tablespace hash lookups** (bug #69276, Case 8 / Figure 1):
+  ``fil_space_get_by_id`` runs read-only under ``fil_system->mutex`` at
+  least four times per block read — read-read dominant (Table 1's 9,822);
+* **disjoint THD field updates** (bug #73168, Case 5):
+  ``set_query_id`` vs ``set_mysys_var`` update different THD members
+  under the same ``LOCK_thd_data``.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import Acquire, Compute, CondWait, Read, Release
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import (
+    benign_add_rounds,
+    disjoint_write_rounds,
+    dw_warmup,
+    null_lock_rounds,
+    read_read_rounds,
+)
+
+CACHE_FILE = "sql_cache.cc"
+FIL_FILE = "fil0fil.cc"
+THD_FILE = "sql_class.cc"
+
+
+def query_cache_try_lock(
+    *, waits: int, timeout: int, rng, file: str = CACHE_FILE, line: int = 310
+) -> Iterator:
+    """Case 9: timed cond-waits inside a held mutex (each timeout's
+    wake re-acquires the lock — a null-lock per iteration)."""
+    fn = "Query_cache::try_lock"
+    yield Acquire(lock="structure_guard_mutex", site=CodeSite(file, line, fn))
+    for _ in range(waits):
+        yield CondWait(
+            cond="COND_cache_status_changed",
+            lock="structure_guard_mutex",
+            timeout=timeout,
+            site=CodeSite(file, line + 4, fn),
+        )
+    yield Release(lock="structure_guard_mutex", site=CodeSite(file, line + 12, fn))
+
+
+LOOKUP_FNS = (
+    ("fil_space_get_version", 5400),
+    ("fil_inc_pending_ops", 5430),
+    ("fil_decr_pending_ops", 5460),
+    ("fil_space_get_size", 5490),
+)
+
+
+def fil_space_lookups(
+    *, rounds: int, rng, file: str = FIL_FILE
+) -> Iterator:
+    """Case 8 / Figure 1: four read-only hash lookups per block read, each
+    from its own function (distinct code regions for Algorithm 2)."""
+    for _ in range(rounds):
+        yield Compute(rng.randint(200, 420), site=CodeSite(file, 5395, "fil_io"))
+        for fn, line in LOOKUP_FNS:
+            yield Acquire(lock="fil_system.mutex", site=CodeSite(file, line, fn))
+            yield Read("fil_system.spaces", site=CodeSite(file, line + 2, fn))
+            yield Compute(90, site=CodeSite(file, line + 10, fn))
+            yield Release(lock="fil_system.mutex", site=CodeSite(file, line + 28, fn))
+            yield Compute(rng.randint(260, 480), site=CodeSite(file, line + 30, fn))
+
+
+@register
+class Mysql(Workload):
+    name = "mysql"
+    category = "realworld"
+
+    #: per-thread base counts (Table 1 / 100): RR 9,822 -> ~98 lookups,
+    #: DW 2,924 -> ~29, NL 125 -> ~1.3, benign 194 -> ~2.
+    lookup_blocks = 16  # x4 lookups each = 64 read-read sections
+    disjoint_write = 29
+    null_lock = 1.3
+    benign = 2.0
+    cache_waits = 2
+    cache_timeout = 900
+
+    def _session(self, k: int) -> Iterator:
+        rng = self.rng(f"session{k}")
+        yield Compute(1 + 11 * k)
+        yield from query_cache_try_lock(
+            waits=self.cache_waits, timeout=self.cache_timeout, rng=rng
+        )
+        yield from fil_space_lookups(
+            rounds=self.rounds(self.lookup_blocks), rng=rng
+        )
+        yield from dw_warmup(
+            "LOCK_thd_data", "thd.field", 2 * self.threads + 1,
+            file=THD_FILE, line=4518,
+        )
+        yield from disjoint_write_rounds(
+            "LOCK_thd_data", "thd.field", 2 * self.threads + 1, k,
+            self.rounds(self.disjoint_write),
+            file=THD_FILE, line=4526, gap=520, cs_len=160, rng=rng,
+            fn="THD::set_field", stride=self.threads, site_variants=5,
+        )
+        yield from null_lock_rounds(
+            "LOCK_status", self.rounds(self.null_lock),
+            file="mysqld.cc", line=7003, gap=420, rng=rng,
+        )
+        yield from benign_add_rounds(
+            "LOCK_stats", "status.questions", self.rounds(self.benign),
+            file="mysqld.cc", line=7101, gap=420, cs_len=110, rng=rng,
+        )
+
+    def _writer(self) -> Iterator:
+        """One thread that really mutates the tablespace map (TLCP source)."""
+        rng = self.rng("writer")
+        from repro.sim.requests import Store, Write
+
+        yield Compute(900, site=CodeSite(FIL_FILE, 5560, "fil_flush_file_spaces"))
+        yield Acquire(lock="fil_system.mutex", site=CodeSite(FIL_FILE, 5609, "fil_flush_file_spaces"))
+        yield Write("fil_system.spaces", op=Store(1), site=CodeSite(FIL_FILE, 5611, "fil_flush_file_spaces"))
+        yield Release(lock="fil_system.mutex", site=CodeSite(FIL_FILE, 5614, "fil_flush_file_spaces"))
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._session(k), f"mysql-s{k}") for k in range(self.threads)]
+        programs.append((self._writer(), "mysql-flush"))
+        return programs

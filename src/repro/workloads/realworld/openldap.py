@@ -1,0 +1,122 @@
+"""openldap: LDAP server model around the Figure 4 spin-wait.
+
+The signature ULCP (the paper's #BUG 1) is ``dbmfp->ref`` polling:
+worker threads repeatedly take ``dbmp->mutex`` just to *read* the
+reference count, spinning until the last holder drops it.  Every pair of
+polling sections is a read-read ULCP, and the waits burn CPU.  A closer
+thread releases the reference after finishing its (long) work.
+
+Background traffic adds the remaining Table 1 categories
+(NL 75 / RR 1,414 / DW 473 / benign 15 at 1/100 per thread).
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import Acquire, Compute, Read, Release, Store, Write
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+from repro.workloads.patterns import (
+    benign_add_rounds,
+    disjoint_write_rounds,
+    dw_warmup,
+    null_lock_rounds,
+    read_read_rounds,
+)
+
+MP_FILE = "mp_fopen.c"
+
+
+def spin_wait_refcount(
+    *,
+    ref_addr: str = "dbmfp.ref",
+    lock: str = "dbmp.mutex",
+    max_polls: int,
+    poll_gap: int,
+    rng,
+    file: str = MP_FILE,
+    line: int = 654,
+) -> Iterator:
+    """Figure 4's loop: lock, read ref, unlock, retry until ref == 1."""
+    lock_site = CodeSite(file, line, "__memp_fclose")
+    read_site = CodeSite(file, line + 2, "__memp_fclose")
+    unlock_site = CodeSite(file, line + 6, "__memp_fclose")
+    for _ in range(max_polls):
+        yield Acquire(lock=lock, spin=True, site=lock_site)
+        ref = yield Read(ref_addr, site=read_site)
+        yield Release(lock=lock, site=unlock_site)
+        if ref == 1:
+            break
+        yield Compute(poll_gap, site=CodeSite(file, line + 8, "__memp_fclose"))
+
+
+def release_refcount(
+    *,
+    ref_addr: str = "dbmfp.ref",
+    lock: str = "dbmp.mutex",
+    work: int,
+    file: str = MP_FILE,
+    line: int = 620,
+) -> Iterator:
+    """The critical thread: long work, then drop the reference."""
+    yield Compute(work, site=CodeSite(file, line, "__memp_sync"))
+    yield Acquire(lock=lock, site=CodeSite(file, line + 2, "__memp_sync"))
+    yield Write(ref_addr, op=Store(1), site=CodeSite(file, line + 3, "__memp_sync"))
+    yield Release(lock=lock, site=CodeSite(file, line + 4, "__memp_sync"))
+
+
+@register
+class Openldap(Workload):
+    name = "openldap"
+    category = "realworld"
+
+    #: per-thread base counts (Table 1 / 100)
+    null_lock = 0.8
+    background_rr = 6.0
+    disjoint_write = 4.7
+    benign = 0.5
+    max_polls = 9
+    poll_gap = 260
+    closer_work = 2600
+
+    def _worker(self, k: int) -> Iterator:
+        rng = self.rng(f"worker{k}")
+        yield Compute(1 + 13 * k)
+        yield from spin_wait_refcount(
+            max_polls=self.rounds(self.max_polls),
+            poll_gap=self.poll_gap,
+            rng=rng,
+        )
+        yield from read_read_rounds(
+            "slapd.conn_lock", "connections.table",
+            self.rounds(self.background_rr),
+            file="connection.c", line=210, gap=850, cs_len=240, rng=rng,
+            site_variants=3,
+        )
+        yield from dw_warmup(
+            "slapd.op_lock", "op.slot", 2 * self.threads + 1,
+            file="operation.c", line=80,
+        )
+        yield from disjoint_write_rounds(
+            "slapd.op_lock", "op.slot", 2 * self.threads + 1, k,
+            self.rounds(self.disjoint_write),
+            file="operation.c", line=88, gap=850, cs_len=240, rng=rng,
+            stride=self.threads, site_variants=2,
+        )
+        yield from null_lock_rounds(
+            "slapd.stats_lock", self.rounds(self.null_lock),
+            file="result.c", line=30, gap=500, rng=rng,
+        )
+        yield from benign_add_rounds(
+            "slapd.counter_lock", "stats.ops", self.rounds(self.benign),
+            file="result.c", line=70, gap=500, cs_len=120, rng=rng,
+        )
+
+    def _closer(self) -> Iterator:
+        yield from release_refcount(
+            work=round(self.closer_work * self.size_factor * self.scale)
+        )
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._worker(k), f"ldap-w{k}") for k in range(self.threads)]
+        programs.append((self._closer(), "ldap-closer"))
+        return programs

@@ -1,0 +1,123 @@
+"""pbzip2: parallel bzip2 model around the Figure 18 consumer idiom.
+
+The producer reads the file into blocks (a semaphore hands them to
+consumers); consumers compress blocks in parallel and write distinct
+output slots (disjoint writes under the output lock).  The paper's
+#BUG 2 is the shutdown check: every consumer repeatedly takes ``mu`` to
+read ``fifo.empty`` and then nests ``muDone`` to read ``producerDone``
+— read-read ULCPs with extra nested-lock overhead that serialize the
+thread joins.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Compute,
+    Read,
+    Release,
+    SemAcquire,
+    SemRelease,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+
+FILE = "pbzip2.cpp"
+
+
+def consumer_done_check(*, rng, polls: int = 1) -> Iterator:
+    """Figure 18: nested read-read check of fifo.empty / producerDone."""
+    fn = "consumer"
+    for _ in range(polls):
+        yield Acquire(lock="mu", site=CodeSite(FILE, 2109, fn))
+        yield Read("fifo.empty", site=CodeSite(FILE, 2122, fn))
+        yield Acquire(lock="muDone", site=CodeSite(FILE, 534, "syncGetProducerDone"))
+        yield Read("producerDone", site=CodeSite(FILE, 535, "syncGetProducerDone"))
+        yield Release(lock="muDone", site=CodeSite(FILE, 536, "syncGetProducerDone"))
+        yield Release(lock="mu", site=CodeSite(FILE, 2124, fn))
+
+
+@register
+class Pbzip2(Workload):
+    name = "pbzip2"
+    category = "realworld"
+
+    blocks_per_consumer = 9
+    block_read_work = 260
+    compress_work = 900
+    done_polls = 3
+
+    @property
+    def total_blocks(self) -> int:
+        return self.rounds(self.blocks_per_consumer) * self.threads
+
+    def _producer(self) -> Iterator:
+        rng = self.rng("producer")
+        fn = "producer"
+        for i in range(self.total_blocks):
+            yield Compute(
+                rng.randint(self.block_read_work // 2, self.block_read_work),
+                site=CodeSite(FILE, 1802, fn),
+            )
+            yield Acquire(lock="mu", site=CodeSite(FILE, 1815, fn))
+            yield Write(f"fifo.block[{i}]", op=Store(i + 1), site=CodeSite(FILE, 1818, fn))
+            yield Release(lock="mu", site=CodeSite(FILE, 1825, fn))
+            yield SemRelease(sem="fifo.items", site=CodeSite(FILE, 1827, fn))
+        # end stage: mark completion (true conflicts with the last checks)
+        yield Acquire(lock="muDone", site=CodeSite(FILE, 527, "syncSetProducerDone"))
+        yield Write("producerDone", op=Store(1), site=CodeSite(FILE, 528, "syncSetProducerDone"))
+        yield Release(lock="muDone", site=CodeSite(FILE, 529, "syncSetProducerDone"))
+        yield Acquire(lock="mu", site=CodeSite(FILE, 1890, fn))
+        yield Write("fifo.empty", op=Store(1), site=CodeSite(FILE, 1891, fn))
+        yield Release(lock="mu", site=CodeSite(FILE, 1892, fn))
+
+    def _consumer(self, k: int) -> Iterator:
+        rng = self.rng(f"consumer{k}")
+        fn = "consumer"
+        my_blocks = self.rounds(self.blocks_per_consumer)
+        for i in range(my_blocks):
+            yield SemAcquire(sem="fifo.items", site=CodeSite(FILE, 2090, fn))
+            yield Acquire(lock="mu", site=CodeSite(FILE, 2095, fn))
+            yield Read("fifo.head", site=CodeSite(FILE, 2096, fn))
+            yield Read(f"fifo.block[{k * my_blocks + i}]", site=CodeSite(FILE, 2097, fn))
+            yield Release(lock="mu", site=CodeSite(FILE, 2099, fn))
+            yield Compute(
+                rng.randint(self.compress_work // 2, self.compress_work),
+                site=CodeSite(FILE, 2140, "BZ2_compress"),
+            )
+            yield Acquire(lock="out_mu", site=CodeSite(FILE, 2160, fn))
+            yield Write(
+                f"out.block[{k * my_blocks + i}]", op=Store(1),
+                site=CodeSite(FILE, 2161, fn),
+            )
+            yield Release(lock="out_mu", site=CodeSite(FILE, 2164, fn))
+            yield SemRelease(sem="out.items", site=CodeSite(FILE, 2166, fn))
+            # BUG 2: the shutdown check runs on every dequeue
+            yield from consumer_done_check(rng=rng, polls=self.done_polls)
+
+    def _muxer(self) -> Iterator:
+        """The output writer: drains compressed blocks to the file in
+        completion order (it reads what consumers wrote, making the
+        output slots genuinely shared)."""
+        rng = self.rng("muxer")
+        fn = "fileWriter"
+        my_blocks = self.rounds(self.blocks_per_consumer)
+        order = [
+            k * my_blocks + i
+            for i in range(my_blocks)
+            for k in range(self.threads)
+        ]
+        for slot in order:
+            yield SemAcquire(sem="out.items", site=CodeSite(FILE, 2301, fn))
+            yield Acquire(lock="out_mu", site=CodeSite(FILE, 2304, fn))
+            yield Read(f"out.block[{slot}]", site=CodeSite(FILE, 2306, fn))
+            yield Release(lock="out_mu", site=CodeSite(FILE, 2309, fn))
+            yield Compute(rng.randint(60, 140), site=CodeSite(FILE, 2312, fn))
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._consumer(k), f"pbzip2-c{k}") for k in range(self.threads)]
+        programs.append((self._producer(), "pbzip2-producer"))
+        programs.append((self._muxer(), "pbzip2-muxer"))
+        return programs

@@ -1,0 +1,95 @@
+"""transmissionBT: BitTorrent client model (download path).
+
+Modelled as a small peer swarm: each peer thread receives blocks,
+checks the shared piece bitfield read-only under the session lock
+(read-read), writes its finished pieces into distinct piece slots
+(disjoint writes via the uniform piece table), bumps the shared
+download-rate accumulator (benign adds), and occasionally polls the
+empty UI-event queue (null-locks).  A tracker thread really mutates the
+peer list (true conflicts).
+
+Table 1 shows the lightest real-world profile — 352 locks, NL 15 /
+RR 111 / DW 123 / benign 29 — reproduced at the documented scaling.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.sim.requests import (
+    Acquire,
+    Add,
+    Compute,
+    Read,
+    Release,
+    Store,
+    Write,
+)
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+
+FILE = "session.c"
+
+
+@register
+class TransmissionBT(Workload):
+    name = "transmissionBT"
+    category = "realworld"
+
+    blocks_per_peer = 3
+    net_work = 1100
+    cs_len = 320
+    gap = 800
+
+    def _peer(self, k: int) -> Iterator:
+        rng = self.rng(f"peer{k}")
+        fn = "tr_peerMgr"
+        blocks = self.rounds(self.blocks_per_peer)
+        slots = 2 * self.threads + 1
+        yield Compute(1 + 9 * k, site=CodeSite(FILE, 100, fn))
+        # piece table is verified elsewhere: slots are shared objects
+        yield Acquire(lock="session.piece_lock", site=CodeSite(FILE, 102, fn))
+        for s in range(slots):
+            yield Read(f"piece[{s}]", site=CodeSite(FILE, 103, fn))
+        yield Release(lock="session.piece_lock", site=CodeSite(FILE, 105, fn))
+        for i in range(blocks):
+            # network receive (no locks)
+            yield Compute(
+                rng.randint(self.net_work // 2, self.net_work),
+                site=CodeSite(FILE, 120, "tr_peerIo"),
+            )
+            # read-only bitfield check under the session lock
+            yield Acquire(lock="session.lock", site=CodeSite(FILE, 140, "tr_cpPieceIsComplete"))
+            yield Read("torrent.bitfield", site=CodeSite(FILE, 141, "tr_cpPieceIsComplete"))
+            yield Compute(self.cs_len, site=CodeSite(FILE, 142, "tr_cpPieceIsComplete"))
+            yield Release(lock="session.lock", site=CodeSite(FILE, 144, "tr_cpPieceIsComplete"))
+            yield Compute(rng.randint(self.gap // 2, self.gap),
+                          site=CodeSite(FILE, 150, fn))
+            # finished piece into this round's distinct slot
+            slot = (k + i * self.threads) % slots
+            yield Acquire(lock="session.piece_lock", site=CodeSite(FILE, 160, fn))
+            yield Write(f"piece[{slot}]", op=Store(1), site=CodeSite(FILE, 161, fn))
+            yield Release(lock="session.piece_lock", site=CodeSite(FILE, 163, fn))
+            if i % 2 == 0:
+                # shared download-rate accumulator (commutative)
+                yield Acquire(lock="session.stats_lock", site=CodeSite(FILE, 170, "tr_bandwidth"))
+                yield Write("stats.downloaded", op=Add(16), site=CodeSite(FILE, 171, "tr_bandwidth"))
+                yield Release(lock="session.stats_lock", site=CodeSite(FILE, 173, "tr_bandwidth"))
+            if i % 3 == 1:
+                # empty UI-event poll (null-lock)
+                yield Acquire(lock="session.ui_lock", site=CodeSite(FILE, 180, "tr_sessionEvents"))
+                yield Release(lock="session.ui_lock", site=CodeSite(FILE, 182, "tr_sessionEvents"))
+
+    def _tracker(self) -> Iterator:
+        rng = self.rng("tracker")
+        fn = "tr_announcer"
+        for round_ in range(self.rounds(2)):
+            yield Compute(rng.randint(1500, 2500), site=CodeSite(FILE, 200, fn))
+            yield Acquire(lock="session.lock", site=CodeSite(FILE, 210, fn))
+            count = yield Read("torrent.bitfield", site=CodeSite(FILE, 211, fn))
+            yield Write("torrent.bitfield", op=Store(count + 1),
+                        site=CodeSite(FILE, 212, fn))
+            yield Release(lock="session.lock", site=CodeSite(FILE, 214, fn))
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._peer(k), f"bt-peer{k}") for k in range(self.threads)]
+        programs.append((self._tracker(), "bt-tracker"))
+        return programs

@@ -1,0 +1,130 @@
+"""Tunable synthetic workloads for controlled experiments.
+
+Unlike the application models (calibrated to Table 1), these expose the
+knobs directly: lock utilization, pattern composition, section lengths.
+They back the contention-sweep experiment (how does ULCP cost scale with
+lock utilization?) and are handy for studying the pipeline itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.sim.requests import Acquire, Compute, Read, Release, Store, Write
+from repro.trace.codesite import CodeSite
+from repro.workloads.base import Workload, register
+
+
+@register
+class TunableContention(Workload):
+    """Read-read ULCP generator with a directly-set duty cycle.
+
+    ``utilization`` is the fraction of a round spent inside the critical
+    section (cs / (cs + gap)); with two threads the expected serialization
+    loss grows roughly quadratically in it, which the contention-sweep
+    experiment plots.
+    """
+
+    name = "tunable-contention"
+    category = "synthetic"
+
+    def __init__(self, *, utilization: float = 0.3, rounds: int = 20,
+                 round_ns: int = 1000, **kwargs):
+        super().__init__(**kwargs)
+        if not 0.0 < utilization < 1.0:
+            raise WorkloadError("utilization must be in (0, 1)")
+        self.utilization = utilization
+        self.round_rounds = rounds
+        self.round_ns = round_ns
+
+    @property
+    def cs_len(self) -> int:
+        return max(1, round(self.round_ns * self.utilization))
+
+    @property
+    def gap(self) -> int:
+        return max(1, self.round_ns - self.cs_len)
+
+    def _worker(self, k: int) -> Iterator:
+        rng = self.rng(f"w{k}")
+        site = CodeSite("tunable.c", 10, "worker")
+        yield Compute(1 + 3 * k)
+        for _ in range(self.rounds(self.round_rounds)):
+            yield Compute(rng.randint(self.gap // 2, self.gap + self.gap // 2),
+                          site=CodeSite("tunable.c", 9, "worker"))
+            yield Acquire(lock="hot", site=site)
+            yield Read("shared.config", site=CodeSite("tunable.c", 11, "worker"))
+            yield Compute(self.cs_len, site=CodeSite("tunable.c", 12, "worker"))
+            yield Release(lock="hot", site=CodeSite("tunable.c", 13, "worker"))
+
+    def _init(self) -> Iterator:
+        yield Write("shared.config", op=Store(1),
+                    site=CodeSite("tunable.c", 1, "init"))
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._worker(k), f"tun-{k}") for k in range(self.threads)]
+        programs.append((self._init(), "tun-init"))
+        return programs
+
+
+@register
+class MixedBag(Workload):
+    """Every ULCP category on one lock, in equal measure.
+
+    Exercises classification and the advisor with maximal ambiguity: the
+    same lock carries null, read-read, disjoint-write, benign and true
+    conflicts, so per-category attribution has to disentangle them.
+    """
+
+    name = "mixed-bag"
+    category = "synthetic"
+
+    rounds_per_category = 4
+
+    def _worker(self, k: int) -> Iterator:
+        from repro.sim.requests import Add
+
+        rng = self.rng(f"w{k}")
+        n = self.rounds(self.rounds_per_category)
+        yield Compute(1 + 5 * k)
+        # make the disjoint slots shared up front
+        yield Acquire(lock="the_lock", site=CodeSite("bag.c", 5, "scan"))
+        for s in range(self.threads + 1):
+            yield Read(f"bag.slot[{s}]", site=CodeSite("bag.c", 6, "scan"))
+        yield Release(lock="the_lock", site=CodeSite("bag.c", 7, "scan"))
+        for r in range(n):
+            gap = rng.randint(150, 450)
+            yield Compute(gap, site=CodeSite("bag.c", 9, "worker"))
+            # null
+            yield Acquire(lock="the_lock", site=CodeSite("bag.c", 10, "null"))
+            yield Release(lock="the_lock", site=CodeSite("bag.c", 11, "null"))
+            # read-read
+            yield Acquire(lock="the_lock", site=CodeSite("bag.c", 20, "rr"))
+            yield Read("bag.meta", site=CodeSite("bag.c", 21, "rr"))
+            yield Release(lock="the_lock", site=CodeSite("bag.c", 22, "rr"))
+            # disjoint write (constant value: revisits stay benign)
+            slot = (k + r * self.threads) % (self.threads + 1)
+            yield Acquire(lock="the_lock", site=CodeSite("bag.c", 30, "dw"))
+            yield Write(f"bag.slot[{slot}]", op=Store(3),
+                        site=CodeSite("bag.c", 31, "dw"))
+            yield Release(lock="the_lock", site=CodeSite("bag.c", 32, "dw"))
+            # benign commutative add
+            yield Acquire(lock="the_lock", site=CodeSite("bag.c", 40, "benign"))
+            yield Write("bag.counter", op=Add(1), site=CodeSite("bag.c", 41, "benign"))
+            yield Release(lock="the_lock", site=CodeSite("bag.c", 42, "benign"))
+            # true conflict
+            yield Acquire(lock="the_lock", site=CodeSite("bag.c", 50, "tlcp"))
+            yield Read("bag.state", site=CodeSite("bag.c", 51, "tlcp"))
+            yield Write("bag.state", op=Store(100 * (k + 1) + r),
+                        site=CodeSite("bag.c", 52, "tlcp"))
+            yield Release(lock="the_lock", site=CodeSite("bag.c", 53, "tlcp"))
+
+    def _toucher(self) -> Iterator:
+        yield Compute(2000, site=CodeSite("bag.c", 60, "monitor"))
+        yield Read("bag.meta", site=CodeSite("bag.c", 61, "monitor"))
+
+    def programs(self) -> List[Tuple]:
+        programs = [(self._worker(k), f"bag-{k}") for k in range(self.threads)]
+        programs.append((self._toucher(), "bag-monitor"))
+        return programs

@@ -1,0 +1,48 @@
+"""Shared trace-building helpers for analysis tests.
+
+``record_programs`` records small hand-written programs on a zero-cost
+machine so tests can reason about exact structure without cost noise.
+"""
+
+from repro.record import record
+from repro.sim import Acquire, Add, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+
+
+def record_programs(*programs, **kwargs):
+    kwargs.setdefault("lock_cost", 0)
+    kwargs.setdefault("mem_cost", 0)
+    return record(list(programs), **kwargs).trace
+
+
+def site(line, file="test.c", fn="f"):
+    return CodeSite(file, line, fn)
+
+
+def cs_reader(lock, addr, duration=100, line=10, stagger=0):
+    """A thread with one read-only critical section."""
+    if stagger:
+        yield Compute(stagger)
+    yield Acquire(lock=lock, site=site(line))
+    yield Read(addr, site=site(line + 1))
+    yield Compute(duration, site=site(line + 2))
+    yield Release(lock=lock, site=site(line + 3))
+
+
+def cs_writer(lock, addr, value=1, duration=100, line=20, stagger=0, op=None):
+    """A thread with one writing critical section."""
+    if stagger:
+        yield Compute(stagger)
+    yield Acquire(lock=lock, site=site(line))
+    yield Write(addr, op=op or Store(value), site=site(line + 1))
+    yield Compute(duration, site=site(line + 2))
+    yield Release(lock=lock, site=site(line + 3))
+
+
+def cs_empty(lock, duration=100, line=30, stagger=0):
+    """A null-lock critical section: no shared accesses inside."""
+    if stagger:
+        yield Compute(stagger)
+    yield Acquire(lock=lock, site=site(line))
+    yield Compute(duration, site=site(line + 1))
+    yield Release(lock=lock, site=site(line + 2))

@@ -1,0 +1,212 @@
+"""Tests for Algorithm 1, the benign reversed replay, and pair enumeration."""
+
+from repro.analysis import (
+    BENIGN,
+    DISJOINT_WRITE,
+    FALSE,
+    NULL_LOCK,
+    READ_READ,
+    TLCP,
+    WriteTimeline,
+    analyze_pairs,
+    annotate_shared_sets,
+    classify_pair,
+    extract_sections,
+    is_benign,
+    shared_addresses,
+)
+from repro.sim import Acquire, Add, Compute, Read, Release, Store, Write
+from tests.analysis.helpers import (
+    cs_empty,
+    cs_reader,
+    cs_writer,
+    record_programs,
+    site,
+)
+
+
+def annotated_sections(trace):
+    sections = extract_sections(trace)
+    annotate_shared_sets(sections, shared_addresses(trace))
+    return sorted(sections, key=lambda cs: cs.lock_index)
+
+
+class TestClassify:
+    def test_null_lock(self):
+        trace = record_programs(cs_empty("L"), cs_reader("L", "x", stagger=5))
+        c1, c2 = annotated_sections(trace)
+        assert classify_pair(c1, c2) == NULL_LOCK
+
+    def test_read_read(self):
+        # a third thread writes x elsewhere so x is shared
+        trace = record_programs(
+            cs_reader("L", "x"),
+            cs_reader("L", "x", stagger=5),
+        )
+        c1, c2 = annotated_sections(trace)
+        assert classify_pair(c1, c2) == READ_READ
+
+    def test_disjoint_write(self):
+        def toucher():
+            # makes both addresses shared without holding the lock
+            yield Compute(500)
+            yield Read("a")
+            yield Read("b")
+
+        trace = record_programs(
+            cs_writer("L", "a"),
+            cs_writer("L", "b", stagger=5),
+            toucher(),
+        )
+        sections = annotated_sections(trace)
+        c1, c2 = [cs for cs in sections if cs.lock == "L"]
+        assert classify_pair(c1, c2) == DISJOINT_WRITE
+
+    def test_conflicting_pair_is_false(self):
+        trace = record_programs(
+            cs_writer("L", "x", value=1),
+            cs_writer("L", "x", value=2, stagger=5),
+        )
+        c1, c2 = annotated_sections(trace)
+        assert classify_pair(c1, c2) == FALSE
+
+    def test_read_write_conflict_is_false(self):
+        trace = record_programs(
+            cs_reader("L", "x"),
+            cs_writer("L", "x", stagger=5),
+        )
+        c1, c2 = annotated_sections(trace)
+        assert classify_pair(c1, c2) == FALSE
+
+
+class TestBenign:
+    def test_redundant_writes_are_benign(self):
+        trace = record_programs(
+            cs_writer("L", "x", value=7),
+            cs_writer("L", "x", value=7, stagger=5),
+        )
+        c1, c2 = annotated_sections(trace)
+        assert is_benign(c1, c2, WriteTimeline(trace))
+
+    def test_commutative_adds_are_benign(self):
+        trace = record_programs(
+            cs_writer("L", "ctr", op=Add(3)),
+            cs_writer("L", "ctr", op=Add(5), stagger=5),
+        )
+        c1, c2 = annotated_sections(trace)
+        assert is_benign(c1, c2, WriteTimeline(trace))
+
+    def test_different_stores_not_benign(self):
+        trace = record_programs(
+            cs_writer("L", "x", value=1),
+            cs_writer("L", "x", value=2, stagger=5),
+        )
+        c1, c2 = annotated_sections(trace)
+        assert not is_benign(c1, c2, WriteTimeline(trace))
+
+    def test_read_vs_write_not_benign(self):
+        trace = record_programs(
+            cs_reader("L", "x"),
+            cs_writer("L", "x", value=9, stagger=5),
+        )
+        c1, c2 = annotated_sections(trace)
+        assert not is_benign(c1, c2, WriteTimeline(trace))
+
+    def test_write_then_read_same_value_benign(self):
+        # writer stores the value the cell already has; reader sees it either way
+        def setup_then_read():
+            yield Write("x", op=Store(7))
+            yield Compute(5)
+            yield Acquire(lock="L", site=site(40))
+            yield Read("x", site=site(41))
+            yield Release(lock="L", site=site(42))
+
+        def rewriter():
+            yield Read("x")  # make x shared for this thread too
+            yield Compute(20)
+            yield Acquire(lock="L", site=site(50))
+            yield Write("x", op=Store(7), site=site(51))
+            yield Release(lock="L", site=site(52))
+
+        trace = record_programs(setup_then_read(), rewriter())
+        sections = annotated_sections(trace)
+        c1, c2 = sections
+        assert is_benign(c1, c2, WriteTimeline(trace))
+
+    def test_timeline_reconstructs_state(self):
+        def prog():
+            yield Write("x", op=Store(3))
+            yield Compute(100)
+            yield Write("x", op=Store(9))
+
+        trace = record_programs(prog())
+        timeline = WriteTimeline(trace)
+        assert timeline.value_at("x", 0) == 0
+        assert timeline.value_at("x", 50) == 3
+        assert timeline.value_at("x", 1000) == 9
+        assert timeline.value_at("untouched", 50) == 0
+
+
+class TestPairEnumeration:
+    def test_counts_by_category(self):
+        trace = record_programs(
+            cs_reader("L", "x", duration=50),
+            cs_reader("L", "x", duration=50, stagger=5),
+        )
+        analysis = analyze_pairs(trace)
+        assert analysis.breakdown.read_read == 1
+        assert analysis.breakdown.total_ulcps == 1
+
+    def test_same_thread_pairs_skipped(self):
+        def prog():
+            for _ in range(3):
+                yield Acquire(lock="L")
+                yield Read("x")
+                yield Release(lock="L")
+
+        def other():
+            yield Compute(1000)
+            yield Write("x", op=Store(1))  # makes x shared, outside lock
+
+        trace = record_programs(prog(), other())
+        analysis = analyze_pairs(trace)
+        assert analysis.pairs == []
+
+    def test_three_sections_make_two_pairs(self):
+        trace = record_programs(
+            cs_reader("L", "x", duration=30),
+            cs_reader("L", "x", duration=30, stagger=5),
+            cs_reader("L", "x", duration=30, stagger=10),
+        )
+        analysis = analyze_pairs(trace)
+        assert len(analysis.pairs) == 2
+        assert analysis.breakdown.read_read == 2
+
+    def test_tlcp_detected(self):
+        trace = record_programs(
+            cs_writer("L", "x", value=1),
+            cs_writer("L", "x", value=2, stagger=5),
+        )
+        analysis = analyze_pairs(trace)
+        assert analysis.breakdown.tlcp == 1
+        assert analysis.ulcps == []
+
+    def test_benign_detection_toggle(self):
+        programs = lambda: (
+            cs_writer("L", "x", value=7),
+            cs_writer("L", "x", value=7, stagger=5),
+        )
+        with_benign = analyze_pairs(record_programs(*programs()))
+        without = analyze_pairs(record_programs(*programs()), benign_detection=False)
+        assert with_benign.breakdown.benign == 1
+        assert without.breakdown.benign == 0
+        assert without.breakdown.tlcp == 1
+
+    def test_contended_flag(self):
+        trace = record_programs(
+            cs_reader("L", "x", duration=100),
+            cs_reader("L", "x", duration=100, stagger=5),
+        )
+        analysis = analyze_pairs(trace)
+        (pair,) = analysis.pairs
+        assert pair.contended

@@ -1,0 +1,143 @@
+"""Tests for critical-section extraction and shadow annotation."""
+
+import pytest
+
+from repro.analysis import (
+    annotate_shared_sets,
+    extract_sections,
+    sections_by_lock,
+    shared_addresses,
+)
+from repro.errors import TraceError
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+from tests.analysis.helpers import cs_reader, cs_writer, record_programs, site
+
+
+class TestExtraction:
+    def test_simple_sections(self):
+        trace = record_programs(cs_reader("L", "x"), cs_writer("L", "x", stagger=5))
+        sections = extract_sections(trace)
+        assert len(sections) == 2
+        assert all(cs.lock == "L" for cs in sections)
+        assert sections[0].lock_index == 0
+        assert sections[1].lock_index == 1
+
+    def test_body_contents(self):
+        trace = record_programs(cs_reader("L", "x"))
+        (cs,) = extract_sections(trace)
+        kinds = [e.kind for e in cs.body]
+        assert kinds == ["read", "compute"]
+        assert cs.reads == {"x"}
+        assert cs.writes == set()
+
+    def test_duration_and_bounds(self):
+        trace = record_programs(cs_reader("L", "x", duration=100))
+        (cs,) = extract_sections(trace)
+        assert cs.t_end - cs.t_start == 100
+        assert cs.duration == 100
+
+    def test_nested_sections(self):
+        def prog():
+            yield Acquire(lock="outer", site=site(1))
+            yield Acquire(lock="inner", site=site(2))
+            yield Write("x", op=Store(1), site=site(3))
+            yield Release(lock="inner", site=site(4))
+            yield Compute(10, site=site(5))
+            yield Release(lock="outer", site=site(6))
+
+        trace = record_programs(prog())
+        sections = extract_sections(trace)
+        assert len(sections) == 2
+        outer = next(cs for cs in sections if cs.lock == "outer")
+        inner = next(cs for cs in sections if cs.lock == "inner")
+        # outer body contains the inner lock events and its write
+        assert {"x"} == outer.writes == inner.writes
+        inner_kinds = [e.kind for e in inner.body]
+        assert inner_kinds == ["write"]
+        outer_kinds = [e.kind for e in outer.body]
+        assert outer_kinds == ["acquire", "write", "release", "compute"]
+
+    def test_region_spans_lock_and_unlock_sites(self):
+        trace = record_programs(cs_reader("L", "x", line=10))
+        (cs,) = extract_sections(trace)
+        assert cs.region.start_line == 10
+        assert cs.region.end_line == 13
+
+    def test_anchors(self):
+        def prog():
+            yield Compute(5, site=site(1))
+            yield Acquire(lock="L", site=site(2))
+            yield Release(lock="L", site=site(3))
+            yield Compute(5, site=site(4))
+
+        trace = record_programs(prog())
+        (cs,) = extract_sections(trace)
+        pre = trace.event(cs.pre_anchor)
+        post = trace.event(cs.post_anchor)
+        assert pre.kind == "compute"
+        assert post.kind == "compute"
+
+    def test_anchor_fallback_to_thread_edges(self):
+        def prog():
+            yield Acquire(lock="L")
+            yield Release(lock="L")
+
+        trace = record_programs(prog())
+        (cs,) = extract_sections(trace)
+        # thread_start precedes, thread_end follows
+        assert trace.event(cs.pre_anchor).kind == "thread_start"
+        assert trace.event(cs.post_anchor).kind == "thread_end"
+
+    def test_unbalanced_trace_rejected(self):
+        from repro.trace import Trace, TraceEvent
+
+        trace = Trace()
+        trace.append(TraceEvent(uid="e0", tid="t0", kind="acquire", t=0, lock="L"))
+        with pytest.raises(TraceError):
+            extract_sections(trace)
+
+    def test_sections_by_lock_groups_in_order(self):
+        trace = record_programs(
+            cs_reader("A", "x"),
+            cs_reader("A", "x", stagger=5),
+            cs_reader("B", "y"),
+        )
+        grouped = sections_by_lock(extract_sections(trace))
+        assert set(grouped) == {"A", "B"}
+        assert [cs.lock_index for cs in grouped["A"]] == [0, 1]
+
+
+class TestShadow:
+    def test_shared_addresses_needs_two_threads(self):
+        trace = record_programs(cs_reader("L", "x"), cs_writer("L", "y", stagger=5))
+        assert shared_addresses(trace) == set()
+
+    def test_shared_addresses_found(self):
+        trace = record_programs(cs_reader("L", "x"), cs_writer("L", "x", stagger=5))
+        assert shared_addresses(trace) == {"x"}
+
+    def test_annotate_restricts_to_shared(self):
+        trace = record_programs(cs_reader("L", "x"), cs_writer("L", "x", stagger=5))
+        sections = extract_sections(trace)
+        annotate_shared_sets(sections, shared_addresses(trace))
+        reader = next(cs for cs in sections if cs.reads)
+        assert reader.srd == {"x"}
+        assert reader.swr == set()
+
+    def test_private_access_makes_section_empty(self):
+        trace = record_programs(cs_writer("L", "private"), cs_reader("L", "x", stagger=5))
+        sections = extract_sections(trace)
+        annotate_shared_sets(sections, shared_addresses(trace))
+        assert all(cs.is_empty for cs in sections)
+
+    def test_shadow_memory_incremental(self):
+        from repro.analysis import ShadowMemory
+
+        shadow = ShadowMemory()
+        shadow.record_read("t0", "x")
+        assert not shadow.is_shared("x")
+        shadow.record_write("t1", "x")
+        assert shadow.is_shared("x")
+        assert shadow.readers("x") == {"t0"}
+        assert shadow.writers("x") == {"t1"}
+        assert shadow.addresses() == {"x"}

@@ -1,0 +1,65 @@
+"""Tests for the lock-elision baseline model."""
+
+from repro.analysis import transform
+from repro.baselines import replay_lock_elision
+from repro.record import record
+from repro.replay import ELSC_S, Replayer
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+
+
+def site(line):
+    return CodeSite("le.c", line)
+
+
+def readonly_pair(rounds=5):
+    def prog(k):
+        for _ in range(rounds):
+            yield Compute(80 + 9 * k, site=site(1))
+            yield Acquire(lock="L", site=site(2))
+            yield Read("cfg", site=site(3))
+            yield Compute(300, site=site(4))
+            yield Release(lock="L", site=site(5))
+
+    def init():
+        yield Write("cfg", op=Store(1), site=site(9))
+
+    return [(prog(0), "a"), (prog(1), "b"), (init(), "init")]
+
+
+def conflicting_pair(rounds=4):
+    def prog(k):
+        for i in range(rounds):
+            yield Compute(100, site=site(11))
+            yield Acquire(lock="L", site=site(12))
+            yield Read("ctr", site=site(13))
+            yield Write("ctr", op=Store(10 * k + i), site=site(14))
+            yield Compute(200, site=site(15))
+            yield Release(lock="L", site=site(16))
+
+    return [(prog(0), "a"), (prog(1), "b")]
+
+
+class TestLockElision:
+    def test_elides_pure_ulcp_sections(self):
+        rec = record(readonly_pair(), name="le")
+        result = transform(rec.trace)
+        elision = replay_lock_elision(result)
+        original = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+        assert elision.end_time < original.end_time
+
+    def test_pays_abort_penalty_on_conflicts(self):
+        rec = record(conflicting_pair(), name="le")
+        result = transform(rec.trace)
+        elision = replay_lock_elision(result)
+        original = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+        # every section conflicts: LE re-executes each with the lock after
+        # a failed speculation, so it is *slower* than plain locking
+        assert elision.end_time > original.end_time
+
+    def test_perfplay_transformation_beats_elision_on_ulcps(self):
+        rec = record(readonly_pair(), name="le")
+        result = transform(rec.trace)
+        elision = replay_lock_elision(result)
+        free = Replayer(jitter=0.0).replay_transformed(result)
+        assert free.end_time <= elision.end_time

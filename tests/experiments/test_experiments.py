@@ -1,0 +1,121 @@
+"""Smoke tests for every experiment module (reduced scales).
+
+The full-shape assertions live in ``benchmarks/``; these tests check the
+modules run, produce well-formed results, and render.
+"""
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ablations,
+    figure2,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure19,
+    table1,
+    table2,
+    table3,
+)
+
+
+class TestTable1:
+    def test_runs_and_renders(self):
+        result = table1.run(scale=0.5)
+        assert len(result.rows_by_app) == 16
+        text = result.render()
+        assert "fluidanimate" in text
+        assert "NL" in text
+
+    def test_blackscholes_has_no_locks(self):
+        result = table1.run(scale=0.5)
+        assert result.rows_by_app["blackscholes"].locks == 0
+
+
+class TestFigure2:
+    def test_counts_grow(self):
+        result = figure2.run(thread_counts=(2, 4), scale=0.5)
+        for app, series in result.series.items():
+            assert series[1] > series[0], app
+
+    def test_render_contains_thread_headers(self):
+        result = figure2.run(thread_counts=(2, 4), scale=0.5)
+        assert "2t" in result.render()
+
+
+class TestFigure13:
+    def test_scheme_ordering(self):
+        result = figure13.run(apps=("vips",), replays=3, scale=0.5)
+        series = result.series["vips"]
+        assert series["MEM-S"].mean > series["ELSC-S"].mean
+        assert result.stability("vips", "ELSC-S") < 0.05
+
+    def test_render(self):
+        result = figure13.run(apps=("vips",), replays=2, scale=0.4)
+        assert "ELSC-S" in result.render()
+
+
+class TestFigure14:
+    def test_zero_apps_zero(self):
+        result = figure14.run(scale=0.5)
+        assert result.rows_by_app["blackscholes"].degradation < 0.01
+        assert 0.0 < result.average_degradation() < 0.2
+
+
+class TestTable2:
+    def test_grouped_counts(self):
+        result = table2.run(scale=0.5)
+        assert result.rows_by_app["blackscholes"].grouped_ulcps == 0
+        assert result.rows_by_app["mysql"].grouped_ulcps > 0
+
+    def test_p_in_unit_interval(self):
+        result = table2.run(scale=0.5)
+        for row in result.rows_by_app.values():
+            assert 0.0 <= row.top_p <= 1.0
+
+
+class TestTable3:
+    def test_dls_not_worse(self):
+        result = table3.run(apps=("fluidanimate", "dedup"), scale=0.5)
+        for row in result.rows_by_app.values():
+            assert row.with_dls <= row.without_dls + 0.005
+
+
+class TestFigure15:
+    def test_canneal_flat_zero(self):
+        result = figure15.run(apps=("canneal",), thread_counts=(2, 4), scale=0.5)
+        assert all(v < 0.01 for v in result.loss["canneal"])
+
+
+class TestFigure16:
+    def test_runs_over_sizes(self):
+        result = figure16.run(apps=("bodytrack",), scale=0.5)
+        assert len(result.loss["bodytrack"]) == 3
+
+
+class TestFigure19:
+    def test_bug_measurements(self):
+        result = figure19.run(thread_counts=(2, 4), sizes=("simsmall", "simlarge"))
+        bug2 = result.by_threads["bug2-pbzip2-join"]
+        assert bug2[1].normalized_loss >= bug2[0].normalized_loss
+        for series in result.by_size.values():
+            assert series[0].normalized_loss >= series[-1].normalized_loss
+
+
+class TestAblations:
+    def test_runs(self):
+        result = ablations.run(apps=("openldap",), replays=3)
+        row = result.rows_by_app["openldap"]
+        assert row.free_time_no_benign >= row.free_time_rule2
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "figure2", "figure13", "figure14", "table2",
+            "table3", "figure15", "figure16", "figure19", "ablations",
+            "contention_sweep", "stability",
+        }
+        for module in ALL_EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")

@@ -1,0 +1,24 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.experiments import paper_report
+
+
+class TestPaperReport:
+    def test_generates_selected_sections(self):
+        text = paper_report.generate(experiments=["table1", "figure2"])
+        assert "## table1" in text
+        assert "## figure2" in text
+        assert "fluidanimate" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            paper_report.generate(experiments=["table99"])
+
+    def test_write_creates_file(self, tmp_path):
+        target = paper_report.write(
+            tmp_path / "out" / "report.md", experiments=["table1"]
+        )
+        assert target.exists()
+        assert "Table 1" in target.read_text()

@@ -1,0 +1,41 @@
+"""Tests for the experiment runner's formatting helpers."""
+
+from repro.experiments.runner import bar_chart, format_table, percent
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[-1].endswith("22")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.123" in text
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart([("a", 0.5), ("b", 1.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        text = bar_chart([("a", 0.0)], width=10)
+        assert "#" not in text
+
+    def test_empty(self):
+        assert bar_chart([], title="nothing") == "nothing"
+
+    def test_custom_formatter(self):
+        text = bar_chart([("a", 3.0)], formatter=lambda v: f"{v:.0f}ns")
+        assert "3ns" in text
+
+
+class TestPercent:
+    def test_rounding(self):
+        assert percent(0.123) == "12.3%"
+        assert percent(0) == "0.0%"

@@ -1,0 +1,125 @@
+"""Tests for the fix advisor and the lock-contention profiler."""
+
+from repro.analysis import transform
+from repro.analysis.ulcp import NULL_LOCK, READ_READ
+from repro.perfdebug.advisor import CATEGORY_FIXES, advise
+from repro.perfdebug.lockstats import profile_locks, render_lock_profiles
+from repro.record import record
+from repro.replay import Replayer
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+from repro.workloads import get_workload
+
+
+def site(line):
+    return CodeSite("adv.c", line, "f")
+
+
+def mixed_workload(rounds=5):
+    """Read-read ULCPs on one lock plus null-locks on another."""
+
+    def worker(k):
+        for _ in range(rounds):
+            yield Compute(150 + 11 * k, site=site(10))
+            yield Acquire(lock="data", site=site(11))
+            yield Read("table", site=site(12))
+            yield Compute(300, site=site(13))
+            yield Release(lock="data", site=site(14))
+            yield Acquire(lock="status", site=site(20))
+            yield Release(lock="status", site=site(21))
+
+    def init():
+        yield Write("table", op=Store(1), site=site(1))
+
+    return [(worker(0), "a"), (worker(1), "b"), (init(), "init")]
+
+
+class TestAdvisor:
+    def test_estimates_cover_present_categories(self):
+        trace = record(mixed_workload(), name="advise").trace
+        advice = advise(trace)
+        categories = {e.category for e in advice.estimates}
+        assert READ_READ in categories
+        assert NULL_LOCK in categories
+
+    def test_read_read_fix_dominates(self):
+        trace = record(mixed_workload(), name="advise").trace
+        advice = advise(trace)
+        assert advice.best.category == READ_READ
+        assert advice.best.gain_ns > 0
+        assert advice.best.suggestion == CATEGORY_FIXES[READ_READ]
+
+    def test_category_gains_bounded_by_total(self):
+        trace = record(mixed_workload(), name="advise").trace
+        advice = advise(trace)
+        for estimate in advice.estimates:
+            assert 0 <= estimate.gain_ns <= advice.total_gain_ns + 200
+
+    def test_selective_transform_keeps_other_serialization(self):
+        trace = record(mixed_workload(), name="advise").trace
+        replayer = Replayer(jitter=0.0)
+        only_null = transform(trace, fix_categories={NULL_LOCK})
+        everything = transform(trace)
+        t_null = replayer.replay_transformed(only_null).end_time
+        t_all = replayer.replay_transformed(everything).end_time
+        # fixing only null-locks cannot beat fixing everything
+        assert t_null >= t_all
+
+    def test_clean_trace_gives_no_estimates(self):
+        def worker(k):
+            for i in range(3):
+                yield Compute(100, site=site(30))
+                yield Acquire(lock="L", site=site(31))
+                value = yield Read("x", site=site(32))
+                yield Write("x", op=Store(value + k + 1), site=site(33))
+                yield Release(lock="L", site=site(34))
+
+        trace = record([(worker(0), "a"), (worker(1), "b")], name="clean").trace
+        advice = advise(trace)
+        assert advice.estimates == []
+        assert "earning their keep" in advice.render()
+
+    def test_render_lists_suggestions(self):
+        trace = record(mixed_workload(), name="advise").trace
+        text = advise(trace).render()
+        assert "Fix advisor" in text
+        assert "readers-writer" in text
+
+
+class TestLockStats:
+    def test_profiles_sorted_by_wait(self):
+        trace = get_workload("mysql").record().trace
+        profiles = profile_locks(trace)
+        waits = [p.total_wait_ns for p in profiles]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_counts_match_trace(self):
+        trace = record(mixed_workload(), name="locks").trace
+        profiles = {p.lock: p for p in profile_locks(trace)}
+        assert profiles["data"].acquisitions == 10
+        assert profiles["status"].acquisitions == 10
+        assert profiles["data"].threads == {"t0", "t1"}
+
+    def test_contention_rate_and_hold(self):
+        trace = record(mixed_workload(), name="locks").trace
+        profiles = {p.lock: p for p in profile_locks(trace)}
+        data = profiles["data"]
+        assert 0.0 <= data.contention_rate <= 1.0
+        assert data.mean_hold_ns > 0
+        assert data.contended > 0  # 300ns sections with short gaps contend
+
+    def test_hot_sites_reported(self):
+        trace = record(mixed_workload(), name="locks").trace
+        profiles = {p.lock: p for p in profile_locks(trace)}
+        assert any("adv.c:11" in s for s in profiles["data"].top_sites())
+
+    def test_render(self):
+        trace = record(mixed_workload(), name="locks").trace
+        text = render_lock_profiles(profile_locks(trace))
+        assert "lock" in text
+        assert "data" in text
+
+    def test_render_limit(self):
+        trace = get_workload("vips").record().trace
+        text = render_lock_profiles(profile_locks(trace), limit=2)
+        assert "more locks" in text

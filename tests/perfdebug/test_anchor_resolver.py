@@ -1,0 +1,64 @@
+"""Unit tests for the Eq. 1 anchor resolver."""
+
+from repro.analysis import transform
+from repro.perfdebug import AnchorResolver
+from repro.record import record
+from repro.replay import ELSC_S, Replayer
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+
+
+def site(line):
+    return CodeSite("anchor.c", line)
+
+
+def fixture():
+    def worker(k):
+        yield Compute(100 + k, site=site(1))
+        yield Acquire(lock="L", site=site(2))
+        yield Read("x", site=site(3))
+        yield Release(lock="L", site=site(4))
+        yield Compute(50, site=site(5))
+
+    def init():
+        yield Write("x", op=Store(1), site=site(9))
+
+    rec = record([(worker(0), "a"), (worker(1), "b"), (init(), "i")],
+                 name="anchor")
+    replay = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+    return rec.trace, replay
+
+
+class TestAnchorResolver:
+    def test_direct_hit(self):
+        trace, replay = fixture()
+        resolver = AnchorResolver(trace, replay)
+        event = next(e for e in trace.iter_events() if e.kind == "read")
+        t = resolver.resolve(event.uid, event.tid, "forward")
+        assert t == replay.timestamps[event.uid]
+
+    def test_none_falls_back_to_thread_edges(self):
+        trace, replay = fixture()
+        resolver = AnchorResolver(trace, replay)
+        tid = trace.thread_ids[0]
+        assert resolver.resolve(None, tid, "backward") == replay.thread_start[tid]
+        assert resolver.resolve(None, tid, "forward") == replay.thread_end[tid]
+
+    def test_removed_anchor_walks_to_survivor(self):
+        """An anchor removed by transformation resolves to a neighbour."""
+        trace, _ = fixture()
+        result = transform(trace)
+        free = Replayer(jitter=0.0).replay_transformed(result)
+        resolver = AnchorResolver(trace, free)
+        # the acquire events were replaced by markers with the SAME uid, so
+        # use a release uid of a REMOVED section if one exists; fall back to
+        # asserting the walk returns a sane timestamp either way
+        release = next(e for e in trace.iter_events() if e.kind == "release")
+        t = resolver.resolve(release.uid, release.tid, "forward")
+        assert 0 <= t <= free.end_time
+
+    def test_unknown_uid_uses_fallback(self):
+        trace, replay = fixture()
+        resolver = AnchorResolver(trace, replay)
+        tid = trace.thread_ids[0]
+        assert resolver.resolve("phantom", tid, "forward") == replay.thread_end[tid]

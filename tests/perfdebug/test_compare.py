@@ -1,0 +1,77 @@
+"""Tests for before/after report comparison."""
+
+from repro.perfdebug import PerfPlay, compare_reports
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+
+
+def site(line):
+    return CodeSite("cmp.c", line, "f")
+
+
+def workload(*, with_config_ulcp=True, rounds=5):
+    """Two hotspots; the 'fixed' variant drops the config one."""
+
+    def worker(k):
+        for _ in range(rounds):
+            yield Compute(150 + 9 * k, site=site(10))
+            if with_config_ulcp:
+                yield Acquire(lock="cfg", site=site(20))
+                yield Read("config", site=site(21))
+                yield Compute(300, site=site(22))
+                yield Release(lock="cfg", site=site(23))
+            else:
+                # the fix: lock-free read of an immutable snapshot
+                yield Compute(300, site=site(22))
+            yield Acquire(lock="log", site=site(40))
+            yield Read("log.tail", site=site(41))
+            yield Compute(200, site=site(42))
+            yield Release(lock="log", site=site(43))
+
+    def init():
+        yield Write("config", op=Store(1), site=site(1))
+        yield Write("log.tail", op=Store(2), site=site(2))
+
+    return [(worker(0), "a"), (worker(1), "b"), (init(), "init")]
+
+
+def reports():
+    perfplay = PerfPlay()
+    before = perfplay.debug(workload(with_config_ulcp=True), name="before")
+    after = perfplay.debug(workload(with_config_ulcp=False), name="after")
+    return before, after
+
+
+class TestCompareReports:
+    def test_fix_detected_as_gone(self):
+        before, after = reports()
+        comparison = compare_reports(before, after)
+        fixed = [c.label for c in comparison.fixed_regions]
+        assert any("cmp.c:20" in label for label in fixed)
+
+    def test_surviving_region_tracked(self):
+        before, after = reports()
+        comparison = compare_reports(before, after)
+        surviving = [c for c in comparison.changes if c.status != "fixed"]
+        assert any("cmp.c:40" in c.label for c in surviving)
+
+    def test_improvement_detected(self):
+        before, after = reports()
+        comparison = compare_reports(before, after)
+        assert comparison.improved
+        assert comparison.end_time_change < 0
+
+    def test_next_recommendation_in_render(self):
+        before, after = reports()
+        text = compare_reports(before, after).render()
+        assert "Before/after comparison" in text
+        assert "next:" in text
+
+    def test_identical_reports_unchanged(self):
+        perfplay = PerfPlay()
+        before = perfplay.debug(workload(), name="x")
+        after = perfplay.debug(workload(), name="x")
+        comparison = compare_reports(before, after)
+        assert not comparison.fixed_regions
+        assert all(c.status in ("unchanged", "shrunk", "grew")
+                   for c in comparison.changes)

@@ -1,0 +1,93 @@
+"""End-to-end tests of the PerfPlay facade."""
+
+from repro.perfdebug import PerfPlay
+from repro.sim import Acquire, Add, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+
+
+def site(line, file="svc.c"):
+    return CodeSite(file, line, "svc")
+
+
+def ulcp_heavy(threads=3, rounds=4):
+    def worker(k):
+        for _ in range(rounds):
+            yield Compute(80, site=site(10))
+            yield Acquire(lock="cache", site=site(11))
+            yield Read("entries", site=site(12))
+            yield Compute(300, site=site(13))
+            yield Release(lock="cache", site=site(14))
+
+    def init():
+        yield Write("entries", op=Store(5), site=site(1))
+
+    programs = [(worker(k), f"w{k}") for k in range(threads)]
+    programs.append((init(), "init"))
+    return programs
+
+
+def clean_workload(threads=2, rounds=3):
+    """Real conflicts only: every pair is a TLCP."""
+
+    def worker(k):
+        for i in range(rounds):
+            yield Compute(50, site=site(20))
+            yield Acquire(lock="bal", site=site(21))
+            value = yield Read("balance", site=site(22))
+            yield Write("balance", op=Store((value or 0) + k + i + 1), site=site(23))
+            yield Release(lock="bal", site=site(24))
+
+    return [(worker(k), f"w{k}") for k in range(threads)]
+
+
+class TestPerfPlay:
+    def test_debug_produces_report(self):
+        report = PerfPlay().debug(ulcp_heavy(), name="ulcp-heavy")
+        assert report.breakdown.read_read > 0
+        assert report.t_pd > 0
+        assert report.recommendations
+        assert report.most_beneficial.p > 0
+
+    def test_clean_workload_reports_nothing(self):
+        report = PerfPlay().debug(clean_workload(), name="clean")
+        assert report.breakdown.total_ulcps == 0
+        assert report.recommendations == []
+        assert report.most_beneficial is None
+
+    def test_render_report_is_printable(self):
+        report = PerfPlay().debug(ulcp_heavy(), name="ulcp-heavy")
+        text = report.render()
+        assert "PERFPLAY report" in text
+        assert "read-read" in text
+        assert "rank" in text
+
+    def test_normalized_metrics_in_range(self):
+        report = PerfPlay().debug(ulcp_heavy(), name="ulcp-heavy")
+        assert 0.0 <= report.normalized_degradation <= 1.0
+        assert report.cpu_waste_per_thread >= 0
+
+    def test_deterministic_across_runs(self):
+        r1 = PerfPlay().debug(ulcp_heavy(), name="a")
+        r2 = PerfPlay().debug(ulcp_heavy(), name="a")
+        assert r1.t_pd == r2.t_pd
+        assert [rec.p for rec in r1.recommendations] == [
+            rec.p for rec in r2.recommendations
+        ]
+
+    def test_memory_agreement_no_races(self):
+        report = PerfPlay().debug(ulcp_heavy(), name="ulcp-heavy")
+        assert report.original_replay.final_memory == report.free_replay.final_memory
+        assert report.data_races == []
+
+    def test_benign_detection_toggle_changes_breakdown(self):
+        def redundant(k):
+            yield Compute(10 * (k + 1), site=site(30))
+            yield Acquire(lock="flagL", site=site(31))
+            yield Write("done", op=Store(1), site=site(32))
+            yield Release(lock="flagL", site=site(33))
+
+        programs = lambda: [(redundant(k), f"w{k}") for k in range(2)]
+        with_benign = PerfPlay(benign_detection=True).debug(programs())
+        without = PerfPlay(benign_detection=False).debug(programs())
+        assert with_benign.breakdown.benign == 1
+        assert without.breakdown.benign == 0

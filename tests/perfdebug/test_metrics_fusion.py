@@ -1,0 +1,174 @@
+"""Tests for Eq. 1 metrics, Algorithm 2 fusion, and Eq. 2 ranking."""
+
+from repro.analysis import transform
+from repro.perfdebug import (
+    evaluate_pairs,
+    fuse,
+    performance_degradation,
+    recommend,
+    resource_wasting,
+)
+from repro.perfdebug.fusion import FusedUlcp
+from repro.perfdebug.metrics import UlcpPerformance
+from repro.record import record
+from repro.replay import ELSC_S, Replayer
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+from repro.trace import CodeRegion, CodeSite
+
+
+def site(line, file="app.c"):
+    return CodeSite(file, line, "hot")
+
+
+def readonly_contenders(threads=3, rounds=4, cs_len=400):
+    """Same-code read-read ULCPs (all from one region)."""
+
+    def prog(k):
+        for _ in range(rounds):
+            yield Compute(60, site=site(5))
+            yield Acquire(lock="L", site=site(6))
+            yield Read("cfg", site=site(7))
+            yield Compute(cs_len, site=site(8))
+            yield Release(lock="L", site=site(9))
+
+    def init():
+        yield Write("cfg", op=Store(1), site=site(1))
+
+    programs = [(prog(k), f"w{k}") for k in range(threads)]
+    programs.append((init(), "init"))
+    return programs
+
+
+def pipeline(programs):
+    rec = record(programs, name="metrics-test")
+    result = transform(rec.trace)
+    replayer = Replayer(jitter=0.0)
+    original = replayer.replay(rec.trace, scheme=ELSC_S)
+    free = replayer.replay_transformed(result)
+    return rec, result, original, free
+
+
+class TestEq1:
+    def test_positive_delta_for_contended_read_read(self):
+        rec, result, original, free = pipeline(readonly_contenders())
+        perfs = evaluate_pairs(result, original, free)
+        assert perfs, "expected ULCPs"
+        assert sum(p.delta_t for p in perfs) > 0
+
+    def test_every_ulcp_scored(self):
+        rec, result, original, free = pipeline(readonly_contenders())
+        perfs = evaluate_pairs(result, original, free)
+        assert len(perfs) == len(result.analysis.ulcps)
+
+    def test_tpd_positive_when_contention_removed(self):
+        rec, result, original, free = pipeline(readonly_contenders())
+        assert performance_degradation(original, free) > 0
+
+    def test_trw_nonnegative(self):
+        rec, result, original, free = pipeline(readonly_contenders())
+        perfs = evaluate_pairs(result, original, free)
+        t_pd = performance_degradation(original, free)
+        assert resource_wasting(perfs, t_pd) >= 0
+
+
+def perf(delta, r1, r2):
+    """Fabricate an UlcpPerformance with given regions."""
+
+    class _CS:
+        def __init__(self, region):
+            self._region = region
+            self.uid = f"cs-{id(self)}"
+
+        @property
+        def region(self):
+            return self._region
+
+    class _Pair:
+        def __init__(self):
+            self.c1 = _CS(r1)
+            self.c2 = _CS(r2)
+            self.kind = "read_read"
+
+        @property
+        def region1(self):
+            return self.c1.region
+
+        @property
+        def region2(self):
+            return self.c2.region
+
+    return UlcpPerformance(
+        pair=_Pair(),
+        delta_t=delta,
+        time1_original=0,
+        time1_free=0,
+        time23_original=delta,
+        time23_free=0,
+    )
+
+
+class TestFusion:
+    def test_same_region_pairs_fuse(self):
+        r = CodeRegion("a.c", 10, 20)
+        groups = fuse([perf(100, r, r), perf(50, r, r)])
+        assert len(groups) == 1
+        assert groups[0].delta_t == 150
+        assert groups[0].count == 2
+
+    def test_crossed_orientation_fuses(self):
+        r1 = CodeRegion("a.c", 10, 20)
+        r2 = CodeRegion("a.c", 30, 40)
+        groups = fuse([perf(100, r1, r2), perf(50, r2, r1)])
+        assert len(groups) == 1
+        assert groups[0].delta_t == 150
+
+    def test_disjoint_regions_stay_separate(self):
+        r1 = CodeRegion("a.c", 10, 20)
+        r2 = CodeRegion("a.c", 100, 120)
+        groups = fuse([perf(100, r1, r1), perf(50, r2, r2)])
+        assert len(groups) == 2
+
+    def test_overlap_chains_merge_transitively(self):
+        a = CodeRegion("a.c", 10, 20)
+        b = CodeRegion("a.c", 18, 30)  # overlaps a
+        c = CodeRegion("a.c", 28, 40)  # overlaps b but not a
+        groups = fuse([perf(1, a, a), perf(2, c, c), perf(4, b, b)])
+        assert len(groups) == 1
+        assert groups[0].delta_t == 7
+
+    def test_fusion_from_real_trace_groups_same_code(self):
+        rec, result, original, free = pipeline(readonly_contenders())
+        perfs = evaluate_pairs(result, original, free)
+        groups = fuse(perfs)
+        # all sections come from the same source lines -> single group
+        assert len(groups) == 1
+        assert groups[0].count == len(perfs)
+
+
+class TestRecommend:
+    def test_p_sums_to_one(self):
+        r1 = CodeRegion("a.c", 10, 20)
+        r2 = CodeRegion("a.c", 100, 120)
+        recs = recommend(fuse([perf(300, r1, r1), perf(100, r2, r2)]))
+        assert abs(sum(r.p for r in recs) - 1.0) < 1e-9
+
+    def test_sorted_descending(self):
+        r1 = CodeRegion("a.c", 10, 20)
+        r2 = CodeRegion("a.c", 100, 120)
+        r3 = CodeRegion("b.c", 1, 5)
+        recs = recommend(
+            fuse([perf(100, r1, r1), perf(500, r2, r2), perf(10, r3, r3)])
+        )
+        assert [r.rank for r in recs] == [1, 2, 3]
+        assert recs[0].delta_t == 500
+        assert recs[0].p == 500 / 610
+
+    def test_negative_deltas_score_zero(self):
+        r1 = CodeRegion("a.c", 10, 20)
+        r2 = CodeRegion("a.c", 100, 120)
+        recs = recommend(fuse([perf(-50, r1, r1), perf(100, r2, r2)]))
+        assert recs[0].p == 1.0
+        assert recs[1].p == 0.0
+
+    def test_empty_groups(self):
+        assert recommend([]) == []

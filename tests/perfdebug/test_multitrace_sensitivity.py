@@ -1,0 +1,83 @@
+"""Tests for multi-trace aggregation and input-sensitivity analysis."""
+
+from repro.perfdebug import PerfPlay
+from repro.perfdebug.multitrace import aggregate
+from repro.perfdebug.sensitivity import FRAGILE, PARTIAL, ROBUST, sweep
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+from repro.workloads import get_workload
+
+
+def site(line):
+    return CodeSite("svc.c", line, "svc")
+
+
+def reader_workload(rounds=5, seed_jitter=0):
+    def worker(k):
+        for _ in range(rounds):
+            yield Compute(100 + seed_jitter, site=site(10))
+            yield Acquire(lock="L", site=site(11))
+            yield Read("cfg", site=site(12))
+            yield Compute(280, site=site(13))
+            yield Release(lock="L", site=site(14))
+
+    def init():
+        yield Write("cfg", op=Store(1), site=site(1))
+
+    return [(worker(0), "a"), (worker(1), "b"), (init(), "init")]
+
+
+class TestAggregate:
+    def test_same_region_accumulates(self):
+        perfplay = PerfPlay()
+        reports = [
+            perfplay.debug(reader_workload(seed_jitter=j), name=f"run{j}")
+            for j in (0, 7)
+        ]
+        consensus = aggregate(reports)
+        assert consensus.runs == 2
+        assert len(consensus.regions) == 1
+        region = consensus.regions[0]
+        assert region.appearances == 2
+        assert region.total_delta_t > 0
+        assert consensus.consensus_p(region) == 1.0
+
+    def test_persistent_filter(self):
+        perfplay = PerfPlay()
+        reports = [perfplay.debug(reader_workload(), name="run")]
+        consensus = aggregate(reports)
+        assert consensus.persistent(1.0) == consensus.ranked()
+
+    def test_render(self):
+        perfplay = PerfPlay()
+        consensus = aggregate([perfplay.debug(reader_workload(), name="r")])
+        text = consensus.render()
+        assert "consensus" in text
+        assert "svc.c" in text
+
+    def test_empty_reports(self):
+        consensus = aggregate([])
+        assert consensus.runs == 0
+        assert consensus.ranked() == []
+
+
+class TestSensitivity:
+    def test_openldap_spinwait_region_is_robust(self):
+        result = sweep(
+            "openldap",
+            thread_counts=(2,),
+            input_sizes=("simsmall", "simlarge"),
+        )
+        assert result.configurations
+        # the spin-wait poll region (mp_fopen.c) shows up in every config
+        robust = result.regions_by_class(ROBUST) + result.regions_by_class(PARTIAL)
+        assert any("mp_fopen.c" in r for r in robust)
+
+    def test_classification_labels_valid(self):
+        result = sweep("bodytrack", thread_counts=(2,), input_sizes=("simlarge",))
+        for label in result.classification.values():
+            assert label in (ROBUST, PARTIAL, FRAGILE)
+
+    def test_render(self):
+        result = sweep("bodytrack", thread_counts=(2,), input_sizes=("simlarge",))
+        assert "configurations" in result.render()

@@ -1,0 +1,59 @@
+"""Edge-case tests for the text report renderer."""
+
+from repro.perfdebug import PerfPlay, render_report
+from repro.races.happens_before import HbRace
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+
+
+def site(line, file="rep.c"):
+    return CodeSite(file, line, "f")
+
+
+def many_region_workload(regions=13, rounds=2):
+    """Distinct code regions so the recommendation list overflows."""
+
+    def worker(k):
+        for r in range(rounds):
+            for region in range(regions):
+                base = 100 + 50 * region
+                yield Compute(120 + 7 * k, site=site(base - 1))
+                yield Acquire(lock=f"L{region}", site=site(base))
+                yield Read(f"data{region}", site=site(base + 1))
+                yield Compute(150, site=site(base + 2))
+                yield Release(lock=f"L{region}", site=site(base + 3))
+
+    def init():
+        for region in range(regions):
+            yield Write(f"data{region}", op=Store(1), site=site(10 + region))
+
+    return [(worker(0), "a"), (worker(1), "b"), (init(), "init")]
+
+
+class TestReportRender:
+    def test_overflow_truncated_with_more_line(self):
+        report = PerfPlay().debug(many_region_workload(), name="many")
+        assert len(report.recommendations) > 10
+        text = render_report(report)
+        assert "... and" in text
+        assert "more" in text
+
+    def test_race_warning_branch(self):
+        report = PerfPlay().debug(many_region_workload(regions=2), name="x")
+        report.data_races = [
+            HbRace("addr", "e1", "t0", "e2", "t1") for _ in range(7)
+        ]
+        text = render_report(report)
+        assert "WARNING" in text
+        assert "7 interleaving-sensitive data race(s)" in text
+        # only the first five are listed
+        assert text.count("race on addr") == 5
+
+    def test_bars_scale_with_p(self):
+        report = PerfPlay().debug(many_region_workload(regions=3), name="x")
+        text = render_report(report)
+        assert "[#" in text or "[." in text
+
+    def test_unnamed_trace_placeholder(self):
+        report = PerfPlay().debug(many_region_workload(regions=2), name="")
+        assert "<unnamed trace>" in render_report(report)

@@ -1,0 +1,185 @@
+"""Tests for trace-level fix application (rwlock / split / atomic / branch)."""
+
+import pytest
+
+from repro.perfdebug.rewrite import (
+    apply_atomic_fix,
+    apply_branch_fix,
+    apply_lock_split_fix,
+    apply_rwlock_fix,
+    try_fix,
+)
+from repro.record import record
+from repro.replay import ELSC_S, ORIG_S, Replayer
+from repro.sim import Acquire, Add, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite, validate
+
+
+def site(line):
+    return CodeSite("fix.c", line, "f")
+
+
+def readers(rounds=5, threads=3, cs_len=300):
+    def worker(k):
+        for _ in range(rounds):
+            yield Compute(100 + 13 * k, site=site(10))
+            yield Acquire(lock="table_lock", site=site(11))
+            yield Read("table", site=site(12))
+            yield Compute(cs_len, site=site(13))
+            yield Release(lock="table_lock", site=site(14))
+
+    def init():
+        yield Write("table", op=Store(1), site=site(1))
+
+    programs = [(worker(k), f"r{k}") for k in range(threads)]
+    programs.append((init(), "init"))
+    return record(programs, name="readers").trace
+
+
+def disjoint_writers(rounds=5, threads=2, cs_len=300):
+    def worker(k):
+        for r in range(rounds):
+            yield Compute(100 + 17 * k, site=site(20))
+            yield Acquire(lock="obj_lock", site=site(21))
+            yield Write(f"obj[{k}]", op=Store(7), site=site(22))
+            yield Compute(cs_len, site=site(23))
+            yield Release(lock="obj_lock", site=site(24))
+
+    def toucher():
+        yield Compute(3000, site=site(29))
+        for k in range(threads):
+            yield Read(f"obj[{k}]", site=site(30))
+
+    programs = [(worker(k), f"w{k}") for k in range(threads)]
+    programs.append((toucher(), "scan"))
+    return record(programs, name="writers").trace
+
+
+def counters(rounds=6, threads=2):
+    def worker(k):
+        for _ in range(rounds):
+            yield Compute(120 + 7 * k, site=site(40))
+            yield Acquire(lock="ctr_lock", site=site(41))
+            yield Write("hits", op=Add(1), site=site(42))
+            yield Compute(150, site=site(43))
+            yield Release(lock="ctr_lock", site=site(44))
+
+    return record([(worker(k), f"c{k}") for k in range(threads)],
+                  name="counters").trace
+
+
+def null_lockers(rounds=6, threads=2):
+    def worker(k):
+        for _ in range(rounds):
+            yield Compute(100 + 9 * k, site=site(50))
+            yield Acquire(lock="maybe_lock", site=site(51))
+            yield Release(lock="maybe_lock", site=site(52))
+
+    return record([(worker(k), f"n{k}") for k in range(threads)],
+                  name="nulls").trace
+
+
+def measure(trace, fixed):
+    replayer = Replayer(jitter=0.0)
+    original = replayer.replay(trace, scheme=ELSC_S).end_time
+    after = replayer.replay(fixed, scheme=ORIG_S).end_time
+    return original, after
+
+
+class TestRwlockFix:
+    def test_readers_marked_shared(self):
+        trace = readers()
+        fixed = apply_rwlock_fix(trace, "table_lock")
+        shared = [e for e in fixed.iter_events() if e.kind == "acquire" and e.shared]
+        assert len(shared) == 15  # 3 workers x 5 rounds
+
+    def test_fixed_trace_valid_and_faster(self):
+        trace = readers()
+        fixed = apply_rwlock_fix(trace, "table_lock")
+        validate(fixed)
+        original, after = measure(trace, fixed)
+        assert after < original
+
+    def test_writer_sections_stay_exclusive(self):
+        trace = disjoint_writers()
+        fixed = apply_rwlock_fix(trace, "obj_lock")
+        shared = [e for e in fixed.iter_events() if e.kind == "acquire" and e.shared]
+        assert shared == []  # every section writes
+
+
+class TestSplitFix:
+    def test_locks_renamed_per_object(self):
+        trace = disjoint_writers()
+        fixed = apply_lock_split_fix(trace, "obj_lock")
+        locks = {e.lock for e in fixed.iter_events() if e.kind == "acquire"}
+        assert "obj_lock#obj[0]" in locks
+        assert "obj_lock#obj[1]" in locks
+
+    def test_split_is_faster(self):
+        trace = disjoint_writers()
+        fixed = apply_lock_split_fix(trace, "obj_lock")
+        validate(fixed)
+        original, after = measure(trace, fixed)
+        assert after < original
+
+    def test_memory_state_preserved(self):
+        trace = disjoint_writers()
+        fixed = apply_lock_split_fix(trace, "obj_lock")
+        replayer = Replayer(jitter=0.0)
+        a = replayer.replay(trace, scheme=ELSC_S).final_memory
+        b = replayer.replay(fixed, scheme=ORIG_S).final_memory
+        assert a == b
+
+
+class TestAtomicFix:
+    def test_commutative_sections_unlocked(self):
+        trace = counters()
+        fixed = apply_atomic_fix(trace, "ctr_lock")
+        acquires = [e for e in fixed.iter_events() if e.kind == "acquire"]
+        assert acquires == []
+
+    def test_counter_value_preserved(self):
+        trace = counters()
+        fixed = apply_atomic_fix(trace, "ctr_lock")
+        replayer = Replayer(jitter=0.0)
+        a = replayer.replay(trace, scheme=ELSC_S).final_memory
+        b = replayer.replay(fixed, scheme=ORIG_S).final_memory
+        assert a["hits"] == b["hits"] == 12
+
+    def test_non_commutative_sections_keep_lock(self):
+        trace = disjoint_writers()  # Store ops, not Add
+        fixed = apply_atomic_fix(trace, "obj_lock")
+        acquires = [e for e in fixed.iter_events() if e.kind == "acquire"]
+        assert len(acquires) == len(
+            [e for e in trace.iter_events() if e.kind == "acquire"]
+        )
+
+
+class TestBranchFix:
+    def test_null_locks_removed(self):
+        trace = null_lockers()
+        fixed = apply_branch_fix(trace, "maybe_lock")
+        assert [e for e in fixed.iter_events() if e.kind == "acquire"] == []
+
+    def test_faster_without_null_locks(self):
+        trace = null_lockers()
+        fixed = apply_branch_fix(trace, "maybe_lock")
+        original, after = measure(trace, fixed)
+        assert after <= original
+
+
+class TestTryFix:
+    def test_named_fix_outcome(self):
+        outcome = try_fix(readers(), "table_lock", "rwlock")
+        assert outcome.fix == "rwlock"
+        assert outcome.lock == "table_lock"
+        assert outcome.gain_ns > 0
+        assert 0 < outcome.normalized_gain < 1
+
+    def test_unknown_fix_raises(self):
+        with pytest.raises(ValueError):
+            try_fix(readers(), "table_lock", "magic")
+
+    def test_outcome_renders(self):
+        outcome = try_fix(counters(), "ctr_lock", "atomic")
+        assert "atomic fix on ctr_lock" in str(outcome)

@@ -1,0 +1,113 @@
+"""Direct unit tests for the three enforcement gates."""
+
+from repro.replay.elsc import ELSCGate
+from repro.replay.kendo import KendoGate
+from repro.replay.memsched import MemOrderGate, access_order
+from repro.record import record
+from repro.sim import Acquire, Compute, Read, Release, Store, Write
+
+
+class TestELSCGate:
+    def test_enforces_schedule_order(self):
+        gate = ELSCGate({"L": ["a1", "a2", "a3"]})
+        assert gate.may_acquire("t0", "L", "a1")
+        assert not gate.may_acquire("t1", "L", "a2")
+        gate.on_acquired("t0", "L", "a1")
+        assert gate.may_acquire("t1", "L", "a2")
+        assert not gate.may_acquire("t2", "L", "a3")
+
+    def test_unknown_lock_unconstrained(self):
+        gate = ELSCGate({"L": ["a1"]})
+        assert gate.may_acquire("t0", "M", "x9")
+
+    def test_exhausted_schedule_unconstrained(self):
+        gate = ELSCGate({"L": ["a1"]})
+        gate.on_acquired("t0", "L", "a1")
+        assert gate.may_acquire("t5", "L", "later")
+        assert gate.remaining("L") == 0
+
+    def test_out_of_order_acquire_does_not_advance(self):
+        gate = ELSCGate({"L": ["a1", "a2"]})
+        gate.on_acquired("t9", "L", "zz")  # not the scheduled uid
+        assert gate.remaining("L") == 2
+
+
+class TestKendoGate:
+    class _FakeMachine:
+        def __init__(self, eligible):
+            self.eligible = eligible
+
+        def gate_eligible_tids(self):
+            return self.eligible
+
+    def test_min_clock_acquires(self):
+        gate = KendoGate()
+        gate.attach(self._FakeMachine(["t0", "t1"]))
+        gate.on_progress("t0", 100)
+        gate.on_progress("t1", 50)
+        assert not gate.may_acquire("t0", "L", "u")
+        assert gate.may_acquire("t1", "L", "u")
+
+    def test_tid_breaks_clock_ties(self):
+        gate = KendoGate()
+        gate.attach(self._FakeMachine(["t0", "t1"]))
+        gate.on_progress("t0", 100)
+        gate.on_progress("t1", 100)
+        assert gate.may_acquire("t0", "L", "u")
+        assert not gate.may_acquire("t1", "L", "u")
+
+    def test_done_threads_excluded(self):
+        gate = KendoGate()
+        gate.attach(self._FakeMachine(["t0", "t1"]))
+        gate.on_progress("t0", 10)
+        gate.on_progress("t1", 999)
+        gate.on_thread_end("t0")
+        assert gate.may_acquire("t1", "L", "u")
+
+    def test_acquisition_advances_clock(self):
+        gate = KendoGate()
+        gate.attach(self._FakeMachine(["t0"]))
+        before = gate.clock("t0")
+        gate.on_acquired("t0", "L", "u")
+        assert gate.clock("t0") == before + 1
+
+
+class TestMemOrderGate:
+    def _trace(self):
+        def prog(k):
+            yield Compute(10 * (k + 1))
+            yield Acquire(lock="L")
+            yield Read("x")
+            yield Write("x", op=Store(k))
+            yield Release(lock="L")
+
+        return record([(prog(0), "a"), (prog(1), "b")],
+                      lock_cost=0, mem_cost=0).trace
+
+    def test_access_order_is_time_sorted(self):
+        trace = self._trace()
+        order = access_order(trace)
+        times = [trace.event(uid).t for uid in order]
+        assert times == sorted(times)
+
+    def test_global_order_enforced(self):
+        trace = self._trace()
+        gate = MemOrderGate.from_trace(trace)
+        order = access_order(trace)
+        first, second = order[0], order[1]
+        assert gate.may_access("any", "x", first)
+        assert not gate.may_access("any", "x", second)
+        gate.on_access("any", "x", first)
+        assert gate.may_access("any", "x", second)
+
+    def test_unknown_access_unconstrained(self):
+        trace = self._trace()
+        gate = MemOrderGate.from_trace(trace)
+        assert gate.may_access("t0", "y", "not-recorded")
+
+    def test_inherits_lock_schedule(self):
+        trace = self._trace()
+        gate = MemOrderGate.from_trace(trace)
+        scheduled = trace.lock_schedule["L"]
+        assert gate.may_acquire("t", "L", scheduled[0])
+        assert not gate.may_acquire("t", "L", scheduled[1])

@@ -1,0 +1,215 @@
+"""Tests for the replay engine and the four schemes."""
+
+import pytest
+
+from repro.analysis import transform
+from repro.record import record
+from repro.replay import (
+    ELSC_S,
+    MEM_S,
+    ORIG_S,
+    SYNC_S,
+    Replayer,
+    original_programs,
+)
+from repro.sim import Acquire, Add, Compute, CondWait, Read, Release, Signal, Store, Write
+from repro.trace import ACQUIRE, CodeSite
+
+
+def site(line):
+    return CodeSite("replay_test.c", line)
+
+
+def contended_workload(rounds=5, threads=3, cs_len=200, gap=100):
+    """Threads repeatedly taking the same lock with real+false sharing."""
+
+    def prog(k):
+        for i in range(rounds):
+            yield Compute(gap + 13 * k, site=site(1))
+            yield Acquire(lock="L", site=site(2))
+            yield Read("shared", site=site(3))
+            yield Write("shared", op=Add(1), site=site(4))
+            yield Compute(cs_len, site=site(5))
+            yield Release(lock="L", site=site(6))
+
+    return [(prog(k), f"w{k}") for k in range(threads)]
+
+
+def readonly_workload(rounds=6, threads=3, cs_len=300):
+    """Pure read-read ULCP generator: every pair is unnecessary."""
+
+    def prog(k):
+        for i in range(rounds):
+            yield Compute(50 + 7 * k, site=site(10))
+            yield Acquire(lock="L", site=site(11))
+            yield Read("config", site=site(12))
+            yield Compute(cs_len, site=site(13))
+            yield Release(lock="L", site=site(14))
+
+    def initializer():
+        yield Write("config", op=Store(1), site=site(20))
+
+    programs = [(prog(k), f"r{k}") for k in range(threads)]
+    programs.append((initializer(), "init"))
+    return programs
+
+
+def recorded(workload):
+    return record(workload, name="replay-test")
+
+
+class TestFaithfulReplay:
+    def test_elsc_replay_reproduces_recorded_time_exactly(self):
+        rec = recorded(contended_workload())
+        replay = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+        assert replay.end_time == rec.recorded_time
+
+    def test_elsc_replay_reproduces_lock_order(self):
+        rec = recorded(contended_workload())
+        replay = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+        recorded_order = rec.trace.lock_schedule["L"]
+        replayed = sorted(
+            (uid for uid in recorded_order if uid in replay.timestamps),
+            key=lambda uid: replay.timestamps[uid],
+        )
+        assert replayed == recorded_order
+
+    def test_replay_reproduces_memory_state(self):
+        rec = recorded(contended_workload())
+        # re-execute and compare final counter value: 3 threads x 5 rounds
+        replay = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+        final_writes = [
+            e.value for e in rec.trace.iter_time_order() if e.kind == "write"
+        ]
+        assert final_writes[-1] == 15
+
+    def test_cond_wait_trace_replays(self):
+        def waiter():
+            yield Acquire(lock="L", site=site(30))
+            outcome = yield CondWait(cond="C", lock="L", site=site(31))
+            yield Release(lock="L", site=site(32))
+
+        def signaler():
+            yield Compute(500, site=site(40))
+            yield Acquire(lock="L", site=site(41))
+            yield Signal(cond="C", site=site(42))
+            yield Release(lock="L", site=site(43))
+
+        rec = record([(waiter(), "w"), (signaler(), "s")], name="cond")
+        replay = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+        assert replay.end_time == rec.recorded_time
+
+    def test_replay_under_all_schemes_completes(self):
+        rec = recorded(contended_workload())
+        replayer = Replayer(jitter=0.0)
+        for scheme in (ORIG_S, ELSC_S, SYNC_S, MEM_S):
+            result = replayer.replay(rec.trace, scheme=scheme, seed=1)
+            assert result.end_time > 0
+
+
+class TestFidelity:
+    def test_elsc_is_stable_under_jitter(self):
+        rec = recorded(contended_workload())
+        series = Replayer(jitter=0.02).replay_many(rec.trace, scheme=ELSC_S, runs=6)
+        assert series.stability < 0.02
+
+    def test_orig_fluctuates_more_than_elsc(self):
+        rec = recorded(contended_workload(rounds=8, cs_len=400))
+        replayer = Replayer(jitter=0.02)
+        orig = replayer.replay_many(rec.trace, scheme=ORIG_S, runs=8)
+        elsc = replayer.replay_many(rec.trace, scheme=ELSC_S, runs=8)
+        assert orig.summary().spread >= elsc.summary().spread
+
+    def test_elsc_mean_close_to_orig_mean(self):
+        """ELSC's precision claim: no added cost vs. the unenforced replay."""
+        rec = recorded(contended_workload())
+        replayer = Replayer(jitter=0.02)
+        orig = replayer.replay_many(rec.trace, scheme=ORIG_S, runs=6)
+        elsc = replayer.replay_many(rec.trace, scheme=ELSC_S, runs=6)
+        assert abs(elsc.mean_time - orig.mean_time) / orig.mean_time < 0.05
+
+    def test_sync_s_slower_than_elsc(self):
+        rec = recorded(contended_workload())
+        replayer = Replayer(jitter=0.0)
+        sync = replayer.replay(rec.trace, scheme=SYNC_S)
+        elsc = replayer.replay(rec.trace, scheme=ELSC_S)
+        assert sync.end_time > elsc.end_time
+
+    def test_mem_s_slowest(self):
+        rec = recorded(contended_workload())
+        replayer = Replayer(jitter=0.0)
+        mem = replayer.replay(rec.trace, scheme=MEM_S)
+        sync = replayer.replay(rec.trace, scheme=SYNC_S)
+        elsc = replayer.replay(rec.trace, scheme=ELSC_S)
+        assert mem.end_time > sync.end_time > elsc.end_time
+
+    def test_sync_s_deterministic_across_seeds_without_jitter(self):
+        rec = recorded(contended_workload())
+        replayer = Replayer(jitter=0.0)
+        times = {replayer.replay(rec.trace, scheme=SYNC_S, seed=s).end_time
+                 for s in range(4)}
+        assert len(times) == 1
+
+
+class TestTransformedReplay:
+    def test_dls_replay_completes_and_is_faster(self):
+        rec = recorded(readonly_workload())
+        result = transform(rec.trace)
+        replayer = Replayer(jitter=0.0)
+        original = replayer.replay(rec.trace, scheme=ELSC_S)
+        free = replayer.replay_transformed(result, mode="dls")
+        assert free.end_time < original.end_time
+
+    def test_lockset_replay_completes(self):
+        rec = recorded(contended_workload())
+        result = transform(rec.trace)
+        free = Replayer(jitter=0.0).replay_transformed(result, mode="lockset")
+        assert free.end_time > 0
+
+    def test_lockset_mode_not_faster_than_dls(self):
+        rec = recorded(contended_workload(rounds=6))
+        result = transform(rec.trace)
+        replayer = Replayer(jitter=0.0)
+        dls = replayer.replay_transformed(result, mode="dls")
+        lockset = replayer.replay_transformed(result, mode="lockset")
+        assert lockset.end_time >= dls.end_time
+
+    def test_transformed_replay_preserves_tlcp_order(self):
+        """True conflicts must still execute in original relative order."""
+        rec = recorded(contended_workload())
+        result = transform(rec.trace)
+        free = Replayer(jitter=0.0).replay_transformed(result, mode="dls")
+        # every causal edge (src -> dst) must be respected: src's exit stamp
+        # precedes dst's enter stamp
+        for src, dst in result.topology.causal_edges():
+            src_cs = result.topology.nodes[src]
+            dst_cs = result.topology.nodes[dst]
+            src_exit = free.timestamps.get(src_cs.release.uid)
+            dst_enter = free.timestamps.get(dst_cs.acquire.uid)
+            assert src_exit is not None and dst_enter is not None
+            assert src_exit <= dst_enter
+
+    def test_transformed_replay_stable_across_seeds(self):
+        rec = recorded(contended_workload())
+        result = transform(rec.trace)
+        series = Replayer(jitter=0.0).replay_transformed_many(result, runs=4)
+        assert series.stability == 0.0
+
+    def test_read_only_workload_gets_full_parallelism(self):
+        """With all locks gone, n threads of pure reads run concurrently."""
+        rec = recorded(readonly_workload(rounds=4, threads=3, cs_len=500))
+        result = transform(rec.trace)
+        free = Replayer(jitter=0.0).replay_transformed(result, mode="dls")
+        # every section removed: no CS markers left to serialize anything
+        assert result.removed_sections == len(result.sections)
+        original = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+        assert free.end_time < original.end_time
+
+
+class TestProgramReconstruction:
+    def test_original_program_request_counts(self):
+        rec = recorded(contended_workload(rounds=2, threads=2))
+        programs = original_programs(rec.trace)
+        total = sum(len(list(p)) for p, _ in programs)
+        # per thread per round: compute, acquire, read, write, compute, release
+        assert total == 2 * 2 * 6

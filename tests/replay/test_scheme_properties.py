@@ -1,0 +1,113 @@
+"""Property-based tests: every scheme replays every generated trace.
+
+Random lock programs (same generator family as tests/test_properties.py)
+are recorded and replayed under all four schemes plus the two transformed
+modes — none may deadlock, and the deterministic schemes must reproduce
+themselves across seeds when jitter is off.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import transform
+from repro.record import record
+from repro.replay import ALL_SCHEMES, ELSC_S, Replayer
+from repro.sim import Acquire, Add, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite
+
+ADDRS = ("x", "y")
+LOCKS = ("A", "B")
+
+op_strategy = st.one_of(
+    st.tuples(st.just("read"), st.sampled_from(ADDRS)),
+    st.tuples(st.just("store"), st.sampled_from(ADDRS), st.integers(0, 3)),
+    st.tuples(st.just("add"), st.sampled_from(ADDRS), st.integers(1, 3)),
+)
+
+cs_strategy = st.tuples(
+    st.sampled_from(LOCKS),
+    st.lists(op_strategy, max_size=3),
+    st.integers(0, 250),
+)
+
+program_set = st.lists(
+    st.lists(cs_strategy, min_size=1, max_size=4), min_size=1, max_size=3
+)
+
+
+def build(sections):
+    def prog():
+        line = 10
+        for lock, body, think in sections:
+            if think:
+                yield Compute(think, site=CodeSite("p.c", line))
+            yield Acquire(lock=lock, site=CodeSite("p.c", line + 1))
+            for op in body:
+                if op[0] == "read":
+                    yield Read(op[1], site=CodeSite("p.c", line + 2))
+                elif op[0] == "store":
+                    yield Write(op[1], op=Store(op[2]), site=CodeSite("p.c", line + 2))
+                else:
+                    yield Write(op[1], op=Add(op[2]), site=CodeSite("p.c", line + 2))
+            yield Release(lock=lock, site=CodeSite("p.c", line + 3))
+            line += 10
+
+    return prog()
+
+
+def recorded(threads):
+    programs = [(build(s), f"h{i}") for i, s in enumerate(threads)]
+    return record(programs, name="scheme-prop").trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_set)
+def test_all_schemes_complete(threads):
+    trace = recorded(threads)
+    replayer = Replayer(jitter=0.02)
+    for scheme in ALL_SCHEMES:
+        result = replayer.replay(trace, scheme=scheme, seed=3)
+        assert result.end_time >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_set)
+def test_deterministic_schemes_seed_invariant(threads):
+    trace = recorded(threads)
+    replayer = Replayer(jitter=0.0)
+    for scheme in ("ELSC-S", "SYNC-S", "MEM-S"):
+        times = {replayer.replay(trace, scheme=scheme, seed=s).end_time
+                 for s in (0, 1, 2)}
+        assert len(times) == 1, scheme
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_set)
+def test_both_transformed_modes_complete(threads):
+    trace = recorded(threads)
+    result = transform(trace)
+    replayer = Replayer(jitter=0.0)
+    dls = replayer.replay_transformed(result, mode="dls")
+    lockset = replayer.replay_transformed(result, mode="lockset")
+    assert dls.end_time >= 0
+    assert lockset.end_time >= 0
+    # the two modes implement the same ordering constraints, so they can
+    # only differ by bookkeeping (flag checks vs lock ops, bounded by the
+    # plan's total lockset entries at two ops of 20ns each)
+    allowance = 100 + 2 * 20 * result.plan.total_lockset_entries()
+    assert abs(lockset.end_time - dls.end_time) <= allowance
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_set)
+def test_memory_agreement_or_races(threads):
+    """Theorem 1 as a property: the transformed replay matches memory, or
+    the happens-before pass explains the divergence."""
+    from repro.races import transformed_trace_races
+
+    trace = recorded(threads)
+    result = transform(trace)
+    replayer = Replayer(jitter=0.0)
+    original = replayer.replay(trace, scheme=ELSC_S)
+    free = replayer.replay_transformed(result)
+    if original.final_memory != free.final_memory:
+        assert transformed_trace_races(result)

@@ -1,0 +1,143 @@
+"""Component tests: policies, stats, memory, timebase."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Add,
+    Compute,
+    FifoPolicy,
+    LifoPolicy,
+    Machine,
+    RandomPolicy,
+    Release,
+    SharedMemory,
+    Store,
+    format_ns,
+)
+from repro.sim.timebase import MICROSECOND, MILLISECOND, SECOND
+
+
+class TestWakePolicies:
+    class _W:
+        def __init__(self, name):
+            self.name = name
+
+    def test_fifo_picks_first(self):
+        waiters = [self._W("a"), self._W("b")]
+        assert FifoPolicy().choose("L", waiters).name == "a"
+
+    def test_lifo_picks_last(self):
+        waiters = [self._W("a"), self._W("b")]
+        assert LifoPolicy().choose("L", waiters).name == "b"
+
+    def test_random_is_seeded(self):
+        waiters = [self._W(str(i)) for i in range(10)]
+        first = RandomPolicy(random.Random(3)).choose("L", waiters)
+        second = RandomPolicy(random.Random(3)).choose("L", waiters)
+        assert first.name == second.name
+
+    def test_lifo_policy_changes_grant_order(self):
+        order = []
+
+        def holder():
+            yield Acquire(lock="L")
+            yield Compute(100)
+            yield Release(lock="L")
+
+        def waiter(name, delay):
+            yield Compute(delay)
+            yield Acquire(lock="L")
+            order.append(name)
+            yield Release(lock="L")
+
+        m = Machine(num_cores=4, lock_cost=0, mem_cost=0,
+                    wake_policy=LifoPolicy())
+        m.add_thread(holder())
+        m.add_thread(waiter("early", 10))
+        m.add_thread(waiter("late", 20))
+        m.run()
+        assert order == ["late", "early"]
+
+
+class TestSharedMemory:
+    def test_default_zero_and_contains(self):
+        memory = SharedMemory()
+        assert memory.read("x") == 0
+        assert "x" not in memory
+        memory.write("x", Store(3))
+        assert "x" in memory
+        assert len(memory) == 1
+
+    def test_ops(self):
+        memory = SharedMemory({"x": 10})
+        assert memory.write("x", Add(5)) == 15
+        assert memory.write("x", Store(2)) == 2
+
+    def test_snapshot_restore(self):
+        memory = SharedMemory({"a": 1})
+        snapshot = memory.snapshot()
+        memory.write("a", Store(9))
+        memory.restore(snapshot)
+        assert memory.read("a") == 1
+
+    def test_snapshot_is_a_copy(self):
+        memory = SharedMemory({"a": 1})
+        snapshot = memory.snapshot()
+        snapshot["a"] = 99
+        assert memory.read("a") == 1
+
+
+class TestTimebase:
+    def test_format_ns_units(self):
+        assert format_ns(5) == "5ns"
+        assert format_ns(2 * MICROSECOND) == "2.000us"
+        assert format_ns(3 * MILLISECOND) == "3.000ms"
+        assert format_ns(SECOND) == "1.000s"
+
+
+class TestMachineAccounting:
+    def test_lock_stats_hold_and_wait(self):
+        m = Machine(num_cores=4, lock_cost=0, mem_cost=0)
+
+        def prog(delay, hold):
+            yield Compute(delay)
+            yield Acquire(lock="L")
+            yield Compute(hold)
+            yield Release(lock="L")
+
+        m.add_thread(prog(0, 100))
+        m.add_thread(prog(10, 50))
+        result = m.run()
+        stats = result.locks["L"]
+        assert stats.acquisitions == 2
+        assert stats.contended_acquisitions == 1
+        assert stats.total_hold_ns == 150
+        assert stats.total_wait_ns == 90
+
+    def test_machine_result_aggregates(self):
+        m = Machine(num_cores=2, lock_cost=0, mem_cost=0)
+
+        def prog():
+            yield Compute(100)
+
+        m.add_thread(prog())
+        m.add_thread(prog())
+        result = m.run()
+        assert result.total_cpu_ns == 200
+        assert result.total_block_ns == 0
+        assert result.cpu_waste_per_thread() == 0.0
+
+    def test_thread_lifetime(self):
+        m = Machine(num_cores=1, lock_cost=0, mem_cost=0)
+
+        def prog():
+            yield Compute(100)
+
+        m.add_thread(prog())
+        m.add_thread(prog())
+        result = m.run()
+        lifetimes = sorted(t.lifetime_ns for t in result.threads.values())
+        assert lifetimes == [100, 200]

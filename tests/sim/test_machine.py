@@ -1,0 +1,546 @@
+"""Unit tests for the discrete-event machine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import (
+    Acquire,
+    Add,
+    AwaitFlag,
+    BarrierWait,
+    Broadcast,
+    Compute,
+    CondWait,
+    Machine,
+    Read,
+    Release,
+    SemAcquire,
+    SemRelease,
+    SetFlag,
+    Signal,
+    Sleep,
+    Store,
+    Write,
+)
+
+
+def new_machine(**kwargs):
+    kwargs.setdefault("lock_cost", 0)
+    kwargs.setdefault("mem_cost", 0)
+    return Machine(**kwargs)
+
+
+class TestBasicExecution:
+    def test_single_thread_compute_advances_time(self):
+        m = new_machine()
+
+        def prog():
+            yield Compute(100)
+            yield Compute(50)
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 150
+        assert result.threads["t0"].cpu_ns == 150
+
+    def test_empty_program_finishes_at_zero(self):
+        m = new_machine()
+
+        def prog():
+            return
+            yield  # pragma: no cover
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 0
+
+    def test_threads_run_in_parallel_on_separate_cores(self):
+        m = new_machine(num_cores=2)
+
+        def prog():
+            yield Compute(100)
+
+        m.add_thread(prog())
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 100
+
+    def test_single_core_serializes_compute(self):
+        m = new_machine(num_cores=1)
+
+        def prog():
+            yield Compute(100)
+
+        m.add_thread(prog())
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 200
+
+    def test_run_twice_raises(self):
+        m = new_machine()
+        m.add_thread(iter(()))
+        m.run()
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_add_thread_after_run_raises(self):
+        m = new_machine()
+        m.add_thread(iter(()))
+        m.run()
+        with pytest.raises(SimulationError):
+            m.add_thread(iter(()))
+
+
+class TestMemory:
+    def test_read_default_zero(self):
+        m = new_machine()
+        seen = []
+
+        def prog():
+            value = yield Read("x")
+            seen.append(value)
+
+        m.add_thread(prog())
+        m.run()
+        assert seen == [0]
+
+    def test_write_store_then_read(self):
+        m = new_machine()
+        seen = []
+
+        def prog():
+            yield Write("x", op=Store(42))
+            value = yield Read("x")
+            seen.append(value)
+
+        m.add_thread(prog())
+        m.run()
+        assert seen == [42]
+
+    def test_write_add_accumulates(self):
+        m = new_machine()
+
+        def prog():
+            yield Write("ctr", op=Add(5))
+            yield Write("ctr", op=Add(7))
+
+        m.add_thread(prog())
+        m.run()
+        assert m.memory.read("ctr") == 12
+
+    def test_mem_cost_charged(self):
+        m = Machine(lock_cost=0, mem_cost=10)
+
+        def prog():
+            yield Read("x")
+            yield Write("x", op=Store(1))
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 20
+
+
+class TestLocks:
+    def test_uncontended_acquire_release(self):
+        m = new_machine()
+
+        def prog():
+            yield Acquire(lock="L")
+            yield Compute(10)
+            yield Release(lock="L")
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 10
+        assert result.locks["L"].acquisitions == 1
+        assert result.locks["L"].contended_acquisitions == 0
+
+    def test_contended_lock_serializes_critical_sections(self):
+        m = new_machine(num_cores=4)
+
+        def prog():
+            yield Acquire(lock="L")
+            yield Compute(100)
+            yield Release(lock="L")
+
+        m.add_thread(prog())
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 200
+        assert result.locks["L"].contended_acquisitions == 1
+        # exactly one thread waited 100ns
+        waits = sorted(t.block_ns for t in result.threads.values())
+        assert waits == [0, 100]
+
+    def test_spin_wait_counts_as_cpu_waste(self):
+        m = new_machine(num_cores=4)
+
+        def holder():
+            yield Acquire(lock="L")
+            yield Compute(100)
+            yield Release(lock="L")
+
+        def spinner():
+            yield Compute(1)  # ensure holder grabs the lock first
+            yield Acquire(lock="L", spin=True)
+            yield Release(lock="L")
+
+        m.add_thread(holder())
+        tid = m.add_thread(spinner())
+        result = m.run()
+        assert result.threads[tid].spin_ns == 99
+        assert result.threads[tid].cpu_ns >= 99
+        assert result.threads[tid].block_ns == 0
+
+    def test_reacquire_held_lock_raises(self):
+        m = new_machine()
+
+        def prog():
+            yield Acquire(lock="L")
+            yield Acquire(lock="L")
+
+        m.add_thread(prog())
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_release_unheld_lock_raises(self):
+        m = new_machine()
+
+        def prog():
+            yield Release(lock="L")
+
+        m.add_thread(prog())
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_exit_holding_lock_raises(self):
+        m = new_machine()
+
+        def prog():
+            yield Acquire(lock="L")
+
+        m.add_thread(prog())
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_lock_cost_charged(self):
+        m = Machine(lock_cost=50, mem_cost=0)
+
+        def prog():
+            yield Acquire(lock="L")
+            yield Release(lock="L")
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 100
+
+    def test_deadlock_detected(self):
+        m = new_machine()
+
+        def prog(first, second):
+            yield Acquire(lock=first)
+            yield Compute(10)
+            yield Acquire(lock=second)
+            yield Release(lock=second)
+            yield Release(lock=first)
+
+        m.add_thread(prog("A", "B"))
+        m.add_thread(prog("B", "A"))
+        with pytest.raises(DeadlockError):
+            m.run()
+
+    def test_fifo_wake_order(self):
+        m = new_machine(num_cores=4)
+        order = []
+
+        def holder():
+            yield Acquire(lock="L")
+            yield Compute(100)
+            yield Release(lock="L")
+
+        def waiter(name, delay):
+            yield Compute(delay)
+            yield Acquire(lock="L")
+            order.append(name)
+            yield Release(lock="L")
+
+        m.add_thread(holder())
+        m.add_thread(waiter("first", 10))
+        m.add_thread(waiter("second", 20))
+        m.run()
+        assert order == ["first", "second"]
+
+
+class TestCondVars:
+    def test_signal_wakes_waiter(self):
+        m = new_machine(num_cores=2)
+        results = []
+
+        def waiter():
+            yield Acquire(lock="L")
+            outcome = yield CondWait(cond="C", lock="L")
+            results.append(outcome)
+            yield Release(lock="L")
+
+        def signaler():
+            yield Compute(100)
+            yield Acquire(lock="L")
+            yield Signal(cond="C")
+            yield Release(lock="L")
+
+        m.add_thread(waiter())
+        m.add_thread(signaler())
+        result = m.run()
+        assert results == ["signaled"]
+        assert result.end_time >= 100
+
+    def test_timedwait_times_out(self):
+        m = new_machine()
+        results = []
+
+        def waiter():
+            yield Acquire(lock="L")
+            outcome = yield CondWait(cond="C", lock="L", timeout=500)
+            results.append(outcome)
+            yield Release(lock="L")
+
+        m.add_thread(waiter())
+        result = m.run()
+        assert results == ["timeout"]
+        assert result.end_time == 500
+
+    def test_broadcast_wakes_all(self):
+        m = new_machine(num_cores=4)
+        results = []
+
+        def waiter():
+            yield Acquire(lock="L")
+            outcome = yield CondWait(cond="C", lock="L")
+            results.append(outcome)
+            yield Release(lock="L")
+
+        def caster():
+            yield Compute(50)
+            yield Acquire(lock="L")
+            yield Broadcast(cond="C")
+            yield Release(lock="L")
+
+        m.add_thread(waiter())
+        m.add_thread(waiter())
+        m.add_thread(caster())
+        m.run()
+        assert results == ["signaled", "signaled"]
+
+    def test_cond_wait_without_lock_raises(self):
+        m = new_machine()
+
+        def prog():
+            yield CondWait(cond="C", lock="L")
+
+        m.add_thread(prog())
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_signal_with_no_waiters_is_noop(self):
+        m = new_machine()
+
+        def prog():
+            yield Signal(cond="C")
+            yield Compute(10)
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 10
+
+
+class TestSemaphores:
+    def test_blocking_p_waits_for_v(self):
+        m = new_machine(num_cores=2)
+
+        def consumer():
+            yield SemAcquire(sem="S")
+            yield Compute(10)
+
+        def producer():
+            yield Compute(100)
+            yield SemRelease(sem="S")
+
+        m.add_thread(consumer())
+        m.add_thread(producer())
+        result = m.run()
+        assert result.end_time == 110
+
+    def test_precharged_semaphore_does_not_block(self):
+        m = new_machine()
+        m.set_semaphore("S", 1)
+
+        def prog():
+            yield SemAcquire(sem="S")
+            yield Compute(10)
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 10
+
+    def test_credit_consumed_once(self):
+        m = new_machine(num_cores=2)
+
+        def consumer():
+            yield SemAcquire(sem="S")
+
+        def producer():
+            yield SemRelease(sem="S")
+
+        m.add_thread(consumer())
+        m.add_thread(consumer())
+        m.add_thread(producer())
+        with pytest.raises(DeadlockError):
+            m.run()
+
+
+class TestBarriers:
+    def test_barrier_releases_when_full(self):
+        m = new_machine(num_cores=4)
+
+        def prog(delay):
+            yield Compute(delay)
+            yield BarrierWait(barrier="B", parties=3)
+            yield Compute(10)
+
+        m.add_thread(prog(10))
+        m.add_thread(prog(20))
+        m.add_thread(prog(300))
+        result = m.run()
+        assert result.end_time == 310
+        # the two early arrivers blocked until the last one showed up
+        blocks = sorted(t.block_ns for t in result.threads.values())
+        assert blocks == [0, 280, 290]
+
+    def test_barrier_is_reusable(self):
+        m = new_machine(num_cores=2)
+
+        def prog():
+            yield BarrierWait(barrier="B", parties=2)
+            yield Compute(5)
+            yield BarrierWait(barrier="B", parties=2)
+
+        m.add_thread(prog())
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 5
+
+
+class TestFlagsAndSleep:
+    def test_await_set_flag(self):
+        m = new_machine(num_cores=2)
+
+        def waiter():
+            yield AwaitFlag(flag="go")
+            yield Compute(10)
+
+        def setter():
+            yield Compute(100)
+            yield SetFlag(flag="go")
+
+        m.add_thread(waiter())
+        m.add_thread(setter())
+        result = m.run()
+        assert result.end_time == 110
+
+    def test_await_already_set_flag_passes(self):
+        m = new_machine()
+
+        def prog():
+            yield SetFlag(flag="go")
+            yield AwaitFlag(flag="go")
+            yield Compute(10)
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 10
+
+    def test_sleep_blocks_off_core(self):
+        m = new_machine(num_cores=1)
+
+        def sleeper():
+            yield Sleep(duration=100)
+
+        def worker():
+            yield Compute(50)
+
+        m.add_thread(sleeper())
+        m.add_thread(worker())
+        result = m.run()
+        assert result.end_time == 100
+        assert result.threads["t0"].block_ns == 100
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        import random
+
+        from repro.sim.policies import RandomPolicy
+
+        m = Machine(
+            num_cores=2,
+            lock_cost=0,
+            mem_cost=0,
+            wake_policy=RandomPolicy(random.Random(seed)),
+            sched_rng=random.Random(seed + 1),
+        )
+
+        def prog(n):
+            for _ in range(n):
+                yield Acquire(lock="L")
+                yield Compute(13)
+                yield Release(lock="L")
+                yield Compute(7)
+
+        m.add_thread(prog(20))
+        m.add_thread(prog(20))
+        m.add_thread(prog(20))
+        return m.run().end_time
+
+    def test_same_seed_same_result(self):
+        assert self._run_once(42) == self._run_once(42)
+
+    def test_different_seeds_can_differ(self):
+        times = {self._run_once(s) for s in range(8)}
+        assert len(times) >= 1  # sanity; variance asserted in replay tests
+
+
+class TestOpaqueRanges:
+    def test_opaque_blocks_and_applies_delta(self):
+        m = new_machine()
+        seen = []
+
+        def prog():
+            from repro.sim import Opaque
+
+            yield Compute(50)
+            yield Opaque(duration=300, changes={"fd.state": 5})
+            value = yield Read("fd.state")
+            seen.append(value)
+
+        m.add_thread(prog())
+        result = m.run()
+        assert result.end_time == 350
+        assert seen == [5]
+        assert result.threads["t0"].block_ns == 300
+
+    def test_opaque_runs_off_core(self):
+        m = new_machine(num_cores=1)
+
+        def sleeper():
+            from repro.sim import Opaque
+
+            yield Opaque(duration=200, changes={})
+
+        def worker():
+            yield Compute(150)
+
+        m.add_thread(sleeper())
+        m.add_thread(worker())
+        result = m.run()
+        # the worker computes while the opaque range is pending
+        assert result.end_time == 200

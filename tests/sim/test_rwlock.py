@@ -1,0 +1,114 @@
+"""Tests for readers-writer lock semantics in the machine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Acquire, Compute, Machine, Release
+
+
+def new_machine(**kwargs):
+    kwargs.setdefault("lock_cost", 0)
+    kwargs.setdefault("mem_cost", 0)
+    return Machine(**kwargs)
+
+
+def reader(delay, hold):
+    yield Compute(delay)
+    yield Acquire(lock="RW", shared=True)
+    yield Compute(hold)
+    yield Release(lock="RW")
+
+
+def writer(delay, hold):
+    yield Compute(delay)
+    yield Acquire(lock="RW")
+    yield Compute(hold)
+    yield Release(lock="RW")
+
+
+class TestSharedMode:
+    def test_readers_overlap(self):
+        m = new_machine(num_cores=4)
+        m.add_thread(reader(0, 100))
+        m.add_thread(reader(0, 100))
+        m.add_thread(reader(0, 100))
+        result = m.run()
+        assert result.end_time == 100  # all three held the lock concurrently
+        assert result.locks["RW"].contended_acquisitions == 0
+
+    def test_writer_excludes_readers(self):
+        m = new_machine(num_cores=4)
+        m.add_thread(writer(0, 100))
+        m.add_thread(reader(10, 50))
+        result = m.run()
+        # the reader waits for the writer: 100 + 50
+        assert result.end_time == 150
+
+    def test_readers_exclude_writer(self):
+        m = new_machine(num_cores=4)
+        m.add_thread(reader(0, 100))
+        m.add_thread(reader(0, 100))
+        m.add_thread(writer(10, 50))
+        result = m.run()
+        assert result.end_time == 150
+
+    def test_reader_batch_granted_together(self):
+        m = new_machine(num_cores=4)
+        m.add_thread(writer(0, 100))
+        m.add_thread(reader(10, 80))
+        m.add_thread(reader(20, 80))
+        result = m.run()
+        # both readers start at the writer's release and overlap
+        assert result.end_time == 180
+
+    def test_writer_after_readers_waits_for_all(self):
+        m = new_machine(num_cores=4)
+        m.add_thread(reader(0, 100))
+        m.add_thread(reader(0, 200))
+        m.add_thread(writer(10, 50))
+        result = m.run()
+        assert result.end_time == 250
+
+    def test_reader_reacquire_raises(self):
+        m = new_machine()
+
+        def prog():
+            yield Acquire(lock="RW", shared=True)
+            yield Acquire(lock="RW", shared=True)
+
+        m.add_thread(prog())
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_exit_holding_shared_raises(self):
+        m = new_machine()
+
+        def prog():
+            yield Acquire(lock="RW", shared=True)
+
+        m.add_thread(prog())
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_shared_release_accounting(self):
+        m = new_machine(num_cores=2)
+        m.add_thread(reader(0, 100))
+        m.add_thread(reader(0, 150))
+        result = m.run()
+        assert result.locks["RW"].acquisitions == 2
+        assert result.locks["RW"].total_hold_ns == 250
+
+
+class TestRecordReplayShared:
+    def test_shared_flag_survives_record_and_replay(self):
+        from repro.record import record
+        from repro.replay import ELSC_S, Replayer
+
+        rec = record(
+            [(reader(0, 100), "r0"), (reader(0, 100), "r1"), (writer(10, 50), "w")],
+            lock_cost=0, mem_cost=0,
+        )
+        acquires = [e for e in rec.trace.iter_events() if e.kind == "acquire"]
+        assert sum(1 for a in acquires if a.shared) == 2
+        replay = Replayer(jitter=0.0).replay(rec.trace, scheme=ELSC_S)
+        assert replay.end_time == rec.recorded_time

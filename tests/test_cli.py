@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mysql" in out
+        assert "table1" in out
+
+    def test_record_replay_transform_roundtrip(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        assert main(["record", "transmissionBT", "-o", trace_file]) == 0
+        assert main(["replay", trace_file, "--runs", "2"]) == 0
+        out_file = str(tmp_path / "free.jsonl")
+        assert main(["transform", trace_file, "-o", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "ULCP pairs" in out
+        assert "ULCP-free trace" in out
+
+    def test_debug_workload(self, capsys):
+        assert main(["debug", "transmissionBT"]) == 0
+        assert "PERFPLAY report" in capsys.readouterr().out
+
+    def test_debug_trace_file(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        assert main(["debug", "--trace", trace_file]) == 0
+        assert "PERFPLAY report" in capsys.readouterr().out
+
+    def test_debug_without_target_fails(self):
+        assert main(["debug"]) == 2
+
+    def test_timeline(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        assert main(["timeline", trace_file, "--width", "40"]) == 0
+        assert "timeline" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_sensitivity(self, capsys):
+        assert main([
+            "sensitivity", "bodytrack",
+            "--threads-list", "2", "--sizes", "simlarge",
+        ]) == 0
+        assert "configurations" in capsys.readouterr().out
+
+    def test_record_with_options(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        assert main([
+            "record", "canneal", "--threads", "4", "--input-size", "simsmall",
+            "--scale", "0.5", "--seed", "3", "-o", trace_file,
+        ]) == 0
+        from repro.trace import load
+
+        trace = load(trace_file)
+        assert trace.meta.params["threads"] == 4
+        assert trace.meta.params["input_size"] == "simsmall"
+
+
+class TestNewCommands:
+    def test_advise_workload(self, capsys):
+        assert main(["advise", "transmissionBT"]) == 0
+        assert "Fix advisor" in capsys.readouterr().out
+
+    def test_advise_needs_target(self):
+        assert main(["advise"]) == 2
+
+    def test_locks_profile(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        capsys.readouterr()
+        assert main(["locks", trace_file]) == 0
+        assert "rate" in capsys.readouterr().out
+
+    def test_fix_command(self, capsys):
+        assert main([
+            "fix", "transmissionBT", "--lock", "rr_lock", "--fix", "rwlock",
+        ]) == 0
+        assert "rwlock fix" in capsys.readouterr().out
+
+    def test_fix_unknown_fix(self, capsys):
+        assert main([
+            "fix", "transmissionBT", "--lock", "rr_lock", "--fix", "nope",
+        ]) == 2
+
+    def test_selfcheck_command(self, capsys):
+        assert main(["selfcheck", "transmissionBT"]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_selfcheck_trace(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "canneal", "-o", trace_file])
+        capsys.readouterr()
+        assert main(["selfcheck", "--trace", trace_file]) == 0
+
+    def test_stats_command(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "canneal", "-o", trace_file])
+        capsys.readouterr()
+        assert main(["stats", trace_file]) == 0
+        assert "events=" in capsys.readouterr().out
+
+    def test_compare_command(self, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        main(["record", "transmissionBT", "-o", a])
+        main(["record", "transmissionBT", "--seed", "5", "-o", b])
+        capsys.readouterr()
+        assert main(["compare", a, b]) == 0
+        assert "Before/after comparison" in capsys.readouterr().out

@@ -1,0 +1,22 @@
+"""Smoke tests for the generated API reference."""
+
+from repro.docs import generate, write
+
+
+class TestApiDocs:
+    def test_covers_all_packages(self):
+        text = generate()
+        for package in ("repro.sim", "repro.analysis", "repro.replay",
+                        "repro.perfdebug", "repro.workloads"):
+            assert f"## `{package}" in text
+
+    def test_mentions_key_api(self):
+        text = generate()
+        assert "class `PerfPlay" in text
+        assert "class `Machine" in text
+        assert "`transform(" in text
+
+    def test_write(self, tmp_path):
+        target = write(tmp_path / "API.md")
+        assert target.exists()
+        assert "API reference" in target.read_text()

@@ -1,0 +1,122 @@
+"""Error-injection tests: corrupted inputs must fail loudly and clearly."""
+
+import pytest
+
+from repro.errors import ReplayError, SimulationError, TraceError
+from repro.record import record
+from repro.replay import Replayer, original_programs
+from repro.sim import Acquire, Compute, Machine, Read, Release, Store, Write
+from repro.trace import Trace, TraceEvent, dumps, loads, problems, validate
+
+
+def small_trace():
+    def prog(k):
+        yield Compute(50 + k)
+        yield Acquire(lock="L")
+        yield Write("x", op=Store(k), site=None)
+        yield Release(lock="L")
+
+    return record([(prog(0), "a"), (prog(1), "b")], lock_cost=0, mem_cost=0).trace
+
+
+class TestCorruptTraces:
+    def test_missing_release_detected(self):
+        trace = small_trace()
+        for events in trace.threads.values():
+            trace.threads[events[0].tid] = [
+                e for e in events if e.kind != "release"
+            ]
+        issues = problems(trace)
+        assert any("never released" in i for i in issues)
+        with pytest.raises(TraceError):
+            validate(trace)
+
+    def test_dangling_wait_token_detected(self):
+        trace = small_trace()
+        tid = trace.thread_ids[0]
+        trace.threads[tid].insert(
+            1,
+            TraceEvent(uid="zz1", tid=tid, kind="wait", t=0,
+                       token="nonexistent", reason="posted"),
+        )
+        assert any("missing post" in i for i in problems(trace))
+
+    def test_schedule_with_unknown_uid_detected(self):
+        trace = small_trace()
+        trace.lock_schedule["L"].append("phantom")
+        assert any("unknown acquire uid" in i for i in problems(trace))
+
+    def test_truncated_serialization_raises(self):
+        text = dumps(small_trace())
+        with pytest.raises(TraceError):
+            loads("\n".join(text.splitlines()[:2]))
+
+    def test_unreplayable_kind_raises(self):
+        trace = small_trace()
+        tid = trace.thread_ids[0]
+        trace.threads[tid].insert(
+            1, TraceEvent(uid="zz2", tid=tid, kind="martian", t=0)
+        )
+        programs = original_programs(trace)
+        with pytest.raises(ReplayError):
+            for program, _name in programs:
+                list(program)
+
+
+class TestBadSchedules:
+    def test_infeasible_elsc_schedule_deadlocks(self):
+        """A scrambled schedule that contradicts program order must be
+        detected as a deadlock, not silently reordered."""
+        from repro.errors import DeadlockError
+
+        def prog(k):
+            yield Compute(10 + k)
+            yield Acquire(lock="L")
+            yield Compute(100)
+            yield Release(lock="L")
+            yield Acquire(lock="L")
+            yield Compute(100)
+            yield Release(lock="L")
+
+        trace = record([(prog(0), "a")], lock_cost=0, mem_cost=0).trace
+        # demand the second acquire first: thread can never comply
+        trace.lock_schedule["L"] = list(reversed(trace.lock_schedule["L"]))
+        with pytest.raises(DeadlockError):
+            Replayer(jitter=0.0).replay(trace)
+
+
+class TestMachineMisuse:
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SimulationError):
+            Machine(num_cores=0)
+
+    def test_jitter_without_rng_rejected(self):
+        with pytest.raises(SimulationError):
+            Machine(jitter=0.05)
+
+    def test_unknown_request_rejected(self):
+        m = Machine(lock_cost=0, mem_cost=0)
+
+        def prog():
+            yield object()
+
+        m.add_thread(prog())
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_cross_thread_release_rejected(self):
+        m = Machine(lock_cost=0, mem_cost=0, num_cores=2)
+
+        def holder():
+            yield Acquire(lock="L")
+            yield Compute(1000)
+            yield Release(lock="L")
+
+        def thief():
+            yield Compute(100)
+            yield Release(lock="L")
+
+        m.add_thread(holder())
+        m.add_thread(thief())
+        with pytest.raises(SimulationError):
+            m.run()

@@ -1,0 +1,193 @@
+"""Additional property-based tests: rwlocks, fusion, fix rewriters."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.perfdebug.fusion import FusedUlcp, fuse
+from repro.perfdebug.metrics import UlcpPerformance
+from repro.perfdebug.rewrite import apply_lock_split_fix, apply_rwlock_fix
+from repro.record import record
+from repro.replay import ELSC_S, ORIG_S, Replayer
+from repro.sim import Acquire, Compute, Machine, Read, Release, Store, Write
+from repro.trace import CodeRegion, CodeSite, problems
+
+
+# ------------------------------------------------------------------ rwlock
+
+rw_program_strategy = st.lists(
+    st.tuples(
+        st.booleans(),           # shared?
+        st.integers(0, 200),     # think time
+        st.integers(1, 120),     # hold time
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(rw_program_strategy, min_size=1, max_size=4))
+def test_rwlock_exclusion_invariant(threads):
+    """At no simulated instant do a writer and any other holder coexist."""
+    intervals = []
+
+    def prog(sections, k):
+        for shared, think, hold in sections:
+            if think:
+                yield Compute(think)
+            yield Acquire(lock="RW", shared=shared)
+            start = None  # captured via machine time below
+            yield Compute(hold)
+            yield Release(lock="RW")
+
+    m = Machine(num_cores=8, lock_cost=0, mem_cost=0)
+
+    # observer captures hold intervals
+    class Obs:
+        def __getattr__(self, name):
+            def cb(*args, **kwargs):
+                pass
+
+            return cb
+
+        def on_acquired(self, tid, lock, t_request, t_acquired, site, uid,
+                        spin, shared=False):
+            open_holds[tid] = (t_acquired, shared)
+
+        def on_released(self, tid, lock, t, site, uid):
+            start, shared = open_holds.pop(tid)
+            intervals.append((start, t, shared, tid))
+
+    open_holds = {}
+    m.observer = Obs()
+    for k, sections in enumerate(threads):
+        m.add_thread(prog(sections, k))
+    m.run()
+
+    for i, (s1, e1, shared1, t1) in enumerate(intervals):
+        for s2, e2, shared2, t2 in intervals[i + 1:]:
+            overlap = max(s1, s2) < min(e1, e2)
+            if overlap:
+                assert shared1 and shared2, (
+                    f"writer overlapped another holder: {intervals}"
+                )
+
+
+# ------------------------------------------------------------------ fusion
+
+
+def _perf(delta, r1, r2):
+    class _CS:
+        def __init__(self, region):
+            self._region = region
+
+        @property
+        def region(self):
+            return self._region
+
+    class _Pair:
+        def __init__(self):
+            self.c1 = _CS(r1)
+            self.c2 = _CS(r2)
+            self.kind = "read_read"
+
+        @property
+        def region1(self):
+            return r1
+
+        @property
+        def region2(self):
+            return r2
+
+    return UlcpPerformance(
+        pair=_Pair(), delta_t=delta,
+        time1_original=0, time1_free=0,
+        time23_original=delta, time23_free=0,
+    )
+
+
+region_strategy = st.builds(
+    lambda start, length: CodeRegion("f.c", start, start + length),
+    st.integers(1, 60),
+    st.integers(0, 8),
+)
+
+perf_strategy = st.builds(
+    _perf, st.integers(0, 1000), region_strategy, region_strategy
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(perf_strategy, max_size=8), st.randoms())
+def test_fusion_total_delta_conserved_and_order_stable(perfs, rnd):
+    """Fusion conserves total ΔT, and the group count is permutation-
+    independent (the fixpoint does not depend on input order)."""
+    groups = fuse(list(perfs))
+    assert sum(g.delta_t for g in groups) == sum(p.delta_t for p in perfs)
+    assert sum(g.count for g in groups) == len(perfs)
+    shuffled = list(perfs)
+    rnd.shuffle(shuffled)
+    again = fuse(shuffled)
+    assert len(again) == len(groups)
+
+
+# ------------------------------------------------------------- fix rewrites
+
+
+fixture_strategy = st.lists(
+    st.tuples(st.integers(0, 150), st.integers(1, 6)), min_size=2, max_size=4
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(fixture_strategy)
+def test_rwlock_fix_preserves_wellformedness_and_memory(threads):
+    def reader(think, rounds):
+        for _ in range(rounds):
+            if think:
+                yield Compute(think)
+            yield Acquire(lock="L", site=CodeSite("p.c", 5))
+            yield Read("shared", site=CodeSite("p.c", 6))
+            yield Release(lock="L", site=CodeSite("p.c", 7))
+
+    def init():
+        yield Write("shared", op=Store(9), site=CodeSite("p.c", 1))
+
+    programs = [(reader(t, r), f"r{i}") for i, (t, r) in enumerate(threads)]
+    programs.append((init(), "init"))
+    trace = record(programs, name="prop").trace
+    fixed = apply_rwlock_fix(trace, "L")
+    assert problems(fixed) == []
+    replayer = Replayer(jitter=0.0)
+    original = replayer.replay(trace, scheme=ELSC_S)
+    after = replayer.replay(fixed, scheme=ORIG_S)
+    assert after.final_memory == original.final_memory
+    assert after.end_time <= original.end_time
+
+
+@settings(max_examples=25, deadline=None)
+@given(fixture_strategy)
+def test_split_fix_preserves_memory(threads):
+    def writer(k, think, rounds):
+        for r in range(rounds):
+            if think:
+                yield Compute(think)
+            yield Acquire(lock="L", site=CodeSite("p.c", 5))
+            yield Write(f"slot[{k}]", op=Store(r + 1), site=CodeSite("p.c", 6))
+            yield Release(lock="L", site=CodeSite("p.c", 7))
+
+    def scanner():
+        yield Compute(5000)
+        for k in range(len(threads)):
+            yield Read(f"slot[{k}]")
+
+    programs = [
+        (writer(k, t, r), f"w{k}") for k, (t, r) in enumerate(threads)
+    ]
+    programs.append((scanner(), "scan"))
+    trace = record(programs, name="prop").trace
+    fixed = apply_lock_split_fix(trace, "L")
+    assert problems(fixed) == []
+    replayer = Replayer(jitter=0.0)
+    original = replayer.replay(trace, scheme=ELSC_S)
+    after = replayer.replay(fixed, scheme=ORIG_S)
+    assert after.final_memory == original.final_memory

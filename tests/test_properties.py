@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategy: generate small random multi-threaded lock programs, record
+them, and check the pipeline's invariants — trace well-formedness,
+serialization round-trips, topology acyclicity, transformation identity
+on uids, benign-test symmetry, replay-time conservation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    analyze_pairs,
+    build_resync_plan,
+    build_topology,
+    annotate_shared_sets,
+    extract_sections,
+    shared_addresses,
+    transform,
+)
+from repro.analysis.benign import WriteTimeline, is_benign
+from repro.record import record
+from repro.replay import ELSC_S, Replayer
+from repro.sim import Acquire, Add, Compute, Read, Release, Store, Write
+from repro.trace import CodeSite, dumps, loads, problems
+from repro.util.stats import summarize
+
+# ----------------------------------------------------------- generators
+
+ADDRS = ("x", "y", "z")
+LOCKS = ("A", "B")
+
+op_strategy = st.one_of(
+    st.tuples(st.just("read"), st.sampled_from(ADDRS)),
+    st.tuples(st.just("store"), st.sampled_from(ADDRS), st.integers(0, 3)),
+    st.tuples(st.just("add"), st.sampled_from(ADDRS), st.integers(1, 3)),
+    st.tuples(st.just("compute"), st.integers(1, 200)),
+)
+
+cs_strategy = st.tuples(
+    st.sampled_from(LOCKS),
+    st.lists(op_strategy, max_size=4),
+    st.integers(0, 300),  # think time before the section
+)
+
+thread_strategy = st.lists(cs_strategy, min_size=1, max_size=5)
+program_set_strategy = st.lists(thread_strategy, min_size=1, max_size=4)
+
+
+def build_program(sections, thread_index):
+    def prog():
+        line = 10
+        for lock, body, think in sections:
+            if think:
+                yield Compute(think, site=CodeSite("gen.c", line))
+            yield Acquire(lock=lock, site=CodeSite("gen.c", line + 1))
+            for op in body:
+                if op[0] == "read":
+                    yield Read(op[1], site=CodeSite("gen.c", line + 2))
+                elif op[0] == "store":
+                    yield Write(op[1], op=Store(op[2]), site=CodeSite("gen.c", line + 2))
+                elif op[0] == "add":
+                    yield Write(op[1], op=Add(op[2]), site=CodeSite("gen.c", line + 2))
+                else:
+                    yield Compute(op[1], site=CodeSite("gen.c", line + 2))
+            yield Release(lock=lock, site=CodeSite("gen.c", line + 3))
+            line += 10
+
+    return prog()
+
+
+def record_random(threads):
+    programs = [
+        (build_program(sections, i), f"g{i}") for i, sections in enumerate(threads)
+    ]
+    return record(programs, name="hypothesis").trace
+
+
+# ----------------------------------------------------------- properties
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_set_strategy)
+def test_recorded_traces_are_well_formed(threads):
+    trace = record_random(threads)
+    assert problems(trace) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_set_strategy)
+def test_serialization_round_trip(threads):
+    trace = record_random(threads)
+    clone = loads(dumps(trace))
+    assert [e.encode() for e in clone.iter_events()] == [
+        e.encode() for e in trace.iter_events()
+    ]
+    assert clone.lock_schedule == trace.lock_schedule
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_set_strategy)
+def test_topology_is_acyclic_and_edges_point_forward(threads):
+    trace = record_random(threads)
+    sections = extract_sections(trace)
+    annotate_shared_sets(sections, shared_addresses(trace))
+    topology = build_topology(trace, sections)
+    topology.toposort()  # raises on a cycle
+    by_uid = topology.nodes
+    for src, dst, _kind in topology.edges:
+        assert by_uid[src].lock == by_uid[dst].lock
+        assert by_uid[src].lock_index < by_uid[dst].lock_index
+        assert by_uid[src].tid != by_uid[dst].tid
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_set_strategy)
+def test_transform_preserves_non_lock_events(threads):
+    trace = record_random(threads)
+    result = transform(trace)
+    original_other = [
+        e.uid
+        for e in trace.iter_events()
+        if e.kind not in ("acquire", "release")
+    ]
+    new_other = [
+        e.uid
+        for e in result.trace.iter_events()
+        if e.kind not in ("cs_enter", "cs_exit")
+    ]
+    assert original_other == new_other
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_set_strategy)
+def test_classification_is_exhaustive(threads):
+    trace = record_random(threads)
+    analysis = analyze_pairs(trace)
+    breakdown = analysis.breakdown
+    total = (
+        breakdown.null_lock
+        + breakdown.read_read
+        + breakdown.disjoint_write
+        + breakdown.benign
+        + breakdown.tlcp
+    )
+    assert total == len(analysis.pairs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_set_strategy)
+def test_resync_plan_lockset_structure(threads):
+    trace = record_random(threads)
+    sections = extract_sections(trace)
+    annotate_shared_sets(sections, shared_addresses(trace))
+    topology = build_topology(trace, sections)
+    plan = build_resync_plan(topology)
+    for uid in topology.nodes:
+        if uid in plan.removed:
+            assert topology.is_standalone(uid)
+            assert uid not in plan.locksets
+            continue
+        lockset = plan.locksets[uid]
+        # own lock present iff the node has successors
+        if topology.outdegree(uid) > 0:
+            assert plan.aux_locks[uid] == lockset[0]
+        # every predecessor with successors contributes its lock
+        for pred in plan.preds[uid]:
+            if pred in plan.aux_locks:
+                assert plan.aux_locks[pred] in lockset
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_set_strategy)
+def test_elsc_replay_reproduces_recorded_time(threads):
+    trace = record_random(threads)
+    replay = Replayer(jitter=0.0).replay(trace, scheme=ELSC_S)
+    assert replay.end_time == trace.end_time
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_set_strategy)
+def test_transformed_replay_is_deadlock_free_and_stamps_markers(threads):
+    trace = record_random(threads)
+    result = transform(trace)
+    replay = Replayer(jitter=0.0).replay_transformed(result)
+    for events in result.trace.threads.values():
+        for event in events:
+            if event.kind in ("cs_enter", "cs_exit"):
+                assert event.uid in replay.timestamps
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_set_strategy)
+def test_benign_classification_invariants(threads):
+    """Read-only and commutative-add pairs are always benign; a pair the
+    reversed replay rejects must truly collide on some address."""
+    trace = record_random(threads)
+    sections = extract_sections(trace)
+    annotate_shared_sets(sections, shared_addresses(trace))
+    timeline = WriteTimeline(trace)
+    same_lock = [
+        (a, b)
+        for a in sections
+        for b in sections
+        if a.lock == b.lock and a.lock_index < b.lock_index and a.tid != b.tid
+    ]
+    for a, b in same_lock[:12]:
+        kinds_a = {e.kind for e in a.body if e.kind in ("read", "write")}
+        kinds_b = {e.kind for e in b.body if e.kind in ("read", "write")}
+        if "write" not in kinds_a and "write" not in kinds_b:
+            assert is_benign(a, b, timeline)
+        ops = [e.op for e in a.body + b.body if e.kind == "write"]
+        if ops and all(op is not None and op[0] == "add" for op in ops):
+            if not (kinds_a | kinds_b) - {"write"}:
+                assert is_benign(a, b, timeline)
+        if not is_benign(a, b, timeline):
+            touched_a = {e.addr for e in a.body if e.kind in ("read", "write")}
+            touched_b = {e.addr for e in b.body if e.kind in ("read", "write")}
+            assert touched_a & touched_b
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=50))
+def test_summary_invariants(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.stdev >= 0
+    assert summary.n == len(values)

@@ -1,0 +1,68 @@
+"""Tests for util: ids, rng derivation, statistics."""
+
+import pytest
+
+from repro.util import IdGenerator, Summary, derive_rng, derive_seed, summarize
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        ids = IdGenerator()
+        assert [ids.next("e") for _ in range(3)] == ["e0", "e1", "e2"]
+        assert ids.next("t") == "t0"
+        assert ids.peek("e") == 3
+        assert ids.peek("t") == 1
+
+    def test_reset_one_prefix(self):
+        ids = IdGenerator()
+        ids.next("e")
+        ids.next("t")
+        ids.reset("e")
+        assert ids.next("e") == "e0"
+        assert ids.next("t") == "t1"
+
+    def test_reset_all(self):
+        ids = IdGenerator()
+        ids.next("e")
+        ids.next("t")
+        ids.reset()
+        assert ids.next("e") == "e0"
+        assert ids.next("t") == "t0"
+
+
+class TestRng:
+    def test_derivation_is_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_labels_change_stream(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+
+    def test_base_seed_changes_stream(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_rng_reproducible(self):
+        r1 = derive_rng(5, "x")
+        r2 = derive_rng(5, "x")
+        assert [r1.random() for _ in range(5)] == [r2.random() for _ in range(5)]
+
+
+class TestSummary:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.mean == 2.5
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.spread == 3
+
+    def test_single_value_zero_stdev(self):
+        summary = summarize([7])
+        assert summary.stdev == 0.0
+        assert summary.cv == 0.0
+
+    def test_cv_zero_mean(self):
+        assert summarize([-1, 1]).cv == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,55 @@
+"""Tests for code sites and code regions."""
+
+import pytest
+
+from repro.trace import CodeRegion, CodeSite
+
+
+class TestCodeSite:
+    def test_str(self):
+        assert str(CodeSite("a.c", 10, "f")) == "a.c:10:f"
+        assert str(CodeSite("a.c", 10)) == "a.c:10"
+
+    def test_roundtrip(self):
+        site = CodeSite("fil0fil.cc", 5609, "fil_flush")
+        assert CodeSite.decode(site.encode()) == site
+
+    def test_decode_none(self):
+        assert CodeSite.decode(None) is None
+
+    def test_ordering(self):
+        assert CodeSite("a.c", 1) < CodeSite("a.c", 2) < CodeSite("b.c", 1)
+
+
+class TestCodeRegion:
+    def test_from_sites_orders_lines(self):
+        region = CodeRegion.from_sites(CodeSite("a.c", 30), CodeSite("a.c", 10))
+        assert (region.start_line, region.end_line) == (10, 30)
+
+    def test_from_sites_cross_file_degrades(self):
+        region = CodeRegion.from_sites(CodeSite("a.c", 5), CodeSite("b.c", 9))
+        assert region == CodeRegion("a.c", 5, 5)
+
+    def test_invalid_span_raises(self):
+        with pytest.raises(ValueError):
+            CodeRegion("a.c", 10, 5)
+
+    def test_overlaps(self):
+        base = CodeRegion("a.c", 10, 20)
+        assert base.overlaps(CodeRegion("a.c", 20, 30))
+        assert base.overlaps(CodeRegion("a.c", 5, 10))
+        assert base.overlaps(CodeRegion("a.c", 12, 18))
+        assert not base.overlaps(CodeRegion("a.c", 21, 30))
+        assert not base.overlaps(CodeRegion("b.c", 10, 20))
+
+    def test_merge(self):
+        merged = CodeRegion("a.c", 10, 20).merge(CodeRegion("a.c", 15, 30))
+        assert merged == CodeRegion("a.c", 10, 30)
+
+    def test_merge_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            CodeRegion("a.c", 1, 2).merge(CodeRegion("a.c", 5, 6))
+
+    def test_roundtrip(self):
+        region = CodeRegion("a.c", 3, 9)
+        assert CodeRegion.decode(region.encode()) == region

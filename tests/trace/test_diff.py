@@ -1,0 +1,61 @@
+"""Tests for trace diffing."""
+
+from repro.record import record
+from repro.sim import Acquire, Compute, Read, Release
+from repro.trace import dumps, loads
+from repro.trace.diff import diff_traces
+
+
+def make_trace(cs_len=100):
+    def prog(k):
+        yield Compute(50 + k)
+        yield Acquire(lock="L")
+        yield Read("x")
+        yield Compute(cs_len)
+        yield Release(lock="L")
+
+    return record([(prog(0), "a"), (prog(1), "b")], lock_cost=0, mem_cost=0).trace
+
+
+class TestDiff:
+    def test_identical_traces(self):
+        trace = make_trace()
+        clone = loads(dumps(trace))
+        diff = diff_traces(trace, clone)
+        assert diff.identical
+        assert diff.render() == "traces are identical"
+
+    def test_detects_duration_changes(self):
+        diff = diff_traces(make_trace(100), make_trace(200))
+        assert not diff.identical
+        assert diff.event_deltas
+
+    def test_ignore_times_masks_duration_changes(self):
+        diff = diff_traces(make_trace(100), make_trace(200), ignore_times=True)
+        assert diff.identical
+
+    def test_detects_missing_thread(self):
+        left = make_trace()
+        right = loads(dumps(left))
+        right.threads.pop("t1")
+        diff = diff_traces(left, right)
+        assert any("only in left" in c for c in diff.thread_changes)
+
+    def test_detects_extra_events(self):
+        left = make_trace()
+        right = loads(dumps(left))
+        right.threads["t0"].pop()
+        diff = diff_traces(left, right)
+        assert any(d.right is None for d in diff.event_deltas)
+
+    def test_detects_schedule_changes(self):
+        left = make_trace()
+        right = loads(dumps(left))
+        right.lock_schedule["L"] = list(reversed(right.lock_schedule["L"]))
+        diff = diff_traces(left, right, ignore_times=True)
+        assert diff.schedule_changes
+
+    def test_render_limits_output(self):
+        diff = diff_traces(make_trace(100), make_trace(300))
+        text = diff.render(limit=1)
+        assert "more event deltas" in text or len(diff.event_deltas) <= 1

@@ -1,0 +1,41 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.record import record
+from repro.sim import Acquire, Compute, Read, Release
+from repro.trace.render import render_timeline
+
+
+def contended():
+    def prog(k):
+        yield Compute(200 + 10 * k)
+        yield Acquire(lock="L")
+        yield Compute(400)
+        yield Release(lock="L")
+        yield Compute(100)
+
+    return record([(prog(0), "a"), (prog(1), "b")], lock_cost=0, mem_cost=0).trace
+
+
+class TestTimeline:
+    def test_renders_one_lane_per_thread(self):
+        trace = contended()
+        text = render_timeline(trace, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(trace.thread_ids)
+
+    def test_marks_critical_sections_and_blocking(self):
+        text = render_timeline(contended(), width=60)
+        assert "#" in text  # in-CS work
+        assert "=" in text  # plain compute
+        assert "~" in text  # the loser blocked on L
+
+    def test_respects_width(self):
+        text = render_timeline(contended(), width=30)
+        for line in text.splitlines()[1:]:
+            lane = line.split("|")[1]
+            assert len(lane) == 30
+
+    def test_empty_trace(self):
+        from repro.trace import Trace
+
+        assert "timeline" in render_timeline(Trace(), width=10)

@@ -1,0 +1,142 @@
+"""Tests for selective recording (state deltas) and checkpoints."""
+
+from repro.record import record
+from repro.sim import Acquire, Compute, Read, Release, SharedMemory, Store, Write
+from repro.trace import (
+    SideTable,
+    StateDelta,
+    diff_snapshots,
+    slice_from,
+    take_checkpoint,
+    validate,
+)
+
+
+def sample_trace():
+    def prog(k):
+        yield Compute(100)
+        yield Write("a", op=Store(k + 1))
+        yield Compute(100)
+        yield Acquire(lock="L")
+        yield Read("a")
+        yield Release(lock="L")
+        yield Compute(100)
+        yield Write("b", op=Store(9))
+
+    return record([(prog(0), "t0"), (prog(1), "t1")],
+                  lock_cost=0, mem_cost=0).trace
+
+
+class TestStateDelta:
+    def test_diff_snapshots(self):
+        before = {"a": 1, "b": 2}
+        after = {"a": 1, "b": 5, "c": 7}
+        assert diff_snapshots(before, after) == {"b": 5, "c": 7}
+
+    def test_diff_detects_removal(self):
+        assert diff_snapshots({"a": 3}, {}) == {"a": 0}
+
+    def test_apply_restores_memory(self):
+        memory = SharedMemory({"a": 1})
+        delta = StateDelta(sleep_uid="e9", duration=500, changes={"a": 4, "x": 2})
+        delta.apply(memory)
+        assert memory.read("a") == 4
+        assert memory.read("x") == 2
+
+    def test_round_trip(self):
+        delta = StateDelta(sleep_uid="e9", duration=500, changes={"a": 4})
+        assert StateDelta.decode(delta.encode()).changes == {"a": 4}
+
+    def test_side_table_lookup(self):
+        table = SideTable(deltas=[StateDelta("e1", 10, {}), StateDelta("e2", 20, {})])
+        assert table.delta_for("e2").duration == 20
+        assert table.delta_for("missing") is None
+        assert SideTable.decode(table.encode()).delta_for("e1").duration == 10
+
+
+class TestCheckpoint:
+    def test_checkpoint_memory_reconstruction(self):
+        trace = sample_trace()
+        checkpoint = take_checkpoint(trace, t=150)
+        # both threads wrote "a" by t=100; "b" comes later
+        assert checkpoint.memory.get("a") in (1, 2)
+        assert "b" not in checkpoint.memory
+
+    def test_checkpoint_positions_split_events(self):
+        trace = sample_trace()
+        checkpoint = take_checkpoint(trace, t=150)
+        for tid, position in checkpoint.positions.items():
+            events = trace.threads[tid]
+            assert all(e.t <= 150 for e in events[:position])
+            assert all(e.t > 150 for e in events[position:])
+
+    def test_slice_is_replayable_suffix(self):
+        trace = sample_trace()
+        checkpoint = take_checkpoint(trace, t=150)
+        suffix = slice_from(trace, checkpoint)
+        total = len(trace)
+        kept = len(suffix)
+        assert 0 < kept < total
+        # timestamps rebased to the checkpoint
+        assert min(e.t for e in suffix.iter_events()) >= 0
+
+    def test_slice_keeps_lock_schedule_consistent(self):
+        trace = sample_trace()
+        checkpoint = take_checkpoint(trace, t=150)
+        suffix = slice_from(trace, checkpoint)
+        kept_uids = {e.uid for e in suffix.iter_events()}
+        for uids in suffix.lock_schedule.values():
+            for uid in uids:
+                assert uid in kept_uids
+
+    def test_checkpoint_round_trip(self):
+        trace = sample_trace()
+        checkpoint = take_checkpoint(trace, t=150)
+        from repro.trace import Checkpoint
+
+        clone = Checkpoint.decode(checkpoint.encode())
+        assert clone.t == checkpoint.t
+        assert clone.positions == checkpoint.positions
+
+
+class TestCheckpointSectionSnapping:
+    def test_never_splits_open_critical_sections(self):
+        from repro.record import record
+        from repro.sim import Acquire, Compute, Read, Release
+        from repro.trace import problems, take_checkpoint, slice_from
+
+        def prog(k):
+            yield Compute(50 + k)
+            yield Acquire(lock="L")
+            yield Compute(200)   # checkpoint lands inside this section
+            yield Release(lock="L")
+            yield Compute(100)
+
+        trace = record([(prog(0), "a"), (prog(1), "b")],
+                       lock_cost=0, mem_cost=0).trace
+        for t in (60, 120, 260, 320):
+            checkpoint = take_checkpoint(trace, t)
+            suffix = slice_from(trace, checkpoint)
+            # the suffix must have balanced lock events in every thread
+            issues = [i for i in problems(suffix) if "released" in i or "never" in i]
+            assert issues == [], (t, issues)
+
+    def test_snapped_suffix_is_replayable(self):
+        from repro.record import record
+        from repro.replay import Replayer
+        from repro.sim import Acquire, Compute, Read, Release
+        from repro.trace import take_checkpoint, slice_from
+
+        def prog(k):
+            yield Compute(50 + 7 * k)
+            yield Acquire(lock="L")
+            yield Compute(150)
+            yield Release(lock="L")
+            yield Compute(80)
+
+        trace = record([(prog(0), "a"), (prog(1), "b")],
+                       lock_cost=0, mem_cost=0).trace
+        checkpoint = take_checkpoint(trace, 120)
+        suffix = slice_from(trace, checkpoint)
+        replay = Replayer(jitter=0.0).replay(suffix)
+        assert replay.end_time >= 0

@@ -1,0 +1,35 @@
+"""Tests for the trace statistics summary."""
+
+from repro.trace import trace_stats
+from repro.workloads import get_workload
+
+
+class TestTraceStats:
+    def _stats(self):
+        trace = get_workload("vips", scale=0.4).record().trace
+        return trace, trace_stats(trace)
+
+    def test_totals_match_trace(self):
+        trace, stats = self._stats()
+        assert stats.total_events == len(trace)
+        assert stats.end_time == trace.end_time
+        assert stats.locks == len(trace.lock_schedule)
+
+    def test_kind_counts_sum(self):
+        trace, stats = self._stats()
+        assert sum(stats.kinds.values()) == len(trace)
+
+    def test_acquisitions_match_schedule(self):
+        trace, stats = self._stats()
+        scheduled = sum(len(v) for v in trace.lock_schedule.values())
+        assert sum(t.acquisitions for t in stats.threads.values()) == scheduled
+
+    def test_contention_rate_bounds(self):
+        _, stats = self._stats()
+        assert 0.0 <= stats.contention_rate <= 1.0
+
+    def test_render(self):
+        _, stats = self._stats()
+        text = stats.render()
+        assert "events=" in text
+        assert "thread" in text

@@ -1,0 +1,208 @@
+"""Tests for trace recording, container queries, and serialization."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.record import record
+from repro.sim import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    CondWait,
+    Read,
+    Release,
+    SemAcquire,
+    SemRelease,
+    Signal,
+    Store,
+    Write,
+)
+from repro.trace import (
+    ACQUIRE,
+    COMPUTE,
+    POST,
+    READ,
+    RELEASE,
+    WAIT,
+    WRITE,
+    CodeSite,
+    dumps,
+    loads,
+    validate,
+)
+
+SITE = CodeSite("demo.c", 42, "worker")
+
+
+def simple_pair():
+    def prog():
+        yield Acquire(lock="L", site=SITE)
+        yield Read("x", site=SITE)
+        yield Write("x", op=Store(7), site=SITE)
+        yield Compute(100, site=SITE)
+        yield Release(lock="L", site=SITE)
+
+    return [(prog(), "alpha"), (prog(), "beta")]
+
+
+class TestRecording:
+    def test_records_all_event_kinds(self):
+        result = record(simple_pair(), name="demo", lock_cost=0, mem_cost=0)
+        trace = result.trace
+        assert trace.count(ACQUIRE) == 2
+        assert trace.count(RELEASE) == 2
+        assert trace.count(READ) == 2
+        assert trace.count(WRITE) == 2
+        assert trace.count(COMPUTE) == 2
+        assert len(trace.thread_ids) == 2
+
+    def test_lock_schedule_matches_acquire_order(self):
+        trace = record(simple_pair(), lock_cost=0, mem_cost=0).trace
+        schedule = trace.lock_schedule["L"]
+        assert len(schedule) == 2
+        acquires = sorted(
+            (e for e in trace.iter_events() if e.kind == ACQUIRE), key=lambda e: e.t
+        )
+        assert [a.uid for a in acquires] == schedule
+
+    def test_second_acquire_waits(self):
+        trace = record(simple_pair(), lock_cost=0, mem_cost=0).trace
+        waits = [e.wait_time for e in trace.iter_events() if e.kind == ACQUIRE]
+        assert sorted(waits) == [0, 100]
+
+    def test_event_uids_unique(self):
+        trace = record(simple_pair(), lock_cost=0, mem_cost=0).trace
+        uids = [e.uid for e in trace.iter_events()]
+        assert len(uids) == len(set(uids))
+
+    def test_meta_round_trips_machine_params(self):
+        result = record(simple_pair(), name="demo", seed=3, num_cores=4,
+                        lock_cost=5, mem_cost=2)
+        meta = result.trace.meta
+        assert meta.name == "demo"
+        assert meta.seed == 3
+        assert meta.num_cores == 4
+        assert meta.lock_cost == 5
+        assert meta.mem_cost == 2
+
+    def test_write_event_carries_op_and_value(self):
+        trace = record(simple_pair(), lock_cost=0, mem_cost=0).trace
+        writes = [e for e in trace.iter_events() if e.kind == WRITE]
+        assert all(w.op == ("store", 7) for w in writes)
+        assert all(w.value == 7 for w in writes)
+
+    def test_site_preserved(self):
+        trace = record(simple_pair(), lock_cost=0, mem_cost=0).trace
+        computes = [e for e in trace.iter_events() if e.kind == COMPUTE]
+        assert all(c.site == SITE for c in computes)
+
+
+class TestWaitPostLowering:
+    def test_cond_signal_lowered_with_pairing(self):
+        def waiter():
+            yield Acquire(lock="L")
+            yield CondWait(cond="C", lock="L")
+            yield Release(lock="L")
+
+        def signaler():
+            yield Compute(100)
+            yield Acquire(lock="L")
+            yield Signal(cond="C")
+            yield Release(lock="L")
+
+        trace = record([(waiter(), "w"), (signaler(), "s")],
+                       lock_cost=0, mem_cost=0).trace
+        waits = [e for e in trace.iter_events() if e.kind == WAIT]
+        posts = [e for e in trace.iter_events() if e.kind == POST]
+        assert len(waits) == 1 and len(posts) == 1
+        assert waits[0].reason == "posted"
+        assert waits[0].token == posts[0].uid
+        assert posts[0].woken == [waits[0].uid]
+        # cond wait re-acquires the mutex: waiter has 2 acquires
+        waiter_tid = waits[0].tid
+        acquires = [e for e in trace.events_of(waiter_tid) if e.kind == ACQUIRE]
+        assert len(acquires) == 2
+
+    def test_timeout_wait_has_no_token(self):
+        def prog():
+            yield Acquire(lock="L")
+            yield CondWait(cond="C", lock="L", timeout=500)
+            yield Release(lock="L")
+
+        trace = record([(prog(), "w")], lock_cost=0, mem_cost=0).trace
+        waits = [e for e in trace.iter_events() if e.kind == WAIT]
+        assert len(waits) == 1
+        assert waits[0].reason == "timeout"
+        assert waits[0].token is None
+        assert waits[0].duration == 500
+
+    def test_semaphore_pairing(self):
+        def consumer():
+            yield SemAcquire(sem="S")
+
+        def producer():
+            yield Compute(10)
+            yield SemRelease(sem="S")
+
+        trace = record([(consumer(), "c"), (producer(), "p")],
+                       lock_cost=0, mem_cost=0).trace
+        waits = [e for e in trace.iter_events() if e.kind == WAIT]
+        posts = [e for e in trace.iter_events() if e.kind == POST]
+        assert len(waits) == 1 and len(posts) == 1
+        assert waits[0].token == posts[0].uid
+
+    def test_barrier_last_arriver_posts(self):
+        def prog(delay):
+            yield Compute(delay)
+            yield BarrierWait(barrier="B", parties=2)
+
+        trace = record([(prog(10), "a"), (prog(90), "b")],
+                       lock_cost=0, mem_cost=0).trace
+        waits = [e for e in trace.iter_events() if e.kind == WAIT]
+        posts = [e for e in trace.iter_events() if e.kind == POST]
+        assert len(waits) == 1 and len(posts) == 1
+        assert waits[0].duration == 80
+        assert posts[0].woken == [waits[0].uid]
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        trace = record(simple_pair(), name="demo", lock_cost=3, mem_cost=1).trace
+        clone = loads(dumps(trace))
+        assert clone.meta.encode() == trace.meta.encode()
+        assert clone.lock_schedule == trace.lock_schedule
+        assert clone.thread_ids == trace.thread_ids
+        originals = [e.encode() for e in trace.iter_events()]
+        restored = [e.encode() for e in clone.iter_events()]
+        assert originals == restored
+
+    def test_loads_rejects_truncated(self):
+        with pytest.raises(TraceError):
+            loads("{}")
+
+    def test_validate_round_trip(self):
+        trace = record(simple_pair(), lock_cost=0, mem_cost=0).trace
+        validate(loads(dumps(trace)))
+
+
+class TestValidation:
+    def test_detects_unbalanced_lock(self):
+        from repro.trace import Trace, TraceEvent
+
+        trace = Trace()
+        trace.append(TraceEvent(uid="e0", tid="t0", kind=ACQUIRE, t=0, lock="L"))
+        with pytest.raises(TraceError):
+            validate(trace)
+
+    def test_detects_time_disorder(self):
+        from repro.trace import Trace, TraceEvent
+
+        trace = Trace()
+        trace.append(TraceEvent(uid="e0", tid="t0", kind=COMPUTE, t=100, duration=1))
+        trace.append(TraceEvent(uid="e1", tid="t0", kind=COMPUTE, t=50, duration=1))
+        with pytest.raises(TraceError):
+            validate(trace)
+
+    def test_clean_trace_passes(self):
+        trace = record(simple_pair(), lock_cost=0, mem_cost=0).trace
+        validate(trace)

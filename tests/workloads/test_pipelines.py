@@ -1,0 +1,105 @@
+"""Semantic tests for the structured (pipeline/barrier) workload models.
+
+Beyond the Table 1 category shapes, the structured models make concrete
+promises about their dataflow: queues drain exactly, progress counters
+reach their final values, barriers keep phases aligned.  Replay must
+reproduce all of it.
+"""
+
+import pytest
+
+from repro.replay import ELSC_S, Replayer
+from repro.workloads import get_workload
+
+
+def record_and_replay(name, **kwargs):
+    recorded = get_workload(name, **kwargs).record()
+    replay = Replayer(jitter=0.0).replay(recorded.trace, scheme=ELSC_S)
+    return recorded, replay
+
+
+class TestPbzip2Pipeline:
+    def test_all_blocks_produced_and_compressed(self):
+        recorded, replay = record_and_replay("pbzip2", threads=3)
+        workload = get_workload("pbzip2", threads=3)
+        memory = replay.final_memory
+        for i in range(workload.total_blocks):
+            assert memory.get(f"fifo.block[{i}]") == i + 1
+            assert memory.get(f"out.block[{i}]") == 1
+        assert memory.get("producerDone") == 1
+        assert memory.get("fifo.empty") == 1
+
+
+class TestDedupPipeline:
+    def test_all_chunks_flow_through(self):
+        recorded, replay = record_and_replay("dedup", threads=2)
+        workload = get_workload("dedup", threads=2)
+        memory = replay.final_memory
+        for i in range(workload.total_chunks):
+            assert memory.get(f"chunk[{i}]") == i + 1
+            assert memory.get(f"compressed[{i}]") == 1
+
+    def test_refcount_accumulates(self):
+        recorded, replay = record_and_replay("dedup", threads=2)
+        # every 4th chunk (i % 4 == 1) bumps the refcount by 1
+        expected = sum(
+            1
+            for k in range(2)
+            for i in range(get_workload("dedup", threads=2).rounds(12))
+            if i % 4 == 1
+        )
+        assert replay.final_memory.get("ht.refs") == expected
+
+
+class TestFerretPipeline:
+    def test_stats_counters_reach_totals(self):
+        recorded, replay = record_and_replay("ferret", threads=2)
+        workload = get_workload("ferret", threads=2)
+        # three commutative bumps per query
+        assert replay.final_memory.get("stats.cnt_rank") == 3 * workload.total_queries
+
+
+class TestX264Dependencies:
+    def test_progress_reaches_row_counts(self):
+        recorded, replay = record_and_replay("x264", threads=3)
+        workload = get_workload("x264", threads=3)
+        rows = workload.rounds(workload.rows_per_frame)
+        memory = replay.final_memory
+        for k in range(3):
+            assert memory.get(f"progress[{k}]") == rows
+
+    def test_dependent_frames_never_overrun_reference(self):
+        """In the recording, frame k's row r must start after the reference
+        frame's progress write for row r (the dependency the cond waits
+        enforce)."""
+        recorded = get_workload("x264", threads=2).record()
+        trace = recorded.trace
+        # progress writes in time order per frame
+        writes = {}
+        for event in trace.iter_time_order():
+            if event.kind == "write" and event.addr.startswith("progress["):
+                writes.setdefault(event.addr, []).append((event.t, event.value))
+        ref = writes["progress[0]"]
+        dep = writes["progress[1]"]
+        for t_dep, row in dep:
+            # the reference must have published `row` before the dependent
+            # frame could finish encoding that row
+            t_ref = next(t for t, value in ref if value >= row)
+            assert t_ref <= t_dep
+
+
+class TestBarrierAlignment:
+    @pytest.mark.parametrize("name,barrier_glyph", [
+        ("bodytrack", "frame_barrier"),
+        ("facesim", "newton_barrier"),
+        ("streamcluster", "phase"),
+    ])
+    def test_barrier_rounds_complete(self, name, barrier_glyph):
+        recorded = get_workload(name, threads=3).record()
+        trace = recorded.trace
+        posts = [e for e in trace.iter_events() if e.kind == "post"]
+        waits = [e for e in trace.iter_events() if e.kind == "wait"]
+        # every barrier round: one poster, parties-1 waiters
+        assert posts, name
+        woken = sum(len(p.woken) for p in posts)
+        assert woken == len([w for w in waits if w.reason == "posted"]), name

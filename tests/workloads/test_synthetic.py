@@ -1,0 +1,63 @@
+"""Tests for the tunable synthetic workloads and the contention sweep."""
+
+import pytest
+
+from repro.analysis import analyze_pairs
+from repro.errors import WorkloadError
+from repro.experiments import contention_sweep
+from repro.workloads.synthetic import MixedBag, TunableContention
+
+
+class TestTunableContention:
+    def test_utilization_validated(self):
+        with pytest.raises(WorkloadError):
+            TunableContention(utilization=0.0)
+        with pytest.raises(WorkloadError):
+            TunableContention(utilization=1.5)
+
+    def test_duty_cycle_respected(self):
+        workload = TunableContention(utilization=0.25, round_ns=1000)
+        assert workload.cs_len == 250
+        assert workload.gap == 750
+
+    def test_higher_utilization_more_contention(self):
+        def contention(util):
+            recorded = TunableContention(utilization=util, rounds=20).record()
+            hot = recorded.machine_result.locks["hot"]
+            return hot.contended_acquisitions / hot.acquisitions
+
+        assert contention(0.8) > contention(0.1)
+
+    def test_all_pairs_read_read(self):
+        recorded = TunableContention(utilization=0.4, rounds=10).record()
+        breakdown = analyze_pairs(recorded.trace).breakdown
+        assert breakdown.read_read > 0
+        assert breakdown.disjoint_write == 0
+        assert breakdown.tlcp == 0
+
+
+class TestMixedBag:
+    def test_every_category_present(self):
+        recorded = MixedBag(threads=2).record()
+        breakdown = analyze_pairs(recorded.trace).breakdown
+        assert breakdown.null_lock > 0
+        assert breakdown.read_read > 0
+        assert breakdown.disjoint_write > 0
+        assert breakdown.benign > 0
+        assert breakdown.tlcp > 0
+
+    def test_single_lock(self):
+        recorded = MixedBag(threads=2).record()
+        assert set(recorded.trace.lock_schedule) == {"the_lock"}
+
+
+class TestContentionSweep:
+    def test_degradation_monotone_in_utilization(self):
+        result = contention_sweep.run(utilizations=(0.1, 0.4, 0.7), rounds=15)
+        assert result.is_monotone()
+        degradations = [p.degradation for p in result.points]
+        assert degradations[-1] > degradations[0]
+
+    def test_render(self):
+        result = contention_sweep.run(utilizations=(0.2, 0.6), rounds=10)
+        assert "utilization" in result.render()

@@ -1,0 +1,169 @@
+"""Tests for the workload models: registry, determinism, Table 1 shapes."""
+
+import pytest
+
+from repro.analysis import analyze_pairs
+from repro.errors import WorkloadError
+from repro.workloads import (
+    TABLE1_ORDER,
+    get_workload,
+    workload_names,
+)
+
+#: apps Table 1 reports with zero ULCPs
+ZERO_ULCP_APPS = ("blackscholes", "canneal", "streamcluster", "swaptions")
+
+
+def breakdown_of(name, **kwargs):
+    rec = get_workload(name, **kwargs).record()
+    return analyze_pairs(rec.trace).breakdown, rec
+
+
+class TestRegistry:
+    def test_all_table1_apps_registered(self):
+        names = set(workload_names())
+        for app in TABLE1_ORDER:
+            assert app in names
+
+    def test_categories(self):
+        assert len(workload_names(category="realworld")) == 5
+        assert len(workload_names(category="parsec")) == 11
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("no-such-app")
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(WorkloadError):
+            get_workload("mysql", threads=0)
+        with pytest.raises(WorkloadError):
+            get_workload("mysql", input_size="huge")
+        with pytest.raises(WorkloadError):
+            get_workload("mysql", scale=-1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["openldap", "pbzip2", "fluidanimate"])
+    def test_same_seed_same_trace(self, name):
+        rec1 = get_workload(name, seed=7).record()
+        rec2 = get_workload(name, seed=7).record()
+        assert rec1.recorded_time == rec2.recorded_time
+        assert len(rec1.trace) == len(rec2.trace)
+
+    def test_different_seed_different_trace(self):
+        rec1 = get_workload("mysql", seed=1).record()
+        rec2 = get_workload("mysql", seed=2).record()
+        assert rec1.recorded_time != rec2.recorded_time
+
+
+class TestTable1Shapes:
+    @pytest.mark.parametrize("name", ZERO_ULCP_APPS)
+    def test_zero_ulcp_apps(self, name):
+        breakdown, _ = breakdown_of(name)
+        assert breakdown.total_ulcps == 0
+
+    @pytest.mark.parametrize(
+        "name",
+        [a for a in TABLE1_ORDER if a not in ZERO_ULCP_APPS],
+    )
+    def test_nonzero_ulcp_apps(self, name):
+        breakdown, _ = breakdown_of(name)
+        assert breakdown.total_ulcps > 0
+
+    @pytest.mark.parametrize(
+        "name", ["openldap", "mysql", "pbzip2", "bodytrack", "fluidanimate", "vips"]
+    )
+    def test_read_read_dominant_apps(self, name):
+        breakdown, _ = breakdown_of(name)
+        assert breakdown.read_read >= breakdown.disjoint_write
+        assert breakdown.read_read >= breakdown.null_lock
+
+    def test_x264_has_most_null_locks_of_parsec(self):
+        x264, _ = breakdown_of("x264")
+        fluid, _ = breakdown_of("fluidanimate")
+        assert x264.null_lock > fluid.null_lock
+
+    def test_ferret_is_benign_dominant(self):
+        breakdown, _ = breakdown_of("ferret")
+        assert breakdown.benign >= breakdown.read_read
+
+    def test_fluidanimate_has_most_ulcps(self):
+        fluid, _ = breakdown_of("fluidanimate")
+        for other in ("bodytrack", "ferret", "facesim", "dedup"):
+            breakdown, _ = breakdown_of(other)
+            assert fluid.total_ulcps > breakdown.total_ulcps
+
+    def test_input_size_scales_counts(self):
+        small, rec_small = breakdown_of("bodytrack", input_size="simsmall")
+        large, rec_large = breakdown_of("bodytrack", input_size="simlarge")
+        assert len(rec_large.trace) > len(rec_small.trace)
+
+    def test_ulcps_grow_with_threads(self):
+        """Figure 2's growth claim for the three studied apps."""
+        for name in ("openldap", "pbzip2", "bodytrack"):
+            two, _ = breakdown_of(name, threads=2)
+            four, _ = breakdown_of(name, threads=4)
+            assert four.total_ulcps > two.total_ulcps, name
+
+
+class TestBugWorkloads:
+    def test_bug1_fixed_variant_removes_polling(self):
+        original = get_workload("bug1-openldap-spinwait").record()
+        fixed = get_workload("bug1-openldap-spinwait", fixed=True).record()
+        orig_b = analyze_pairs(original.trace).breakdown
+        fixed_b = analyze_pairs(fixed.trace).breakdown
+        assert orig_b.read_read > 0
+        assert fixed_b.read_read == 0
+
+    def test_bug1_fixed_wastes_less_cpu(self):
+        original = get_workload("bug1-openldap-spinwait").record()
+        fixed = get_workload("bug1-openldap-spinwait", fixed=True).record()
+        assert (
+            fixed.machine_result.total_spin_ns
+            < original.machine_result.total_spin_ns
+        )
+
+    def test_bug2_fixed_variant_removes_checks(self):
+        original = get_workload("bug2-pbzip2-join").record()
+        fixed = get_workload("bug2-pbzip2-join", fixed=True).record()
+        orig_b = analyze_pairs(original.trace).breakdown
+        fixed_b = analyze_pairs(fixed.trace).breakdown
+        assert orig_b.read_read > 0
+        assert fixed_b.read_read == 0
+
+    def test_bug2_fixed_is_faster(self):
+        original = get_workload("bug2-pbzip2-join", threads=4).record()
+        fixed = get_workload("bug2-pbzip2-join", threads=4, fixed=True).record()
+        assert fixed.recorded_time < original.recorded_time
+
+
+class TestAppendixCases:
+    def test_case1_condwait_produces_null_lock(self):
+        breakdown, _ = breakdown_of("case1-condwait-nulllock")
+        assert breakdown.null_lock >= 1
+
+    def test_case3_disjoint_fields(self):
+        breakdown, _ = breakdown_of("case3-disjoint-fields")
+        assert breakdown.disjoint_write >= 1
+
+    def test_case5_thd_members(self):
+        breakdown, _ = breakdown_of("case5-thd-members")
+        assert breakdown.disjoint_write >= 1
+
+    def test_case8_hash_lookups_read_read(self):
+        breakdown, _ = breakdown_of("case8-hash-lookups")
+        assert breakdown.read_read >= 4
+
+    def test_case9_timeout_serializes(self):
+        rec = get_workload("case9-querycache-timeout", threads=4).record()
+        # the timed wait releases the mutex while sleeping (pthread
+        # semantics), but all four wakes re-acquire it and serialize their
+        # post-timeout work — the run overshoots the timeout by the
+        # serialized tail, and the re-acquisitions contend
+        assert rec.recorded_time >= 800 + 3 * 120
+        guard = rec.machine_result.locks["structure_guard_mutex"]
+        assert guard.contended_acquisitions >= 3
+
+    def test_case10_read_read(self):
+        breakdown, _ = breakdown_of("case10-global-read-lock")
+        assert breakdown.read_read >= 1

@@ -68,3 +68,47 @@ def test_transformed_replay_throughput(benchmark, fluid_transform):
 
     result = benchmark.pedantic(replay_once, rounds=3, iterations=1)
     assert result.end_time > 0
+
+
+def test_parallel_cached_suite_speedup(tmp_path):
+    """Acceptance: jobs=4 + warm cache beats serial uncached by >=2x.
+
+    Runs a multi-cell experiment suite (table1 + figure14) three ways:
+    serial with no cache, jobs=4 against an empty cache (populating it),
+    and again with the cache warm.  The warm run must render bit-for-bit
+    identical output at >=2x the serial wall-clock.  Plain perf_counter
+    timing — the contrast is way above scheduler noise.
+    """
+    import time
+
+    from repro.experiments import figure14, table1
+    from repro.runner import use_cache
+
+    def suite(jobs):
+        return table1.run(jobs=jobs).render() + "\n" + figure14.run(jobs=jobs).render()
+
+    with use_cache(None):
+        started = time.perf_counter()
+        serial = suite(jobs=1)
+        serial_s = time.perf_counter() - started
+
+    with use_cache(tmp_path / "cache"):
+        started = time.perf_counter()
+        cold = suite(jobs=4)
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = suite(jobs=4)
+        warm_s = time.perf_counter() - started
+
+    print(
+        f"\nserial uncached: {serial_s:.2f}s  "
+        f"jobs=4 cold: {cold_s:.2f}s  jobs=4 warm: {warm_s:.2f}s  "
+        f"speedup: {serial_s / warm_s:.1f}x"
+    )
+    assert cold == serial, "parallel run must render identically to serial"
+    assert warm == serial, "cached run must render identically to serial"
+    assert serial_s >= 2 * warm_s, (
+        f"expected >=2x speedup, got {serial_s / warm_s:.2f}x "
+        f"({serial_s:.2f}s serial vs {warm_s:.2f}s warm)"
+    )

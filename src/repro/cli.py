@@ -6,17 +6,24 @@ Commands
 ``list``
     Show registered workloads (by category) and experiment names.
 ``record WORKLOAD -o TRACE``
-    Record a workload execution into a JSONL trace file.
-``replay TRACE [--scheme S] [--runs N]``
+    Record a workload execution into a JSONL trace file (a ``.gz``
+    suffix writes the compressed ``.jsonl.gz`` format).
+``replay TRACE [--scheme S] [--runs N] [--jobs N]``
     Replay a trace under one of the four schemes; prints timing stats.
+    ``--jobs N`` runs the repeated seeded replays in parallel.
 ``transform TRACE [-o OUT]``
     Run the ULCP transformation; prints the breakdown and plan summary.
 ``debug WORKLOAD | debug --trace TRACE``
     Full PERFPLAY pipeline; prints the recommendation report.
 ``timeline TRACE``
     ASCII per-thread activity lanes.
-``experiment NAME``
+``experiment NAME [--jobs N] [--cache-dir DIR | --no-cache]``
     Regenerate one of the paper's tables/figures (or ``all``).
+    ``--jobs N`` fans independent cells over a worker pool; output is
+    bit-for-bit identical to a serial run.  Results are memoized in a
+    content-addressed on-disk cache (default ``.repro-cache/``).
+``cache info | cache clear [--cache-dir DIR]``
+    Inspect or empty the on-disk result cache.
 ``sensitivity WORKLOAD``
     Cross-input robustness classification of the recommendations.
 ``stats TRACE`` / ``locks TRACE``
@@ -90,7 +97,8 @@ def cmd_replay(args) -> int:
     trace = serialize.load(args.trace)
     replayer = Replayer(jitter=args.jitter)
     series = replayer.replay_many(
-        trace, scheme=args.scheme, runs=args.runs, base_seed=args.seed
+        trace, scheme=args.scheme, runs=args.runs, base_seed=args.seed,
+        jobs=args.jobs,
     )
     summary = series.summary()
     print(f"scheme={args.scheme} runs={args.runs}")
@@ -223,6 +231,7 @@ def cmd_compare(args) -> int:
 
 def cmd_experiment(args) -> int:
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.runner import cache
 
     if args.name == "all":
         names = list(ALL_EXPERIMENTS)
@@ -232,9 +241,29 @@ def cmd_experiment(args) -> int:
         print(f"unknown experiment {args.name!r}; known: "
               f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
         return 2
-    for name in names:
-        ALL_EXPERIMENTS[name].main()
-        print()
+    if args.no_cache:
+        root = None
+    elif args.cache_dir:
+        root = args.cache_dir
+    else:
+        root = cache.default_cache_dir()
+    with cache.use_cache(root):
+        for name in names:
+            ALL_EXPERIMENTS[name].main(jobs=args.jobs)
+            print()
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.runner import TraceCache, cache
+
+    root = args.cache_dir or cache.default_cache_dir()
+    store = TraceCache(root)
+    if args.action == "info":
+        print(store.info().render())
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached entries from {store.root}")
     return 0
 
 
@@ -271,6 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jitter", type=float, default=0.02)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the repeated replays")
 
     p = sub.add_parser("transform", help="ULCP-transform a trace file")
     p.add_argument("trace")
@@ -316,6 +347,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for independent cells "
+                        "(0 = one per CPU); output matches a serial run")
+    p.add_argument("--cache-dir",
+                   help="result cache directory (default: .repro-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk result cache")
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("action", choices=("info", "clear"))
+    p.add_argument("--cache-dir",
+                   help="cache directory (default: .repro-cache)")
 
     p = sub.add_parser("sensitivity", help="cross-input robustness sweep")
     p.add_argument("workload")
@@ -340,13 +383,23 @@ COMMANDS = {
     "compare": cmd_compare,
     "selfcheck": cmd_selfcheck,
     "experiment": cmd_experiment,
+    "cache": cmd_cache,
     "sensitivity": cmd_sensitivity,
 }
 
 
 def main(argv=None) -> int:
+    from repro.errors import TraceError
+
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc.strerror}: {exc.filename}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ from repro.analysis import transform
 from repro.baselines import replay_lock_elision
 from repro.experiments.runner import format_table
 from repro.replay import ELSC_S, ORIG_S, Replayer
-from repro.workloads import get_workload
+from repro.runner import memoized, parallel_map, record_cached
 
 DEFAULT_APPS = ("openldap", "pbzip2", "fluidanimate")
 
@@ -75,19 +75,13 @@ class AblationResult:
         )
 
 
-def run(
-    *,
-    apps: Sequence[str] = DEFAULT_APPS,
-    threads: int = 4,
-    scale: float = 1.0,
-    seed: int = 0,
-    replays: int = 6,
-) -> AblationResult:
-    result = AblationResult()
-    noisy = Replayer(jitter=0.02)
-    clean = Replayer(jitter=0.0)
-    for app in apps:
-        recorded = get_workload(app, threads=threads, scale=scale, seed=seed).record()
+def _cell(task) -> AblationRow:
+    app, threads, scale, seed, replays = task
+
+    def compute() -> AblationRow:
+        noisy = Replayer(jitter=0.02)
+        clean = Replayer(jitter=0.0)
+        recorded = record_cached(app, threads=threads, scale=scale, seed=seed)
         trace = recorded.trace
 
         orig_series = noisy.replay_many(trace, scheme=ORIG_S, runs=replays)
@@ -103,7 +97,7 @@ def run(
         elision = replay_lock_elision(with_rule2).end_time
         original = clean.replay(trace, scheme=ELSC_S).end_time
 
-        result.rows_by_app[app] = AblationRow(
+        return AblationRow(
             app=app,
             elsc_spread=elsc_series.summary().spread,
             orig_spread=orig_series.summary().spread,
@@ -113,11 +107,32 @@ def run(
             elision_time=elision,
             elsc_time=original,
         )
+
+    params = {
+        "app": app, "threads": threads, "scale": scale, "seed": seed,
+        "replays": replays,
+    }
+    return memoized("ablations.cell", params, compute)
+
+
+def run(
+    *,
+    apps: Sequence[str] = DEFAULT_APPS,
+    threads: int = 4,
+    scale: float = 1.0,
+    seed: int = 0,
+    replays: int = 6,
+    jobs: int = 1,
+) -> AblationResult:
+    tasks = [(app, threads, scale, seed, replays) for app in apps]
+    result = AblationResult()
+    for row in parallel_map(_cell, tasks, jobs=jobs):
+        result.rows_by_app[row.app] = row
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

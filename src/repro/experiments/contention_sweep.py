@@ -14,6 +14,7 @@ from typing import List, Sequence
 
 from repro.experiments.runner import format_table, percent
 from repro.perfdebug.framework import PerfPlay
+from repro.runner import memoized, parallel_map
 from repro.workloads.synthetic import TunableContention
 
 
@@ -48,38 +49,49 @@ class ContentionSweepResult:
         return all(b >= a - 0.01 for a, b in zip(degradations, degradations[1:]))
 
 
+def _cell(task) -> SweepPoint:
+    utilization, threads, rounds, seed = task
+
+    def compute() -> SweepPoint:
+        workload = TunableContention(
+            utilization=utilization, rounds=rounds, threads=threads, seed=seed
+        )
+        recorded = workload.record()
+        report = PerfPlay().analyze(recorded.trace, seed=seed)
+        hot = recorded.machine_result.locks.get("hot")
+        contention = (
+            hot.contended_acquisitions / hot.acquisitions if hot else 0.0
+        )
+        return SweepPoint(
+            utilization=utilization,
+            degradation=report.normalized_degradation,
+            pairs=report.breakdown.total_ulcps,
+            contention_rate=contention,
+        )
+
+    params = {
+        "utilization": utilization, "threads": threads, "rounds": rounds,
+        "seed": seed,
+    }
+    return memoized("contention_sweep.cell", params, compute)
+
+
 def run(
     *,
     utilizations: Sequence[float] = (0.1, 0.2, 0.35, 0.5, 0.65, 0.8),
     threads: int = 2,
     rounds: int = 25,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ContentionSweepResult:
+    tasks = [(u, threads, rounds, seed) for u in utilizations]
     result = ContentionSweepResult()
-    perfplay = PerfPlay()
-    for utilization in utilizations:
-        workload = TunableContention(
-            utilization=utilization, rounds=rounds, threads=threads, seed=seed
-        )
-        recorded = workload.record()
-        report = perfplay.analyze(recorded.trace, seed=seed)
-        hot = recorded.machine_result.locks.get("hot")
-        contention = (
-            hot.contended_acquisitions / hot.acquisitions if hot else 0.0
-        )
-        result.points.append(
-            SweepPoint(
-                utilization=utilization,
-                degradation=report.normalized_degradation,
-                pairs=report.breakdown.total_ulcps,
-                contention_rate=contention,
-            )
-        )
+    result.points.extend(parallel_map(_cell, tasks, jobs=jobs))
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

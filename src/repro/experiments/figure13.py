@@ -17,8 +17,9 @@ from typing import Dict, List, Sequence
 
 from repro.experiments.runner import format_table
 from repro.replay import ALL_SCHEMES, Replayer
+from repro.runner import memoized, parallel_map, record_cached
 from repro.util.stats import Summary
-from repro.workloads import get_workload, workload_names
+from repro.workloads import workload_names
 
 #: replay noise: deterministic schemes must stay stable despite it
 DEFAULT_JITTER = 0.02
@@ -52,6 +53,30 @@ class Figure13Result:
         return self.series[app][scheme].cv
 
 
+def _cell(task) -> Dict[str, Summary]:
+    """All four schemes' replay summaries for one app."""
+    app, threads, input_size, scale, seed, replays, jitter = task
+
+    def compute() -> Dict[str, Summary]:
+        recorded = record_cached(
+            app, threads=threads, input_size=input_size, scale=scale, seed=seed
+        )
+        replayer = Replayer(jitter=jitter)
+        by_scheme: Dict[str, Summary] = {}
+        for scheme in ALL_SCHEMES:
+            series = replayer.replay_many(
+                recorded.trace, scheme=scheme, runs=replays, base_seed=seed
+            )
+            by_scheme[scheme] = series.summary()
+        return by_scheme
+
+    params = {
+        "app": app, "threads": threads, "input_size": input_size,
+        "scale": scale, "seed": seed, "replays": replays, "jitter": jitter,
+    }
+    return memoized("figure13.cell", params, compute)
+
+
 def run(
     *,
     apps: Sequence[str] = None,
@@ -61,27 +86,22 @@ def run(
     seed: int = 0,
     replays: int = 10,
     jitter: float = DEFAULT_JITTER,
+    jobs: int = 1,
 ) -> Figure13Result:
     if apps is None:
         apps = workload_names(category="parsec")
-    replayer = Replayer(jitter=jitter)
+    tasks = [
+        (app, threads, input_size, scale, seed, replays, jitter) for app in apps
+    ]
+    summaries = parallel_map(_cell, tasks, jobs=jobs)
     result = Figure13Result()
-    for app in apps:
-        recorded = get_workload(
-            app, threads=threads, input_size=input_size, scale=scale, seed=seed
-        ).record()
-        by_scheme: Dict[str, Summary] = {}
-        for scheme in ALL_SCHEMES:
-            series = replayer.replay_many(
-                recorded.trace, scheme=scheme, runs=replays, base_seed=seed
-            )
-            by_scheme[scheme] = series.summary()
+    for app, by_scheme in zip(apps, summaries):
         result.series[app] = by_scheme
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

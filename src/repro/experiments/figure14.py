@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.experiments.runner import bar_chart, debug_app, format_table, percent
+from repro.runner import memoized, parallel_map
 from repro.workloads import TABLE1_ORDER
 
 
@@ -47,24 +48,34 @@ class Figure14Result:
         return sum(r.degradation for r in rows) / len(rows)
 
 
-def run(
-    *, threads: int = 2, scale: float = 1.0, seed: int = 0
-) -> Figure14Result:
-    result = Figure14Result()
-    for app in TABLE1_ORDER:
-        run_ = debug_app(app, threads=threads, scale=scale, seed=seed)
-        report = run_.report
-        result.rows_by_app[app] = Figure14Row(
+def _cell(task) -> Figure14Row:
+    app, threads, scale, seed = task
+
+    def compute() -> Figure14Row:
+        report = debug_app(app, threads=threads, scale=scale, seed=seed).report
+        return Figure14Row(
             app=app,
             degradation=report.normalized_degradation,
             cpu_waste_per_thread=report.normalized_cpu_waste_per_thread,
             total_ulcps=report.breakdown.total_ulcps,
         )
+
+    params = {"app": app, "threads": threads, "scale": scale, "seed": seed}
+    return memoized("figure14.cell", params, compute)
+
+
+def run(
+    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1
+) -> Figure14Result:
+    tasks = [(app, threads, scale, seed) for app in TABLE1_ORDER]
+    result = Figure14Result()
+    for row in parallel_map(_cell, tasks, jobs=jobs):
+        result.rows_by_app[row.app] = row
     return result
 
 
-def main():
-    result = run()
+def main(*, jobs: int = 1):
+    result = run(jobs=jobs)
     print(result.render())
     print()
     print(bar_chart(

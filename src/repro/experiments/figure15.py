@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.experiments.runner import debug_app, format_table, percent
+from repro.runner import memoized, parallel_map
 
 APPS = ("canneal", "bodytrack", "fluidanimate")
 DEFAULT_THREADS = (2, 4, 6, 8)
@@ -44,27 +45,44 @@ class Figure15Result:
         )
 
 
+def _cell(task):
+    """(loss, waste) of one (app, thread-count) configuration."""
+    app, threads, scale, seed = task
+
+    def compute():
+        report = debug_app(app, threads=threads, scale=scale, seed=seed).report
+        return (
+            report.normalized_degradation,
+            report.normalized_cpu_waste_per_thread,
+        )
+
+    params = {"app": app, "threads": threads, "scale": scale, "seed": seed}
+    return memoized("figure15.cell", params, compute)
+
+
 def run(
     *,
     apps: Sequence[str] = APPS,
     thread_counts: Sequence[int] = DEFAULT_THREADS,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Figure15Result:
+    tasks = [
+        (app, threads, scale, seed) for app in apps for threads in thread_counts
+    ]
+    cells = parallel_map(_cell, tasks, jobs=jobs)
     result = Figure15Result(thread_counts=list(thread_counts))
-    for app in apps:
-        losses, wastes = [], []
-        for threads in thread_counts:
-            report = debug_app(app, threads=threads, scale=scale, seed=seed).report
-            losses.append(report.normalized_degradation)
-            wastes.append(report.normalized_cpu_waste_per_thread)
-        result.loss[app] = losses
-        result.waste[app] = wastes
+    per_app = len(list(thread_counts))
+    for i, app in enumerate(apps):
+        chunk = cells[i * per_app:(i + 1) * per_app]
+        result.loss[app] = [loss for loss, _waste in chunk]
+        result.waste[app] = [waste for _loss, waste in chunk]
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.experiments.runner import debug_app, format_table, percent
+from repro.runner import memoized, parallel_map
 
 APPS = ("canneal", "bodytrack", "fluidanimate")
 SIZES = ("simsmall", "simmedium", "simlarge")
@@ -37,6 +38,25 @@ class Figure16Result:
         )
 
 
+def _cell(task):
+    """(loss, waste) of one (app, input-size) configuration."""
+    app, size, threads, scale, seed = task
+
+    def compute():
+        report = debug_app(
+            app, threads=threads, input_size=size, scale=scale, seed=seed
+        ).report
+        return (
+            report.normalized_degradation,
+            report.normalized_cpu_waste_per_thread,
+        )
+
+    params = {
+        "app": app, "size": size, "threads": threads, "scale": scale, "seed": seed,
+    }
+    return memoized("figure16.cell", params, compute)
+
+
 def run(
     *,
     apps: Sequence[str] = APPS,
@@ -44,23 +64,21 @@ def run(
     threads: int = 2,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Figure16Result:
+    tasks = [(app, size, threads, scale, seed) for app in apps for size in sizes]
+    cells = parallel_map(_cell, tasks, jobs=jobs)
     result = Figure16Result(sizes=list(sizes))
-    for app in apps:
-        losses, wastes = [], []
-        for size in sizes:
-            report = debug_app(
-                app, threads=threads, input_size=size, scale=scale, seed=seed
-            ).report
-            losses.append(report.normalized_degradation)
-            wastes.append(report.normalized_cpu_waste_per_thread)
-        result.loss[app] = losses
-        result.waste[app] = wastes
+    per_app = len(list(sizes))
+    for i, app in enumerate(apps):
+        chunk = cells[i * per_app:(i + 1) * per_app]
+        result.loss[app] = [loss for loss, _waste in chunk]
+        result.waste[app] = [waste for _loss, waste in chunk]
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.experiments.runner import format_table, percent
-from repro.workloads import get_workload
+from repro.runner import memoized, parallel_map, record_cached
 
 BUGS = ("bug1-openldap-spinwait", "bug2-pbzip2-join")
 DEFAULT_THREADS = (2, 4, 6, 8)
@@ -57,13 +57,14 @@ def _measure(bug: str, *, threads: int, input_size: str, scale: float, seed: int
     # keep a core available for every thread (workers + the helper thread)
     # so the measurement isolates the bug, not core oversubscription
     num_cores = threads + 2
-    original = get_workload(
-        bug, threads=threads, input_size=input_size, scale=scale, seed=seed
-    ).record(num_cores=num_cores)
-    fixed = get_workload(
+    original = record_cached(
         bug, threads=threads, input_size=input_size, scale=scale, seed=seed,
-        fixed=True,
-    ).record(num_cores=num_cores)
+        num_cores=num_cores,
+    )
+    fixed = record_cached(
+        bug, threads=threads, input_size=input_size, scale=scale, seed=seed,
+        num_cores=num_cores, workload_kwargs={"fixed": True},
+    )
     return BugMeasurement(
         threads=threads,
         input_size=input_size,
@@ -71,6 +72,21 @@ def _measure(bug: str, *, threads: int, input_size: str, scale: float, seed: int
         fixed_time=fixed.recorded_time,
         original_cpu=original.machine_result.total_cpu_ns,
         fixed_cpu=fixed.machine_result.total_cpu_ns,
+    )
+
+
+def _cell(task) -> BugMeasurement:
+    bug, threads, input_size, scale, seed = task
+    params = {
+        "bug": bug, "threads": threads, "input_size": input_size,
+        "scale": scale, "seed": seed,
+    }
+    return memoized(
+        "figure19.cell",
+        params,
+        lambda: _measure(
+            bug, threads=threads, input_size=input_size, scale=scale, seed=seed
+        ),
     )
 
 
@@ -119,22 +135,29 @@ def run(
     sizes: Sequence[str] = SIZES,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Figure19Result:
+    thread_tasks = [
+        (bug, n, "simlarge", scale, seed) for bug in BUGS for n in thread_counts
+    ]
+    size_tasks = [
+        (bug, 2, size, scale, seed) for bug in BUGS for size in sizes
+    ]
+    cells = parallel_map(_cell, thread_tasks + size_tasks, jobs=jobs)
+    by_threads = cells[:len(thread_tasks)]
+    by_size = cells[len(thread_tasks):]
     result = Figure19Result(thread_counts=list(thread_counts), sizes=list(sizes))
-    for bug in BUGS:
-        result.by_threads[bug] = [
-            _measure(bug, threads=n, input_size="simlarge", scale=scale, seed=seed)
-            for n in thread_counts
-        ]
-        result.by_size[bug] = [
-            _measure(bug, threads=2, input_size=size, scale=scale, seed=seed)
-            for size in sizes
-        ]
+    per_bug = len(list(thread_counts))
+    for i, bug in enumerate(BUGS):
+        result.by_threads[bug] = by_threads[i * per_bug:(i + 1) * per_bug]
+    per_bug = len(list(sizes))
+    for i, bug in enumerate(BUGS):
+        result.by_size[bug] = by_size[i * per_bug:(i + 1) * per_bug]
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

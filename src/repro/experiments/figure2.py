@@ -12,7 +12,7 @@ from typing import Dict, List, Sequence
 
 from repro.analysis import analyze_pairs
 from repro.experiments.runner import format_table
-from repro.workloads import get_workload
+from repro.runner import memoized, parallel_map, record_cached
 
 APPS = ("openldap", "pbzip2", "bodytrack")
 DEFAULT_THREADS = (2, 4, 8, 16, 32)
@@ -41,27 +41,39 @@ class Figure2Result:
         return series[-1] / series[0] if series[0] else float("inf")
 
 
+def _cell(task) -> int:
+    """ULCP count of one (app, thread-count) configuration."""
+    app, threads, scale, seed = task
+
+    def compute() -> int:
+        recorded = record_cached(app, threads=threads, scale=scale, seed=seed)
+        return analyze_pairs(recorded.trace).breakdown.total_ulcps
+
+    params = {"app": app, "threads": threads, "scale": scale, "seed": seed}
+    return memoized("figure2.cell", params, compute)
+
+
 def run(
     *,
     thread_counts: Sequence[int] = DEFAULT_THREADS,
     scale: float = 1.0,
     seed: int = 0,
     apps: Sequence[str] = APPS,
+    jobs: int = 1,
 ) -> Figure2Result:
+    tasks = [
+        (app, threads, scale, seed) for app in apps for threads in thread_counts
+    ]
+    counts = parallel_map(_cell, tasks, jobs=jobs)
     result = Figure2Result(thread_counts=list(thread_counts))
-    for app in apps:
-        counts = []
-        for threads in thread_counts:
-            recorded = get_workload(
-                app, threads=threads, scale=scale, seed=seed
-            ).record()
-            counts.append(analyze_pairs(recorded.trace).breakdown.total_ulcps)
-        result.series[app] = counts
+    per_app = len(list(thread_counts))
+    for i, app in enumerate(apps):
+        result.series[app] = counts[i * per_app:(i + 1) * per_app]
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

@@ -4,6 +4,12 @@ Every experiment module exposes ``run(**params) -> <Result>`` returning a
 dataclass with ``rows()`` (machine-readable) and ``render()`` (the
 table/series the paper prints), plus a ``main()`` so it can be executed
 as ``python -m repro.experiments.<name>``.
+
+``run``/``main`` accept ``jobs=N`` to fan independent experiment cells
+out over a :mod:`repro.runner` worker pool.  Cells fix their seeds and
+return in submission order, so parallel output is bit-for-bit identical
+to serial.  When a cache is active (``repro.runner.cache``), recorded
+traces and per-cell results are reused across runs.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.perfdebug.framework import DebugReport, PerfPlay
-from repro.workloads import get_workload
+from repro.runner import memoized, record_cached
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
@@ -80,16 +86,32 @@ def debug_app(
     jitter: float = 0.0,
     workload_kwargs: Optional[dict] = None,
 ) -> AppDebugRun:
-    """Record a workload and run the whole debugging pipeline on it."""
-    workload = get_workload(
-        name,
-        threads=threads,
-        input_size=input_size,
-        scale=scale,
-        seed=seed,
-        **(workload_kwargs or {}),
-    )
-    recorded = workload.record()
-    perfplay = PerfPlay(jitter=jitter)
-    report = perfplay.analyze(recorded.trace, seed=seed)
+    """Record a workload and run the whole debugging pipeline on it.
+
+    Both the recorded trace and the finished :class:`DebugReport` are
+    served from the active cache when one is configured.
+    """
+    params = {
+        "name": name,
+        "threads": threads,
+        "input_size": input_size,
+        "scale": scale,
+        "seed": seed,
+        "jitter": jitter,
+        "workload_kwargs": dict(workload_kwargs or {}),
+    }
+
+    def compute() -> DebugReport:
+        recorded = record_cached(
+            name,
+            threads=threads,
+            input_size=input_size,
+            scale=scale,
+            seed=seed,
+            workload_kwargs=workload_kwargs,
+        )
+        perfplay = PerfPlay(jitter=jitter)
+        return perfplay.analyze(recorded.trace, seed=seed)
+
+    report = memoized("debug_app", params, compute)
     return AppDebugRun(name=name, report=report)

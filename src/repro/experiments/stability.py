@@ -14,10 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import format_table, percent
-from repro.perfdebug.framework import PerfPlay
+from repro.experiments.runner import debug_app, format_table, percent
 from repro.perfdebug.multitrace import aggregate
-from repro.workloads import get_workload
+from repro.runner import memoized, parallel_map
 
 DEFAULT_APPS = ("openldap", "mysql", "pbzip2", "bodytrack", "fluidanimate")
 
@@ -50,50 +49,61 @@ class StabilityResult:
         )
 
 
+def _cell(task) -> StabilityRow:
+    app, seeds, threads, scale = task
+    params = {"app": app, "seeds": list(seeds), "threads": threads, "scale": scale}
+    return memoized(
+        "stability.cell", params, lambda: _measure(app, seeds, threads, scale)
+    )
+
+
+def _measure(app, seeds, threads, scale) -> StabilityRow:
+    reports = [
+        debug_app(app, threads=threads, scale=scale, seed=seed).report
+        for seed in seeds
+    ]
+    consensus = aggregate(reports)
+    ranked = consensus.ranked()
+    if not ranked:
+        return StabilityRow(
+            app=app, seeds=len(seeds), top1_agreement=1.0,
+            persistent_fraction=1.0, consensus_regions=0,
+        )
+    top = ranked[0]
+    agreements = 0
+    for report in reports:
+        best = report.most_beneficial
+        if best is None:
+            continue
+        if top.matches(best.group.cr1, best.group.cr2) is not None:
+            agreements += 1
+    persistent = [r for r in ranked if r.appearances >= len(seeds)]
+    return StabilityRow(
+        app=app,
+        seeds=len(seeds),
+        top1_agreement=agreements / len(reports),
+        persistent_fraction=len(persistent) / len(ranked),
+        consensus_regions=len(ranked),
+    )
+
+
 def run(
     *,
     apps: Sequence[str] = DEFAULT_APPS,
     seeds: Sequence[int] = (0, 1, 2, 3),
     threads: int = 2,
     scale: float = 1.0,
+    jobs: int = 1,
 ) -> StabilityResult:
+    tasks = [(app, tuple(seeds), threads, scale) for app in apps]
     result = StabilityResult()
-    perfplay = PerfPlay()
-    for app in apps:
-        reports = []
-        for seed in seeds:
-            recorded = get_workload(app, threads=threads, scale=scale,
-                                    seed=seed).record()
-            reports.append(perfplay.analyze(recorded.trace, seed=seed))
-        consensus = aggregate(reports)
-        ranked = consensus.ranked()
-        if not ranked:
-            result.rows_by_app[app] = StabilityRow(
-                app=app, seeds=len(seeds), top1_agreement=1.0,
-                persistent_fraction=1.0, consensus_regions=0,
-            )
-            continue
-        top = ranked[0]
-        agreements = 0
-        for report in reports:
-            best = report.most_beneficial
-            if best is None:
-                continue
-            if top.matches(best.group.cr1, best.group.cr2) is not None:
-                agreements += 1
-        persistent = [r for r in ranked if r.appearances >= len(seeds)]
-        result.rows_by_app[app] = StabilityRow(
-            app=app,
-            seeds=len(seeds),
-            top1_agreement=agreements / len(reports),
-            persistent_fraction=len(persistent) / len(ranked),
-            consensus_regions=len(ranked),
-        )
+    for row in parallel_map(_cell, tasks, jobs=jobs):
+        result.rows_by_app[row.app] = row
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

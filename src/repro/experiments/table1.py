@@ -15,7 +15,8 @@ from typing import Dict, List
 from repro.analysis import analyze_pairs
 from repro.analysis.ulcp import UlcpBreakdown
 from repro.experiments.runner import format_table
-from repro.workloads import TABLE1_ORDER, get_workload
+from repro.runner import memoized, parallel_map, record_cached
+from repro.workloads import TABLE1_ORDER
 
 
 @dataclass
@@ -51,14 +52,16 @@ class Table1Result:
         )
 
 
-def run(*, threads: int = 2, scale: float = 1.0, seed: int = 0) -> Table1Result:
-    result = Table1Result()
-    for app in TABLE1_ORDER:
-        recorded = get_workload(app, threads=threads, scale=scale, seed=seed).record()
+def _cell(task) -> Table1Row:
+    """One app's row; a pure function of the task for the worker pool."""
+    app, threads, scale, seed = task
+
+    def compute() -> Table1Row:
+        recorded = record_cached(app, threads=threads, scale=scale, seed=seed)
         analysis = analyze_pairs(recorded.trace)
         breakdown: UlcpBreakdown = analysis.breakdown
         locks = sum(len(uids) for uids in recorded.trace.lock_schedule.values())
-        result.rows_by_app[app] = Table1Row(
+        return Table1Row(
             app=app,
             locks=locks,
             null_lock=breakdown.null_lock,
@@ -67,11 +70,23 @@ def run(*, threads: int = 2, scale: float = 1.0, seed: int = 0) -> Table1Result:
             benign=breakdown.benign,
             tlcp=breakdown.tlcp,
         )
+
+    params = {"app": app, "threads": threads, "scale": scale, "seed": seed}
+    return memoized("table1.cell", params, compute)
+
+
+def run(
+    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1
+) -> Table1Result:
+    tasks = [(app, threads, scale, seed) for app in TABLE1_ORDER]
+    result = Table1Result()
+    for row in parallel_map(_cell, tasks, jobs=jobs):
+        result.rows_by_app[row.app] = row
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

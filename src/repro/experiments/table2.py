@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.experiments.runner import debug_app, format_table, percent
+from repro.runner import memoized, parallel_map
 
 #: the apps Table 2 lists
 APPS = (
@@ -54,21 +55,34 @@ class Table2Result:
         )
 
 
-def run(*, threads: int = 2, scale: float = 1.0, seed: int = 0) -> Table2Result:
-    result = Table2Result()
-    for app in APPS:
+def _cell(task) -> Table2Row:
+    app, threads, scale, seed = task
+
+    def compute() -> Table2Row:
         report = debug_app(app, threads=threads, scale=scale, seed=seed).report
         top = report.most_beneficial
-        result.rows_by_app[app] = Table2Row(
+        return Table2Row(
             app=app,
             grouped_ulcps=len(report.recommendations),
             top_p=top.p if top else 0.0,
         )
+
+    params = {"app": app, "threads": threads, "scale": scale, "seed": seed}
+    return memoized("table2.cell", params, compute)
+
+
+def run(
+    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1
+) -> Table2Result:
+    tasks = [(app, threads, scale, seed) for app in APPS]
+    result = Table2Result()
+    for row in parallel_map(_cell, tasks, jobs=jobs):
+        result.rows_by_app[row.app] = row
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

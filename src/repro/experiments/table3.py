@@ -18,10 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.analysis import transform
 from repro.experiments.runner import format_table, percent
 from repro.replay import Replayer
-from repro.workloads import get_workload, workload_names
+from repro.runner import memoized, parallel_map, record_cached, transform_cached
+from repro.workloads import workload_names
 
 
 @dataclass
@@ -53,37 +53,49 @@ class Table3Result:
         return max((r.with_dls for r in self.rows_by_app.values()), default=0.0)
 
 
-def run(
-    *,
-    apps: Sequence[str] = None,
-    threads: int = 2,
-    scale: float = 1.0,
-    seed: int = 0,
-) -> Table3Result:
-    if apps is None:
-        apps = workload_names(category="parsec")
-    replayer = Replayer(jitter=0.0)
-    result = Table3Result()
-    for app in apps:
-        recorded = get_workload(app, threads=threads, scale=scale, seed=seed).record()
-        transformed = transform(recorded.trace)
+def _cell(task) -> Table3Row:
+    app, threads, scale, seed = task
+
+    def compute() -> Table3Row:
+        replayer = Replayer(jitter=0.0)
+        recorded = record_cached(app, threads=threads, scale=scale, seed=seed)
+        transformed = transform_cached(recorded.trace)
         ideal = replayer.replay_transformed(
             transformed, mode="dls", flag_cost=0, lock_cost=0
         )
         lockset = replayer.replay_transformed(transformed, mode="lockset")
         dls = replayer.replay_transformed(transformed, mode="dls")
         base = max(1, ideal.end_time)
-        result.rows_by_app[app] = Table3Row(
+        return Table3Row(
             app=app,
             without_dls=max(0.0, (lockset.end_time - base) / base),
             with_dls=max(0.0, (dls.end_time - base) / base),
             lockset_entries=transformed.plan.total_lockset_entries(),
         )
+
+    params = {"app": app, "threads": threads, "scale": scale, "seed": seed}
+    return memoized("table3.cell", params, compute)
+
+
+def run(
+    *,
+    apps: Sequence[str] = None,
+    threads: int = 2,
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: int = 1,
+) -> Table3Result:
+    if apps is None:
+        apps = workload_names(category="parsec")
+    tasks = [(app, threads, scale, seed) for app in apps]
+    result = Table3Result()
+    for row in parallel_map(_cell, tasks, jobs=jobs):
+        result.rows_by_app[row.app] = row
     return result
 
 
-def main():
-    print(run().render())
+def main(*, jobs: int = 1):
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

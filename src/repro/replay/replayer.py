@@ -33,6 +33,12 @@ from repro.trace.trace import Trace
 from repro.util.rng import derive_rng
 
 
+def _replay_task(task):
+    """One seeded replay; module-level so the worker pool can pickle it."""
+    trace, scheme, seed, jitter = task
+    return Replayer(jitter=jitter).replay(trace, scheme=scheme, seed=seed)
+
+
 class Replayer:
     """Replays original and ULCP-free traces."""
 
@@ -71,12 +77,28 @@ class Replayer:
         )
 
     def replay_many(
-        self, trace: Trace, *, scheme: str = ELSC_S, runs: int = 10, base_seed: int = 0
+        self,
+        trace: Trace,
+        *,
+        scheme: str = ELSC_S,
+        runs: int = 10,
+        base_seed: int = 0,
+        jobs: int = 1,
     ) -> ReplaySeries:
-        """Replay a trace several times with distinct seeds."""
+        """Replay a trace several times with distinct seeds.
+
+        ``jobs=N`` fans the repeated replays out over a worker pool
+        (each replay is an independent, seeded deterministic run); the
+        series order is by seed either way, so parallel results are
+        identical to serial ones.
+        """
+        from repro.runner import parallel_map
+
+        tasks = [
+            (trace, scheme, base_seed + i, self.jitter) for i in range(runs)
+        ]
         series = ReplaySeries(scheme=scheme)
-        for i in range(runs):
-            series.runs.append(self.replay(trace, scheme=scheme, seed=base_seed + i))
+        series.runs.extend(parallel_map(_replay_task, tasks, jobs=jobs))
         return series
 
     # --------------------------------------------------------- transformed

@@ -1,0 +1,42 @@
+"""Parallel execution + content-addressed caching for the pipeline.
+
+The substrate every scaling feature builds on:
+
+* :mod:`repro.runner.pool` — deterministic ``multiprocessing`` fan-out
+  (``jobs=N`` output is bit-for-bit identical to serial),
+* :mod:`repro.runner.cache` — content-addressed on-disk cache of
+  recorded traces (compressed JSONL) and derived results (pickled),
+* :mod:`repro.runner.keys` — stable cache keys folding in workload
+  parameters, seeds, and the package's own code version.
+"""
+
+from repro.runner.cache import (
+    CacheInfo,
+    TraceCache,
+    active,
+    configure,
+    default_cache_dir,
+    memoized,
+    record_cached,
+    transform_cached,
+    use_cache,
+)
+from repro.runner.keys import cache_key, code_version, trace_digest
+from repro.runner.pool import effective_jobs, parallel_map
+
+__all__ = [
+    "CacheInfo",
+    "TraceCache",
+    "active",
+    "configure",
+    "default_cache_dir",
+    "memoized",
+    "record_cached",
+    "transform_cached",
+    "use_cache",
+    "cache_key",
+    "code_version",
+    "trace_digest",
+    "effective_jobs",
+    "parallel_map",
+]

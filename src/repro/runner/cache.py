@@ -1,0 +1,300 @@
+"""Content-addressed on-disk cache for traces and derived results.
+
+Layout under the cache root::
+
+    <root>/traces/<key[:2]>/<key>.jsonl.gz   recorded traces (streamed)
+    <root>/blobs/<key[:2]>/<key>.pkl.gz      derived results (pickled)
+
+Traces use the compressed JSONL format of :mod:`repro.trace.serialize`
+(human-inspectable with ``zcat``); derived artifacts — machine
+accounting, transformation results, experiment cell outputs — are
+gzip-pickled.  Both are keyed by :func:`repro.runner.keys.cache_key`,
+which folds in the package's code version, so stale entries from an
+older checkout can never be returned.  Writes are atomic (temp file +
+rename), so a crashed or parallel writer never leaves a torn entry.
+
+The *active* cache is module-level state configured once per process
+(:func:`configure`); worker processes inherit it through the pool
+initializer in :mod:`repro.runner.pool`.  It defaults to disabled unless
+``REPRO_CACHE_DIR`` is set, keeping library use hermetic; the CLI
+enables it per invocation (``--cache-dir`` / ``--no-cache``).
+
+High-level cached entry points:
+
+* :func:`record_cached` — record a registered workload, backed by the
+  trace cache (plus a blob for the recording machine's accounting);
+* :func:`transform_cached` — ULCP transformation keyed by the input
+  trace's content digest;
+* :func:`memoized` — generic derived-result memoization used by the
+  experiment cells.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gzip
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.runner.keys import cache_key, trace_digest
+from repro.trace import serialize
+from repro.trace.trace import Trace
+
+#: environment override for the default cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: cwd-relative default so the cache lives next to the project using it
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.cwd() / DEFAULT_CACHE_DIRNAME
+
+
+@dataclass
+class CacheInfo:
+    """Summary of a cache directory's contents."""
+
+    root: Path
+    traces: int
+    blobs: int
+    total_bytes: int
+
+    def render(self) -> str:
+        return (
+            f"cache root : {self.root}\n"
+            f"traces     : {self.traces}\n"
+            f"blobs      : {self.blobs}\n"
+            f"total size : {self.total_bytes / 1024:.1f} KiB"
+        )
+
+
+class TraceCache:
+    """Content-addressed trace + derived-result store."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- traces
+
+    def trace_path(self, key: str) -> Path:
+        return self.root / "traces" / key[:2] / f"{key}.jsonl.gz"
+
+    def get_trace(self, key: str) -> Optional[Trace]:
+        path = self.trace_path(key)
+        if not path.exists():
+            return None
+        try:
+            return serialize.load(path)
+        except Exception:
+            # a corrupt entry is a miss, not an error: drop it and recompute
+            path.unlink(missing_ok=True)
+            return None
+
+    def put_trace(self, key: str, trace: Trace) -> Path:
+        path = self.trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # tmp name keeps the .gz suffix so dump() picks the gzip writer
+        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+        try:
+            serialize.dump(trace, tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    # -------------------------------------------------------------- blobs
+
+    def blob_path(self, key: str) -> Path:
+        return self.root / "blobs" / key[:2] / f"{key}.pkl.gz"
+
+    def get_blob(self, key: str):
+        path = self.blob_path(key)
+        if not path.exists():
+            return None
+        try:
+            with gzip.open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # a corrupt entry is a miss, not an error: drop it and recompute
+            path.unlink(missing_ok=True)
+            return None
+
+    def put_blob(self, key: str, value) -> Path:
+        path = self.blob_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+        try:
+            with gzip.open(tmp, "wb", compresslevel=1) as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    # ------------------------------------------------------- maintenance
+
+    def _entries(self):
+        for sub in ("traces", "blobs"):
+            base = self.root / sub
+            if base.exists():
+                yield from (p for p in base.rglob("*") if p.is_file())
+
+    def info(self) -> CacheInfo:
+        traces = blobs = total = 0
+        for path in self._entries():
+            total += path.stat().st_size
+            if path.name.endswith(".jsonl.gz"):
+                traces += 1
+            elif path.name.endswith(".pkl.gz"):
+                blobs += 1
+        return CacheInfo(root=self.root, traces=traces, blobs=blobs, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path in list(self._entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------- active cache
+
+_ACTIVE: Optional[TraceCache] = None
+
+
+def configure(root: Optional[Union[str, Path]]) -> Optional[TraceCache]:
+    """Set the process-wide active cache (``None`` disables caching)."""
+    global _ACTIVE
+    _ACTIVE = TraceCache(root) if root is not None else None
+    return _ACTIVE
+
+
+def active() -> Optional[TraceCache]:
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_cache(root: Optional[Union[str, Path]]):
+    """Temporarily activate (or disable, with ``None``) a cache."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = TraceCache(root) if root is not None else None
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+if os.environ.get(CACHE_DIR_ENV):
+    configure(default_cache_dir())
+
+
+# ----------------------------------------------------------- cached pipeline
+
+
+def memoized(kind: str, params: dict, compute: Callable[[], object]):
+    """Return the cached result of ``compute`` or run and cache it.
+
+    ``params`` must capture everything the computation depends on (the
+    code version is mixed in automatically).  With no active cache this
+    is just ``compute()``.
+    """
+    cache = active()
+    if cache is None:
+        return compute()
+    key = cache_key(kind, **params)
+    hit = cache.get_blob(key)
+    if hit is not None:
+        return hit
+    value = compute()
+    cache.put_blob(key, value)
+    return value
+
+
+def record_cached(
+    name: str,
+    *,
+    threads: int = 2,
+    input_size: str = "simlarge",
+    scale: float = 1.0,
+    seed: int = 0,
+    num_cores: Optional[int] = None,
+    lock_cost: Optional[int] = None,
+    mem_cost: Optional[int] = None,
+    workload_kwargs: Optional[dict] = None,
+):
+    """Record a registered workload, backed by the trace cache.
+
+    Returns a :class:`~repro.record.recorder.RecordResult`.  The trace is
+    stored in the ``.jsonl.gz`` trace cache and the recording machine's
+    accounting as a companion blob; a hit skips the recording run
+    entirely.  Recording is deterministic per (workload, params, seed),
+    so a cache hit is bit-for-bit the trace a fresh recording would
+    produce.
+    """
+    from repro.record.recorder import RecordResult
+    from repro.workloads import get_workload
+
+    kwargs = dict(workload_kwargs or {})
+    record_kwargs = {}
+    if num_cores is not None:
+        record_kwargs["num_cores"] = num_cores
+    if lock_cost is not None:
+        record_kwargs["lock_cost"] = lock_cost
+    if mem_cost is not None:
+        record_kwargs["mem_cost"] = mem_cost
+
+    def fresh() -> RecordResult:
+        workload = get_workload(
+            name, threads=threads, input_size=input_size, scale=scale, seed=seed,
+            **kwargs,
+        )
+        return workload.record(**record_kwargs)
+
+    cache = active()
+    if cache is None:
+        return fresh()
+    key = cache_key(
+        "record",
+        name=name,
+        threads=threads,
+        input_size=input_size,
+        scale=scale,
+        seed=seed,
+        workload_kwargs=kwargs,
+        **record_kwargs,
+    )
+    trace = cache.get_trace(key)
+    machine_result = cache.get_blob(key)
+    if trace is not None and machine_result is not None:
+        return RecordResult(trace=trace, machine_result=machine_result)
+    recorded = fresh()
+    cache.put_trace(key, recorded.trace)
+    cache.put_blob(key, recorded.machine_result)
+    return recorded
+
+
+def transform_cached(trace: Trace, **options):
+    """ULCP transformation backed by the blob cache.
+
+    Keyed by the input trace's content digest plus the transformation
+    options, so any change to the trace or the code invalidates the
+    entry.
+    """
+    from repro.analysis.transform import transform
+
+    cache = active()
+    if cache is None:
+        return transform(trace, **options)
+    return memoized(
+        "transform",
+        {"trace": trace_digest(trace), "options": options},
+        lambda: transform(trace, **options),
+    )

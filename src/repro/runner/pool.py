@@ -1,0 +1,65 @@
+"""Deterministic multiprocessing fan-out for experiment cells.
+
+:func:`parallel_map` is an order-preserving ``map`` over a worker pool.
+Determinism is by construction:
+
+* every cell is a pure function of its (picklable) task — all seeds are
+  fixed inside the task, no worker-local RNG state leaks in,
+* results come back in task order (``Pool.map``), so building an output
+  dict/list from them reproduces the serial insertion order exactly,
+* the active trace cache is re-configured inside each worker via the
+  pool initializer (safe under both fork and spawn start methods).
+
+Hence ``jobs=N`` output is bit-for-bit identical to ``jobs=1`` — the
+property the determinism tests pin down.
+
+Cell functions must be module-level (picklable by reference).  With
+``jobs<=1`` or a single task everything runs inline in the parent, which
+is also the fallback the tests compare against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def effective_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request: ``None``/``0``/negative mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _worker_init(cache_root: Optional[str]) -> None:
+    from repro.runner import cache
+
+    cache.configure(cache_root)
+
+
+def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], *, jobs: int = 1) -> List[R]:
+    """Apply ``fn`` to every task, fanning out over ``jobs`` processes.
+
+    Results are returned in task order regardless of completion order.
+    ``fn`` must be a module-level function and tasks/results picklable.
+    """
+    tasks = list(tasks)
+    jobs = effective_jobs(jobs) if jobs != 1 else 1
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+
+    from repro.runner import cache
+
+    active = cache.active()
+    cache_root = str(active.root) if active is not None else None
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        processes=min(jobs, len(tasks)),
+        initializer=_worker_init,
+        initargs=(cache_root,),
+    ) as pool:
+        return pool.map(fn, tasks, chunksize=1)

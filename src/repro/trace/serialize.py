@@ -1,17 +1,35 @@
-"""JSONL (de)serialization of traces.
+"""JSONL (de)serialization of traces, plain or gzip-compressed.
 
-Format: the first line is the metadata object (``{"meta": ...}``), the
-second is the lock schedule (``{"lock_schedule": ...}``), and every
-subsequent line is one event in per-thread record order, interleaved in
-the order events were appended during recording.
+Format — one JSON object per line:
+
+1. ``{"meta": ...}`` — the recording parameters,
+2. ``{"lock_schedule": ...}`` — the per-lock acquire-uid grant order,
+3. ``{"threads": [...], "events": N}`` — the declared thread ids (in
+   creation order, empty threads included) and the total event count,
+4. optionally ``{"side": ...}`` — the selective-recording side table.
+   The line is a side table only when the object's *single* key is
+   ``"side"``; any other shape is an event,
+5. every subsequent line is one event, thread by thread, in per-thread
+   record order.
+
+Both directions stream: :func:`write_trace` emits line by line into any
+text file object and :func:`read_trace` consumes an iterable of lines,
+so a multi-hundred-MB trace never has to materialize as one string.
+Paths ending in ``.gz`` (the ``.jsonl.gz`` trace format) are transparently
+gzip-compressed with deterministic output (``mtime=0``).
+
+Every event's ``tid`` must name a declared thread: an undeclared tid
+raises :class:`TraceError` instead of silently growing the thread table.
+The ``"events"`` count lets the reader detect a truncated body.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 import json
 from pathlib import Path
-from typing import Union
+from typing import IO, Iterable, Iterator, Union
 
 from repro.errors import TraceError
 from repro.trace.events import TraceEvent
@@ -19,52 +37,129 @@ from repro.trace.selective import SideTable
 from repro.trace.trace import Trace, TraceMeta
 
 
-def dumps(trace: Trace) -> str:
-    """Serialize a trace to a JSONL string."""
-    out = io.StringIO()
+def write_trace(trace: Trace, out: IO[str]) -> None:
+    """Stream a trace into ``out`` (any text file object), line by line."""
     out.write(json.dumps({"meta": trace.meta.encode()}) + "\n")
     out.write(json.dumps({"lock_schedule": trace.lock_schedule}) + "\n")
-    out.write(json.dumps({"threads": list(trace.threads)}) + "\n")
+    out.write(
+        json.dumps({"threads": list(trace.threads), "events": len(trace)}) + "\n"
+    )
     if trace.side.deltas:
         out.write(json.dumps({"side": trace.side.encode()}) + "\n")
     for event in trace.iter_events():
         out.write(json.dumps(event.encode()) + "\n")
-    return out.getvalue()
 
 
-def loads(text: str) -> Trace:
-    """Deserialize a trace from a JSONL string."""
-    lines = [line for line in text.splitlines() if line.strip()]
-    if len(lines) < 3:
-        raise TraceError("truncated trace: missing header lines")
-    header = json.loads(lines[0])
-    schedule = json.loads(lines[1])
-    threads = json.loads(lines[2])
+def read_trace(lines: Iterable[str]) -> Trace:
+    """Build a trace from an iterable of JSONL lines (streaming).
+
+    Raises :class:`TraceError` on malformed JSON, missing headers, a
+    malformed side-table line, an event whose tid was not declared in the
+    ``{"threads": ...}`` header, or a truncated body (fewer events than
+    the header's ``"events"`` count).
+    """
+    stream: Iterator[dict] = _parse_lines(lines)
+    try:
+        header = next(stream)
+        schedule = next(stream)
+        threads = next(stream)
+    except StopIteration:
+        raise TraceError("truncated trace: missing header lines") from None
     if "meta" not in header or "lock_schedule" not in schedule:
         raise TraceError("malformed trace header")
     trace = Trace(TraceMeta.decode(header["meta"]))
     for tid in threads.get("threads", []):
         trace.add_thread(tid)
-    body_lines = lines[3:]
-    if body_lines and "side" in json.loads(body_lines[0]):
-        trace.side = SideTable.decode(json.loads(body_lines[0])["side"])
-        body_lines = body_lines[1:]
-    for line in body_lines:
-        event = TraceEvent.decode(json.loads(line))
+    expected_events = threads.get("events")
+
+    seen_events = 0
+    first_body = True
+    for data in stream:
+        if first_body:
+            first_body = False
+            # A side table is exactly the single-key object {"side": ...}.
+            # Events always carry uid/tid/kind/t, so shape disambiguates
+            # even if an event payload ever contains a "side" key.
+            if set(data) == {"side"}:
+                try:
+                    trace.side = SideTable.decode(data["side"])
+                except (TypeError, AttributeError, KeyError) as exc:
+                    raise TraceError(f"malformed side table: {exc}") from None
+                continue
+        try:
+            event = TraceEvent.decode(data)
+        except (KeyError, TypeError) as exc:
+            raise TraceError(f"malformed event line: {exc}") from None
+        if event.tid not in trace.threads:
+            raise TraceError(
+                f"event {event.uid} references undeclared thread {event.tid!r}"
+            )
         # append() would re-derive the lock schedule; bypass it and install
         # the recorded schedule verbatim below.
-        trace.threads.setdefault(event.tid, []).append(event)
+        trace.threads[event.tid].append(event)
+        seen_events += 1
+    if expected_events is not None and seen_events != expected_events:
+        raise TraceError(
+            f"truncated trace body: {seen_events} of {expected_events} events"
+        )
     trace.lock_schedule = {
         lock: list(uids) for lock, uids in schedule["lock_schedule"].items()
     }
     return trace
 
 
+def _parse_lines(lines: Iterable[str]) -> Iterator[dict]:
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"malformed trace line: {exc}") from None
+        if not isinstance(data, dict):
+            raise TraceError(f"malformed trace line: expected object, got {data!r}")
+        yield data
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize a trace to a JSONL string (thin wrapper over the writer)."""
+    out = io.StringIO()
+    write_trace(trace, out)
+    return out.getvalue()
+
+
+def loads(text: str) -> Trace:
+    """Deserialize a trace from a JSONL string."""
+    return read_trace(text.splitlines())
+
+
+def _is_gzip(path: Path) -> bool:
+    return path.suffix == ".gz"
+
+
 def dump(trace: Trace, path: Union[str, Path]) -> None:
-    """Write a trace to a file."""
-    Path(path).write_text(dumps(trace), encoding="utf-8")
+    """Write a trace to a file, streaming (gzip when the path ends in .gz)."""
+    path = Path(path)
+    if _is_gzip(path):
+        # mtime=0 and an empty embedded filename keep the compressed
+        # bytes deterministic per content (same trace -> same file bytes)
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0) as binary:
+                with io.TextIOWrapper(binary, encoding="utf-8") as out:
+                    write_trace(trace, out)
+    else:
+        with open(path, "w", encoding="utf-8") as out:
+            write_trace(trace, out)
 
 
 def load(path: Union[str, Path]) -> Trace:
-    """Read a trace from a file."""
-    return loads(Path(path).read_text(encoding="utf-8"))
+    """Read a trace from a file, streaming (gzip when the path ends in .gz)."""
+    path = Path(path)
+    if _is_gzip(path):
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                return read_trace(handle)
+        except (EOFError, gzip.BadGzipFile) as exc:
+            raise TraceError(f"corrupt gzip trace file {path}: {exc}") from None
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_trace(handle)

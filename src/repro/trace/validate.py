@@ -32,9 +32,18 @@ def problems(trace: Trace) -> List[str]:
             posts[event.token] = event
 
     for tid, events in trace.threads.items():
+        # A declared-but-empty thread is legal (serialization preserves the
+        # declaration), but every event filed under a thread must carry
+        # that thread's tid — a mismatch means the container was built by
+        # bypassing add_thread/append bookkeeping.
         held = set()
         last_t = -1
         for i, event in enumerate(events):
+            if event.tid != tid:
+                issues.append(
+                    f"{tid}: event {event.uid} filed under wrong thread "
+                    f"(tid={event.tid!r})"
+                )
             if event.t < last_t:
                 issues.append(
                     f"{tid}: event {event.uid} at t={event.t} before t={last_t}"

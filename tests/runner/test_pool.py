@@ -1,0 +1,91 @@
+"""Worker pool: ordering, job resolution, and parallel == serial output."""
+
+from repro.runner import effective_jobs, parallel_map
+from repro.runner import cache as cache_mod
+
+
+def _square(task):
+    return task * task
+
+
+def _tag(task):
+    import os
+
+    return (task, os.getpid())
+
+
+def _cache_root(_task):
+    store = cache_mod.active()
+    return str(store.root) if store is not None else None
+
+
+class TestParallelMap:
+    def test_preserves_order_serial(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_preserves_order_parallel(self):
+        tasks = list(range(20))
+        assert parallel_map(_square, tasks, jobs=4) == [t * t for t in tasks]
+
+    def test_parallel_matches_serial(self):
+        tasks = list(range(12))
+        assert parallel_map(_square, tasks, jobs=3) == parallel_map(
+            _square, tasks, jobs=1
+        )
+
+    def test_empty_and_single(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [5], jobs=4) == [25]
+
+    def test_workers_inherit_active_cache(self, tmp_path):
+        with cache_mod.use_cache(tmp_path):
+            roots = parallel_map(_cache_root, [0, 1], jobs=2)
+        assert roots == [str(tmp_path), str(tmp_path)]
+
+    def test_no_cache_propagated_when_disabled(self):
+        with cache_mod.use_cache(None):
+            assert parallel_map(_cache_root, [0, 1], jobs=2) == [None, None]
+
+
+class TestEffectiveJobs:
+    def test_explicit_value_kept(self):
+        assert effective_jobs(3) == 3
+
+    def test_zero_and_none_mean_cpu_count(self):
+        import os
+
+        expected = os.cpu_count() or 1
+        assert effective_jobs(0) == expected
+        assert effective_jobs(None) == expected
+
+
+class TestExperimentDeterminism:
+    def test_figure2_parallel_matches_serial(self):
+        from repro.experiments import figure2
+
+        serial = figure2.run(thread_counts=(2, 4), jobs=1).render()
+        parallel = figure2.run(thread_counts=(2, 4), jobs=4).render()
+        assert parallel == serial
+
+    def test_table1_parallel_matches_serial_with_cache(self, tmp_path):
+        from repro.experiments import table1
+
+        serial = table1.run(scale=0.5, jobs=1).render()
+        with cache_mod.use_cache(tmp_path):
+            cold = table1.run(scale=0.5, jobs=4).render()
+            warm = table1.run(scale=0.5, jobs=1).render()
+        assert cold == serial
+        assert warm == serial
+
+    def test_replay_many_parallel_matches_serial(self):
+        from repro.replay import ELSC_S, Replayer
+        from repro.runner import record_cached
+
+        trace = record_cached("pbzip2", threads=2, seed=0).trace
+        replayer = Replayer(jitter=0.02)
+        serial = replayer.replay_many(trace, scheme=ELSC_S, runs=4, jobs=1)
+        parallel = replayer.replay_many(trace, scheme=ELSC_S, runs=4, jobs=2)
+        assert [r.end_time for r in parallel.runs] == [
+            r.end_time for r in serial.runs
+        ]
+        assert [r.seed for r in parallel.runs] == [r.seed for r in serial.runs]

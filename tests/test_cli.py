@@ -45,8 +45,37 @@ class TestCli:
         assert main(["experiment", "nope"]) == 2
 
     def test_experiment_runs(self, capsys):
-        assert main(["experiment", "table1"]) == 0
+        assert main(["experiment", "table1", "--no-cache"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_jobs_matches_serial(self, tmp_path, capsys):
+        assert main(["experiment", "figure2", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiment", "figure2", "--no-cache", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_experiment_populates_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "experiment", "table1", "--cache-dir", cache_dir, "--jobs", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        info = capsys.readouterr().out
+        assert "traces     : 16" in info
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "traces     : 0" in capsys.readouterr().out
+
+    def test_replay_jobs_flag(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl.gz")
+        assert main(["record", "pbzip2", "-o", trace_file]) == 0
+        capsys.readouterr()
+        assert main(["replay", trace_file, "--runs", "2", "--jobs", "2"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["replay", trace_file, "--runs", "2", "--jobs", "1"]) == 0
+        assert capsys.readouterr().out == serial_out
 
     def test_sensitivity(self, capsys):
         assert main([

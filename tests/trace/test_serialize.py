@@ -1,0 +1,210 @@
+"""Serialization round-trips, malformed-input rejection, and .jsonl.gz I/O."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.record import record
+from repro.sim import Acquire, Compute, Opaque, Read, Release, Store, Write
+from repro.trace import CodeSite, Trace, dumps, loads, validate
+from repro.trace import serialize
+
+SITE = CodeSite("demo.c", 7, "worker")
+
+
+def nested_lock_pair():
+    """Two threads with nested critical sections (outer holds inner)."""
+
+    def prog():
+        yield Acquire(lock="outer", site=SITE)
+        yield Acquire(lock="inner", site=SITE)
+        yield Write("x", op=Store(1), site=SITE)
+        yield Release(lock="inner", site=SITE)
+        yield Compute(50, site=SITE)
+        yield Release(lock="outer", site=SITE)
+
+    return [(prog(), "alpha"), (prog(), "beta")]
+
+
+def rwlock_trio():
+    """Two shared readers and one exclusive writer on one rwlock."""
+
+    def reader():
+        yield Acquire(lock="rw", shared=True, site=SITE)
+        yield Read("x", site=SITE)
+        yield Compute(40, site=SITE)
+        yield Release(lock="rw", site=SITE)
+
+    def writer():
+        yield Compute(10, site=SITE)
+        yield Acquire(lock="rw", site=SITE)
+        yield Write("x", op=Store(5), site=SITE)
+        yield Release(lock="rw", site=SITE)
+
+    return [(reader(), "r0"), (reader(), "r1"), (writer(), "w")]
+
+
+def opaque_pair():
+    """A bypassed range recorded as a sleep + side-table state delta."""
+
+    def prog():
+        yield Compute(20, site=SITE)
+        yield Opaque(duration=100, changes={"buf": 3}, site=SITE)
+        yield Read("buf", site=SITE)
+
+    return [(prog(), "t0"), (prog(), "t1")]
+
+
+def assert_identical(trace, clone):
+    assert clone.meta.encode() == trace.meta.encode()
+    assert clone.thread_ids == trace.thread_ids
+    assert clone.lock_schedule == trace.lock_schedule
+    assert clone.end_time == trace.end_time
+    assert [e.encode() for e in trace.iter_events()] == [
+        e.encode() for e in clone.iter_events()
+    ]
+    assert clone.side.encode() == trace.side.encode()
+
+
+class TestRoundTrip:
+    def test_nested_locks(self):
+        trace = record(nested_lock_pair(), name="nested").trace
+        clone = loads(dumps(trace))
+        assert_identical(trace, clone)
+        validate(clone)
+
+    def test_rwlock_shared_acquires(self):
+        trace = record(rwlock_trio(), name="rw").trace
+        clone = loads(dumps(trace))
+        assert_identical(trace, clone)
+        shared = [e for e in clone.iter_events() if e.shared]
+        assert len(shared) == 2
+
+    def test_opaque_range_side_table(self):
+        trace = record(opaque_pair(), name="opaque").trace
+        assert trace.side.deltas, "opaque range must produce a side table"
+        clone = loads(dumps(trace))
+        assert_identical(trace, clone)
+        assert clone.side.deltas[0].changes == {"buf": 3}
+
+    def test_declared_but_empty_thread(self):
+        trace = record(nested_lock_pair(), name="empty-thread").trace
+        trace.add_thread("idle")
+        clone = loads(dumps(trace))
+        assert "idle" in clone.thread_ids
+        assert clone.threads["idle"] == []
+        validate(clone)  # declared-but-empty threads are legal
+
+    def test_dumps_matches_streaming_writer(self):
+        import io
+
+        trace = record(nested_lock_pair(), name="stream").trace
+        out = io.StringIO()
+        serialize.write_trace(trace, out)
+        assert dumps(trace) == out.getvalue()
+
+
+class TestMalformedInput:
+    def _lines(self, trace):
+        return dumps(trace).splitlines()
+
+    def test_undeclared_tid_rejected(self):
+        trace = record(nested_lock_pair(), name="bad-tid").trace
+        lines = self._lines(trace)
+        event = json.loads(lines[-1])
+        event["tid"] = "ghost"
+        lines[-1] = json.dumps(event)
+        with pytest.raises(TraceError, match="undeclared thread"):
+            loads("\n".join(lines))
+
+    def test_truncated_body_rejected(self):
+        trace = record(nested_lock_pair(), name="truncated").trace
+        lines = self._lines(trace)
+        with pytest.raises(TraceError, match="truncated trace body"):
+            loads("\n".join(lines[:-2]))
+
+    def test_missing_headers_rejected(self):
+        with pytest.raises(TraceError, match="missing header"):
+            loads('{"meta": {}}')
+
+    def test_corrupt_side_line_rejected(self):
+        trace = record(opaque_pair(), name="bad-side").trace
+        lines = self._lines(trace)
+        assert set(json.loads(lines[3])) == {"side"}
+        lines[3] = '{"side": 42}'
+        with pytest.raises(TraceError, match="malformed side table"):
+            loads("\n".join(lines))
+
+    def test_non_json_line_rejected(self):
+        trace = record(nested_lock_pair(), name="bad-json").trace
+        lines = self._lines(trace)
+        lines[-1] = "not json at all"
+        with pytest.raises(TraceError, match="malformed trace line"):
+            loads("\n".join(lines))
+
+    def test_non_object_line_rejected(self):
+        trace = record(nested_lock_pair(), name="bad-shape").trace
+        lines = self._lines(trace)
+        lines.append("[1, 2, 3]")
+        with pytest.raises(TraceError, match="expected object"):
+            loads("\n".join(lines))
+
+    def test_event_with_stray_side_key_is_an_event(self):
+        # Only a *single-key* {"side": ...} object is a side table; an
+        # event line is identified by its full shape even as first body
+        # line, so a malformed event with a stray key errors as an event.
+        trace = record(nested_lock_pair(), name="shape").trace
+        lines = self._lines(trace)
+        event = json.loads(lines[3])
+        event["side"] = {"deltas": []}
+        lines[3] = json.dumps(event)
+        clone = loads("\n".join(lines))
+        assert not clone.side.deltas
+        assert len(clone) == len(trace)
+
+
+class TestFileIO:
+    def test_plain_jsonl_round_trip(self, tmp_path):
+        trace = record(nested_lock_pair(), name="plain").trace
+        path = tmp_path / "t.jsonl"
+        serialize.dump(trace, path)
+        assert path.read_text().startswith('{"meta"')
+        assert_identical(trace, serialize.load(path))
+
+    def test_gzip_round_trip(self, tmp_path):
+        trace = record(rwlock_trio(), name="gz").trace
+        path = tmp_path / "t.jsonl.gz"
+        serialize.dump(trace, path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.readline().startswith('{"meta"')
+        assert_identical(trace, serialize.load(path))
+
+    def test_gzip_bytes_deterministic(self, tmp_path):
+        trace = record(nested_lock_pair(), name="det").trace
+        a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        serialize.dump(trace, a)
+        serialize.dump(trace, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_gzip_smaller_than_plain(self, tmp_path):
+        trace = record(nested_lock_pair(), name="size").trace
+        plain, packed = tmp_path / "t.jsonl", tmp_path / "t.jsonl.gz"
+        serialize.dump(trace, plain)
+        serialize.dump(trace, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
+
+class TestValidateWrongThread:
+    def test_event_filed_under_wrong_thread_reported(self):
+        from repro.trace import COMPUTE, TraceEvent
+        from repro.trace.validate import problems
+
+        trace = Trace()
+        trace.add_thread("t0")
+        trace.add_thread("t1")
+        trace.threads["t0"].append(
+            TraceEvent(uid="e0", tid="t1", kind=COMPUTE, t=0, duration=1)
+        )
+        assert any("wrong thread" in issue for issue in problems(trace))

@@ -32,6 +32,14 @@ Commands
     Per-category fix strategies with measured gains; apply one and verify.
 ``selfcheck WORKLOAD``
     Verify the pipeline invariants (determinism, exact ELSC replay, ...).
+``faults list | faults demo``
+    Show the fault-injection sites, or run the end-to-end recovery demo
+    (worker crash retried, poison task quarantined, truncated trace
+    salvaged).
+
+Every command that reads a TRACE file accepts ``--salvage`` to recover
+the longest well-formed prefix of a damaged file instead of failing
+(``--strict``, the default, rejects any damage).
 """
 
 from __future__ import annotations
@@ -52,6 +60,30 @@ def _add_workload_options(parser):
                         choices=("simsmall", "simmedium", "simlarge"))
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_trace_options(parser):
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--salvage", action="store_true",
+                      help="recover the longest well-formed prefix of a "
+                           "damaged trace file instead of failing")
+    mode.add_argument("--strict", dest="salvage", action="store_false",
+                      help="reject any damage in the trace file (default)")
+    parser.set_defaults(salvage=False)
+
+
+def _load_trace(path, args):
+    """Load a trace honouring the command's ``--salvage``/``--strict``."""
+    import warnings
+
+    if not getattr(args, "salvage", False):
+        return serialize.load(path)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        loaded = serialize.load_trace(path, salvage=True)
+    if loaded.report is not None and not loaded.report.clean:
+        print(f"salvage: {loaded.report.render()}", file=sys.stderr)
+    return loaded.trace
 
 
 def _workload_from(args):
@@ -94,7 +126,7 @@ def cmd_record(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    trace = serialize.load(args.trace)
+    trace = _load_trace(args.trace, args)
     replayer = Replayer(jitter=args.jitter)
     series = replayer.replay_many(
         trace, scheme=args.scheme, runs=args.runs, base_seed=args.seed,
@@ -112,7 +144,7 @@ def cmd_replay(args) -> int:
 def cmd_transform(args) -> int:
     from repro.analysis.transform import transform
 
-    trace = serialize.load(args.trace)
+    trace = _load_trace(args.trace, args)
     result = transform(trace)
     breakdown = result.analysis.breakdown
     print(f"critical sections : {len(result.sections)}")
@@ -135,7 +167,7 @@ def cmd_transform(args) -> int:
 def cmd_debug(args) -> int:
     perfplay = PerfPlay(jitter=args.jitter)
     if args.trace:
-        trace = serialize.load(args.trace)
+        trace = _load_trace(args.trace, args)
         report = perfplay.analyze(trace, seed=args.seed)
     else:
         if not args.workload:
@@ -150,7 +182,7 @@ def cmd_debug(args) -> int:
 def cmd_timeline(args) -> int:
     from repro.trace.render import render_timeline
 
-    trace = serialize.load(args.trace)
+    trace = _load_trace(args.trace, args)
     print(render_timeline(trace, width=args.width))
     return 0
 
@@ -158,7 +190,7 @@ def cmd_timeline(args) -> int:
 def cmd_stats(args) -> int:
     from repro.trace.stats import trace_stats
 
-    trace = serialize.load(args.trace)
+    trace = _load_trace(args.trace, args)
     print(trace_stats(trace).render())
     return 0
 
@@ -167,7 +199,7 @@ def cmd_advise(args) -> int:
     from repro.perfdebug.advisor import advise
 
     if args.trace:
-        trace = serialize.load(args.trace)
+        trace = _load_trace(args.trace, args)
     else:
         if not args.workload:
             print("advise: need a WORKLOAD or --trace FILE", file=sys.stderr)
@@ -180,7 +212,7 @@ def cmd_advise(args) -> int:
 def cmd_locks(args) -> int:
     from repro.perfdebug.lockstats import profile_locks, render_lock_profiles
 
-    trace = serialize.load(args.trace)
+    trace = _load_trace(args.trace, args)
     print(render_lock_profiles(profile_locks(trace), limit=args.limit))
     return 0
 
@@ -189,7 +221,7 @@ def cmd_fix(args) -> int:
     from repro.perfdebug.rewrite import FIXES, try_fix
 
     if args.trace:
-        trace = serialize.load(args.trace)
+        trace = _load_trace(args.trace, args)
     else:
         if not args.workload:
             print("fix: need a WORKLOAD or --trace FILE", file=sys.stderr)
@@ -208,7 +240,7 @@ def cmd_selfcheck(args) -> int:
     from repro.selfcheck import run_selfcheck
 
     if args.trace:
-        report = run_selfcheck(trace=serialize.load(args.trace))
+        report = run_selfcheck(trace=_load_trace(args.trace, args))
     else:
         if not args.workload:
             print("selfcheck: need a WORKLOAD or --trace FILE", file=sys.stderr)
@@ -222,16 +254,19 @@ def cmd_compare(args) -> int:
     from repro.perfdebug.compare import compare_reports
 
     perfplay = PerfPlay()
-    before = perfplay.analyze(serialize.load(args.before))
-    after = perfplay.analyze(serialize.load(args.after))
+    before = perfplay.analyze(_load_trace(args.before, args))
+    after = perfplay.analyze(_load_trace(args.after, args))
     comparison = compare_reports(before, after)
     print(comparison.render())
     return 0
 
 
 def cmd_experiment(args) -> int:
+    import contextlib
+
+    from repro import faults
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.runner import cache
+    from repro.runner import ExecPolicy, cache
 
     if args.name == "all":
         names = list(ALL_EXPERIMENTS)
@@ -247,11 +282,46 @@ def cmd_experiment(args) -> int:
         root = args.cache_dir
     else:
         root = cache.default_cache_dir()
-    with cache.use_cache(root):
+    policy = None
+    if args.partial or args.retries or args.task_timeout is not None:
+        policy = ExecPolicy(
+            timeout=args.task_timeout,
+            retries=args.retries,
+            partial=args.partial,
+        )
+    injection = contextlib.nullcontext()
+    if args.fault:
+        plan = faults.FaultPlan.parse(args.fault, seed=args.fault_seed)
+        injection = faults.use_plan(plan)
+    with injection, cache.use_cache(root):
         for name in names:
-            ALL_EXPERIMENTS[name].main(jobs=args.jobs)
+            ALL_EXPERIMENTS[name].main(jobs=args.jobs, policy=policy)
             print()
     return 0
+
+
+def cmd_faults(args) -> int:
+    from repro import faults
+
+    if args.action == "list":
+        print("fault injection sites (use with: experiment --fault SPEC,")
+        print("spec syntax: site[@key][:nth=N,times=N,attempt=N,rate=F]):")
+        width = max(len(site) for site in faults.SITES)
+        for site, description in faults.SITES.items():
+            print(f"  {site:<{width}}  {description}")
+        return 0
+    if args.action == "demo":
+        from repro.faults.demo import run_demo
+
+        run_demo(
+            seed=args.seed,
+            jobs=args.jobs,
+            scale=args.scale,
+            enable_faults=not args.no_faults,
+        )
+        return 0
+    print(f"unknown faults action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def cmd_cache(args) -> int:
@@ -296,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("replay", help="replay a trace file")
     p.add_argument("trace")
+    _add_trace_options(p)
     p.add_argument("--scheme", default=ELSC_S, choices=ALL_SCHEMES)
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
@@ -305,33 +376,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("transform", help="ULCP-transform a trace file")
     p.add_argument("trace")
+    _add_trace_options(p)
     p.add_argument("-o", "--output")
 
     p = sub.add_parser("debug", help="full PERFPLAY pipeline")
     p.add_argument("workload", nargs="?")
     p.add_argument("--trace")
+    _add_trace_options(p)
     _add_workload_options(p)
     p.add_argument("--jitter", type=float, default=0.0)
 
     p = sub.add_parser("timeline", help="ASCII timeline of a trace")
     p.add_argument("trace")
+    _add_trace_options(p)
     p.add_argument("--width", type=int, default=72)
 
     p = sub.add_parser("stats", help="structural summary of a trace")
     p.add_argument("trace")
+    _add_trace_options(p)
 
     p = sub.add_parser("advise", help="per-category fix strategies with gains")
     p.add_argument("workload", nargs="?")
     p.add_argument("--trace")
+    _add_trace_options(p)
     _add_workload_options(p)
 
     p = sub.add_parser("locks", help="per-lock contention profile of a trace")
     p.add_argument("trace")
+    _add_trace_options(p)
     p.add_argument("--limit", type=int, default=10)
 
     p = sub.add_parser("fix", help="apply a suggested fix to a trace and measure")
     p.add_argument("workload", nargs="?")
     p.add_argument("--trace")
+    _add_trace_options(p)
     p.add_argument("--lock", required=True)
     p.add_argument("--fix", required=True)
     _add_workload_options(p)
@@ -339,10 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="diff two traces' debug reports (before/after a fix)")
     p.add_argument("before")
     p.add_argument("after")
+    _add_trace_options(p)
 
     p = sub.add_parser("selfcheck", help="verify pipeline invariants on an input")
     p.add_argument("workload", nargs="?")
     p.add_argument("--trace")
+    _add_trace_options(p)
     _add_workload_options(p)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -354,6 +434,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache directory (default: .repro-cache)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the on-disk result cache")
+    p.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-clock budget; a cell past it is "
+                        "terminated (and retried, if --retries)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry budget per cell for crashes/timeouts")
+    p.add_argument("--partial", action="store_true",
+                   help="render failed cells as n/a instead of aborting")
+    p.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                   help="inject a fault (repeatable); see 'repro faults list'")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for rate-based fault rules")
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("info", "clear"))
@@ -365,6 +456,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads-list", type=int, nargs="+", default=[2, 4])
     p.add_argument("--sizes", nargs="+", default=["simsmall", "simlarge"])
     p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("faults",
+                       help="fault-injection sites and the recovery demo")
+    p.add_argument("action", choices=("list", "demo"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=2)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--no-faults", action="store_true",
+                   help="run the demo pipeline with no faults installed "
+                        "(its output must match a plain serial run)")
 
     return parser
 
@@ -385,16 +486,19 @@ COMMANDS = {
     "experiment": cmd_experiment,
     "cache": cmd_cache,
     "sensitivity": cmd_sensitivity,
+    "faults": cmd_faults,
 }
 
 
 def main(argv=None) -> int:
-    from repro.errors import TraceError
+    from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
     try:
         return COMMANDS[args.command](args)
-    except TraceError as exc:
+    except ReproError as exc:
+        # the whole taxonomy renders as one clean line: TraceError,
+        # DeadlockError, FaultInjected, TaskTimeoutError, TaskCrashError, ...
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:

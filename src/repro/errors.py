@@ -33,3 +33,39 @@ class ReplayError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
+
+
+class FaultInjected(ReproError):
+    """A deterministic fault-injection site fired (``repro.faults``)."""
+
+    def __init__(self, site, key=None, note=""):
+        self.site = site
+        self.key = key
+        message = f"injected fault at {site}"
+        if key is not None:
+            message += f" (key={key!r})"
+        if note:
+            message += f": {note}"
+        super().__init__(message)
+
+
+class TaskError(ReproError):
+    """A supervised task failed; carries the task index and repr.
+
+    The supervised executor (``repro.runner.pool``) attaches the full
+    :class:`~repro.runner.pool.TaskFailure` record as ``.failure``.
+    """
+
+    failure = None
+
+
+class TaskTimeoutError(TaskError):
+    """A task exceeded its per-attempt timeout and was terminated."""
+
+
+class TaskCrashError(TaskError):
+    """A worker process died (non-zero exit) while running a task."""
+
+
+class SalvageWarning(ReproError, Warning):
+    """A trace was loaded in salvage mode and some content was dropped."""

@@ -20,9 +20,9 @@ from typing import Dict, List, Sequence
 
 from repro.analysis import transform
 from repro.baselines import replay_lock_elision
-from repro.experiments.runner import format_table
+from repro.experiments.runner import fan_out, format_table, render_failures
 from repro.replay import ELSC_S, ORIG_S, Replayer
-from repro.runner import memoized, parallel_map, record_cached
+from repro.runner import ExecPolicy, TaskFailure, memoized, record_cached
 
 DEFAULT_APPS = ("openldap", "pbzip2", "fluidanimate")
 
@@ -42,13 +42,17 @@ class AblationRow:
 @dataclass
 class AblationResult:
     rows_by_app: Dict[str, AblationRow] = field(default_factory=dict)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
 
     def rows(self) -> List[List]:
+        def us(value):
+            return None if value is None else f"{value / 1000:.1f}us"
+
         return [
             [
                 r.app,
-                f"{r.orig_spread / 1000:.1f}us",
-                f"{r.elsc_spread / 1000:.1f}us",
+                us(r.orig_spread),
+                us(r.elsc_spread),
                 r.free_time_rule2,
                 r.free_time_no_rule2,
                 r.free_time_no_benign,
@@ -123,16 +127,26 @@ def run(
     seed: int = 0,
     replays: int = 6,
     jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> AblationResult:
     tasks = [(app, threads, scale, seed, replays) for app in apps]
     result = AblationResult()
-    for row in parallel_map(_cell, tasks, jobs=jobs):
+    for task, row in zip(tasks, fan_out(_cell, tasks, jobs=jobs, policy=policy)):
+        if isinstance(row, TaskFailure):
+            result.failures[task[0]] = row
+            row = AblationRow(app=task[0], elsc_spread=None, orig_spread=None,
+                              free_time_rule2=None, free_time_no_rule2=None,
+                              free_time_no_benign=None, elision_time=None,
+                              elsc_time=None)
         result.rows_by_app[row.app] = row
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.experiments.runner import format_table, percent
+from repro.experiments.runner import fan_out, format_table, pct, render_failures
 from repro.perfdebug.framework import PerfPlay
-from repro.runner import memoized, parallel_map
+from repro.runner import ExecPolicy, TaskFailure, memoized
 from repro.workloads.synthetic import TunableContention
 
 
@@ -29,11 +29,12 @@ class SweepPoint:
 @dataclass
 class ContentionSweepResult:
     points: List[SweepPoint] = field(default_factory=list)
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def rows(self) -> List[List]:
         return [
-            [f"{p.utilization:.2f}", percent(p.degradation), p.pairs,
-             percent(p.contention_rate)]
+            [f"{p.utilization:.2f}", pct(p.degradation), p.pairs,
+             pct(p.contention_rate)]
             for p in self.points
         ]
 
@@ -45,7 +46,9 @@ class ContentionSweepResult:
         )
 
     def is_monotone(self) -> bool:
-        degradations = [p.degradation for p in self.points]
+        degradations = [
+            p.degradation for p in self.points if p.degradation is not None
+        ]
         return all(b >= a - 0.01 for a, b in zip(degradations, degradations[1:]))
 
 
@@ -83,15 +86,24 @@ def run(
     rounds: int = 25,
     seed: int = 0,
     jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> ContentionSweepResult:
     tasks = [(u, threads, rounds, seed) for u in utilizations]
     result = ContentionSweepResult()
-    result.points.extend(parallel_map(_cell, tasks, jobs=jobs))
+    for task, point in zip(tasks, fan_out(_cell, tasks, jobs=jobs, policy=policy)):
+        if isinstance(point, TaskFailure):
+            result.failures.append(point)
+            point = SweepPoint(utilization=task[0], degradation=None,
+                               pairs=None, contention_rate=None)
+        result.points.append(point)
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

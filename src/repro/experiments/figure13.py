@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import format_table
+from repro.experiments.runner import fan_out, format_table, render_failures
 from repro.replay import ALL_SCHEMES, Replayer
-from repro.runner import memoized, parallel_map, record_cached
+from repro.runner import ExecPolicy, TaskFailure, memoized, record_cached
 from repro.util.stats import Summary
 from repro.workloads import workload_names
 
@@ -27,18 +27,22 @@ DEFAULT_JITTER = 0.02
 
 @dataclass
 class Figure13Result:
-    #: app -> scheme -> Summary over replays
+    #: app -> scheme -> Summary over replays (None if the cell failed)
     series: Dict[str, Dict[str, Summary]] = field(default_factory=dict)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
 
     def rows(self) -> List[List]:
         rows = []
         for app, by_scheme in self.series.items():
             row = [app]
             for scheme in ALL_SCHEMES:
-                summary = by_scheme[scheme]
-                row.append(
-                    f"{summary.mean / 1e6:.2f}ms±{summary.stdev / 1e3:.1f}us"
-                )
+                summary = None if by_scheme is None else by_scheme[scheme]
+                if summary is None:
+                    row.append(None)
+                else:
+                    row.append(
+                        f"{summary.mean / 1e6:.2f}ms±{summary.stdev / 1e3:.1f}us"
+                    )
             rows.append(row)
         return rows
 
@@ -87,21 +91,28 @@ def run(
     replays: int = 10,
     jitter: float = DEFAULT_JITTER,
     jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> Figure13Result:
     if apps is None:
         apps = workload_names(category="parsec")
     tasks = [
         (app, threads, input_size, scale, seed, replays, jitter) for app in apps
     ]
-    summaries = parallel_map(_cell, tasks, jobs=jobs)
+    summaries = fan_out(_cell, tasks, jobs=jobs, policy=policy)
     result = Figure13Result()
     for app, by_scheme in zip(apps, summaries):
+        if isinstance(by_scheme, TaskFailure):
+            result.failures[app] = by_scheme
+            by_scheme = None
         result.series[app] = by_scheme
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

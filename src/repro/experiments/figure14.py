@@ -13,8 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.experiments.runner import bar_chart, debug_app, format_table, percent
-from repro.runner import memoized, parallel_map
+from repro.experiments.runner import (
+    bar_chart,
+    debug_app,
+    fan_out,
+    format_table,
+    pct,
+    percent,
+    render_failures,
+)
+from repro.runner import ExecPolicy, TaskFailure, memoized
 from repro.workloads import TABLE1_ORDER
 
 
@@ -29,10 +37,11 @@ class Figure14Row:
 @dataclass
 class Figure14Result:
     rows_by_app: Dict[str, Figure14Row] = field(default_factory=dict)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
 
     def rows(self) -> List[List]:
         return [
-            [r.app, percent(r.degradation), percent(r.cpu_waste_per_thread), r.total_ulcps]
+            [r.app, pct(r.degradation), pct(r.cpu_waste_per_thread), r.total_ulcps]
             for r in self.rows_by_app.values()
         ]
 
@@ -44,7 +53,9 @@ class Figure14Result:
         )
 
     def average_degradation(self) -> float:
-        rows = list(self.rows_by_app.values())
+        rows = [r for r in self.rows_by_app.values() if r.degradation is not None]
+        if not rows:
+            return float("nan")
         return sum(r.degradation for r in rows) / len(rows)
 
 
@@ -65,24 +76,35 @@ def _cell(task) -> Figure14Row:
 
 
 def run(
-    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1
+    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> Figure14Result:
     tasks = [(app, threads, scale, seed) for app in TABLE1_ORDER]
     result = Figure14Result()
-    for row in parallel_map(_cell, tasks, jobs=jobs):
+    for task, row in zip(tasks, fan_out(_cell, tasks, jobs=jobs, policy=policy)):
+        if isinstance(row, TaskFailure):
+            result.failures[task[0]] = row
+            row = Figure14Row(app=task[0], degradation=None,
+                              cpu_waste_per_thread=None, total_ulcps=None)
         result.rows_by_app[row.app] = row
     return result
 
 
-def main(*, jobs: int = 1):
-    result = run(jobs=jobs)
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
     print(result.render())
     print()
     print(bar_chart(
-        [(r.app, r.degradation) for r in result.rows_by_app.values()],
+        [
+            (r.app, r.degradation)
+            for r in result.rows_by_app.values()
+            if r.degradation is not None
+        ],
         title="performance degradation (bar view)",
     ))
     print(f"average degradation: {percent(result.average_degradation())}")
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

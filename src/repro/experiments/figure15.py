@@ -11,8 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import debug_app, format_table, percent
-from repro.runner import memoized, parallel_map
+from repro.experiments.runner import (
+    debug_app,
+    fan_out,
+    format_table,
+    pct,
+    render_failures,
+)
+from repro.runner import ExecPolicy, TaskFailure, memoized
 
 APPS = ("canneal", "bodytrack", "fluidanimate")
 DEFAULT_THREADS = (2, 4, 6, 8)
@@ -25,15 +31,16 @@ class Figure15Result:
     loss: Dict[str, List[float]] = field(default_factory=dict)
     #: app -> [normalized CPU waste per thread]
     waste: Dict[str, List[float]] = field(default_factory=dict)
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def rows(self) -> List[List]:
         rows = []
         for app in self.loss:
             rows.append(
-                [app, "loss"] + [percent(v) for v in self.loss[app]]
+                [app, "loss"] + [pct(v) for v in self.loss[app]]
             )
             rows.append(
-                [app, "waste/thr"] + [percent(v) for v in self.waste[app]]
+                [app, "waste/thr"] + [pct(v) for v in self.waste[app]]
             )
         return rows
 
@@ -67,12 +74,17 @@ def run(
     scale: float = 1.0,
     seed: int = 0,
     jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> Figure15Result:
     tasks = [
         (app, threads, scale, seed) for app in apps for threads in thread_counts
     ]
-    cells = parallel_map(_cell, tasks, jobs=jobs)
+    cells = fan_out(_cell, tasks, jobs=jobs, policy=policy)
     result = Figure15Result(thread_counts=list(thread_counts))
+    for i, cell in enumerate(cells):
+        if isinstance(cell, TaskFailure):
+            result.failures.append(cell)
+            cells[i] = (None, None)
     per_app = len(list(thread_counts))
     for i, app in enumerate(apps):
         chunk = cells[i * per_app:(i + 1) * per_app]
@@ -81,8 +93,11 @@ def run(
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

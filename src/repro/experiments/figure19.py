@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import format_table, percent
-from repro.runner import memoized, parallel_map, record_cached
+from repro.experiments.runner import fan_out, format_table, percent, render_failures
+from repro.runner import ExecPolicy, TaskFailure, memoized, record_cached
 
 BUGS = ("bug1-openldap-spinwait", "bug2-pbzip2-join")
 DEFAULT_THREADS = (2, 4, 6, 8)
@@ -98,22 +98,26 @@ class Figure19Result:
     by_threads: Dict[str, List[BugMeasurement]] = field(default_factory=dict)
     #: bug -> [measurement per input size] (at 2 threads)
     by_size: Dict[str, List[BugMeasurement]] = field(default_factory=dict)
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def rows(self) -> List[List]:
+        def cell(m, attr):
+            return None if m is None else percent(getattr(m, attr))
+
         rows = []
         for bug, series in self.by_threads.items():
             rows.append(
                 [bug, "loss vs threads"]
-                + [percent(m.normalized_loss) for m in series]
+                + [cell(m, "normalized_loss") for m in series]
             )
             rows.append(
                 [bug, "waste/thr vs threads"]
-                + [percent(m.normalized_waste_per_thread) for m in series]
+                + [cell(m, "normalized_waste_per_thread") for m in series]
             )
         for bug, series in self.by_size.items():
             rows.append(
                 [bug, "loss vs size"]
-                + [percent(m.normalized_loss) for m in series]
+                + [cell(m, "normalized_loss") for m in series]
             )
         return rows
 
@@ -136,6 +140,7 @@ def run(
     scale: float = 1.0,
     seed: int = 0,
     jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> Figure19Result:
     thread_tasks = [
         (bug, n, "simlarge", scale, seed) for bug in BUGS for n in thread_counts
@@ -143,10 +148,16 @@ def run(
     size_tasks = [
         (bug, 2, size, scale, seed) for bug in BUGS for size in sizes
     ]
-    cells = parallel_map(_cell, thread_tasks + size_tasks, jobs=jobs)
+    cells = fan_out(_cell, thread_tasks + size_tasks, jobs=jobs, policy=policy)
+    failures = []
+    for i, cell in enumerate(cells):
+        if isinstance(cell, TaskFailure):
+            failures.append(cell)
+            cells[i] = None
     by_threads = cells[:len(thread_tasks)]
     by_size = cells[len(thread_tasks):]
     result = Figure19Result(thread_counts=list(thread_counts), sizes=list(sizes))
+    result.failures = failures
     per_bug = len(list(thread_counts))
     for i, bug in enumerate(BUGS):
         result.by_threads[bug] = by_threads[i * per_bug:(i + 1) * per_bug]
@@ -156,8 +167,11 @@ def run(
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

@@ -11,8 +11,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.analysis import analyze_pairs
-from repro.experiments.runner import format_table
-from repro.runner import memoized, parallel_map, record_cached
+from repro.experiments.runner import fan_out, format_table, render_failures
+from repro.runner import ExecPolicy, TaskFailure, memoized, record_cached
 
 APPS = ("openldap", "pbzip2", "bodytrack")
 DEFAULT_THREADS = (2, 4, 8, 16, 32)
@@ -23,6 +23,7 @@ class Figure2Result:
     thread_counts: Sequence[int]
     #: app -> [total ULCPs per thread count]
     series: Dict[str, List[int]] = field(default_factory=dict)
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def rows(self) -> List[List]:
         return [
@@ -38,6 +39,8 @@ class Figure2Result:
     def growth_ratio(self, app: str) -> float:
         """Last-point count divided by first-point count."""
         series = self.series[app]
+        if series[0] is None or series[-1] is None:
+            return float("nan")
         return series[-1] / series[0] if series[0] else float("inf")
 
 
@@ -60,20 +63,28 @@ def run(
     seed: int = 0,
     apps: Sequence[str] = APPS,
     jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> Figure2Result:
     tasks = [
         (app, threads, scale, seed) for app in apps for threads in thread_counts
     ]
-    counts = parallel_map(_cell, tasks, jobs=jobs)
+    counts = fan_out(_cell, tasks, jobs=jobs, policy=policy)
     result = Figure2Result(thread_counts=list(thread_counts))
+    for i, count in enumerate(counts):
+        if isinstance(count, TaskFailure):
+            result.failures.append(count)
+            counts[i] = None
     per_app = len(list(thread_counts))
     for i, app in enumerate(apps):
         result.series[app] = counts[i * per_app:(i + 1) * per_app]
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,12 @@ out over a :mod:`repro.runner` worker pool.  Cells fix their seeds and
 return in submission order, so parallel output is bit-for-bit identical
 to serial.  When a cache is active (``repro.runner.cache``), recorded
 traces and per-cell results are reused across runs.
+
+``run``/``main`` also accept an :class:`repro.runner.ExecPolicy`:
+with ``policy.partial`` a failed cell (worker crash, timeout, injected
+fault — after its bounded retries) comes back as a structured
+:class:`repro.runner.TaskFailure`, and the experiment renders that cell
+as ``n/a`` instead of aborting, listing the failures under the table.
 """
 
 from __future__ import annotations
@@ -18,7 +24,29 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.perfdebug.framework import DebugReport, PerfPlay
-from repro.runner import memoized, record_cached
+from repro.runner import ExecPolicy, TaskFailure, memoized, parallel_map, record_cached
+
+
+def fan_out(fn, tasks, *, jobs: int = 1, policy: Optional[ExecPolicy] = None):
+    """Fan experiment cells out under the experiment's exec policy.
+
+    A thin veneer over :func:`repro.runner.parallel_map` so every
+    experiment module threads retries/timeouts/partial mode the same
+    way.  With ``policy.partial`` the result list can contain
+    :class:`TaskFailure` entries at the failed cells' positions.
+    """
+    return parallel_map(fn, tasks, jobs=jobs, policy=policy)
+
+
+def pct(value) -> Optional[str]:
+    """``percent`` that passes ``None`` through (renders as ``n/a``)."""
+    return None if value is None else percent(value)
+
+
+def render_failures(failures) -> str:
+    """One line per quarantined cell, for printing under a table."""
+    items = failures.values() if isinstance(failures, dict) else failures
+    return "\n".join(f.render() for f in items)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
@@ -41,6 +69,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = 
 
 
 def _cell(value) -> str:
+    if value is None:
+        return "n/a"
     if isinstance(value, float):
         return f"{value:.3g}"
     return str(value)

@@ -14,9 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import debug_app, format_table, percent
+from repro.experiments.runner import (
+    debug_app,
+    fan_out,
+    format_table,
+    pct,
+    render_failures,
+)
 from repro.perfdebug.multitrace import aggregate
-from repro.runner import memoized, parallel_map
+from repro.runner import ExecPolicy, TaskFailure, memoized
 
 DEFAULT_APPS = ("openldap", "mysql", "pbzip2", "bodytrack", "fluidanimate")
 
@@ -33,11 +39,12 @@ class StabilityRow:
 @dataclass
 class StabilityResult:
     rows_by_app: Dict[str, StabilityRow] = field(default_factory=dict)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
 
     def rows(self) -> List[List]:
         return [
-            [r.app, r.seeds, percent(r.top1_agreement),
-             percent(r.persistent_fraction), r.consensus_regions]
+            [r.app, r.seeds, pct(r.top1_agreement),
+             pct(r.persistent_fraction), r.consensus_regions]
             for r in self.rows_by_app.values()
         ]
 
@@ -94,16 +101,25 @@ def run(
     threads: int = 2,
     scale: float = 1.0,
     jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> StabilityResult:
     tasks = [(app, tuple(seeds), threads, scale) for app in apps]
     result = StabilityResult()
-    for row in parallel_map(_cell, tasks, jobs=jobs):
+    for task, row in zip(tasks, fan_out(_cell, tasks, jobs=jobs, policy=policy)):
+        if isinstance(row, TaskFailure):
+            result.failures[task[0]] = row
+            row = StabilityRow(app=task[0], seeds=len(task[1]),
+                               top1_agreement=None, persistent_fraction=None,
+                               consensus_regions=None)
         result.rows_by_app[row.app] = row
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

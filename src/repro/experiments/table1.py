@@ -14,8 +14,8 @@ from typing import Dict, List
 
 from repro.analysis import analyze_pairs
 from repro.analysis.ulcp import UlcpBreakdown
-from repro.experiments.runner import format_table
-from repro.runner import memoized, parallel_map, record_cached
+from repro.experiments.runner import fan_out, format_table, render_failures
+from repro.runner import ExecPolicy, TaskFailure, memoized, record_cached
 from repro.workloads import TABLE1_ORDER
 
 
@@ -37,6 +37,7 @@ class Table1Row:
 @dataclass
 class Table1Result:
     rows_by_app: Dict[str, Table1Row] = field(default_factory=dict)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
 
     def rows(self) -> List[List]:
         return [
@@ -76,17 +77,26 @@ def _cell(task) -> Table1Row:
 
 
 def run(
-    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1
+    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> Table1Result:
     tasks = [(app, threads, scale, seed) for app in TABLE1_ORDER]
     result = Table1Result()
-    for row in parallel_map(_cell, tasks, jobs=jobs):
+    for task, row in zip(tasks, fan_out(_cell, tasks, jobs=jobs, policy=policy)):
+        if isinstance(row, TaskFailure):
+            result.failures[task[0]] = row
+            row = Table1Row(app=task[0], locks=None, null_lock=None,
+                            read_read=None, disjoint_write=None, benign=None,
+                            tlcp=None)
         result.rows_by_app[row.app] = row
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

@@ -12,8 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.experiments.runner import debug_app, format_table, percent
-from repro.runner import memoized, parallel_map
+from repro.experiments.runner import (
+    debug_app,
+    fan_out,
+    format_table,
+    percent,
+    render_failures,
+)
+from repro.runner import ExecPolicy, TaskFailure, memoized
 
 #: the apps Table 2 lists
 APPS = (
@@ -40,10 +46,17 @@ class Table2Row:
 @dataclass
 class Table2Result:
     rows_by_app: Dict[str, Table2Row] = field(default_factory=dict)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
 
     def rows(self) -> List[List]:
         return [
-            [r.app, r.grouped_ulcps, percent(r.top_p) if r.grouped_ulcps else "0"]
+            [
+                r.app,
+                r.grouped_ulcps,
+                None
+                if r.grouped_ulcps is None
+                else (percent(r.top_p) if r.grouped_ulcps else "0"),
+            ]
             for r in self.rows_by_app.values()
         ]
 
@@ -72,17 +85,24 @@ def _cell(task) -> Table2Row:
 
 
 def run(
-    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1
+    *, threads: int = 2, scale: float = 1.0, seed: int = 0, jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> Table2Result:
     tasks = [(app, threads, scale, seed) for app in APPS]
     result = Table2Result()
-    for row in parallel_map(_cell, tasks, jobs=jobs):
+    for task, row in zip(tasks, fan_out(_cell, tasks, jobs=jobs, policy=policy)):
+        if isinstance(row, TaskFailure):
+            result.failures[task[0]] = row
+            row = Table2Row(app=task[0], grouped_ulcps=None, top_p=None)
         result.rows_by_app[row.app] = row
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

@@ -18,9 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import format_table, percent
+from repro.experiments.runner import fan_out, format_table, pct, render_failures
 from repro.replay import Replayer
-from repro.runner import memoized, parallel_map, record_cached, transform_cached
+from repro.runner import (
+    ExecPolicy,
+    TaskFailure,
+    memoized,
+    record_cached,
+    transform_cached,
+)
 from repro.workloads import workload_names
 
 
@@ -35,10 +41,11 @@ class Table3Row:
 @dataclass
 class Table3Result:
     rows_by_app: Dict[str, Table3Row] = field(default_factory=dict)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
 
     def rows(self) -> List[List]:
         return [
-            [r.app, percent(r.without_dls), percent(r.with_dls)]
+            [r.app, pct(r.without_dls), pct(r.with_dls)]
             for r in self.rows_by_app.values()
         ]
 
@@ -50,7 +57,14 @@ class Table3Result:
         )
 
     def max_with_dls(self) -> float:
-        return max((r.with_dls for r in self.rows_by_app.values()), default=0.0)
+        return max(
+            (
+                r.with_dls
+                for r in self.rows_by_app.values()
+                if r.with_dls is not None
+            ),
+            default=0.0,
+        )
 
 
 def _cell(task) -> Table3Row:
@@ -84,18 +98,26 @@ def run(
     scale: float = 1.0,
     seed: int = 0,
     jobs: int = 1,
+    policy: ExecPolicy = None,
 ) -> Table3Result:
     if apps is None:
         apps = workload_names(category="parsec")
     tasks = [(app, threads, scale, seed) for app in apps]
     result = Table3Result()
-    for row in parallel_map(_cell, tasks, jobs=jobs):
+    for task, row in zip(tasks, fan_out(_cell, tasks, jobs=jobs, policy=policy)):
+        if isinstance(row, TaskFailure):
+            result.failures[task[0]] = row
+            row = Table3Row(app=task[0], without_dls=None, with_dls=None,
+                            lockset_entries=None)
         result.rows_by_app[row.app] = row
     return result
 
 
-def main(*, jobs: int = 1):
-    print(run(jobs=jobs).render())
+def main(*, jobs: int = 1, policy: ExecPolicy = None):
+    result = run(jobs=jobs, policy=policy)
+    print(result.render())
+    if result.failures:
+        print(render_failures(result.failures))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,36 @@
+"""Deterministic fault injection and the recovery demo.
+
+* :mod:`repro.faults.plan` — seeded :class:`FaultPlan` firing at named
+  sites compiled into the pipeline (worker pool, cache, trace files,
+  the simulator);
+* :mod:`repro.faults.demo` — the end-to-end recovery demo behind
+  ``repro faults demo``.
+"""
+
+from repro.faults.plan import (
+    SITES,
+    FaultPlan,
+    FaultRule,
+    active,
+    configure,
+    corrupt_file,
+    enabled,
+    fire,
+    fires,
+    parse_rule,
+    use_plan,
+)
+
+__all__ = [
+    "SITES",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "configure",
+    "corrupt_file",
+    "enabled",
+    "fire",
+    "fires",
+    "parse_rule",
+    "use_plan",
+]

@@ -1,0 +1,244 @@
+"""Deterministic fault injection: seeded plans firing at named sites.
+
+A :class:`FaultPlan` is a seeded set of :class:`FaultRule` objects, each
+naming an injection *site* compiled into the pipeline (see :data:`SITES`).
+Code at a site asks the active plan whether to fire via
+:func:`fires`; with no active plan the call is a near-free ``False``, so
+production runs pay nothing.  Every decision is a pure function of the
+plan (seed, rules, per-rule hit counters) and the site's invocation key,
+so a failing recovery path replays identically under the same plan —
+the whole point: recovery code is exercised deterministically, in tests
+and via the ``repro faults`` CLI.
+
+Rule selectors:
+
+* ``key`` — fire only when the site reports this invocation key (e.g.
+  the task index for pool sites, the thread id for sim sites);
+* ``attempt`` — for retry-aware sites (the worker pool), fire only on
+  this 0-based attempt, letting a test inject a crash that a retry then
+  survives;
+* ``nth``/``times`` — fire on the nth matching hit (1-based) and the
+  ``times - 1`` hits after it;
+* ``rate`` — instead of hit counting, fire when a deterministic hash of
+  ``(seed, site, key, hit#)`` falls below the rate.
+
+Hit counters are per-process: a plan shipped to a worker process starts
+with fresh counters (``__getstate__`` drops them), so cross-process
+sites should select by ``key``, which is stable across processes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.errors import FaultInjected, ReproError
+
+#: every compiled-in injection site, with what firing does there
+SITES = {
+    "pool.worker_crash": "worker process exits hard (SIGKILL-style) mid-task",
+    "pool.worker_hang": "worker sleeps past any per-task timeout",
+    "cache.blob_corrupt": "cached result blob bytes are corrupted before a read",
+    "cache.trace_corrupt": "cached trace bytes are corrupted before a read",
+    "trace.truncate": "a dumped trace file loses its tail",
+    "trace.bitflip": "a dumped trace file gets one byte flipped",
+    "sim.thread_exception": "a simulated thread raises FaultInjected mid-run",
+    "sim.thread_kill": "a simulated thread dies silently, its locks still held",
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When one site fires.  See the module docstring for the selectors."""
+
+    site: str
+    key: object = None
+    attempt: Optional[int] = None
+    nth: int = 1
+    times: int = 1
+    rate: Optional[float] = None
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            known = ", ".join(sorted(SITES))
+            raise ReproError(f"unknown fault site {self.site!r}; known: {known}")
+        if self.nth < 1 or self.times < 1:
+            raise ReproError("fault rule nth/times must be >= 1")
+
+    def describe(self) -> str:
+        parts = [self.site]
+        if self.key is not None:
+            parts.append(f"key={self.key!r}")
+        if self.attempt is not None:
+            parts.append(f"attempt={self.attempt}")
+        if self.rate is not None:
+            parts.append(f"rate={self.rate:g}")
+        elif (self.nth, self.times) != (1, 1):
+            parts.append(f"nth={self.nth} times={self.times}")
+        return " ".join(parts)
+
+
+def parse_rule(spec: str) -> FaultRule:
+    """Parse a compact CLI rule spec: ``site[@key][:opt=val,...]``.
+
+    Options: ``nth``, ``times``, ``attempt`` (ints), ``rate`` (float).
+    An integer-looking key is parsed as an int (pool task indexes).
+
+    >>> parse_rule("pool.worker_crash@2:attempt=0")
+    FaultRule(site='pool.worker_crash', key=2, attempt=0, nth=1, times=1, rate=None)
+    """
+    body, _, opts = spec.partition(":")
+    site, _, key_text = body.partition("@")
+    kwargs: dict = {"site": site.strip()}
+    if key_text:
+        key_text = key_text.strip()
+        kwargs["key"] = int(key_text) if _is_int(key_text) else key_text
+    for item in filter(None, (part.strip() for part in opts.split(","))):
+        name, _, value = item.partition("=")
+        name = name.strip()
+        if name not in ("nth", "times", "attempt", "rate") or not value:
+            raise ReproError(f"bad fault rule option {item!r} in {spec!r}")
+        kwargs[name] = float(value) if name == "rate" else int(value)
+    return FaultRule(**kwargs)
+
+
+def _is_int(text: str) -> bool:
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
+class FaultPlan:
+    """A seeded, deterministic set of fault rules."""
+
+    def __init__(self, seed: int = 0, rules: Iterable[FaultRule] = ()):
+        self.seed = seed
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self._hits: Dict[int, int] = {}
+
+    @classmethod
+    def parse(cls, specs: Sequence[str], *, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, rules=[parse_rule(spec) for spec in specs])
+
+    def __getstate__(self):
+        # workers start with fresh hit counters; select cross-process
+        # sites by key, which is process-independent
+        return {"seed": self.seed, "rules": self.rules}
+
+    def __setstate__(self, state):
+        self.seed = state["seed"]
+        self.rules = state["rules"]
+        self._hits = {}
+
+    def fires(self, site: str, key=None, attempt=None) -> bool:
+        """Record a hit at ``site`` and decide whether any rule fires."""
+        fired = False
+        for i, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.key is not None and rule.key != key:
+                continue
+            if rule.attempt is not None and rule.attempt != attempt:
+                continue
+            count = self._hits.get(i, 0) + 1
+            self._hits[i] = count
+            if rule.rate is not None:
+                if _fraction(self.seed, site, key, count) < rule.rate:
+                    fired = True
+            elif rule.nth <= count < rule.nth + rule.times:
+                fired = True
+        return fired
+
+    def reset(self) -> None:
+        """Forget all hit counters (a fresh run under the same plan)."""
+        self._hits = {}
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed={self.seed}):"]
+        lines += [f"  {rule.describe()}" for rule in self.rules]
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"FaultPlan(seed={self.seed}, rules={self.rules!r})"
+
+
+def _fraction(seed: int, site: str, key, count: int) -> float:
+    digest = hashlib.sha256(
+        f"{seed}:{site}:{key!r}:{count}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+# ------------------------------------------------------------- active plan
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def configure(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Set the process-wide active plan (``None`` disables injection)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return _ACTIVE
+
+
+def active() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Cheap guard for hot paths: is any plan active?"""
+    return _ACTIVE is not None
+
+
+@contextlib.contextmanager
+def use_plan(plan: Optional[FaultPlan]):
+    """Temporarily activate (or disable, with ``None``) a fault plan."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def fires(site: str, key=None, attempt=None) -> bool:
+    """Ask the active plan whether ``site`` fires (False with no plan)."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.fires(site, key=key, attempt=attempt)
+
+
+def fire(site: str, key=None, attempt=None) -> None:
+    """Raise :class:`FaultInjected` if the active plan says so."""
+    if fires(site, key=key, attempt=attempt):
+        raise FaultInjected(site, key=key)
+
+
+# --------------------------------------------------------- corruption tools
+
+
+def corrupt_file(path: Union[str, Path], mode: str) -> None:
+    """Deterministically damage a file in place.
+
+    ``mode="truncate"`` keeps the first half of the bytes; ``"bitflip"``
+    XORs one byte a third of the way in.  Both are pure functions of the
+    file content, so a corrupted artifact is reproducible.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if not data:
+        return
+    if mode == "truncate":
+        path.write_bytes(data[: max(1, len(data) // 2)])
+    elif mode == "bitflip":
+        pos = len(data) // 3
+        flipped = bytes([data[pos] ^ 0x55])
+        path.write_bytes(data[:pos] + flipped + data[pos + 1:])
+    else:
+        raise ReproError(f"unknown corruption mode {mode!r}")

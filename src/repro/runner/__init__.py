@@ -2,10 +2,13 @@
 
 The substrate every scaling feature builds on:
 
-* :mod:`repro.runner.pool` — deterministic ``multiprocessing`` fan-out
-  (``jobs=N`` output is bit-for-bit identical to serial),
+* :mod:`repro.runner.pool` — supervised deterministic fan-out
+  (``jobs=N`` output is bit-for-bit identical to serial; per-task
+  timeouts, bounded retries, crashed-worker replacement, and a
+  partial-results quarantine via :class:`ExecPolicy`),
 * :mod:`repro.runner.cache` — content-addressed on-disk cache of
-  recorded traces (compressed JSONL) and derived results (pickled),
+  recorded traces (compressed JSONL) and derived results (pickled);
+  corrupt entries self-heal as misses,
 * :mod:`repro.runner.keys` — stable cache keys folding in workload
   parameters, seeds, and the package's own code version.
 """
@@ -22,9 +25,11 @@ from repro.runner.cache import (
     use_cache,
 )
 from repro.runner.keys import cache_key, code_version, trace_digest
-from repro.runner.pool import effective_jobs, parallel_map
+from repro.runner.pool import ExecPolicy, TaskFailure, effective_jobs, parallel_map
 
 __all__ = [
+    "ExecPolicy",
+    "TaskFailure",
     "CacheInfo",
     "TraceCache",
     "active",

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from repro import faults
 from repro.runner.keys import cache_key, trace_digest
 from repro.trace import serialize
 from repro.trace.trace import Trace
@@ -89,6 +90,8 @@ class TraceCache:
         path = self.trace_path(key)
         if not path.exists():
             return None
+        if faults.fires("cache.trace_corrupt", key=key):
+            faults.corrupt_file(path, "truncate")
         try:
             return serialize.load(path)
         except Exception:
@@ -117,6 +120,8 @@ class TraceCache:
         path = self.blob_path(key)
         if not path.exists():
             return None
+        if faults.fires("cache.blob_corrupt", key=key):
+            faults.corrupt_file(path, "bitflip")
         try:
             with gzip.open(path, "rb") as handle:
                 return pickle.load(handle)

@@ -1,31 +1,76 @@
-"""Deterministic multiprocessing fan-out for experiment cells.
+"""Supervised deterministic fan-out for experiment cells.
 
-:func:`parallel_map` is an order-preserving ``map`` over a worker pool.
-Determinism is by construction:
+:func:`parallel_map` is an order-preserving ``map`` over worker
+processes.  Determinism is by construction:
 
 * every cell is a pure function of its (picklable) task — all seeds are
   fixed inside the task, no worker-local RNG state leaks in,
-* results come back in task order (``Pool.map``), so building an output
-  dict/list from them reproduces the serial insertion order exactly,
-* the active trace cache is re-configured inside each worker via the
-  pool initializer (safe under both fork and spawn start methods).
+* results are assembled by task index regardless of completion order,
+  so building an output dict/list from them reproduces the serial
+  insertion order exactly,
+* the active trace cache and fault plan are re-configured inside each
+  worker (safe under both fork and spawn start methods).
 
 Hence ``jobs=N`` output is bit-for-bit identical to ``jobs=1`` — the
-property the determinism tests pin down.
+property the determinism tests pin down — and that invariant survives
+the supervision features below because none of them touch results on
+the success path.
+
+Supervision (:class:`ExecPolicy`): each task runs in its own worker
+process watched by the parent.  A worker that dies (``TaskCrashError``)
+or exceeds the per-attempt ``timeout`` (``TaskTimeoutError``) is
+replaced and the task retried up to ``retries`` times with a
+deterministic exponential backoff schedule (the schedule, not measured
+wall-clock, is what lands in failure records).  A task that still fails
+either aborts the whole map promptly (``partial=False``, the default:
+remaining workers are terminated and a :class:`repro.errors.TaskError`
+subclass is raised naming the task) or is quarantined as a structured
+:class:`TaskFailure` in the result list (``partial=True``), so one bad
+cell degrades an experiment table to ``n/a`` cells instead of killing
+the run.
+
+Retry policy: crashes, timeouts, and injected faults are retried
+(transient by nature); an ordinary exception raised by the cell function
+is deterministic, so it fails fast without retries, wrapped with the
+task index and repr.
 
 Cell functions must be module-level (picklable by reference).  With
-``jobs<=1`` or a single task everything runs inline in the parent, which
-is also the fallback the tests compare against.
+``jobs<=1`` or a single task everything runs inline in the parent —
+also the fallback the determinism tests compare against.  The inline
+path honours the same fault sites (a ``pool.worker_crash`` fault
+becomes a raised crash failure rather than a real process death), so
+partial-mode tables degrade identically in serial and parallel runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro import faults
+from repro.errors import (
+    FaultInjected,
+    TaskCrashError,
+    TaskError,
+    TaskTimeoutError,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: exit code an injected worker crash dies with
+CRASH_EXIT_CODE = 86
+#: how long an injected hang sleeps (recovery needs a timeout well below)
+HANG_SECONDS = 3600.0
+#: supervisor poll granularity, seconds
+_POLL_SECONDS = 0.05
+#: failure kinds worth retrying (transient); plain errors are deterministic
+RETRYABLE_KINDS = frozenset({"crash", "timeout", "fault"})
 
 
 def effective_jobs(jobs: Optional[int]) -> int:
@@ -35,31 +80,320 @@ def effective_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _worker_init(cache_root: Optional[str]) -> None:
+@dataclass(frozen=True)
+class ExecPolicy:
+    """How the supervised executor treats failing tasks."""
+
+    #: per-attempt timeout in seconds (``None`` disables the watchdog)
+    timeout: Optional[float] = None
+    #: extra attempts after the first (0 = fail on first failure)
+    retries: int = 0
+    #: backoff before retry k (1-based) is ``min(cap, base * 2**(k-1))``
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: quarantine failed tasks as :class:`TaskFailure` results instead of
+    #: aborting the whole map
+    partial: bool = False
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Deterministic delay before retrying after 0-based ``attempt``."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one quarantined task."""
+
+    index: int
+    task_repr: str
+    kind: str  # "crash" | "timeout" | "error" | "fault"
+    message: str
+    attempts: int
+    #: the deterministic backoff schedule the retries used (no wall-clock)
+    backoff: Tuple[float, ...] = ()
+    #: remote traceback text, empty for crashes/timeouts
+    detail: str = ""
+
+    def render(self) -> str:
+        return (
+            f"n/a: task {self.index} ({self.task_repr}) {self.kind} "
+            f"after {self.attempts} attempt(s): {self.message}"
+        )
+
+
+def _short_repr(task, limit: int = 80) -> str:
+    text = repr(task)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _to_exception(failure: TaskFailure) -> TaskError:
+    cls = {
+        "timeout": TaskTimeoutError,
+        "crash": TaskCrashError,
+    }.get(failure.kind, TaskError)
+    exc = cls(
+        f"task {failure.index} ({failure.task_repr}) {failure.kind} after "
+        f"{failure.attempts} attempt(s): {failure.message}"
+    )
+    exc.failure = failure
+    return exc
+
+
+def _worker_init(cache_root: Optional[str], plan=None) -> None:
     from repro.runner import cache
 
     cache.configure(cache_root)
+    faults.configure(plan)
 
 
-def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], *, jobs: int = 1) -> List[R]:
+def parallel_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    partial: bool = False,
+    policy: Optional[ExecPolicy] = None,
+) -> List[R]:
     """Apply ``fn`` to every task, fanning out over ``jobs`` processes.
 
     Results are returned in task order regardless of completion order.
     ``fn`` must be a module-level function and tasks/results picklable.
+    ``policy`` (or the ``timeout``/``retries``/``partial`` shorthands)
+    selects the supervision behaviour documented in the module docstring;
+    the default policy reproduces plain fail-fast mapping.
     """
+    if policy is None:
+        policy = ExecPolicy(timeout=timeout, retries=retries, partial=partial)
     tasks = list(tasks)
     jobs = effective_jobs(jobs) if jobs != 1 else 1
     if jobs <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
+        return _serial_map(fn, tasks, policy)
+    return _Supervisor(fn, tasks, jobs, policy).run()
 
-    from repro.runner import cache
 
-    active = cache.active()
-    cache_root = str(active.root) if active is not None else None
-    ctx = multiprocessing.get_context()
-    with ctx.Pool(
-        processes=min(jobs, len(tasks)),
-        initializer=_worker_init,
-        initargs=(cache_root,),
-    ) as pool:
-        return pool.map(fn, tasks, chunksize=1)
+# ------------------------------------------------------------- serial path
+
+
+def _serial_map(fn, tasks, policy: ExecPolicy) -> List:
+    results = []
+    for index, task in enumerate(tasks):
+        backoff: List[float] = []
+        failure = None
+        for attempt in range(policy.retries + 1):
+            status, payload, detail = _attempt_inline(fn, task, index, attempt)
+            if status == "ok":
+                failure = None
+                results.append(payload)
+                break
+            failure = TaskFailure(
+                index=index,
+                task_repr=_short_repr(task),
+                kind=status,
+                message=payload,
+                attempts=attempt + 1,
+                backoff=tuple(backoff),
+                detail=detail,
+            )
+            if status in RETRYABLE_KINDS and attempt < policy.retries:
+                # record the deterministic schedule; no need to actually
+                # sleep in-process — the failure was synchronous
+                backoff.append(policy.backoff_delay(attempt))
+                continue
+            break
+        if failure is not None:
+            if not policy.partial:
+                raise _to_exception(failure)
+            results.append(failure)
+    return results
+
+
+def _attempt_inline(fn, task, index: int, attempt: int):
+    """One inline attempt: ``("ok", result, "")`` or ``(kind, msg, detail)``."""
+    if faults.fires("pool.worker_crash", key=index, attempt=attempt):
+        return ("crash", f"injected worker crash (exit {CRASH_EXIT_CODE})", "")
+    if faults.fires("pool.worker_hang", key=index, attempt=attempt):
+        return ("timeout", "injected worker hang", "")
+    try:
+        return ("ok", fn(task), "")
+    except FaultInjected as exc:
+        return ("fault", str(exc), traceback.format_exc())
+    except Exception as exc:
+        return ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+# ----------------------------------------------------------- parallel path
+
+
+def _run_remote(fn, task, index, attempt, cache_root, plan, out_queue) -> None:
+    """Worker body: run one task attempt, send one message, exit."""
+    _worker_init(cache_root, plan)
+    try:
+        if faults.fires("pool.worker_crash", key=index, attempt=attempt):
+            os._exit(CRASH_EXIT_CODE)
+        if faults.fires("pool.worker_hang", key=index, attempt=attempt):
+            time.sleep(HANG_SECONDS)
+        message = (index, "ok", fn(task), "")
+    except FaultInjected as exc:
+        message = (index, "fault", str(exc), traceback.format_exc())
+    except BaseException as exc:
+        message = (index, "error", f"{type(exc).__name__}: {exc}",
+                   traceback.format_exc())
+    try:
+        out_queue.put(message)
+    except Exception as exc:  # e.g. an unpicklable result
+        out_queue.put((index, "error", f"unsendable result: {exc!r}", ""))
+
+
+class _Supervisor:
+    """Watches one bounded fleet of single-task worker processes."""
+
+    def __init__(self, fn, tasks, jobs: int, policy: ExecPolicy):
+        self.fn = fn
+        self.tasks = tasks
+        self.jobs = min(jobs, len(tasks))
+        self.policy = policy
+        self.ctx = multiprocessing.get_context()
+        self.queue = self.ctx.Queue()
+        from repro.runner import cache
+
+        store = cache.active()
+        self.cache_root = str(store.root) if store is not None else None
+        self.plan = faults.active()
+        self.results: Dict[int, object] = {}
+        self.failures: Dict[int, TaskFailure] = {}
+        self.attempt: Dict[int, int] = {}
+        self.backoff_used: Dict[int, List[float]] = {}
+        #: (index, earliest monotonic launch time)
+        self.pending: List[Tuple[int, float]] = [(i, 0.0) for i in range(len(tasks))]
+        #: index -> (process, per-attempt deadline or None)
+        self.in_flight: Dict[int, Tuple[multiprocessing.Process, Optional[float]]] = {}
+
+    def run(self) -> List:
+        try:
+            while len(self.results) + len(self.failures) < len(self.tasks):
+                self._launch_ready()
+                self._drain(block=True)
+                self._reap()
+        finally:
+            self._terminate_all()
+        return [
+            self.results[i] if i in self.results else self.failures[i]
+            for i in range(len(self.tasks))
+        ]
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _launch_ready(self) -> None:
+        if not self.pending or len(self.in_flight) >= self.jobs:
+            return
+        now = time.monotonic()
+        still_waiting = []
+        for index, not_before in self.pending:
+            if len(self.in_flight) >= self.jobs or not_before > now:
+                still_waiting.append((index, not_before))
+                continue
+            self._launch(index)
+        self.pending = still_waiting
+
+    def _launch(self, index: int) -> None:
+        attempt = self.attempt.get(index, 0)
+        proc = self.ctx.Process(
+            target=_run_remote,
+            args=(self.fn, self.tasks[index], index, attempt,
+                  self.cache_root, self.plan, self.queue),
+            daemon=True,
+        )
+        proc.start()
+        deadline = (
+            time.monotonic() + self.policy.timeout
+            if self.policy.timeout is not None
+            else None
+        )
+        self.in_flight[index] = (proc, deadline)
+
+    def _drain(self, *, block: bool) -> None:
+        try:
+            message = self.queue.get(timeout=_POLL_SECONDS) if block \
+                else self.queue.get_nowait()
+        except queue_mod.Empty:
+            return
+        self._handle(message)
+        while True:
+            try:
+                message = self.queue.get_nowait()
+            except queue_mod.Empty:
+                return
+            self._handle(message)
+
+    def _handle(self, message) -> None:
+        index, status, payload, detail = message
+        entry = self.in_flight.pop(index, None)
+        if entry is None:
+            # stale message from an attempt already reaped (e.g. a result
+            # that raced a timeout termination): the verdict stands
+            return
+        entry[0].join()
+        if status == "ok":
+            self.results[index] = payload
+        else:
+            self._failed(index, status, payload, detail)
+
+    def _reap(self) -> None:
+        now = time.monotonic()
+        for index, (proc, deadline) in list(self.in_flight.items()):
+            if index not in self.in_flight:
+                # resolved by a message drained while reaping another entry
+                continue
+            if not proc.is_alive():
+                proc.join()
+                # the exit may have raced its own result message: give the
+                # queue a final look before calling it a crash
+                self._drain(block=False)
+                if index not in self.in_flight:
+                    continue
+                self.in_flight.pop(index)
+                self._failed(
+                    index, "crash",
+                    f"worker exited with code {proc.exitcode}", "",
+                )
+            elif deadline is not None and now >= deadline:
+                proc.terminate()
+                proc.join()
+                self.in_flight.pop(index)
+                self._failed(
+                    index, "timeout",
+                    f"task exceeded its {self.policy.timeout:g}s timeout", "",
+                )
+
+    def _failed(self, index: int, kind: str, message: str, detail: str) -> None:
+        attempt = self.attempt.get(index, 0)
+        if kind in RETRYABLE_KINDS and attempt < self.policy.retries:
+            delay = self.policy.backoff_delay(attempt)
+            self.backoff_used.setdefault(index, []).append(delay)
+            self.attempt[index] = attempt + 1
+            self.pending.append((index, time.monotonic() + delay))
+            return
+        failure = TaskFailure(
+            index=index,
+            task_repr=_short_repr(self.tasks[index]),
+            kind=kind,
+            message=message,
+            attempts=attempt + 1,
+            backoff=tuple(self.backoff_used.get(index, ())),
+            detail=detail,
+        )
+        if self.policy.partial:
+            self.failures[index] = failure
+        else:
+            # fail fast: run() terminates the remaining workers on the way out
+            raise _to_exception(failure)
+
+    def _terminate_all(self) -> None:
+        for proc, _deadline in self.in_flight.values():
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+        self.in_flight.clear()
+        self.queue.close()

@@ -24,7 +24,8 @@ import heapq
 from collections import deque
 from typing import Callable, Dict, Generator, List, Optional
 
-from repro.errors import DeadlockError, SimulationError
+from repro import faults
+from repro.errors import DeadlockError, FaultInjected, SimulationError
 from repro.sim import requests as rq
 from repro.sim.gates import Gate
 from repro.sim.memory import SharedMemory
@@ -280,8 +281,32 @@ class Machine:
 
     # -------------------------------------------------------------- step
 
+    def _kill_thread(self, thread: _Thread) -> None:
+        """An injected silent death: the thread vanishes, locks still held.
+
+        Unlike :meth:`_finish` this skips the held-lock sanity check —
+        modelling a worker killed mid-critical-section.  Threads waiting
+        on its locks then starve, and the run ends in a
+        :class:`DeadlockError` naming exactly those blocked threads.
+        """
+        thread.gen.close()
+        thread.state = _DONE
+        thread.stats.end_time = self.now
+        self._done_count += 1
+        self._release_core()
+        self.observer.on_thread_end(thread.tid, self.now)
+        self.gate.on_thread_end(thread.tid)
+        self._request_recheck()
+
     def _step(self, thread: _Thread) -> None:
         """Drive a RUNNING thread until it blocks, computes, or finishes."""
+        if faults.enabled():
+            if faults.fires("sim.thread_kill", key=thread.tid):
+                self._kill_thread(thread)
+                self._dispatch()
+                return
+            if faults.fires("sim.thread_exception", key=thread.tid):
+                raise FaultInjected("sim.thread_exception", key=thread.tid)
         while True:
             value, thread.send_value = thread.send_value, None
             try:

@@ -21,7 +21,16 @@ from repro.trace.events import (
     WRITE,
 )
 from repro.trace.selective import SideTable, StateDelta, diff_snapshots
-from repro.trace.serialize import dump, dumps, load, loads
+from repro.trace.serialize import (
+    LoadedTrace,
+    SalvageReport,
+    dump,
+    dumps,
+    load,
+    load_trace,
+    loads,
+    salvage_read,
+)
 from repro.trace.trace import Trace, TraceMeta
 from repro.trace.validate import problems, validate
 
@@ -46,7 +55,11 @@ __all__ = [
     "dump",
     "dumps",
     "load",
+    "load_trace",
     "loads",
+    "salvage_read",
+    "LoadedTrace",
+    "SalvageReport",
     "validate",
     "problems",
     "THREAD_START",

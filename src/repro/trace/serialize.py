@@ -21,6 +21,16 @@ gzip-compressed with deterministic output (``mtime=0``).
 Every event's ``tid`` must name a declared thread: an undeclared tid
 raises :class:`TraceError` instead of silently growing the thread table.
 The ``"events"`` count lets the reader detect a truncated body.
+
+Salvage mode (:func:`load_trace` / :func:`salvage_read` with
+``salvage=True``) recovers the longest well-formed prefix of a
+truncated or corrupted trace instead of raising: parsing stops at the
+first unreadable or malformed line, trailing events inside unfinished
+critical sections are trimmed so the prefix stays replayable, the lock
+schedule is pruned to the acquires that survived, and everything that
+was dropped is reported in a :class:`SalvageReport` (plus a
+:class:`repro.errors.SalvageWarning`).  Only the three header lines are
+unrecoverable — without the meta there is no trace to salvage.
 """
 
 from __future__ import annotations
@@ -28,11 +38,14 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Iterable, Iterator, Union
+from typing import IO, Iterable, Iterator, List, Optional, Union
 
-from repro.errors import TraceError
-from repro.trace.events import TraceEvent
+from repro import faults
+from repro.errors import SalvageWarning, TraceError
+from repro.trace.events import ACQUIRE, POST, RELEASE, WAIT, TraceEvent
 from repro.trace.selective import SideTable
 from repro.trace.trace import Trace, TraceMeta
 
@@ -46,7 +59,10 @@ def write_trace(trace: Trace, out: IO[str]) -> None:
     )
     if trace.side.deltas:
         out.write(json.dumps({"side": trace.side.encode()}) + "\n")
-    for event in trace.iter_events():
+    # Time order (not thread-by-thread): a truncated file then holds a
+    # prefix of the *execution*, so salvage-mode loading recovers every
+    # thread up to the damage instead of losing whole threads.
+    for event in trace.iter_time_order():
         out.write(json.dumps(event.encode()) + "\n")
 
 
@@ -121,6 +137,215 @@ def _parse_lines(lines: Iterable[str]) -> Iterator[dict]:
         yield data
 
 
+# ----------------------------------------------------------------- salvage
+
+
+@dataclass
+class SalvageReport:
+    """What salvage-mode loading kept, dropped, and repaired."""
+
+    source: Optional[str]
+    kept_events: int
+    expected_events: Optional[int]
+    #: header-count shortfall (``None`` when the header count was missing)
+    dropped_events: Optional[int]
+    #: events removed to close unfinished critical sections
+    trimmed_events: int
+    #: lock-schedule grant entries whose acquires did not survive
+    pruned_schedule: int
+    #: what stopped the scan ("" when the stream ended cleanly)
+    stopped_reason: str
+    #: residual well-formedness issues of the salvaged prefix
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.stopped_reason
+            and not self.dropped_events
+            and not self.trimmed_events
+            and not self.pruned_schedule
+            and not self.problems
+        )
+
+    def render(self) -> str:
+        if self.clean:
+            return f"trace intact: {self.kept_events} events"
+        expected = (
+            str(self.expected_events) if self.expected_events is not None else "?"
+        )
+        parts = [f"kept {self.kept_events} of {expected} events"]
+        if self.trimmed_events:
+            parts.append(f"trimmed {self.trimmed_events} unfinished")
+        if self.pruned_schedule:
+            parts.append(f"pruned {self.pruned_schedule} schedule grants")
+        if self.stopped_reason:
+            parts.append(f"stopped at: {self.stopped_reason}")
+        if self.problems:
+            parts.append(f"{len(self.problems)} residual problem(s)")
+        return "; ".join(parts)
+
+
+@dataclass
+class LoadedTrace:
+    """A loaded trace plus the salvage report (``None`` for strict loads)."""
+
+    trace: Trace
+    report: Optional[SalvageReport] = None
+
+
+def salvage_read(lines: Iterable[str], *, source=None) -> LoadedTrace:
+    """Best-effort streaming read: the longest well-formed prefix.
+
+    Raises :class:`TraceError` only when the three header lines are
+    unreadable; any later damage truncates the result instead.
+    """
+    stop = {"reason": ""}
+
+    def tolerant() -> Iterator[dict]:
+        iterator = iter(lines)
+        while True:
+            try:
+                line = next(iterator)
+            except StopIteration:
+                return
+            except (EOFError, OSError, UnicodeDecodeError) as exc:
+                stop["reason"] = f"unreadable tail: {exc}"
+                return
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                stop["reason"] = f"malformed line: {exc}"
+                return
+            if not isinstance(data, dict):
+                stop["reason"] = f"non-object line: {data!r}"
+                return
+            yield data
+
+    stream = tolerant()
+    try:
+        header = next(stream)
+        schedule = next(stream)
+        threads = next(stream)
+    except StopIteration:
+        reason = f" ({stop['reason']})" if stop["reason"] else ""
+        raise TraceError(
+            f"unsalvageable trace: missing header lines{reason}"
+        ) from None
+    if "meta" not in header or "lock_schedule" not in schedule:
+        raise TraceError("unsalvageable trace: malformed header")
+    trace = Trace(TraceMeta.decode(header["meta"]))
+    for tid in threads.get("threads", []):
+        trace.add_thread(tid)
+    expected_events = threads.get("events")
+
+    seen_events = 0
+    first_body = True
+    for data in stream:
+        if first_body:
+            first_body = False
+            if set(data) == {"side"}:
+                try:
+                    trace.side = SideTable.decode(data["side"])
+                except (TypeError, AttributeError, KeyError) as exc:
+                    stop["reason"] = f"malformed side table: {exc}"
+                    break
+                continue
+        try:
+            event = TraceEvent.decode(data)
+        except (KeyError, TypeError) as exc:
+            stop["reason"] = f"malformed event line: {exc}"
+            break
+        if event.tid not in trace.threads:
+            stop["reason"] = f"event references undeclared thread {event.tid!r}"
+            break
+        trace.threads[event.tid].append(event)
+        seen_events += 1
+
+    trimmed = _trim_unfinished_sections(trace)
+    pruned = _prune_schedule(trace, schedule["lock_schedule"])
+    from repro.trace.validate import problems as _trace_problems
+
+    dropped = None
+    if isinstance(expected_events, int):
+        dropped = max(0, expected_events - seen_events)
+    report = SalvageReport(
+        source=str(source) if source is not None else None,
+        kept_events=len(trace),
+        expected_events=expected_events if isinstance(expected_events, int) else None,
+        dropped_events=dropped,
+        trimmed_events=trimmed,
+        pruned_schedule=pruned,
+        stopped_reason=stop["reason"],
+        problems=_trace_problems(trace),
+    )
+    if not report.clean:
+        warnings.warn(SalvageWarning(report.render()), stacklevel=2)
+    return LoadedTrace(trace=trace, report=report)
+
+
+def _trim_unfinished_sections(trace: Trace) -> int:
+    """Drop each thread's tail past its last replayable point.
+
+    A truncated trace typically cuts a thread mid-critical-section, or
+    drops the POST half of a wait/post pairing; a replay of such a
+    prefix would end with the lock still held or a waiter starving
+    forever.  Each thread keeps only the longest prefix in which every
+    acquire has been released and every wait's token is still posted
+    somewhere in the surviving trace.  Cutting one thread can orphan a
+    wait in another (its POST was in the cut tail), so iterate to a
+    fixpoint; every pass only shrinks, so termination is guaranteed.
+    """
+    trimmed = 0
+    changed = True
+    while changed:
+        changed = False
+        for events in trace.threads.values():
+            held = set()
+            balanced = 0
+            for i, event in enumerate(events):
+                if event.kind == ACQUIRE:
+                    held.add(event.lock)
+                elif event.kind == RELEASE:
+                    held.discard(event.lock)
+                if not held:
+                    balanced = i + 1
+            if held:
+                trimmed += len(events) - balanced
+                del events[balanced:]
+                changed = True
+        posted = {
+            event.token
+            for events in trace.threads.values()
+            for event in events
+            if event.kind == POST and event.token
+        }
+        for events in trace.threads.values():
+            for i, event in enumerate(events):
+                if event.kind == WAIT and event.token and event.token not in posted:
+                    trimmed += len(events) - i
+                    del events[i:]
+                    changed = True
+                    break
+    return trimmed
+
+
+def _prune_schedule(trace: Trace, schedule: dict) -> int:
+    """Install the recorded schedule minus grants for dropped acquires."""
+    present = {e.uid for e in trace.iter_events() if e.kind == ACQUIRE}
+    pruned = 0
+    kept = {}
+    for lock, uids in schedule.items():
+        surviving = [uid for uid in uids if uid in present]
+        pruned += len(uids) - len(surviving)
+        if surviving:
+            kept[lock] = surviving
+    trace.lock_schedule = kept
+    return pruned
+
+
 def dumps(trace: Trace) -> str:
     """Serialize a trace to a JSONL string (thin wrapper over the writer)."""
     out = io.StringIO()
@@ -150,6 +375,11 @@ def dump(trace: Trace, path: Union[str, Path]) -> None:
     else:
         with open(path, "w", encoding="utf-8") as out:
             write_trace(trace, out)
+    if faults.enabled():
+        if faults.fires("trace.truncate", key=str(path)):
+            faults.corrupt_file(path, "truncate")
+        if faults.fires("trace.bitflip", key=str(path)):
+            faults.corrupt_file(path, "bitflip")
 
 
 def load(path: Union[str, Path]) -> Trace:
@@ -163,3 +393,21 @@ def load(path: Union[str, Path]) -> Trace:
             raise TraceError(f"corrupt gzip trace file {path}: {exc}") from None
     with open(path, "r", encoding="utf-8") as handle:
         return read_trace(handle)
+
+
+def load_trace(path: Union[str, Path], *, salvage: bool = False) -> LoadedTrace:
+    """Read a trace from a file, optionally salvaging a damaged one.
+
+    Strict mode (the default) behaves exactly like :func:`load` (any
+    damage raises :class:`TraceError`) and carries no report.  With
+    ``salvage=True`` the longest well-formed prefix is recovered and the
+    attached :class:`SalvageReport` says what was dropped.
+    """
+    path = Path(path)
+    if not salvage:
+        return LoadedTrace(trace=load(path))
+    if _is_gzip(path):
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return salvage_read(handle, source=path)
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        return salvage_read(handle, source=path)

@@ -1,0 +1,154 @@
+"""The fault-injection harness itself: rules, plans, corruption tools."""
+
+import pickle
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultInjected, ReproError
+from repro.faults import FaultPlan, FaultRule, corrupt_file, parse_rule
+
+
+class TestRuleMatching:
+    def test_first_hit_fires_by_default(self):
+        plan = FaultPlan(rules=[FaultRule(site="pool.worker_crash")])
+        assert plan.fires("pool.worker_crash")
+        assert not plan.fires("pool.worker_crash")
+
+    def test_nth_and_times_window(self):
+        plan = FaultPlan(
+            rules=[FaultRule(site="pool.worker_crash", nth=2, times=2)]
+        )
+        outcomes = [plan.fires("pool.worker_crash") for _ in range(5)]
+        assert outcomes == [False, True, True, False, False]
+
+    def test_key_selector(self):
+        plan = FaultPlan(rules=[FaultRule(site="pool.worker_crash", key=3)])
+        assert not plan.fires("pool.worker_crash", key=2)
+        assert plan.fires("pool.worker_crash", key=3)
+
+    def test_attempt_selector(self):
+        plan = FaultPlan(
+            rules=[FaultRule(site="pool.worker_crash", key=1, attempt=0)]
+        )
+        assert plan.fires("pool.worker_crash", key=1, attempt=0)
+        assert not plan.fires("pool.worker_crash", key=1, attempt=1)
+
+    def test_other_sites_do_not_fire(self):
+        plan = FaultPlan(rules=[FaultRule(site="trace.truncate")])
+        assert not plan.fires("pool.worker_crash")
+        assert plan.fires("trace.truncate")
+
+    def test_rate_mode_is_deterministic(self):
+        plan = FaultPlan(
+            seed=7, rules=[FaultRule(site="cache.blob_corrupt", rate=0.5)]
+        )
+        first = [plan.fires("cache.blob_corrupt", key="k") for _ in range(50)]
+        plan.reset()
+        second = [plan.fires("cache.blob_corrupt", key="k") for _ in range(50)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_rate_mode_depends_on_seed(self):
+        rows = []
+        for seed in (0, 1):
+            plan = FaultPlan(
+                seed=seed, rules=[FaultRule(site="cache.blob_corrupt", rate=0.5)]
+            )
+            rows.append(
+                tuple(plan.fires("cache.blob_corrupt", key="k") for _ in range(50))
+            )
+        assert rows[0] != rows[1]
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault site"):
+            FaultRule(site="pool.nonsense")
+
+    def test_pickling_drops_hit_counters(self):
+        plan = FaultPlan(rules=[FaultRule(site="pool.worker_crash")])
+        assert plan.fires("pool.worker_crash")
+        clone = pickle.loads(pickle.dumps(plan))
+        # the clone starts fresh: its first hit fires again
+        assert clone.fires("pool.worker_crash")
+
+
+class TestParseRule:
+    def test_plain_site(self):
+        rule = parse_rule("trace.truncate")
+        assert rule == FaultRule(site="trace.truncate")
+
+    def test_key_and_options(self):
+        rule = parse_rule("pool.worker_crash@2:attempt=0,times=3")
+        assert rule.site == "pool.worker_crash"
+        assert rule.key == 2  # int-looking keys become task indexes
+        assert rule.attempt == 0
+        assert rule.times == 3
+
+    def test_string_key(self):
+        assert parse_rule("sim.thread_kill@t1").key == "t1"
+
+    def test_rate_option(self):
+        assert parse_rule("cache.blob_corrupt:rate=0.25").rate == 0.25
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(ReproError, match="bad fault rule option"):
+            parse_rule("trace.truncate:bogus=1")
+
+    def test_every_advertised_site_parses(self):
+        for site in faults.SITES:
+            assert parse_rule(site).site == site
+
+
+class TestActivePlan:
+    def test_no_plan_never_fires(self):
+        assert not faults.enabled()
+        assert not faults.fires("pool.worker_crash")
+        faults.fire("pool.worker_crash")  # no plan: no raise
+
+    def test_use_plan_scopes_activation(self):
+        plan = FaultPlan(rules=[FaultRule(site="sim.thread_exception")])
+        with faults.use_plan(plan):
+            assert faults.enabled()
+            assert faults.active() is plan
+            with pytest.raises(FaultInjected, match="sim.thread_exception"):
+                faults.fire("sim.thread_exception")
+        assert not faults.enabled()
+
+    def test_use_plan_restores_on_error(self):
+        plan = FaultPlan(rules=[])
+        with pytest.raises(RuntimeError):
+            with faults.use_plan(plan):
+                raise RuntimeError("boom")
+        assert faults.active() is None
+
+
+class TestCorruptFile:
+    def test_truncate_halves_the_file(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(bytes(range(100)))
+        corrupt_file(path, "truncate")
+        assert path.read_bytes() == bytes(range(50))
+
+    def test_bitflip_changes_one_byte(self, tmp_path):
+        path = tmp_path / "blob"
+        original = bytes(range(90))
+        path.write_bytes(original)
+        corrupt_file(path, "bitflip")
+        damaged = path.read_bytes()
+        assert len(damaged) == len(original)
+        diffs = [i for i, (a, b) in enumerate(zip(original, damaged)) if a != b]
+        assert diffs == [30]
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        payload = b"x" * 64
+        for path in (a, b):
+            path.write_bytes(payload)
+            corrupt_file(path, "bitflip")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"data")
+        with pytest.raises(ReproError, match="unknown corruption mode"):
+            corrupt_file(path, "scramble")

@@ -1,0 +1,181 @@
+"""The supervised executor: retries, timeouts, crash replacement,
+quarantine, and the determinism invariant those must not break."""
+
+import pytest
+
+from repro import faults
+from repro.errors import TaskCrashError, TaskError, TaskTimeoutError
+from repro.faults import FaultPlan, parse_rule
+from repro.runner import ExecPolicy, TaskFailure, parallel_map
+
+
+def _double(task):
+    return task * 2
+
+
+def _explode(task):
+    if task == 2:
+        raise ValueError(f"bad task {task}")
+    return task * 2
+
+
+def _plan(*specs, seed=0):
+    return FaultPlan(seed=seed, rules=[parse_rule(s) for s in specs])
+
+
+PARTIAL = ExecPolicy(retries=0, partial=True)
+
+
+class TestErrorReporting:
+    """Satellite (a): worker exceptions carry the task index and repr."""
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_worker_exception_wrapped_with_context(self, jobs):
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(_explode, [0, 1, 2, 3], jobs=jobs)
+        message = str(excinfo.value)
+        assert "task 2" in message
+        assert "bad task 2" in message
+        failure = excinfo.value.failure
+        assert failure.index == 2
+        assert failure.task_repr == "2"
+
+    def test_fail_fast_raises_promptly(self):
+        # fail-fast must not wait for the remaining tasks to run
+        with pytest.raises(TaskError):
+            parallel_map(_explode, [2] + list(range(100)), jobs=2)
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_plain_error_is_not_retried(self, jobs):
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(
+                _explode, [0, 1, 2], jobs=jobs,
+                policy=ExecPolicy(retries=3),
+            )
+        assert excinfo.value.failure.attempts == 1
+
+
+class TestCrashRecovery:
+    def test_injected_crash_retried_matches_clean_run(self):
+        clean = parallel_map(_double, [0, 1, 2], jobs=2)
+        with faults.use_plan(_plan("pool.worker_crash@1:attempt=0")):
+            healed = parallel_map(
+                _double, [0, 1, 2], jobs=2, policy=ExecPolicy(retries=2)
+            )
+        assert healed == clean
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_persistent_crash_quarantined_in_partial_mode(self, jobs):
+        with faults.use_plan(_plan("pool.worker_crash@1:times=99")):
+            out = parallel_map(
+                _double, [0, 1, 2], jobs=jobs,
+                policy=ExecPolicy(retries=1, partial=True),
+            )
+        assert out[0] == 0 and out[2] == 4
+        failure = out[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 1
+        assert failure.kind == "crash"
+        assert failure.attempts == 2  # initial + 1 retry
+
+    def test_crash_raises_typed_error_in_fail_fast_mode(self):
+        with faults.use_plan(_plan("pool.worker_crash@1")):
+            with pytest.raises(TaskCrashError) as excinfo:
+                parallel_map(_double, [0, 1, 2], jobs=2)
+        assert excinfo.value.failure.index == 1
+
+    def test_surviving_tasks_unaffected_by_neighbor_crash(self):
+        with faults.use_plan(_plan("pool.worker_crash@0:times=99")):
+            out = parallel_map(_double, list(range(8)), jobs=3, policy=PARTIAL)
+        assert out[1:] == [t * 2 for t in range(1, 8)]
+
+
+class TestTimeouts:
+    def test_injected_hang_times_out(self):
+        with faults.use_plan(_plan("pool.worker_hang@1")):
+            out = parallel_map(
+                _double, [0, 1, 2], jobs=2,
+                policy=ExecPolicy(timeout=0.5, retries=0, partial=True),
+            )
+        assert out[0] == 0 and out[2] == 4
+        assert isinstance(out[1], TaskFailure)
+        assert out[1].kind == "timeout"
+
+    def test_timeout_raises_typed_error_in_fail_fast_mode(self):
+        with faults.use_plan(_plan("pool.worker_hang@0")):
+            with pytest.raises(TaskTimeoutError):
+                parallel_map(
+                    _double, [0, 1], jobs=2,
+                    policy=ExecPolicy(timeout=0.5),
+                )
+
+    def test_hung_task_retries_then_succeeds(self):
+        with faults.use_plan(_plan("pool.worker_hang@1:attempt=0")):
+            out = parallel_map(
+                _double, [0, 1, 2], jobs=2,
+                policy=ExecPolicy(timeout=0.5, retries=1),
+            )
+        assert out == [0, 2, 4]
+
+
+class TestBackoff:
+    def test_backoff_schedule_is_deterministic(self):
+        policy = ExecPolicy(backoff_base=0.1, backoff_cap=0.5)
+        delays = [policy.backoff_delay(a) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_failure_records_schedule_not_wall_clock(self):
+        with faults.use_plan(_plan("pool.worker_crash@0:times=99")):
+            out = parallel_map(
+                _double, [0], jobs=1,
+                policy=ExecPolicy(
+                    retries=2, partial=True,
+                    backoff_base=0.25, backoff_cap=10.0,
+                ),
+            )
+        failure = out[0]
+        assert failure.backoff == (0.25, 0.5)  # retry waits, not timings
+
+    def test_serial_failure_record_matches_parallel_shape(self):
+        def grab(jobs):
+            plan = _plan("pool.worker_crash@0:times=99")
+            with faults.use_plan(plan):
+                return parallel_map(
+                    _double, [0, 1], jobs=jobs,
+                    policy=ExecPolicy(retries=1, partial=True),
+                )[0]
+
+        serial, parallel = grab(1), grab(2)
+        assert (serial.index, serial.kind, serial.attempts, serial.backoff) == (
+            parallel.index, parallel.kind, parallel.attempts, parallel.backoff
+        )
+
+
+class TestDeterminismRegression:
+    """Satellite (f): retries/timeouts enabled, no faults -> identical."""
+
+    def test_jobs_n_bit_identical_to_jobs_1_with_policy(self):
+        from repro.experiments import table1
+
+        policy = ExecPolicy(timeout=120.0, retries=2, partial=True)
+        serial = table1.run(scale=0.4, jobs=1, policy=policy)
+        parallel = table1.run(scale=0.4, jobs=4, policy=policy)
+        baseline = table1.run(scale=0.4, jobs=1)
+        assert serial.render() == baseline.render()
+        assert parallel.render() == baseline.render()
+        assert not serial.failures and not parallel.failures
+
+    def test_partial_table_degrades_identically_serial_and_parallel(self):
+        from repro.experiments import table1
+
+        policy = ExecPolicy(retries=0, partial=True)
+
+        def run(jobs):
+            # fresh plan per run: hit counters are stateful
+            with faults.use_plan(_plan("pool.worker_crash@2:times=99")):
+                return table1.run(scale=0.4, jobs=jobs, policy=policy)
+
+        serial, parallel = run(1), run(4)
+        assert serial.render() == parallel.render()
+        assert "n/a" in serial.render()
+        assert list(serial.failures) == list(parallel.failures)

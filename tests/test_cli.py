@@ -148,3 +148,87 @@ class TestNewCommands:
         capsys.readouterr()
         assert main(["compare", a, b]) == 0
         assert "Before/after comparison" in capsys.readouterr().out
+
+
+class TestFaultsCommand:
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "pool.worker_crash" in out
+        assert "trace.truncate" in out
+        assert "sim.thread_kill" in out
+
+    def test_faults_demo(self, capsys):
+        assert main(["faults", "demo", "--jobs", "2", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert "n/a" in out
+        assert "salvage" in out.lower()
+
+    def test_faults_demo_no_faults_is_clean(self, capsys):
+        assert main([
+            "faults", "demo", "--no-faults", "--jobs", "2", "--scale", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "n/a" not in out
+        assert "quarantined" not in out
+
+
+class TestRobustExperimentFlags:
+    def test_partial_mode_renders_na_for_quarantined_cell(self, capsys):
+        assert main([
+            "experiment", "table1", "--no-cache", "--jobs", "2",
+            "--retries", "0", "--partial",
+            "--fault", "pool.worker_crash@1:times=99",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out
+        assert "crash after 1 attempt" in out
+
+    def test_policy_flags_without_faults_match_plain_run(self, capsys):
+        assert main(["experiment", "table1", "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "experiment", "table1", "--no-cache", "--jobs", "2",
+            "--retries", "2", "--task-timeout", "120", "--partial",
+        ]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_bad_fault_spec_is_one_line_error(self, capsys):
+        assert main([
+            "experiment", "table1", "--no-cache",
+            "--fault", "pool.nonsense",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestSalvageFlag:
+    def _truncated_trace(self, tmp_path):
+        trace_file = tmp_path / "t.jsonl"
+        main(["record", "transmissionBT", "-o", str(trace_file)])
+        text = trace_file.read_text()
+        trace_file.write_text(text[: int(len(text) * 0.7)])
+        return str(trace_file)
+
+    def test_strict_load_fails_with_one_line_error(self, tmp_path, capsys):
+        trace_file = self._truncated_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["stats", trace_file]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_salvage_recovers_prefix(self, tmp_path, capsys):
+        trace_file = self._truncated_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["stats", trace_file, "--salvage"]) == 0
+        captured = capsys.readouterr()
+        assert "salvage:" in captured.err
+        assert "kept" in captured.err
+
+    def test_salvage_and_strict_conflict(self, tmp_path, capsys):
+        trace_file = self._truncated_trace(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["stats", trace_file, "--salvage", "--strict"])

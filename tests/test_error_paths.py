@@ -120,3 +120,122 @@ class TestMachineMisuse:
         m.add_thread(thief())
         with pytest.raises(SimulationError):
             m.run()
+
+
+class TestFaultInjectedErrorPaths:
+    """Deadlock/error reporting must stay correct under injected faults."""
+
+    @staticmethod
+    def _contended_machine():
+        machine = Machine(lock_cost=0, mem_cost=0, num_cores=3)
+
+        def holder():
+            yield Acquire(lock="L")
+            yield Compute(1000)
+            yield Release(lock="L")
+
+        def waiter():
+            yield Compute(10)
+            yield Acquire(lock="L")
+            yield Release(lock="L")
+
+        machine.add_thread(holder())   # t0
+        machine.add_thread(waiter())   # t1
+        machine.add_thread(waiter())   # t2
+        return machine
+
+    def test_killed_lock_holder_reports_exact_blocked_set(self):
+        from repro import faults
+        from repro.errors import DeadlockError
+
+        machine = self._contended_machine()
+        # nth=2: after t0's acquire has been granted, before its release
+        plan = faults.FaultPlan.parse(["sim.thread_kill@t0:nth=2"], seed=0)
+        with faults.use_plan(plan):
+            with pytest.raises(DeadlockError) as excinfo:
+                machine.run()
+        blocked = {str(t).split("(")[0] for t in excinfo.value.blocked_threads}
+        # the starved waiters, and only them: the dead holder is done,
+        # not blocked, and must not pollute the report
+        assert blocked == {"t1", "t2"}
+        assert "lock:L" in str(excinfo.value)
+
+    def test_thread_exception_fault_surfaces_with_site_and_key(self):
+        from repro import faults
+        from repro.errors import FaultInjected, ReproError
+
+        machine = self._contended_machine()
+        plan = faults.FaultPlan.parse(["sim.thread_exception@t1"], seed=0)
+        with faults.use_plan(plan):
+            with pytest.raises(FaultInjected) as excinfo:
+                machine.run()
+        assert issubclass(FaultInjected, ReproError)
+        assert "sim.thread_exception" in str(excinfo.value)
+        assert "t1" in str(excinfo.value)
+
+    def test_kill_before_acquire_changes_nothing_for_others(self):
+        from repro import faults
+
+        machine = self._contended_machine()
+        plan = faults.FaultPlan.parse(["sim.thread_kill@t0:nth=1"], seed=0)
+        with faults.use_plan(plan):
+            result = machine.run()
+        # t0 never took the lock, so the waiters complete normally
+        assert result.end_time > 0
+
+
+class TestCacheCorruptionSelfHeals:
+    """An injected corrupt cache entry must read as a miss, not an error."""
+
+    def test_corrupt_trace_entry_recomputed(self, tmp_path):
+        from repro import faults
+        from repro.runner import cache as cache_mod
+        from repro.runner import record_cached
+
+        with cache_mod.use_cache(tmp_path):
+            first = record_cached("pbzip2", threads=2, scale=0.3, seed=0)
+            plan = faults.FaultPlan.parse(
+                ["cache.trace_corrupt:times=99"], seed=0
+            )
+            with faults.use_plan(plan):
+                healed = record_cached("pbzip2", threads=2, scale=0.3, seed=0)
+        assert dumps(healed.trace) == dumps(first.trace)
+
+    def test_corrupt_blob_entry_recomputed(self, tmp_path):
+        from repro import faults
+        from repro.runner import cache as cache_mod
+        from repro.runner import memoized
+
+        calls = []
+
+        # big enough that the injected bitflip lands inside the
+        # compressed payload, not in the gzip header
+        payload = {"value": bytes(range(256)) * 64}
+
+        def compute():
+            calls.append(1)
+            return payload
+
+        with cache_mod.use_cache(tmp_path):
+            assert memoized("selfheal", {"k": 1}, compute) == payload
+            plan = faults.FaultPlan.parse(
+                ["cache.blob_corrupt:times=99"], seed=0
+            )
+            with faults.use_plan(plan):
+                assert memoized("selfheal", {"k": 1}, compute) == payload
+        assert len(calls) == 2  # hit turned into a miss, then recomputed
+
+    def test_clean_cache_still_hits(self, tmp_path):
+        from repro.runner import cache as cache_mod
+        from repro.runner import memoized
+
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7
+
+        with cache_mod.use_cache(tmp_path):
+            assert memoized("selfheal", {"k": 2}, compute) == 7
+            assert memoized("selfheal", {"k": 2}, compute) == 7
+        assert len(calls) == 1

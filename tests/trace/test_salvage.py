@@ -1,0 +1,184 @@
+"""Salvage-mode trace loading: recover the longest well-formed prefix."""
+
+import json
+
+import pytest
+
+from repro.errors import SalvageWarning, TraceError
+from repro.record import record
+from repro.sim import Acquire, AwaitFlag, Compute, Release, SetFlag, Store, Write
+from repro.trace import dump, dumps, load, load_trace, loads, salvage_read
+
+
+def locked_trace(rounds=6):
+    def prog(k):
+        for i in range(rounds):
+            yield Compute(40 + k)
+            yield Acquire(lock="L")
+            yield Write("x", op=Store(i), site=None)
+            yield Release(lock="L")
+
+    return record([(prog(0), "a"), (prog(1), "b")], lock_cost=0, mem_cost=0).trace
+
+
+def flag_trace():
+    def producer():
+        yield Compute(10)
+        yield SetFlag(flag="go")
+        yield Compute(10)
+        yield SetFlag(flag="go2")
+
+    def consumer():
+        yield AwaitFlag(flag="go")
+        yield Compute(10)
+        yield AwaitFlag(flag="go2")
+        yield Compute(10)
+
+    return record(
+        [(producer(), "p"), (consumer(), "c")], lock_cost=0, mem_cost=0
+    ).trace
+
+
+class TestSalvageRead:
+    def test_clean_input_is_clean(self):
+        trace = locked_trace()
+        loaded = salvage_read(dumps(trace).splitlines())
+        assert loaded.report.clean
+        assert len(loaded.trace) == len(trace)
+        assert loaded.trace.lock_schedule == trace.lock_schedule
+
+    def test_truncated_body_recovers_prefix(self):
+        trace = locked_trace()
+        lines = dumps(trace).splitlines()
+        kept = lines[: len(lines) - 8]
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_read(kept)
+        assert 0 < len(loaded.trace) < len(trace)
+        assert loaded.report.dropped_events >= 8
+
+    def test_garbage_line_stops_the_read(self):
+        trace = locked_trace()
+        lines = dumps(trace).splitlines()
+        cut = len(lines) // 2
+        lines[cut] = '{"uid": "e1", "broken'
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_read(lines)
+        assert loaded.report.stopped_reason
+        assert len(loaded.trace) <= cut
+
+    def test_header_damage_is_unsalvageable(self):
+        trace = locked_trace()
+        lines = dumps(trace).splitlines()
+        lines[0] = "not json at all"
+        with pytest.raises(TraceError, match="unsalvageable"):
+            salvage_read(lines)
+
+    def test_missing_headers_unsalvageable(self):
+        with pytest.raises(TraceError, match="unsalvageable"):
+            salvage_read([])
+
+    def test_unfinished_critical_section_trimmed(self):
+        trace = locked_trace()
+        lines = dumps(trace).splitlines()
+        # cut immediately after an acquire so a lock is left held
+        for i in reversed(range(len(lines))):
+            if '"acquire"' in lines[i]:
+                lines = lines[: i + 1]
+                break
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_read(lines)
+        assert loaded.report.trimmed_events >= 1
+        for events in loaded.trace.threads.values():
+            held = set()
+            for event in events:
+                if event.kind == "acquire":
+                    held.add(event.lock)
+                elif event.kind == "release":
+                    held.discard(event.lock)
+            assert not held
+
+    def test_schedule_pruned_to_surviving_acquires(self):
+        trace = locked_trace()
+        lines = dumps(trace).splitlines()
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_read(lines[: len(lines) - 10])
+        surviving = {
+            e.uid for e in loaded.trace.iter_events() if e.kind == "acquire"
+        }
+        for uids in loaded.trace.lock_schedule.values():
+            assert set(uids) <= surviving
+        assert loaded.report.pruned_schedule > 0
+
+    def test_orphaned_wait_trimmed_with_its_post(self):
+        trace = flag_trace()
+        lines = dumps(trace).splitlines()
+        # delete the second POST line only: its waiter would starve a
+        # replay forever, so salvage must trim the waiter too
+        posts = [
+            i for i, line in enumerate(lines)
+            if json.loads(line).get("kind") == "post"
+        ]
+        del lines[posts[-1]]
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_read(lines)
+        posted = {
+            e.token for e in loaded.trace.iter_events() if e.kind == "post"
+        }
+        for event in loaded.trace.iter_events():
+            if event.kind == "wait" and event.token:
+                assert event.token in posted
+
+    def test_salvaged_prefix_replays(self):
+        from repro.replay import Replayer
+
+        trace = locked_trace()
+        lines = dumps(trace).splitlines()
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_read(lines[: len(lines) - 6])
+        result = Replayer(jitter=0.0).replay(loaded.trace)
+        assert result.end_time >= 0
+
+
+class TestLoadTrace:
+    def test_strict_mode_matches_load(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.trace.gz"
+        dump(trace, path)
+        strict = load_trace(path)
+        assert strict.report is None
+        assert dumps(strict.trace) == dumps(load(path))
+
+    def test_truncated_gzip_strict_fails_salvage_recovers(self, tmp_path):
+        trace = locked_trace(rounds=30)
+        path = tmp_path / "t.trace.gz"
+        dump(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceError):
+            load(path)
+        with pytest.warns(SalvageWarning):
+            loaded = load_trace(path, salvage=True)
+        assert 0 < len(loaded.trace) < len(trace)
+        assert not loaded.report.clean
+
+    def test_plain_text_truncation(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.trace"
+        dump(trace, path)
+        text = path.read_text()
+        path.write_text(text[: int(len(text) * 0.7)])
+        with pytest.warns(SalvageWarning):
+            loaded = load_trace(path, salvage=True)
+        assert 0 < len(loaded.trace) < len(trace)
+
+    def test_report_renders_one_line(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.trace"
+        dump(trace, path)
+        text = path.read_text()
+        path.write_text(text[: int(len(text) * 0.7)])
+        with pytest.warns(SalvageWarning):
+            loaded = load_trace(path, salvage=True)
+        rendered = loaded.report.render()
+        assert "\n" not in rendered
+        assert "kept" in rendered

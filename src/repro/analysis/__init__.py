@@ -2,6 +2,7 @@
 
 from repro.analysis.benign import WriteTimeline, is_benign
 from repro.analysis.classify import FALSE, classify_pair
+from repro.analysis.engine import TraceScan, scan_trace
 from repro.analysis.dls import (
     FLAG_CHECK_COST,
     LocksetCost,
@@ -10,6 +11,7 @@ from repro.analysis.dls import (
     plan_cost,
 )
 from repro.analysis.pairs import PairAnalysis, analyze_pairs
+from repro.analysis.reference import analyze_pairs_reference
 from repro.analysis.resync import ResyncPlan, build_resync_plan, mutually_exclusive
 from repro.analysis.sections import (
     CriticalSection,
@@ -47,6 +49,9 @@ __all__ = [
     "is_benign",
     "PairAnalysis",
     "analyze_pairs",
+    "analyze_pairs_reference",
+    "TraceScan",
+    "scan_trace",
     "Topology",
     "build_topology",
     "CAUSAL",

@@ -16,51 +16,97 @@ each pair is judged against the state it actually executed under.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.sections import CriticalSection
 from repro.sim.requests import decode_op
 from repro.trace.events import READ, WRITE, TraceEvent
-from repro.trace.trace import Trace
+from repro.trace.trace import _uid_order
 
 
 class WriteTimeline:
-    """Per-address sorted write history, for point-in-time state lookups."""
+    """Per-address sorted write history, for point-in-time state lookups.
 
-    def __init__(self, trace: Trace):
-        self._writes: Dict[str, List[Tuple[int, int]]] = {}
-        for event in trace.iter_time_order():
-            if event.kind == WRITE:
-                self._writes.setdefault(event.addr, []).append((event.t, event.value))
+    Construction is lazy end to end: handing a trace over costs nothing,
+    the per-address histories are collected on the first ``value_at``
+    call (one pass over the trace — via the columnar core's arrays when
+    one is attached), and each address's history is sorted only when
+    that address is first queried.  An analysis in which no pair ever
+    reaches the benign test therefore never pays for the timeline.
+
+    History entries are ``(t, order_key, value)`` with ``order_key`` the
+    record-order tie break, so equal-timestamp writes resolve exactly as
+    in a full time-ordered walk of the trace.
+    """
+
+    def __init__(self, trace):
+        self._trace = trace
+        # addr -> [(t, order_key, value)]; None until first use
+        self._writes: Optional[Dict[str, List[Tuple]]] = None
+        self._sorted: set = set()
+
+    def _collect(self) -> Dict[str, List[Tuple]]:
+        if self._writes is not None:
+            return self._writes
+        writes: Dict[str, List[Tuple]] = {}
+        trace = self._trace
+        core = getattr(trace, "_columnar", None)
+        if core is None and hasattr(trace, "columns"):
+            core = trace  # already a ColumnarTrace
+        if core is not None:
+            from repro.trace.interning import WRITE_CODE
+
+            addr_name = core.tables.addrs.name
+            for column in core.columns.values():
+                kinds = column.kind
+                addr_ids = column.addr_id
+                ts = column.t
+                values = column.value
+                uids = column.uids
+                for i in range(len(kinds)):
+                    if kinds[i] == WRITE_CODE:
+                        writes.setdefault(addr_name(addr_ids[i]), []).append(
+                            (ts[i], _uid_order(uids[i]), values[i])
+                        )
+        else:
+            for event in trace.iter_events():
+                if event.kind == WRITE:
+                    writes.setdefault(event.addr, []).append(
+                        (event.t, _uid_order(event.uid), event.value)
+                    )
+        self._writes = writes
+        return writes
 
     def value_at(self, addr: str, t: int) -> int:
         """The value of ``addr`` just *before* simulated time ``t``."""
-        history = self._writes.get(addr)
+        history = self._collect().get(addr)
         if not history:
             return 0
-        idx = bisect.bisect_left(history, (t, -(1 << 62))) - 1
+        if addr not in self._sorted:
+            history.sort()
+            self._sorted.add(addr)
+        # (t,) sorts before every (t, order, value) entry at time t, so
+        # idx-1 is the last write strictly before t
+        idx = bisect.bisect_left(history, (t,)) - 1
         if idx < 0:
             return 0
-        return history[idx][1]
+        return history[idx][2]
 
 
 def _memory_ops(cs: CriticalSection) -> List[TraceEvent]:
-    return [e for e in cs.body if e.kind in (READ, WRITE)]
+    return cs.memory_ops()
 
 
-def _interpret(
-    first: List[TraceEvent], second: List[TraceEvent], state: Dict[str, int]
-) -> Tuple[Dict[str, int], List[int]]:
-    """Run two op sequences back to back over ``state``; collect read values."""
+def _reads_and_state(ops: List[TraceEvent], state: Dict[str, int]):
+    """Run one op sequence over a copy of ``state``; collect read values."""
     state = dict(state)
-    read_values: List[int] = []
-    for event in list(first) + list(second):
+    values: List[int] = []
+    for event in ops:
         if event.kind == READ:
-            read_values.append(state.get(event.addr, 0))
+            values.append(state.get(event.addr, 0))
         else:
-            op = decode_op(event.op)
-            state[event.addr] = op.apply(state.get(event.addr, 0))
-    return state, read_values
+            state[event.addr] = decode_op(event.op).apply(state.get(event.addr, 0))
+    return values, state
 
 
 def is_benign(
@@ -70,31 +116,20 @@ def is_benign(
 
     Read values are compared *per section* (each section's reads must see
     the same values in both orders), and the final memory state must match.
+    Four single-section interpretations cover both orders: running c2
+    from c1's end state *is* the forward replay, and symmetrically for
+    the reversed order.
     """
     ops1 = _memory_ops(c1)
     ops2 = _memory_ops(c2)
     touched = {e.addr for e in ops1} | {e.addr for e in ops2}
     start = {addr: timeline.value_at(addr, c1.t_start) for addr in touched}
 
-    forward_state, _ = _interpret(ops1, ops2, start)
-    reversed_state, _ = _interpret(ops2, ops1, start)
+    c1_first_reads, state_after_c1 = _reads_and_state(ops1, start)
+    c2_second_reads, forward_state = _reads_and_state(ops2, state_after_c1)
+    c2_first_reads, state_after_c2 = _reads_and_state(ops2, start)
+    c1_second_reads, reversed_state = _reads_and_state(ops1, state_after_c2)
+
     if forward_state != reversed_state:
         return False
-
-    # Per-section read comparison: c1's reads in forward order vs c1's reads
-    # when it runs second, and symmetrically for c2.
-    def reads_of(ops, state):
-        state = dict(state)
-        values = []
-        for event in ops:
-            if event.kind == READ:
-                values.append(state.get(event.addr, 0))
-            else:
-                state[event.addr] = decode_op(event.op).apply(state.get(event.addr, 0))
-        return values, state
-
-    c1_first_reads, state_after_c1 = reads_of(ops1, start)
-    c2_second_reads, _ = reads_of(ops2, state_after_c1)
-    c2_first_reads, state_after_c2 = reads_of(ops2, start)
-    c1_second_reads, _ = reads_of(ops1, state_after_c2)
     return c1_first_reads == c1_second_reads and c2_first_reads == c2_second_reads

@@ -17,7 +17,29 @@ FALSE = "false"
 
 
 def classify_pair(c1: CriticalSection, c2: CriticalSection) -> str:
-    """Line-by-line transcription of the paper's Algorithm 1."""
+    """Line-by-line transcription of the paper's Algorithm 1.
+
+    When both sections carry interned access-set bitmasks (the columnar
+    engine path), the three set intersections collapse to three ``&`` on
+    plain ints; otherwise the original string-set logic runs.
+    """
+    if (
+        c1.srd_mask is not None
+        and c1.swr_mask is not None
+        and c2.srd_mask is not None
+        and c2.swr_mask is not None
+    ):
+        if not (c1.srd_mask | c1.swr_mask) or not (c2.srd_mask | c2.swr_mask):
+            return NULL_LOCK
+        if not c1.swr_mask and not c2.swr_mask:
+            return READ_READ
+        if (
+            not (c1.srd_mask & c2.swr_mask)
+            and not (c1.swr_mask & c2.srd_mask)
+            and not (c1.swr_mask & c2.swr_mask)
+        ):
+            return DISJOINT_WRITE
+        return FALSE
     if (not c1.srd and not c1.swr) or (not c2.srd and not c2.swr):
         return NULL_LOCK
     if not c1.swr and not c2.swr:

@@ -1,0 +1,170 @@
+"""Single-pass columnar analysis engine.
+
+The reference pipeline walks the trace three-plus times (section
+extraction, shared-address discovery, write-timeline construction) over
+``TraceEvent`` objects.  This engine fuses all of it into **one**
+streaming walk over the interned columnar core
+(:mod:`repro.trace.interning`):
+
+* critical sections are opened/closed exactly like
+  :func:`repro.analysis.sections.extract_sections`, but their access
+  sets accumulate as integer bitmasks over interned address ids,
+* address sharedness (touched by two or more threads) is discovered in
+  the same walk via a first-toucher map, and
+* Eq. 1 anchors fall out of the walk indices for free.
+
+Afterwards the paper's shared sets are one mask-and each
+(``srd_mask = read_mask & shared_mask``), and Algorithm 1's three
+intersections become three ``&`` on Python ints
+(:func:`repro.analysis.classify.classify_pair`).
+
+The write timeline the benign test needs is *not* built here — see
+:class:`repro.analysis.benign.WriteTimeline`, which collects and sorts
+per-address write history only on first use.
+
+Equivalence bar: for any trace, the sections produced here are
+observably identical (uids, anchors, lock indexes, bodies, access sets)
+to the reference path's; ``tests/analysis/test_engine_equivalence.py``
+holds both paths to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis.sections import CriticalSection
+from repro.errors import TraceError
+from repro.trace.interning import (
+    ACQUIRE_CODE,
+    READ_CODE,
+    RELEASE_CODE,
+    WRITE_CODE,
+    ColumnarTrace,
+    InternTables,
+)
+
+
+@dataclass
+class TraceScan:
+    """Everything one engine walk learned about a trace."""
+
+    tables: InternTables
+    sections: List[CriticalSection] = field(default_factory=list)
+    #: interned ids of addresses touched by two or more threads
+    shared_ids: Set[int] = field(default_factory=set)
+    #: bitmask with one bit per shared address id
+    shared_mask: int = 0
+    #: total events walked
+    events: int = 0
+
+    def shared_addresses(self) -> Set[str]:
+        """The shared addresses as strings (decoded on demand)."""
+        name = self.tables.addrs.name
+        return {name(aid) for aid in self.shared_ids}
+
+
+def scan_trace(core: ColumnarTrace) -> TraceScan:
+    """One streaming walk: sections + sharedness + masks.
+
+    Raises the same :class:`TraceError` shapes as the reference
+    extractor (nested same-lock acquire, release of unheld lock,
+    unclosed sections at thread end).
+
+    The result is memoized on ``core``: a columnar core is an immutable
+    snapshot of its trace, so its scan — and the sections in it, which
+    every downstream stage treats read-only — never changes.
+    """
+    if core._scan is not None:
+        return core._scan
+    tables = core.tables
+    lock_name = tables.locks.name
+    scan = TraceScan(tables=tables)
+    sections = scan.sections
+    first_toucher: Dict[int, int] = {}
+    shared_ids = scan.shared_ids
+
+    for tid, column in core.columns.items():
+        kinds = column.kind
+        lock_ids = column.lock_id
+        addr_ids = column.addr_id
+        uids = column.uids
+        view = core.threads[tid]
+        tid_id = column.tid_id
+        n = len(kinds)
+        open_by_lock: Dict[int, CriticalSection] = {}
+        stack: List[CriticalSection] = []
+        # parallel per-open-section mask accumulators (stack-aligned)
+        read_masks: List[int] = []
+        write_masks: List[int] = []
+        scan.events += n
+
+        for i, kind in enumerate(kinds):
+            if kind == READ_CODE or kind == WRITE_CODE:
+                aid = addr_ids[i]
+                if first_toucher.setdefault(aid, tid_id) != tid_id:
+                    shared_ids.add(aid)
+                if stack:
+                    bit = 1 << aid
+                    masks = read_masks if kind == READ_CODE else write_masks
+                    for depth in range(len(masks)):
+                        masks[depth] |= bit
+            elif kind == ACQUIRE_CODE:
+                lid = lock_ids[i]
+                if lid in open_by_lock:
+                    raise TraceError(
+                        f"{tid}: nested acquire of same lock {lock_name(lid)}"
+                    )
+                cs = CriticalSection(
+                    uid=uids[i],
+                    tid=tid,
+                    lock=lock_name(lid),
+                    acquire=view[i],
+                    release=view[i],  # patched at RELEASE
+                    pre_anchor=uids[i - 1] if i > 0 else None,
+                )
+                cs._body = None
+                cs._body_source = (view, i + 1, i + 1)  # end patched at RELEASE
+                open_by_lock[lid] = cs
+                stack.append(cs)
+                read_masks.append(0)
+                write_masks.append(0)
+                sections.append(cs)
+            elif kind == RELEASE_CODE:
+                lid = lock_ids[i]
+                cs = open_by_lock.pop(lid, None)
+                if cs is None:
+                    raise TraceError(f"{tid}: release of unheld {lock_name(lid)}")
+                depth = stack.index(cs)
+                stack.pop(depth)
+                cs.read_mask = read_masks.pop(depth)
+                cs.write_mask = write_masks.pop(depth)
+                cs.release = view[i]
+                cs._body_source = (view, cs._body_source[1], i)
+                if i + 1 < n:
+                    cs.post_anchor = uids[i + 1]
+        if open_by_lock:
+            raise TraceError(f"{tid}: unclosed critical sections")
+
+    shared_mask = 0
+    for aid in shared_ids:
+        shared_mask |= 1 << aid
+    scan.shared_mask = shared_mask
+
+    # annotate_shared_sets, as a mask-and; string sets stay lazy
+    for cs in sections:
+        cs._tables = tables
+        cs._reads = None
+        cs._writes = None
+        cs._srd = None
+        cs._swr = None
+        cs.srd_mask = cs.read_mask & shared_mask
+        cs.swr_mask = cs.write_mask & shared_mask
+
+    sections.sort(key=lambda cs: (cs.t_start, cs.uid))
+    by_lock: Dict[str, int] = {}
+    for cs in sections:
+        cs.lock_index = by_lock.get(cs.lock, 0)
+        by_lock[cs.lock] = cs.lock_index + 1
+    core._scan = scan
+    return scan

@@ -5,21 +5,26 @@ critical sections from *different* threads in the lock's acquisition
 order form candidate pairs (three sequential sections encode as two
 pairs, as §2.1 prescribes).  Each pair runs through Algorithm 1 and, when
 Algorithm 1 answers FALSE, through the reversed-replay benign test.
+
+This module runs the fused columnar path: one :func:`scan_trace` walk
+replaces the separate section-extraction / shared-address / shared-set
+passes, the write timeline is built lazily (only a FALSE pair triggers
+it), and every benign verdict is cached on the returned
+:class:`PairAnalysis` so the transformation stage can reuse it instead
+of re-replaying.  The original multi-pass implementation is retained as
+:func:`repro.analysis.reference.analyze_pairs_reference` and the two are
+held to identical output by ``tests/analysis/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.benign import WriteTimeline, is_benign
 from repro.analysis.classify import FALSE, classify_pair
-from repro.analysis.sections import (
-    CriticalSection,
-    extract_sections,
-    sections_by_lock,
-)
-from repro.analysis.shadow import annotate_shared_sets, shared_addresses
+from repro.analysis.engine import scan_trace
+from repro.analysis.sections import CriticalSection, sections_by_lock
 from repro.analysis.ulcp import BENIGN, TLCP, UlcpBreakdown, UlcpPair
 from repro.trace.trace import Trace
 
@@ -31,6 +36,11 @@ class PairAnalysis:
     sections: List[CriticalSection] = field(default_factory=list)
     pairs: List[UlcpPair] = field(default_factory=list)
     breakdown: UlcpBreakdown = field(default_factory=UlcpBreakdown)
+    #: lazy write timeline over the analyzed trace (None when the benign
+    #: pass was disabled); downstream stages reuse it instead of rebuilding
+    timeline: Optional[WriteTimeline] = None
+    #: benign verdicts keyed ``(c1.uid, c2.uid)``, for reuse by topology
+    benign_cache: Dict[Tuple[str, str], bool] = field(default_factory=dict)
 
     @property
     def ulcps(self) -> List[UlcpPair]:
@@ -48,26 +58,29 @@ class PairAnalysis:
 
 
 def analyze_pairs(trace: Trace, *, benign_detection: bool = True) -> PairAnalysis:
-    """Extract, annotate, enumerate and classify all same-lock pairs.
+    """Scan, enumerate and classify all same-lock pairs in one pass.
 
     ``benign_detection=False`` skips the reversed replay and counts every
     conflicting pair as a TLCP — the ablation for how much the benign pass
     buys (misclassified benign pairs keep causal edges they don't need).
     """
-    sections = extract_sections(trace)
-    shared = shared_addresses(trace)
-    annotate_shared_sets(sections, shared)
+    core = trace.columnar()
+    scan = scan_trace(core)
+    sections = scan.sections
     timeline = WriteTimeline(trace) if benign_detection else None
 
-    analysis = PairAnalysis(sections=sections)
+    analysis = PairAnalysis(sections=sections, timeline=timeline)
+    benign_cache = analysis.benign_cache
     for lock_sections in sections_by_lock(sections).values():
         for first, second in zip(lock_sections, lock_sections[1:]):
             if first.tid == second.tid:
                 continue  # program order already serializes these
             kind = classify_pair(first, second)
             if kind == FALSE:
-                if benign_detection and is_benign(first, second, timeline):
-                    kind = BENIGN
+                if benign_detection:
+                    benign = is_benign(first, second, timeline)
+                    benign_cache[(first.uid, second.uid)] = benign
+                    kind = BENIGN if benign else TLCP
                 else:
                     kind = TLCP
             pair = UlcpPair(c1=first, c2=second, kind=kind)

@@ -1,0 +1,48 @@
+"""Retained reference implementation of the pair analysis.
+
+This is the original multi-pass pipeline — ``extract_sections`` over
+``TraceEvent`` lists, a separate ``shared_addresses`` walk,
+``annotate_shared_sets`` filling string sets, and set-intersection
+Algorithm 1 — kept verbatim as the equivalence oracle for the fused
+columnar engine (:func:`repro.analysis.pairs.analyze_pairs`).
+
+``tests/analysis/test_engine_equivalence.py`` drives both paths over
+randomized workloads and requires identical pair kinds, breakdowns and
+transformed traces.  Nothing in the production pipeline calls this.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.benign import WriteTimeline, is_benign
+from repro.analysis.classify import FALSE, classify_pair
+from repro.analysis.pairs import PairAnalysis
+from repro.analysis.sections import extract_sections, sections_by_lock
+from repro.analysis.shadow import annotate_shared_sets, shared_addresses
+from repro.analysis.ulcp import BENIGN, TLCP, UlcpPair
+from repro.trace.trace import Trace
+
+
+def analyze_pairs_reference(
+    trace: Trace, *, benign_detection: bool = True
+) -> PairAnalysis:
+    """Multi-pass pair analysis: the pre-engine implementation, unchanged."""
+    sections = extract_sections(trace)
+    shared = shared_addresses(trace)
+    annotate_shared_sets(sections, shared)
+    timeline = WriteTimeline(trace) if benign_detection else None
+
+    analysis = PairAnalysis(sections=sections, timeline=timeline)
+    for lock_sections in sections_by_lock(sections).values():
+        for first, second in zip(lock_sections, lock_sections[1:]):
+            if first.tid == second.tid:
+                continue  # program order already serializes these
+            kind = classify_pair(first, second)
+            if kind == FALSE:
+                if benign_detection and is_benign(first, second, timeline):
+                    kind = BENIGN
+                else:
+                    kind = TLCP
+            pair = UlcpPair(c1=first, c2=second, kind=kind)
+            analysis.pairs.append(pair)
+            analysis.breakdown.add(kind)
+    return analysis

@@ -7,12 +7,26 @@ and release (including nested lock events).
 
 A CS's uid is the uid of its acquire event; the transformation and the
 performance metrics reference sections by this uid throughout.
+
+Two construction paths exist:
+
+* :func:`extract_sections` — the retained reference walk over
+  ``TraceEvent`` lists, filling eager ``reads``/``writes`` string sets
+  (the shared sets then come from
+  :func:`repro.analysis.shadow.annotate_shared_sets`), and
+* :func:`repro.analysis.engine.scan_trace` — the single-pass columnar
+  engine, which fills the *bitmask* representation (``read_mask`` /
+  ``srd_mask`` / ... over interned address ids) and leaves the string
+  sets to be decoded lazily on first access.
+
+Both paths produce :class:`CriticalSection` objects with identical
+observable state; Algorithm 1 (:mod:`repro.analysis.classify`) prefers
+the masks when present.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.errors import TraceError
 from repro.trace.codesite import CodeRegion, CodeSite
@@ -20,32 +34,174 @@ from repro.trace.events import ACQUIRE, READ, RELEASE, TraceEvent, WRITE
 from repro.trace.trace import Trace
 
 
-@dataclass
+def iter_mask_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 class CriticalSection:
-    """One dynamic critical section."""
+    """One dynamic critical section.
 
-    uid: str
-    tid: str
-    lock: str
-    acquire: TraceEvent
-    release: TraceEvent
-    body: List[TraceEvent] = field(default_factory=list)
+    Access sets live in two equivalent representations: plain string
+    sets (``reads``/``writes``/``srd``/``swr``, the public API) and —
+    when built by the columnar engine — integer bitmasks over interned
+    address ids (``read_mask``/``write_mask``/``srd_mask``/``swr_mask``).
+    The string views decode lazily from the masks, so a section that is
+    only ever intersected never materializes a set.
+    """
 
-    #: All / shared reads and writes in the body (addresses).  The shared
-    #: sets (the paper's C.Srd / C.Swr) are filled in by the shadow pass.
-    reads: Set[str] = field(default_factory=set)
-    writes: Set[str] = field(default_factory=set)
-    srd: Set[str] = field(default_factory=set)
-    swr: Set[str] = field(default_factory=set)
+    __slots__ = (
+        "uid",
+        "tid",
+        "lock",
+        "acquire",
+        "release",
+        #: Anchors for the Eq. 1 performance labels: the uid of the last
+        #: event before the CS in this thread (Time1 anchor) and of the
+        #: first event after it (Time2/Time3 anchor).  None at thread edges.
+        "pre_anchor",
+        "post_anchor",
+        #: Position of this CS in its lock's acquisition order.
+        "lock_index",
+        #: Bitmasks over interned address ids (None outside the engine path).
+        "read_mask",
+        "write_mask",
+        "srd_mask",
+        "swr_mask",
+        "_tables",
+        "_body",
+        "_body_source",
+        "_reads",
+        "_writes",
+        "_srd",
+        "_swr",
+        "_mem_ops",
+    )
 
-    #: Anchors for the Eq. 1 performance labels: the uid of the last event
-    #: before the CS in this thread (Time1 anchor) and of the first event
-    #: after it (Time2/Time3 anchor).  Either may be None at thread edges.
-    pre_anchor: Optional[str] = None
-    post_anchor: Optional[str] = None
+    def __init__(
+        self,
+        uid: str,
+        tid: str,
+        lock: str,
+        acquire: TraceEvent,
+        release: TraceEvent,
+        body: Optional[List[TraceEvent]] = None,
+        reads: Optional[Set[str]] = None,
+        writes: Optional[Set[str]] = None,
+        srd: Optional[Set[str]] = None,
+        swr: Optional[Set[str]] = None,
+        pre_anchor: Optional[str] = None,
+        post_anchor: Optional[str] = None,
+        lock_index: int = -1,
+    ):
+        self.uid = uid
+        self.tid = tid
+        self.lock = lock
+        self.acquire = acquire
+        self.release = release
+        self.pre_anchor = pre_anchor
+        self.post_anchor = post_anchor
+        self.lock_index = lock_index
+        self.read_mask = None
+        self.write_mask = None
+        self.srd_mask = None
+        self.swr_mask = None
+        self._tables = None
+        self._body = body if body is not None else []
+        self._body_source = None
+        self._reads = reads if reads is not None else set()
+        self._writes = writes if writes is not None else set()
+        self._srd = srd if srd is not None else set()
+        self._swr = swr if swr is not None else set()
+        self._mem_ops = None
 
-    #: Position of this CS in its lock's acquisition order.
-    lock_index: int = -1
+    # ------------------------------------------------- lazy body / sets
+
+    @property
+    def body(self) -> List[TraceEvent]:
+        if self._body is None:
+            view, start, end = self._body_source
+            self._body = view[start:end]
+        return self._body
+
+    @body.setter
+    def body(self, events: List[TraceEvent]) -> None:
+        self._body = events
+
+    def _decode_mask(self, mask: int) -> Set[str]:
+        name = self._tables.addrs.name
+        return {name(bit) for bit in iter_mask_bits(mask)}
+
+    @property
+    def reads(self) -> Set[str]:
+        """Addresses read anywhere in the body."""
+        if self._reads is None:
+            self._reads = self._decode_mask(self.read_mask)
+        return self._reads
+
+    @reads.setter
+    def reads(self, value: Set[str]) -> None:
+        self._reads = value
+
+    @property
+    def writes(self) -> Set[str]:
+        """Addresses written anywhere in the body."""
+        if self._writes is None:
+            self._writes = self._decode_mask(self.write_mask)
+        return self._writes
+
+    @writes.setter
+    def writes(self, value: Set[str]) -> None:
+        self._writes = value
+
+    @property
+    def srd(self) -> Set[str]:
+        """The paper's C.Srd: *shared* addresses read in the body."""
+        if self._srd is None:
+            self._srd = self._decode_mask(self.srd_mask)
+        return self._srd
+
+    @srd.setter
+    def srd(self, value: Set[str]) -> None:
+        self._srd = value
+        self.srd_mask = None  # sets now authoritative; drop the stale mask
+
+    @property
+    def swr(self) -> Set[str]:
+        """The paper's C.Swr: *shared* addresses written in the body."""
+        if self._swr is None:
+            self._swr = self._decode_mask(self.swr_mask)
+        return self._swr
+
+    @swr.setter
+    def swr(self, value: Set[str]) -> None:
+        self._swr = value
+        self.swr_mask = None
+
+    # ------------------------------------------------------- key views
+
+    def srd_keys(self):
+        """C.Srd as hashable keys (interned bits when available)."""
+        if self.srd_mask is not None:
+            return iter_mask_bits(self.srd_mask)
+        return self._srd
+
+    def swr_keys(self):
+        """C.Swr as hashable keys (interned bits when available)."""
+        if self.swr_mask is not None:
+            return iter_mask_bits(self.swr_mask)
+        return self._swr
+
+    def srd_only_keys(self):
+        """C.Srd minus C.Swr, as hashable keys."""
+        if self.srd_mask is not None and self.swr_mask is not None:
+            return iter_mask_bits(self.srd_mask & ~self.swr_mask)
+        return self._srd - self._swr
+
+    # ------------------------------------------------------ properties
 
     @property
     def t_start(self) -> int:
@@ -69,15 +225,34 @@ class CriticalSection:
     @property
     def is_empty(self) -> bool:
         """No shared accesses at all (the null-lock shape)."""
-        return not self.srd and not self.swr
+        if self.srd_mask is not None and self.swr_mask is not None:
+            return not self.srd_mask and not self.swr_mask
+        return not self._srd and not self._swr
 
     def conflicts_with(self, other: "CriticalSection") -> bool:
         """True when the shared access sets truly collide (Algorithm 1 l.5)."""
+        if (
+            self.srd_mask is not None
+            and self.swr_mask is not None
+            and other.srd_mask is not None
+            and other.swr_mask is not None
+        ):
+            return bool(
+                (self.srd_mask & other.swr_mask)
+                or (self.swr_mask & other.srd_mask)
+                or (self.swr_mask & other.swr_mask)
+            )
         return bool(
             (self.srd & other.swr)
             or (self.swr & other.srd)
             or (self.swr & other.swr)
         )
+
+    def memory_ops(self) -> List[TraceEvent]:
+        """The body's READ/WRITE events, computed once and cached."""
+        if self._mem_ops is None:
+            self._mem_ops = [e for e in self.body if e.kind in (READ, WRITE)]
+        return self._mem_ops
 
     def __repr__(self):
         return (
@@ -155,7 +330,7 @@ def _attach_anchors(trace: Trace, sections: List[CriticalSection]) -> None:
             cs.post_anchor = events[release_idx + 1].uid
 
 
-def sections_by_lock(sections: List[CriticalSection]) -> Dict[str, List[CriticalSection]]:
+def sections_by_lock(sections: Iterable[CriticalSection]) -> Dict[str, List[CriticalSection]]:
     """Group sections per lock, each group in acquisition order."""
     grouped: Dict[str, List[CriticalSection]] = {}
     for cs in sections:

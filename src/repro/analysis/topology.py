@@ -104,10 +104,13 @@ class _LockIndex:
         for cs in sections:
             self.by_thread.setdefault(cs.tid, []).append(cs)
             self.by_index[cs.lock_index] = cs
-            for addr in cs.swr:
+            # keys are interned address ids on the engine path, strings on
+            # the reference path — either way they only meet keys from the
+            # same analysis, so the dicts stay internally consistent
+            for addr in cs.swr_keys():
                 self.write_pos.setdefault((cs.tid, addr), []).append(cs.lock_index)
                 self.access_pos.setdefault((cs.tid, addr), []).append(cs.lock_index)
-            for addr in cs.srd - cs.swr:
+            for addr in cs.srd_only_keys():
                 self.access_pos.setdefault((cs.tid, addr), []).append(cs.lock_index)
 
     def first_conflict_after(
@@ -115,7 +118,7 @@ class _LockIndex:
     ) -> Optional[CriticalSection]:
         """First section of ``tid`` past ``after_index`` whose sets collide."""
         best: Optional[int] = None
-        for addr in cs.swr:
+        for addr in cs.swr_keys():
             for table in (self.access_pos,):
                 positions = table.get((tid, addr))
                 if positions:
@@ -124,7 +127,7 @@ class _LockIndex:
                         pos = positions[i]
                         if best is None or pos < best:
                             best = pos
-        for addr in cs.srd:
+        for addr in cs.srd_keys():
             positions = self.write_pos.get((tid, addr))
             if positions:
                 i = bisect.bisect_right(positions, after_index)
@@ -143,18 +146,25 @@ def build_topology(
     *,
     benign_detection: bool = True,
     order_edges: bool = True,
+    timeline: Optional[WriteTimeline] = None,
+    benign_cache: Optional[Dict[Tuple[str, str], bool]] = None,
 ) -> Topology:
     """Apply RULE 1 (+ RULE 2 when ``order_edges``) to annotated sections.
 
-    ``sections`` must already carry their shared sets (see
-    :func:`repro.analysis.shadow.annotate_shared_sets`).
+    ``sections`` must already carry their shared sets (either the
+    engine's bitmasks or :func:`repro.analysis.shadow.annotate_shared_sets`
+    string sets).  ``timeline`` / ``benign_cache`` let a caller share the
+    pair analysis's write timeline and already-computed benign verdicts —
+    every pair the classifier judged FALSE skips its reversed replay here.
     """
     topology = Topology()
     for cs in sections:
         topology.add_node(cs)
 
-    timeline = WriteTimeline(trace) if benign_detection else None
-    benign_cache: Dict[Tuple[str, str], bool] = {}
+    if timeline is None and benign_detection:
+        timeline = WriteTimeline(trace)
+    if benign_cache is None:
+        benign_cache = {}
 
     def tlcp(first: CriticalSection, second: CriticalSection) -> bool:
         """A true conflict that the reversed replay cannot excuse as benign."""

@@ -58,6 +58,7 @@ def transform(
     order_edges: bool = True,
     validate_output: bool = True,
     fix_categories: Optional[Set[str]] = None,
+    analysis: Optional[PairAnalysis] = None,
 ) -> TransformResult:
     """Transform a recorded trace into its ULCP-free counterpart.
 
@@ -69,13 +70,21 @@ def transform(
     keep their original serialization (an order edge is re-inserted), so
     the replayed gain isolates what fixing just those categories buys —
     the per-strategy estimates of :mod:`repro.perfdebug.advisor`.
+
+    A caller that already ran :func:`analyze_pairs` (with the same
+    ``benign_detection``) can pass its ``analysis`` to skip re-analyzing;
+    the topology stage then also reuses its write timeline and cached
+    benign verdicts instead of re-replaying every FALSE pair.
     """
-    analysis = analyze_pairs(trace, benign_detection=benign_detection)
+    if analysis is None:
+        analysis = analyze_pairs(trace, benign_detection=benign_detection)
     topology = build_topology(
         trace,
         analysis.sections,
         benign_detection=benign_detection,
         order_edges=order_edges,
+        timeline=analysis.timeline,
+        benign_cache=analysis.benign_cache,
     )
     if fix_categories is not None:
         _reserialize_unselected(topology, analysis, fix_categories)

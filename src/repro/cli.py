@@ -17,6 +17,9 @@ Commands
     Full PERFPLAY pipeline; prints the recommendation report.
 ``timeline TRACE``
     ASCII per-thread activity lanes.
+``profile WORKLOAD | profile --trace TRACE``
+    Per-stage wall times of the pipeline (record/intern/scan/classify/
+    benign/transform/replay) plus event/section/pair counts.
 ``experiment NAME [--jobs N] [--cache-dir DIR | --no-cache]``
     Regenerate one of the paper's tables/figures (or ``all``).
     ``--jobs N`` fans independent cells over a worker pool; output is
@@ -175,6 +178,27 @@ def cmd_debug(args) -> int:
             return 2
         workload = _workload_from(args)
         report = perfplay.analyze(workload.record().trace, seed=args.seed)
+    print(report.render())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.profiling import profile_pipeline
+
+    if args.trace:
+        trace = _load_trace(args.trace, args)
+        report = profile_pipeline(
+            trace=trace, seed=args.seed, replay=not args.no_replay
+        )
+    else:
+        if not args.workload:
+            print("profile: need a WORKLOAD or --trace FILE", file=sys.stderr)
+            return 2
+        report = profile_pipeline(
+            workload=_workload_from(args),
+            seed=args.seed,
+            replay=not args.no_replay,
+        )
     print(report.render())
     return 0
 
@@ -386,6 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_options(p)
     p.add_argument("--jitter", type=float, default=0.0)
 
+    p = sub.add_parser("profile",
+                       help="per-stage wall times of the analysis pipeline")
+    p.add_argument("workload", nargs="?")
+    p.add_argument("--trace")
+    _add_trace_options(p)
+    _add_workload_options(p)
+    p.add_argument("--no-replay", action="store_true",
+                   help="skip the final replay stage")
+
     p = sub.add_parser("timeline", help="ASCII timeline of a trace")
     p.add_argument("trace")
     _add_trace_options(p)
@@ -476,6 +509,7 @@ COMMANDS = {
     "replay": cmd_replay,
     "transform": cmd_transform,
     "debug": cmd_debug,
+    "profile": cmd_profile,
     "timeline": cmd_timeline,
     "stats": cmd_stats,
     "advise": cmd_advise,

@@ -47,14 +47,25 @@ class Add:
         return ("add", self.delta)
 
 
+#: decoded-op cache — traces repeat the same handful of micro-ops millions
+#: of times, and Store/Add are frozen, so the instances are safely shared
+_DECODE_CACHE: dict = {}
+
+
 def decode_op(encoded) -> "Store | Add":
-    """Inverse of ``Store.encode`` / ``Add.encode``."""
-    kind, operand = encoded
-    if kind == "store":
-        return Store(int(operand))
-    if kind == "add":
-        return Add(int(operand))
-    raise ValueError(f"unknown memory op {kind!r}")
+    """Inverse of ``Store.encode`` / ``Add.encode`` (memoized)."""
+    key = tuple(encoded)
+    op = _DECODE_CACHE.get(key)
+    if op is None:
+        kind, operand = key
+        if kind == "store":
+            op = Store(int(operand))
+        elif kind == "add":
+            op = Add(int(operand))
+        else:
+            raise ValueError(f"unknown memory op {kind!r}")
+        _DECODE_CACHE[key] = op
+    return op
 
 
 @dataclass

@@ -20,6 +20,12 @@ from repro.trace.events import (
     WAIT,
     WRITE,
 )
+from repro.trace.interning import (
+    ColumnarTrace,
+    InternTables,
+    LazyEvents,
+    SymbolTable,
+)
 from repro.trace.selective import SideTable, StateDelta, diff_snapshots
 from repro.trace.serialize import (
     LoadedTrace,
@@ -44,6 +50,10 @@ __all__ = [
     "Checkpoint",
     "take_checkpoint",
     "slice_from",
+    "ColumnarTrace",
+    "InternTables",
+    "LazyEvents",
+    "SymbolTable",
     "SideTable",
     "StateDelta",
     "diff_snapshots",

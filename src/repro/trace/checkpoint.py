@@ -8,6 +8,7 @@ list); ``slice_from`` produces the suffix trace that replays from there.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -90,7 +91,7 @@ def slice_from(trace: Trace, checkpoint: Checkpoint) -> Trace:
             kept_uids.add(event.uid)
     for tid, events in trace.threads.items():
         for event in events[checkpoint.positions.get(tid, 0):]:
-            clone = type(event)(**{**event.__dict__})
+            clone = copy.copy(event)
             clone.t = max(0, event.t - checkpoint.t)
             if clone.t_request:
                 clone.t_request = max(0, event.t_request - checkpoint.t)

@@ -43,13 +43,17 @@ CS_EXIT = "cs_exit"
 SYNC_KINDS = frozenset({ACQUIRE, RELEASE, WAIT, POST})
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One recorded dynamic event.
 
     ``t`` is the event's primary timestamp (its completion for waits, its
     grant time for acquires).  Kind-specific payloads live in the optional
     fields; unused fields stay at their defaults.
+
+    ``slots=True`` matters at scale: a trace holds one instance per
+    dynamic event, and slotted instances are both smaller (no per-object
+    ``__dict__``) and faster to read in the analysis hot loops.
     """
 
     uid: str

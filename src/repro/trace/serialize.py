@@ -6,10 +6,14 @@ Format — one JSON object per line:
 2. ``{"lock_schedule": ...}`` — the per-lock acquire-uid grant order,
 3. ``{"threads": [...], "events": N}`` — the declared thread ids (in
    creation order, empty threads included) and the total event count,
-4. optionally ``{"side": ...}`` — the selective-recording side table.
-   The line is a side table only when the object's *single* key is
-   ``"side"``; any other shape is an event,
-5. every subsequent line is one event, thread by thread, in per-thread
+4. optionally ``{"side": ...}`` — the selective-recording side table,
+5. optionally ``{"symbols": ...}`` — the intern tables of the columnar
+   core (:mod:`repro.trace.interning`): tid/lock/address strings in
+   canonical first-appearance order, so interned ids are stable across a
+   serialization round-trip.  A line is a side table / symbol table only
+   when the object's *single* key is ``"side"`` / ``"symbols"``; any
+   other shape is an event,
+6. every subsequent line is one event, thread by thread, in per-thread
    record order.
 
 Both directions stream: :func:`write_trace` emits line by line into any
@@ -46,12 +50,15 @@ from typing import IO, Iterable, Iterator, List, Optional, Union
 from repro import faults
 from repro.errors import SalvageWarning, TraceError
 from repro.trace.events import ACQUIRE, POST, RELEASE, WAIT, TraceEvent
+from repro.trace.interning import InternTables
 from repro.trace.selective import SideTable
 from repro.trace.trace import Trace, TraceMeta
 
 
 def write_trace(trace: Trace, out: IO[str]) -> None:
     """Stream a trace into ``out`` (any text file object), line by line."""
+    from repro.trace.interning import canonical_tables
+
     out.write(json.dumps({"meta": trace.meta.encode()}) + "\n")
     out.write(json.dumps({"lock_schedule": trace.lock_schedule}) + "\n")
     out.write(
@@ -59,6 +66,9 @@ def write_trace(trace: Trace, out: IO[str]) -> None:
     )
     if trace.side.deltas:
         out.write(json.dumps({"side": trace.side.encode()}) + "\n")
+    # Always derived canonically (never the attached table verbatim), so
+    # the bytes depend only on trace content, not on analysis history.
+    out.write(json.dumps({"symbols": canonical_tables(trace).encode()}) + "\n")
     # Time order (not thread-by-thread): a truncated file then holds a
     # prefix of the *execution*, so salvage-mode loading recovers every
     # thread up to the damage instead of losing whole threads.
@@ -89,19 +99,26 @@ def read_trace(lines: Iterable[str]) -> Trace:
     expected_events = threads.get("events")
 
     seen_events = 0
-    first_body = True
+    header_zone = True
     for data in stream:
-        if first_body:
-            first_body = False
-            # A side table is exactly the single-key object {"side": ...}.
-            # Events always carry uid/tid/kind/t, so shape disambiguates
-            # even if an event payload ever contains a "side" key.
+        if header_zone:
+            # A side/symbol table is exactly the single-key object
+            # {"side": ...} / {"symbols": ...}.  Events always carry
+            # uid/tid/kind/t, so shape disambiguates even if an event
+            # payload ever contains one of these keys.
             if set(data) == {"side"}:
                 try:
                     trace.side = SideTable.decode(data["side"])
                 except (TypeError, AttributeError, KeyError) as exc:
                     raise TraceError(f"malformed side table: {exc}") from None
                 continue
+            if set(data) == {"symbols"}:
+                try:
+                    trace.symbols = InternTables.decode(data["symbols"])
+                except (TypeError, AttributeError, KeyError) as exc:
+                    raise TraceError(f"malformed symbol table: {exc}") from None
+                continue
+            header_zone = False
         try:
             event = TraceEvent.decode(data)
         except (KeyError, TypeError) as exc:
@@ -242,10 +259,9 @@ def salvage_read(lines: Iterable[str], *, source=None) -> LoadedTrace:
     expected_events = threads.get("events")
 
     seen_events = 0
-    first_body = True
+    header_zone = True
     for data in stream:
-        if first_body:
-            first_body = False
+        if header_zone:
             if set(data) == {"side"}:
                 try:
                     trace.side = SideTable.decode(data["side"])
@@ -253,6 +269,15 @@ def salvage_read(lines: Iterable[str], *, source=None) -> LoadedTrace:
                     stop["reason"] = f"malformed side table: {exc}"
                     break
                 continue
+            if set(data) == {"symbols"}:
+                try:
+                    trace.symbols = InternTables.decode(data["symbols"])
+                except (TypeError, AttributeError, KeyError) as exc:
+                    # symbols are an acceleration hint, not trace content:
+                    # drop them and keep salvaging events
+                    trace.symbols = None
+                continue
+            header_zone = False
         try:
             event = TraceEvent.decode(data)
         except (KeyError, TypeError) as exc:

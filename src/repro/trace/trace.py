@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional
 
 import re
@@ -14,9 +15,11 @@ from repro.trace.selective import SideTable
 _UID_NUM = re.compile(r"(\d+)$")
 
 
+@lru_cache(maxsize=1 << 18)
 def _uid_order(uid: str):
     """Sort key ordering ``e2`` before ``e10`` (record order), robust to
-    non-numeric uids."""
+    non-numeric uids.  Memoized: time-order sorts ask for the same uids
+    over and over (serialization, write timelines, repeated analyses)."""
     match = _UID_NUM.search(uid)
     if match:
         return (0, int(match.group(1)), uid)
@@ -71,7 +74,11 @@ class Trace:
         self.threads: Dict[str, List[TraceEvent]] = {}
         self.lock_schedule: Dict[str, List[str]] = {}
         self.side = SideTable()  # selective-recording state deltas
+        #: intern tables read back from a trace file (None until loaded
+        #: or derived); seeds :meth:`columnar` so ids survive round-trips
+        self.symbols = None
         self._by_uid: Optional[Dict[str, TraceEvent]] = None
+        self._columnar = None
 
     # ------------------------------------------------------------ building
 
@@ -79,6 +86,7 @@ class Trace:
         if tid in self.threads:
             raise TraceError(f"duplicate thread {tid}")
         self.threads[tid] = []
+        self._columnar = None
 
     def append(self, event: TraceEvent) -> None:
         if event.tid not in self.threads:
@@ -87,6 +95,29 @@ class Trace:
         if event.kind == ACQUIRE:
             self.lock_schedule.setdefault(event.lock, []).append(event.uid)
         self._by_uid = None
+        self._columnar = None
+
+    def columnar(self):
+        """The interned columnar core of this trace (built once, cached).
+
+        The core is a snapshot: it is invalidated by :meth:`append` /
+        :meth:`add_thread`, but callers that mutate events in place or
+        splice ``threads`` lists directly must not hold one across the
+        mutation.
+        """
+        if self._columnar is None:
+            from repro.trace.interning import ColumnarTrace
+
+            self._columnar = ColumnarTrace.from_trace(self, tables=self.symbols)
+            self.symbols = self._columnar.tables
+        return self._columnar
+
+    def __getstate__(self):
+        # derived caches are bulky and cheap to rebuild; never pickle them
+        state = self.__dict__.copy()
+        state["_by_uid"] = None
+        state["_columnar"] = None
+        return state
 
     # ------------------------------------------------------------ querying
 

@@ -35,6 +35,28 @@ class TestCli:
     def test_debug_without_target_fails(self):
         assert main(["debug"]) == 2
 
+    def test_profile_workload(self, capsys):
+        assert main(["profile", "transmissionBT"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline profile" in out
+        for stage in ("record", "intern", "scan", "classify", "benign",
+                      "transform", "replay", "total"):
+            assert stage in out
+        assert "events=" in out
+
+    def test_profile_trace_file(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        assert main(["profile", "--trace", trace_file, "--no-replay"]) == 0
+        out = capsys.readouterr().out
+        assert "intern" in out
+        stage_names = [line.split()[0] for line in out.splitlines()[1:]]
+        assert "replay" not in stage_names  # stage skipped
+        assert "record" not in stage_names  # loaded, not recorded
+
+    def test_profile_without_target_fails(self):
+        assert main(["profile"]) == 2
+
     def test_timeline(self, tmp_path, capsys):
         trace_file = str(tmp_path / "t.jsonl")
         main(["record", "transmissionBT", "-o", trace_file])

@@ -1,0 +1,121 @@
+"""The interned columnar trace core: symbol tables, lazy views, round-trips."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import dumps, loads
+from repro.trace.interning import (
+    ColumnarTrace,
+    InternTables,
+    LazyEvents,
+    SymbolTable,
+    canonical_tables,
+)
+from repro.workloads import get_workload
+
+from tests.analysis.helpers import cs_reader, cs_writer, record_programs
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_workload("mixed-bag", threads=3, seed=2).record().trace
+
+
+class TestSymbolTable:
+    def test_intern_is_idempotent(self):
+        table = SymbolTable()
+        assert table.intern("t0") == 0
+        assert table.intern("t1") == 1
+        assert table.intern("t0") == 0
+        assert len(table) == 2
+
+    def test_round_trip(self):
+        table = SymbolTable()
+        for name in ("A", "B", "C"):
+            table.intern(name)
+        clone = SymbolTable.decode(table.encode())
+        assert clone.names == ["A", "B", "C"]
+        assert clone.id("B") == 1
+        assert clone.name(2) == "C"
+
+    def test_decode_rejects_non_lists(self):
+        with pytest.raises(TypeError):
+            SymbolTable.decode("not-a-list")
+        with pytest.raises(TypeError):
+            SymbolTable.decode([1, 2, 3])
+
+
+class TestColumnarTrace:
+    def test_events_round_trip_exactly(self, trace):
+        core = ColumnarTrace.from_trace(trace)
+        for tid, events in trace.threads.items():
+            assert list(core.threads[tid]) == events
+
+    def test_read_api_matches_trace(self, trace):
+        core = ColumnarTrace.from_trace(trace)
+        assert core.thread_ids == trace.thread_ids
+        assert len(core) == len(trace)
+        assert core.end_time == trace.end_time
+        assert core.locks() == trace.locks()
+        for kind in ("acquire", "read", "write"):
+            assert core.count(kind) == trace.count(kind)
+        assert [e.uid for e in core.iter_time_order()] == [
+            e.uid for e in trace.iter_time_order()
+        ]
+
+    def test_lazy_events_cache_and_slice(self, trace):
+        core = ColumnarTrace.from_trace(trace)
+        tid = trace.thread_ids[0]
+        view = core.threads[tid]
+        assert isinstance(view, LazyEvents)
+        assert view[0] is view[0]  # materialized once, cached
+        assert view[-1] == trace.threads[tid][-1]
+        assert view[1:3] == trace.threads[tid][1:3]
+
+    def test_trace_columnar_is_memoized_and_invalidated(self):
+        trace = record_programs(cs_reader("L", "x"), cs_writer("L", "x"))
+        core = trace.columnar()
+        assert trace.columnar() is core
+        trace.append(trace.threads[trace.thread_ids[0]][0])
+        assert trace.columnar() is not core
+
+    def test_pickle_drops_columnar_cache(self, trace):
+        trace.columnar()
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone._columnar is None
+        assert len(clone) == len(trace)
+
+
+class TestSymbolsSerialization:
+    def test_symbols_survive_round_trip(self, trace):
+        clone = loads(dumps(trace))
+        assert isinstance(clone.symbols, InternTables)
+        assert clone.symbols.tids.names == canonical_tables(trace).tids.names
+
+    def test_round_trip_is_byte_stable(self, trace):
+        text = dumps(trace)
+        assert dumps(loads(text)) == text
+
+    def test_old_files_without_symbols_still_load(self, trace):
+        lines = [
+            line
+            for line in dumps(trace).splitlines()
+            if not line.startswith('{"symbols"')
+        ]
+        clone = loads("\n".join(lines))
+        assert clone.symbols is None
+        assert len(clone) == len(trace)
+
+    def test_malformed_symbols_rejected(self, trace):
+        lines = dumps(trace).splitlines()
+        idx = next(i for i, l in enumerate(lines) if l.startswith('{"symbols"'))
+        lines[idx] = '{"symbols": {"tids": 42}}'
+        with pytest.raises(TraceError, match="malformed symbol table"):
+            loads("\n".join(lines))
+
+    def test_loaded_symbols_seed_interning(self, trace):
+        clone = loads(dumps(trace))
+        core = clone.columnar()
+        assert core.tables is clone.symbols

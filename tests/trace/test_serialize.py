@@ -157,9 +157,11 @@ class TestMalformedInput:
         # line, so a malformed event with a stray key errors as an event.
         trace = record(nested_lock_pair(), name="shape").trace
         lines = self._lines(trace)
-        event = json.loads(lines[3])
+        # line 3 is the symbols header; line 4 is the first event
+        assert set(json.loads(lines[3])) == {"symbols"}
+        event = json.loads(lines[4])
         event["side"] = {"deltas": []}
-        lines[3] = json.dumps(event)
+        lines[4] = json.dumps(event)
         clone = loads("\n".join(lines))
         assert not clone.side.deltas
         assert len(clone) == len(trace)

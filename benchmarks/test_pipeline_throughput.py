@@ -70,6 +70,92 @@ def test_transformed_replay_throughput(benchmark, fluid_transform):
     assert result.end_time > 0
 
 
+def test_telemetry_overhead(fluid_trace):
+    """Acceptance: telemetry-off overhead <2%; enabled-vs-off <5% (CI).
+
+    With no sink configured every instrumentation point is one module
+    attribute load plus an ``is None`` test (``span()`` additionally
+    returns a shared no-op object).  The disabled-path overhead is
+    estimated directly: count the instrumentation calls one pipeline run
+    makes, microbench the per-call null-backend cost, and hold the
+    product under 2% of the pipeline's wall time.  The enabled-vs-off
+    ratio (the bench-smoke CI gate) must stay under 5% — min-of-rounds
+    on both sides to shave scheduler noise.
+    """
+    import time
+
+    from repro import telemetry
+
+    replayer = Replayer(jitter=0.0)
+
+    def pipeline_once():
+        fluid_trace._scan = None  # defeat the analysis memo between rounds
+        analysis = analyze_pairs(fluid_trace)
+        result = transform(fluid_trace, analysis=analysis)
+        return replayer.replay_transformed(result)
+
+    def time_once():
+        started = time.perf_counter()
+        pipeline_once()
+        return time.perf_counter() - started
+
+    class CountingSink(telemetry.Telemetry):
+        """Counts every instrumentation call the pipeline makes."""
+
+        ops = 0
+
+        def count(self, name, n=1):
+            CountingSink.ops += 1
+            super().count(name, n)
+
+        def gauge(self, name, value):
+            CountingSink.ops += 1
+            super().gauge(name, value)
+
+        def observe(self, name, value):
+            CountingSink.ops += 1
+            super().observe(name, value)
+
+        def span(self, name, **labels):
+            CountingSink.ops += 2  # enter + exit
+            return super().span(name, **labels)
+
+    pipeline_once()  # warm up
+    pipeline_once()
+    assert not telemetry.enabled()
+    off_times, on_times = [], []
+    for _ in range(10):  # interleaved so drift hits both sides equally
+        off_times.append(time_once())
+        with telemetry.use_telemetry(telemetry.Telemetry()):
+            on_times.append(time_once())
+    disabled, enabled = min(off_times), min(on_times)
+    with telemetry.use_telemetry(CountingSink()):
+        pipeline_once()
+    calls = CountingSink.ops
+
+    # per-call cost of the null backend
+    reps = 100_000
+    started = time.perf_counter()
+    for _ in range(reps):
+        telemetry.count("bench.noop")
+    per_call = (time.perf_counter() - started) / reps
+    assert not telemetry.enabled()  # the loop above really was the null path
+
+    off_overhead = calls * per_call / disabled
+    on_overhead = enabled / disabled - 1.0
+    print(f"\ntelemetry off: {disabled * 1000:.2f} ms  "
+          f"on: {enabled * 1000:.2f} ms  "
+          f"~{calls} instrumented calls @ {per_call * 1e9:.0f} ns disabled  "
+          f"off-overhead: {off_overhead * 100:.3f}%  "
+          f"on-overhead: {on_overhead * 100:.1f}%")
+    assert off_overhead < 0.02, (
+        f"null-backend overhead {off_overhead * 100:.2f}% exceeds 2%"
+    )
+    assert on_overhead < 0.05, (
+        f"telemetry-enabled overhead {on_overhead * 100:.1f}% exceeds 5%"
+    )
+
+
 def test_parallel_cached_suite_speedup(tmp_path):
     """Acceptance: jobs=4 + warm cache beats serial uncached by >=2x.
 

@@ -1,24 +1,27 @@
 """PERFPLAY reproduction: replay-based performance debugging of
 unnecessary lock contention (Zheng et al., CGO 2015).
 
-Quickstart::
+The stable public surface is the :mod:`repro.api` facade — five
+functions, one per pipeline stage — re-exported here::
 
-    from repro import PerfPlay
-    from repro.sim import Acquire, Release, Read, Compute
+    from repro import api
 
-    def worker():
-        yield Compute(100)
-        yield Acquire(lock="L")
-        yield Read("shared")
-        yield Compute(500)
-        yield Release(lock="L")
-
-    report = PerfPlay().debug([(worker(), "a"), (worker(), "b")], name="demo")
+    trace = api.record("mysql", threads=4)
+    analysis = api.analyze(trace)       # classify ULCP pairs
+    freed = api.transform(trace)        # the ULCP-free trace
+    result = api.replay(freed)          # deterministic re-execution
+    report = api.debug(trace)           # the whole pipeline, ranked fixes
     print(report.render())
 
-Package map:
+Every facade call takes an optional ``telemetry=`` sink
+(:class:`repro.telemetry.Telemetry`) that collects spans and counters
+for the run; see :mod:`repro.telemetry`.
+
+Package map (everything below :mod:`repro.api` is internal):
 
 ==================  ====================================================
+``repro.api``       the stable five-function facade
+``repro.telemetry`` spans, counters, exporters (JSON / Prometheus)
 ``repro.sim``       deterministic discrete-event multicore machine
 ``repro.trace``     trace events, builder, (de)serialization, validation
 ``repro.record``    recording phase
@@ -32,7 +35,7 @@ Package map:
 ==================  ====================================================
 """
 
-from repro.analysis import TransformResult, UlcpBreakdown, UlcpPair, transform
+from repro.analysis import TransformResult, UlcpBreakdown, UlcpPair
 from repro.errors import (
     DeadlockError,
     ReplayError,
@@ -43,7 +46,7 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.perfdebug import DebugReport, PerfPlay
-from repro.record import RecordResult, Recorder, record
+from repro.record import RecordResult, Recorder
 from repro.selfcheck import SelfCheckReport, run_selfcheck
 from repro.replay import (
     ALL_SCHEMES,
@@ -56,21 +59,28 @@ from repro.replay import (
     ReplaySeries,
 )
 from repro.trace import CodeRegion, CodeSite, Trace, TraceMeta
+from repro import api, telemetry
+from repro.api import analyze, debug, record, replay, transform
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "telemetry",
+    "record",
+    "analyze",
+    "transform",
+    "replay",
+    "debug",
     "PerfPlay",
     "DebugReport",
     "Recorder",
     "RecordResult",
-    "record",
     "run_selfcheck",
     "SelfCheckReport",
     "Replayer",
     "ReplayResult",
     "ReplaySeries",
-    "transform",
     "TransformResult",
     "UlcpPair",
     "UlcpBreakdown",

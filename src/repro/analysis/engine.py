@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
+from repro import telemetry
 from repro.analysis.sections import CriticalSection
 from repro.errors import TraceError
 from repro.trace.interning import (
@@ -77,6 +78,16 @@ def scan_trace(core: ColumnarTrace) -> TraceScan:
     """
     if core._scan is not None:
         return core._scan
+    with telemetry.span("analyze.scan_trace"):
+        scan = _scan_trace(core)
+    telemetry.count("analyze.scans")
+    telemetry.count("analyze.events_scanned", scan.events)
+    telemetry.count("analyze.sections", len(scan.sections))
+    core._scan = scan
+    return scan
+
+
+def _scan_trace(core: ColumnarTrace) -> TraceScan:
     tables = core.tables
     lock_name = tables.locks.name
     scan = TraceScan(tables=tables)
@@ -166,5 +177,4 @@ def scan_trace(core: ColumnarTrace) -> TraceScan:
     for cs in sections:
         cs.lock_index = by_lock.get(cs.lock, 0)
         by_lock[cs.lock] = cs.lock_index + 1
-    core._scan = scan
     return scan

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.analysis.benign import WriteTimeline, is_benign
 from repro.analysis.classify import FALSE, classify_pair
 from repro.analysis.engine import scan_trace
@@ -64,26 +65,37 @@ def analyze_pairs(trace: Trace, *, benign_detection: bool = True) -> PairAnalysi
     conflicting pair as a TLCP — the ablation for how much the benign pass
     buys (misclassified benign pairs keep causal edges they don't need).
     """
-    core = trace.columnar()
-    scan = scan_trace(core)
-    sections = scan.sections
-    timeline = WriteTimeline(trace) if benign_detection else None
+    with telemetry.span("analyze.pairs"):
+        core = trace.columnar()
+        scan = scan_trace(core)
+        sections = scan.sections
+        timeline = WriteTimeline(trace) if benign_detection else None
 
-    analysis = PairAnalysis(sections=sections, timeline=timeline)
-    benign_cache = analysis.benign_cache
-    for lock_sections in sections_by_lock(sections).values():
-        for first, second in zip(lock_sections, lock_sections[1:]):
-            if first.tid == second.tid:
-                continue  # program order already serializes these
-            kind = classify_pair(first, second)
-            if kind == FALSE:
-                if benign_detection:
-                    benign = is_benign(first, second, timeline)
-                    benign_cache[(first.uid, second.uid)] = benign
-                    kind = BENIGN if benign else TLCP
-                else:
-                    kind = TLCP
-            pair = UlcpPair(c1=first, c2=second, kind=kind)
-            analysis.pairs.append(pair)
-            analysis.breakdown.add(kind)
+        analysis = PairAnalysis(sections=sections, timeline=timeline)
+        benign_cache = analysis.benign_cache
+        benign_tests = 0
+        for lock_sections in sections_by_lock(sections).values():
+            for first, second in zip(lock_sections, lock_sections[1:]):
+                if first.tid == second.tid:
+                    continue  # program order already serializes these
+                kind = classify_pair(first, second)
+                if kind == FALSE:
+                    if benign_detection:
+                        benign = is_benign(first, second, timeline)
+                        benign_cache[(first.uid, second.uid)] = benign
+                        benign_tests += 1
+                        kind = BENIGN if benign else TLCP
+                    else:
+                        kind = TLCP
+                pair = UlcpPair(c1=first, c2=second, kind=kind)
+                analysis.pairs.append(pair)
+                analysis.breakdown.add(kind)
+    telemetry.count("analyze.pairs", len(analysis.pairs))
+    if benign_tests:
+        telemetry.count("analyze.benign_tests", benign_tests)
+    breakdown = analysis.breakdown
+    for kind in ("null_lock", "read_read", "disjoint_write", "benign", "tlcp"):
+        n = getattr(breakdown, kind)
+        if n:
+            telemetry.count(f"ulcp.{kind}", n)
     return analysis

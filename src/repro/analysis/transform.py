@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from repro import telemetry
 from repro.analysis.pairs import PairAnalysis, analyze_pairs
 from repro.analysis.resync import ResyncPlan, build_resync_plan
 from repro.analysis.sections import CriticalSection
@@ -76,22 +77,28 @@ def transform(
     the topology stage then also reuses its write timeline and cached
     benign verdicts instead of re-replaying every FALSE pair.
     """
-    if analysis is None:
-        analysis = analyze_pairs(trace, benign_detection=benign_detection)
-    topology = build_topology(
-        trace,
-        analysis.sections,
-        benign_detection=benign_detection,
-        order_edges=order_edges,
-        timeline=analysis.timeline,
-        benign_cache=analysis.benign_cache,
-    )
-    if fix_categories is not None:
-        _reserialize_unselected(topology, analysis, fix_categories)
-    plan = build_resync_plan(topology)
-    new_trace = _rewrite(trace, analysis.sections, plan)
-    if validate_output:
-        validate(new_trace)
+    with telemetry.span("transform"):
+        if analysis is None:
+            analysis = analyze_pairs(trace, benign_detection=benign_detection)
+        topology = build_topology(
+            trace,
+            analysis.sections,
+            benign_detection=benign_detection,
+            order_edges=order_edges,
+            timeline=analysis.timeline,
+            benign_cache=analysis.benign_cache,
+        )
+        if fix_categories is not None:
+            _reserialize_unselected(topology, analysis, fix_categories)
+        plan = build_resync_plan(topology)
+        new_trace = _rewrite(trace, analysis.sections, plan)
+        if validate_output:
+            validate(new_trace)
+    telemetry.count("transform.runs")
+    telemetry.count("transform.removed_sections", len(plan.removed))
+    telemetry.count("transform.aux_locks", len(plan.aux_locks))
+    telemetry.count("transform.causal_edges", len(topology.causal_edges()))
+    telemetry.count("transform.order_edges", len(topology.order_edges()))
     return TransformResult(
         original=trace,
         trace=new_trace,

@@ -1,0 +1,276 @@
+"""The stable public facade: five one-call entry points for the pipeline.
+
+``repro.api`` is the documented, compatibility-guaranteed surface of the
+package — the five stages of the PERFPLAY pipeline, one function each::
+
+    record(workload, **cfg)  -> Trace         # run + record an execution
+    analyze(trace)           -> PairAnalysis  # identify + classify ULCPs
+    transform(trace)         -> Trace         # rewrite to the ULCP-free trace
+    replay(trace)            -> ReplayResult  # re-execute under a scheme
+    debug(trace)             -> DebugReport   # the whole pipeline, ranked fixes
+
+Everything else in the package is internal: it keeps working, but only
+these functions (plus :mod:`repro.telemetry`) are covered by the
+deprecation policy — renamed keyword arguments get a one-release
+``DeprecationWarning`` shim before removal.
+
+Every entry point accepts an optional ``telemetry=`` sink
+(:class:`repro.telemetry.Telemetry`); when given, the call's spans and
+counters land in that sink instead of the ambient process-wide one.
+
+``workload`` / ``trace`` arguments are forgiving:
+
+* ``record``/``debug`` take a registered workload name (``"mysql"``), a
+  :class:`~repro.workloads.base.Workload` instance, or a raw iterable of
+  ``(generator, thread_name)`` program pairs;
+* ``analyze``/``transform``/``replay``/``debug`` take a
+  :class:`~repro.trace.Trace` or a trace-file path (``str``/``Path``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analysis.pairs import PairAnalysis, analyze_pairs
+from repro.analysis.transform import TransformResult
+from repro.analysis.transform import transform as _transform_trace
+from repro.perfdebug.framework import DebugReport, PerfPlay
+from repro.record.recorder import RecordResult, Recorder
+from repro.replay.replayer import Replayer
+from repro.replay.results import ReplayResult, ReplaySeries
+from repro.replay.schemes import ALL_SCHEMES, ELSC_S
+from repro.telemetry import Telemetry, use_telemetry
+from repro.trace.trace import Trace
+from repro.workloads.base import Workload, get_workload
+
+__all__ = ["record", "analyze", "transform", "replay", "debug"]
+
+TraceLike = Union[Trace, str, Path]
+
+
+def _shim_renamed_kwargs(func_name: str, kwargs: dict, renames: dict) -> None:
+    """Accept pre-redesign keyword spellings for one release, with a warning."""
+    for old, new in renames.items():
+        if old in kwargs:
+            if new in kwargs:
+                raise TypeError(
+                    f"{func_name}() got both {old!r} and its replacement {new!r}"
+                )
+            warnings.warn(
+                f"{func_name}(... {old}=) is deprecated; use {new}=",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            kwargs[new] = kwargs.pop(old)
+
+
+def _sink(telemetry: Optional[Telemetry]):
+    """Activate an explicit sink for the call, or keep the ambient one."""
+    if telemetry is None:
+        return contextlib.nullcontext()
+    return use_telemetry(telemetry)
+
+
+def _coerce_trace(trace: TraceLike) -> Trace:
+    if isinstance(trace, Trace):
+        return trace
+    from repro.trace import serialize
+
+    return serialize.load(trace)
+
+
+def _coerce_programs(workload, *, threads, input_size, scale, seed, workload_kwargs):
+    """Resolve a workload spec to (programs, name, params, semaphores)."""
+    if isinstance(workload, str):
+        workload = get_workload(
+            workload, threads=threads, input_size=input_size, scale=scale,
+            seed=seed, **workload_kwargs,
+        )
+    if isinstance(workload, Workload):
+        return (
+            workload.programs(),
+            workload.name,
+            workload.params(),
+            workload.semaphores(),
+        )
+    return workload, "", {}, {}
+
+
+# ------------------------------------------------------------------ record
+
+
+def record(
+    workload,
+    *,
+    threads: int = 2,
+    input_size: str = "simlarge",
+    scale: float = 1.0,
+    seed: int = 0,
+    num_cores: int = 8,
+    lock_cost: Optional[int] = None,
+    mem_cost: Optional[int] = None,
+    full: bool = False,
+    telemetry: Optional[Telemetry] = None,
+    **workload_kwargs,
+) -> Union[Trace, RecordResult]:
+    """Run ``workload`` on the simulated machine and record its trace.
+
+    ``workload`` is a registered name, a :class:`Workload` instance, or a
+    raw iterable of ``(generator, thread_name)`` pairs.  Workload names
+    honour ``threads``/``input_size``/``scale``/``seed`` (extra keyword
+    arguments reach the workload constructor); machine parameters are
+    ``num_cores``/``lock_cost``/``mem_cost``.
+
+    Returns the recorded :class:`Trace`; ``full=True`` returns the
+    underlying :class:`RecordResult` (trace + machine accounting).
+    """
+    from repro.sim.timebase import DEFAULT_LOCK_COST, DEFAULT_MEM_COST
+
+    with _sink(telemetry):
+        programs, name, params, semaphores = _coerce_programs(
+            workload, threads=threads, input_size=input_size, scale=scale,
+            seed=seed, workload_kwargs=workload_kwargs,
+        )
+        recorder = Recorder(
+            num_cores=num_cores,
+            lock_cost=DEFAULT_LOCK_COST if lock_cost is None else lock_cost,
+            mem_cost=DEFAULT_MEM_COST if mem_cost is None else mem_cost,
+        )
+        result = recorder.record(
+            programs, name=name, seed=seed, params=params, semaphores=semaphores
+        )
+    return result if full else result.trace
+
+
+# ----------------------------------------------------------------- analyze
+
+
+def analyze(
+    trace: TraceLike,
+    *,
+    benign_detection: bool = True,
+    telemetry: Optional[Telemetry] = None,
+) -> PairAnalysis:
+    """Identify and classify every same-lock pair in ``trace``.
+
+    Returns the :class:`PairAnalysis` (sections, pairs, per-category
+    breakdown, cached benign verdicts) that :func:`transform` can reuse.
+    """
+    with _sink(telemetry):
+        return analyze_pairs(
+            _coerce_trace(trace), benign_detection=benign_detection
+        )
+
+
+# --------------------------------------------------------------- transform
+
+
+def transform(
+    trace: TraceLike,
+    *,
+    full: bool = False,
+    telemetry: Optional[Telemetry] = None,
+    **options,
+) -> Union[Trace, TransformResult]:
+    """Rewrite ``trace`` into its ULCP-free counterpart (RULE 1-4).
+
+    Returns the transformed :class:`Trace`; ``full=True`` returns the
+    whole :class:`TransformResult` (analysis, topology, resync plan).
+    Extra keyword options (``benign_detection``, ``order_edges``,
+    ``fix_categories``, ``analysis``) pass through to the transformation.
+    """
+    with _sink(telemetry):
+        result = _transform_trace(_coerce_trace(trace), **options)
+    return result if full else result.trace
+
+
+# ------------------------------------------------------------------ replay
+
+
+def replay(
+    trace: TraceLike,
+    *,
+    scheme: str = ELSC_S,
+    runs: int = 1,
+    seed: Optional[int] = None,
+    jitter: float = 0.02,
+    jobs: int = 1,
+    telemetry: Optional[Telemetry] = None,
+    **deprecated,
+) -> Union[ReplayResult, ReplaySeries]:
+    """Replay ``trace`` under ``scheme`` (one of ``ALL_SCHEMES``).
+
+    With ``runs=1`` (the default) returns a single :class:`ReplayResult`;
+    with ``runs>1`` returns a :class:`ReplaySeries` of seeded runs
+    (``seed``, ``seed+1``, ...; default seed 0), fanned over ``jobs``
+    worker processes — parallel output is identical to serial.
+    """
+    if seed is not None:
+        deprecated["seed"] = seed
+    _shim_renamed_kwargs("replay", deprecated, {"base_seed": "seed"})
+    seed = deprecated.pop("seed", 0)
+    if deprecated:
+        raise TypeError(
+            f"replay() got unexpected keyword arguments {sorted(deprecated)}"
+        )
+    if scheme not in ALL_SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r} (expected one of {ALL_SCHEMES})")
+    with _sink(telemetry):
+        loaded = _coerce_trace(trace)
+        replayer = Replayer(jitter=jitter)
+        if runs <= 1:
+            return replayer.replay(loaded, scheme=scheme, seed=seed)
+        return replayer.replay_many(
+            loaded, scheme=scheme, runs=runs, seed=seed, jobs=jobs
+        )
+
+
+# ------------------------------------------------------------------- debug
+
+
+def debug(
+    trace,
+    *,
+    threads: int = 2,
+    input_size: str = "simlarge",
+    scale: float = 1.0,
+    seed: int = 0,
+    jitter: float = 0.0,
+    benign_detection: bool = True,
+    order_edges: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    **workload_kwargs,
+) -> DebugReport:
+    """The whole pipeline: record (if needed), transform, replay, rank.
+
+    ``trace`` may be a :class:`Trace`, a trace-file path, a registered
+    workload name, a :class:`Workload`, or raw program pairs — anything
+    that is not already a trace is recorded first (honouring the workload
+    parameters, exactly like :func:`record`).  Returns the ranked
+    :class:`DebugReport`.
+    """
+    with _sink(telemetry):
+        if isinstance(trace, (str, Path)) and not _is_workload_name(trace):
+            trace = _coerce_trace(trace)
+        if not isinstance(trace, Trace):
+            trace = record(
+                trace, threads=threads, input_size=input_size, scale=scale,
+                seed=seed, **workload_kwargs,
+            )
+        perfplay = PerfPlay(
+            jitter=jitter,
+            benign_detection=benign_detection,
+            order_edges=order_edges,
+        )
+        return perfplay.analyze(trace, seed=seed)
+
+
+def _is_workload_name(value) -> bool:
+    if not isinstance(value, str):
+        return False
+    from repro.workloads.base import _REGISTRY
+
+    return value in _REGISTRY

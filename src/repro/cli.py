@@ -33,25 +33,37 @@ Commands
     Structural summary / per-lock contention profile of a trace.
 ``advise WORKLOAD`` / ``fix WORKLOAD --lock L --fix F``
     Per-category fix strategies with measured gains; apply one and verify.
+``analyze TRACE [--format text|json]``
+    Identify and classify the ULCP pairs of a trace (no transformation).
 ``selfcheck WORKLOAD``
     Verify the pipeline invariants (determinism, exact ELSC replay, ...).
 ``faults list | faults demo``
     Show the fault-injection sites, or run the end-to-end recovery demo
     (worker crash retried, poison task quarantined, truncated trace
     salvaged).
+``telemetry FILE [--format json|prom|summary]``
+    Render a saved ``TELEMETRY.json`` artifact.
 
 Every command that reads a TRACE file accepts ``--salvage`` to recover
 the longest well-formed prefix of a damaged file instead of failing
 (``--strict``, the default, rejects any damage).
+
+Every pipeline command (record/analyze/transform/replay/debug/profile/
+experiment/...) accepts ``--telemetry [PATH]`` to collect spans and
+metrics for the invocation (``--telemetry-format json|prom|summary``
+picks the artifact format; ``--telemetry-timings`` includes wall-clock
+span durations, at the price of nondeterministic output).  All pipeline
+commands call through the :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro import api, telemetry
 from repro.perfdebug.framework import PerfPlay
-from repro.replay.replayer import Replayer
 from repro.replay.schemes import ALL_SCHEMES, ELSC_S
 from repro.trace import serialize
 from repro.workloads import get_workload, workload_names
@@ -63,6 +75,30 @@ def _add_workload_options(parser):
                         choices=("simsmall", "simmedium", "simlarge"))
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_format_option(parser, choices=("text", "json"), default="text"):
+    parser.add_argument("--format", choices=choices, default=default,
+                        help="output format (default: %(default)s)")
+
+
+def _add_telemetry_options(parser):
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--telemetry", nargs="?", const="", default=None, metavar="PATH",
+        help="collect telemetry for this invocation; PATH defaults to "
+             "TELEMETRY.json / TELEMETRY.prom next to the cwd ('-' prints "
+             "to stdout)",
+    )
+    group.add_argument(
+        "--telemetry-format", choices=telemetry.EXPORT_FORMATS,
+        default="json", help="telemetry artifact format (default: json)",
+    )
+    group.add_argument(
+        "--telemetry-timings", action="store_true",
+        help="include wall-clock span durations in the artifact "
+             "(nondeterministic across runs)",
+    )
 
 
 def _add_trace_options(parser):
@@ -118,8 +154,7 @@ def cmd_list(args) -> int:
 
 
 def cmd_record(args) -> int:
-    workload = _workload_from(args)
-    recorded = workload.record()
+    recorded = api.record(_workload_from(args), seed=args.seed, full=True)
     serialize.dump(recorded.trace, args.output)
     print(
         f"recorded {args.workload}: {len(recorded.trace)} events, "
@@ -130,11 +165,17 @@ def cmd_record(args) -> int:
 
 def cmd_replay(args) -> int:
     trace = _load_trace(args.trace, args)
-    replayer = Replayer(jitter=args.jitter)
-    series = replayer.replay_many(
-        trace, scheme=args.scheme, runs=args.runs, base_seed=args.seed,
-        jobs=args.jobs,
+    result = api.replay(
+        trace, scheme=args.scheme, runs=args.runs, seed=args.seed,
+        jitter=args.jitter, jobs=args.jobs,
     )
+    if args.runs <= 1:  # a single run comes back as one ReplayResult
+        from repro.replay.results import ReplaySeries
+
+        series = ReplaySeries(scheme=args.scheme)
+        series.runs.append(result)
+    else:
+        series = result
     summary = series.summary()
     print(f"scheme={args.scheme} runs={args.runs}")
     print(f"recorded time : {trace.end_time} ns")
@@ -144,11 +185,40 @@ def cmd_replay(args) -> int:
     return 0
 
 
-def cmd_transform(args) -> int:
-    from repro.analysis.transform import transform
-
+def cmd_analyze(args) -> int:
     trace = _load_trace(args.trace, args)
-    result = transform(trace)
+    analysis = api.analyze(trace, benign_detection=not args.no_benign)
+    breakdown = analysis.breakdown
+    if args.format == "json":
+        print(json.dumps({
+            "events": len(trace),
+            "sections": len(analysis.sections),
+            "pairs": len(analysis.pairs),
+            "ulcps": len(analysis.ulcps),
+            "breakdown": {
+                "null_lock": breakdown.null_lock,
+                "read_read": breakdown.read_read,
+                "disjoint_write": breakdown.disjoint_write,
+                "benign": breakdown.benign,
+                "tlcp": breakdown.tlcp,
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"events            : {len(trace)}")
+    print(f"critical sections : {len(analysis.sections)}")
+    print(f"candidate pairs   : {len(analysis.pairs)}")
+    print(
+        "ULCP pairs        : "
+        f"null-lock={breakdown.null_lock} read-read={breakdown.read_read} "
+        f"disjoint-write={breakdown.disjoint_write} benign={breakdown.benign} "
+        f"(TLCP={breakdown.tlcp})"
+    )
+    return 0
+
+
+def cmd_transform(args) -> int:
+    trace = _load_trace(args.trace, args)
+    result = api.transform(trace, full=True)
     breakdown = result.analysis.breakdown
     print(f"critical sections : {len(result.sections)}")
     print(
@@ -168,16 +238,14 @@ def cmd_transform(args) -> int:
 
 
 def cmd_debug(args) -> int:
-    perfplay = PerfPlay(jitter=args.jitter)
     if args.trace:
-        trace = _load_trace(args.trace, args)
-        report = perfplay.analyze(trace, seed=args.seed)
+        source = _load_trace(args.trace, args)
     else:
         if not args.workload:
             print("debug: need a WORKLOAD or --trace FILE", file=sys.stderr)
             return 2
-        workload = _workload_from(args)
-        report = perfplay.analyze(workload.record().trace, seed=args.seed)
+        source = _workload_from(args)
+    report = api.debug(source, seed=args.seed, jitter=args.jitter)
     print(report.render())
     return 0
 
@@ -199,6 +267,18 @@ def cmd_profile(args) -> int:
             seed=args.seed,
             replay=not args.no_replay,
         )
+    if args.format == "json":
+        print(json.dumps({
+            "stages": [
+                {"name": s.name, "seconds": s.seconds, "detail": s.detail}
+                for s in report.stages
+            ],
+            "total_seconds": report.total_seconds,
+            "events": report.events,
+            "sections": report.sections,
+            "pairs": report.pairs,
+        }, indent=2, sort_keys=True))
+        return 0
     print(report.render())
     return 0
 
@@ -215,7 +295,30 @@ def cmd_stats(args) -> int:
     from repro.trace.stats import trace_stats
 
     trace = _load_trace(args.trace, args)
-    print(trace_stats(trace).render())
+    stats = trace_stats(trace)
+    if args.format == "json":
+        print(json.dumps({
+            "events": stats.total_events,
+            "end_time": stats.end_time,
+            "locks": stats.locks,
+            "shared_addresses": stats.shared_addresses,
+            "contention_rate": stats.contention_rate,
+            "kinds": dict(stats.kinds),
+            "threads": {
+                tid: {
+                    "events": t.events,
+                    "compute_ns": t.compute_ns,
+                    "acquisitions": t.acquisitions,
+                    "contended": t.contended,
+                    "wait_ns": t.wait_ns,
+                    "reads": t.reads,
+                    "writes": t.writes,
+                }
+                for tid, t in stats.threads.items()
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+    print(stats.render())
     return 0
 
 
@@ -228,7 +331,7 @@ def cmd_advise(args) -> int:
         if not args.workload:
             print("advise: need a WORKLOAD or --trace FILE", file=sys.stderr)
             return 2
-        trace = _workload_from(args).record().trace
+        trace = api.record(_workload_from(args), seed=args.seed)
     print(advise(trace).render())
     return 0
 
@@ -237,7 +340,23 @@ def cmd_locks(args) -> int:
     from repro.perfdebug.lockstats import profile_locks, render_lock_profiles
 
     trace = _load_trace(args.trace, args)
-    print(render_lock_profiles(profile_locks(trace), limit=args.limit))
+    profiles = profile_locks(trace)
+    if args.format == "json":
+        print(json.dumps([
+            {
+                "lock": p.lock,
+                "acquisitions": p.acquisitions,
+                "contended": p.contended,
+                "contention_rate": p.contention_rate,
+                "total_wait_ns": p.total_wait_ns,
+                "total_hold_ns": p.total_hold_ns,
+                "max_wait_ns": p.max_wait_ns,
+                "threads": sorted(p.threads),
+            }
+            for p in profiles[: args.limit]
+        ], indent=2, sort_keys=True))
+        return 0
+    print(render_lock_profiles(profiles, limit=args.limit))
     return 0
 
 
@@ -250,7 +369,7 @@ def cmd_fix(args) -> int:
         if not args.workload:
             print("fix: need a WORKLOAD or --trace FILE", file=sys.stderr)
             return 2
-        trace = _workload_from(args).record().trace
+        trace = api.record(_workload_from(args), seed=args.seed)
     if args.fix not in FIXES:
         print(f"unknown fix {args.fix!r}; known: {', '.join(sorted(FIXES))}",
               file=sys.stderr)
@@ -361,6 +480,17 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    data = telemetry.load(args.file)
+    if args.format == "json":
+        print(telemetry.to_json(data), end="")
+    elif args.format == "prom":
+        print(telemetry.to_prometheus(data), end="")
+    else:
+        print(telemetry.render_summary(data))
+    return 0
+
+
 def cmd_sensitivity(args) -> int:
     from repro.perfdebug.sensitivity import sweep
 
@@ -387,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     _add_workload_options(p)
     p.add_argument("-o", "--output", required=True)
+    _add_telemetry_options(p)
 
     p = sub.add_parser("replay", help="replay a trace file")
     p.add_argument("trace")
@@ -397,11 +528,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jitter", type=float, default=0.02)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the repeated replays")
+    _add_telemetry_options(p)
+
+    p = sub.add_parser("analyze",
+                       help="identify and classify ULCP pairs in a trace")
+    p.add_argument("trace")
+    _add_trace_options(p)
+    p.add_argument("--no-benign", action="store_true",
+                   help="skip the reversed-replay benign test "
+                        "(conflicting pairs count as TLCPs)")
+    _add_format_option(p)
+    _add_telemetry_options(p)
 
     p = sub.add_parser("transform", help="ULCP-transform a trace file")
     p.add_argument("trace")
     _add_trace_options(p)
     p.add_argument("-o", "--output")
+    _add_telemetry_options(p)
 
     p = sub.add_parser("debug", help="full PERFPLAY pipeline")
     p.add_argument("workload", nargs="?")
@@ -409,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_options(p)
     _add_workload_options(p)
     p.add_argument("--jitter", type=float, default=0.0)
+    _add_telemetry_options(p)
 
     p = sub.add_parser("profile",
                        help="per-stage wall times of the analysis pipeline")
@@ -418,6 +562,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_options(p)
     p.add_argument("--no-replay", action="store_true",
                    help="skip the final replay stage")
+    _add_format_option(p)
+    _add_telemetry_options(p)
 
     p = sub.add_parser("timeline", help="ASCII timeline of a trace")
     p.add_argument("trace")
@@ -427,17 +573,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="structural summary of a trace")
     p.add_argument("trace")
     _add_trace_options(p)
+    _add_format_option(p)
 
     p = sub.add_parser("advise", help="per-category fix strategies with gains")
     p.add_argument("workload", nargs="?")
     p.add_argument("--trace")
     _add_trace_options(p)
     _add_workload_options(p)
+    _add_telemetry_options(p)
 
     p = sub.add_parser("locks", help="per-lock contention profile of a trace")
     p.add_argument("trace")
     _add_trace_options(p)
     p.add_argument("--limit", type=int, default=10)
+    _add_format_option(p)
 
     p = sub.add_parser("fix", help="apply a suggested fix to a trace and measure")
     p.add_argument("workload", nargs="?")
@@ -446,17 +595,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lock", required=True)
     p.add_argument("--fix", required=True)
     _add_workload_options(p)
+    _add_telemetry_options(p)
 
     p = sub.add_parser("compare", help="diff two traces' debug reports (before/after a fix)")
     p.add_argument("before")
     p.add_argument("after")
     _add_trace_options(p)
+    _add_telemetry_options(p)
 
     p = sub.add_parser("selfcheck", help="verify pipeline invariants on an input")
     p.add_argument("workload", nargs="?")
     p.add_argument("--trace")
     _add_trace_options(p)
     _add_workload_options(p)
+    _add_telemetry_options(p)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name")
@@ -478,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a fault (repeatable); see 'repro faults list'")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for rate-based fault rules")
+    _add_telemetry_options(p)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("info", "clear"))
@@ -489,6 +642,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads-list", type=int, nargs="+", default=[2, 4])
     p.add_argument("--sizes", nargs="+", default=["simsmall", "simlarge"])
     p.add_argument("--scale", type=float, default=1.0)
+    _add_telemetry_options(p)
+
+    p = sub.add_parser("telemetry", help="render a saved telemetry artifact")
+    p.add_argument("file", help="a TELEMETRY.json written by --telemetry")
+    _add_format_option(p, choices=telemetry.EXPORT_FORMATS, default="summary")
 
     p = sub.add_parser("faults",
                        help="fault-injection sites and the recovery demo")
@@ -507,8 +665,10 @@ COMMANDS = {
     "list": cmd_list,
     "record": cmd_record,
     "replay": cmd_replay,
+    "analyze": cmd_analyze,
     "transform": cmd_transform,
     "debug": cmd_debug,
+    "telemetry": cmd_telemetry,
     "profile": cmd_profile,
     "timeline": cmd_timeline,
     "stats": cmd_stats,
@@ -524,12 +684,38 @@ COMMANDS = {
 }
 
 
+def _export_telemetry(sink, args) -> None:
+    """Write (or print) the invocation's telemetry artifact."""
+    fmt = args.telemetry_format
+    timings = args.telemetry_timings
+    target = args.telemetry
+    if target == "-" or (target == "" and fmt == "summary"):
+        if fmt == "json":
+            print(telemetry.to_json(sink, timings=timings), end="")
+        elif fmt == "prom":
+            print(telemetry.to_prometheus(sink, timings=timings), end="")
+        else:
+            print(telemetry.render_summary(sink))
+        return
+    from repro.telemetry.export import DEFAULT_PATHS
+
+    path = target or DEFAULT_PATHS.get(fmt, "TELEMETRY.json")
+    written = telemetry.write(sink, path, fmt=fmt, timings=timings)
+    print(f"telemetry -> {written}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    collect = getattr(args, "telemetry", None) is not None
+    sink = telemetry.Telemetry() if collect else None
     try:
-        return COMMANDS[args.command](args)
+        with telemetry.use_telemetry(sink) if collect else _null_context():
+            code = COMMANDS[args.command](args)
+        if collect:
+            _export_telemetry(sink, args)
+        return code
     except ReproError as exc:
         # the whole taxonomy renders as one clean line: TraceError,
         # DeadlockError, FaultInjected, TaskTimeoutError, TaskCrashError, ...
@@ -538,6 +724,12 @@ def main(argv=None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc.strerror}: {exc.filename}", file=sys.stderr)
         return 1
+
+
+def _null_context():
+    import contextlib
+
+    return contextlib.nullcontext()
 
 
 if __name__ == "__main__":

@@ -69,7 +69,7 @@ def _cell(task) -> Dict[str, Summary]:
         by_scheme: Dict[str, Summary] = {}
         for scheme in ALL_SCHEMES:
             series = replayer.replay_many(
-                recorded.trace, scheme=scheme, runs=replays, base_seed=seed
+                recorded.trace, scheme=scheme, runs=replays, seed=seed
             )
             by_scheme[scheme] = series.summary()
         return by_scheme

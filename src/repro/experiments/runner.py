@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.perfdebug.framework import DebugReport, PerfPlay
 from repro.runner import ExecPolicy, TaskFailure, memoized, parallel_map, record_cached
 
@@ -143,5 +144,6 @@ def debug_app(
         perfplay = PerfPlay(jitter=jitter)
         return perfplay.analyze(recorded.trace, seed=seed)
 
-    report = memoized("debug_app", params, compute)
+    with telemetry.span("experiment.cell", app=name):
+        report = memoized("debug_app", params, compute)
     return AppDebugRun(name=name, report=report)

@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import telemetry
 from repro.analysis.benign import WriteTimeline, is_benign
 from repro.analysis.classify import FALSE, classify_pair
 from repro.analysis.engine import scan_trace
@@ -92,9 +93,13 @@ def profile_pipeline(
     report = ProfileReport()
 
     def timed(name: str, fn, detail: str = ""):
-        start = time.perf_counter()
-        value = fn()
-        report.stages.append(Stage(name, time.perf_counter() - start, detail))
+        # one span per stage, labelled, so stage wall times never overlap
+        # in the exported span tree (stages run strictly one after another)
+        with telemetry.span("profile.stage", stage=name):
+            start = time.perf_counter()
+            value = fn()
+            elapsed = time.perf_counter() - start
+        report.stages.append(Stage(name, elapsed, detail))
         return value
 
     if workload is not None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import telemetry
 from repro.sim.machine import Machine
 from repro.sim.stats import MachineResult
 from repro.sim.timebase import DEFAULT_LOCK_COST, DEFAULT_MEM_COST
@@ -78,16 +79,23 @@ class Recorder:
         )
         for sem, count in (semaphores or {}).items():
             machine.set_semaphore(sem, count)
-        for entry in programs:
-            if isinstance(entry, tuple):
-                program, thread_name = entry
-            else:
-                program, thread_name = entry, None
-            machine.add_thread(program, name=thread_name)
-        result = machine.run()
-        if self.validate_trace:
-            validate(builder.trace)
-        return RecordResult(trace=builder.trace, machine_result=result)
+        with telemetry.span("record"):
+            for entry in programs:
+                if isinstance(entry, tuple):
+                    program, thread_name = entry
+                else:
+                    program, thread_name = entry, None
+                machine.add_thread(program, name=thread_name)
+            result = machine.run()
+            if self.validate_trace:
+                validate(builder.trace)
+        trace = builder.trace
+        telemetry.count("record.traces")
+        telemetry.count("record.events", len(trace))
+        telemetry.observe("record.trace_events", len(trace))
+        telemetry.gauge("trace.events", len(trace))
+        telemetry.gauge("trace.threads", len(trace.threads))
+        return RecordResult(trace=trace, machine_result=result)
 
 
 def record(programs, **kwargs) -> RecordResult:

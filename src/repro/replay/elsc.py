@@ -20,6 +20,8 @@ class ELSCGate(Gate):
     def __init__(self, lock_schedule: Dict[str, List[str]]):
         self._schedule = {lock: list(uids) for lock, uids in lock_schedule.items()}
         self._cursor: Dict[str, int] = {lock: 0 for lock in self._schedule}
+        #: acquire attempts vetoed because the uid was not next in schedule
+        self.stalls = 0
 
     def may_acquire(self, tid: str, lock: str, uid: str) -> bool:
         schedule = self._schedule.get(lock)
@@ -28,7 +30,10 @@ class ELSCGate(Gate):
         cursor = self._cursor[lock]
         if cursor >= len(schedule):
             return True  # schedule exhausted (extra acquires unconstrained)
-        return schedule[cursor] == uid
+        if schedule[cursor] != uid:
+            self.stalls += 1
+            return False
+        return True
 
     def on_acquired(self, tid: str, lock: str, uid: str) -> None:
         schedule = self._schedule.get(lock)

@@ -12,8 +12,10 @@ times *despite* it (that is the performance-stability claim of Figure
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
+from repro import telemetry
 from repro.analysis.dls import FLAG_CHECK_COST
 from repro.analysis.transform import TransformResult
 from repro.replay.collector import TimestampCollector
@@ -62,9 +64,15 @@ class Replayer:
             lock_cost=setup.lock_cost,
             mem_cost=setup.mem_cost,
         )
-        for program, tid in original_programs(trace):
-            machine.add_thread(program, name=tid)
-        machine_result = machine.run()
+        with telemetry.span("replay.run", scheme=scheme):
+            for program, tid in original_programs(trace):
+                machine.add_thread(program, name=tid)
+            machine_result = machine.run()
+        telemetry.count("replay.runs")
+        telemetry.count("replay.simulated_ns", machine_result.end_time)
+        telemetry.observe("replay.end_ns", machine_result.end_time)
+        if isinstance(setup.gate, ELSCGate):
+            telemetry.count("replay.elsc_stalls", setup.gate.stalls)
         return ReplayResult(
             scheme=scheme,
             seed=seed,
@@ -82,20 +90,29 @@ class Replayer:
         *,
         scheme: str = ELSC_S,
         runs: int = 10,
-        base_seed: int = 0,
+        seed: int = 0,
         jobs: int = 1,
+        base_seed: Optional[int] = None,
     ) -> ReplaySeries:
         """Replay a trace several times with distinct seeds.
 
-        ``jobs=N`` fans the repeated replays out over a worker pool
-        (each replay is an independent, seeded deterministic run); the
-        series order is by seed either way, so parallel results are
-        identical to serial ones.
+        Seeds are ``seed, seed+1, ...`` (``base_seed`` is the deprecated
+        spelling of ``seed``).  ``jobs=N`` fans the repeated replays out
+        over a worker pool (each replay is an independent, seeded
+        deterministic run); the series order is by seed either way, so
+        parallel results are identical to serial ones.
         """
         from repro.runner import parallel_map
 
+        if base_seed is not None:
+            warnings.warn(
+                "replay_many(... base_seed=) is deprecated; use seed=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            seed = base_seed
         tasks = [
-            (trace, scheme, base_seed + i, self.jitter) for i in range(runs)
+            (trace, scheme, seed + i, self.jitter) for i in range(runs)
         ]
         series = ReplaySeries(scheme=scheme)
         series.runs.extend(parallel_map(_replay_task, tasks, jobs=jobs))
@@ -144,9 +161,15 @@ class Replayer:
             lock_cost=effective_lock_cost,
             flag_cost=flag_cost,
         )
-        for program, tid in programs:
-            machine.add_thread(program, name=tid)
-        machine_result = machine.run()
+        with telemetry.span("replay.run", scheme=f"ULCP-free/{mode}"):
+            for program, tid in programs:
+                machine.add_thread(program, name=tid)
+            machine_result = machine.run()
+        telemetry.count("replay.runs")
+        telemetry.count("replay.simulated_ns", machine_result.end_time)
+        telemetry.observe("replay.end_ns", machine_result.end_time)
+        if isinstance(gate, ELSCGate):
+            telemetry.count("replay.elsc_stalls", gate.stalls)
         return ReplayResult(
             scheme=f"ULCP-free/{mode}",
             seed=seed,

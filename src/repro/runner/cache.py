@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
 
-from repro import faults
+from repro import faults, telemetry
 from repro.runner.keys import cache_key, trace_digest
 from repro.trace import serialize
 from repro.trace.trace import Trace
@@ -89,15 +89,20 @@ class TraceCache:
     def get_trace(self, key: str) -> Optional[Trace]:
         path = self.trace_path(key)
         if not path.exists():
+            telemetry.count("cache.trace.misses")
             return None
         if faults.fires("cache.trace_corrupt", key=key):
             faults.corrupt_file(path, "truncate")
         try:
-            return serialize.load(path)
+            trace = serialize.load(path)
         except Exception:
             # a corrupt entry is a miss, not an error: drop it and recompute
             path.unlink(missing_ok=True)
+            telemetry.count("cache.corrupt_dropped")
+            telemetry.count("cache.trace.misses")
             return None
+        telemetry.count("cache.trace.hits")
+        return trace
 
     def put_trace(self, key: str, trace: Trace) -> Path:
         path = self.trace_path(key)
@@ -119,16 +124,21 @@ class TraceCache:
     def get_blob(self, key: str):
         path = self.blob_path(key)
         if not path.exists():
+            telemetry.count("cache.blob.misses")
             return None
         if faults.fires("cache.blob_corrupt", key=key):
             faults.corrupt_file(path, "bitflip")
         try:
             with gzip.open(path, "rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
         except Exception:
             # a corrupt entry is a miss, not an error: drop it and recompute
             path.unlink(missing_ok=True)
+            telemetry.count("cache.corrupt_dropped")
+            telemetry.count("cache.blob.misses")
             return None
+        telemetry.count("cache.blob.hits")
+        return value
 
     def put_blob(self, key: str, value) -> Path:
         path = self.blob_path(key)

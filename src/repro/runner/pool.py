@@ -52,7 +52,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from repro import faults
+from repro import faults, telemetry
 from repro.errors import (
     FaultInjected,
     TaskCrashError,
@@ -167,10 +167,20 @@ def parallel_map(
     if policy is None:
         policy = ExecPolicy(timeout=timeout, retries=retries, partial=partial)
     tasks = list(tasks)
+    if tasks:
+        telemetry.count("pool.tasks", len(tasks))
     jobs = effective_jobs(jobs) if jobs != 1 else 1
     if jobs <= 1 or len(tasks) <= 1:
         return _serial_map(fn, tasks, policy)
     return _Supervisor(fn, tasks, jobs, policy).run()
+
+
+def _count_attempt_failure(kind: str) -> None:
+    """Parent-side failure accounting, identical in serial and parallel."""
+    if kind == "crash":
+        telemetry.count("pool.crashes")
+    elif kind == "timeout":
+        telemetry.count("pool.timeouts")
 
 
 # ------------------------------------------------------------- serial path
@@ -187,6 +197,7 @@ def _serial_map(fn, tasks, policy: ExecPolicy) -> List:
                 failure = None
                 results.append(payload)
                 break
+            _count_attempt_failure(status)
             failure = TaskFailure(
                 index=index,
                 task_repr=_short_repr(task),
@@ -200,11 +211,13 @@ def _serial_map(fn, tasks, policy: ExecPolicy) -> List:
                 # record the deterministic schedule; no need to actually
                 # sleep in-process — the failure was synchronous
                 backoff.append(policy.backoff_delay(attempt))
+                telemetry.count("pool.retries")
                 continue
             break
         if failure is not None:
             if not policy.partial:
                 raise _to_exception(failure)
+            telemetry.count("pool.quarantined")
             results.append(failure)
     return results
 
@@ -216,7 +229,11 @@ def _attempt_inline(fn, task, index: int, attempt: int):
     if faults.fires("pool.worker_hang", key=index, attempt=attempt):
         return ("timeout", "injected worker hang", "")
     try:
-        return ("ok", fn(task), "")
+        # the same attempt span a worker process opens, so serial and
+        # parallel runs aggregate identical span trees, and retried
+        # attempts land under distinct keys (no double-counted stages)
+        with telemetry.span("runner.task", attempt=attempt):
+            return ("ok", fn(task), "")
     except FaultInjected as exc:
         return ("fault", str(exc), traceback.format_exc())
     except Exception as exc:
@@ -226,24 +243,34 @@ def _attempt_inline(fn, task, index: int, attempt: int):
 # ----------------------------------------------------------- parallel path
 
 
-def _run_remote(fn, task, index, attempt, cache_root, plan, out_queue) -> None:
-    """Worker body: run one task attempt, send one message, exit."""
+def _run_remote(fn, task, index, attempt, cache_root, plan, collect, out_queue) -> None:
+    """Worker body: run one task attempt, send one message, exit.
+
+    With ``collect`` set (telemetry enabled in the parent) the worker
+    builds its own private sink and ships its snapshot alongside the
+    result; the parent merges snapshots in task order, which is what
+    makes merged ``--jobs N`` metrics equal a serial run's.
+    """
     _worker_init(cache_root, plan)
+    sink = telemetry.configure(telemetry.Telemetry()) if collect else None
     try:
         if faults.fires("pool.worker_crash", key=index, attempt=attempt):
             os._exit(CRASH_EXIT_CODE)
         if faults.fires("pool.worker_hang", key=index, attempt=attempt):
             time.sleep(HANG_SECONDS)
-        message = (index, "ok", fn(task), "")
+        with telemetry.span("runner.task", attempt=attempt):
+            result = fn(task)
+        message = (index, "ok", result, "")
     except FaultInjected as exc:
         message = (index, "fault", str(exc), traceback.format_exc())
     except BaseException as exc:
         message = (index, "error", f"{type(exc).__name__}: {exc}",
                    traceback.format_exc())
+    snapshot = sink.snapshot() if sink is not None else None
     try:
-        out_queue.put(message)
+        out_queue.put(message + (snapshot,))
     except Exception as exc:  # e.g. an unpicklable result
-        out_queue.put((index, "error", f"unsendable result: {exc!r}", ""))
+        out_queue.put((index, "error", f"unsendable result: {exc!r}", "", snapshot))
 
 
 class _Supervisor:
@@ -261,10 +288,13 @@ class _Supervisor:
         store = cache.active()
         self.cache_root = str(store.root) if store is not None else None
         self.plan = faults.active()
+        self.collect = telemetry.enabled()
         self.results: Dict[int, object] = {}
         self.failures: Dict[int, TaskFailure] = {}
         self.attempt: Dict[int, int] = {}
         self.backoff_used: Dict[int, List[float]] = {}
+        #: index -> worker snapshots in attempt order, merged at the end
+        self.snapshots: Dict[int, List[dict]] = {}
         #: (index, earliest monotonic launch time)
         self.pending: List[Tuple[int, float]] = [(i, 0.0) for i in range(len(tasks))]
         #: index -> (process, per-attempt deadline or None)
@@ -278,10 +308,25 @@ class _Supervisor:
                 self._reap()
         finally:
             self._terminate_all()
+            self._merge_telemetry()
         return [
             self.results[i] if i in self.results else self.failures[i]
             for i in range(len(self.tasks))
         ]
+
+    def _merge_telemetry(self) -> None:
+        """Fold worker snapshots into the parent sink, in task order.
+
+        Task-then-attempt order makes the merged totals independent of
+        worker completion order — the serial path emits in exactly this
+        order, so ``jobs=N`` metrics equal ``jobs=1`` metrics.
+        """
+        sink = telemetry.active()
+        if sink is None or not self.snapshots:
+            return
+        for index in sorted(self.snapshots):
+            for snapshot in self.snapshots[index]:
+                sink.merge(snapshot)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -302,7 +347,7 @@ class _Supervisor:
         proc = self.ctx.Process(
             target=_run_remote,
             args=(self.fn, self.tasks[index], index, attempt,
-                  self.cache_root, self.plan, self.queue),
+                  self.cache_root, self.plan, self.collect, self.queue),
             daemon=True,
         )
         proc.start()
@@ -328,13 +373,15 @@ class _Supervisor:
             self._handle(message)
 
     def _handle(self, message) -> None:
-        index, status, payload, detail = message
+        index, status, payload, detail, snapshot = message
         entry = self.in_flight.pop(index, None)
         if entry is None:
             # stale message from an attempt already reaped (e.g. a result
             # that raced a timeout termination): the verdict stands
             return
         entry[0].join()
+        if snapshot is not None:
+            self.snapshots.setdefault(index, []).append(snapshot)
         if status == "ok":
             self.results[index] = payload
         else:
@@ -369,11 +416,13 @@ class _Supervisor:
 
     def _failed(self, index: int, kind: str, message: str, detail: str) -> None:
         attempt = self.attempt.get(index, 0)
+        _count_attempt_failure(kind)
         if kind in RETRYABLE_KINDS and attempt < self.policy.retries:
             delay = self.policy.backoff_delay(attempt)
             self.backoff_used.setdefault(index, []).append(delay)
             self.attempt[index] = attempt + 1
             self.pending.append((index, time.monotonic() + delay))
+            telemetry.count("pool.retries")
             return
         failure = TaskFailure(
             index=index,
@@ -385,6 +434,7 @@ class _Supervisor:
             detail=detail,
         )
         if self.policy.partial:
+            telemetry.count("pool.quarantined")
             self.failures[index] = failure
         else:
             # fail fast: run() terminates the remaining workers on the way out

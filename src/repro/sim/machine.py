@@ -211,7 +211,30 @@ class Machine:
                 raise SimulationError(f"exceeded max_time={self.max_time}")
             fn(*args)
 
-        return self._result()
+        result = self._result()
+        self._emit_telemetry(result)
+        return result
+
+    def _emit_telemetry(self, result: MachineResult) -> None:
+        """One boundary-level metric emission per run (cheap when disabled)."""
+        from repro import telemetry
+
+        if not telemetry.enabled():
+            return
+        telemetry.count("sim.runs")
+        telemetry.count("sim.simulated_ns", result.end_time)
+        telemetry.count("sim.threads", len(result.threads))
+        acquisitions = contended = wait_spin = wait_block = 0
+        for stats in result.locks.values():
+            acquisitions += stats.acquisitions
+            contended += stats.contended_acquisitions
+        for stats in result.threads.values():
+            wait_spin += stats.spin_ns
+            wait_block += stats.block_ns
+        telemetry.count("sim.lock.acquisitions", acquisitions)
+        telemetry.count("sim.lock.contended", contended)
+        telemetry.count("sim.wait.spin_ns", wait_spin)
+        telemetry.count("sim.wait.block_ns", wait_block)
 
     def _result(self) -> MachineResult:
         return MachineResult(

@@ -1,0 +1,77 @@
+"""Telemetry: spans, counters, gauges, histograms, and exporters.
+
+The instrumentation spine of the pipeline.  Every stage — the simulated
+machine, the recorder, the analysis engine, the transformation, the
+replayer, the worker pool, the result cache, the salvage loader — emits
+named metrics and wall-time spans into the process-wide *active sink*
+when one is configured, and costs next to nothing when none is (the
+default).  See :mod:`repro.telemetry.core` for the model,
+:mod:`repro.telemetry.registry` for the metric inventory, and
+:mod:`repro.telemetry.export` for the JSON / Prometheus / summary
+exporters.
+
+Typical library use::
+
+    from repro import api, telemetry
+
+    sink = telemetry.Telemetry()
+    report = api.debug("mysql", telemetry=sink)
+    print(telemetry.render_summary(sink))
+    telemetry.write(sink, "TELEMETRY.json")
+
+On the CLI every pipeline command accepts ``--telemetry [PATH]`` (plus
+``--telemetry-format json|prom|summary`` and ``--telemetry-timings``),
+and ``repro telemetry FILE`` renders a saved artifact.
+"""
+
+from repro.telemetry.core import (
+    SpanNode,
+    Telemetry,
+    active,
+    configure,
+    count,
+    enabled,
+    gauge,
+    observe,
+    span,
+    span_key,
+    use_telemetry,
+)
+from repro.telemetry.export import (
+    DEFAULT_PATHS,
+    EXPORT_FORMATS,
+    load,
+    render_summary,
+    to_dict,
+    to_json,
+    to_prometheus,
+    write,
+)
+from repro.telemetry.registry import COUNTERS, GAUGES, HISTOGRAMS, SPANS, describe
+
+__all__ = [
+    "Telemetry",
+    "SpanNode",
+    "active",
+    "enabled",
+    "configure",
+    "use_telemetry",
+    "count",
+    "gauge",
+    "observe",
+    "span",
+    "span_key",
+    "EXPORT_FORMATS",
+    "DEFAULT_PATHS",
+    "to_dict",
+    "to_json",
+    "to_prometheus",
+    "render_summary",
+    "write",
+    "load",
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAMS",
+    "SPANS",
+    "describe",
+]

@@ -1,0 +1,237 @@
+"""Telemetry exporters: canonical JSON, Prometheus text, human summary.
+
+Determinism contract: with ``timings=False`` (the default everywhere a
+file is written) an export is a pure function of the *logical* work done
+— counters, gauges, histogram buckets, span call counts and nesting —
+with every collection emitted in sorted order.  Two runs that perform
+the same work produce byte-identical artifacts, regardless of wall-clock
+noise or ``--jobs`` fan-out.  ``timings=True`` adds wall-clock span
+durations (and is therefore nondeterministic by nature); the human
+summary always shows wall times since it is for eyes, not diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.telemetry import registry
+from repro.telemetry.core import SpanNode, Telemetry
+
+__all__ = [
+    "EXPORT_FORMATS",
+    "to_dict",
+    "to_json",
+    "to_prometheus",
+    "render_summary",
+    "write",
+    "load",
+]
+
+EXPORT_FORMATS = ("json", "prom", "summary")
+#: default artifact name per format
+DEFAULT_PATHS = {"json": "TELEMETRY.json", "prom": "TELEMETRY.prom"}
+
+
+def _snapshot(source: Union[Telemetry, dict]) -> dict:
+    return source.snapshot() if isinstance(source, Telemetry) else source
+
+
+def _strip_ns(encoded: dict) -> dict:
+    out = {"span": encoded["span"], "calls": encoded.get("calls", 0)}
+    if encoded.get("children"):
+        out["children"] = [_strip_ns(c) for c in encoded["children"]]
+    return out
+
+
+def to_dict(source: Union[Telemetry, dict], *, timings: bool = False) -> dict:
+    """The canonical export dict (sorted, version-stamped)."""
+    snap = _snapshot(source)
+    sums = snap.get("histogram_sums", {})
+    histograms = {}
+    for name in sorted(snap.get("histograms", {})):
+        buckets = snap["histograms"][name]
+        histograms[name] = {
+            "buckets": {str(b): buckets[b] for b in sorted(buckets)},
+            "count": sum(buckets.values()),
+            "sum": sums.get(name, 0),
+        }
+    spans = snap.get("spans", [])
+    if not timings:
+        spans = [_strip_ns(s) for s in spans]
+    return {
+        "version": snap.get("version", 1),
+        "counters": {k: snap.get("counters", {})[k]
+                     for k in sorted(snap.get("counters", {}))},
+        "gauges": {k: snap.get("gauges", {})[k]
+                   for k in sorted(snap.get("gauges", {}))},
+        "histograms": histograms,
+        "spans": spans,
+    }
+
+
+def to_json(source: Union[Telemetry, dict], *, timings: bool = False) -> str:
+    """Canonical JSON text (sorted keys, stable separators, newline-terminated)."""
+    return json.dumps(to_dict(source, timings=timings),
+                      indent=2, sort_keys=True) + "\n"
+
+
+# ------------------------------------------------------------- prometheus
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _walk_spans(encoded_spans, path=()) -> List[tuple]:
+    flat = []
+    for node in encoded_spans:
+        here = path + (node["span"],)
+        flat.append(("/".join(here), node))
+        flat.extend(_walk_spans(node.get("children", ()), here))
+    return flat
+
+
+def to_prometheus(source: Union[Telemetry, dict], *, timings: bool = False) -> str:
+    """Prometheus text exposition format (0.0.4), deterministically ordered."""
+    data = to_dict(source, timings=timings)
+    lines: List[str] = []
+
+    for name in data["counters"]:
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric} {registry.describe(name)}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {data['counters'][name]}")
+    for name in data["gauges"]:
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric} {registry.describe(name)}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {data['gauges'][name]}")
+    for name, hist in data["histograms"].items():
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric} {registry.describe(name)}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bucket in sorted(hist["buckets"], key=int):
+            cumulative += hist["buckets"][bucket]
+            upper = (1 << int(bucket)) - 1 if int(bucket) > 0 else 0
+            lines.append(f'{metric}_bucket{{le="{upper}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_count {hist['count']}")
+        lines.append(f"{metric}_sum {hist['sum']}")
+
+    flat = _walk_spans(data["spans"])
+    if flat:
+        lines.append("# HELP repro_span_calls span entries by path")
+        lines.append("# TYPE repro_span_calls counter")
+        for path, node in flat:
+            lines.append(
+                f'repro_span_calls{{span="{_prom_escape(path)}"}} {node["calls"]}'
+            )
+        if timings:
+            lines.append("# HELP repro_span_ns wall nanoseconds by span path")
+            lines.append("# TYPE repro_span_ns counter")
+            for path, node in flat:
+                lines.append(
+                    f'repro_span_ns{{span="{_prom_escape(path)}"}} '
+                    f'{node.get("ns", 0)}'
+                )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------- summary
+
+
+def _render_span(node: dict, depth: int, lines: List[str]) -> None:
+    indent = "  " * depth
+    ns = node.get("ns")
+    timing = f"{ns / 1e6:10.2f} ms" if ns is not None else " " * 13
+    lines.append(f"    {indent}{node['span']:<{max(2, 40 - 2 * depth)}} "
+                 f"{node['calls']:>6}x {timing}")
+    for child in node.get("children", ()):
+        _render_span(child, depth + 1, lines)
+
+
+def render_summary(source: Union[Telemetry, dict]) -> str:
+    """The human ``repro telemetry`` view: span tree, counters, the rest."""
+    data = to_dict(source, timings=True) if isinstance(source, Telemetry) \
+        else to_dict(source, timings=True)
+    lines = ["telemetry summary"]
+    if data["spans"]:
+        lines.append("  spans (calls, wall time):")
+        for node in data["spans"]:
+            _render_span(node, 0, lines)
+    if data["counters"]:
+        lines.append("  counters:")
+        width = max(len(n) for n in data["counters"])
+        for name, value in data["counters"].items():
+            lines.append(f"    {name:<{width}} {value:>12}  {registry.describe(name)}")
+    if data["gauges"]:
+        lines.append("  gauges:")
+        width = max(len(n) for n in data["gauges"])
+        for name, value in data["gauges"].items():
+            lines.append(f"    {name:<{width}} {value:>12}  {registry.describe(name)}")
+    if data["histograms"]:
+        lines.append("  histograms:")
+        for name, hist in data["histograms"].items():
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            lines.append(
+                f"    {name}  n={hist['count']}  mean={mean:.0f}  "
+                f"{registry.describe(name)}"
+            )
+    if len(lines) == 1:
+        lines.append("  (empty: no instrumented work ran)")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ files
+
+
+def write(
+    source: Union[Telemetry, dict],
+    path: Union[str, Path],
+    *,
+    fmt: str = "json",
+    timings: bool = False,
+) -> Path:
+    """Write one export artifact; returns the path written."""
+    if fmt not in EXPORT_FORMATS:
+        raise ValueError(f"unknown telemetry format {fmt!r} "
+                         f"(expected one of {EXPORT_FORMATS})")
+    if fmt == "json":
+        text = to_json(source, timings=timings)
+    elif fmt == "prom":
+        text = to_prometheus(source, timings=timings)
+    else:
+        text = render_summary(source) + "\n"
+    target = Path(path)
+    target.write_text(text, encoding="utf-8")
+    return target
+
+
+def load(path: Union[str, Path]) -> dict:
+    """Read a ``TELEMETRY.json`` back into an export dict.
+
+    The loaded dict round-trips through every renderer here (histogram
+    buckets are re-keyed to ints so :func:`to_dict` normalizes cleanly).
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    histograms = {}
+    sums = {}
+    for name, hist in data.get("histograms", {}).items():
+        histograms[name] = {int(b): n for b, n in hist.get("buckets", {}).items()}
+        sums[name] = hist.get("sum", 0)
+    return {
+        "version": data.get("version", 1),
+        "counters": data.get("counters", {}),
+        "gauges": data.get("gauges", {}),
+        "histograms": histograms,
+        "histogram_sums": sums,
+        "spans": data.get("spans", []),
+    }

@@ -1,0 +1,121 @@
+"""The metric name registry: every metric the pipeline emits, described.
+
+Names are dotted, ``<subsystem>.<noun>[.<detail>]``.  The registry is the
+single source of truth for exporters (Prometheus ``# HELP`` lines come
+from here) and for the documentation table in ``docs/INTERNALS.md`` §10.
+Emitting an unregistered name is allowed — exporters fall back to a
+generic description — but every name the core pipeline emits should be
+listed here so the inventory stays reviewable.
+
+Conventions:
+
+* counters and histograms carry **deterministic** values only (logical
+  event counts, simulated nanoseconds).  Wall-clock time lives in spans.
+* ``*_ns`` suffixes are simulated (virtual) nanoseconds, never wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["COUNTERS", "GAUGES", "HISTOGRAMS", "SPANS", "describe", "kind_of"]
+
+#: counter name -> description
+COUNTERS: Dict[str, str] = {
+    # simulated machine
+    "sim.runs": "machine executions completed",
+    "sim.simulated_ns": "total simulated nanoseconds across runs",
+    "sim.threads": "thread programs run to completion",
+    "sim.lock.acquisitions": "lock acquisitions granted",
+    "sim.lock.contended": "acquisitions that had to wait",
+    "sim.wait.spin_ns": "simulated ns burned spinning on busy locks",
+    "sim.wait.block_ns": "simulated ns spent blocked on busy locks",
+    # recording
+    "record.traces": "workload executions recorded",
+    "record.events": "trace events recorded",
+    # analysis
+    "analyze.scans": "columnar engine walks (cache misses of the scan memo)",
+    "analyze.events_scanned": "events walked by the columnar engine",
+    "analyze.sections": "critical sections extracted",
+    "analyze.pairs": "same-lock candidate pairs classified",
+    "analyze.benign_tests": "reversed-replay benign tests executed",
+    "ulcp.null_lock": "pairs classified null-lock",
+    "ulcp.read_read": "pairs classified read-read",
+    "ulcp.disjoint_write": "pairs classified disjoint-write",
+    "ulcp.benign": "pairs classified benign via reversed replay",
+    "ulcp.tlcp": "pairs classified as true lock contention",
+    # transformation
+    "transform.runs": "ULCP transformations completed",
+    "transform.removed_sections": "critical sections removed by RULE 1-4",
+    "transform.aux_locks": "auxiliary locks introduced by the resync plan",
+    "transform.causal_edges": "causal edges in the ULCP-free topology",
+    "transform.order_edges": "order edges in the ULCP-free topology",
+    # replay
+    "replay.runs": "replays executed (any scheme)",
+    "replay.simulated_ns": "simulated ns accumulated across replays",
+    "replay.elsc_stalls": "acquire attempts vetoed by the ELSC schedule",
+    # worker pool / supervisor
+    "pool.tasks": "tasks submitted to parallel_map",
+    "pool.retries": "task attempts retried after a transient failure",
+    "pool.crashes": "worker crashes observed",
+    "pool.timeouts": "task attempts that exceeded their budget",
+    "pool.quarantined": "tasks quarantined as TaskFailure results",
+    # result cache
+    "cache.trace.hits": "trace cache hits",
+    "cache.trace.misses": "trace cache misses",
+    "cache.blob.hits": "result blob cache hits",
+    "cache.blob.misses": "result blob cache misses",
+    "cache.corrupt_dropped": "corrupt cache entries dropped as misses",
+    # salvage loader
+    "salvage.loads": "trace loads attempted in salvage mode",
+    "salvage.events_dropped": "events trimmed while salvaging damaged traces",
+}
+
+#: gauge name -> description
+GAUGES: Dict[str, str] = {
+    "trace.events": "events in the most recently handled trace",
+    "trace.threads": "threads in the most recently handled trace",
+}
+
+#: histogram name -> description (power-of-two buckets, integer values)
+HISTOGRAMS: Dict[str, str] = {
+    "replay.end_ns": "simulated end time per replay run",
+    "record.trace_events": "events per recorded trace",
+}
+
+#: span name -> description (wall time; excluded from deterministic exports)
+SPANS: Dict[str, str] = {
+    "record": "record one workload execution into a trace",
+    "analyze.scan_trace": "fused columnar walk (sections + sharedness)",
+    "analyze.pairs": "pair enumeration, Algorithm 1, benign tests",
+    "transform": "RULE 1-4 transformation to the ULCP-free trace",
+    "replay.run": "one seeded replay on the simulated machine",
+    "runner.task": "one supervised task attempt (label: attempt)",
+    "experiment.cell": "one experiment cell through the pipeline",
+    "profile.stage": "one timed stage of repro profile (label: stage)",
+}
+
+_FALLBACK = "unregistered metric (see repro.telemetry.registry)"
+
+
+def describe(name: str) -> str:
+    """Human description of a metric or span name."""
+    base = name.split("{", 1)[0]
+    for table in (COUNTERS, GAUGES, HISTOGRAMS, SPANS):
+        if base in table:
+            return table[base]
+    return _FALLBACK
+
+
+def kind_of(name: str) -> str:
+    """``counter`` / ``gauge`` / ``histogram`` / ``span`` / ``unknown``."""
+    base = name.split("{", 1)[0]
+    if base in COUNTERS:
+        return "counter"
+    if base in GAUGES:
+        return "gauge"
+    if base in HISTOGRAMS:
+        return "histogram"
+    if base in SPANS:
+        return "span"
+    return "unknown"

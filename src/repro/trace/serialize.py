@@ -306,6 +306,12 @@ def salvage_read(lines: Iterable[str], *, source=None) -> LoadedTrace:
         stopped_reason=stop["reason"],
         problems=_trace_problems(trace),
     )
+    from repro import telemetry
+
+    telemetry.count("salvage.loads")
+    lost = (report.dropped_events or 0) + report.trimmed_events
+    if lost:
+        telemetry.count("salvage.events_dropped", lost)
     if not report.clean:
         warnings.warn(SalvageWarning(report.render()), stacklevel=2)
     return LoadedTrace(trace=trace, report=report)

@@ -1,0 +1,177 @@
+"""Facade smoke tests: the five ``repro.api`` entry points.
+
+One synthetic workload (``tunable-contention``) and one PARSEC model
+(``transmissionBT``) are pushed through every stage, both through
+``repro.api`` directly and through the top-level re-exports.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.analysis.pairs import PairAnalysis
+from repro.analysis.transform import TransformResult
+from repro.perfdebug.framework import DebugReport
+from repro.record.recorder import RecordResult
+from repro.replay.results import ReplayResult, ReplaySeries
+from repro.telemetry import Telemetry
+from repro.trace.trace import Trace
+
+SYNTHETIC = "tunable-contention"
+PARSEC = "transmissionBT"
+
+
+@pytest.fixture(scope="module", params=[SYNTHETIC, PARSEC])
+def trace(request):
+    return api.record(request.param, threads=2, seed=0)
+
+
+class TestRecord:
+    def test_returns_trace(self, trace):
+        assert isinstance(trace, Trace)
+        assert len(trace) > 0
+
+    def test_full_returns_record_result(self):
+        result = api.record(PARSEC, seed=0, full=True)
+        assert isinstance(result, RecordResult)
+        assert isinstance(result.trace, Trace)
+
+    def test_workload_instance_and_raw_programs(self):
+        from repro.workloads.base import get_workload
+
+        workload = get_workload(PARSEC, threads=2, seed=0)
+        from_instance = api.record(workload, seed=0)
+        assert isinstance(from_instance, Trace)
+
+    def test_deterministic(self):
+        a = api.record(SYNTHETIC, seed=3)
+        b = api.record(SYNTHETIC, seed=3)
+        assert [e.encode() for e in a.iter_events()] == \
+            [e.encode() for e in b.iter_events()]
+
+    def test_unknown_workload_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            api.record("not-a-workload")
+
+
+class TestAnalyze:
+    def test_returns_pair_analysis(self, trace):
+        analysis = api.analyze(trace)
+        assert isinstance(analysis, PairAnalysis)
+        b = analysis.breakdown
+        assert (b.null_lock + b.read_read + b.disjoint_write
+                + b.benign + b.tlcp) == len(analysis.pairs)
+
+    def test_accepts_path(self, trace, tmp_path):
+        from repro.trace import serialize
+
+        path = tmp_path / "t.jsonl.gz"
+        serialize.dump(trace, path)
+        analysis = api.analyze(str(path))
+        assert isinstance(analysis, PairAnalysis)
+
+
+class TestTransform:
+    def test_returns_trace_by_default(self, trace):
+        freed = api.transform(trace)
+        assert isinstance(freed, Trace)
+
+    def test_full_returns_transform_result(self, trace):
+        result = api.transform(trace, full=True)
+        assert isinstance(result, TransformResult)
+        assert isinstance(result.trace, Trace)
+
+
+class TestReplay:
+    def test_single_run(self, trace):
+        result = api.replay(trace)
+        assert isinstance(result, ReplayResult)
+        assert result.end_time > 0
+
+    def test_series(self, trace):
+        series = api.replay(trace, runs=3, seed=0)
+        assert isinstance(series, ReplaySeries)
+        assert len(series.runs) == 3
+
+    def test_jobs_matches_serial(self, trace):
+        serial = api.replay(trace, runs=3, seed=0, jobs=1)
+        parallel = api.replay(trace, runs=3, seed=0, jobs=2)
+        assert serial.end_times == parallel.end_times
+
+    def test_unknown_scheme_rejected(self, trace):
+        with pytest.raises(ValueError):
+            api.replay(trace, scheme="TURBO-S")
+
+    def test_base_seed_shim_warns(self, trace):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = api.replay(trace, runs=2, base_seed=5)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        modern = api.replay(trace, runs=2, seed=5)
+        assert shimmed.end_times == modern.end_times
+
+    def test_base_seed_and_seed_conflict(self, trace):
+        with pytest.raises(TypeError):
+            api.replay(trace, seed=1, base_seed=2)
+
+    def test_unknown_kwarg_rejected(self, trace):
+        with pytest.raises(TypeError):
+            api.replay(trace, bogus=1)
+
+
+class TestDebug:
+    def test_from_trace(self, trace):
+        report = api.debug(trace)
+        assert isinstance(report, DebugReport)
+        assert "PERFPLAY report" in report.render()
+
+    def test_from_workload_name(self):
+        report = api.debug(PARSEC, seed=0)
+        assert isinstance(report, DebugReport)
+
+    def test_from_path(self, trace, tmp_path):
+        from repro.trace import serialize
+
+        path = tmp_path / "t.jsonl.gz"
+        serialize.dump(trace, path)
+        report = api.debug(str(path))
+        assert isinstance(report, DebugReport)
+
+
+class TestTelemetryKwarg:
+    def test_every_entry_point_accepts_a_sink(self):
+        sink = Telemetry()
+        trace = api.record(SYNTHETIC, seed=0, telemetry=sink)
+        api.analyze(trace, telemetry=sink)
+        freed = api.transform(trace, telemetry=sink)
+        api.replay(freed, telemetry=sink)
+        api.debug(trace, telemetry=sink)
+        for counter in ("record.traces", "analyze.pairs",
+                        "transform.runs", "replay.runs"):
+            assert sink.counters.get(counter, 0) > 0
+        keys = {n.key for n in sink.spans()}
+        assert "record" in keys
+        assert "transform" in keys
+
+    def test_explicit_sink_shadows_ambient(self):
+        from repro.telemetry import use_telemetry
+
+        ambient, explicit = Telemetry(), Telemetry()
+        with use_telemetry(ambient):
+            api.record(SYNTHETIC, seed=0, telemetry=explicit)
+        assert "record.traces" not in ambient.counters
+        assert explicit.counters["record.traces"] == 1
+
+
+class TestTopLevelReexports:
+    def test_facade_is_the_package_surface(self):
+        assert repro.record is api.record
+        assert repro.analyze is api.analyze
+        assert repro.transform is api.transform
+        assert repro.replay is api.replay
+        assert repro.debug is api.debug
+        assert repro.telemetry.Telemetry is Telemetry

@@ -1,0 +1,178 @@
+"""Unit tests for the telemetry core: spans, metrics, snapshot/merge."""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Telemetry, use_telemetry
+from repro.telemetry.core import span_key
+
+
+class TestSpanKey:
+    def test_bare_name(self):
+        assert span_key("replay.run") == "replay.run"
+
+    def test_labels_sorted(self):
+        assert span_key("runner.task", {"attempt": 1}) == "runner.task{attempt=1}"
+        assert span_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        sink = Telemetry()
+        with sink.span("outer"):
+            with sink.span("inner"):
+                pass
+            with sink.span("inner"):
+                pass
+        (outer,) = sink.spans()
+        assert outer.key == "outer"
+        assert outer.calls == 1
+        (inner,) = outer.children.values()
+        assert inner.key == "inner"
+        assert inner.calls == 2
+
+    def test_own_ns_excludes_children(self):
+        sink = Telemetry()
+        with sink.span("outer"):
+            with sink.span("inner"):
+                pass
+        (outer,) = sink.spans()
+        (inner,) = outer.children.values()
+        assert outer.own_ns() == outer.ns - inner.ns
+
+    def test_threads_build_separate_branches(self):
+        sink = Telemetry()
+
+        def work(name):
+            with sink.span(name):
+                with sink.span("leaf"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tops = sink.spans()
+        assert [n.key for n in tops] == ["t0", "t1", "t2", "t3"]
+        for node in tops:
+            assert node.calls == 1
+            assert list(node.children) == ["leaf"]
+
+    def test_span_survives_exception(self):
+        sink = Telemetry()
+        with pytest.raises(RuntimeError):
+            with sink.span("boom"):
+                raise RuntimeError("x")
+        (node,) = sink.spans()
+        assert node.calls == 1
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        sink = Telemetry()
+        sink.count("a")
+        sink.count("a", 4)
+        assert sink.counters["a"] == 5
+
+    def test_gauges_last_write_wins(self):
+        sink = Telemetry()
+        sink.gauge("g", 10)
+        sink.gauge("g", 3)
+        assert sink.gauges["g"] == 3
+
+    def test_histogram_power_of_two_buckets(self):
+        sink = Telemetry()
+        for value in (0, 1, 2, 3, 4, 1000):
+            sink.observe("h", value)
+        # bit_length buckets: 0->0, 1->1, {2,3}->2, 4->3, 1000->10
+        assert sink.histograms["h"] == {0: 1, 1: 1, 2: 2, 3: 1, 10: 1}
+        count, total = sink.histogram_summary("h")
+        assert count == 6
+        assert total == 1010
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        sink = Telemetry()
+        sink.count("c", 2)
+        sink.gauge("g", 7)
+        sink.observe("h", 5)
+        with sink.span("top"):
+            with sink.span("sub"):
+                pass
+        return sink
+
+    def test_snapshot_is_plain_data(self):
+        snap = self._populated().snapshot()
+        assert snap["version"] == 1
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7}
+        (top,) = snap["spans"]
+        assert top["span"] == "top"
+        assert top["children"][0]["span"] == "sub"
+
+    def test_merge_sums_counters_buckets_and_span_calls(self):
+        parent = self._populated()
+        parent.merge(self._populated().snapshot())
+        assert parent.counters["c"] == 4
+        assert parent.gauges["g"] == 7
+        count, total = parent.histogram_summary("h")
+        assert count == 2
+        assert total == 10
+        (top,) = parent.spans()
+        assert top.calls == 2
+        (sub,) = top.children.values()
+        assert sub.calls == 2
+
+    def test_merge_none_is_noop(self):
+        sink = self._populated()
+        before = sink.snapshot()
+        sink.merge(None)
+        sink.merge({})
+        assert sink.snapshot() == before
+
+    def test_merge_order_independent_for_sums(self):
+        a, b = self._populated().snapshot(), Telemetry()
+        b.count("c", 9)
+        b = b.snapshot()
+        ab, ba = Telemetry(), Telemetry()
+        ab.merge(a)
+        ab.merge(b)
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.counters == ba.counters
+
+
+class TestNullBackend:
+    def test_disabled_by_default(self):
+        assert telemetry.active() is None
+        assert not telemetry.enabled()
+
+    def test_free_functions_are_noops_when_disabled(self):
+        telemetry.count("x")
+        telemetry.gauge("x", 1)
+        telemetry.observe("x", 1)
+        with telemetry.span("x"):
+            pass  # shared null span: no sink to record into
+
+    def test_use_telemetry_activates_and_restores(self):
+        sink = Telemetry()
+        with use_telemetry(sink):
+            assert telemetry.active() is sink
+            telemetry.count("hit")
+        assert telemetry.active() is None
+        assert sink.counters["hit"] == 1
+
+    def test_nested_sinks_restore_previous(self):
+        outer, inner = Telemetry(), Telemetry()
+        with use_telemetry(outer):
+            with use_telemetry(inner):
+                telemetry.count("k")
+            assert telemetry.active() is outer
+            telemetry.count("k")
+        assert inner.counters["k"] == 1
+        assert outer.counters["k"] == 1

@@ -1,0 +1,87 @@
+"""The determinism regression: ``--jobs N`` telemetry == ``--jobs 1``.
+
+Worker processes collect into their own sinks; the supervisor merges
+their snapshots back in task order.  The default export strips wall
+times, so the merged artifact of a parallel run must be byte-identical
+to a serial run's.
+"""
+
+import pytest
+
+from repro import api, telemetry
+from repro.telemetry import Telemetry, to_json, use_telemetry
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return api.record("transmissionBT", threads=2, seed=0)
+
+
+def _replay_telemetry(trace, jobs: int) -> str:
+    sink = Telemetry()
+    api.replay(trace, runs=4, seed=0, jobs=jobs, telemetry=sink)
+    return to_json(sink)
+
+
+class TestJobsDeterminism:
+    def test_parallel_replay_matches_serial(self, trace):
+        assert _replay_telemetry(trace, jobs=4) == _replay_telemetry(trace, jobs=1)
+
+    def test_parallel_collects_worker_metrics(self, trace):
+        sink = Telemetry()
+        api.replay(trace, runs=4, seed=0, jobs=2, telemetry=sink)
+        # per-run metrics are emitted inside the workers and merged back
+        assert sink.counters["replay.runs"] == 4
+        assert sink.counters["sim.runs"] == 4
+        count, _total = sink.histogram_summary("replay.end_ns")
+        assert count == 4
+
+    def test_repeat_runs_are_byte_identical(self, trace):
+        assert _replay_telemetry(trace, jobs=2) == _replay_telemetry(trace, jobs=2)
+
+    def test_worker_spans_merge_under_runner_task(self, trace):
+        sink = Telemetry()
+        api.replay(trace, runs=3, seed=0, jobs=2, telemetry=sink)
+        tasks = [n for n in sink.spans() if n.key.startswith("runner.task")]
+        assert sum(n.calls for n in tasks) == 3
+        for node in tasks:
+            assert "replay.run{scheme=ELSC-S}" in node.children
+
+
+class TestPoolFailureAccounting:
+    def test_retried_attempts_are_labelled_separately(self):
+        # fault injection: first attempt of task 1 crashes, retry succeeds
+        from repro import faults
+        from repro.faults import FaultPlan, parse_rule
+        from repro.runner import ExecPolicy
+        from repro.runner.pool import parallel_map
+
+        plan = FaultPlan(seed=0, rules=[parse_rule("pool.worker_crash@1:attempt=0")])
+        sink = Telemetry()
+        with use_telemetry(sink), faults.use_plan(plan):
+            results = parallel_map(
+                _double, [1, 2, 3], jobs=2, policy=ExecPolicy(retries=2)
+            )
+        assert results == [2, 4, 6]
+        assert sink.counters["pool.crashes"] == 1
+        assert sink.counters["pool.retries"] == 1
+        # the crashed attempt's wall time died with its worker; the retry
+        # lands under its own attempt label, so nothing is double-counted
+        tasks = {n.key: n for n in sink.spans() if n.key.startswith("runner.task")}
+        assert sum(n.calls for n in tasks.values()) == 3
+        assert "runner.task{attempt=1}" in tasks
+        assert tasks["runner.task{attempt=1}"].calls == 1
+
+    def test_serial_path_counts_match_pool_path(self):
+        from repro.runner.pool import parallel_map
+
+        serial, pooled = Telemetry(), Telemetry()
+        with use_telemetry(serial):
+            parallel_map(_double, [1, 2, 3], jobs=1)
+        with use_telemetry(pooled):
+            parallel_map(_double, [1, 2, 3], jobs=2)
+        assert to_json(serial) == to_json(pooled)
+
+
+def _double(x):
+    return x * 2

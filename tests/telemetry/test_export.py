@@ -1,0 +1,123 @@
+"""Exporter tests: canonical JSON round-trip, Prometheus text, summary."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    EXPORT_FORMATS,
+    Telemetry,
+    load,
+    render_summary,
+    to_dict,
+    to_json,
+    to_prometheus,
+    write,
+)
+
+
+def populated() -> Telemetry:
+    sink = Telemetry()
+    sink.count("replay.runs", 3)
+    sink.count("cache.trace.hits", 1)
+    sink.gauge("trace.events", 1030)
+    sink.observe("replay.end_ns", 64559)
+    sink.observe("replay.end_ns", 64559)
+    with sink.span("replay.run", scheme="ELSC-S"):
+        pass
+    return sink
+
+
+class TestToDict:
+    def test_sorted_and_versioned(self):
+        data = to_dict(populated())
+        assert data["version"] == 1
+        assert list(data["counters"]) == sorted(data["counters"])
+        assert data["counters"]["replay.runs"] == 3
+
+    def test_timings_stripped_by_default(self):
+        data = to_dict(populated())
+        (span,) = data["spans"]
+        assert span["span"] == "replay.run{scheme=ELSC-S}"
+        assert "ns" not in span
+
+    def test_timings_opt_in(self):
+        data = to_dict(populated(), timings=True)
+        (span,) = data["spans"]
+        assert "ns" in span
+
+    def test_default_export_is_deterministic(self):
+        # two sinks doing the same logical work, different wall clocks
+        assert to_json(populated()) == to_json(populated())
+
+
+class TestJsonRoundTrip:
+    def test_write_load_roundtrip(self, tmp_path):
+        sink = populated()
+        path = write(sink, tmp_path / "TELEMETRY.json", fmt="json")
+        reloaded = load(path)
+        assert to_json(reloaded) == to_json(sink)
+        # histogram buckets come back as int keys
+        assert all(isinstance(b, int)
+                   for b in reloaded["histograms"]["replay.end_ns"])
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = write(populated(), tmp_path / "t.json")
+        data = json.loads(path.read_text())
+        assert data["gauges"]["trace.events"] == 1030
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write(populated(), tmp_path / "x", fmt="xml")
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(populated())
+        assert "# TYPE repro_replay_runs counter" in text
+        assert "repro_replay_runs 3" in text
+        assert "# TYPE repro_trace_events gauge" in text
+        assert "# TYPE repro_replay_end_ns histogram" in text
+        assert 'repro_span_calls{span="replay.run{scheme=ELSC-S}"} 1' in text
+
+    def test_histogram_buckets_cumulative(self):
+        text = to_prometheus(populated())
+        # both observations of 64559 land in bucket 16 (le = 2**16 - 1)
+        assert 'repro_replay_end_ns_bucket{le="65535"} 2' in text
+        assert 'repro_replay_end_ns_bucket{le="+Inf"} 2' in text
+        assert "repro_replay_end_ns_count 2" in text
+        assert "repro_replay_end_ns_sum 129118" in text
+
+    def test_help_lines_come_from_registry(self):
+        text = to_prometheus(populated())
+        assert "# HELP repro_replay_runs replays executed" in text
+
+    def test_no_span_ns_without_timings(self):
+        assert "repro_span_ns" not in to_prometheus(populated())
+        assert "repro_span_ns" in to_prometheus(populated(), timings=True)
+
+
+class TestSummary:
+    def test_renders_all_sections(self):
+        text = render_summary(populated())
+        assert "telemetry summary" in text
+        assert "replay.run{scheme=ELSC-S}" in text
+        assert "replay.runs" in text
+        assert "trace.events" in text
+        assert "replay.end_ns" in text
+
+    def test_empty_sink(self):
+        assert "empty" in render_summary(Telemetry())
+
+    def test_summary_of_loaded_export_omits_wall_times(self, tmp_path):
+        path = write(populated(), tmp_path / "t.json")
+        text = render_summary(load(path))
+        assert "replay.run{scheme=ELSC-S}" in text
+        assert " ms" not in text  # timings were stripped at write time
+
+
+class TestFormats:
+    def test_export_formats_constant(self):
+        assert EXPORT_FORMATS == ("json", "prom", "summary")
+        assert telemetry.DEFAULT_PATHS["json"] == "TELEMETRY.json"

@@ -172,6 +172,102 @@ class TestNewCommands:
         assert "Before/after comparison" in capsys.readouterr().out
 
 
+class TestAnalyzeCommand:
+    def test_analyze_text(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        capsys.readouterr()
+        assert main(["analyze", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "pairs" in out
+
+    def test_analyze_json(self, tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        capsys.readouterr()
+        assert main(["analyze", trace_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "pairs" in data
+
+
+class TestTelemetryFlag:
+    def test_record_writes_telemetry_json(self, tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "t.jsonl")
+        artifact = str(tmp_path / "TELEMETRY.json")
+        assert main([
+            "record", "transmissionBT", "-o", trace_file,
+            "--telemetry", artifact,
+        ]) == 0
+        data = json.loads((tmp_path / "TELEMETRY.json").read_text())
+        assert data["counters"]["record.traces"] == 1
+        assert data["counters"]["sim.runs"] == 1
+        # default export strips wall times for byte-determinism
+        assert all("ns" not in s for s in data["spans"])
+
+    def test_prom_format(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        artifact = str(tmp_path / "t.prom")
+        main(["record", "transmissionBT", "-o", trace_file])
+        assert main([
+            "replay", trace_file, "--runs", "2",
+            "--telemetry", artifact, "--telemetry-format", "prom",
+        ]) == 0
+        text = (tmp_path / "t.prom").read_text()
+        assert "# TYPE repro_replay_runs counter" in text
+        assert "repro_replay_runs 2" in text
+
+    def test_jobs_telemetry_byte_identical(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl.gz")
+        main(["record", "pbzip2", "-o", trace_file])
+        serial = str(tmp_path / "serial.json")
+        parallel = str(tmp_path / "parallel.json")
+        assert main([
+            "replay", trace_file, "--runs", "4", "--jobs", "1",
+            "--telemetry", serial,
+        ]) == 0
+        assert main([
+            "replay", trace_file, "--runs", "4", "--jobs", "4",
+            "--telemetry", parallel,
+        ]) == 0
+        assert (tmp_path / "serial.json").read_bytes() == \
+            (tmp_path / "parallel.json").read_bytes()
+
+    def test_telemetry_subcommand_renders_summary(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        artifact = str(tmp_path / "TELEMETRY.json")
+        main(["record", "transmissionBT", "-o", trace_file,
+              "--telemetry", artifact])
+        capsys.readouterr()
+        assert main(["telemetry", artifact]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "record.traces" in out
+
+    def test_telemetry_subcommand_converts_to_prom(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        artifact = str(tmp_path / "TELEMETRY.json")
+        main(["record", "transmissionBT", "-o", trace_file,
+              "--telemetry", artifact])
+        capsys.readouterr()
+        assert main(["telemetry", artifact, "--format", "prom"]) == 0
+        assert "# TYPE repro_record_traces counter" in capsys.readouterr().out
+
+    def test_debug_with_telemetry(self, tmp_path, capsys):
+        import json
+
+        artifact = str(tmp_path / "d.json")
+        assert main([
+            "debug", "transmissionBT", "--telemetry", artifact,
+        ]) == 0
+        data = json.loads((tmp_path / "d.json").read_text())
+        assert data["counters"]["analyze.pairs"] > 0
+        assert data["counters"]["transform.runs"] >= 1
+
+
 class TestFaultsCommand:
     def test_faults_list(self, capsys):
         assert main(["faults", "list"]) == 0

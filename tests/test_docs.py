@@ -1,20 +1,41 @@
-"""Smoke tests for the generated API reference."""
+"""Smoke tests for the generated API reference.
 
-from repro.docs import generate, write
+Since the ``repro.api`` redesign the reference documents ONLY the facade
+and the telemetry subsystem in full; every internal subpackage appears
+solely as a one-line appendix entry.
+"""
+
+from repro.docs import INTERNAL_PACKAGES, generate, write
 
 
 class TestApiDocs:
-    def test_covers_all_packages(self):
+    def test_documents_only_the_facade(self):
         text = generate()
-        for package in ("repro.sim", "repro.analysis", "repro.replay",
-                        "repro.perfdebug", "repro.workloads"):
-            assert f"## `{package}" in text
+        assert "## `repro.api`" in text
+        assert "## `repro.telemetry`" in text
+        # internal modules must NOT get their own full sections
+        for package in INTERNAL_PACKAGES:
+            assert f"## `{package}`" not in text
 
-    def test_mentions_key_api(self):
+    def test_facade_functions_fully_documented(self):
         text = generate()
-        assert "class `PerfPlay" in text
-        assert "class `Machine" in text
-        assert "`transform(" in text
+        for fn in ("record", "analyze", "transform", "replay", "debug"):
+            assert f"### `{fn}(" in text
+        # full docstrings, not just summaries
+        assert "DeprecationWarning" in text
+        assert "telemetry=" in text
+
+    def test_telemetry_surface_documented(self):
+        text = generate()
+        assert "class `Telemetry" in text
+        assert "`span(" in text
+        assert "`count(" in text
+
+    def test_internal_appendix(self):
+        text = generate()
+        assert "## Internal modules" in text
+        for package in INTERNAL_PACKAGES:
+            assert f"- `{package}`" in text
 
     def test_write(self, tmp_path):
         target = write(tmp_path / "API.md")

@@ -156,6 +156,52 @@ def test_telemetry_overhead(fluid_trace):
     )
 
 
+def test_timeline_build_overhead():
+    """Acceptance: a timeline build costs <10% of the pipeline it renders.
+
+    The timeline layer promises to stay O(events) over the interned
+    columnar core; this pins that promise as a timing ratio against the
+    pipeline `repro report` runs before rendering — record, analyze,
+    transform, and both replays — on the largest workload model.
+    Min-of-rounds on both sides to shave scheduler noise.
+    """
+    import time
+
+    from repro.timeline import build_timeline
+
+    workload = get_workload("fluidanimate", threads=2)
+    replayer = Replayer(jitter=0.0)
+
+    def pipeline_once():
+        trace = workload.record().trace
+        analysis = analyze_pairs(trace)
+        result = transform(trace, analysis=analysis)
+        replayer.replay(trace, scheme=ELSC_S)
+        replayer.replay_transformed(result)
+        return trace, analysis
+
+    trace, analysis = pipeline_once()  # warm up both code paths
+    build_timeline(trace, analysis=analysis)
+    pipeline_times, build_times = [], []
+    for _ in range(5):
+        started = time.perf_counter()
+        trace, analysis = pipeline_once()
+        pipeline_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        timeline = build_timeline(trace, analysis=analysis)
+        build_times.append(time.perf_counter() - started)
+    pipeline_s, build_s = min(pipeline_times), min(build_times)
+    assert len(timeline) > 0
+    ratio = build_s / pipeline_s
+    print(f"\npipeline: {pipeline_s * 1000:.1f} ms  "
+          f"timeline build: {build_s * 1000:.2f} ms  "
+          f"ratio: {ratio * 100:.1f}%")
+    assert ratio < 0.10, (
+        f"timeline build took {ratio * 100:.1f}% of pipeline wall time "
+        f"(gate: 10%)"
+    )
+
+
 def test_parallel_cached_suite_speedup(tmp_path):
     """Acceptance: jobs=4 + warm cache beats serial uncached by >=2x.
 

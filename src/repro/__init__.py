@@ -60,7 +60,7 @@ from repro.replay import (
 )
 from repro.trace import CodeRegion, CodeSite, Trace, TraceMeta
 from repro import api, telemetry
-from repro.api import analyze, debug, record, replay, transform
+from repro.api import analyze, debug, record, replay, report, transform
 
 __version__ = "1.0.0"
 
@@ -72,6 +72,7 @@ __all__ = [
     "transform",
     "replay",
     "debug",
+    "report",
     "PerfPlay",
     "DebugReport",
     "Recorder",

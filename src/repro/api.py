@@ -8,6 +8,7 @@ package — the five stages of the PERFPLAY pipeline, one function each::
     transform(trace)         -> Trace         # rewrite to the ULCP-free trace
     replay(trace)            -> ReplayResult  # re-execute under a scheme
     debug(trace)             -> DebugReport   # the whole pipeline, ranked fixes
+    report(trace)            -> str           # self-contained HTML debug report
 
 Everything else in the package is internal: it keeps working, but only
 these functions (plus :mod:`repro.telemetry`) are covered by the
@@ -46,7 +47,7 @@ from repro.telemetry import Telemetry, use_telemetry
 from repro.trace.trace import Trace
 from repro.workloads.base import Workload, get_workload
 
-__all__ = ["record", "analyze", "transform", "replay", "debug"]
+__all__ = ["record", "analyze", "transform", "replay", "debug", "report"]
 
 TraceLike = Union[Trace, str, Path]
 
@@ -72,6 +73,20 @@ def _sink(telemetry: Optional[Telemetry]):
     if telemetry is None:
         return contextlib.nullcontext()
     return use_telemetry(telemetry)
+
+
+@contextlib.contextmanager
+def _call(name: str, telemetry: Optional[Telemetry]):
+    """One facade invocation: a log run id plus the telemetry sink.
+
+    Every log record emitted inside carries ``run_id="<name>-NNNN>"``
+    (:func:`repro.log.run_scope`), so diagnostics from one entry-point
+    call — including its nested facade calls — are greppable as a unit.
+    """
+    from repro import log
+
+    with log.run_scope(name), _sink(telemetry):
+        yield
 
 
 def _coerce_trace(trace: TraceLike) -> Trace:
@@ -129,7 +144,7 @@ def record(
     """
     from repro.sim.timebase import DEFAULT_LOCK_COST, DEFAULT_MEM_COST
 
-    with _sink(telemetry):
+    with _call("record", telemetry):
         programs, name, params, semaphores = _coerce_programs(
             workload, threads=threads, input_size=input_size, scale=scale,
             seed=seed, workload_kwargs=workload_kwargs,
@@ -159,7 +174,7 @@ def analyze(
     Returns the :class:`PairAnalysis` (sections, pairs, per-category
     breakdown, cached benign verdicts) that :func:`transform` can reuse.
     """
-    with _sink(telemetry):
+    with _call("analyze", telemetry):
         return analyze_pairs(
             _coerce_trace(trace), benign_detection=benign_detection
         )
@@ -182,7 +197,7 @@ def transform(
     Extra keyword options (``benign_detection``, ``order_edges``,
     ``fix_categories``, ``analysis``) pass through to the transformation.
     """
-    with _sink(telemetry):
+    with _call("transform", telemetry):
         result = _transform_trace(_coerce_trace(trace), **options)
     return result if full else result.trace
 
@@ -198,6 +213,7 @@ def replay(
     seed: Optional[int] = None,
     jitter: float = 0.02,
     jobs: int = 1,
+    timeline: bool = False,
     telemetry: Optional[Telemetry] = None,
     **deprecated,
 ) -> Union[ReplayResult, ReplaySeries]:
@@ -207,6 +223,9 @@ def replay(
     with ``runs>1`` returns a :class:`ReplaySeries` of seeded runs
     (``seed``, ``seed+1``, ...; default seed 0), fanned over ``jobs``
     worker processes — parallel output is identical to serial.
+
+    ``timeline=True`` (single runs only) collects live interval lanes
+    into the result's ``intervals`` for :mod:`repro.timeline`.
     """
     if seed is not None:
         deprecated["seed"] = seed
@@ -218,11 +237,13 @@ def replay(
         )
     if scheme not in ALL_SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r} (expected one of {ALL_SCHEMES})")
-    with _sink(telemetry):
+    with _call("replay", telemetry):
         loaded = _coerce_trace(trace)
         replayer = Replayer(jitter=jitter)
         if runs <= 1:
-            return replayer.replay(loaded, scheme=scheme, seed=seed)
+            return replayer.replay(
+                loaded, scheme=scheme, seed=seed, timeline=timeline
+            )
         return replayer.replay_many(
             loaded, scheme=scheme, runs=runs, seed=seed, jobs=jobs
         )
@@ -241,6 +262,7 @@ def debug(
     jitter: float = 0.0,
     benign_detection: bool = True,
     order_edges: bool = True,
+    timeline: bool = False,
     telemetry: Optional[Telemetry] = None,
     **workload_kwargs,
 ) -> DebugReport:
@@ -250,9 +272,10 @@ def debug(
     workload name, a :class:`Workload`, or raw program pairs — anything
     that is not already a trace is recorded first (honouring the workload
     parameters, exactly like :func:`record`).  Returns the ranked
-    :class:`DebugReport`.
+    :class:`DebugReport`; ``timeline=True`` makes both replays collect
+    interval lanes for :meth:`DebugReport.timelines`.
     """
-    with _sink(telemetry):
+    with _call("debug", telemetry):
         if isinstance(trace, (str, Path)) and not _is_workload_name(trace):
             trace = _coerce_trace(trace)
         if not isinstance(trace, Trace):
@@ -265,7 +288,74 @@ def debug(
             benign_detection=benign_detection,
             order_edges=order_edges,
         )
-        return perfplay.analyze(trace, seed=seed)
+        return perfplay.analyze(trace, seed=seed, timeline=timeline)
+
+
+# ------------------------------------------------------------------ report
+
+
+def report(
+    trace,
+    transformed: Optional[TraceLike] = None,
+    *,
+    output: Optional[Union[str, Path]] = None,
+    threads: int = 2,
+    input_size: str = "simlarge",
+    scale: float = 1.0,
+    seed: int = 0,
+    benign_detection: bool = True,
+    order_edges: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    **workload_kwargs,
+) -> str:
+    """Render the full debugging session as one self-contained HTML file.
+
+    ``trace`` accepts everything :func:`debug` does (trace, trace path,
+    workload name, program pairs).  The pipeline runs with jitter 0 and
+    live timeline collection, so the report's waterfalls show the exact
+    replayed schedules and reconcile with the machine accounting.
+
+    ``transformed`` optionally supplies an already-saved ULCP-free trace
+    (e.g. the output of ``repro transform``) to render as the right-hand
+    waterfall instead of the session's own transformed replay.
+
+    Returns the HTML text; ``output`` additionally writes it to a file.
+    The document is byte-deterministic for a fixed input trace: repeated
+    runs (and ``--jobs`` variations upstream) produce identical bytes.
+    """
+    from repro.perfdebug.report import render_html_report
+    from repro.telemetry import to_dict
+    from repro.timeline.build import build_timeline
+
+    sink = telemetry if telemetry is not None else Telemetry()
+    with _call("report", sink):
+        session = debug(
+            trace,
+            threads=threads,
+            input_size=input_size,
+            scale=scale,
+            seed=seed,
+            jitter=0.0,
+            benign_detection=benign_detection,
+            order_edges=order_edges,
+            timeline=True,
+            **workload_kwargs,
+        )
+        original_timeline, free_timeline = session.timelines()
+        if transformed is not None:
+            free_timeline = build_timeline(
+                _coerce_trace(transformed),
+                analysis=session.transform_result.analysis,
+            )
+    html_text = render_html_report(
+        session,
+        original_timeline=original_timeline,
+        free_timeline=free_timeline,
+        telemetry_data=to_dict(sink, timings=False),
+    )
+    if output is not None:
+        Path(output).write_text(html_text, encoding="utf-8")
+    return html_text
 
 
 def _is_workload_name(value) -> bool:

@@ -15,8 +15,17 @@ Commands
     Run the ULCP transformation; prints the breakdown and plan summary.
 ``debug WORKLOAD | debug --trace TRACE``
     Full PERFPLAY pipeline; prints the recommendation report.
-``timeline TRACE``
-    ASCII per-thread activity lanes.
+``timeline TRACE [--format ascii|chrome|json] [-o OUT]``
+    Per-thread activity lanes: ascii art on the terminal, Chrome
+    trace-event JSON for Perfetto/chrome://tracing (ULCP-classified
+    slices, waiter→holder flow arrows), or compact columnar JSON for
+    programmatic diffing.
+``report TRACE|WORKLOAD [TRANSFORMED] [-o REPORT.html]``
+    Render the whole debugging session as one self-contained HTML file:
+    original-vs-transformed waterfalls, per-lock contention heatmap,
+    Eq. 1 / Eq. 2 tables, fused regions, telemetry summary.  A second
+    positional trace supplies an already-saved ULCP-free trace for the
+    right-hand waterfall.
 ``profile WORKLOAD | profile --trace TRACE``
     Per-stage wall times of the pipeline (record/intern/scan/classify/
     benign/transform/replay) plus event/section/pair counts.
@@ -54,6 +63,11 @@ metrics for the invocation (``--telemetry-format json|prom|summary``
 picks the artifact format; ``--telemetry-timings`` includes wall-clock
 span durations, at the price of nondeterministic output).  All pipeline
 commands call through the :mod:`repro.api` facade.
+
+Global flags (before the subcommand): ``--log-level
+debug|info|warning|error`` and ``--log-json`` configure the package's
+structured diagnostics (:mod:`repro.log`) — worker retries and
+quarantines, trace-salvage events, run ids from the facade.
 """
 
 from __future__ import annotations
@@ -62,7 +76,7 @@ import argparse
 import json
 import sys
 
-from repro import api, telemetry
+from repro import api, log, telemetry
 from repro.perfdebug.framework import PerfPlay
 from repro.replay.schemes import ALL_SCHEMES, ELSC_S
 from repro.trace import serialize
@@ -121,7 +135,10 @@ def _load_trace(path, args):
         warnings.simplefilter("ignore")
         loaded = serialize.load_trace(path, salvage=True)
     if loaded.report is not None and not loaded.report.clean:
-        print(f"salvage: {loaded.report.render()}", file=sys.stderr)
+        log.get_logger("cli").warning(
+            "salvage: %s", loaded.report.render(),
+            extra={"event": "cli.salvage", "source": str(path)},
+        )
     return loaded.trace
 
 
@@ -284,10 +301,53 @@ def cmd_profile(args) -> int:
 
 
 def cmd_timeline(args) -> int:
-    from repro.trace.render import render_timeline
-
     trace = _load_trace(args.trace, args)
-    print(render_timeline(trace, width=args.width))
+    if args.format == "ascii":
+        from repro.trace.render import render_timeline
+
+        print(render_timeline(trace, width=args.width))
+        return 0
+
+    from repro.analysis.pairs import analyze_pairs
+    from repro.timeline import build_timeline, to_chrome_json, to_columnar_json
+
+    analysis = analyze_pairs(trace, benign_detection=not args.no_benign)
+    timeline = build_timeline(trace, analysis=analysis)
+    text = (
+        to_chrome_json(timeline)
+        if args.format == "chrome"
+        else to_columnar_json(timeline)
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"timeline ({args.format}) -> {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from pathlib import Path
+
+    source = args.trace
+    if Path(source).exists():
+        source = _load_trace(source, args)
+    transformed = (
+        _load_trace(args.transformed, args) if args.transformed else None
+    )
+    html_text = api.report(
+        source,
+        transformed,
+        output=args.output,
+        threads=args.threads,
+        input_size=args.input_size,
+        scale=args.scale,
+        seed=args.seed,
+        telemetry=telemetry.active(),
+    )
+    print(f"report -> {args.output} ({len(html_text)} bytes)", file=sys.stderr)
     return 0
 
 
@@ -509,6 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PERFPLAY reproduction: replay-based ULCP debugging",
     )
+    parser.add_argument("--log-level", choices=log.LEVELS, default="warning",
+                        help="diagnostic verbosity (default: %(default)s)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics as one JSON object per line")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="show workloads and experiments")
@@ -565,10 +629,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format_option(p)
     _add_telemetry_options(p)
 
-    p = sub.add_parser("timeline", help="ASCII timeline of a trace")
+    p = sub.add_parser(
+        "timeline",
+        help="per-thread timeline of a trace (ascii, Chrome JSON, columnar)",
+    )
     p.add_argument("trace")
     _add_trace_options(p)
-    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--width", type=int, default=72,
+                   help="lane width for --format ascii")
+    _add_format_option(p, choices=("ascii", "chrome", "json"), default="ascii")
+    p.add_argument("-o", "--output",
+                   help="write chrome/json output to a file instead of stdout")
+    p.add_argument("--no-benign", action="store_true",
+                   help="skip the reversed-replay benign test when "
+                        "classifying intervals (faster, less precise colors)")
+
+    p = sub.add_parser(
+        "report", help="render a self-contained HTML debugging report"
+    )
+    p.add_argument("trace", help="trace file or registered workload name")
+    p.add_argument("transformed", nargs="?",
+                   help="optional saved ULCP-free trace for the right-hand "
+                        "waterfall (default: the session's own transform)")
+    _add_trace_options(p)
+    _add_workload_options(p)
+    p.add_argument("-o", "--output", default="REPORT.html",
+                   help="output file (default: %(default)s)")
+    _add_telemetry_options(p)
 
     p = sub.add_parser("stats", help="structural summary of a trace")
     p.add_argument("trace")
@@ -671,6 +758,7 @@ COMMANDS = {
     "telemetry": cmd_telemetry,
     "profile": cmd_profile,
     "timeline": cmd_timeline,
+    "report": cmd_report,
     "stats": cmd_stats,
     "advise": cmd_advise,
     "locks": cmd_locks,
@@ -708,6 +796,7 @@ def main(argv=None) -> int:
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    log.configure(args.log_level, json_lines=args.log_json)
     collect = getattr(args, "telemetry", None) is not None
     sink = telemetry.Telemetry() if collect else None
     try:

@@ -50,6 +50,15 @@ class DebugReport:
     t_rw: int
     data_races: List = field(default_factory=list)
 
+    def timelines(self, *, merge: bool = True):
+        """The (original, ULCP-free) :class:`~repro.timeline.Timeline`
+        pair of this session — from the replays' live interval lanes when
+        the session ran with ``timeline=True``, else rebuilt from the
+        traces."""
+        from repro.timeline.build import timelines_of_report
+
+        return timelines_of_report(self, merge=merge)
+
     @property
     def breakdown(self) -> UlcpBreakdown:
         return self.transform_result.analysis.breakdown
@@ -122,15 +131,26 @@ class PerfPlay:
             programs, name=name, seed=seed, params=params, semaphores=semaphores
         )
 
-    def analyze(self, trace: Trace, *, seed: int = 0) -> DebugReport:
-        """Steps 2-4: transform, replay both traces, score and rank."""
+    def analyze(
+        self, trace: Trace, *, seed: int = 0, timeline: bool = False
+    ) -> DebugReport:
+        """Steps 2-4: transform, replay both traces, score and rank.
+
+        ``timeline=True`` makes both replays collect live interval lanes
+        so :meth:`DebugReport.timelines` (and the HTML report) can show
+        the exact replayed schedules, stalls included.
+        """
         result = transform(
             trace,
             benign_detection=self.benign_detection,
             order_edges=self.order_edges,
         )
-        original_replay = self.replayer.replay(trace, scheme=ELSC_S, seed=seed)
-        free_replay = self.replayer.replay_transformed(result, seed=seed)
+        original_replay = self.replayer.replay(
+            trace, scheme=ELSC_S, seed=seed, timeline=timeline
+        )
+        free_replay = self.replayer.replay_transformed(
+            result, seed=seed, timeline=timeline
+        )
 
         performances = evaluate_pairs(result, original_replay, free_replay)
         fused = fuse(performances)
@@ -159,9 +179,10 @@ class PerfPlay:
 
     def debug(self, programs, *, name: str = "", seed: int = 0,
               params: Optional[dict] = None,
-              semaphores: Optional[Dict[str, int]] = None) -> DebugReport:
+              semaphores: Optional[Dict[str, int]] = None,
+              timeline: bool = False) -> DebugReport:
         """Record a program and analyze it in one call."""
         recorded = self.record(
             programs, name=name, seed=seed, params=params, semaphores=semaphores
         )
-        return self.analyze(recorded.trace, seed=seed)
+        return self.analyze(recorded.trace, seed=seed, timeline=timeline)

@@ -1,8 +1,18 @@
-"""Human-readable rendering of a PERFPLAY debugging session."""
+"""Human-readable rendering of a PERFPLAY debugging session.
+
+Two renderers share this module: :func:`render_report` (plain text, the
+``DebugReport.render()`` default) and :func:`render_html_report`, the
+self-contained HTML artifact behind ``repro report`` /
+:func:`repro.api.report`.  The HTML is a single file with inline CSS and
+SVG, zero external assets, and is byte-deterministic for a fixed trace:
+nothing derived from wall clocks, object identity, or dict-order
+accidents goes into it.
+"""
 
 from __future__ import annotations
 
-from typing import List
+import html as _html
+from typing import List, Optional
 
 from repro.sim.timebase import format_ns
 
@@ -66,3 +76,420 @@ def render_report(report) -> str:
         lines.append(f"... and {len(report.recommendations) - 10} more")
     lines.append("=" * 72)
     return "\n".join(lines)
+
+
+# ======================================================================
+# HTML report
+# ======================================================================
+
+#: fill colors per interval kind (accounting layer of the waterfall)
+KIND_FILL = {
+    "compute": "#5b8dd9",
+    "overhead": "#9aa5b1",
+    "blocked": "#d5d9de",
+    "lock_wait": "#e06666",
+    "stall": "#a64dc8",
+}
+
+#: ULCP classification palette (cs overlay strip + wait tinting)
+ULCP_FILL = {
+    "null_lock": "#d93025",
+    "read_read": "#f29900",
+    "disjoint_write": "#fbbc04",
+    "benign": "#34a853",
+    "tlcp": "#5f6368",
+}
+
+_CSS = """
+body{font:14px/1.45 -apple-system,'Segoe UI',Roboto,sans-serif;margin:24px;
+     color:#202124;background:#fff}
+h1{font-size:20px;margin:0 0 4px}
+h2{font-size:16px;margin:28px 0 8px;border-bottom:1px solid #dadce0;
+   padding-bottom:4px}
+table{border-collapse:collapse;margin:8px 0}
+th,td{border:1px solid #dadce0;padding:3px 8px;text-align:left;
+      font-size:13px}
+th{background:#f1f3f4}
+td.num{text-align:right;font-variant-numeric:tabular-nums}
+.cards{display:flex;flex-wrap:wrap;gap:10px;margin:12px 0}
+.card{border:1px solid #dadce0;border-radius:6px;padding:8px 14px;
+      min-width:110px}
+.card .v{font-size:18px;font-weight:600}
+.card .k{font-size:11px;color:#5f6368;text-transform:uppercase}
+.lanes{display:flex;flex-wrap:wrap;gap:18px;align-items:flex-start}
+.lane-col{flex:1 1 460px;min-width:380px}
+.lane-col h3{font-size:13px;margin:0 0 4px;color:#5f6368}
+.legend{font-size:12px;color:#5f6368;margin:6px 0}
+.legend span{display:inline-block;margin-right:12px}
+.legend i{display:inline-block;width:10px;height:10px;margin-right:4px;
+          border-radius:2px}
+.bar{background:#e8eaed;height:10px;border-radius:5px;min-width:120px}
+.bar i{display:block;height:10px;border-radius:5px;background:#1a73e8}
+.empty{border:1px dashed #dadce0;border-radius:6px;padding:18px;
+       color:#5f6368;margin:10px 0}
+.warn{border-left:4px solid #d93025;background:#fce8e6;padding:8px 12px;
+      margin:10px 0}
+footer{margin-top:32px;font-size:11px;color:#9aa0a6}
+svg text{font:10px monospace;fill:#5f6368}
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _px(value: float) -> str:
+    """Fixed-precision pixel coordinate (deterministic float formatting)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _svg_waterfall(timeline, max_end: int, *, width: int = 520) -> str:
+    """One timeline as an inline-SVG waterfall (one lane per thread)."""
+    lane_h, strip_h, gap, label_w = 18, 5, 7, 52
+    tids = timeline.thread_ids
+    height = len(tids) * (lane_h + gap) + 16
+    scale = (width - label_w) / max_end if max_end else 0.0
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img">'
+    ]
+    y = 2
+    for tid in tids:
+        parts.append(
+            f'<text x="0" y="{_px(y + lane_h - 5)}">{_esc(tid)}</text>'
+        )
+        parts.append(
+            f'<rect x="{label_w}" y="{_px(y)}" '
+            f'width="{_px(width - label_w)}" height="{lane_h}" '
+            f'fill="#f8f9fa"/>'
+        )
+        for iv in timeline.lanes[tid]:
+            x = label_w + iv.t_start * scale
+            w = max(iv.duration * scale, 0.15)
+            if iv.kind == "cs":
+                fill = ULCP_FILL.get(iv.ulcp, "#80868b")
+                title = f"cs {iv.lock} [{iv.t_start}, {iv.t_end}]"
+                if iv.ulcp:
+                    title += f" ulcp={iv.ulcp}"
+                parts.append(
+                    f'<rect x="{_px(x)}" y="{_px(y)}" width="{_px(w)}" '
+                    f'height="{strip_h}" fill="{fill}">'
+                    f"<title>{_esc(title)}</title></rect>"
+                )
+                continue
+            fill = KIND_FILL.get(iv.kind, "#dadce0")
+            if iv.kind == "lock_wait" and iv.ulcp:
+                fill = ULCP_FILL.get(iv.ulcp, fill)
+            title = f"{iv.kind} [{iv.t_start}, {iv.t_end}]"
+            if iv.lock:
+                title += f" lock={iv.lock}"
+            if iv.holder:
+                title += f" holder={iv.holder}"
+            if iv.spin:
+                title += " spin"
+            if iv.detail:
+                title += f" ({iv.detail})"
+            parts.append(
+                f'<rect x="{_px(x)}" y="{_px(y + strip_h)}" '
+                f'width="{_px(w)}" height="{lane_h - strip_h}" '
+                f'fill="{fill}"><title>{_esc(title)}</title></rect>'
+            )
+        y += lane_h + gap
+    parts.append(
+        f'<text x="{label_w}" y="{_px(y + 8)}">0</text>'
+        f'<text x="{_px(width - 60)}" y="{_px(y + 8)}">'
+        f"{_esc(format_ns(max_end))}</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend() -> str:
+    entries = [
+        ("compute", KIND_FILL["compute"]),
+        ("lock wait", KIND_FILL["lock_wait"]),
+        ("replay stall", KIND_FILL["stall"]),
+        ("blocked", KIND_FILL["blocked"]),
+        ("overhead", KIND_FILL["overhead"]),
+        ("cs: null-lock", ULCP_FILL["null_lock"]),
+        ("cs: read-read", ULCP_FILL["read_read"]),
+        ("cs: disjoint-write", ULCP_FILL["disjoint_write"]),
+        ("cs: benign", ULCP_FILL["benign"]),
+    ]
+    spans = "".join(
+        f'<span><i style="background:{color}"></i>{_esc(label)}</span>'
+        for label, color in entries
+    )
+    return f'<div class="legend">{spans}</div>'
+
+
+def _heatmap(timeline) -> str:
+    """Per-lock contention heatmap: wait time x waiting thread."""
+    table = timeline.wait_by_lock_thread()
+    if not table:
+        return '<div class="empty">No lock waits in this execution.</div>'
+    tids = timeline.thread_ids
+    peak = max(max(row.values()) for row in table.values())
+    rows: List[str] = [
+        "<table><tr><th>lock</th>"
+        + "".join(f"<th>{_esc(tid)}</th>" for tid in tids)
+        + "<th>total</th></tr>"
+    ]
+    for lock in sorted(table):
+        row = table[lock]
+        cells = []
+        for tid in tids:
+            wait = row.get(tid, 0)
+            alpha = f"{wait / peak:.3f}" if peak else "0"
+            label = format_ns(wait) if wait else ""
+            cells.append(
+                f'<td class="num" style="background:rgba(217,48,37,{alpha})">'
+                f"{_esc(label)}</td>"
+            )
+        total = sum(row.values())
+        rows.append(
+            f"<tr><td>{_esc(lock)}</td>{''.join(cells)}"
+            f'<td class="num"><b>{_esc(format_ns(total))}</b></td></tr>'
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _ulcp_table(report, limit: int = 40) -> str:
+    perfs = report.pair_performances
+    if not perfs:
+        return (
+            '<div class="empty">No unnecessary lock contentions found — '
+            "every contended critical-section pair either shares data or "
+            "is benign.</div>"
+        )
+    rows = [
+        "<table><tr><th>#</th><th>kind</th><th>lock</th>"
+        "<th>region 1</th><th>region 2</th><th>&Delta;T (Eq. 1)</th></tr>"
+    ]
+    for i, perf in enumerate(perfs[:limit], 1):
+        pair = perf.pair
+        rows.append(
+            f'<tr><td class="num">{i}</td><td>{_esc(perf.kind)}</td>'
+            f"<td>{_esc(pair.lock)}</td>"
+            f"<td>{_esc(pair.region1)}</td><td>{_esc(pair.region2)}</td>"
+            f'<td class="num">{_esc(format_ns(max(0, perf.delta_t)))}</td></tr>'
+        )
+    rows.append("</table>")
+    if len(perfs) > limit:
+        rows.append(f"<p>&hellip; and {len(perfs) - limit} more pairs</p>")
+    return "".join(rows)
+
+
+def _fused_table(report) -> str:
+    if not report.fused:
+        return '<div class="empty">No fused ULCP code regions.</div>'
+    rows = [
+        "<table><tr><th>code regions</th><th>pairs</th><th>kinds</th>"
+        "<th>accumulated &Delta;T</th></tr>"
+    ]
+    for group in report.fused:
+        rows.append(
+            f"<tr><td>{_esc(group.describe())}</td>"
+            f'<td class="num">{group.count}</td>'
+            f"<td>{_esc(', '.join(group.kinds))}</td>"
+            f'<td class="num">{_esc(format_ns(max(0, group.delta_t)))}</td></tr>'
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _recommendation_table(report) -> str:
+    if not report.recommendations:
+        return (
+            '<div class="empty">Nothing to recommend: no removable '
+            "contention cost (Eq. 2 ranks an empty set).</div>"
+        )
+    rows = [
+        "<table><tr><th>rank</th><th>P (Eq. 2)</th><th></th>"
+        "<th>&Delta;T</th><th>pairs</th><th>code regions</th></tr>"
+    ]
+    for rec in report.recommendations:
+        pct = max(0.0, min(1.0, rec.p))
+        rows.append(
+            f'<tr><td class="num">{rec.rank}</td>'
+            f'<td class="num">{rec.p:.1%}</td>'
+            f'<td><div class="bar"><i style="width:{pct:.1%}"></i></div></td>'
+            f'<td class="num">{_esc(format_ns(max(0, rec.delta_t)))}</td>'
+            f'<td class="num">{rec.group.count}</td>'
+            f"<td>{_esc(rec.where)}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _telemetry_section(data: Optional[dict]) -> str:
+    if not data:
+        return '<div class="empty">No telemetry collected.</div>'
+    parts: List[str] = []
+    counters = data.get("counters", {})
+    gauges = data.get("gauges", {})
+    if counters:
+        parts.append("<table><tr><th>counter</th><th>value</th></tr>")
+        for name in sorted(counters):
+            parts.append(
+                f'<tr><td>{_esc(name)}</td><td class="num">'
+                f"{_esc(counters[name])}</td></tr>"
+            )
+        parts.append("</table>")
+    if gauges:
+        parts.append("<table><tr><th>gauge</th><th>value</th></tr>")
+        for name in sorted(gauges):
+            parts.append(
+                f'<tr><td>{_esc(name)}</td><td class="num">'
+                f"{_esc(gauges[name])}</td></tr>"
+            )
+        parts.append("</table>")
+    if not parts:
+        return '<div class="empty">No telemetry collected.</div>'
+    return "".join(parts)
+
+
+def _comparison_section(comparison) -> str:
+    head = (
+        f"<p>execution time {comparison.before.original_replay.end_time} &rarr; "
+        f"{comparison.after.original_replay.end_time} ns "
+        f"({comparison.end_time_change:+.1%}); removable T<sub>pd</sub> "
+        f"{comparison.before.t_pd} &rarr; {comparison.after.t_pd} ns; "
+        f"{'improved' if comparison.improved else 'not improved'}.</p>"
+    )
+    if not comparison.changes:
+        return head + '<div class="empty">No region changes.</div>'
+    rows = [
+        "<table><tr><th>status</th><th>code regions</th>"
+        "<th>&Delta;T before</th><th>&Delta;T after</th></tr>"
+    ]
+    for change in comparison.changes:
+        rows.append(
+            f"<tr><td>{_esc(change.status)}</td><td>{_esc(change.label)}</td>"
+            f'<td class="num">{_esc(format_ns(max(0, change.before_delta_t)))}</td>'
+            f'<td class="num">{_esc(format_ns(max(0, change.after_delta_t)))}</td>'
+            "</tr>"
+        )
+    rows.append("</table>")
+    return head + "".join(rows)
+
+
+def _card(label: str, value: str) -> str:
+    return (
+        f'<div class="card"><div class="v">{_esc(value)}</div>'
+        f'<div class="k">{_esc(label)}</div></div>'
+    )
+
+
+def render_html_report(
+    report,
+    *,
+    original_timeline=None,
+    free_timeline=None,
+    telemetry_data: Optional[dict] = None,
+    comparison=None,
+    title: str = "",
+) -> str:
+    """Render a debugging session as one self-contained HTML document.
+
+    ``original_timeline``/``free_timeline`` override the waterfall
+    sources (defaults: :meth:`DebugReport.timelines`).  ``telemetry_data``
+    is a :func:`repro.telemetry.to_dict` export (``timings=False`` keeps
+    it deterministic).  ``comparison`` is an optional
+    :class:`repro.perfdebug.compare.ReportComparison` rendered as a
+    before/after section.
+    """
+    if original_timeline is None or free_timeline is None:
+        built_original, built_free = report.timelines()
+        original_timeline = original_timeline or built_original
+        free_timeline = free_timeline or built_free
+
+    name = report.trace.meta.name or "unnamed trace"
+    doc_title = title or f"PERFPLAY report — {name}"
+    breakdown = report.breakdown
+    max_end = max(original_timeline.end_time, free_timeline.end_time, 1)
+    no_ulcps = not report.pair_performances and not report.recommendations
+
+    body: List[str] = []
+    body.append(f"<h1>{_esc(doc_title)}</h1>")
+    body.append(
+        f"<p>threads {len(report.trace.thread_ids)} &middot; locks "
+        f"{len(report.trace.lock_schedule)} &middot; critical sections "
+        f"{len(report.transform_result.sections)} &middot; ULCPs: "
+        f"null-lock {breakdown.null_lock}, read-read {breakdown.read_read}, "
+        f"disjoint-write {breakdown.disjoint_write}, benign "
+        f"{breakdown.benign} (TLCPs {breakdown.tlcp})</p>"
+    )
+    body.append('<div class="cards">')
+    body.append(_card("original (ELSC-S)", format_ns(report.original_replay.end_time)))
+    body.append(_card("ULCP-free replay", format_ns(report.free_replay.end_time)))
+    body.append(_card("degradation T_pd", format_ns(max(0, report.t_pd))))
+    body.append(_card("degradation %", f"{report.normalized_degradation:.1%}"))
+    body.append(_card("CPU waste/thread", format_ns(int(report.cpu_waste_per_thread))))
+    body.append(_card("spin waste removed", format_ns(max(0, report.spin_waste_removed))))
+    body.append("</div>")
+
+    if no_ulcps:
+        body.append(
+            '<div class="empty"><b>No unnecessary lock contentions '
+            "found.</b> All observed contention is necessary (shared data "
+            "or benign); the transformed replay matches the original "
+            "schedule.</div>"
+        )
+    if report.data_races:
+        body.append(
+            f'<div class="warn">Replays disagree on final memory: '
+            f"{len(report.data_races)} interleaving-sensitive data race(s) "
+            f"detected; treat &Delta;T values with care.</div>"
+        )
+
+    body.append("<h2>Execution waterfalls</h2>")
+    body.append(_legend())
+    body.append('<div class="lanes">')
+    body.append(
+        '<div class="lane-col"><h3>original replay '
+        f"({_esc(original_timeline.scheme or 'recorded')})</h3>"
+        + _svg_waterfall(original_timeline, max_end)
+        + "</div>"
+    )
+    body.append(
+        '<div class="lane-col"><h3>ULCP-free replay '
+        f"({_esc(free_timeline.scheme or 'transformed')})</h3>"
+        + _svg_waterfall(free_timeline, max_end)
+        + "</div>"
+    )
+    body.append("</div>")
+
+    body.append("<h2>Lock contention heatmap (wait time &times; thread)</h2>")
+    body.append(_heatmap(original_timeline))
+
+    body.append("<h2>ULCP pairs (Eq. 1 deltas)</h2>")
+    body.append(_ulcp_table(report))
+
+    body.append("<h2>Fused code regions (Algorithm 2)</h2>")
+    body.append(_fused_table(report))
+
+    body.append("<h2>Ranked recommendations (Eq. 2)</h2>")
+    body.append(_recommendation_table(report))
+
+    if comparison is not None:
+        body.append("<h2>Before / after comparison</h2>")
+        body.append(_comparison_section(comparison))
+
+    body.append("<h2>Telemetry summary</h2>")
+    body.append(_telemetry_section(telemetry_data))
+
+    body.append(
+        "<footer>Self-contained PERFPLAY artifact &middot; deterministic "
+        "for a fixed trace (no wall-clock content) &middot; timeline "
+        "units: simulated ns</footer>"
+    )
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(doc_title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        "</head><body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )

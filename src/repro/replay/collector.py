@@ -31,7 +31,7 @@ class TimestampCollector(NullObserver):
     def on_thread_end(self, tid, t):
         self.thread_end[tid] = t
 
-    def on_compute(self, tid, t_start, duration, site, uid):
+    def on_compute(self, tid, t_start, duration, site, uid, actual=None):
         self._stamp(uid, t_start + duration)
 
     def on_acquired(self, tid, lock, t_request, t_acquired, site, uid, spin,
@@ -55,3 +55,115 @@ class TimestampCollector(NullObserver):
 
     def on_sleep(self, tid, duration, t, site, uid):
         self._stamp(uid, t + duration)
+
+
+class IntervalCollector(TimestampCollector):
+    """Timestamp collector that also builds live timeline lanes.
+
+    Lanes are keyed by thread *name* (the trace tid under
+    :func:`repro.replay.programs.original_programs`) and contain
+    :class:`repro.timeline.model.Interval` records whose sums reconcile
+    exactly with the machine's per-thread ``cpu_ns``/``spin_ns``/
+    ``block_ns`` — including jittered compute (the ``actual`` argument)
+    and gate stalls, which a post-hoc trace walk cannot see.
+
+    ``lock_cost``/``mem_cost`` must match the machine's, so the
+    per-operation overhead intervals mirror its charges (semaphore and
+    cond-release costs arrive as explicit ``on_compute`` events and
+    ``on_released`` callbacks — no extra bookkeeping here).
+    """
+
+    def __init__(self, lock_cost: int = 0, mem_cost: int = 0):
+        super().__init__()
+        from repro.timeline.model import Interval  # local: avoid import cycle risk
+
+        self._interval = Interval
+        self.lock_cost = lock_cost
+        self.mem_cost = mem_cost
+        self.intervals: Dict[str, list] = {}
+        self._names: Dict[str, str] = {}  # machine tid -> lane key
+        self._open_cs: Dict[tuple, list] = {}  # (lane, lock) -> [(t, uid)]
+        self._last_owner: Dict[str, str] = {}  # lock -> lane of last releaser
+        self._gate_stalls: set = set()  # acquire uids a replay gate vetoed
+
+    def _lane(self, tid):
+        name = self._names.get(tid, tid)
+        lane = self.intervals.get(name)
+        if lane is None:
+            lane = self.intervals[name] = []
+        return name, lane
+
+    def _add(self, tid, kind, t_start, t_end, **kw):
+        name, lane = self._lane(tid)
+        lane.append(self._interval(tid=name, kind=kind, t_start=t_start, t_end=t_end, **kw))
+
+    # --------------------------------------------------------- callbacks
+
+    def on_thread_start(self, tid, name, t):
+        super().on_thread_start(tid, name, t)
+        self._names[tid] = name or tid
+        self.intervals.setdefault(name or tid, [])
+
+    def on_compute(self, tid, t_start, duration, site, uid, actual=None):
+        super().on_compute(tid, t_start, duration, site, uid)
+        charged = actual if actual is not None else duration
+        if charged > 0:
+            self._add(tid, "compute", t_start, t_start + charged, uid=uid or "")
+
+    def on_gate_stall(self, tid, lock, t, uid):
+        self._gate_stalls.add(uid)
+
+    def on_mem_stall(self, tid, addr, t_start, t_end, uid):
+        if t_end > t_start:
+            self._add(tid, "stall", t_start, t_end, detail=f"mem:{addr}")
+
+    def on_acquired(self, tid, lock, t_request, t_acquired, site, uid, spin,
+                    shared=False):
+        super().on_acquired(tid, lock, t_request, t_acquired, site, uid, spin, shared)
+        if t_acquired > t_request:
+            kind = "stall" if uid in self._gate_stalls else "lock_wait"
+            self._add(
+                tid, kind, t_request, t_acquired,
+                lock=lock, uid=uid or "",
+                holder=self._last_owner.get(lock, ""), spin=spin,
+            )
+        self._gate_stalls.discard(uid)
+        if self.lock_cost:
+            self._add(tid, "overhead", t_acquired, t_acquired + self.lock_cost, lock=lock)
+        name, _ = self._lane(tid)
+        self._open_cs.setdefault((name, lock), []).append((t_acquired, uid or ""))
+
+    def on_released(self, tid, lock, t, site, uid):
+        super().on_released(tid, lock, t, site, uid)
+        name, _ = self._lane(tid)
+        stack = self._open_cs.get((name, lock))
+        if stack:
+            t_open, acquire_uid = stack.pop()
+            self._add(tid, "cs", t_open, t, lock=lock, uid=acquire_uid)
+        self._last_owner[lock] = name
+        if self.lock_cost:
+            self._add(tid, "overhead", t, t + self.lock_cost, lock=lock)
+
+    def on_read(self, tid, addr, value, t, site, uid):
+        super().on_read(tid, addr, value, t, site, uid)
+        if self.mem_cost:
+            self._add(tid, "overhead", t, t + self.mem_cost)
+
+    def on_write(self, tid, addr, op, value_after, t, site, uid):
+        super().on_write(tid, addr, op, value_after, t, site, uid)
+        if self.mem_cost:
+            self._add(tid, "overhead", t, t + self.mem_cost)
+
+    def on_wait_end(self, tid, kind, token, reason, t_start, t_end, site, uid):
+        super().on_wait_end(tid, kind, token, reason, t_start, t_end, site, uid)
+        if t_end > t_start:
+            self._add(tid, "blocked", t_start, t_end, detail=kind)
+
+    def on_sleep(self, tid, duration, t, site, uid):
+        super().on_sleep(tid, duration, t, site, uid)
+        if duration > 0:
+            self._add(tid, "blocked", t, t + duration, detail="sleep")
+
+    def on_opaque(self, tid, duration, changes, t, site, uid):
+        if duration > 0:
+            self._add(tid, "blocked", t, t + duration, detail="opaque")

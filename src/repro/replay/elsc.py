@@ -47,3 +47,13 @@ class ELSCGate(Gate):
         """How many scheduled acquisitions have not happened yet."""
         schedule = self._schedule.get(lock, [])
         return len(schedule) - self._cursor.get(lock, 0)
+
+    def expected(self, lock: str) -> str:
+        """The acquire uid the schedule admits next on ``lock`` ("" when
+        the lock is unconstrained or its schedule is exhausted) — the
+        event a vetoed waiter is stalled *behind* (stall attribution)."""
+        schedule = self._schedule.get(lock)
+        if schedule is None:
+            return ""
+        cursor = self._cursor.get(lock, 0)
+        return schedule[cursor] if cursor < len(schedule) else ""

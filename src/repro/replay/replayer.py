@@ -18,7 +18,7 @@ from typing import List, Optional
 from repro import telemetry
 from repro.analysis.dls import FLAG_CHECK_COST
 from repro.analysis.transform import TransformResult
-from repro.replay.collector import TimestampCollector
+from repro.replay.collector import IntervalCollector, TimestampCollector
 from repro.replay.elsc import ELSCGate
 from repro.replay.programs import (
     DLS_MODE,
@@ -49,10 +49,27 @@ class Replayer:
 
     # ------------------------------------------------------------ original
 
-    def replay(self, trace: Trace, *, scheme: str = ELSC_S, seed: int = 0) -> ReplayResult:
-        """Replay a recorded trace once under ``scheme``."""
+    def replay(
+        self,
+        trace: Trace,
+        *,
+        scheme: str = ELSC_S,
+        seed: int = 0,
+        timeline: bool = False,
+    ) -> ReplayResult:
+        """Replay a recorded trace once under ``scheme``.
+
+        ``timeline=True`` collects live interval lanes (compute / cs /
+        lock-wait / stall / blocked / overhead) into the result's
+        ``intervals`` for :mod:`repro.timeline` to consume.
+        """
         setup = setup_scheme(scheme, trace, seed)
-        collector = TimestampCollector()
+        if timeline:
+            collector = IntervalCollector(
+                lock_cost=setup.lock_cost, mem_cost=setup.mem_cost
+            )
+        else:
+            collector = TimestampCollector()
         machine = Machine(
             num_cores=trace.meta.num_cores,
             observer=collector,
@@ -82,6 +99,7 @@ class Replayer:
             thread_start=collector.thread_start,
             thread_end=collector.thread_end,
             final_memory=machine.memory.snapshot(),
+            intervals=collector.intervals if timeline else None,
         )
 
     def replay_many(
@@ -128,6 +146,7 @@ class Replayer:
         seed: int = 0,
         flag_cost: int = FLAG_CHECK_COST,
         lock_cost: Optional[int] = None,
+        timeline: bool = False,
     ) -> ReplayResult:
         """Replay the ULCP-free trace of a transformation.
 
@@ -143,7 +162,12 @@ class Replayer:
         gate = None
         if mode == LOCKSET_MODE:
             gate = ELSCGate(aux_lock_schedule(result.plan))
-        collector = TimestampCollector()
+        if timeline:
+            collector = IntervalCollector(
+                lock_cost=effective_lock_cost, mem_cost=meta.mem_cost
+            )
+        else:
+            collector = TimestampCollector()
         machine = Machine(
             num_cores=meta.num_cores,
             observer=collector,
@@ -180,6 +204,7 @@ class Replayer:
             thread_end=collector.thread_end,
             mode=mode,
             final_memory=machine.memory.snapshot(),
+            intervals=collector.intervals if timeline else None,
         )
 
     def replay_transformed_many(

@@ -22,6 +22,9 @@ class ReplayResult:
     thread_end: Dict[str, int] = field(default_factory=dict)
     mode: Optional[str] = None  # dls / lockset for transformed replays
     final_memory: Dict[str, int] = field(default_factory=dict)
+    #: per-thread timeline interval lanes (only when the replay ran with
+    #: timeline collection; see repro.replay.collector.IntervalCollector)
+    intervals: Optional[Dict[str, list]] = None
 
     def timestamp(self, uid: str) -> Optional[int]:
         return self.timestamps.get(uid)

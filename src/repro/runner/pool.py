@@ -52,13 +52,15 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from repro import faults, telemetry
+from repro import faults, log, telemetry
 from repro.errors import (
     FaultInjected,
     TaskCrashError,
     TaskError,
     TaskTimeoutError,
 )
+
+_log = log.get_logger("runner.pool")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -183,6 +185,36 @@ def _count_attempt_failure(kind: str) -> None:
         telemetry.count("pool.timeouts")
 
 
+def _log_attempt_failure(
+    index: int, kind: str, message: str, attempt: int, retrying: bool
+) -> None:
+    """One greppable event per failed attempt (serial and parallel alike)."""
+    _log.warning(
+        "task %d attempt %d %s: %s",
+        index, attempt + 1, kind, message,
+        extra={
+            "event": "pool.task_failure",
+            "task": index,
+            "kind": kind,
+            "attempt": attempt + 1,
+            "retry": retrying,
+        },
+    )
+
+
+def _log_quarantine(failure: TaskFailure) -> None:
+    _log.warning(
+        "task %d quarantined after %d attempt(s): %s",
+        failure.index, failure.attempts, failure.message,
+        extra={
+            "event": "pool.quarantine",
+            "task": failure.index,
+            "kind": failure.kind,
+            "attempts": failure.attempts,
+        },
+    )
+
+
 # ------------------------------------------------------------- serial path
 
 
@@ -198,6 +230,8 @@ def _serial_map(fn, tasks, policy: ExecPolicy) -> List:
                 results.append(payload)
                 break
             _count_attempt_failure(status)
+            retrying = status in RETRYABLE_KINDS and attempt < policy.retries
+            _log_attempt_failure(index, status, payload, attempt, retrying)
             failure = TaskFailure(
                 index=index,
                 task_repr=_short_repr(task),
@@ -207,7 +241,7 @@ def _serial_map(fn, tasks, policy: ExecPolicy) -> List:
                 backoff=tuple(backoff),
                 detail=detail,
             )
-            if status in RETRYABLE_KINDS and attempt < policy.retries:
+            if retrying:
                 # record the deterministic schedule; no need to actually
                 # sleep in-process — the failure was synchronous
                 backoff.append(policy.backoff_delay(attempt))
@@ -218,6 +252,7 @@ def _serial_map(fn, tasks, policy: ExecPolicy) -> List:
             if not policy.partial:
                 raise _to_exception(failure)
             telemetry.count("pool.quarantined")
+            _log_quarantine(failure)
             results.append(failure)
     return results
 
@@ -417,7 +452,9 @@ class _Supervisor:
     def _failed(self, index: int, kind: str, message: str, detail: str) -> None:
         attempt = self.attempt.get(index, 0)
         _count_attempt_failure(kind)
-        if kind in RETRYABLE_KINDS and attempt < self.policy.retries:
+        retrying = kind in RETRYABLE_KINDS and attempt < self.policy.retries
+        _log_attempt_failure(index, kind, message, attempt, retrying)
+        if retrying:
             delay = self.policy.backoff_delay(attempt)
             self.backoff_used.setdefault(index, []).append(delay)
             self.attempt[index] = attempt + 1
@@ -435,6 +472,7 @@ class _Supervisor:
         )
         if self.policy.partial:
             telemetry.count("pool.quarantined")
+            _log_quarantine(failure)
             self.failures[index] = failure
         else:
             # fail fast: run() terminates the remaining workers on the way out

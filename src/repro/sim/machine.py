@@ -367,7 +367,10 @@ class Machine:
 
     def _on_compute(self, thread: _Thread, req: rq.Compute):
         actual = self._jittered(req.duration)
-        self.observer.on_compute(thread.tid, self.now, req.duration, req.site, req.uid)
+        self.observer.on_compute(
+            thread.tid, self.now, req.duration, req.site, req.uid,
+            actual if actual != req.duration else None,
+        )
         self.gate.on_progress(thread.tid, req.duration)
         self._request_recheck()
         return "continue", actual
@@ -398,6 +401,7 @@ class Machine:
         lock.waiters.append(thread)
         if lock.admits(req.shared):
             self._starved_locks.add(lock.name)
+            self.observer.on_gate_stall(thread.tid, req.lock, self.now, uid)
         self._block(thread, f"lock:{req.lock}")
         return "block", 0
 
@@ -799,6 +803,9 @@ class Machine:
                 still_parked.append((thread, req))
                 continue
             thread.stats.block_ns += self.now - thread.wait_start
+            self.observer.on_mem_stall(
+                thread.tid, req.addr, thread.wait_start, self.now, req.uid
+            )
             if isinstance(req, rq.Read):
                 value = self._perform_read(thread, req.addr, req.site, req.uid)
             else:

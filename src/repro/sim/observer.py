@@ -23,8 +23,9 @@ class NullObserver:
     def on_thread_end(self, tid, t):
         pass
 
-    def on_compute(self, tid, t_start, duration, site, uid):
-        pass
+    def on_compute(self, tid, t_start, duration, site, uid, actual=None):
+        """``duration`` is the nominal cost; ``actual`` the jittered cost
+        the machine charged (None means identical — no jitter)."""
 
     def on_acquired(self, tid, lock, t_request, t_acquired, site, uid, spin,
                     shared=False):
@@ -53,3 +54,15 @@ class NullObserver:
 
     def on_opaque(self, tid, duration, changes, t, site, uid):
         """A bypassed range: ``changes`` is its net memory delta."""
+
+    def on_gate_stall(self, tid, lock, t, uid):
+        """A replay gate vetoed a *free* lock to preserve recorded order.
+
+        Fires once per veto episode (when the thread parks on a lock that
+        admits it but the gate refuses); the stall's extent shows up in
+        the eventual :meth:`on_acquired` ``t_request`` → ``t_acquired``
+        span."""
+
+    def on_mem_stall(self, tid, addr, t_start, t_end, uid):
+        """A deterministic-memory gate parked an access for
+        ``t_start`` → ``t_end`` before letting it perform."""

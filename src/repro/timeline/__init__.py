@@ -1,0 +1,66 @@
+"""Execution-timeline layer: typed per-thread interval lanes.
+
+Converts traces and replay schedules into :class:`Timeline` lanes of
+typed intervals (compute / critical section / lock wait / replay stall
+/ blocked / overhead), exportable as Chrome trace-event JSON for
+Perfetto and as compact columnar JSON for programmatic diffing.  The
+HTML debugging report (:func:`repro.api.report`) renders from the same
+model.
+"""
+
+from repro.timeline.build import (
+    build_timeline,
+    classification_map,
+    reconcile,
+    timelines_of_report,
+)
+from repro.timeline.chrome import timeline_to_events, to_chrome_json
+from repro.timeline.export import (
+    from_columnar,
+    from_columnar_json,
+    to_columnar,
+    to_columnar_json,
+)
+from repro.timeline.model import (
+    BLOCKED,
+    COMPUTE,
+    CS,
+    INTERVAL_KINDS,
+    LOCK_WAIT,
+    OVERHEAD,
+    STALL,
+    WAIT_KINDS,
+    Interval,
+    ThreadAccounting,
+    Timeline,
+    accounting_of,
+    merge_adjacent,
+    sort_lane,
+)
+
+__all__ = [
+    "BLOCKED",
+    "COMPUTE",
+    "CS",
+    "INTERVAL_KINDS",
+    "LOCK_WAIT",
+    "OVERHEAD",
+    "STALL",
+    "WAIT_KINDS",
+    "Interval",
+    "ThreadAccounting",
+    "Timeline",
+    "accounting_of",
+    "build_timeline",
+    "classification_map",
+    "from_columnar",
+    "from_columnar_json",
+    "merge_adjacent",
+    "reconcile",
+    "sort_lane",
+    "timeline_to_events",
+    "timelines_of_report",
+    "to_chrome_json",
+    "to_columnar",
+    "to_columnar_json",
+]

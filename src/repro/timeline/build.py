@@ -1,0 +1,343 @@
+"""Deterministic timeline construction from traces and replays.
+
+:func:`build_timeline` converts any :class:`~repro.trace.trace.Trace`
+into per-thread interval lanes in one pass over the interned columnar
+core (O(events), no :class:`TraceEvent` materialization on the hot
+path).  Passing a :class:`~repro.replay.results.ReplayResult` whose
+replay collected intervals (``api.replay(..., timeline=True)`` or
+:class:`repro.replay.collector.IntervalCollector`) reuses the live
+lanes instead and only annotates them.
+
+ULCP classification reuses a :class:`~repro.analysis.pairs.PairAnalysis`
+— no second trace walk: each critical section's acquire uid is looked up
+in the pair table (the classification of the pair the section *closes*
+wins over the one it opens).
+
+Salvage tolerance: lanes are built from whatever events exist.  An
+unmatched release is ignored; a critical section left open by a
+truncated trace closes at the thread's last event and is flagged
+``detail="unclosed"`` — so ``repro timeline``/``repro report`` work on
+``load_trace(..., salvage=True)`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.timeline.model import (
+    BLOCKED,
+    COMPUTE,
+    CS,
+    INTERVAL_KINDS,
+    LOCK_WAIT,
+    OVERHEAD,
+    Interval,
+    Timeline,
+    merge_adjacent,
+    sort_lane,
+)
+
+#: interval-kind -> stable code, shared with the columnar export
+_KIND_CODE = {kind: code for code, kind in enumerate(INTERVAL_KINDS)}
+_C_COMPUTE = _KIND_CODE[COMPUTE]
+_C_CS = _KIND_CODE[CS]
+_C_LOCK_WAIT = _KIND_CODE[LOCK_WAIT]
+_C_BLOCKED = _KIND_CODE[BLOCKED]
+_C_OVERHEAD = _KIND_CODE[OVERHEAD]
+#: codes merge_adjacent is allowed to coalesce
+_MERGEABLE = frozenset({_C_COMPUTE, _C_BLOCKED, _C_OVERHEAD})
+from repro.trace.interning import (
+    ACQUIRE_CODE,
+    COMPUTE_CODE,
+    CS_ENTER_CODE,
+    CS_EXIT_CODE,
+    READ_CODE,
+    RELEASE_CODE,
+    SLEEP_CODE,
+    THREAD_END_CODE,
+    THREAD_START_CODE,
+    WAIT_CODE,
+    WRITE_CODE,
+)
+
+
+def classification_map(analysis) -> Dict[str, str]:
+    """Acquire-uid -> ULCP kind, from an existing pair analysis.
+
+    A section can appear in up to two consecutive pairs (as the second
+    section of one and the first of the next); the pair it *closes* — in
+    which its own acquire contended against the predecessor — is the
+    natural annotation for the section, so it takes precedence.
+    """
+    if analysis is None:
+        return {}
+    kinds: Dict[str, str] = {}
+    for pair in analysis.pairs:
+        kinds.setdefault(pair.c1.uid, pair.kind)
+    for pair in analysis.pairs:
+        kinds[pair.c2.uid] = pair.kind
+    return kinds
+
+
+def _holder_maps(trace) -> Dict[str, str]:
+    """Acquire-uid -> tid of the *previous* grant of the same lock.
+
+    ``trace.lock_schedule`` lists grants per lock in recorded order; the
+    holder that a waiting acquire was blocked behind is the grant just
+    before it in that order.
+    """
+    uid_tid: Dict[str, str] = {}
+    core = trace.columnar()
+    for tid, column in core.columns.items():
+        kind = column.kind
+        uids = column.uids
+        for i in range(len(kind)):
+            if kind[i] == ACQUIRE_CODE:
+                uid_tid[uids[i]] = tid
+    holder: Dict[str, str] = {}
+    for uids in trace.lock_schedule.values():
+        for j in range(1, len(uids)):
+            previous = uid_tid.get(uids[j - 1], "")
+            if previous:
+                holder[uids[j]] = previous
+    return holder
+
+
+def build_timeline(
+    trace,
+    *,
+    analysis=None,
+    replay=None,
+    merge: bool = True,
+) -> Timeline:
+    """Build the interval lanes of ``trace`` (or of its ``replay``).
+
+    ``analysis`` (a :class:`~repro.analysis.pairs.PairAnalysis` of the
+    *original* trace) annotates critical sections and lock waits with
+    their ULCP classification.  ``replay`` (a
+    :class:`~repro.replay.results.ReplayResult` that carried
+    ``intervals``) switches the source to the replayed schedule —
+    including ELSC/gate stall intervals the trace itself cannot show.
+    """
+    kinds = classification_map(analysis)
+    if replay is not None:
+        if getattr(replay, "intervals", None) is None:
+            raise ValueError(
+                "replay carries no intervals; re-run the replay with "
+                "timeline collection enabled (api.replay(..., timeline=True))"
+            )
+        return _from_replay(trace, replay, kinds, merge=merge)
+    return _from_trace(trace, kinds, merge=merge)
+
+
+def _from_replay(trace, replay, kinds: Dict[str, str], *, merge: bool) -> Timeline:
+    holders = _holder_maps(trace)
+    timeline = Timeline(
+        name=trace.meta.name,
+        source="replay",
+        scheme=replay.scheme,
+        thread_start=dict(replay.thread_start),
+        thread_end=dict(replay.thread_end),
+    )
+    for tid in trace.thread_ids:
+        intervals = [
+            Interval(
+                tid=tid,
+                kind=iv.kind,
+                t_start=iv.t_start,
+                t_end=iv.t_end,
+                lock=iv.lock,
+                uid=iv.uid,
+                ulcp=kinds.get(iv.uid, "") if iv.kind in (CS, LOCK_WAIT) else "",
+                holder=iv.holder or holders.get(iv.uid, ""),
+                spin=iv.spin,
+                detail=iv.detail,
+            )
+            for iv in replay.intervals.get(tid, ())
+        ]
+        intervals = sort_lane(intervals)
+        timeline.lanes[tid] = merge_adjacent(intervals) if merge else intervals
+    return timeline
+
+
+def _from_trace(trace, kinds: Dict[str, str], *, merge: bool) -> Timeline:
+    # Hot path: O(events) with no Interval construction inside the event
+    # walk.  Spans accumulate as plain tuples in sort_lane's key order
+    # (t_start, t_end, kind code, payload), sort natively (no Python key
+    # function), and only the post-merge survivors materialize as
+    # Interval objects — the dataclass __init__ dominates otherwise.
+    core = trace.columnar()
+    holders = _holder_maps(trace)
+    kinds_get = kinds.get
+    holders_get = holders.get
+    lock_cost = trace.meta.lock_cost
+    mem_cost = trace.meta.mem_cost
+    timeline = Timeline(name=trace.meta.name, source="trace")
+    for tid, column in core.columns.items():
+        kind = column.kind
+        t = column.t
+        duration = column.duration
+        t_request = column.t_request
+        lock_id = column.lock_id
+        flags = column.flags
+        uids = column.uids
+        tokens = column.tokens
+        lock_name = column.tables.locks.name
+        n = len(kind)
+        # raw span tuples: (t_start, t_end, code, lock, uid, ulcp,
+        #                   holder, spin, detail)
+        raw: List[tuple] = []
+        add = raw.append
+        # open critical sections per lock id (a list tolerates damaged
+        # traces where the same lock appears re-acquired before release)
+        open_cs: Dict[int, List[tuple]] = {}
+        last_t = 0
+        for i in range(n):
+            code = kind[i]
+            ti = t[i]
+            if ti > last_t:
+                last_t = ti
+            if code == COMPUTE_CODE:
+                if duration[i] > 0:
+                    add((ti - duration[i], ti, _C_COMPUTE,
+                         "", "", "", "", False, ""))
+            elif code == ACQUIRE_CODE:
+                uid = uids[i]
+                name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+                if ti > t_request[i]:
+                    add((t_request[i], ti, _C_LOCK_WAIT,
+                         name, uid, kinds_get(uid, ""),
+                         holders_get(uid, ""), bool(flags[i] & 1), ""))
+                if lock_cost:
+                    add((ti, ti + lock_cost, _C_OVERHEAD,
+                         name, "", "", "", False, ""))
+                open_cs.setdefault(lock_id[i], []).append((ti, uid, name))
+            elif code == RELEASE_CODE:
+                stack = open_cs.get(lock_id[i])
+                if stack:
+                    t_open, uid, name = stack.pop()
+                    add((t_open, ti, _C_CS,
+                         name, uid, kinds_get(uid, ""), "", False, ""))
+                # unmatched release (salvaged prefix): nothing to close
+                if lock_cost:
+                    name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+                    add((ti, ti + lock_cost, _C_OVERHEAD,
+                         name, "", "", "", False, ""))
+            elif code in (READ_CODE, WRITE_CODE):
+                if mem_cost:
+                    add((ti, ti + mem_cost, _C_OVERHEAD,
+                         "", "", "", "", False, ""))
+            elif code in (WAIT_CODE, SLEEP_CODE):
+                if duration[i] > 0:
+                    add((ti - duration[i], ti, _C_BLOCKED,
+                         "", "", "", "", False, column.reasons.get(i, "")))
+            elif code == CS_ENTER_CODE:
+                uid = tokens.get(i, uids[i])
+                name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+                open_cs.setdefault(lock_id[i], []).append((ti, uid, name))
+            elif code == CS_EXIT_CODE:
+                stack = open_cs.get(lock_id[i])
+                if stack:
+                    t_open, uid, name = stack.pop()
+                    add((t_open, ti, _C_CS,
+                         name, uid, kinds_get(uid, ""),
+                         "", False, "transformed"))
+            elif code == THREAD_START_CODE:
+                timeline.thread_start[tid] = ti
+            elif code == THREAD_END_CODE:
+                timeline.thread_end[tid] = ti
+        # salvage tolerance: close sections a truncated trace left open
+        for stack in open_cs.values():
+            for t_open, uid, name in stack:
+                add((t_open, max(last_t, t_open), _C_CS,
+                     name, uid, kinds_get(uid, ""), "", False, "unclosed"))
+        raw.sort()
+        timeline.lanes[tid] = lane = _materialize(tid, raw, merge=merge)
+        timeline.thread_start.setdefault(tid, lane[0].t_start if lane else 0)
+        timeline.thread_end.setdefault(tid, last_t)
+    return timeline
+
+
+def _materialize(tid: str, raw: List[tuple], *, merge: bool) -> List[Interval]:
+    """Turn sorted span tuples into a lane, fusing merge_adjacent's
+    coalescing rule into the same pass so no throwaway Intervals exist."""
+    lane: List[Interval] = []
+    append = lane.append
+    last = None
+    for ts, te, code, lock, uid, ulcp, holder, spin, detail in raw:
+        if (
+            merge
+            and last is not None
+            and code in _MERGEABLE
+            and last.kind == INTERVAL_KINDS[code]
+            and last.t_end == ts
+            and last.lock == lock
+            and last.ulcp == ulcp
+            and last.holder == holder
+            and last.spin == spin
+            and last.detail == detail
+        ):
+            last.t_end = te
+            if uid and not last.uid:
+                last.uid = uid
+            continue
+        last = Interval(tid, INTERVAL_KINDS[code], ts, te,
+                        lock, uid, ulcp, holder, spin, detail)
+        append(last)
+    return lane
+
+
+def timelines_of_report(report, *, merge: bool = True):
+    """The (original, ULCP-free) timeline pair of a debug report.
+
+    Prefers the replays' live interval lanes (exact, including stalls);
+    falls back to recorded-trace lanes when the replays did not collect
+    intervals.
+    """
+    analysis = report.transform_result.analysis
+    if getattr(report.original_replay, "intervals", None) is not None:
+        original = build_timeline(
+            report.trace, analysis=analysis,
+            replay=report.original_replay, merge=merge,
+        )
+    else:
+        original = build_timeline(report.trace, analysis=analysis, merge=merge)
+    free_replay = report.free_replay
+    if getattr(free_replay, "intervals", None) is not None:
+        free = build_timeline(
+            report.transform_result.trace, analysis=analysis,
+            replay=free_replay, merge=merge,
+        )
+    else:
+        free = build_timeline(
+            report.transform_result.trace, analysis=analysis, merge=merge
+        )
+    free.scheme = free.scheme or (free_replay.scheme if free_replay else "")
+    return original, free
+
+
+def reconcile(timeline: Timeline, machine_result) -> List[str]:
+    """Check the accounting identity against a machine's ThreadStats.
+
+    Returns a list of human-readable mismatches (empty = exact).  Lane
+    keys are thread *names* (trace tids); machine stats key by machine
+    tid but carry the name.
+    """
+    problems: List[str] = []
+    by_name = {}
+    for stats in machine_result.threads.values():
+        by_name[stats.name or stats.tid] = stats
+    for tid in timeline.thread_ids:
+        stats = by_name.get(tid)
+        if stats is None:
+            problems.append(f"{tid}: no machine stats")
+            continue
+        acct = timeline.accounting(tid)
+        for field_name in ("cpu_ns", "spin_ns", "block_ns"):
+            want = getattr(stats, field_name)
+            got = getattr(acct, field_name)
+            if want != got:
+                problems.append(
+                    f"{tid}: {field_name} timeline={got} machine={want}"
+                )
+    return problems

@@ -1,0 +1,171 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+The exported file is the standard ``{"traceEvents": [...]}`` JSON with:
+
+* one ``ph: "M"`` ``process_name``/``thread_name`` metadata record per
+  lane (lane order = trace thread order, so tids are stable),
+* one ``ph: "X"`` complete slice per interval, categorized
+  ``timeline.<kind>`` — critical sections and lock waits additionally
+  carry ``ulcp.<classification>`` so Perfetto can filter/color by ULCP
+  class (``cname`` picks the legacy chrome://tracing palette),
+* a ``ph: "s"`` → ``ph: "f"`` flow pair per attributed lock wait,
+  drawn from the waiter at wait-start to the holder's lane at grant
+  time (the waiter→holder arrows of the ISSUE contract).
+
+Time mapping: the simulator's integer nanoseconds are emitted verbatim
+in the ``ts``/``dur`` microsecond fields — **1 simulated ns = 1 trace
+µs** — keeping every number an exact integer (byte-determinism) at the
+cost of the viewer's axis reading "µs" for simulated ns.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.timeline.model import (
+    BLOCKED,
+    COMPUTE,
+    CS,
+    LOCK_WAIT,
+    OVERHEAD,
+    STALL,
+    Interval,
+    Timeline,
+)
+
+#: legacy chrome://tracing palette names per ULCP classification
+ULCP_COLORS = {
+    "null_lock": "terrible",
+    "read_read": "bad",
+    "disjoint_write": "yellow",
+    "benign": "good",
+    "tlcp": "grey",
+}
+
+_KIND_COLORS = {
+    COMPUTE: "thread_state_running",
+    OVERHEAD: "grey",
+    BLOCKED: "thread_state_sleeping",
+    STALL: "thread_state_iowait",
+}
+
+
+def _slice_name(interval: Interval) -> str:
+    if interval.kind == CS:
+        return f"cs {interval.lock}" if interval.lock else "cs"
+    if interval.kind in (LOCK_WAIT, STALL):
+        base = "spin" if interval.spin else "wait"
+        if interval.kind == STALL:
+            base = "stall"
+        return f"{base} {interval.lock}" if interval.lock else base
+    if interval.kind == BLOCKED and interval.detail:
+        return f"blocked ({interval.detail})"
+    return interval.kind
+
+
+def timeline_to_events(timeline: Timeline, *, pid: int = 0) -> List[dict]:
+    """The deterministic trace-event list of one timeline."""
+    events: List[dict] = []
+    tid_index: Dict[str, int] = {
+        tid: i for i, tid in enumerate(timeline.thread_ids)
+    }
+    process = timeline.name or "repro"
+    if timeline.scheme:
+        process = f"{process} [{timeline.scheme}]"
+    events.append({
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": process},
+    })
+    for tid, index in tid_index.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": index,
+            "args": {"name": tid},
+        })
+    flow_id = 0
+    for tid in timeline.thread_ids:
+        index = tid_index[tid]
+        for interval in timeline.lanes[tid]:
+            cat = f"timeline.{interval.kind}"
+            cname = _KIND_COLORS.get(interval.kind, "")
+            if interval.ulcp:
+                cat += f",ulcp.{interval.ulcp}"
+                cname = ULCP_COLORS.get(interval.ulcp, cname)
+            args: Dict[str, object] = {}
+            if interval.lock:
+                args["lock"] = interval.lock
+            if interval.uid:
+                args["uid"] = interval.uid
+            if interval.ulcp:
+                args["ulcp"] = interval.ulcp
+            if interval.holder:
+                args["holder"] = interval.holder
+            if interval.spin:
+                args["spin"] = True
+            if interval.detail:
+                args["detail"] = interval.detail
+            record = {
+                "name": _slice_name(interval),
+                "ph": "X",
+                "pid": pid,
+                "tid": index,
+                "ts": interval.t_start,
+                "dur": interval.duration,
+                "cat": cat,
+            }
+            if cname:
+                record["cname"] = cname
+            if args:
+                record["args"] = args
+            events.append(record)
+            if (
+                interval.kind in (LOCK_WAIT, STALL)
+                and interval.holder
+                and interval.holder in tid_index
+            ):
+                flow_id += 1
+                flow_name = f"waits-for {interval.lock}" if interval.lock else "waits-for"
+                events.append({
+                    "name": flow_name,
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": pid,
+                    "tid": index,
+                    "ts": interval.t_start,
+                    "cat": "timeline.flow",
+                })
+                events.append({
+                    "name": flow_name,
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": pid,
+                    "tid": tid_index[interval.holder],
+                    "ts": interval.t_end,
+                    "cat": "timeline.flow",
+                })
+    return events
+
+
+def to_chrome_json(*timelines: Timeline) -> str:
+    """Serialize timelines (one process each) as Chrome trace JSON.
+
+    Output is byte-deterministic for a fixed input: dict key order is
+    fixed by construction, separators are canonical, every field is an
+    int/str/bool.
+    """
+    events: List[dict] = []
+    for pid, timeline in enumerate(timelines):
+        events.extend(timeline_to_events(timeline, pid=pid))
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"unit": "1 simulated ns = 1 trace us"},
+    }
+    return json.dumps(document, separators=(",", ":"), sort_keys=False)

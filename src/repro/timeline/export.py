@@ -1,0 +1,129 @@
+"""Compact columnar JSON for programmatic timeline diffing.
+
+The format mirrors the trace's interned columnar core: one shared
+string table, per-lane parallel arrays of small integers.  It is
+deliberately minimal — a timeline is a *derived* artifact, so the
+format carries no side tables and no schema negotiation beyond a
+version number.
+
+Layout::
+
+    {
+      "version": 1,
+      "name": ..., "source": "trace"|"replay", "scheme": ...,
+      "strings": ["", ...],          # 0 is always the empty string
+      "kinds": ["compute", ...],     # interval-kind code table
+      "threads": [
+        {"tid": ..., "start": ns, "end": ns,
+         "kind": [...], "t_start": [...], "t_end": [...],
+         "lock": [sid...], "uid": [sid...], "ulcp": [sid...],
+         "holder": [sid...], "spin": [0|1...], "detail": [sid...]},
+        ...
+      ]
+    }
+
+Integers only, canonical JSON separators: byte-deterministic for a
+fixed timeline.  :func:`from_columnar_json` is the exact inverse.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.timeline.model import INTERVAL_KINDS, Interval, Timeline
+
+VERSION = 1
+
+
+class _Strings:
+    """Tiny insertion-ordered interner with "" pinned at id 0."""
+
+    def __init__(self) -> None:
+        self.names: List[str] = [""]
+        self.ids: Dict[str, int] = {"": 0}
+
+    def intern(self, name: str) -> int:
+        sid = self.ids.get(name)
+        if sid is None:
+            sid = len(self.names)
+            self.ids[name] = sid
+            self.names.append(name)
+        return sid
+
+
+def to_columnar(timeline: Timeline) -> dict:
+    """The columnar document of ``timeline`` (plain JSON-ready dict)."""
+    strings = _Strings()
+    kind_code = {kind: i for i, kind in enumerate(INTERVAL_KINDS)}
+    threads = []
+    for tid in timeline.thread_ids:
+        lane = timeline.lanes[tid]
+        threads.append({
+            "tid": tid,
+            "start": timeline.thread_start.get(tid, 0),
+            "end": timeline.thread_end.get(tid, 0),
+            "kind": [kind_code[iv.kind] for iv in lane],
+            "t_start": [iv.t_start for iv in lane],
+            "t_end": [iv.t_end for iv in lane],
+            "lock": [strings.intern(iv.lock) for iv in lane],
+            "uid": [strings.intern(iv.uid) for iv in lane],
+            "ulcp": [strings.intern(iv.ulcp) for iv in lane],
+            "holder": [strings.intern(iv.holder) for iv in lane],
+            "spin": [1 if iv.spin else 0 for iv in lane],
+            "detail": [strings.intern(iv.detail) for iv in lane],
+        })
+    return {
+        "version": VERSION,
+        "name": timeline.name,
+        "source": timeline.source,
+        "scheme": timeline.scheme,
+        "strings": strings.names,
+        "kinds": list(INTERVAL_KINDS),
+        "threads": threads,
+    }
+
+
+def to_columnar_json(timeline: Timeline) -> str:
+    """Byte-deterministic columnar JSON of ``timeline``."""
+    return json.dumps(to_columnar(timeline), separators=(",", ":"))
+
+
+def from_columnar(document: dict) -> Timeline:
+    """Rebuild a :class:`Timeline` from :func:`to_columnar` output."""
+    if document.get("version") != VERSION:
+        raise ValueError(
+            f"unsupported timeline format version: {document.get('version')!r}"
+        )
+    strings = document["strings"]
+    kinds = document["kinds"]
+    timeline = Timeline(
+        name=document.get("name", ""),
+        source=document.get("source", "trace"),
+        scheme=document.get("scheme", ""),
+    )
+    for column in document["threads"]:
+        tid = column["tid"]
+        timeline.thread_start[tid] = column.get("start", 0)
+        timeline.thread_end[tid] = column.get("end", 0)
+        lane = [
+            Interval(
+                tid=tid,
+                kind=kinds[column["kind"][i]],
+                t_start=column["t_start"][i],
+                t_end=column["t_end"][i],
+                lock=strings[column["lock"][i]],
+                uid=strings[column["uid"][i]],
+                ulcp=strings[column["ulcp"][i]],
+                holder=strings[column["holder"][i]],
+                spin=bool(column["spin"][i]),
+                detail=strings[column["detail"][i]],
+            )
+            for i in range(len(column["kind"]))
+        ]
+        timeline.lanes[tid] = lane
+    return timeline
+
+
+def from_columnar_json(text: str) -> Timeline:
+    return from_columnar(json.loads(text))

@@ -1,0 +1,211 @@
+"""The execution-timeline model: typed per-thread interval lanes.
+
+A :class:`Timeline` is the common currency between the trace/replay
+layers and every visual artifact (Chrome trace JSON, the HTML report's
+waterfall, future dashboards): one lane per thread, each lane an ordered
+list of typed :class:`Interval` records.
+
+Interval kinds
+--------------
+
+``compute``
+    The thread ran application code (a COMPUTE event / request).
+``cs``
+    A critical section, from lock grant to release.  ``lock`` names the
+    lock, ``ulcp`` carries the pair classification of the section's
+    acquire (``null_lock`` / ``read_read`` / ``disjoint_write`` /
+    ``benign`` / ``tlcp``; empty when the section never contended).
+    ``cs`` intervals *overlay* the compute/overhead intervals inside
+    them — they are excluded from the time accounting.
+``lock_wait``
+    The thread waited for a busy lock (``t_request`` → grant).
+    ``holder`` attributes the wait to the thread whose critical section
+    blocked it; ``spin`` distinguishes spin waits (charged as CPU) from
+    blocked waits.
+``stall``
+    A replay-enforcement wait: the resource was free but a gate (ELSC
+    schedule, deterministic memory order) vetoed the access to preserve
+    the recorded order.
+``blocked``
+    Non-lock waiting: condvar/semaphore/barrier/flag waits, sleeps, and
+    bypassed opaque ranges.
+``overhead``
+    The fixed cost of a synchronization or memory operation
+    (``lock_cost`` per acquire-grant and release, ``mem_cost`` per
+    memory access) — charged as CPU time by the machine.
+
+Accounting identity (the determinism/reconciliation contract, tested on
+every workload): for each thread,
+
+* ``spin_ns``  == Σ ``lock_wait``/``stall`` intervals with ``spin``
+* ``block_ns`` == Σ non-spin ``lock_wait``/``stall`` + Σ ``blocked``
+* ``cpu_ns``   == Σ ``compute`` + Σ ``overhead`` + ``spin_ns``
+
+which matches :class:`repro.sim.stats.ThreadStats` exactly for
+jitter-free runs (and for jittered runs when intervals are collected
+live by :class:`repro.replay.collector.IntervalCollector`, which sees
+the actual jittered compute costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+COMPUTE = "compute"
+CS = "cs"
+LOCK_WAIT = "lock_wait"
+STALL = "stall"
+BLOCKED = "blocked"
+OVERHEAD = "overhead"
+
+#: canonical interval-kind order (stable codes for columnar export)
+INTERVAL_KINDS = (COMPUTE, CS, LOCK_WAIT, STALL, BLOCKED, OVERHEAD)
+
+#: kinds that represent waiting (lock or otherwise)
+WAIT_KINDS = frozenset({LOCK_WAIT, STALL, BLOCKED})
+
+
+@dataclass(slots=True)
+class Interval:
+    """One typed span of a thread's execution."""
+
+    tid: str
+    kind: str
+    t_start: int
+    t_end: int
+    lock: str = ""
+    uid: str = ""
+    ulcp: str = ""
+    holder: str = ""
+    spin: bool = False
+    detail: str = ""
+
+    @property
+    def duration(self) -> int:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class ThreadAccounting:
+    """Interval-sum view of one lane, shaped like ``ThreadStats``."""
+
+    cpu_ns: int = 0
+    spin_ns: int = 0
+    block_ns: int = 0
+
+
+@dataclass
+class Timeline:
+    """Per-thread interval lanes for one execution (trace or replay)."""
+
+    name: str = ""
+    source: str = "trace"  # "trace" | "replay"
+    scheme: str = ""
+    lanes: Dict[str, List[Interval]] = field(default_factory=dict)
+    thread_start: Dict[str, int] = field(default_factory=dict)
+    thread_end: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def thread_ids(self) -> List[str]:
+        return list(self.lanes)
+
+    @property
+    def end_time(self) -> int:
+        latest = 0
+        for end in self.thread_end.values():
+            latest = max(latest, end)
+        for intervals in self.lanes.values():
+            for interval in intervals:
+                latest = max(latest, interval.t_end)
+        return latest
+
+    def __len__(self) -> int:
+        return sum(len(intervals) for intervals in self.lanes.values())
+
+    def iter_intervals(self) -> Iterator[Interval]:
+        for intervals in self.lanes.values():
+            yield from intervals
+
+    def count(self, kind: str) -> int:
+        return sum(
+            1 for interval in self.iter_intervals() if interval.kind == kind
+        )
+
+    # ------------------------------------------------------- accounting
+
+    def accounting(self, tid: str) -> ThreadAccounting:
+        """Interval sums of one lane, per the model's accounting identity."""
+        acct = ThreadAccounting()
+        for interval in self.lanes.get(tid, ()):
+            d = interval.duration
+            if interval.kind == COMPUTE or interval.kind == OVERHEAD:
+                acct.cpu_ns += d
+            elif interval.kind in (LOCK_WAIT, STALL):
+                if interval.spin:
+                    acct.spin_ns += d
+                    acct.cpu_ns += d
+                else:
+                    acct.block_ns += d
+            elif interval.kind == BLOCKED:
+                acct.block_ns += d
+        return acct
+
+    def wait_by_lock_thread(self) -> Dict[str, Dict[str, int]]:
+        """Total lock-wait/stall ns per (lock, waiting thread) — the
+        contention heatmap's source data."""
+        table: Dict[str, Dict[str, int]] = {}
+        for interval in self.iter_intervals():
+            if interval.kind not in (LOCK_WAIT, STALL) or not interval.lock:
+                continue
+            row = table.setdefault(interval.lock, {})
+            row[interval.tid] = row.get(interval.tid, 0) + interval.duration
+        return table
+
+
+def merge_adjacent(intervals: List[Interval]) -> List[Interval]:
+    """Coalesce back-to-back intervals of identical type/payload.
+
+    Keeps exported artifacts compact without changing any interval sum:
+    two spans merge only when the first ends exactly where the second
+    starts and every annotation matches.
+    """
+    merged: List[Interval] = []
+    for interval in intervals:
+        if merged:
+            last = merged[-1]
+            if (
+                last.kind == interval.kind
+                and last.t_end == interval.t_start
+                and last.lock == interval.lock
+                and last.ulcp == interval.ulcp
+                and last.holder == interval.holder
+                and last.spin == interval.spin
+                and last.detail == interval.detail
+                and interval.kind in (COMPUTE, OVERHEAD, BLOCKED)
+            ):
+                last.t_end = interval.t_end
+                if interval.uid and not last.uid:
+                    last.uid = interval.uid
+                continue
+        merged.append(interval)
+    return merged
+
+
+def sort_lane(intervals: List[Interval]) -> List[Interval]:
+    """Deterministic lane order: by start, then end, then kind code."""
+    kind_order = {kind: i for i, kind in enumerate(INTERVAL_KINDS)}
+    return sorted(
+        intervals,
+        key=lambda iv: (iv.t_start, iv.t_end, kind_order.get(iv.kind, 99), iv.uid),
+    )
+
+
+def accounting_of(
+    timeline: Timeline, tids: Optional[List[str]] = None
+) -> Dict[str, ThreadAccounting]:
+    """Accounting for every lane (or the given subset), keyed by tid."""
+    return {
+        tid: timeline.accounting(tid)
+        for tid in (tids if tids is not None else timeline.thread_ids)
+    }

@@ -53,7 +53,9 @@ class TraceBuilder(NullObserver):
     def on_thread_end(self, tid, t):
         self.trace.append(TraceEvent(uid=self._uid(), tid=tid, kind=THREAD_END, t=t))
 
-    def on_compute(self, tid, t_start, duration, site, uid):
+    def on_compute(self, tid, t_start, duration, site, uid, actual=None):
+        # the trace records the *nominal* duration; jitter (``actual``)
+        # is a property of one run, not of the program being recorded
         self.trace.append(
             TraceEvent(
                 uid=self._uid(),

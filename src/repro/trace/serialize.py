@@ -306,13 +306,26 @@ def salvage_read(lines: Iterable[str], *, source=None) -> LoadedTrace:
         stopped_reason=stop["reason"],
         problems=_trace_problems(trace),
     )
-    from repro import telemetry
+    from repro import log, telemetry
 
     telemetry.count("salvage.loads")
     lost = (report.dropped_events or 0) + report.trimmed_events
     if lost:
         telemetry.count("salvage.events_dropped", lost)
     if not report.clean:
+        # structured INFO event for grepping; user-facing severity stays
+        # with the stdlib SalvageWarning (and the CLI's warning line)
+        log.get_logger("trace.salvage").info(
+            "salvaged %s: %s",
+            report.source or "<stream>", report.render(),
+            extra={
+                "event": "trace.salvage",
+                "source": report.source or "",
+                "kept_events": report.kept_events,
+                "dropped_events": report.dropped_events or 0,
+                "trimmed_events": report.trimmed_events,
+            },
+        )
         warnings.warn(SalvageWarning(report.render()), stacklevel=2)
     return LoadedTrace(trace=trace, report=report)
 

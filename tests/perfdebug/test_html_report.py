@@ -1,0 +1,95 @@
+"""The self-contained HTML debugging report (`repro.api.report`)."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro import api
+from repro.trace import serialize
+
+_VOID_TAGS = frozenset({
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "source", "track", "wbr",
+})
+
+
+class _TagBalance(HTMLParser):
+    def __init__(self):
+        super().__init__()
+        self.stack = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in _VOID_TAGS:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if not self.stack:
+            self.errors.append(f"close </{tag}> with empty stack")
+        elif self.stack[-1] != tag:
+            self.errors.append(f"</{tag}> closes <{self.stack[-1]}>")
+        else:
+            self.stack.pop()
+
+
+def _check_html(text: str) -> None:
+    parser = _TagBalance()
+    parser.feed(text)
+    assert parser.errors == []
+    assert parser.stack == []
+
+
+@pytest.fixture(scope="module")
+def html():
+    return api.report("transmissionBT", threads=2, seed=0)
+
+
+class TestHtmlReport:
+    def test_is_a_complete_document(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        _check_html(html)
+
+    def test_zero_external_assets(self, html):
+        # self-contained: no external scripts, stylesheets, or images;
+        # the only URL-shaped text allowed is the SVG xmlns identifier
+        assert "<script" not in html
+        assert "<link " not in html
+        assert html.count("http") == html.count('xmlns="http://www.w3.org/2000/svg"')
+
+    def test_core_sections_present(self, html):
+        for marker in (
+            "Execution waterfalls",
+            "Lock contention heatmap",
+            "ULCP pairs",
+            "Ranked recommendations",
+            "Telemetry summary",
+            "<svg",
+        ):
+            assert marker in html, f"missing section: {marker}"
+
+    def test_byte_identical_across_runs(self, html):
+        assert api.report("transmissionBT", threads=2, seed=0) == html
+
+    def test_output_file_written(self, tmp_path):
+        out = tmp_path / "REPORT.html"
+        text = api.report("transmissionBT", threads=2, seed=0, output=out)
+        assert out.read_text(encoding="utf-8") == text
+
+    def test_explicit_transformed_trace(self, tmp_path):
+        trace = api.record("transmissionBT", threads=2, seed=0)
+        freed = api.transform(trace)
+        free_path = tmp_path / "free.jsonl"
+        serialize.dump(freed, free_path)
+        html = api.report(trace, free_path)
+        assert "ULCP-free" in html
+        _check_html(html)
+
+
+class TestZeroUlcpReport:
+    """A workload with no contentions must render, not error."""
+
+    def test_no_contentions_banner(self):
+        # blackscholes partitions its work: no ULCP pairs at all
+        html = api.report("blackscholes", threads=2, seed=0, scale=0.5)
+        assert "No unnecessary lock contentions" in html
+        _check_html(html)

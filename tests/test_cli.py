@@ -63,6 +63,43 @@ class TestCli:
         assert main(["timeline", trace_file, "--width", "40"]) == 0
         assert "timeline" in capsys.readouterr().out
 
+    def test_timeline_chrome_format(self, tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        capsys.readouterr()
+        assert main(["timeline", trace_file, "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+        assert {"M", "X"} <= {e["ph"] for e in doc["traceEvents"]}
+
+    def test_timeline_chrome_to_file(self, tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "t.jsonl")
+        out_file = tmp_path / "timeline.chrome.json"
+        main(["record", "transmissionBT", "-o", trace_file])
+        capsys.readouterr()
+        assert main([
+            "timeline", trace_file, "--format", "chrome",
+            "-o", str(out_file),
+        ]) == 0
+        assert capsys.readouterr().out == ""  # written to the file instead
+        doc = json.loads(out_file.read_text())
+        assert doc["metadata"]["unit"] == "1 simulated ns = 1 trace us"
+
+    def test_timeline_columnar_format(self, tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        capsys.readouterr()
+        assert main(["timeline", trace_file, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["threads"]
+
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "nope"]) == 2
 
@@ -350,3 +387,90 @@ class TestSalvageFlag:
         trace_file = self._truncated_trace(tmp_path)
         with pytest.raises(SystemExit):
             main(["stats", trace_file, "--salvage", "--strict"])
+
+
+class TestReportCommand:
+    def _trace(self, tmp_path):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        return trace_file
+
+    def test_report_from_trace_file(self, tmp_path, capsys):
+        trace_file = self._trace(tmp_path)
+        out = tmp_path / "REPORT.html"
+        capsys.readouterr()
+        assert main(["report", trace_file, "-o", str(out)]) == 0
+        html = out.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Execution waterfalls" in html
+        assert "report ->" in capsys.readouterr().err
+
+    def test_report_is_byte_deterministic(self, tmp_path):
+        trace_file = self._trace(tmp_path)
+        first, second = tmp_path / "a.html", tmp_path / "b.html"
+        assert main(["report", trace_file, "-o", str(first)]) == 0
+        assert main(["report", trace_file, "-o", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_report_with_transformed_positional(self, tmp_path):
+        trace_file = self._trace(tmp_path)
+        free_file = str(tmp_path / "free.jsonl")
+        assert main(["transform", trace_file, "-o", free_file]) == 0
+        out = tmp_path / "REPORT.html"
+        assert main(["report", trace_file, free_file, "-o", str(out)]) == 0
+        assert "<!DOCTYPE html>" in out.read_text(encoding="utf-8")
+
+    def test_report_from_workload_name(self, tmp_path):
+        out = tmp_path / "REPORT.html"
+        assert main(["report", "transmissionBT", "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_report_on_salvaged_trace(self, tmp_path, capsys):
+        trace_file = self._trace(tmp_path)
+        text = open(trace_file).read()
+        open(trace_file, "w").write(text[: int(len(text) * 0.7)])
+        out = tmp_path / "REPORT.html"
+        capsys.readouterr()
+        assert main(["report", trace_file, "--salvage", "-o", str(out)]) == 0
+        assert "salvage:" in capsys.readouterr().err
+        assert out.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_report_zero_ulcps_renders_empty_state(self, tmp_path):
+        # blackscholes partitions its data: no lock contention at all
+        out = tmp_path / "REPORT.html"
+        assert main([
+            "report", "blackscholes", "--scale", "0.5", "-o", str(out),
+        ]) == 0
+        assert "No unnecessary lock contentions" in out.read_text(
+            encoding="utf-8"
+        )
+
+
+class TestLogFlags:
+    def test_log_json_emits_parseable_lines(self, tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        text = open(trace_file).read()
+        open(trace_file, "w").write(text[: int(len(text) * 0.7)])
+        capsys.readouterr()
+        assert main([
+            "--log-json", "--log-level", "info",
+            "stats", trace_file, "--salvage",
+        ]) == 0
+        lines = capsys.readouterr().err.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert any(r.get("event") == "trace.salvage" for r in records)
+        assert any(r.get("event") == "cli.salvage" for r in records)
+
+    def test_log_level_silences_info(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        text = open(trace_file).read()
+        open(trace_file, "w").write(text[: int(len(text) * 0.7)])
+        capsys.readouterr()
+        assert main([
+            "--log-level", "error", "stats", trace_file, "--salvage",
+        ]) == 0
+        assert capsys.readouterr().err == ""  # warning-level salvage muted

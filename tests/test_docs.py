@@ -19,7 +19,8 @@ class TestApiDocs:
 
     def test_facade_functions_fully_documented(self):
         text = generate()
-        for fn in ("record", "analyze", "transform", "replay", "debug"):
+        for fn in ("record", "analyze", "transform", "replay", "debug",
+                   "report"):
             assert f"### `{fn}(" in text
         # full docstrings, not just summaries
         assert "DeprecationWarning" in text

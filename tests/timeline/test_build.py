@@ -1,0 +1,174 @@
+"""Timeline construction: lanes, classification, holders, salvage."""
+
+import pytest
+
+from repro import api
+from repro.analysis import analyze_pairs
+from repro.perfdebug.framework import PerfPlay
+from repro.timeline import (
+    BLOCKED,
+    COMPUTE,
+    CS,
+    LOCK_WAIT,
+    STALL,
+    build_timeline,
+    classification_map,
+)
+from repro.trace import serialize
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return api.record("transmissionBT", threads=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def analysis(trace):
+    return analyze_pairs(trace)
+
+
+class TestTraceLanes:
+    def test_one_lane_per_thread(self, trace):
+        timeline = build_timeline(trace)
+        assert set(timeline.thread_ids) == set(trace.thread_ids)
+        assert timeline.source == "trace"
+        assert timeline.end_time > 0
+
+    def test_kinds_present(self, trace):
+        timeline = build_timeline(trace)
+        assert timeline.count(COMPUTE) > 0
+        assert timeline.count(CS) > 0
+
+    def test_cs_sections_match_acquire_count(self, trace):
+        # every acquire opens exactly one critical section
+        timeline = build_timeline(trace, merge=False)
+        acquires = sum(
+            1 for e in trace.iter_events() if e.kind == "acquire"
+        )
+        assert timeline.count(CS) == acquires
+
+    def test_intervals_are_sorted_and_well_formed(self, trace):
+        timeline = build_timeline(trace)
+        for tid in timeline.thread_ids:
+            lane = timeline.lanes[tid]
+            assert all(iv.t_start <= iv.t_end for iv in lane)
+            assert all(
+                lane[i].t_start <= lane[i + 1].t_start
+                for i in range(len(lane) - 1)
+            )
+
+    def test_classification_annotates_sections(self, trace, analysis):
+        timeline = build_timeline(trace, analysis=analysis)
+        kinds = classification_map(analysis)
+        assert kinds, "workload should have classified pairs"
+        annotated = {
+            iv.ulcp
+            for iv in timeline.iter_intervals()
+            if iv.kind in (CS, LOCK_WAIT) and iv.ulcp
+        }
+        assert annotated <= {
+            "null_lock", "read_read", "disjoint_write", "benign", "tlcp"
+        }
+        assert annotated, "some section should carry a classification"
+
+    def test_lock_waits_attribute_a_holder(self, trace):
+        timeline = build_timeline(trace)
+        waits = [
+            iv for iv in timeline.iter_intervals() if iv.kind == LOCK_WAIT
+        ]
+        assert waits, "workload should contend at least once"
+        lanes = set(timeline.thread_ids)
+        for iv in waits:
+            assert iv.lock
+            if iv.holder:
+                assert iv.holder in lanes
+                assert iv.holder != iv.tid
+        assert any(iv.holder for iv in waits)
+
+
+class TestReplaySource:
+    def test_replay_without_intervals_is_an_error(self, trace):
+        replay = api.replay(trace, jitter=0.0)
+        with pytest.raises(ValueError, match="timeline"):
+            build_timeline(trace, replay=replay)
+
+    def test_replay_lanes_reuse_live_intervals(self, trace, analysis):
+        replay = api.replay(trace, jitter=0.0, timeline=True)
+        timeline = build_timeline(trace, analysis=analysis, replay=replay)
+        assert timeline.source == "replay"
+        assert timeline.scheme == replay.scheme
+        assert timeline.count(COMPUTE) > 0
+        assert timeline.count(CS) > 0
+
+    def test_jittered_replay_shows_gate_stalls(self):
+        # under jitter a thread can reach an access *early*; the ELSC
+        # gate vetoes it to preserve the recorded order, and the veto
+        # surfaces as a replay-stall interval — invisible to a plain
+        # trace walk (a jitter-free replay reproduces the recorded
+        # timing exactly, so its gates never fire)
+        trace = api.record("pbzip2", threads=2, seed=0)
+        replay = api.replay(trace, jitter=0.05, timeline=True)
+        timeline = build_timeline(trace, replay=replay)
+        assert timeline.source == "replay"
+        assert timeline.count(STALL) > 0
+
+    def test_transformed_replay_builds_both_timelines(self):
+        trace = api.record("pbzip2", threads=2, seed=0)
+        report = PerfPlay(jitter=0.0).analyze(trace, timeline=True)
+        original, free = report.timelines()
+        assert original.source == "replay" and free.source == "replay"
+        assert free.count(COMPUTE) > 0
+
+    def test_blocked_intervals_survive(self):
+        # pbzip2's consumers wait on a condvar: blocked intervals must
+        # exist in both the trace-side and the replay-sourced view
+        trace = api.record("pbzip2", threads=2, seed=0)
+        replay = api.replay(trace, jitter=0.0, timeline=True)
+        timeline = build_timeline(trace, replay=replay)
+        trace_side = build_timeline(trace)
+        assert timeline.count(BLOCKED) > 0
+        assert trace_side.count(BLOCKED) > 0
+
+
+class TestSalvagedTraces:
+    """Regression: the lane builder must tolerate trimmed/truncated input."""
+
+    def _salvaged(self, tmp_path, keep=0.6):
+        trace = api.record("transmissionBT", threads=2, seed=0)
+        path = tmp_path / "t.jsonl"
+        serialize.dump(trace, path)
+        text = path.read_text()
+        path.write_text(text[: int(len(text) * keep)])
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return serialize.load_trace(path, salvage=True).trace
+
+    def test_truncated_trace_builds_lanes(self, tmp_path):
+        salvaged = self._salvaged(tmp_path)
+        timeline = build_timeline(salvaged)
+        assert len(timeline) > 0
+        assert timeline.count(COMPUTE) > 0
+
+    def test_unbalanced_sections_are_closed_not_fatal(self, tmp_path):
+        # drop every RELEASE event: every acquire leaves an open section
+        trace = api.record("transmissionBT", threads=2, seed=0)
+        for tid in list(trace.threads):
+            trace.threads[tid] = [
+                e for e in trace.threads[tid] if e.kind != "release"
+            ]
+        trace._columnar = None  # rebuild the interned core
+        trace._scan = None
+        timeline = build_timeline(trace)
+        unclosed = [
+            iv for iv in timeline.iter_intervals() if iv.detail == "unclosed"
+        ]
+        assert unclosed, "open sections must close at the lane's end"
+        for iv in unclosed:
+            assert iv.t_end >= iv.t_start
+
+    def test_salvaged_trace_renders_report(self, tmp_path):
+        salvaged = self._salvaged(tmp_path)
+        html = api.report(salvaged)
+        assert html.startswith("<!DOCTYPE html>")

@@ -1,0 +1,121 @@
+"""Export determinism: Chrome trace JSON and columnar JSON.
+
+The artifact contract matches TELEMETRY.json: byte-identical across
+repeated runs and across ``--jobs 1`` vs ``--jobs N`` (the whole
+record→analyze→export pipeline runs inside pool workers here, so any
+worker-order or interning nondeterminism would change the bytes).
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.analysis import analyze_pairs
+from repro.timeline import (
+    build_timeline,
+    from_columnar_json,
+    timeline_to_events,
+    to_chrome_json,
+    to_columnar_json,
+)
+
+
+def _chrome_json(workload: str = "transmissionBT") -> str:
+    trace = api.record(workload, threads=2, seed=0)
+    analysis = analyze_pairs(trace)
+    return to_chrome_json(build_timeline(trace, analysis=analysis))
+
+
+def _columnar_json(workload: str = "transmissionBT") -> str:
+    trace = api.record(workload, threads=2, seed=0)
+    return to_columnar_json(build_timeline(trace))
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    trace = api.record("transmissionBT", threads=2, seed=0)
+    return build_timeline(trace, analysis=analyze_pairs(trace))
+
+
+class TestChromeExport:
+    def test_document_shape(self, timeline):
+        doc = json.loads(to_chrome_json(timeline))
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "metadata"}
+        assert doc["metadata"]["unit"] == "1 simulated ns = 1 trace us"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X"} <= phases
+
+    def test_slices_carry_ulcp_categories(self, timeline):
+        doc = json.loads(to_chrome_json(timeline))
+        cats = {
+            c for e in doc["traceEvents"] for c in e.get("cat", "").split(",")
+        }
+        assert "timeline.cs" in cats
+        assert any(c.startswith("ulcp.") for c in cats)
+
+    def test_flow_events_pair_waiter_to_holder(self, timeline):
+        events = timeline_to_events(timeline)
+        starts = {e["id"]: e for e in events if e["ph"] == "s"}
+        finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+        assert starts, "contended workload must emit flow arrows"
+        assert set(starts) == set(finishes)
+        for flow_id, start in starts.items():
+            finish = finishes[flow_id]
+            assert finish["bp"] == "e"
+            assert start["tid"] != finish["tid"]  # waiter -> holder lane
+            assert start["ts"] <= finish["ts"]
+
+    def test_metadata_names_every_lane(self, timeline):
+        events = timeline_to_events(timeline)
+        names = [
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == timeline.thread_ids
+
+    def test_multi_timeline_export_separates_pids(self, timeline):
+        doc = json.loads(to_chrome_json(timeline, timeline))
+        assert {e["pid"] for e in doc["traceEvents"]} == {0, 1}
+
+    def test_repeat_runs_are_byte_identical(self):
+        assert _chrome_json() == _chrome_json()
+
+
+class TestColumnarExport:
+    def test_round_trip_is_exact(self, timeline):
+        restored = from_columnar_json(to_columnar_json(timeline))
+        assert restored.name == timeline.name
+        assert restored.thread_ids == timeline.thread_ids
+        assert restored.thread_start == timeline.thread_start
+        assert restored.thread_end == timeline.thread_end
+        for tid in timeline.thread_ids:
+            assert restored.lanes[tid] == timeline.lanes[tid]
+
+    def test_repeat_runs_are_byte_identical(self):
+        assert _columnar_json() == _columnar_json()
+
+
+# module-level so the pool can pickle it by reference
+def _export_cell(spec):
+    workload, fmt = spec
+    return _chrome_json(workload) if fmt == "chrome" else _columnar_json(workload)
+
+
+class TestJobsDeterminism:
+    """``--jobs N`` artifacts == ``--jobs 1`` artifacts, byte for byte."""
+
+    TASKS = [
+        ("transmissionBT", "chrome"),
+        ("transmissionBT", "columnar"),
+        ("pbzip2", "chrome"),
+        ("pbzip2", "columnar"),
+    ]
+
+    def test_parallel_export_matches_serial(self):
+        from repro.runner.pool import parallel_map
+
+        serial = parallel_map(_export_cell, self.TASKS, jobs=1)
+        pooled = parallel_map(_export_cell, self.TASKS, jobs=2)
+        assert pooled == serial

@@ -1,0 +1,50 @@
+"""The reconciliation contract: interval sums == machine accounting.
+
+For every workload (synthetic bug cases + PARSEC + real-world models),
+the timeline's per-thread interval sums must reproduce the replayer's
+``ThreadStats`` exactly:
+
+* ``spin_ns``  == sum of spinning lock_wait/stall intervals
+* ``block_ns`` == sum of non-spin lock_wait/stall + blocked intervals
+* ``cpu_ns``   == sum of compute + overhead intervals + ``spin_ns``
+
+Replay-sourced lanes (IntervalCollector) reconcile even under jitter —
+the collector sees the actual jittered compute charges; trace-side lanes
+reconcile for jitter-free replays.
+"""
+
+import pytest
+
+from repro import api
+from repro.perfdebug.framework import PerfPlay
+from repro.timeline import build_timeline, reconcile
+from repro.workloads import workload_names
+
+ALL_WORKLOADS = workload_names()
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_replay_timeline_reconciles_exactly(name):
+    trace = api.record(name, threads=2, seed=0)
+    replay = api.replay(trace, jitter=0.02, timeline=True)
+    timeline = build_timeline(trace, replay=replay)
+    assert reconcile(timeline, replay.machine_result) == []
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_trace_timeline_reconciles_with_jitterfree_replay(name):
+    trace = api.record(name, threads=2, seed=0)
+    replay = api.replay(trace, jitter=0.0)
+    timeline = build_timeline(trace)
+    assert reconcile(timeline, replay.machine_result) == []
+
+
+@pytest.mark.parametrize("name", ["pbzip2", "mysql", "fluidanimate", "dedup"])
+def test_transformed_replay_timeline_reconciles(name):
+    # transformed replays run in DLS or lockset (gated) mode; stall
+    # intervals must land in the same accounting bucket the machine used
+    trace = api.record(name, threads=2, seed=0)
+    report = PerfPlay(jitter=0.0).analyze(trace, timeline=True)
+    original, free = report.timelines()
+    assert reconcile(original, report.original_replay.machine_result) == []
+    assert reconcile(free, report.free_replay.machine_result) == []

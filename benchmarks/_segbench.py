@@ -1,0 +1,128 @@
+"""Standalone streaming-scale benchmark: generate + analyze N events.
+
+Run as a subprocess (its own address space) so ``ru_maxrss`` is an
+honest high-water mark for the streaming pipeline alone::
+
+    PYTHONPATH=src python benchmarks/_segbench.py [EVENTS] [DIR]
+
+Builds a synthetic segmented trace of EVENTS events *without ever
+holding the trace in memory* (the schedule is computed analytically, the
+events are generated straight into :class:`SegmentedTraceWriter`), then
+runs the full streaming ULCP analysis over the file.  Prints one JSON
+object with throughput and the process's peak RSS; the companion
+``test_segments.py`` asserts the memory bound and records the numbers in
+``BENCH_segments.json``.
+
+The workload shape: two threads of mostly COMPUTE events, one short
+critical section per ~100 events per thread, alternating between a
+disjoint-write lock (each thread touches its own field — the classic
+ULCP) and a read-only lock.  Every pair settles via Algorithm 1 alone,
+so the benchmark measures the scan, not the replay machinery.
+"""
+
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+from repro.trace.events import TraceEvent
+from repro.trace.segments import SegmentedTraceWriter
+from repro.trace.trace import TraceMeta
+
+THREADS = ("t0", "t1")
+SECTION_PERIOD = 100  # one critical section per this many events per thread
+SEGMENT_EVENTS = 65536
+
+
+def _complete(s: int, total_events: int) -> bool:
+    """Does section ``s`` (events s*PERIOD .. s*PERIOD+2) fit entirely?"""
+    return s * SECTION_PERIOD + 2 < total_events
+
+
+def generate(path: Path, total_events: int) -> dict:
+    """Stream ``total_events`` synthetic events into a segmented file."""
+    # the acquisition order is fully determined by the generation loop,
+    # so the lock schedule is computed analytically up front: section s
+    # uses lock s%2, runs on thread (s//2)%2 (consecutive sections of a
+    # lock come from different threads), and acquires at event s*PERIOD
+    schedule = {"L_write": [], "L_read": []}
+    s = 0
+    while _complete(s, total_events):
+        lock = "L_write" if s % 2 == 0 else "L_read"
+        schedule[lock].append(f"e{s * SECTION_PERIOD}")
+        s += 1
+
+    writer = SegmentedTraceWriter(
+        path,
+        meta=TraceMeta(name="segbench", lock_cost=0, mem_cost=0),
+        threads=list(THREADS),
+        lock_schedule=schedule,
+        segment_events=SEGMENT_EVENTS,
+    )
+    t = 0
+    n = 0
+    while n < total_events:
+        s = n // SECTION_PERIOD  # current section index
+        thread_idx = (s // 2) % 2
+        tid = THREADS[thread_idx]
+        phase = n % SECTION_PERIOD
+        uid = f"e{n}"
+        if phase > 2 or not _complete(s, total_events):
+            event = TraceEvent(uid, tid, "compute", t=t, duration=10)
+        elif phase == 0:
+            event = TraceEvent(uid, tid, "acquire",
+                               t=t, lock="L_write" if s % 2 == 0 else "L_read",
+                               t_request=t)
+        elif phase == 1:
+            if s % 2 == 0:
+                # disjoint-write ULCP: each thread its own field
+                event = TraceEvent(uid, tid, "write", t=t,
+                                   addr=f"obj.f{thread_idx}", value=s)
+            else:
+                event = TraceEvent(uid, tid, "read", t=t,
+                                   addr="obj.shared", value=0)
+        else:
+            event = TraceEvent(uid, tid, "release", t=t,
+                               lock="L_write" if s % 2 == 0 else "L_read")
+        writer.add(event)
+        t += 10
+        n += 1
+    index = writer.close()
+    return {"segments": len(index.segments), "events": index.events}
+
+
+def main() -> int:
+    total_events = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000_000
+    out_dir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path(".")
+    path = out_dir / "segbench.seg.jsonl.gz"
+
+    t0 = time.perf_counter()
+    written = generate(path, total_events)
+    t1 = time.perf_counter()
+
+    from repro.analysis.streaming import analyze_segments
+
+    analysis = analyze_segments(path)
+    t2 = time.perf_counter()
+
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    analyze_seconds = t2 - t1
+    print(json.dumps({
+        "events": written["events"],
+        "segments": written["segments"],
+        "segment_events": SEGMENT_EVENTS,
+        "file_bytes": path.stat().st_size,
+        "sections": len(analysis.sections),
+        "pairs": len(analysis.pairs),
+        "ulcps": len(analysis.ulcps),
+        "generate_seconds": round(t1 - t0, 3),
+        "analyze_seconds": round(analyze_seconds, 3),
+        "analyze_events_per_sec": round(written["events"] / analyze_seconds),
+        "peak_rss_mb": round(rss_kb / 1024, 1),
+    }, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,21 @@ class WriteTimeline:
         self._writes: Optional[Dict[str, List[Tuple]]] = None
         self._sorted: set = set()
 
+    @classmethod
+    def from_writes(cls, writes: Dict[str, List[Tuple]]) -> "WriteTimeline":
+        """A timeline over pre-collected per-address write histories.
+
+        The streaming analysis path gathers ``(t, order_key, value)``
+        entries for the addresses it needs during its segment walk and
+        hands them over here — no trace object exists to collect from.
+        Entries may arrive unsorted; sorting stays per-address lazy.
+        """
+        timeline = cls.__new__(cls)
+        timeline._trace = None
+        timeline._writes = writes
+        timeline._sorted = set()
+        return timeline
+
     def _collect(self) -> Dict[str, List[Tuple]]:
         if self._writes is not None:
             return self._writes

@@ -31,7 +31,7 @@ holds both paths to it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import telemetry
 from repro.analysis.sections import CriticalSection
@@ -58,6 +58,10 @@ class TraceScan:
     shared_mask: int = 0
     #: total events walked
     events: int = 0
+    #: streaming path only: CS uid -> (tid, start, end) — the body as a
+    #: thread-global event-index span, since the sections of a segment
+    #: stream carry no whole-thread view to slice lazily
+    body_spans: Dict[str, Tuple[str, int, int]] = field(default_factory=dict)
 
     def shared_addresses(self) -> Set[str]:
         """The shared addresses as strings (decoded on demand)."""
@@ -157,8 +161,17 @@ def _scan_trace(core: ColumnarTrace) -> TraceScan:
         if open_by_lock:
             raise TraceError(f"{tid}: unclosed critical sections")
 
+    _finalize_scan(scan)
+    return scan
+
+
+def _finalize_scan(scan: TraceScan) -> None:
+    """Post-walk bookkeeping shared by the whole-core and segment paths:
+    shared mask, lazy shared-set annotation, global sort, lock indexes."""
+    tables = scan.tables
+    sections = scan.sections
     shared_mask = 0
-    for aid in shared_ids:
+    for aid in scan.shared_ids:
         shared_mask |= 1 << aid
     scan.shared_mask = shared_mask
 
@@ -177,4 +190,138 @@ def _scan_trace(core: ColumnarTrace) -> TraceScan:
     for cs in sections:
         cs.lock_index = by_lock.get(cs.lock, 0)
         by_lock[cs.lock] = cs.lock_index + 1
+
+
+class _ThreadScanState:
+    """One thread's in-flight scan state, persisted across segments."""
+
+    __slots__ = ("open_by_lock", "stack", "read_masks", "write_masks",
+                 "last_uid", "pending_post")
+
+    def __init__(self):
+        self.open_by_lock: Dict[int, CriticalSection] = {}
+        self.stack: List[CriticalSection] = []
+        self.read_masks: List[int] = []
+        self.write_masks: List[int] = []
+        #: uid of the thread's previous event (the next acquire's pre anchor)
+        self.last_uid: Optional[str] = None
+        #: sections released at a chunk's last event, waiting for the
+        #: thread's next event (possibly segments away) as post anchor
+        self.pending_post: List[CriticalSection] = []
+
+
+def scan_segments(reader) -> TraceScan:
+    """The engine walk of :func:`scan_trace`, over a segment stream.
+
+    ``reader`` is a fresh :class:`repro.trace.segments.SegmentedReader`;
+    its segments are consumed strictly, one at a time, so peak memory is
+    one segment's chunks plus the (output-sized) section list.  Produces
+    sections observably identical to :func:`scan_trace` on the same
+    trace — same uids, anchors, lock indexes and decoded access sets —
+    except for bodies: streamed sections carry a ``body_spans`` entry on
+    the returned scan instead of a sliceable whole-thread view.
+
+    Per-thread walk state (open sections, mask accumulators, anchor
+    bookkeeping) persists across segment boundaries, so a critical
+    section may open in one segment and close many segments later.
+    """
+    with telemetry.span("analyze.scan_segments"):
+        tables = reader.tables
+        lock_name = tables.locks.name
+        scan = TraceScan(tables=tables)
+        sections = scan.sections
+        body_spans = scan.body_spans
+        first_toucher: Dict[int, int] = {}
+        shared_ids = scan.shared_ids
+        states: Dict[str, _ThreadScanState] = {
+            tid: _ThreadScanState() for tid in reader.threads
+        }
+
+        for segment in reader.segments():
+            for chunk in segment.chunks:
+                tid = chunk.tid
+                st = states[tid]
+                column = chunk.column
+                kinds = column.kind
+                lock_ids = column.lock_id
+                addr_ids = column.addr_id
+                uids = column.uids
+                tid_id = column.tid_id
+                base = chunk.start
+                n = len(kinds)
+                open_by_lock = st.open_by_lock
+                stack = st.stack
+                read_masks = st.read_masks
+                write_masks = st.write_masks
+                scan.events += n
+
+                for i in range(n):
+                    kind = kinds[i]
+                    if st.pending_post:
+                        for cs in st.pending_post:
+                            cs.post_anchor = uids[i]
+                        st.pending_post.clear()
+                    if kind == READ_CODE or kind == WRITE_CODE:
+                        aid = addr_ids[i]
+                        if first_toucher.setdefault(aid, tid_id) != tid_id:
+                            shared_ids.add(aid)
+                        if stack:
+                            bit = 1 << aid
+                            masks = (
+                                read_masks if kind == READ_CODE else write_masks
+                            )
+                            for depth in range(len(masks)):
+                                masks[depth] |= bit
+                    elif kind == ACQUIRE_CODE:
+                        lid = lock_ids[i]
+                        if lid in open_by_lock:
+                            raise TraceError(
+                                f"{tid}: nested acquire of same lock "
+                                f"{lock_name(lid)}"
+                            )
+                        event = column.event(i)
+                        cs = CriticalSection(
+                            uid=uids[i],
+                            tid=tid,
+                            lock=lock_name(lid),
+                            acquire=event,
+                            release=event,  # patched at RELEASE
+                            pre_anchor=st.last_uid,
+                        )
+                        # no whole-thread view exists to slice a body
+                        # from: accidental .body access should fail loud,
+                        # and pass-2 consumers use body_spans instead
+                        cs._body = None
+                        cs._body_source = None
+                        body_spans[cs.uid] = (tid, base + i + 1, base + i + 1)
+                        open_by_lock[lid] = cs
+                        stack.append(cs)
+                        read_masks.append(0)
+                        write_masks.append(0)
+                        sections.append(cs)
+                    elif kind == RELEASE_CODE:
+                        lid = lock_ids[i]
+                        cs = open_by_lock.pop(lid, None)
+                        if cs is None:
+                            raise TraceError(
+                                f"{tid}: release of unheld {lock_name(lid)}"
+                            )
+                        depth = stack.index(cs)
+                        stack.pop(depth)
+                        cs.read_mask = read_masks.pop(depth)
+                        cs.write_mask = write_masks.pop(depth)
+                        cs.release = column.event(i)
+                        span = body_spans[cs.uid]
+                        body_spans[cs.uid] = (tid, span[1], base + i)
+                        st.pending_post.append(cs)
+                    st.last_uid = uids[i]
+
+        for tid in reader.threads:
+            if states[tid].open_by_lock:
+                raise TraceError(f"{tid}: unclosed critical sections")
+
+        _finalize_scan(scan)
+    telemetry.count("analyze.scans")
+    telemetry.count("analyze.events_scanned", scan.events)
+    telemetry.count("analyze.sections", len(scan.sections))
     return scan

@@ -19,7 +19,7 @@ held to identical output by ``tests/analysis/test_engine_equivalence.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import telemetry
 from repro.analysis.benign import WriteTimeline, is_benign
@@ -42,6 +42,9 @@ class PairAnalysis:
     timeline: Optional[WriteTimeline] = None
     #: benign verdicts keyed ``(c1.uid, c2.uid)``, for reuse by topology
     benign_cache: Dict[Tuple[str, str], bool] = field(default_factory=dict)
+    #: total events in the analyzed trace (both paths fill it; the
+    #: streaming path has no Trace object for consumers to ``len()``)
+    events: int = 0
 
     @property
     def ulcps(self) -> List[UlcpPair]:
@@ -58,6 +61,20 @@ class PairAnalysis:
         return grouped
 
 
+def iter_candidate_pairs(
+    sections: List[CriticalSection],
+) -> Iterator[Tuple[CriticalSection, CriticalSection]]:
+    """§2.1 pair enumeration: per lock, consecutive sections from
+    different threads, in acquisition order.  Shared by the whole-trace
+    and streaming analysis paths so the pair set (and its order) is one
+    definition."""
+    for lock_sections in sections_by_lock(sections).values():
+        for first, second in zip(lock_sections, lock_sections[1:]):
+            if first.tid == second.tid:
+                continue  # program order already serializes these
+            yield first, second
+
+
 def analyze_pairs(trace: Trace, *, benign_detection: bool = True) -> PairAnalysis:
     """Scan, enumerate and classify all same-lock pairs in one pass.
 
@@ -71,25 +88,24 @@ def analyze_pairs(trace: Trace, *, benign_detection: bool = True) -> PairAnalysi
         sections = scan.sections
         timeline = WriteTimeline(trace) if benign_detection else None
 
-        analysis = PairAnalysis(sections=sections, timeline=timeline)
+        analysis = PairAnalysis(
+            sections=sections, timeline=timeline, events=len(trace)
+        )
         benign_cache = analysis.benign_cache
         benign_tests = 0
-        for lock_sections in sections_by_lock(sections).values():
-            for first, second in zip(lock_sections, lock_sections[1:]):
-                if first.tid == second.tid:
-                    continue  # program order already serializes these
-                kind = classify_pair(first, second)
-                if kind == FALSE:
-                    if benign_detection:
-                        benign = is_benign(first, second, timeline)
-                        benign_cache[(first.uid, second.uid)] = benign
-                        benign_tests += 1
-                        kind = BENIGN if benign else TLCP
-                    else:
-                        kind = TLCP
-                pair = UlcpPair(c1=first, c2=second, kind=kind)
-                analysis.pairs.append(pair)
-                analysis.breakdown.add(kind)
+        for first, second in iter_candidate_pairs(sections):
+            kind = classify_pair(first, second)
+            if kind == FALSE:
+                if benign_detection:
+                    benign = is_benign(first, second, timeline)
+                    benign_cache[(first.uid, second.uid)] = benign
+                    benign_tests += 1
+                    kind = BENIGN if benign else TLCP
+                else:
+                    kind = TLCP
+            pair = UlcpPair(c1=first, c2=second, kind=kind)
+            analysis.pairs.append(pair)
+            analysis.breakdown.add(kind)
     telemetry.count("analyze.pairs", len(analysis.pairs))
     if benign_tests:
         telemetry.count("analyze.benign_tests", benign_tests)

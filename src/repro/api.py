@@ -167,14 +167,41 @@ def analyze(
     trace: TraceLike,
     *,
     benign_detection: bool = True,
+    stream: Union[bool, str] = "auto",
     telemetry: Optional[Telemetry] = None,
 ) -> PairAnalysis:
     """Identify and classify every same-lock pair in ``trace``.
 
     Returns the :class:`PairAnalysis` (sections, pairs, per-category
     breakdown, cached benign verdicts) that :func:`transform` can reuse.
+
+    ``stream`` selects the analysis path.  The default ``"auto"``
+    streams segment by segment — in memory bounded by one segment, not
+    the trace — when ``trace`` is a path to a segmented file (see
+    :mod:`repro.trace.segments`), and loads the whole trace otherwise.
+    ``stream=True`` requires a segmented file path (raises
+    :class:`~repro.errors.TraceError` for traces and monolithic files);
+    ``stream=False`` always loads fully.  Both paths produce identical
+    results.
     """
+    from repro.trace import segments as _segments
+
     with _call("analyze", telemetry):
+        if stream is not False and not isinstance(trace, Trace):
+            if _segments.is_segmented_file(trace):
+                from repro.analysis.streaming import analyze_segments
+
+                return analyze_segments(
+                    trace, benign_detection=benign_detection
+                )
+        if stream is True:
+            from repro.errors import TraceError
+
+            raise TraceError(
+                "analyze(stream=True) needs a path to a segmented trace "
+                "file (write one with repro.trace.segments.write_segmented "
+                "or `repro convert`)"
+            )
         return analyze_pairs(
             _coerce_trace(trace), benign_detection=benign_detection
         )

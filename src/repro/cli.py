@@ -7,7 +7,13 @@ Commands
     Show registered workloads (by category) and experiment names.
 ``record WORKLOAD -o TRACE``
     Record a workload execution into a JSONL trace file (a ``.gz``
-    suffix writes the compressed ``.jsonl.gz`` format).
+    suffix writes the compressed ``.jsonl.gz`` format;
+    ``--segment-events N`` writes the segmented streaming format).
+``convert IN OUT [--segment-events N] [--monolithic]``
+    Convert a trace file to the segmented streaming format (or back,
+    with ``--monolithic``).  Both formats hold identical traces; the
+    segmented one lets ``stats``/``analyze``/``timeline`` run in memory
+    bounded by one segment.
 ``replay TRACE [--scheme S] [--runs N] [--jobs N]``
     Replay a trace under one of the four schemes; prints timing stats.
     ``--jobs N`` runs the repeated seeded replays in parallel.
@@ -55,7 +61,11 @@ Commands
 
 Every command that reads a TRACE file accepts ``--salvage`` to recover
 the longest well-formed prefix of a damaged file instead of failing
-(``--strict``, the default, rejects any damage).
+(``--strict``, the default, rejects any damage).  ``stats``, ``analyze``
+and ``timeline`` (chrome/json formats) additionally accept
+``--stream``/``--no-stream``: segmented files stream segment by segment
+in bounded memory (the default for them), with output identical to a
+full load.
 
 Every pipeline command (record/analyze/transform/replay/debug/profile/
 experiment/...) accepts ``--telemetry [PATH]`` to collect spans and
@@ -125,6 +135,46 @@ def _add_trace_options(parser):
     parser.set_defaults(salvage=False)
 
 
+def _add_stream_option(parser):
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--stream", action="store_true", dest="stream",
+                      default=None,
+                      help="stream the trace segment by segment in bounded "
+                           "memory (requires a segmented file; see "
+                           "'repro convert')")
+    mode.add_argument("--no-stream", action="store_false", dest="stream",
+                      help="always load the whole trace (default: stream "
+                           "automatically for segmented files)")
+
+
+def _want_stream(path, args) -> bool:
+    """Resolve ``--stream/--no-stream`` (default: auto) for a trace path.
+
+    Auto streams exactly when the file is segmented and ``--salvage`` was
+    not requested (salvage hands the damaged file to the tolerant loader,
+    which needs the full-load path).  An explicit ``--stream`` on a
+    non-segmented file fails loudly rather than silently loading it all.
+    """
+    from repro.errors import TraceError
+    from repro.trace import segments
+
+    stream = getattr(args, "stream", None)
+    if stream is False:
+        return False
+    segmented = segments.is_segmented_file(path)
+    if stream is True:
+        if getattr(args, "salvage", False):
+            raise TraceError("--stream and --salvage are incompatible "
+                             "(salvage needs the full-load path)")
+        if not segmented:
+            raise TraceError(
+                f"--stream requires a segmented trace file, but {path} is "
+                "monolithic; convert it first: repro convert IN OUT"
+            )
+        return True
+    return segmented and not getattr(args, "salvage", False)
+
+
 def _load_trace(path, args):
     """Load a trace honouring the command's ``--salvage``/``--strict``."""
     import warnings
@@ -172,10 +222,34 @@ def cmd_list(args) -> int:
 
 def cmd_record(args) -> int:
     recorded = api.record(_workload_from(args), seed=args.seed, full=True)
-    serialize.dump(recorded.trace, args.output)
+    if args.segment_events is not None:
+        from repro.trace.segments import write_segmented
+
+        write_segmented(
+            recorded.trace, args.output, segment_events=args.segment_events
+        )
+    else:
+        serialize.dump(recorded.trace, args.output)
     print(
         f"recorded {args.workload}: {len(recorded.trace)} events, "
         f"{recorded.recorded_time} ns -> {args.output}"
+    )
+    return 0
+
+
+def cmd_convert(args) -> int:
+    from repro.trace.segments import DEFAULT_SEGMENT_EVENTS, write_segmented
+
+    trace = _load_trace(args.input, args)
+    if args.monolithic:
+        serialize.dump(trace, args.output)
+        print(f"converted {args.input} -> {args.output} (monolithic)")
+        return 0
+    segment_events = args.segment_events or DEFAULT_SEGMENT_EVENTS
+    index = write_segmented(trace, args.output, segment_events=segment_events)
+    print(
+        f"converted {args.input} -> {args.output} "
+        f"({len(index.segments)} segments x {segment_events} events)"
     )
     return 0
 
@@ -203,12 +277,19 @@ def cmd_replay(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    trace = _load_trace(args.trace, args)
-    analysis = api.analyze(trace, benign_detection=not args.no_benign)
+    if _want_stream(args.trace, args):
+        analysis = api.analyze(
+            args.trace, benign_detection=not args.no_benign, stream=True
+        )
+    else:
+        trace = _load_trace(args.trace, args)
+        analysis = api.analyze(
+            trace, benign_detection=not args.no_benign, stream=False
+        )
     breakdown = analysis.breakdown
     if args.format == "json":
         print(json.dumps({
-            "events": len(trace),
+            "events": analysis.events,
             "sections": len(analysis.sections),
             "pairs": len(analysis.pairs),
             "ulcps": len(analysis.ulcps),
@@ -221,7 +302,7 @@ def cmd_analyze(args) -> int:
             },
         }, indent=2, sort_keys=True))
         return 0
-    print(f"events            : {len(trace)}")
+    print(f"events            : {analysis.events}")
     print(f"critical sections : {len(analysis.sections)}")
     print(f"candidate pairs   : {len(analysis.pairs)}")
     print(
@@ -301,6 +382,10 @@ def cmd_profile(args) -> int:
 
 
 def cmd_timeline(args) -> int:
+    # the ascii renderer needs whole-thread views, so only the chrome/json
+    # formats have a streaming path
+    if args.format != "ascii" and _want_stream(args.trace, args):
+        return _cmd_timeline_stream(args)
     trace = _load_trace(args.trace, args)
     if args.format == "ascii":
         from repro.trace.render import render_timeline
@@ -313,6 +398,24 @@ def cmd_timeline(args) -> int:
 
     analysis = analyze_pairs(trace, benign_detection=not args.no_benign)
     timeline = build_timeline(trace, analysis=analysis)
+    return _emit_timeline(timeline, args)
+
+
+def _cmd_timeline_stream(args) -> int:
+    from repro.timeline import build_timeline_segments
+    from repro.trace.segments import open_segmented
+
+    analysis = api.analyze(
+        args.trace, benign_detection=not args.no_benign, stream=True
+    )
+    with open_segmented(args.trace) as reader:
+        timeline = build_timeline_segments(reader, analysis=analysis)
+    return _emit_timeline(timeline, args)
+
+
+def _emit_timeline(timeline, args) -> int:
+    from repro.timeline import to_chrome_json, to_columnar_json
+
     text = (
         to_chrome_json(timeline)
         if args.format == "chrome"
@@ -352,10 +455,16 @@ def cmd_report(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    from repro.trace.stats import trace_stats
+    from repro.trace.stats import stats_segments, trace_stats
 
-    trace = _load_trace(args.trace, args)
-    stats = trace_stats(trace)
+    if _want_stream(args.trace, args):
+        from repro.trace.segments import open_segmented
+
+        with open_segmented(args.trace) as reader:
+            stats = stats_segments(reader)
+    else:
+        trace = _load_trace(args.trace, args)
+        stats = trace_stats(trace)
     if args.format == "json":
         print(json.dumps({
             "events": stats.total_events,
@@ -581,7 +690,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     _add_workload_options(p)
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--segment-events", type=int, default=None, metavar="N",
+                   help="write the segmented streaming format, N events "
+                        "per segment (default: monolithic)")
     _add_telemetry_options(p)
+
+    p = sub.add_parser(
+        "convert",
+        help="convert a trace file between monolithic and segmented formats",
+    )
+    p.add_argument("input")
+    p.add_argument("output")
+    _add_trace_options(p)
+    p.add_argument("--segment-events", type=int, default=None, metavar="N",
+                   help="events per segment (default: 65536)")
+    p.add_argument("--monolithic", action="store_true",
+                   help="write the monolithic format instead of segmented")
 
     p = sub.add_parser("replay", help="replay a trace file")
     p.add_argument("trace")
@@ -598,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="identify and classify ULCP pairs in a trace")
     p.add_argument("trace")
     _add_trace_options(p)
+    _add_stream_option(p)
     p.add_argument("--no-benign", action="store_true",
                    help="skip the reversed-replay benign test "
                         "(conflicting pairs count as TLCPs)")
@@ -635,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("trace")
     _add_trace_options(p)
+    _add_stream_option(p)
     p.add_argument("--width", type=int, default=72,
                    help="lane width for --format ascii")
     _add_format_option(p, choices=("ascii", "chrome", "json"), default="ascii")
@@ -660,6 +786,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="structural summary of a trace")
     p.add_argument("trace")
     _add_trace_options(p)
+    _add_stream_option(p)
     _add_format_option(p)
 
     p = sub.add_parser("advise", help="per-category fix strategies with gains")
@@ -751,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
 COMMANDS = {
     "list": cmd_list,
     "record": cmd_record,
+    "convert": cmd_convert,
     "replay": cmd_replay,
     "analyze": cmd_analyze,
     "transform": cmd_transform,

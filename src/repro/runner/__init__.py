@@ -17,6 +17,7 @@ from repro.runner.cache import (
     CacheInfo,
     TraceCache,
     active,
+    analyze_segments_cached,
     configure,
     default_cache_dir,
     memoized,
@@ -24,7 +25,7 @@ from repro.runner.cache import (
     transform_cached,
     use_cache,
 )
-from repro.runner.keys import cache_key, code_version, trace_digest
+from repro.runner.keys import cache_key, code_version, segmented_digest, trace_digest
 from repro.runner.pool import ExecPolicy, TaskFailure, effective_jobs, parallel_map
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "CacheInfo",
     "TraceCache",
     "active",
+    "analyze_segments_cached",
     "configure",
     "default_cache_dir",
     "memoized",
@@ -41,6 +43,7 @@ __all__ = [
     "use_cache",
     "cache_key",
     "code_version",
+    "segmented_digest",
     "trace_digest",
     "effective_jobs",
     "parallel_map",

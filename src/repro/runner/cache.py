@@ -40,7 +40,7 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro import faults, telemetry
-from repro.runner.keys import cache_key, trace_digest
+from repro.runner.keys import cache_key, segmented_digest, trace_digest
 from repro.trace import serialize
 from repro.trace.trace import Trace
 
@@ -107,13 +107,9 @@ class TraceCache:
     def put_trace(self, key: str, trace: Trace) -> Path:
         path = self.trace_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        # tmp name keeps the .gz suffix so dump() picks the gzip writer
-        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
-        try:
-            serialize.dump(trace, tmp)
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        # dump() itself is atomic (tmp + os.replace), so a crashed or
+        # parallel writer never leaves a torn entry
+        serialize.dump(trace, path)
         return path
 
     # -------------------------------------------------------------- blobs
@@ -294,6 +290,26 @@ def record_cached(
     cache.put_trace(key, recorded.trace)
     cache.put_blob(key, recorded.machine_result)
     return recorded
+
+
+def analyze_segments_cached(path, *, benign_detection: bool = True):
+    """Streaming ULCP analysis backed by the blob cache.
+
+    Keyed by the segmented file's per-segment content digests (cheap to
+    compute — the sidecar index when fresh, a digest-only stream
+    otherwise), so re-analyzing an unchanged multi-gigabyte trace is a
+    blob read instead of a two-pass stream.
+    """
+    from repro.analysis.streaming import analyze_segments
+
+    cache = active()
+    if cache is None:
+        return analyze_segments(path, benign_detection=benign_detection)
+    return memoized(
+        "analyze_segments",
+        {"trace": segmented_digest(path), "benign_detection": benign_detection},
+        lambda: analyze_segments(path, benign_detection=benign_detection),
+    )
 
 
 def transform_cached(trace: Trace, **options):

@@ -61,3 +61,21 @@ def trace_digest(trace) -> str:
 
     serialize.write_trace(trace, _HashWriter())
     return digest.hexdigest()[:32]
+
+
+def segmented_digest(path) -> str:
+    """Content hash of a segmented trace file, from its segment digests.
+
+    Folds the per-segment content digests (sidecar index when it is
+    fresh, streamed from the data file otherwise) into one key-sized
+    hash without ever loading the trace.  Any change to any segment —
+    or to the segment size, which changes the segmentation — changes
+    the result.
+    """
+    from repro.trace.segments import segment_digests
+
+    digest = hashlib.sha256()
+    for part in segment_digests(path):
+        digest.update(part.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()[:32]

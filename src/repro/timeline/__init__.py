@@ -10,6 +10,7 @@ model.
 
 from repro.timeline.build import (
     build_timeline,
+    build_timeline_segments,
     classification_map,
     reconcile,
     timelines_of_report,
@@ -52,6 +53,7 @@ __all__ = [
     "Timeline",
     "accounting_of",
     "build_timeline",
+    "build_timeline_segments",
     "classification_map",
     "from_columnar",
     "from_columnar_json",

@@ -160,6 +160,138 @@ def _from_replay(trace, replay, kinds: Dict[str, str], *, merge: bool) -> Timeli
     return timeline
 
 
+class _LaneState:
+    """One thread's in-flight lane build, persistable across segments."""
+
+    __slots__ = ("raw", "open_cs", "last_t")
+
+    def __init__(self):
+        # raw span tuples: (t_start, t_end, code, lock, uid, ulcp,
+        #                   holder, spin, detail)
+        self.raw: List[tuple] = []
+        # open critical sections per lock id (a list tolerates damaged
+        # traces where the same lock appears re-acquired before release)
+        self.open_cs: Dict[int, List[tuple]] = {}
+        self.last_t = 0
+
+
+def _walk_column(
+    tid: str,
+    column,
+    st: _LaneState,
+    timeline: Timeline,
+    kinds_get,
+    lock_cost: int,
+    mem_cost: int,
+) -> None:
+    """Accumulate one columnar block's raw spans into ``st``.
+
+    The block may be a whole thread (monolithic path) or one segment
+    chunk (streaming path; call once per chunk, in order, with the same
+    state).  Lock-wait holders are intentionally left blank here —
+    :func:`_finish_lane` patches them in before the sort, because in a
+    segment stream the holder's own acquire may not have been walked yet.
+    """
+    kind = column.kind
+    t = column.t
+    duration = column.duration
+    t_request = column.t_request
+    lock_id = column.lock_id
+    flags = column.flags
+    uids = column.uids
+    tokens = column.tokens
+    lock_name = column.tables.locks.name
+    n = len(kind)
+    add = st.raw.append
+    open_cs = st.open_cs
+    last_t = st.last_t
+    for i in range(n):
+        code = kind[i]
+        ti = t[i]
+        if ti > last_t:
+            last_t = ti
+        if code == COMPUTE_CODE:
+            if duration[i] > 0:
+                add((ti - duration[i], ti, _C_COMPUTE,
+                     "", "", "", "", False, ""))
+        elif code == ACQUIRE_CODE:
+            uid = uids[i]
+            name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+            if ti > t_request[i]:
+                add((t_request[i], ti, _C_LOCK_WAIT,
+                     name, uid, kinds_get(uid, ""),
+                     "", bool(flags[i] & 1), ""))
+            if lock_cost:
+                add((ti, ti + lock_cost, _C_OVERHEAD,
+                     name, "", "", "", False, ""))
+            open_cs.setdefault(lock_id[i], []).append((ti, uid, name))
+        elif code == RELEASE_CODE:
+            stack = open_cs.get(lock_id[i])
+            if stack:
+                t_open, uid, name = stack.pop()
+                add((t_open, ti, _C_CS,
+                     name, uid, kinds_get(uid, ""), "", False, ""))
+            # unmatched release (salvaged prefix): nothing to close
+            if lock_cost:
+                name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+                add((ti, ti + lock_cost, _C_OVERHEAD,
+                     name, "", "", "", False, ""))
+        elif code in (READ_CODE, WRITE_CODE):
+            if mem_cost:
+                add((ti, ti + mem_cost, _C_OVERHEAD,
+                     "", "", "", "", False, ""))
+        elif code in (WAIT_CODE, SLEEP_CODE):
+            if duration[i] > 0:
+                add((ti - duration[i], ti, _C_BLOCKED,
+                     "", "", "", "", False, column.reasons.get(i, "")))
+        elif code == CS_ENTER_CODE:
+            uid = tokens.get(i, uids[i])
+            name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+            open_cs.setdefault(lock_id[i], []).append((ti, uid, name))
+        elif code == CS_EXIT_CODE:
+            stack = open_cs.get(lock_id[i])
+            if stack:
+                t_open, uid, name = stack.pop()
+                add((t_open, ti, _C_CS,
+                     name, uid, kinds_get(uid, ""),
+                     "", False, "transformed"))
+        elif code == THREAD_START_CODE:
+            timeline.thread_start[tid] = ti
+        elif code == THREAD_END_CODE:
+            timeline.thread_end[tid] = ti
+    st.last_t = last_t
+
+
+def _finish_lane(
+    tid: str,
+    st: _LaneState,
+    timeline: Timeline,
+    kinds_get,
+    holders_get,
+    *,
+    merge: bool,
+) -> None:
+    """Close unfinished sections, patch holders, sort, materialize."""
+    raw = st.raw
+    # salvage tolerance: close sections a truncated trace left open
+    for stack in st.open_cs.values():
+        for t_open, uid, name in stack:
+            raw.append((t_open, max(st.last_t, t_open), _C_CS,
+                        name, uid, kinds_get(uid, ""), "", False, "unclosed"))
+    # holder patch: LOCK_WAIT spans were built holder-blank; resolving
+    # here (before the sort, after every acquire has been seen) produces
+    # the same lanes as inline resolution did, on both build paths
+    for j, span in enumerate(raw):
+        if span[2] == _C_LOCK_WAIT and span[4]:
+            holder = holders_get(span[4], "")
+            if holder:
+                raw[j] = span[:6] + (holder,) + span[7:]
+    raw.sort()
+    timeline.lanes[tid] = lane = _materialize(tid, raw, merge=merge)
+    timeline.thread_start.setdefault(tid, lane[0].t_start if lane else 0)
+    timeline.thread_end.setdefault(tid, st.last_t)
+
+
 def _from_trace(trace, kinds: Dict[str, str], *, merge: bool) -> Timeline:
     # Hot path: O(events) with no Interval construction inside the event
     # walk.  Spans accumulate as plain tuples in sort_lane's key order
@@ -174,87 +306,54 @@ def _from_trace(trace, kinds: Dict[str, str], *, merge: bool) -> Timeline:
     mem_cost = trace.meta.mem_cost
     timeline = Timeline(name=trace.meta.name, source="trace")
     for tid, column in core.columns.items():
-        kind = column.kind
-        t = column.t
-        duration = column.duration
-        t_request = column.t_request
-        lock_id = column.lock_id
-        flags = column.flags
-        uids = column.uids
-        tokens = column.tokens
-        lock_name = column.tables.locks.name
-        n = len(kind)
-        # raw span tuples: (t_start, t_end, code, lock, uid, ulcp,
-        #                   holder, spin, detail)
-        raw: List[tuple] = []
-        add = raw.append
-        # open critical sections per lock id (a list tolerates damaged
-        # traces where the same lock appears re-acquired before release)
-        open_cs: Dict[int, List[tuple]] = {}
-        last_t = 0
-        for i in range(n):
-            code = kind[i]
-            ti = t[i]
-            if ti > last_t:
-                last_t = ti
-            if code == COMPUTE_CODE:
-                if duration[i] > 0:
-                    add((ti - duration[i], ti, _C_COMPUTE,
-                         "", "", "", "", False, ""))
-            elif code == ACQUIRE_CODE:
-                uid = uids[i]
-                name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
-                if ti > t_request[i]:
-                    add((t_request[i], ti, _C_LOCK_WAIT,
-                         name, uid, kinds_get(uid, ""),
-                         holders_get(uid, ""), bool(flags[i] & 1), ""))
-                if lock_cost:
-                    add((ti, ti + lock_cost, _C_OVERHEAD,
-                         name, "", "", "", False, ""))
-                open_cs.setdefault(lock_id[i], []).append((ti, uid, name))
-            elif code == RELEASE_CODE:
-                stack = open_cs.get(lock_id[i])
-                if stack:
-                    t_open, uid, name = stack.pop()
-                    add((t_open, ti, _C_CS,
-                         name, uid, kinds_get(uid, ""), "", False, ""))
-                # unmatched release (salvaged prefix): nothing to close
-                if lock_cost:
-                    name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
-                    add((ti, ti + lock_cost, _C_OVERHEAD,
-                         name, "", "", "", False, ""))
-            elif code in (READ_CODE, WRITE_CODE):
-                if mem_cost:
-                    add((ti, ti + mem_cost, _C_OVERHEAD,
-                         "", "", "", "", False, ""))
-            elif code in (WAIT_CODE, SLEEP_CODE):
-                if duration[i] > 0:
-                    add((ti - duration[i], ti, _C_BLOCKED,
-                         "", "", "", "", False, column.reasons.get(i, "")))
-            elif code == CS_ENTER_CODE:
-                uid = tokens.get(i, uids[i])
-                name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
-                open_cs.setdefault(lock_id[i], []).append((ti, uid, name))
-            elif code == CS_EXIT_CODE:
-                stack = open_cs.get(lock_id[i])
-                if stack:
-                    t_open, uid, name = stack.pop()
-                    add((t_open, ti, _C_CS,
-                         name, uid, kinds_get(uid, ""),
-                         "", False, "transformed"))
-            elif code == THREAD_START_CODE:
-                timeline.thread_start[tid] = ti
-            elif code == THREAD_END_CODE:
-                timeline.thread_end[tid] = ti
-        # salvage tolerance: close sections a truncated trace left open
-        for stack in open_cs.values():
-            for t_open, uid, name in stack:
-                add((t_open, max(last_t, t_open), _C_CS,
-                     name, uid, kinds_get(uid, ""), "", False, "unclosed"))
-        raw.sort()
-        timeline.lanes[tid] = lane = _materialize(tid, raw, merge=merge)
-        timeline.thread_start.setdefault(tid, lane[0].t_start if lane else 0)
-        timeline.thread_end.setdefault(tid, last_t)
+        st = _LaneState()
+        _walk_column(tid, column, st, timeline, kinds_get, lock_cost, mem_cost)
+        _finish_lane(tid, st, timeline, kinds_get, holders_get, merge=merge)
+    return timeline
+
+
+def build_timeline_segments(reader, *, analysis=None, merge: bool = True) -> Timeline:
+    """Build the interval lanes of a segmented trace file, streaming.
+
+    ``reader`` is a fresh :class:`repro.trace.segments.SegmentedReader`.
+    The event walk is the same :func:`_walk_column` the monolithic path
+    runs — applied per chunk with per-thread state persisted across
+    segments — so the resulting timeline is identical to
+    :func:`build_timeline` over the fully-loaded trace.  Peak memory is
+    one segment plus the lanes being built (the output itself).
+
+    ``analysis`` annotates sections/waits with ULCP classifications,
+    exactly as in :func:`build_timeline`; pass the result of
+    :func:`repro.analysis.streaming.analyze_segments` to keep the whole
+    pipeline bounded.
+    """
+    kinds = classification_map(analysis)
+    kinds_get = kinds.get
+    lock_cost = reader.meta.lock_cost
+    mem_cost = reader.meta.mem_cost
+    timeline = Timeline(name=reader.meta.name, source="trace")
+    states = {tid: _LaneState() for tid in reader.threads}
+    acquire_tid: Dict[str, str] = {}
+    for segment in reader.segments():
+        for chunk in segment.chunks:
+            column = chunk.column
+            kind = column.kind
+            uids = column.uids
+            for i in range(len(kind)):
+                if kind[i] == ACQUIRE_CODE:
+                    acquire_tid[uids[i]] = chunk.tid
+            _walk_column(chunk.tid, column, states[chunk.tid], timeline,
+                         kinds_get, lock_cost, mem_cost)
+    # schedule-predecessor holder map, exactly as _holder_maps derives it
+    holders: Dict[str, str] = {}
+    for uids in reader.lock_schedule.values():
+        for j in range(1, len(uids)):
+            previous = acquire_tid.get(uids[j - 1], "")
+            if previous:
+                holders[uids[j]] = previous
+    for tid in reader.threads:
+        _finish_lane(tid, states[tid], timeline, kinds_get, holders.get,
+                     merge=merge)
     return timeline
 
 

@@ -26,6 +26,14 @@ from repro.trace.interning import (
     LazyEvents,
     SymbolTable,
 )
+from repro.trace.segments import (
+    SegmentedReader,
+    SegmentedTraceWriter,
+    is_segmented_file,
+    load_segmented,
+    open_segmented,
+    write_segmented,
+)
 from repro.trace.selective import SideTable, StateDelta, diff_snapshots
 from repro.trace.serialize import (
     LoadedTrace,
@@ -70,6 +78,12 @@ __all__ = [
     "salvage_read",
     "LoadedTrace",
     "SalvageReport",
+    "SegmentedReader",
+    "SegmentedTraceWriter",
+    "is_segmented_file",
+    "load_segmented",
+    "open_segmented",
+    "write_segmented",
     "validate",
     "problems",
     "THREAD_START",

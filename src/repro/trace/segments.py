@@ -1,0 +1,869 @@
+"""Segmented streaming trace format: bounded-memory record-once/analyze-many.
+
+The monolithic ``.jsonl.gz`` format of :mod:`repro.trace.serialize` keeps
+one event per line and must be materialized as a full :class:`Trace` to
+be analyzed — fine up to RAM, a wall past it.  This module adds the
+**segmented** format (version 1): the same recording split into
+fixed-size immutable segments that the analysis engine, the stats
+summary and the timeline builder can consume one segment at a time,
+never holding more than ``segment_events`` events in memory.
+
+On-disk layout — still one file, still JSONL, still ``zcat``-able::
+
+    header block     {"repro_segments": 1, "segment_events": N}
+                     {"meta": ...}
+                     {"lock_schedule": ...}
+                     {"threads": [...]}
+                     {"side": ...}                      (optional)
+    segment block*   {"segment": k, "events": n, "symbols": {deltas}}
+                     {"chunk": tid, "n": n, "uid": [...], "kind": [...],
+                      "t": [...], ...}                  (one per thread)
+                     {"segment_end": k, "digest": "sha256..."}
+    footer block     {"footer": {"segments": K, "events": N,
+                                 "digest": "sha256..."}}
+
+Events are split into segments in **global time order** (exactly the
+order :func:`repro.trace.serialize.write_trace` emits), then grouped
+per thread inside each segment as columnar chunks — parallel arrays of
+interned ids, decoded straight into
+:class:`repro.trace.interning.ColumnarThread` objects on read.  Symbol
+tables are written as per-segment *deltas* (the strings first interned
+in that segment), so the reader's :class:`InternTables` grow
+monotonically and chunk ids stay valid across the whole file.
+
+For a ``.gz`` path every block is its own gzip member; concatenated
+members are a single valid gzip stream (``zcat`` and ``gzip.open`` read
+straight through), while the sidecar index (``<path>.idx``) records each
+member's byte offset so segment ``k`` is random-accessible with one
+``seek`` + one member decompression.  The index also carries each
+segment's content digest — the basis for content-addressed cache keys
+(:func:`repro.runner.keys.segmented_digest`) that never decompress the
+file.  The index is advisory: the data file alone is fully
+self-describing.
+
+Durability: both the data file and the index are written to a temp file
+and atomically renamed into place, and every segment is digest-protected
+— a torn write, a truncated tail or a flipped bit is detected at the
+segment granularity.  Salvage mode (:func:`salvage_segmented`) degrades
+to the longest well-formed **segment prefix**, then applies the same
+replayability trim as monolithic salvage.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import TraceError
+from repro.trace.codesite import CodeSite
+from repro.trace.events import TraceEvent
+from repro.trace.interning import (
+    FLAG_SHARED,
+    FLAG_SPIN,
+    KINDS,
+    ColumnarThread,
+    InternTables,
+)
+from repro.trace.selective import SideTable
+from repro.trace.trace import Trace, TraceMeta
+
+#: first-line marker + schema version of the segmented container
+FORMAT_KEY = "repro_segments"
+FORMAT_VERSION = 1
+#: default events per segment — the memory granule of streaming analysis
+DEFAULT_SEGMENT_EVENTS = 65536
+#: sidecar index filename suffix (appended to the trace path)
+INDEX_SUFFIX = ".idx"
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _is_gz_path(path: Path) -> bool:
+    return path.suffix == ".gz"
+
+
+def is_segmented_file(path: Union[str, Path]) -> bool:
+    """Sniff whether ``path`` holds the segmented format (by first line)."""
+    path = Path(path)
+    try:
+        with _open_text(path) as handle:
+            first = handle.readline()
+        data = json.loads(first)
+    except (OSError, EOFError, zlib.error, UnicodeDecodeError,
+            json.JSONDecodeError, ValueError):
+        return False
+    return isinstance(data, dict) and FORMAT_KEY in data
+
+
+def _open_text(path: Path):
+    """Text handle over the container, chosen by content (gzip magic)."""
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == _GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+# ------------------------------------------------------------------ writer
+
+
+class _ChunkBuilder:
+    """Per-thread columnar accumulation for the segment being built."""
+
+    __slots__ = ("tid", "uid", "kind", "t", "duration", "t_request", "value",
+                 "lock", "addr", "flags", "site", "op", "token", "reason",
+                 "woken")
+
+    def __init__(self, tid: str):
+        self.tid = tid
+        self.uid: List[str] = []
+        self.kind: List[int] = []
+        self.t: List[int] = []
+        self.duration: List[int] = []
+        self.t_request: List[int] = []
+        self.value: List[int] = []
+        self.lock: List[int] = []
+        self.addr: List[int] = []
+        self.flags: List[int] = []
+        self.site: List[Optional[list]] = []
+        self.op: Dict[int, list] = {}
+        self.token: Dict[int, str] = {}
+        self.reason: Dict[int, str] = {}
+        self.woken: Dict[int, List[str]] = {}
+
+    def push(self, event: TraceEvent, tables: InternTables) -> None:
+        i = len(self.uid)
+        self.uid.append(event.uid)
+        self.kind.append(tables.kinds.intern(event.kind))
+        self.t.append(event.t)
+        self.duration.append(event.duration)
+        self.t_request.append(event.t_request)
+        self.value.append(event.value)
+        self.lock.append(tables.locks.intern(event.lock) if event.lock else -1)
+        self.addr.append(tables.addrs.intern(event.addr) if event.addr else -1)
+        self.flags.append(
+            (FLAG_SPIN if event.spin else 0)
+            | (FLAG_SHARED if event.shared else 0)
+        )
+        self.site.append(event.site.encode() if event.site is not None else None)
+        if event.op is not None:
+            self.op[i] = list(event.op)
+        if event.token is not None:
+            self.token[i] = event.token
+        if event.reason:
+            self.reason[i] = event.reason
+        if event.woken:
+            self.woken[i] = list(event.woken)
+
+    def encode(self) -> dict:
+        """Compact chunk object: all-default columns are omitted."""
+        data = {"chunk": self.tid, "n": len(self.uid), "uid": self.uid,
+                "kind": self.kind, "t": self.t}
+        if any(self.duration):
+            data["duration"] = self.duration
+        if any(self.t_request):
+            data["t_request"] = self.t_request
+        if any(self.value):
+            data["value"] = self.value
+        if any(x >= 0 for x in self.lock):
+            data["lock"] = self.lock
+        if any(x >= 0 for x in self.addr):
+            data["addr"] = self.addr
+        if any(self.flags):
+            data["flags"] = self.flags
+        if any(s is not None for s in self.site):
+            data["site"] = self.site
+        for name in ("op", "token", "reason", "woken"):
+            sparse = getattr(self, name)
+            if sparse:
+                data[name] = {str(k): v for k, v in sparse.items()}
+        return data
+
+
+@dataclass
+class SegmentInfo:
+    """One segment's entry in the sidecar index."""
+
+    offset: int
+    events: int
+    digest: str
+
+
+@dataclass
+class SegmentedIndex:
+    """The sidecar index: per-segment offsets + digests, written atomically."""
+
+    segment_events: int
+    events: int
+    file_size: int
+    digest: str  #: sha256 over the concatenated segment digests
+    segments: List[SegmentInfo] = field(default_factory=list)
+
+    def encode(self) -> dict:
+        return {
+            "format": "repro-segments-index",
+            "version": FORMAT_VERSION,
+            "segment_events": self.segment_events,
+            "events": self.events,
+            "file_size": self.file_size,
+            "digest": self.digest,
+            "segments": [
+                {"offset": s.offset, "events": s.events, "digest": s.digest}
+                for s in self.segments
+            ],
+        }
+
+    @staticmethod
+    def decode(data: dict) -> "SegmentedIndex":
+        index = SegmentedIndex(
+            segment_events=data["segment_events"],
+            events=data["events"],
+            file_size=data["file_size"],
+            digest=data["digest"],
+        )
+        for entry in data["segments"]:
+            index.segments.append(SegmentInfo(
+                offset=entry["offset"], events=entry["events"],
+                digest=entry["digest"],
+            ))
+        return index
+
+
+def index_path(path: Union[str, Path]) -> Path:
+    return Path(str(path) + INDEX_SUFFIX)
+
+
+def load_index(path: Union[str, Path]) -> Optional[SegmentedIndex]:
+    """The sidecar index of ``path``, or ``None`` when absent/unreadable."""
+    target = index_path(path)
+    try:
+        data = json.loads(target.read_text(encoding="utf-8"))
+        if data.get("format") != "repro-segments-index":
+            return None
+        return SegmentedIndex.decode(data)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+class SegmentedTraceWriter:
+    """Streaming writer: feed events in global time order, bounded memory.
+
+    The destination is written as ``<dir>/.tmp-<pid>-<name>`` and
+    atomically renamed on :meth:`close` (then the sidecar index, also
+    atomically) — a crash mid-write leaves the old file intact, never a
+    torn one.  Events must arrive in the global time order of
+    :meth:`Trace.iter_time_order`; the writer cuts a segment every
+    ``segment_events`` events.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        meta: TraceMeta,
+        threads,
+        lock_schedule: Dict[str, List[str]],
+        side: Optional[SideTable] = None,
+        segment_events: int = DEFAULT_SEGMENT_EVENTS,
+    ):
+        if segment_events < 1:
+            raise ValueError(f"segment_events must be >= 1: {segment_events}")
+        self.path = Path(path)
+        self.segment_events = segment_events
+        self.threads = list(threads)
+        self.tables = InternTables()
+        for tid in self.threads:
+            self.tables.tids.intern(tid)
+        self._symbol_marks = (0, 0, len(KINDS))  # (locks, addrs, kinds) flushed
+        self._chunks: Dict[str, _ChunkBuilder] = {}
+        self._pending = 0
+        self._segments: List[SegmentInfo] = []
+        self._events_total = 0
+        self._closed = False
+        self._gz = _is_gz_path(self.path)
+        self._tmp = self.path.with_name(f".tmp-{os.getpid()}-{self.path.name}")
+        self._raw = open(self._tmp, "wb")
+        header = [json.dumps({FORMAT_KEY: FORMAT_VERSION,
+                              "segment_events": segment_events}),
+                  json.dumps({"meta": meta.encode()}),
+                  json.dumps({"lock_schedule": lock_schedule}),
+                  json.dumps({"threads": self.threads})]
+        if side is not None and side.deltas:
+            header.append(json.dumps({"side": side.encode()}))
+        self._write_block(header)
+
+    def _write_block(self, lines: List[str]) -> int:
+        """One block (= one gzip member on .gz paths); returns its offset."""
+        offset = self._raw.tell()
+        text = "".join(line + "\n" for line in lines)
+        if self._gz:
+            # per-block members: mtime=0 + empty name keep bytes
+            # deterministic, and each member is independently seekable
+            with gzip.GzipFile(filename="", fileobj=self._raw, mode="wb",
+                               mtime=0) as member:
+                member.write(text.encode("utf-8"))
+        else:
+            self._raw.write(text.encode("utf-8"))
+        return offset
+
+    def add(self, event: TraceEvent) -> None:
+        builder = self._chunks.get(event.tid)
+        if builder is None:
+            if event.tid not in self.tables.tids:
+                raise TraceError(
+                    f"event {event.uid} references undeclared thread "
+                    f"{event.tid!r}"
+                )
+            builder = self._chunks[event.tid] = _ChunkBuilder(event.tid)
+        builder.push(event, self.tables)
+        self._pending += 1
+        if self._pending >= self.segment_events:
+            self._flush_segment()
+
+    def _symbol_delta(self) -> dict:
+        locks_mark, addrs_mark, kinds_mark = self._symbol_marks
+        delta = {}
+        locks = self.tables.locks.encode()[locks_mark:]
+        addrs = self.tables.addrs.encode()[addrs_mark:]
+        kinds = self.tables.kinds.encode()[kinds_mark:]
+        if locks:
+            delta["locks"] = locks
+        if addrs:
+            delta["addrs"] = addrs
+        if kinds:
+            delta["kinds"] = kinds
+        self._symbol_marks = (
+            len(self.tables.locks), len(self.tables.addrs),
+            len(self.tables.kinds),
+        )
+        return delta
+
+    def _flush_segment(self) -> None:
+        if not self._pending:
+            return
+        k = len(self._segments)
+        header = {"segment": k, "events": self._pending}
+        delta = self._symbol_delta()
+        if delta:
+            header["symbols"] = delta
+        lines = [json.dumps(header)]
+        # chunks in thread declaration order, so reconstruction order is
+        # independent of which thread happened to log first
+        for tid in self.threads:
+            builder = self._chunks.get(tid)
+            if builder is not None and builder.uid:
+                lines.append(json.dumps(builder.encode()))
+        digest = hashlib.sha256()
+        for line in lines:
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        digest = digest.hexdigest()
+        lines.append(json.dumps({"segment_end": k, "digest": digest}))
+        offset = self._write_block(lines)
+        self._segments.append(SegmentInfo(
+            offset=offset, events=self._pending, digest=digest,
+        ))
+        self._events_total += self._pending
+        self._pending = 0
+        self._chunks = {}
+
+    def close(self) -> SegmentedIndex:
+        if self._closed:
+            raise TraceError(f"segmented writer for {self.path} already closed")
+        self._flush_segment()
+        combined = hashlib.sha256()
+        for info in self._segments:
+            combined.update(info.digest.encode("utf-8"))
+        combined = combined.hexdigest()
+        self._write_block([json.dumps({"footer": {
+            "segments": len(self._segments),
+            "events": self._events_total,
+            "digest": combined,
+        }})])
+        self._raw.close()
+        try:
+            os.replace(self._tmp, self.path)
+        except BaseException:
+            self._tmp.unlink(missing_ok=True)
+            raise
+        self._closed = True
+        index = SegmentedIndex(
+            segment_events=self.segment_events,
+            events=self._events_total,
+            file_size=self.path.stat().st_size,
+            digest=combined,
+            segments=self._segments,
+        )
+        target = index_path(self.path)
+        tmp = target.with_name(f".tmp-{os.getpid()}-{target.name}")
+        try:
+            tmp.write_text(
+                json.dumps(index.encode(), sort_keys=True,
+                           separators=(",", ":")) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return index
+
+    def abort(self) -> None:
+        """Discard the partially-written temp file (crash-path cleanup)."""
+        if not self._closed:
+            self._raw.close()
+            self._tmp.unlink(missing_ok=True)
+            self._closed = True
+
+
+def write_segmented(
+    trace: Trace,
+    path: Union[str, Path],
+    *,
+    segment_events: int = DEFAULT_SEGMENT_EVENTS,
+) -> SegmentedIndex:
+    """Write ``trace`` to ``path`` in the segmented format (atomically)."""
+    writer = SegmentedTraceWriter(
+        path,
+        meta=trace.meta,
+        threads=trace.thread_ids,
+        lock_schedule=trace.lock_schedule,
+        side=trace.side,
+        segment_events=segment_events,
+    )
+    try:
+        for event in trace.iter_time_order():
+            writer.add(event)
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.close()
+
+
+# ------------------------------------------------------------------ reader
+
+
+@dataclass
+class SegmentChunk:
+    """One thread's events within one segment, in columnar form.
+
+    ``start`` is the thread-global index of the chunk's first event —
+    event ``i`` of ``column`` is event ``start + i`` of the thread.
+    """
+
+    tid: str
+    column: ColumnarThread
+    start: int
+
+
+@dataclass
+class Segment:
+    """One decoded segment: immutable, self-contained, digest-checked."""
+
+    index: int
+    events: int
+    digest: str
+    chunks: List[SegmentChunk] = field(default_factory=list)
+
+
+class SegmentedReader:
+    """Streaming reader over a segmented trace file.
+
+    After construction the header is parsed: ``meta``, ``threads``,
+    ``lock_schedule``, ``side`` and ``segment_events`` are available and
+    ``tables`` holds the (growing) intern tables.  :meth:`segments` then
+    yields one :class:`Segment` at a time — strict mode raises
+    :class:`TraceError` at the first structural damage or digest
+    mismatch; the tolerant iterator underpinning salvage stops instead.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.source = str(path)
+        self._handle = _open_text(self.path)
+        self._lines = iter(self._handle)
+        self.tables = InternTables()
+        self.stop_reason = ""
+        self.footer: Optional[dict] = None
+        self.events_seen = 0
+        self._thread_counts: Dict[str, int] = {}
+        self._consumed = False
+        try:
+            self._read_header()
+        except BaseException:
+            self._handle.close()
+            raise
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "SegmentedReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    # -- header ----------------------------------------------------------
+
+    def _next(self):
+        """Next non-blank line as (raw, parsed) or None at end of stream.
+
+        Stream damage (truncated gzip member, bad bytes, malformed JSON)
+        surfaces as :class:`TraceError` so every caller — header parse,
+        strict iteration, chunk reads inside a segment — fails uniformly;
+        the tolerant iterator turns it into a stop reason.
+        """
+        try:
+            for raw in self._lines:
+                if not raw.strip():
+                    continue
+                data = json.loads(raw)
+                if not isinstance(data, dict):
+                    raise TraceError(
+                        f"malformed segmented trace line: expected object, "
+                        f"got {data!r}"
+                    )
+                return raw, data
+            return None
+        except (EOFError, OSError, zlib.error, UnicodeDecodeError) as exc:
+            raise TraceError(
+                f"unreadable segmented trace {self.path}: {exc}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"malformed segmented trace line: {exc}"
+            ) from None
+
+    def _read_header(self) -> None:
+        try:
+            first = self._next()
+        except (EOFError, OSError, zlib.error, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            raise TraceError(
+                f"unreadable segmented trace {self.path}: {exc}"
+            ) from None
+        if first is None or FORMAT_KEY not in first[1]:
+            raise TraceError(f"{self.path} is not a segmented trace")
+        version = first[1][FORMAT_KEY]
+        if version != FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported segmented trace version {version!r} "
+                f"(supported: {FORMAT_VERSION})"
+            )
+        self.segment_events = first[1].get("segment_events", 0)
+        try:
+            meta = self._next()
+            schedule = self._next()
+            threads = self._next()
+        except (EOFError, OSError, zlib.error, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            raise TraceError(
+                f"truncated segmented trace header: {exc}"
+            ) from None
+        if (meta is None or schedule is None or threads is None
+                or "meta" not in meta[1] or "lock_schedule" not in schedule[1]
+                or "threads" not in threads[1]):
+            raise TraceError("malformed segmented trace header")
+        self.meta = TraceMeta.decode(meta[1]["meta"])
+        self.lock_schedule = {
+            lock: list(uids)
+            for lock, uids in schedule[1]["lock_schedule"].items()
+        }
+        self.threads = list(threads[1]["threads"])
+        for tid in self.threads:
+            self.tables.tids.intern(tid)
+            self._thread_counts[tid] = 0
+        self.side = SideTable()
+        self._peeked = None
+        nxt = self._next()
+        if nxt is not None and set(nxt[1]) == {"side"}:
+            self.side = SideTable.decode(nxt[1]["side"])
+        else:
+            self._peeked = nxt
+
+    def _next_or_peeked(self):
+        if self._peeked is not None:
+            entry, self._peeked = self._peeked, None
+            return entry
+        return self._next()
+
+    # -- segments --------------------------------------------------------
+
+    def _apply_symbols(self, delta: dict) -> None:
+        for name in delta.get("locks", ()):
+            self.tables.locks.intern(name)
+        for name in delta.get("addrs", ()):
+            self.tables.addrs.intern(name)
+        for name in delta.get("kinds", ()):
+            self.tables.kinds.intern(name)
+
+    def _decode_chunk(self, data: dict) -> SegmentChunk:
+        tid = data["chunk"]
+        if tid not in self._thread_counts:
+            raise TraceError(f"chunk references undeclared thread {tid!r}")
+        n = data["n"]
+        from array import array
+
+        column = ColumnarThread(tid, self.tables.tids.id(tid), self.tables)
+        column.uids = list(data["uid"])
+        column.kind = array("b", data["kind"])
+        column.t = array("q", data["t"])
+        column.duration = array("q", data.get("duration") or [0] * n)
+        column.t_request = array("q", data.get("t_request") or [0] * n)
+        column.value = array("q", data.get("value") or [0] * n)
+        column.lock_id = array("i", data.get("lock") or [-1] * n)
+        column.addr_id = array("i", data.get("addr") or [-1] * n)
+        column.flags = array("B", data.get("flags") or [0] * n)
+        sites = data.get("site")
+        if sites is None:
+            column.sites = [None] * n
+        else:
+            column.sites = [CodeSite.decode(s) for s in sites]
+        if len(column.uids) != n or len(column.kind) != n or len(column.t) != n:
+            raise TraceError(f"chunk for {tid!r} has inconsistent lengths")
+        column.ops = {int(k): tuple(v) for k, v in data.get("op", {}).items()}
+        column.tokens = {int(k): v for k, v in data.get("token", {}).items()}
+        column.reasons = {int(k): v for k, v in data.get("reason", {}).items()}
+        column.woken = {
+            int(k): list(v) for k, v in data.get("woken", {}).items()
+        }
+        start = self._thread_counts[tid]
+        self._thread_counts[tid] = start + n
+        return SegmentChunk(tid=tid, column=column, start=start)
+
+    def _read_segment(self, entry) -> Optional[Segment]:
+        """Parse one segment (or the footer, returning None)."""
+        raw, data = entry
+        if "footer" in data:
+            footer = data["footer"]
+            if footer.get("segments") != self._segments_read:
+                raise TraceError(
+                    f"segmented trace footer declares "
+                    f"{footer.get('segments')} segments, read "
+                    f"{self._segments_read}"
+                )
+            if footer.get("events") != self.events_seen:
+                raise TraceError(
+                    f"segmented trace footer declares {footer.get('events')} "
+                    f"events, read {self.events_seen}"
+                )
+            self.footer = footer
+            return None
+        if "segment" not in data:
+            raise TraceError(
+                f"malformed segmented trace: expected segment header, "
+                f"got keys {sorted(data)}"
+            )
+        k = data["segment"]
+        if k != self._segments_read:
+            raise TraceError(
+                f"segment {k} out of order (expected {self._segments_read})"
+            )
+        digest = hashlib.sha256()
+        digest.update(raw.rstrip("\n").encode("utf-8"))
+        digest.update(b"\n")
+        self._apply_symbols(data.get("symbols", {}))
+        segment = Segment(index=k, events=data["events"], digest="")
+        seen = 0
+        chunk_tids = set()
+        while True:
+            entry = self._next()
+            if entry is None:
+                raise TraceError(f"segment {k} truncated: missing segment_end")
+            raw, chunk_data = entry
+            if "segment_end" in chunk_data:
+                if chunk_data["segment_end"] != k:
+                    raise TraceError(
+                        f"segment_end {chunk_data['segment_end']} inside "
+                        f"segment {k}"
+                    )
+                want = chunk_data.get("digest")
+                got = digest.hexdigest()
+                if want != got:
+                    raise TraceError(
+                        f"segment {k} digest mismatch: file says {want}, "
+                        f"content hashes to {got}"
+                    )
+                segment.digest = got
+                break
+            if "chunk" not in chunk_data:
+                raise TraceError(
+                    f"malformed line inside segment {k}: keys "
+                    f"{sorted(chunk_data)}"
+                )
+            digest.update(raw.rstrip("\n").encode("utf-8"))
+            digest.update(b"\n")
+            chunk = self._decode_chunk(chunk_data)
+            if chunk.tid in chunk_tids:
+                raise TraceError(
+                    f"segment {k} holds two chunks for thread {chunk.tid!r}"
+                )
+            chunk_tids.add(chunk.tid)
+            segment.chunks.append(chunk)
+            seen += len(chunk.column)
+        if seen != segment.events:
+            raise TraceError(
+                f"segment {k} declares {segment.events} events, "
+                f"chunks hold {seen}"
+            )
+        self.events_seen += seen
+        self._segments_read += 1
+        return segment
+
+    def segments(self) -> Iterator[Segment]:
+        """Strict streaming iteration: any damage raises ``TraceError``."""
+        self._start_iteration()
+        while True:
+            try:
+                entry = self._next_or_peeked()
+            except (EOFError, OSError, zlib.error, UnicodeDecodeError) as exc:
+                raise TraceError(
+                    f"unreadable segmented trace tail: {exc}"
+                ) from None
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"malformed segmented trace line: {exc}"
+                ) from None
+            if entry is None:
+                raise TraceError(
+                    "truncated segmented trace: missing footer "
+                    f"(read {self._segments_read} segments)"
+                )
+            segment = self._read_segment(entry)
+            if segment is None:
+                return
+            yield segment
+
+    def segments_tolerant(self) -> Iterator[Segment]:
+        """Salvage iteration: stops at the first damage, keeping the
+        well-formed segment prefix; the reason lands in ``stop_reason``."""
+        self._start_iteration()
+        while True:
+            try:
+                entry = self._next_or_peeked()
+                if entry is None:
+                    self.stop_reason = "missing footer"
+                    return
+                segment = self._read_segment(entry)
+            except TraceError as exc:
+                self.stop_reason = str(exc)
+                return
+            except (EOFError, OSError, zlib.error, UnicodeDecodeError) as exc:
+                self.stop_reason = f"unreadable tail: {exc}"
+                return
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                self.stop_reason = f"malformed segment: {exc}"
+                return
+            if segment is None:
+                return
+            yield segment
+
+    def _start_iteration(self) -> None:
+        if self._consumed:
+            raise TraceError(
+                f"segmented reader for {self.path} already consumed; "
+                "open a new reader to re-stream"
+            )
+        self._consumed = True
+        self._segments_read = 0
+
+
+def open_segmented(path: Union[str, Path]) -> SegmentedReader:
+    """Open a segmented trace for streaming (header parsed eagerly)."""
+    return SegmentedReader(path)
+
+
+# ------------------------------------------------- whole-trace (compat)
+
+
+def load_segmented(path: Union[str, Path]) -> Trace:
+    """Materialize a segmented file as a full :class:`Trace` (strict).
+
+    The compatibility path: every command that needs a whole trace
+    (replay, transform, report, ...) loads segmented files through here.
+    Memory is O(trace) by definition — use the streaming readers for
+    bounded-memory analysis.
+    """
+    with open_segmented(path) as reader:
+        trace = Trace(reader.meta)
+        for tid in reader.threads:
+            trace.add_thread(tid)
+        trace.side = reader.side
+        for segment in reader.segments():
+            for chunk in segment.chunks:
+                events = trace.threads[chunk.tid]
+                column = chunk.column
+                for i in range(len(column)):
+                    events.append(column.event(i))
+        trace.lock_schedule = {
+            lock: list(uids) for lock, uids in reader.lock_schedule.items()
+        }
+        trace.symbols = reader.tables
+        return trace
+
+
+def salvage_segmented(path: Union[str, Path]):
+    """Best-effort load: the longest well-formed segment prefix.
+
+    Damage inside segment ``k`` drops segments ``k..`` entirely (a
+    partially-decoded segment is never trusted), then the standard
+    salvage trim makes the surviving prefix replayable.  Raises
+    :class:`TraceError` only when the header itself is unreadable.
+    """
+    from repro.trace import serialize
+
+    with open_segmented(path) as reader:
+        trace = Trace(reader.meta)
+        for tid in reader.threads:
+            trace.add_thread(tid)
+        trace.side = reader.side
+        seen = 0
+        for segment in reader.segments_tolerant():
+            for chunk in segment.chunks:
+                events = trace.threads[chunk.tid]
+                column = chunk.column
+                for i in range(len(column)):
+                    events.append(column.event(i))
+            seen += segment.events
+        expected = None
+        if reader.footer is not None:
+            expected = reader.footer.get("events")
+        else:
+            index = load_index(path)
+            if index is not None:
+                expected = index.events
+        return serialize.finish_salvage(
+            trace,
+            {lock: list(uids) for lock, uids in reader.lock_schedule.items()},
+            expected_events=expected if isinstance(expected, int) else None,
+            seen_events=seen,
+            stop_reason=reader.stop_reason,
+            source=path,
+        )
+
+
+# ------------------------------------------------------------- digests
+
+
+def segment_digests(path: Union[str, Path]) -> List[str]:
+    """Per-segment content digests, from the sidecar index when valid.
+
+    Falls back to streaming the file (decompressing it once) when the
+    index is missing or its recorded file size disagrees with the data
+    file on disk.
+    """
+    path = Path(path)
+    index = load_index(path)
+    if index is not None and index.file_size == path.stat().st_size:
+        return [s.digest for s in index.segments]
+    with open_segmented(path) as reader:
+        return [segment.digest for segment in reader.segments()]

@@ -42,7 +42,9 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import os
 import warnings
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, Iterator, List, Optional, Union
@@ -226,7 +228,10 @@ def salvage_read(lines: Iterable[str], *, source=None) -> LoadedTrace:
                 line = next(iterator)
             except StopIteration:
                 return
-            except (EOFError, OSError, UnicodeDecodeError) as exc:
+            except (EOFError, OSError, UnicodeDecodeError, zlib.error) as exc:
+                # zlib.error is NOT an OSError: a flipped bit inside the
+                # deflate stream raises it from gzip reads, and without
+                # this clause it would escape salvage mode entirely
                 stop["reason"] = f"unreadable tail: {exc}"
                 return
             if not line.strip():
@@ -289,8 +294,34 @@ def salvage_read(lines: Iterable[str], *, source=None) -> LoadedTrace:
         trace.threads[event.tid].append(event)
         seen_events += 1
 
+    return finish_salvage(
+        trace,
+        schedule["lock_schedule"],
+        expected_events=expected_events if isinstance(expected_events, int) else None,
+        seen_events=seen_events,
+        stop_reason=stop["reason"],
+        source=source,
+    )
+
+
+def finish_salvage(
+    trace: Trace,
+    schedule: dict,
+    *,
+    expected_events: Optional[int],
+    seen_events: int,
+    stop_reason: str,
+    source=None,
+) -> LoadedTrace:
+    """Shared salvage epilogue: trim, prune, report, warn.
+
+    Both the monolithic (:func:`salvage_read`) and the segmented
+    (:func:`repro.trace.segments.salvage_segmented`) salvage paths end
+    here, so the replayability trim and the report/telemetry/warning
+    behavior stay identical across formats.
+    """
     trimmed = _trim_unfinished_sections(trace)
-    pruned = _prune_schedule(trace, schedule["lock_schedule"])
+    pruned = _prune_schedule(trace, schedule)
     from repro.trace.validate import problems as _trace_problems
 
     dropped = None
@@ -299,11 +330,11 @@ def salvage_read(lines: Iterable[str], *, source=None) -> LoadedTrace:
     report = SalvageReport(
         source=str(source) if source is not None else None,
         kept_events=len(trace),
-        expected_events=expected_events if isinstance(expected_events, int) else None,
+        expected_events=expected_events,
         dropped_events=dropped,
         trimmed_events=trimmed,
         pruned_schedule=pruned,
-        stopped_reason=stop["reason"],
+        stopped_reason=stop_reason,
         problems=_trace_problems(trace),
     )
     from repro import log, telemetry
@@ -402,23 +433,68 @@ def loads(text: str) -> Trace:
     return read_trace(text.splitlines())
 
 
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def _is_gzip(path: Path) -> bool:
+    """Suffix-based container choice — authoritative only for *writes*."""
     return path.suffix == ".gz"
 
 
+def _check_container(path: Path) -> bool:
+    """Decide gzip-ness of an existing file by its magic bytes.
+
+    The ``.gz`` suffix and the 2-byte gzip magic must agree; a mismatch
+    in either direction raises a :class:`TraceError` naming it, instead
+    of the confusing decode error (or silent mojibake) that trusting the
+    suffix alone produced.  Returns whether the file is gzip.
+    """
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    named_gz = _is_gzip(path)
+    is_gz = magic == _GZIP_MAGIC
+    if named_gz and not is_gz:
+        raise TraceError(
+            f"{path} is named *.gz but does not start with the gzip magic "
+            f"bytes (got {magic!r}) — not a gzip file"
+        )
+    if is_gz and not named_gz:
+        raise TraceError(
+            f"{path} starts with the gzip magic bytes but is not named "
+            f"*.gz — rename it to *.gz (or decompress it) so the format "
+            f"is unambiguous"
+        )
+    return is_gz
+
+
 def dump(trace: Trace, path: Union[str, Path]) -> None:
-    """Write a trace to a file, streaming (gzip when the path ends in .gz)."""
+    """Write a trace to a file, streaming (gzip when the path ends in .gz).
+
+    The write is atomic: bytes go to a same-directory temp file first and
+    ``os.replace`` installs them only once the stream is complete, so a
+    crash (or fault-injected kill) mid-write leaves either the old file
+    or the new one — never a torn trace.  The temp name keeps the full
+    target name (``.tmp-<pid>-<name>``) so the ``.gz`` suffix still picks
+    the gzip writer.
+    """
     path = Path(path)
-    if _is_gzip(path):
-        # mtime=0 and an empty embedded filename keep the compressed
-        # bytes deterministic per content (same trace -> same file bytes)
-        with open(path, "wb") as raw:
-            with gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0) as binary:
-                with io.TextIOWrapper(binary, encoding="utf-8") as out:
-                    write_trace(trace, out)
-    else:
-        with open(path, "w", encoding="utf-8") as out:
-            write_trace(trace, out)
+    tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+    try:
+        if _is_gzip(tmp):
+            # mtime=0 and an empty embedded filename keep the compressed
+            # bytes deterministic per content (same trace -> same file bytes)
+            with open(tmp, "wb") as raw:
+                with gzip.GzipFile(
+                    filename="", fileobj=raw, mode="wb", mtime=0
+                ) as binary:
+                    with io.TextIOWrapper(binary, encoding="utf-8") as out:
+                        write_trace(trace, out)
+        else:
+            with open(tmp, "w", encoding="utf-8") as out:
+                write_trace(trace, out)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     if faults.enabled():
         if faults.fires("trace.truncate", key=str(path)):
             faults.corrupt_file(path, "truncate")
@@ -426,14 +502,40 @@ def dump(trace: Trace, path: Union[str, Path]) -> None:
             faults.corrupt_file(path, "bitflip")
 
 
+def _gzip_lines(path: Path, *, errors: str = "strict") -> Iterator[str]:
+    """Line iterator over a gzip file that keeps decode failures tame.
+
+    ``zlib.error`` (raised for damage *inside* a deflate stream, and not
+    an ``OSError``) is converted to ``EOFError`` so consumers see every
+    flavor of gzip-layer damage through one exception family: the decoded
+    prefix has already been yielded, which is exactly what salvage needs.
+    """
+    with gzip.open(path, "rt", encoding="utf-8", errors=errors) as handle:
+        try:
+            yield from handle
+        except zlib.error as exc:
+            raise EOFError(f"gzip stream damaged: {exc}") from None
+
+
 def load(path: Union[str, Path]) -> Trace:
-    """Read a trace from a file, streaming (gzip when the path ends in .gz)."""
+    """Read a trace from a file, streaming; dispatches on content.
+
+    Handles both formats: monolithic JSONL (plain or gzip, picked by the
+    magic bytes — see :func:`_check_container`) and the segmented format
+    of :mod:`repro.trace.segments` (fully materialized here; use the
+    segment readers for bounded-memory access).
+    """
+    from repro.trace import segments as _segments
+
     path = Path(path)
-    if _is_gzip(path):
+    is_gz = _check_container(path)
+    if _segments.is_segmented_file(path):
+        return _segments.load_segmented(path)
+    if is_gz:
         try:
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 return read_trace(handle)
-        except (EOFError, gzip.BadGzipFile) as exc:
+        except (EOFError, gzip.BadGzipFile, zlib.error) as exc:
             raise TraceError(f"corrupt gzip trace file {path}: {exc}") from None
     with open(path, "r", encoding="utf-8") as handle:
         return read_trace(handle)
@@ -444,14 +546,19 @@ def load_trace(path: Union[str, Path], *, salvage: bool = False) -> LoadedTrace:
 
     Strict mode (the default) behaves exactly like :func:`load` (any
     damage raises :class:`TraceError`) and carries no report.  With
-    ``salvage=True`` the longest well-formed prefix is recovered and the
-    attached :class:`SalvageReport` says what was dropped.
+    ``salvage=True`` the longest well-formed prefix is recovered —
+    segment-granular for segmented files, line-granular for monolithic
+    ones — and the attached :class:`SalvageReport` says what was dropped.
     """
+    from repro.trace import segments as _segments
+
     path = Path(path)
     if not salvage:
         return LoadedTrace(trace=load(path))
-    if _is_gzip(path):
-        with gzip.open(path, "rt", encoding="utf-8") as handle:
-            return salvage_read(handle, source=path)
+    is_gz = _check_container(path)
+    if _segments.is_segmented_file(path):
+        return _segments.salvage_segmented(path)
+    if is_gz:
+        return salvage_read(_gzip_lines(path, errors="replace"), source=path)
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
         return salvage_read(handle, source=path)

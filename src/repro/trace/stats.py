@@ -62,8 +62,14 @@ class TraceStats:
             f"events={self.total_events}  end={self.end_time}ns  "
             f"locks={self.locks}  shared addrs={self.shared_addresses}  "
             f"contended acquires={self.contention_rate:.0%}",
+            # tie order pinned to the kind name: Counter.most_common breaks
+            # ties by insertion order, which differs between the
+            # thread-by-thread and the segment-streaming walks
             "kinds: " + "  ".join(
-                f"{kind}={count}" for kind, count in self.kinds.most_common()
+                f"{kind}={count}"
+                for kind, count in sorted(
+                    self.kinds.items(), key=lambda item: (-item[1], item[0])
+                )
             ),
             f"{'thread':12} {'events':>7} {'compute':>9} {'acq':>5} "
             f"{'cont':>5} {'wait(ns)':>9} {'rd':>5} {'wr':>5}",
@@ -104,3 +110,72 @@ def trace_stats(trace: Trace) -> TraceStats:
     stats.locks = len(trace.lock_schedule)
     stats.shared_addresses = len(shared_addresses(trace))
     return stats
+
+
+def stats_segments(reader) -> TraceStats:
+    """:func:`trace_stats` over a segment stream, in bounded memory.
+
+    ``reader`` is a fresh :class:`repro.trace.segments.SegmentedReader`;
+    one strict pass over its segments fills the same counters straight
+    from the columnar chunks (no :class:`TraceEvent` materialization).
+    Output is equal — rendered and as JSON — to ``trace_stats`` over the
+    fully-loaded trace.
+    """
+    from repro.trace.interning import (
+        ACQUIRE_CODE,
+        COMPUTE_CODE,
+        READ_CODE,
+        SLEEP_CODE,
+        WAIT_CODE,
+        WRITE_CODE,
+    )
+
+    stats = TraceStats(total_events=0, end_time=0)
+    for tid in reader.threads:
+        stats.threads[tid] = ThreadSummary(tid=tid)
+    kind_name = reader.tables.kinds.name
+    first_toucher: Dict[int, str] = {}
+    shared_count = 0
+    # a thread's end is its *last recorded* event's t (record order), not
+    # its max t — track per thread, chunks arrive in record order
+    last_t: Dict[str, int] = {}
+
+    for segment in reader.segments():
+        for chunk in segment.chunks:
+            tid = chunk.tid
+            summary = stats.threads[tid]
+            column = chunk.column
+            kinds = column.kind
+            n = len(kinds)
+            stats.total_events += n
+            summary.events += n
+            if n:
+                last_t[tid] = column.t[-1]
+            for i in range(n):
+                code = kinds[i]
+                stats.kinds[kind_name(code)] += 1
+                if code == COMPUTE_CODE:
+                    summary.compute_ns += column.duration[i]
+                elif code == ACQUIRE_CODE:
+                    summary.acquisitions += 1
+                    wait = column.t[i] - column.t_request[i]
+                    if wait > 0:
+                        summary.contended += 1
+                        summary.wait_ns += wait
+                elif code == READ_CODE or code == WRITE_CODE:
+                    if code == READ_CODE:
+                        summary.reads += 1
+                    else:
+                        summary.writes += 1
+                    aid = column.addr_id[i]
+                    if first_toucher.setdefault(aid, tid) != tid:
+                        if first_toucher[aid] != "":
+                            first_toucher[aid] = ""  # marks: already shared
+                            shared_count += 1
+                elif code == WAIT_CODE or code == SLEEP_CODE:
+                    summary.wait_ns += column.duration[i]
+    stats.end_time = max(last_t.values(), default=0)
+    stats.locks = len(reader.lock_schedule)
+    stats.shared_addresses = shared_count
+    return stats
+

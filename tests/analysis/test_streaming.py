@@ -1,0 +1,154 @@
+"""Streaming (segmented) analysis paths against their whole-trace twins.
+
+Every streaming entry point — ``analyze_segments``, ``stats_segments``,
+``build_timeline_segments`` — must produce output identical to the
+monolithic path, including a workload whose FALSE pairs exercise the
+second (benign-evidence) pass.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.analysis.pairs import analyze_pairs
+from repro.analysis.streaming import analyze_segments
+from repro.errors import TraceError
+from repro.timeline import (
+    build_timeline,
+    build_timeline_segments,
+    to_chrome_json,
+    to_columnar_json,
+)
+from repro.trace.segments import open_segmented, write_segmented
+from repro.trace.stats import stats_segments, trace_stats
+
+
+@pytest.fixture(scope="module")
+def workload_trace():
+    # mysql at this size classifies pairs into every category, including
+    # benign (so the streaming second pass actually runs)
+    return api.record("mysql", threads=3, input_size="simsmall", scale=0.4, seed=1)
+
+
+@pytest.fixture(scope="module")
+def segmented_path(workload_trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("seg") / "t.seg.jsonl.gz"
+    write_segmented(workload_trace, path, segment_events=37)
+    return path
+
+
+def _analysis_fingerprint(analysis):
+    return {
+        "events": analysis.events,
+        "sections": [
+            (cs.uid, cs.tid, cs.lock, cs.t_start, cs.t_end, cs.lock_index)
+            for cs in analysis.sections
+        ],
+        "pairs": [
+            (p.c1.uid, p.c2.uid, p.kind, p.lock) for p in analysis.pairs
+        ],
+        "breakdown": {
+            k: getattr(analysis.breakdown, k)
+            for k in ("null_lock", "read_read", "disjoint_write", "benign", "tlcp")
+        },
+        "benign_cache": dict(analysis.benign_cache),
+    }
+
+
+class TestAnalyzeParity:
+    def test_full_parity_including_benign_pass(self, workload_trace, segmented_path):
+        whole = analyze_pairs(workload_trace)
+        streamed = analyze_segments(segmented_path)
+        assert whole.breakdown.benign > 0  # the second pass was exercised
+        assert _analysis_fingerprint(streamed) == _analysis_fingerprint(whole)
+
+    def test_parity_without_benign_detection(self, workload_trace, segmented_path):
+        whole = analyze_pairs(workload_trace, benign_detection=False)
+        streamed = analyze_segments(segmented_path, benign_detection=False)
+        assert _analysis_fingerprint(streamed) == _analysis_fingerprint(whole)
+
+    def test_parity_at_segment_size_one(self, workload_trace, tmp_path):
+        # every event is its own segment: all cross-segment state carries
+        path = tmp_path / "t1.seg.jsonl.gz"
+        write_segmented(workload_trace, path, segment_events=1)
+        whole = analyze_pairs(workload_trace)
+        streamed = analyze_segments(path)
+        assert _analysis_fingerprint(streamed) == _analysis_fingerprint(whole)
+
+    def test_streamed_sections_expose_memory_ops_for_false_pairs(
+        self, segmented_path
+    ):
+        streamed = analyze_segments(segmented_path)
+        for (uid1, uid2) in streamed.benign_cache:
+            by_uid = {cs.uid: cs for cs in streamed.sections}
+            for uid in (uid1, uid2):
+                ops = by_uid[uid].memory_ops()
+                assert all(op.kind in ("read", "write") for op in ops)
+
+
+class TestApiStream:
+    def test_auto_streams_segmented_path(self, workload_trace, segmented_path):
+        whole = api.analyze(workload_trace)
+        auto = api.analyze(segmented_path)
+        explicit = api.analyze(segmented_path, stream=True)
+        assert _analysis_fingerprint(auto) == _analysis_fingerprint(whole)
+        assert _analysis_fingerprint(explicit) == _analysis_fingerprint(whole)
+
+    def test_stream_false_loads_fully(self, workload_trace, segmented_path):
+        whole = api.analyze(workload_trace)
+        loaded = api.analyze(segmented_path, stream=False)
+        assert _analysis_fingerprint(loaded) == _analysis_fingerprint(whole)
+
+    def test_stream_true_rejects_monolithic(self, workload_trace, tmp_path):
+        from repro.trace import dump
+
+        path = tmp_path / "t.jsonl.gz"
+        dump(workload_trace, path)
+        with pytest.raises(TraceError, match="segmented"):
+            api.analyze(path, stream=True)
+
+    def test_stream_true_rejects_trace_object(self, workload_trace):
+        with pytest.raises(TraceError, match="segmented"):
+            api.analyze(workload_trace, stream=True)
+
+
+class TestStatsParity:
+    def test_render_and_fields_identical(self, workload_trace, segmented_path):
+        whole = trace_stats(workload_trace)
+        with open_segmented(segmented_path) as reader:
+            streamed = stats_segments(reader)
+        assert streamed.render() == whole.render()
+        assert streamed.total_events == whole.total_events
+        assert streamed.end_time == whole.end_time
+        assert streamed.locks == whole.locks
+        assert streamed.shared_addresses == whole.shared_addresses
+        assert dict(streamed.kinds) == dict(whole.kinds)
+        assert set(streamed.threads) == set(whole.threads)
+        for tid, expected in whole.threads.items():
+            got = streamed.threads[tid]
+            for attr in ("events", "compute_ns", "acquisitions", "contended",
+                         "wait_ns", "reads", "writes"):
+                assert getattr(got, attr) == getattr(expected, attr), (tid, attr)
+
+
+class TestTimelineParity:
+    def test_chrome_and_columnar_json_identical(
+        self, workload_trace, segmented_path
+    ):
+        analysis = analyze_pairs(workload_trace)
+        whole = build_timeline(workload_trace, analysis=analysis)
+        streamed_analysis = analyze_segments(segmented_path)
+        with open_segmented(segmented_path) as reader:
+            streamed = build_timeline_segments(reader, analysis=streamed_analysis)
+        assert to_chrome_json(streamed) == to_chrome_json(whole)
+        assert to_columnar_json(streamed) == to_columnar_json(whole)
+        # sanity: the chrome export is non-trivial
+        doc = json.loads(to_chrome_json(streamed))
+        assert doc["traceEvents"]
+
+    def test_unmerged_parity(self, workload_trace, segmented_path):
+        whole = build_timeline(workload_trace, merge=False)
+        with open_segmented(segmented_path) as reader:
+            streamed = build_timeline_segments(reader, merge=False)
+        assert to_columnar_json(streamed) == to_columnar_json(whole)

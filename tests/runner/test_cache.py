@@ -151,3 +151,55 @@ class TestCachedPipeline:
             )
             assert memoized("k", {"x": 1}, lambda: calls.append(1) or "v2") == "v2"
             assert len(calls) == 2
+
+
+class TestSegmentedDigest:
+    def _segmented(self, tmp_path, seed=0, segment_events=20):
+        from repro.trace.segments import write_segmented
+        from repro.workloads import get_workload
+
+        trace = get_workload("pbzip2", threads=2, seed=seed).record().trace
+        path = tmp_path / f"t{seed}-{segment_events}.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=segment_events)
+        return path
+
+    def test_stable_and_content_sensitive(self, tmp_path):
+        from repro.runner import segmented_digest
+
+        other = tmp_path.joinpath("b")
+        other.mkdir()
+        a = self._segmented(tmp_path, seed=0)
+        b = self._segmented(other, seed=0)
+        c = self._segmented(tmp_path, seed=1)
+        assert segmented_digest(a) == segmented_digest(b)
+        assert segmented_digest(a) != segmented_digest(c)
+        assert len(segmented_digest(a)) == 32
+
+    def test_index_and_stream_paths_agree(self, tmp_path):
+        from repro.runner import segmented_digest
+        from repro.trace.segments import index_path
+
+        path = self._segmented(tmp_path)
+        fast = segmented_digest(path)
+        index_path(path).unlink()
+        assert segmented_digest(path) == fast
+
+    def test_segmentation_changes_the_digest(self, tmp_path):
+        from repro.runner import segmented_digest
+
+        a = self._segmented(tmp_path, segment_events=20)
+        b = self._segmented(tmp_path, segment_events=7)
+        assert segmented_digest(a) != segmented_digest(b)
+
+    def test_analyze_segments_cached_hit_is_equivalent(self, tmp_path):
+        from repro.runner import analyze_segments_cached
+
+        path = self._segmented(tmp_path)
+        with use_cache(tmp_path / "cache"):
+            cold = analyze_segments_cached(path)
+            warm = analyze_segments_cached(path)
+        assert [(p.c1.uid, p.c2.uid, p.kind) for p in warm.pairs] == [
+            (p.c1.uid, p.c2.uid, p.kind) for p in cold.pairs
+        ]
+        assert warm.events == cold.events
+        assert warm.breakdown.tlcp == cold.breakdown.tlcp

@@ -474,3 +474,93 @@ class TestLogFlags:
             "--log-level", "error", "stats", trace_file, "--salvage",
         ]) == 0
         assert capsys.readouterr().err == ""  # warning-level salvage muted
+
+
+class TestStreamingCli:
+    def _record(self, tmp_path, *extra):
+        trace_file = str(tmp_path / "t.jsonl.gz")
+        assert main(["record", "mysql", "--threads", "3",
+                     "--input-size", "simsmall", "--scale", "0.4",
+                     "--seed", "1", "-o", trace_file, *extra]) == 0
+        return trace_file
+
+    def _convert(self, tmp_path, trace_file, segment_events="37"):
+        seg_file = str(tmp_path / "t.seg.jsonl.gz")
+        assert main(["convert", trace_file, seg_file,
+                     "--segment-events", segment_events]) == 0
+        return seg_file
+
+    def test_convert_reports_segment_count(self, tmp_path, capsys):
+        trace_file = self._record(tmp_path)
+        capsys.readouterr()
+        self._convert(tmp_path, trace_file)
+        out = capsys.readouterr().out
+        assert "segments" in out
+
+    def test_convert_back_to_monolithic_round_trips_bytes(self, tmp_path, capsys):
+        trace_file = self._record(tmp_path)
+        seg_file = self._convert(tmp_path, trace_file)
+        back = str(tmp_path / "back.jsonl.gz")
+        assert main(["convert", seg_file, back, "--monolithic"]) == 0
+        assert open(back, "rb").read() == open(trace_file, "rb").read()
+
+    def test_record_segment_events_matches_convert(self, tmp_path, capsys):
+        trace_file = self._record(tmp_path)
+        seg_file = self._convert(tmp_path, trace_file)
+        direct = str(tmp_path / "direct.seg.jsonl.gz")
+        assert main(["record", "mysql", "--threads", "3",
+                     "--input-size", "simsmall", "--scale", "0.4",
+                     "--seed", "1", "-o", direct,
+                     "--segment-events", "37"]) == 0
+        assert open(direct, "rb").read() == open(seg_file, "rb").read()
+
+    @pytest.mark.parametrize("argv", [
+        ["stats"],
+        ["stats", "--format", "json"],
+        ["analyze"],
+        ["analyze", "--format", "json"],
+        ["timeline", "--format", "chrome"],
+        ["timeline", "--format", "json"],
+    ])
+    def test_streamed_output_identical(self, tmp_path, capsys, argv):
+        trace_file = self._record(tmp_path)
+        seg_file = self._convert(tmp_path, trace_file)
+        capsys.readouterr()
+        assert main([*argv, seg_file]) == 0  # auto-streams
+        streamed = capsys.readouterr().out
+        assert main([*argv, seg_file, "--no-stream"]) == 0
+        full_seg = capsys.readouterr().out
+        assert main([*argv, trace_file]) == 0
+        full_mono = capsys.readouterr().out
+        assert streamed == full_seg == full_mono
+
+    def test_stream_flag_rejects_monolithic(self, tmp_path, capsys):
+        trace_file = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["analyze", trace_file, "--stream"]) == 1
+        assert "requires a segmented trace" in capsys.readouterr().err
+
+    def test_stream_and_salvage_incompatible(self, tmp_path, capsys):
+        trace_file = self._record(tmp_path)
+        seg_file = self._convert(tmp_path, trace_file)
+        capsys.readouterr()
+        assert main(["analyze", seg_file, "--stream", "--salvage"]) == 1
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_salvage_on_truncated_segmented_file(self, tmp_path, capsys):
+        trace_file = self._record(tmp_path)
+        seg_file = self._convert(tmp_path, trace_file)
+        data = open(seg_file, "rb").read()
+        open(seg_file, "wb").write(data[: len(data) // 2])
+        capsys.readouterr()
+        assert main(["stats", seg_file, "--salvage"]) == 0
+        assert "events=" in capsys.readouterr().out
+
+    def test_timeline_ascii_on_segmented_file(self, tmp_path, capsys):
+        trace_file = self._record(tmp_path)
+        seg_file = self._convert(tmp_path, trace_file)
+        capsys.readouterr()
+        assert main(["timeline", seg_file, "--width", "40"]) == 0
+        ascii_seg = capsys.readouterr().out
+        assert main(["timeline", trace_file, "--width", "40"]) == 0
+        assert ascii_seg == capsys.readouterr().out

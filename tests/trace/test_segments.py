@@ -1,0 +1,257 @@
+"""Segmented streaming trace format: round trips, damage, edge shapes."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.errors import SalvageWarning, TraceError
+from repro.record import record
+from repro.sim import Acquire, Compute, Release, Store, Write
+from repro.trace import dump, dumps, load, load_trace
+from repro.trace.segments import (
+    DEFAULT_SEGMENT_EVENTS,
+    SegmentedTraceWriter,
+    index_path,
+    is_segmented_file,
+    load_index,
+    load_segmented,
+    open_segmented,
+    salvage_segmented,
+    segment_digests,
+    write_segmented,
+)
+
+
+def locked_trace(rounds=6):
+    def prog(k):
+        for i in range(rounds):
+            yield Compute(40 + k)
+            yield Acquire(lock="L")
+            yield Write("x", op=Store(i), site=None)
+            yield Release(lock="L")
+
+    return record([(prog(0), "a"), (prog(1), "b")], lock_cost=0, mem_cost=0).trace
+
+
+def zero_event_thread_trace():
+    """A declared thread with no events at all rides along."""
+    trace = locked_trace()
+    trace.add_thread("idle")
+    return trace
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("segment_events", [1, 2, 3, 7, DEFAULT_SEGMENT_EVENTS])
+    def test_byte_identical_round_trip(self, tmp_path, segment_events):
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=segment_events)
+        assert is_segmented_file(path)
+        assert dumps(load_segmented(path)) == dumps(trace)
+
+    def test_plain_container_round_trip(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl"  # no .gz: plain text container
+        write_segmented(trace, path, segment_events=5)
+        assert is_segmented_file(path)
+        assert dumps(load_segmented(path)) == dumps(trace)
+
+    def test_load_dispatches_on_format(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=5)
+        assert dumps(load(path)) == dumps(trace)
+        loaded = load_trace(path)
+        assert loaded.report is None
+        assert dumps(loaded.trace) == dumps(trace)
+
+    def test_monolithic_not_misdetected(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.jsonl.gz"
+        dump(trace, path)
+        assert not is_segmented_file(path)
+
+    def test_gzip_members_are_zcat_compatible(self, tmp_path):
+        # each block is its own gzip member; the concatenation must still
+        # decode as one stream with standard tooling
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=4)
+        text = gzip.decompress(path.read_bytes()).decode()
+        lines = [json.loads(line) for line in text.splitlines()]
+        assert "repro_segments" in lines[0]
+        assert "footer" in lines[-1]
+
+    def test_zero_event_thread(self, tmp_path):
+        trace = zero_event_thread_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=3)
+        loaded = load_segmented(path)
+        assert dumps(loaded) == dumps(trace)
+        assert "idle" in loaded.threads
+
+    def test_cross_segment_symbol_delta(self, tmp_path):
+        # fresh locks/addresses keep appearing, so later segments must
+        # carry symbol deltas that the reader applies incrementally
+        def prog(k):
+            for i in range(12):
+                yield Compute(10 + k)
+                yield Acquire(lock=f"L{i}")
+                yield Write(f"x{i}", op=Store(i), site=None)
+                yield Release(lock=f"L{i}")
+
+        trace = record(
+            [(prog(0), "a"), (prog(1), "b")], lock_cost=0, mem_cost=0
+        ).trace
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=5)
+        assert dumps(load_segmented(path)) == dumps(trace)
+
+    def test_event_exactly_at_chunk_boundary(self, tmp_path):
+        trace = locked_trace(rounds=4)
+        n = len(trace)
+        for segment_events in (n, n - 1, n // 2):
+            path = tmp_path / f"t{segment_events}.seg.jsonl.gz"
+            write_segmented(trace, path, segment_events=segment_events)
+            assert dumps(load_segmented(path)) == dumps(trace)
+
+    def test_writer_rejects_undeclared_thread(self, tmp_path):
+        trace = locked_trace()
+        first, second = trace.thread_ids[0], trace.thread_ids[1]
+        writer = SegmentedTraceWriter(
+            tmp_path / "t.seg.jsonl.gz",
+            meta=trace.meta,
+            threads=[first],  # the second thread is not declared
+            lock_schedule=trace.lock_schedule,
+        )
+        events = list(trace.iter_time_order())
+        stray = next(e for e in events if e.tid == second)
+        with pytest.raises(TraceError, match="undeclared thread"):
+            writer.add(stray)
+        writer.abort()
+        assert not (tmp_path / "t.seg.jsonl.gz").exists()
+
+
+class TestIndex:
+    def test_index_written_and_loadable(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        written = write_segmented(trace, path, segment_events=5)
+        stored = load_index(path)
+        assert stored is not None
+        assert stored.events == written.events == len(trace)
+        assert [s.digest for s in stored.segments] == [
+            s.digest for s in written.segments
+        ]
+
+    def test_digests_agree_with_stream_when_index_missing(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=5)
+        fast = segment_digests(path)
+        index_path(path).unlink()
+        assert segment_digests(path) == fast
+
+    def test_stale_index_ignored(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=5)
+        # rewrite the data file with a different segmentation but leave
+        # the old sidecar behind: file_size no longer matches
+        index_path(path).rename(tmp_path / "stale.idx")
+        write_segmented(trace, path, segment_events=2)
+        (tmp_path / "stale.idx").rename(index_path(path))
+        fresh = write_segmented(trace, tmp_path / "ref.seg.jsonl.gz", segment_events=2)
+        assert segment_digests(path) == [s.digest for s in fresh.segments]
+
+    def test_data_file_self_sufficient(self, tmp_path):
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=5)
+        index_path(path).unlink()
+        assert dumps(load_segmented(path)) == dumps(trace)
+
+
+class TestDamage:
+    def _segmented(self, tmp_path, rounds=12, segment_events=5):
+        trace = locked_trace(rounds=rounds)
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=segment_events)
+        return trace, path
+
+    def test_corrupt_chunk_fails_digest_check(self, tmp_path):
+        trace, path = self._segmented(tmp_path)
+        text = gzip.decompress(path.read_bytes()).decode()
+        lines = text.splitlines()
+        i = next(k for k, line in enumerate(lines) if '"chunk"' in line)
+        damaged = json.loads(lines[i])
+        damaged["t"][0] += 1
+        lines[i] = json.dumps(damaged, separators=(",", ":"), sort_keys=True)
+        blob = gzip.compress(("\n".join(lines) + "\n").encode())
+        path.write_bytes(blob)
+        index_path(path).unlink()
+        with open_segmented(path) as reader, pytest.raises(TraceError, match="digest"):
+            list(reader.segments())
+
+    def test_truncation_strict_fails(self, tmp_path):
+        trace, path = self._segmented(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceError):
+            load(path)
+
+    def test_truncation_salvages_segment_prefix(self, tmp_path):
+        trace, path = self._segmented(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        # the sidecar index survives, so the report knows the full size
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_segmented(path)
+        assert 0 < len(loaded.trace) < len(trace)
+        assert not loaded.report.clean
+        assert loaded.report.dropped_events > 0
+        assert loaded.report.stopped_reason
+        # salvaged prefix upholds the trace invariants: no lock left held
+        for events in loaded.trace.threads.values():
+            held = set()
+            for event in events:
+                if event.kind == "acquire":
+                    held.add(event.lock)
+                elif event.kind == "release":
+                    held.discard(event.lock)
+            assert not held
+
+    def test_salvage_dispatch_through_load_trace(self, tmp_path):
+        trace, path = self._segmented(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: int(len(data) * 0.7)])
+        with pytest.warns(SalvageWarning):
+            loaded = load_trace(path, salvage=True)
+        assert 0 < len(loaded.trace) < len(trace)
+
+    def test_missing_footer_strict_fails_clean_prefix_salvages(self, tmp_path):
+        trace, path = self._segmented(tmp_path)
+        text = gzip.decompress(path.read_bytes()).decode()
+        lines = text.splitlines()
+        assert "footer" in lines[-1]
+        blob = gzip.compress(("\n".join(lines[:-1]) + "\n").encode())
+        path.write_bytes(blob)
+        index_path(path).unlink()
+        with pytest.raises(TraceError, match="footer"):
+            load(path)
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_segmented(path)
+        # every segment survived; only the footer is gone
+        assert len(loaded.trace) == len(trace)
+
+    def test_salvaged_prefix_replays(self, tmp_path):
+        from repro.replay import Replayer
+
+        trace, path = self._segmented(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.warns(SalvageWarning):
+            loaded = salvage_segmented(path)
+        result = Replayer(jitter=0.0).replay(loaded.trace)
+        assert result.end_time >= 0

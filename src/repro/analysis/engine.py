@@ -210,7 +210,28 @@ class _ThreadScanState:
         self.pending_post: List[CriticalSection] = []
 
 
-def scan_segments(reader) -> TraceScan:
+def _restore_scan(reader, checkpoint):
+    """Adopt a checkpointed mid-scan state, or ``None`` for a cold start.
+
+    Any unusable checkpoint — missing, torn, taken against different
+    trace bytes, or a file that can no longer back the claimed position
+    — is cleared and ignored: resuming can only save work, never change
+    the result.
+    """
+    loaded = checkpoint.load()
+    if loaded is None:
+        return None
+    payload, segments_done = loaded
+    try:
+        reader.resume(payload["reader"])
+        return payload["scan"], payload["first_toucher"], payload["states"], \
+            segments_done
+    except (TraceError, KeyError, TypeError):
+        checkpoint.clear()
+        return None
+
+
+def scan_segments(reader, *, checkpoint=None) -> TraceScan:
     """The engine walk of :func:`scan_trace`, over a segment stream.
 
     ``reader`` is a fresh :class:`repro.trace.segments.SegmentedReader`;
@@ -224,6 +245,12 @@ def scan_segments(reader) -> TraceScan:
     Per-thread walk state (open sections, mask accumulators, anchor
     bookkeeping) persists across segment boundaries, so a critical
     section may open in one segment and close many segments later.
+
+    With a :class:`repro.runner.checkpoint.Checkpointer` the carried
+    state is persisted every N segments (the walk state *is* the
+    checkpoint — scan-so-far, per-thread states, suspended reader
+    position), and an existing checkpoint for the same trace bytes
+    fast-forwards the reader so only the unscanned tail is redone.
     """
     with telemetry.span("analyze.scan_segments"):
         tables = reader.tables
@@ -236,6 +263,20 @@ def scan_segments(reader) -> TraceScan:
         states: Dict[str, _ThreadScanState] = {
             tid: _ThreadScanState() for tid in reader.threads
         }
+        start_at = 0
+        if checkpoint is not None:
+            restored = _restore_scan(reader, checkpoint)
+            if restored is not None:
+                scan, first_toucher, states, start_at = restored
+                # resume() installed the pickled tables on the reader;
+                # scan.tables is that same object (pickled together)
+                tables = reader.tables
+                lock_name = tables.locks.name
+                sections = scan.sections
+                body_spans = scan.body_spans
+                shared_ids = scan.shared_ids
+                telemetry.count("analyze.segments_resumed", start_at)
+        segments_done = start_at
 
         for segment in reader.segments():
             for chunk in segment.chunks:
@@ -315,6 +356,15 @@ def scan_segments(reader) -> TraceScan:
                         body_spans[cs.uid] = (tid, span[1], base + i)
                         st.pending_post.append(cs)
                     st.last_uid = uids[i]
+
+            segments_done += 1
+            if checkpoint is not None and checkpoint.due(segments_done):
+                checkpoint.save({
+                    "scan": scan,
+                    "first_toucher": first_toucher,
+                    "states": states,
+                    "reader": reader.suspend(),
+                }, segments_done)
 
         for tid in reader.threads:
             if states[tid].open_by_lock:

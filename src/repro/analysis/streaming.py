@@ -45,7 +45,7 @@ from repro.trace.trace import _uid_order
 
 
 def analyze_segments(
-    path: Union[str, Path], *, benign_detection: bool = True
+    path: Union[str, Path], *, benign_detection: bool = True, checkpoint=None
 ) -> PairAnalysis:
     """Scan, enumerate and classify all same-lock pairs of a segmented file.
 
@@ -53,10 +53,18 @@ def analyze_segments(
     a path to a segmented trace; see the module docstring for the
     memory contract.  The returned analysis carries ``events`` (the
     total event count) since no trace object exists to ``len()``.
+
+    ``checkpoint`` (a :class:`repro.runner.checkpoint.Checkpointer`)
+    makes the scan pass resumable at segment granularity; it is cleared
+    once the analysis completes, so a later identical run starts clean.
     """
     with telemetry.span("analyze.pairs"):
         with open_segmented(path) as reader:
-            scan = scan_segments(reader)
+            scan = scan_segments(reader, checkpoint=checkpoint)
+        if checkpoint is not None:
+            # the scan finished; a leftover checkpoint would only tempt a
+            # future run into "resuming" work that is already done
+            checkpoint.clear()
         sections = scan.sections
 
         classified: List[Tuple[CriticalSection, CriticalSection, str]] = []

@@ -163,11 +163,45 @@ def record(
 # ----------------------------------------------------------------- analyze
 
 
+def _checkpointer_for(path: Union[str, Path], run_id: str, every: int):
+    """Build the segment checkpointer for a resumable streaming analysis.
+
+    The checkpoint is tagged with the trace's index digest and size so a
+    checkpoint never resumes against a different (or rewritten) file, and
+    lives under the active cache root when there is one — otherwise next
+    to the trace itself.
+    """
+    from repro.errors import TraceError
+    from repro.runner import cache as _cache
+    from repro.runner.checkpoint import Checkpointer
+    from repro.runner.journal import sanitize_run_id
+    from repro.trace.segments import ensure_index
+
+    run_id = sanitize_run_id(run_id)
+    index = ensure_index(path)
+    if index is None:
+        raise TraceError(
+            f"cannot checkpoint {path}: the segmented file is damaged "
+            "(no index could be rebuilt)"
+        )
+    tag = f"{index.digest}:{index.file_size}"
+    store = _cache.active()
+    if store is not None:
+        ckpt_path = store.root / "checkpoints" / f"{run_id}.ckpt.pkl.gz"
+    else:
+        p = Path(path)
+        ckpt_path = p.with_name(f"{p.name}.{run_id}.ckpt.pkl.gz")
+    return Checkpointer(ckpt_path, tag=tag, every=every)
+
+
 def analyze(
     trace: TraceLike,
     *,
     benign_detection: bool = True,
     stream: Union[bool, str] = "auto",
+    resume: Optional[str] = None,
+    checkpoint_every: int = 16,
+    budget=None,
     telemetry: Optional[Telemetry] = None,
 ) -> PairAnalysis:
     """Identify and classify every same-lock pair in ``trace``.
@@ -183,16 +217,53 @@ def analyze(
     :class:`~repro.errors.TraceError` for traces and monolithic files);
     ``stream=False`` always loads fully.  Both paths produce identical
     results.
+
+    ``resume`` names a run id whose streaming scan checkpoints every
+    ``checkpoint_every`` segments; a killed analysis re-invoked with the
+    same id restarts from the last checkpoint instead of byte 0 (only
+    meaningful for segmented file paths).  ``budget`` is an optional
+    :class:`repro.runner.budget.RunBudget`: the call fails fast when the
+    deadline has already passed, and memory pressure degrades a
+    ``stream=False`` load of a segmented file back to the streaming path.
     """
     from repro.trace import segments as _segments
 
     with _call("analyze", telemetry):
-        if stream is not False and not isinstance(trace, Trace):
+        from repro import telemetry as _tel
+        from repro.runner import budget as _budget_mod
+
+        if budget is None:
+            budget = _budget_mod.active()
+        if budget is not None and budget.expired():
+            # a spent deadline fails fast; memory pressure, by contrast,
+            # is recoverable — it degrades the load below instead
+            budget.check()
+        want_stream = stream is not False
+        if (
+            not want_stream
+            and budget is not None
+            and not isinstance(trace, Trace)
+            and _segments.is_segmented_file(trace)
+            and budget.over_memory()
+        ):
+            # graceful degradation: a full load under memory pressure
+            # would blow the budget; the streaming path gives the same
+            # answer in one segment's worth of memory
+            _tel.count("analyze.degraded_to_stream")
+            want_stream = True
+        if want_stream and not isinstance(trace, Trace):
             if _segments.is_segmented_file(trace):
                 from repro.analysis.streaming import analyze_segments
 
+                checkpoint = None
+                if resume is not None:
+                    checkpoint = _checkpointer_for(
+                        trace, resume, checkpoint_every
+                    )
                 return analyze_segments(
-                    trace, benign_detection=benign_detection
+                    trace,
+                    benign_detection=benign_detection,
+                    checkpoint=checkpoint,
                 )
         if stream is True:
             from repro.errors import TraceError
@@ -201,6 +272,14 @@ def analyze(
                 "analyze(stream=True) needs a path to a segmented trace "
                 "file (write one with repro.trace.segments.write_segmented "
                 "or `repro convert`)"
+            )
+        if resume is not None:
+            from repro.errors import TraceError
+
+            raise TraceError(
+                "analyze(resume=...) needs a path to a segmented trace "
+                "file; in-memory traces and monolithic files have no "
+                "segment boundaries to checkpoint at"
             )
         return analyze_pairs(
             _coerce_trace(trace), benign_detection=benign_detection
@@ -232,6 +311,24 @@ def transform(
 # ------------------------------------------------------------------ replay
 
 
+def _journal_for(run_id: str, spec: dict):
+    """Attach to (or create) the run journal ``run_id`` under the cache."""
+    from repro.errors import CacheError
+    from repro.runner import cache as _cache
+    from repro.runner import journal as _journal
+
+    store = _cache.active()
+    if store is None:
+        raise CacheError(
+            "resume= needs an active trace cache to hold the run journal "
+            "(enter one with repro.runner.use_cache or repro --cache)"
+        )
+    run_id = _journal.sanitize_run_id(run_id)
+    if _journal.journal_path(store.root, run_id).exists():
+        return _journal.RunJournal.attach(store.root, run_id)
+    return _journal.RunJournal.create(store.root, run_id, spec)
+
+
 def replay(
     trace: TraceLike,
     *,
@@ -241,6 +338,7 @@ def replay(
     jitter: float = 0.02,
     jobs: int = 1,
     timeline: bool = False,
+    resume: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
     **deprecated,
 ) -> Union[ReplayResult, ReplaySeries]:
@@ -253,6 +351,12 @@ def replay(
 
     ``timeline=True`` (single runs only) collects live interval lanes
     into the result's ``intervals`` for :mod:`repro.timeline`.
+
+    ``resume`` names a run id journaled under the active cache
+    (:mod:`repro.runner.journal`): each completed run is recorded as it
+    lands, and re-invoking with the same id skips runs the journal
+    already holds — the series is identical to an uninterrupted call.
+    Needs ``runs>1`` and an active cache.
     """
     if seed is not None:
         deprecated["seed"] = seed
@@ -268,9 +372,25 @@ def replay(
         loaded = _coerce_trace(trace)
         replayer = Replayer(jitter=jitter)
         if runs <= 1:
+            if resume is not None:
+                raise ValueError(
+                    "replay(resume=...) needs runs>1; a single replay has "
+                    "no per-run progress to journal"
+                )
             return replayer.replay(
                 loaded, scheme=scheme, seed=seed, timeline=timeline
             )
+        if resume is not None:
+            from repro.runner.journal import use_journal
+
+            spec = {
+                "api": "replay", "scheme": scheme, "runs": runs,
+                "seed": seed, "jitter": jitter,
+            }
+            with _journal_for(resume, spec) as journal, use_journal(journal):
+                return replayer.replay_many(
+                    loaded, scheme=scheme, runs=runs, seed=seed, jobs=jobs
+                )
         return replayer.replay_many(
             loaded, scheme=scheme, runs=runs, seed=seed, jobs=jobs
         )

@@ -1,0 +1,35 @@
+"""Chaos engineering for the pipeline: crash points and a soak harness.
+
+``repro.chaos`` answers one question: *if this process is SIGKILLed at
+the worst possible instant, is anything on disk torn, stale, or lost?*
+
+Two halves:
+
+* :mod:`repro.chaos.points` — named crash points compiled into every
+  atomic write path (``crash_point("cache.commit")`` etc.), armed per
+  process via ``REPRO_CRASH_POINT``.  Free when unarmed.
+* :mod:`repro.chaos.harness` — a seeded soak loop (``repro chaos``)
+  that spawns child pipelines, kills them at each crash point in turn,
+  audits the on-disk invariants, resumes, and ``cmp``\\ s the resumed
+  output against a clean run.
+"""
+
+from repro.chaos.points import (
+    CRASH_POINTS,
+    ENV_VAR,
+    arm,
+    armed,
+    crash_point,
+    disarm,
+    parse_spec,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "ENV_VAR",
+    "arm",
+    "armed",
+    "crash_point",
+    "disarm",
+    "parse_spec",
+]

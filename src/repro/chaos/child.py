@@ -1,0 +1,187 @@
+"""One crash-prone pipeline operation, run as a killable subprocess.
+
+``python -m repro.chaos.child OP DIR`` performs exactly one operation of
+the soak harness (:mod:`repro.chaos.harness`) inside the scratch
+directory ``DIR``.  The harness arms a crash point via the
+``REPRO_CRASH_POINT`` environment variable before spawning this module,
+so the process may be SIGKILLed at any of the named commit points; run
+again with the variable unset, the same invocation must complete and
+produce output identical to a never-killed run.
+
+Operations (each reads its input from ``DIR`` and writes ``out.*``):
+
+``dump``
+    Load ``input.jsonl.gz`` and re-dump it (crash point ``trace.dump``).
+``segment``
+    Load ``input.jsonl.gz`` and write the segmented format (crash points
+    ``segments.flush`` / ``segments.close`` / ``segments.index``).
+``cache``
+    Commit a blob into the cache under ``DIR/cache`` (``cache.commit``).
+``journal``
+    A journaled ``parallel_map`` over :data:`TASKS` under ``DIR/cache``
+    (``journal.append`` + ``cache.commit``); resuming attaches to the
+    same run id and skips completed tasks.
+``analyze``
+    Streaming analysis of ``input.seg.jsonl.gz`` with a segment
+    checkpoint (``checkpoint.save``); resuming restarts from the last
+    checkpoint, and ``resume_stats.json`` records how much was skipped.
+
+``--fault SPEC`` (repeatable) additionally installs a
+:mod:`repro.faults` plan for the operation, so the harness can compose
+logical fault injection with the process-level kills.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: the journaled fan-out's work list; small but big enough that a kill
+#: mid-run leaves a meaningful completed prefix to skip on resume
+TASKS = [(i, (i * 7) % 13) for i in range(12)]
+
+#: run id shared by the kill and the resume invocation of one cycle
+RUN_ID = "chaos"
+
+#: key of the blob the ``cache`` operation commits
+BLOB_KEY = "chaossoakblob0"
+
+#: segments between checkpoints for the ``analyze`` operation — small,
+#: so a resumed scan provably redoes only the tail past the last save
+CHECKPOINT_EVERY = 2
+
+
+def _cell(task):
+    """The deterministic pure task function of the ``journal`` op."""
+    a, b = task
+    return (a * 1000003 + b * 7919) % 1000081
+
+
+def _payload():
+    """The deterministic value the ``cache`` op commits."""
+    return {"cells": [_cell((i, i + 1)) for i in range(32)]}
+
+
+def _analysis_json(analysis) -> str:
+    """Canonical JSON of a streaming analysis, for byte comparison."""
+    breakdown = analysis.breakdown
+    return json.dumps({
+        "events": analysis.events,
+        "sections": len(analysis.sections),
+        "pairs": len(analysis.pairs),
+        "breakdown": {
+            "null_lock": breakdown.null_lock,
+            "read_read": breakdown.read_read,
+            "disjoint_write": breakdown.disjoint_write,
+            "benign": breakdown.benign,
+            "tlcp": breakdown.tlcp,
+        },
+    }, indent=2, sort_keys=True)
+
+
+def op_dump(root: Path) -> None:
+    from repro.trace import serialize
+
+    trace = serialize.load(root / "input.jsonl.gz")
+    serialize.dump(trace, root / "out.jsonl.gz")
+
+
+def op_segment(root: Path) -> None:
+    from repro.trace import serialize
+    from repro.trace.segments import write_segmented
+
+    trace = serialize.load(root / "input.jsonl.gz")
+    segment_events = int((root / "segment_events.txt").read_text())
+    write_segmented(
+        trace, root / "out.seg.jsonl.gz", segment_events=segment_events
+    )
+
+
+def op_cache(root: Path) -> None:
+    from repro.runner.cache import TraceCache
+
+    TraceCache(root / "cache").put_blob(BLOB_KEY, _payload())
+
+
+def op_journal(root: Path) -> None:
+    import pickle
+
+    from repro.runner import ExecPolicy, parallel_map
+    from repro.runner import cache as cache_mod
+    from repro.runner import journal as journal_mod
+    from repro.runner.journal import use_journal
+
+    with cache_mod.use_cache(root / "cache"):
+        store = cache_mod.active()
+        if journal_mod.journal_path(store.root, RUN_ID).exists():
+            journal = journal_mod.RunJournal.attach(store.root, RUN_ID)
+        else:
+            journal = journal_mod.RunJournal.create(
+                store.root, RUN_ID, {"op": "journal"}
+            )
+        with journal, use_journal(journal):
+            results = parallel_map(
+                _cell, TASKS, jobs=1, policy=ExecPolicy(retries=2)
+            )
+    (root / "out.results.pkl").write_bytes(
+        pickle.dumps(results, protocol=4)
+    )
+
+
+def op_analyze(root: Path) -> None:
+    from repro import api, telemetry
+    from repro.telemetry import to_dict
+
+    sink = telemetry.Telemetry()
+    analysis = api.analyze(
+        root / "input.seg.jsonl.gz",
+        resume=RUN_ID,
+        checkpoint_every=CHECKPOINT_EVERY,
+        telemetry=sink,
+    )
+    (root / "out.analysis.json").write_text(
+        _analysis_json(analysis) + "\n", encoding="utf-8"
+    )
+    counters = to_dict(sink, timings=False)["counters"]
+    (root / "resume_stats.json").write_text(
+        json.dumps({
+            "segments_resumed": counters.get("analyze.segments_resumed", 0),
+        }) + "\n",
+        encoding="utf-8",
+    )
+
+
+OPERATIONS = {
+    "dump": op_dump,
+    "segment": op_segment,
+    "cache": op_cache,
+    "journal": op_journal,
+    "analyze": op_analyze,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.chaos.child")
+    parser.add_argument("op", choices=sorted(OPERATIONS))
+    parser.add_argument("dir")
+    parser.add_argument("--fault", action="append", default=[])
+    parser.add_argument("--fault-seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    import contextlib
+
+    from repro import faults
+
+    injection = contextlib.nullcontext()
+    if args.fault:
+        plan = faults.FaultPlan.parse(args.fault, seed=args.fault_seed)
+        injection = faults.use_plan(plan)
+    with injection:
+        OPERATIONS[args.op](Path(args.dir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,428 @@
+"""Seeded kill -> resume soak harness for the crash-safety invariants.
+
+:func:`run_soak` drives the chaos loop behind ``repro chaos``: each
+cycle picks an operation and one of its crash points from a seeded RNG,
+runs the operation as a subprocess (:mod:`repro.chaos.child`) with the
+crash point armed via ``REPRO_CRASH_POINT`` — so the process is
+SIGKILLed mid-commit, exactly like a power cut or an OOM kill — then
+audits the wreckage and resumes.  Invariants checked on every cycle:
+
+* **No torn artifacts.**  Every output file either does not exist yet
+  or is complete and byte-identical to the golden copy; atomic-write
+  staging files (``.tmp-<pid>-*``) are reaped and none survive.
+* **Stores stay loadable.**  The cache opens and every blob reads (or
+  self-heals as a miss); the run journal parses, a torn tail line is
+  tolerated and sealed.
+* **Resume equals clean.**  Re-running the same operation without the
+  kill completes with the exact bytes (or values) of a never-killed
+  run — journaled fan-outs skip completed tasks, checkpointed scans
+  restart from the last checkpoint instead of byte 0.
+
+Some resume cycles additionally install a :mod:`repro.faults` plan
+(worker crash, blob corruption) in the child, composing logical fault
+injection with the process-level kills.
+
+Everything is derived from ``seed``: the op/point schedule, the fault
+composition, and the golden workload — so a failing cycle is
+re-runnable with ``repro chaos --seed S --cycles N``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import Dict, List, Optional, Sequence
+
+from repro.chaos import child as child_mod
+from repro.chaos.points import ENV_VAR, parse_spec
+
+#: operations the soak loop can pick from
+OPS = ("dump", "segment", "cache", "journal", "analyze")
+
+#: crash points each operation can plausibly die at
+POINTS_BY_OP = {
+    "dump": ("trace.dump",),
+    "segment": ("segments.flush", "segments.close", "segments.index"),
+    "cache": ("cache.commit",),
+    "journal": ("journal.append", "cache.commit"),
+    "analyze": ("checkpoint.save",),
+}
+
+#: fault specs occasionally composed into the *resume* leg of a cycle
+RESUME_FAULTS = {
+    "journal": ["cache.blob_corrupt:nth=1,times=2"],
+}
+
+
+@dataclass
+class CycleResult:
+    """One kill -> audit -> resume -> verify round."""
+
+    index: int
+    op: str
+    point: str
+    nth: int
+    killed: bool
+    resumed_segments: Optional[int] = None
+    faults: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SoakReport:
+    """The outcome of a :func:`run_soak` loop."""
+
+    cycles: int
+    seed: int
+    results: List[CycleResult] = field(default_factory=list)
+
+    @property
+    def kills(self) -> Counter:
+        return Counter(r.point for r in self.results if r.killed)
+
+    @property
+    def violations(self) -> List[str]:
+        return [
+            f"cycle {r.index} ({r.op} @ {r.point}#{r.nth}): {v}"
+            for r in self.results
+            for v in r.violations
+        ]
+
+    def render(self) -> str:
+        lines = [
+            f"chaos soak: {len(self.results)} cycles, seed {self.seed}",
+            f"kills per crash point "
+            f"({sum(self.kills.values())} total):",
+        ]
+        for point in sorted(self.kills):
+            lines.append(f"  {point:<18} {self.kills[point]}")
+        survived = sum(1 for r in self.results if not r.killed)
+        if survived:
+            lines.append(f"  (no kill — point not reached: {survived})")
+        resumed = [
+            r for r in self.results
+            if r.killed and r.resumed_segments is not None
+        ]
+        if resumed:
+            mean = sum(r.resumed_segments for r in resumed) / len(resumed)
+            lines.append(
+                f"checkpoint resumes skipped {mean:.1f} segments on average"
+            )
+        composed = sum(1 for r in self.results if r.faults)
+        if composed:
+            lines.append(f"fault-composed resumes: {composed}")
+        if self.violations:
+            lines.append(f"INVARIANT VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"  {v}" for v in self.violations)
+        else:
+            lines.append("invariant violations: none")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "cycles": len(self.results),
+            "seed": self.seed,
+            "kills": dict(sorted(self.kills.items())),
+            "violations": self.violations,
+            "results": [
+                {
+                    "index": r.index, "op": r.op, "point": r.point,
+                    "nth": r.nth, "killed": r.killed,
+                    "resumed_segments": r.resumed_segments,
+                    "faults": r.faults, "violations": r.violations,
+                }
+                for r in self.results
+            ],
+        }, indent=2, sort_keys=True)
+
+
+@dataclass
+class _Goldens:
+    """Clean-run reference artifacts every cycle is compared against."""
+
+    base: Path
+    segment_events: int
+    segments: int
+    journal_entries: int
+    dump_bytes: bytes
+    segment_bytes: bytes
+    index_json: dict
+    analysis_json: str
+    journal_results: list
+
+
+def _build_goldens(base: Path) -> _Goldens:
+    from repro import api
+    from repro.trace import serialize
+    from repro.trace.segments import write_segmented
+
+    base.mkdir(parents=True, exist_ok=True)
+    trace = api.record("mysql", threads=3, input_size="simsmall")
+    serialize.dump(trace, base / "input.jsonl.gz")
+    segment_events = max(16, len(trace) // 12)
+    index = write_segmented(
+        trace, base / "input.seg.jsonl.gz", segment_events=segment_events
+    )
+    (base / "segment_events.txt").write_text(str(segment_events))
+    analysis = api.analyze(base / "input.seg.jsonl.gz")
+    # appends through the crash point: a start and a done per task plus
+    # the final complete line (the header is written atomically, outside
+    # the append path, so a kill can never tear it)
+    journal_entries = 2 * len(child_mod.TASKS) + 1
+    return _Goldens(
+        base=base,
+        segment_events=segment_events,
+        segments=len(index.segments),
+        journal_entries=journal_entries,
+        dump_bytes=(base / "input.jsonl.gz").read_bytes(),
+        segment_bytes=(base / "input.seg.jsonl.gz").read_bytes(),
+        index_json=json.loads(
+            (base / "input.seg.jsonl.gz.idx").read_text()
+        ),
+        analysis_json=child_mod._analysis_json(analysis) + "\n",
+        journal_results=[child_mod._cell(t) for t in child_mod.TASKS],
+    )
+
+
+def _max_nth(op: str, point: str, goldens: _Goldens) -> int:
+    """Upper bound for the 1-based hit count of ``point`` under ``op``."""
+    if point == "segments.flush":
+        return goldens.segments
+    if point == "journal.append":
+        return goldens.journal_entries
+    if point == "cache.commit" and op == "journal":
+        return len(child_mod.TASKS)
+    if point == "checkpoint.save":
+        return max(1, goldens.segments // child_mod.CHECKPOINT_EVERY)
+    return 1
+
+
+def _child_env() -> Dict[str, str]:
+    import repro
+
+    env = dict(os.environ)
+    env.pop(ENV_VAR, None)
+    env.pop("REPRO_CACHE_DIR", None)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _run_child(op: str, cycle_dir: Path, *, crash: Optional[str] = None,
+               fault: Sequence[str] = ()) -> subprocess.CompletedProcess:
+    env = _child_env()
+    if crash is not None:
+        env[ENV_VAR] = crash
+    argv = [sys.executable, "-m", "repro.chaos.child", op, str(cycle_dir)]
+    for spec in fault:
+        argv += ["--fault", spec]
+    return subprocess.run(
+        argv, env=env, capture_output=True, text=True, timeout=120
+    )
+
+
+def _setup_cycle(cycle_dir: Path, op: str, goldens: _Goldens) -> None:
+    cycle_dir.mkdir(parents=True, exist_ok=True)
+    if op in ("dump", "segment"):
+        shutil.copy2(goldens.base / "input.jsonl.gz", cycle_dir)
+    if op == "segment":
+        shutil.copy2(goldens.base / "segment_events.txt", cycle_dir)
+    if op == "analyze":
+        shutil.copy2(goldens.base / "input.seg.jsonl.gz", cycle_dir)
+        shutil.copy2(goldens.base / "input.seg.jsonl.gz.idx", cycle_dir)
+
+
+def _audit_wreckage(cycle_dir: Path, op: str, goldens: _Goldens) -> List[str]:
+    """Invariants that must hold immediately after the SIGKILL."""
+    from repro.util import tmp as tmpfiles
+
+    violations = []
+    tmpfiles.reap_stale(cycle_dir)
+    leftovers = [
+        str(p.relative_to(cycle_dir))
+        for p in sorted(cycle_dir.rglob("*"))
+        if tmpfiles.is_tmp_name(p.name)
+    ]
+    if leftovers:
+        violations.append(f"tmp files survived the reap: {leftovers}")
+
+    if op == "dump":
+        out = cycle_dir / "out.jsonl.gz"
+        if out.exists() and out.read_bytes() != goldens.dump_bytes:
+            violations.append("torn dump: out file exists but differs")
+    elif op == "segment":
+        out = cycle_dir / "out.seg.jsonl.gz"
+        if out.exists():
+            if out.read_bytes() != goldens.segment_bytes:
+                violations.append("torn segmented file after kill")
+            else:
+                # data committed; a missing/stale sidecar must re-index
+                from repro.trace.segments import open_segmented
+
+                try:
+                    with open_segmented(out) as reader:
+                        total = sum(
+                            1 for seg in reader.segments()
+                            for chunk in seg.chunks
+                            for _ in range(len(chunk.column.kind))
+                        )
+                except Exception as exc:  # noqa: BLE001 - audit boundary
+                    violations.append(f"committed data unreadable: {exc!r}")
+                else:
+                    expected = goldens.index_json["events"]
+                    if total != expected:
+                        violations.append(
+                            f"re-indexed read saw {total} events, "
+                            f"expected {expected}"
+                        )
+    elif op in ("cache", "journal"):
+        violations += _audit_cache(cycle_dir / "cache")
+        if op == "journal":
+            violations += _audit_journal(cycle_dir / "cache")
+    elif op == "analyze":
+        ckpt = cycle_dir / f"input.seg.jsonl.gz.{child_mod.RUN_ID}.ckpt.pkl.gz"
+        if ckpt.exists():
+            from repro.runner.checkpoint import Checkpointer
+
+            try:
+                Checkpointer(ckpt, tag="audit-any").load()
+            except Exception as exc:  # noqa: BLE001 - audit boundary
+                violations.append(f"checkpoint load raised: {exc!r}")
+    return violations
+
+
+def _audit_cache(root: Path) -> List[str]:
+    if not root.exists():
+        return []
+    from repro.runner.cache import TraceCache
+
+    violations = []
+    store = TraceCache(root)
+    try:
+        store.info()
+    except Exception as exc:  # noqa: BLE001 - audit boundary
+        violations.append(f"cache info raised: {exc!r}")
+    for path in sorted((root / "blobs").rglob("*.pkl.gz")):
+        key = path.name[: -len(".pkl.gz")]
+        try:
+            store.get_blob(key)
+        except Exception as exc:  # noqa: BLE001 - audit boundary
+            violations.append(f"blob {key} unreadable: {exc!r}")
+    return violations
+
+
+def _audit_journal(root: Path) -> List[str]:
+    from repro.runner import journal as journal_mod
+
+    path = journal_mod.journal_path(root, child_mod.RUN_ID)
+    if not path.exists():
+        return []
+    try:
+        journal_mod.read_journal(path)
+    except Exception as exc:  # noqa: BLE001 - audit boundary
+        return [f"journal unreadable after kill: {exc!r}"]
+    return []
+
+
+def _verify_resume(cycle_dir: Path, op: str, goldens: _Goldens,
+                   result: CycleResult) -> List[str]:
+    """The resumed run must equal a clean one, bit for bit."""
+    violations = []
+    if op == "dump":
+        if (cycle_dir / "out.jsonl.gz").read_bytes() != goldens.dump_bytes:
+            violations.append("resumed dump differs from clean run")
+    elif op == "segment":
+        if (cycle_dir / "out.seg.jsonl.gz").read_bytes() != goldens.segment_bytes:
+            violations.append("resumed segmented file differs from clean run")
+        index = json.loads((cycle_dir / "out.seg.jsonl.gz.idx").read_text())
+        if index != goldens.index_json:
+            violations.append("resumed index sidecar differs from clean run")
+    elif op == "cache":
+        from repro.runner.cache import TraceCache
+
+        value = TraceCache(cycle_dir / "cache").get_blob(child_mod.BLOB_KEY)
+        if value != child_mod._payload():
+            violations.append("resumed cache blob differs from clean value")
+    elif op == "journal":
+        import pickle
+
+        results = pickle.loads((cycle_dir / "out.results.pkl").read_bytes())
+        if results != goldens.journal_results:
+            violations.append("resumed fan-out results differ from clean run")
+    elif op == "analyze":
+        text = (cycle_dir / "out.analysis.json").read_text()
+        if text != goldens.analysis_json:
+            violations.append("resumed analysis differs from clean run")
+        stats = json.loads((cycle_dir / "resume_stats.json").read_text())
+        result.resumed_segments = stats.get("segments_resumed", 0)
+    return violations
+
+
+def run_soak(cycles: int = 25, seed: int = 0,
+             ops: Optional[Sequence[str]] = None, keep: bool = False,
+             workdir: Optional[Path] = None) -> SoakReport:
+    """Run the seeded kill -> resume soak loop; see the module docstring."""
+    chosen = tuple(ops) if ops else OPS
+    unknown = [op for op in chosen if op not in OPS]
+    if unknown:
+        raise ValueError(f"unknown chaos ops {unknown}; known: {list(OPS)}")
+    rng = Random(seed)
+    report = SoakReport(cycles=cycles, seed=seed)
+    owned = workdir is None
+    base = Path(workdir) if workdir else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    try:
+        goldens = _build_goldens(base / "golden")
+        for i in range(cycles):
+            op = rng.choice(chosen)
+            point = rng.choice(POINTS_BY_OP[op])
+            nth = rng.randint(1, _max_nth(op, point, goldens))
+            parse_spec(f"{point}@{nth}")  # fail fast on a bad schedule
+            result = CycleResult(
+                index=i, op=op, point=point, nth=nth, killed=False
+            )
+            cycle_dir = base / f"cycle-{i:04d}"
+            _setup_cycle(cycle_dir, op, goldens)
+
+            proc = _run_child(op, cycle_dir, crash=f"{point}@{nth}")
+            if proc.returncode == -9:
+                result.killed = True
+            elif proc.returncode != 0:
+                result.violations.append(
+                    f"armed child failed with rc={proc.returncode}: "
+                    f"{proc.stderr.strip()[-200:]}"
+                )
+            result.violations += _audit_wreckage(cycle_dir, op, goldens)
+
+            fault = list(RESUME_FAULTS.get(op, ())) if (
+                result.killed and rng.random() < 0.25
+            ) else []
+            result.faults = fault
+            proc = _run_child(op, cycle_dir, fault=fault)
+            if proc.returncode != 0:
+                result.violations.append(
+                    f"resume failed with rc={proc.returncode}: "
+                    f"{proc.stderr.strip()[-200:]}"
+                )
+            else:
+                result.violations += _verify_resume(
+                    cycle_dir, op, goldens, result
+                )
+
+            report.results.append(result)
+            if not keep and not result.violations:
+                shutil.rmtree(cycle_dir, ignore_errors=True)
+    finally:
+        if owned and not keep and not report.violations:
+            shutil.rmtree(base, ignore_errors=True)
+    return report

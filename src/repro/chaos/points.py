@@ -1,0 +1,113 @@
+"""Named crash points: deterministic SIGKILL sites for the chaos harness.
+
+A *crash point* is a named place in the write path where a process can be
+killed hard — not an exception, an actual ``SIGKILL`` — to prove that the
+atomic-write and journaling invariants hold under the worst interruption
+the OS can deliver.  Unlike :mod:`repro.faults` (which raises
+:class:`~repro.errors.FaultInjected` and exercises the *recovery* code),
+a crash point exercises what is left *on disk* when there is no recovery
+code left to run.
+
+Arming is per process, via the environment::
+
+    REPRO_CRASH_POINT="cache.commit@2"    # die at the 2nd hit of the site
+
+The ``@nth`` suffix (1-based, default 1) selects which hit fires, so a
+harness can kill at any chosen write of a multi-write run.  With the
+variable unset, :func:`crash_point` is a single attribute check — the
+instrumented hot paths pay nothing in normal operation.
+
+The registry below is the documented contract between the instrumented
+sites and :mod:`repro.chaos.harness`; see INTERNALS §14.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+from typing import Dict, Optional, Tuple
+
+#: environment variable arming one crash point for this process
+ENV_VAR = "REPRO_CRASH_POINT"
+
+#: every instrumented crash point and where it kills
+CRASH_POINTS: Dict[str, str] = {
+    "trace.dump": "serialize.dump: trace tmp fully written, before os.replace",
+    "segments.flush": "segmented writer: mid-stream, after a segment block "
+                      "lands in the tmp file",
+    "segments.close": "segmented writer: footer written, before the data "
+                      "file's os.replace",
+    "segments.index": "segmented writer: data file installed, before the "
+                      ".idx sidecar is written (stale-index case)",
+    "cache.commit": "cache.put_blob: blob tmp written, before os.replace",
+    "journal.append": "run journal: half a ledger line written (torn tail)",
+    "checkpoint.save": "checkpointer: checkpoint tmp written, before "
+                       "os.replace",
+}
+
+_armed: Optional[Tuple[str, int]] = None
+_hits = 0
+
+
+def parse_spec(spec: str) -> Tuple[str, int]:
+    """``"<point>@<nth>"`` -> ``(point, nth)``; bare ``"<point>"`` means 1."""
+    point, _, nth_text = spec.partition("@")
+    point = point.strip()
+    if point not in CRASH_POINTS:
+        raise ValueError(
+            f"unknown crash point {point!r} (known: "
+            f"{', '.join(sorted(CRASH_POINTS))})"
+        )
+    nth = 1
+    if nth_text:
+        nth = int(nth_text)
+        if nth < 1:
+            raise ValueError(f"crash point hit count must be >= 1: {nth}")
+    return point, nth
+
+
+def arm(spec: str) -> None:
+    """Arm one crash point in this process (``"<point>[@nth]"``)."""
+    global _armed, _hits
+    _armed = parse_spec(spec)
+    _hits = 0
+
+
+def disarm() -> None:
+    global _armed, _hits
+    _armed = None
+    _hits = 0
+
+
+def armed() -> Optional[Tuple[str, int]]:
+    return _armed
+
+
+def kill_now() -> None:
+    """Die the way a machine does: no atexit, no finally, no flush."""
+    sys.stdout.flush()
+    sys.stderr.flush()
+    sig = getattr(signal, "SIGKILL", None)
+    if sig is not None:
+        os.kill(os.getpid(), sig)
+    os._exit(137)  # platforms without SIGKILL
+
+
+def crash_point(name: str) -> None:
+    """Kill the process here iff this is the armed point's nth hit."""
+    if _armed is None:
+        return
+    global _hits
+    point, nth = _armed
+    if name != point:
+        return
+    _hits += 1
+    if _hits >= nth:
+        kill_now()
+
+
+_env_spec = os.environ.get(ENV_VAR)
+if _env_spec:
+    arm(_env_spec)
+del _env_spec

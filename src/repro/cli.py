@@ -40,6 +40,14 @@ Commands
     ``--jobs N`` fans independent cells over a worker pool; output is
     bit-for-bit identical to a serial run.  Results are memoized in a
     content-addressed on-disk cache (default ``.repro-cache/``).
+``resume RUN_ID``
+    Continue an ``experiment --run-id RUN_ID`` run that was killed:
+    the journal under the cache root replays the original invocation,
+    completed tasks are skipped, and the output is identical to an
+    uninterrupted run.
+``chaos [--cycles N] [--seed S]``
+    Seeded kill->resume soak harness: crash the pipeline at named
+    crash-points, resume, and verify cache/journal/trace invariants.
 ``cache info | cache clear [--cache-dir DIR]``
     Inspect or empty the on-disk result cache.
 ``sensitivity WORKLOAD``
@@ -78,6 +86,10 @@ Global flags (before the subcommand): ``--log-level
 debug|info|warning|error`` and ``--log-json`` configure the package's
 structured diagnostics (:mod:`repro.log`) — worker retries and
 quarantines, trace-salvage events, run ids from the facade.
+
+Exit codes: 0 success, 1 error, 2 usage, 3 completed but degraded
+(quarantined or budget-stopped cells under ``--partial``), 130
+interrupted (SIGINT) after journal/telemetry were flushed.
 """
 
 from __future__ import annotations
@@ -91,6 +103,16 @@ from repro.perfdebug.framework import PerfPlay
 from repro.replay.schemes import ALL_SCHEMES, ELSC_S
 from repro.trace import serialize
 from repro.workloads import get_workload, workload_names
+
+# Process exit codes, stable across releases (documented in the README):
+# 0 clean success, 1 error, 2 usage, 3 completed-but-degraded (quarantined
+# or budget-stopped cells under --partial), 130 operator interrupt
+# (SIGINT), issued only after journal and telemetry were flushed.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+EXIT_INTERRUPTED = 130
 
 
 def _add_workload_options(parser):
@@ -279,9 +301,14 @@ def cmd_replay(args) -> int:
 def cmd_analyze(args) -> int:
     if _want_stream(args.trace, args):
         analysis = api.analyze(
-            args.trace, benign_detection=not args.no_benign, stream=True
+            args.trace, benign_detection=not args.no_benign, stream=True,
+            resume=args.resume, checkpoint_every=args.checkpoint_every,
         )
     else:
+        if args.resume is not None:
+            print("error: --resume needs a segmented trace file and the "
+                  "streaming path (see 'repro convert')", file=sys.stderr)
+            return EXIT_USAGE
         trace = _load_trace(args.trace, args)
         analysis = api.analyze(
             trace, benign_detection=not args.no_benign, stream=False
@@ -573,43 +600,162 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_experiment(args) -> int:
+def _experiment_spec(args) -> dict:
+    """The resumable description of an ``experiment`` invocation.
+
+    Everything needed to re-run the command identically lives here; the
+    journal stores it in its header so ``repro resume RUN_ID`` can
+    rebuild the invocation without the original command line.
+    """
+    return {
+        "name": args.name,
+        "jobs": args.jobs,
+        "task_timeout": args.task_timeout,
+        "retries": args.retries,
+        "partial": args.partial,
+        "fault": list(args.fault),
+        "fault_seed": args.fault_seed,
+        "deadline": args.deadline,
+        "max_rss": args.max_rss,
+    }
+
+
+def _run_experiment(spec: dict, root, run_id=None) -> int:
+    """Run experiment(s) per ``spec`` — shared by experiment and resume.
+
+    With ``run_id`` (and a cache root to keep the ledger in), progress is
+    journaled task by task: a killed run re-invoked as ``repro resume
+    RUN_ID`` skips every task whose result the journal already holds and
+    produces output identical to an uninterrupted run.
+    """
     import contextlib
 
     from repro import faults
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.runner import ExecPolicy, cache
+    from repro.runner import ExecPolicy, RunBudget, cache, use_budget
+    from repro.runner import journal as journal_mod
+    from repro.runner.journal import use_journal
+    from repro.runner.pool import RUN_STATS
 
-    if args.name == "all":
+    if spec["name"] == "all":
         names = list(ALL_EXPERIMENTS)
-    elif args.name in ALL_EXPERIMENTS:
-        names = [args.name]
+    elif spec["name"] in ALL_EXPERIMENTS:
+        names = [spec["name"]]
     else:
-        print(f"unknown experiment {args.name!r}; known: "
+        print(f"unknown experiment {spec['name']!r}; known: "
               f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    policy = None
+    if spec["partial"] or spec["retries"] or spec["task_timeout"] is not None:
+        policy = ExecPolicy(
+            timeout=spec["task_timeout"],
+            retries=spec["retries"],
+            partial=spec["partial"],
+        )
+    injection = contextlib.nullcontext()
+    if spec["fault"]:
+        plan = faults.FaultPlan.parse(spec["fault"], seed=spec["fault_seed"])
+        injection = faults.use_plan(plan)
+    budget_ctx = contextlib.nullcontext()
+    if spec.get("deadline") is not None or spec.get("max_rss") is not None:
+        budget_ctx = use_budget(RunBudget(
+            deadline=spec.get("deadline"), max_rss_mb=spec.get("max_rss"),
+        ))
+    RUN_STATS.reset()
+    with injection, cache.use_cache(root), budget_ctx:
+        journal_ctx = contextlib.nullcontext()
+        if run_id is not None:
+            store = cache.active()
+            if store is None:
+                print("error: --run-id needs the on-disk cache "
+                      "(drop --no-cache)", file=sys.stderr)
+                return EXIT_USAGE
+            run_id = journal_mod.sanitize_run_id(run_id)
+            if journal_mod.journal_path(store.root, run_id).exists():
+                journal = journal_mod.RunJournal.attach(store.root, run_id)
+            else:
+                journal = journal_mod.RunJournal.create(store.root, run_id, spec)
+            journal_ctx = contextlib.ExitStack()
+            journal_ctx.enter_context(journal)
+            journal_ctx.enter_context(use_journal(journal))
+        with journal_ctx:
+            for name in names:
+                ALL_EXPERIMENTS[name].main(jobs=spec["jobs"], policy=policy)
+                print()
+    return EXIT_PARTIAL if RUN_STATS.degraded() else EXIT_OK
+
+
+def cmd_experiment(args) -> int:
+    from repro.runner import cache
+
     if args.no_cache:
         root = None
     elif args.cache_dir:
         root = args.cache_dir
     else:
         root = cache.default_cache_dir()
-    policy = None
-    if args.partial or args.retries or args.task_timeout is not None:
-        policy = ExecPolicy(
-            timeout=args.task_timeout,
-            retries=args.retries,
-            partial=args.partial,
+    if args.run_id is not None and root is None:
+        print("error: --run-id needs the on-disk cache (drop --no-cache)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    return _run_experiment(_experiment_spec(args), root, run_id=args.run_id)
+
+
+def cmd_resume(args) -> int:
+    from repro.runner import cache
+    from repro.runner import journal as journal_mod
+
+    root = args.cache_dir or cache.default_cache_dir()
+    from pathlib import Path
+
+    run_id = journal_mod.sanitize_run_id(args.run_id)
+    path = journal_mod.journal_path(Path(root), run_id)
+    if not path.exists():
+        known = journal_mod.list_runs(Path(root))
+        hint = f" (known runs: {', '.join(known)})" if known else ""
+        print(f"error: no journal for run {run_id!r} under {root}{hint}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    header, _events, skipped = journal_mod.read_journal(path)
+    if skipped:
+        log.get_logger("cli").warning(
+            "journal %s: %d malformed line(s) ignored", run_id, skipped,
+            extra={"event": "cli.journal_skipped", "run_id": run_id},
         )
-    injection = contextlib.nullcontext()
-    if args.fault:
-        plan = faults.FaultPlan.parse(args.fault, seed=args.fault_seed)
-        injection = faults.use_plan(plan)
-    with injection, cache.use_cache(root):
-        for name in names:
-            ALL_EXPERIMENTS[name].main(jobs=args.jobs, policy=policy)
-            print()
-    return 0
+    spec = dict(header.get("spec") or {})
+    if not spec.get("name"):
+        print(f"error: journal {run_id!r} has no resumable experiment spec",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.jobs is not None:
+        # worker count does not affect results, so it is fair game to
+        # override on resume; everything else must replay the original
+        spec["jobs"] = args.jobs
+    print(f"resuming run {run_id}: experiment {spec['name']}")
+    return _run_experiment(spec, root, run_id=run_id)
+
+
+def cmd_chaos(args) -> int:
+    from repro.chaos.harness import OPS, run_soak
+
+    unknown = [op for op in (args.ops or ()) if op not in OPS]
+    if unknown:
+        print(f"error: unknown chaos ops {unknown}; known: {list(OPS)}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    report = run_soak(
+        cycles=args.cycles,
+        seed=args.seed,
+        ops=args.ops or None,
+        keep=args.keep,
+    )
+    print(report.render())
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"chaos report -> {args.report}", file=sys.stderr)
+    return EXIT_OK if not report.violations else EXIT_ERROR
 
 
 def cmd_faults(args) -> int:
@@ -726,6 +872,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-benign", action="store_true",
                    help="skip the reversed-replay benign test "
                         "(conflicting pairs count as TLCPs)")
+    p.add_argument("--resume", metavar="RUN_ID", default=None,
+                   help="checkpoint the streaming scan under this run id "
+                        "and resume it from the last checkpoint if one "
+                        "exists (segmented files only)")
+    p.add_argument("--checkpoint-every", type=int, default=16, metavar="N",
+                   help="segments between checkpoints (default: %(default)s)")
     _add_format_option(p)
     _add_telemetry_options(p)
 
@@ -844,7 +996,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a fault (repeatable); see 'repro faults list'")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for rate-based fault rules")
+    p.add_argument("--run-id", default=None, metavar="RUN_ID",
+                   help="journal progress under this id so a killed run "
+                        "can continue with 'repro resume RUN_ID' "
+                        "(needs the cache)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget for the whole run; tasks past "
+                        "it stop (quarantined under --partial)")
+    p.add_argument("--max-rss", type=float, default=None, metavar="MB",
+                   help="peak-RSS watermark; memory pressure degrades "
+                        "full loads to the streaming path")
     _add_telemetry_options(p)
+
+    p = sub.add_parser(
+        "resume", help="continue an interrupted journaled experiment run"
+    )
+    p.add_argument("run_id", help="run id given to experiment --run-id")
+    p.add_argument("--cache-dir",
+                   help="cache directory holding the journal "
+                        "(default: .repro-cache)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="override the worker count (results are identical "
+                        "for any value)")
+    _add_telemetry_options(p)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded kill/resume soak: crash the pipeline at random "
+             "crash-points and verify every invariant after each resume",
+    )
+    p.add_argument("--cycles", type=int, default=25,
+                   help="kill->resume cycles to run (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the crash-point schedule")
+    p.add_argument("--ops", nargs="+", default=None,
+                   metavar="OP", help="restrict to these operations "
+                   "(default: all; see repro.chaos.harness.OPS)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="also write the soak report as JSON")
+    p.add_argument("--keep", action="store_true",
+                   help="keep each cycle's scratch directory (default: "
+                        "only cycles with violations are kept)")
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("info", "clear"))
@@ -894,6 +1086,8 @@ COMMANDS = {
     "compare": cmd_compare,
     "selfcheck": cmd_selfcheck,
     "experiment": cmd_experiment,
+    "resume": cmd_resume,
+    "chaos": cmd_chaos,
     "cache": cmd_cache,
     "sensitivity": cmd_sensitivity,
     "faults": cmd_faults,
@@ -921,7 +1115,7 @@ def _export_telemetry(sink, args) -> None:
 
 
 def main(argv=None) -> int:
-    from repro.errors import ReproError
+    from repro.errors import ReproError, RunInterrupted
 
     args = build_parser().parse_args(argv)
     log.configure(args.log_level, json_lines=args.log_json)
@@ -933,14 +1127,23 @@ def main(argv=None) -> int:
         if collect:
             _export_telemetry(sink, args)
         return code
+    except (KeyboardInterrupt, RunInterrupted) as exc:
+        # the pool already terminated its workers and flushed the run
+        # journal; keep the telemetry artifact too, then exit 130 (the
+        # conventional SIGINT code) instead of a raw traceback
+        if collect:
+            _export_telemetry(sink, args)
+        note = str(exc) if isinstance(exc, RunInterrupted) else "interrupted"
+        print(f"interrupted: {note}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         # the whole taxonomy renders as one clean line: TraceError,
         # DeadlockError, FaultInjected, TaskTimeoutError, TaskCrashError, ...
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     except FileNotFoundError as exc:
         print(f"error: {exc.strerror}: {exc.filename}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 def _null_context():

@@ -49,6 +49,21 @@ class FaultInjected(ReproError):
         super().__init__(message)
 
 
+class RunInterrupted(ReproError):
+    """The operator interrupted a supervised run (SIGINT / Ctrl-C).
+
+    Raised instead of letting ``KeyboardInterrupt`` unwind with a raw
+    traceback, after workers are terminated and the journal and
+    telemetry are flushed.  The CLI maps it to exit code 130.
+    """
+
+    def __init__(self, message="run interrupted", run_id=None):
+        self.run_id = run_id
+        if run_id:
+            message += f" (resume with: repro resume {run_id})"
+        super().__init__(message)
+
+
 class TaskError(ReproError):
     """A supervised task failed; carries the task index and repr.
 
@@ -65,6 +80,10 @@ class TaskTimeoutError(TaskError):
 
 class TaskCrashError(TaskError):
     """A worker process died (non-zero exit) while running a task."""
+
+
+class BudgetExceededError(TaskError):
+    """A :class:`~repro.runner.budget.RunBudget` limit stopped the run."""
 
 
 class SalvageWarning(ReproError, Warning):

@@ -10,9 +10,16 @@ The substrate every scaling feature builds on:
   recorded traces (compressed JSONL) and derived results (pickled);
   corrupt entries self-heal as misses,
 * :mod:`repro.runner.keys` — stable cache keys folding in workload
-  parameters, seeds, and the package's own code version.
+  parameters, seeds, and the package's own code version,
+* :mod:`repro.runner.journal` — append-only per-run ledger so a killed
+  run can resume, skipping tasks whose results are already durable,
+* :mod:`repro.runner.checkpoint` — segment-granular checkpoints for
+  the streaming analysis and timeline passes,
+* :mod:`repro.runner.budget` — wall-clock/memory run budgets with
+  graceful degradation to partial results.
 """
 
+from repro.runner.budget import RunBudget, use_budget
 from repro.runner.cache import (
     CacheInfo,
     TraceCache,
@@ -25,12 +32,21 @@ from repro.runner.cache import (
     transform_cached,
     use_cache,
 )
+from repro.runner.checkpoint import Checkpointer
+from repro.runner.journal import RunJournal, list_runs, read_journal, use_journal
 from repro.runner.keys import cache_key, code_version, segmented_digest, trace_digest
 from repro.runner.pool import ExecPolicy, TaskFailure, effective_jobs, parallel_map
 
 __all__ = [
+    "Checkpointer",
     "ExecPolicy",
+    "RunBudget",
+    "RunJournal",
     "TaskFailure",
+    "list_runs",
+    "read_journal",
+    "use_budget",
+    "use_journal",
     "CacheInfo",
     "TraceCache",
     "active",

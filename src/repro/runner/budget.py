@@ -1,0 +1,152 @@
+"""Run budgets: wall-clock deadlines and peak-RSS watermarks.
+
+A :class:`RunBudget` bounds a whole run, not a single task.  Threaded
+through the facade and the supervised pool it degrades gracefully
+instead of dying:
+
+* the remaining deadline clamps every task's per-attempt timeout, so a
+  run never launches work it cannot finish,
+* memory pressure (peak RSS past the watermark) flips monolithic trace
+  loads onto the segmented streaming path,
+* exhaustion mid-run stops launching tasks and surfaces the stopped
+  cells through the existing ``--partial`` quarantine machinery — a
+  structured partial table, not a traceback.
+
+Peak RSS comes from ``resource.getrusage`` (kilobytes on Linux, bytes
+on macOS); no third-party dependency.  The deadline is measured from
+:meth:`start`, called when the budget is installed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import time
+from typing import Iterator, Optional
+
+from repro.errors import BudgetExceededError
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_mb() -> Optional[float]:
+    """This process's peak RSS in MiB, or ``None`` where unsupported."""
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+class RunBudget:
+    """Wall-clock + memory bounds for one run."""
+
+    def __init__(self, deadline: Optional[float] = None,
+                 max_rss_mb: Optional[float] = None):
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        if max_rss_mb is not None and max_rss_mb <= 0:
+            raise ValueError(f"max_rss_mb must be positive, got {max_rss_mb}")
+        self.deadline = deadline
+        self.max_rss_mb = max_rss_mb
+        self.started_at = time.monotonic()
+
+    def start(self) -> "RunBudget":
+        """Reset the deadline clock to now (chained for convenience)."""
+        self.started_at = time.monotonic()
+        return self
+
+    # -- wall clock -----------------------------------------------------
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left on the deadline (``None`` = unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.elapsed()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def clamp_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        """The tighter of a task timeout and the remaining deadline."""
+        remaining = self.remaining()
+        if remaining is None:
+            return timeout
+        remaining = max(remaining, 0.0)
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)
+
+    # -- memory ---------------------------------------------------------
+
+    def over_memory(self) -> bool:
+        if self.max_rss_mb is None:
+            return False
+        peak = peak_rss_mb()
+        return peak is not None and peak > self.max_rss_mb
+
+    # -- reporting ------------------------------------------------------
+
+    def exhausted(self) -> Optional[str]:
+        """Why the budget is spent, or ``None`` while within bounds."""
+        if self.expired():
+            return f"deadline of {self.deadline:g}s exhausted after {self.elapsed():.1f}s"
+        if self.over_memory():
+            peak = peak_rss_mb()
+            return (
+                f"peak RSS {peak:.0f} MiB exceeds the {self.max_rss_mb:g} MiB watermark"
+            )
+        return None
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceededError` if the budget is spent."""
+        reason = self.exhausted()
+        if reason is not None:
+            raise BudgetExceededError(f"run budget exceeded: {reason}")
+
+    def describe(self) -> str:
+        parts = []
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline:g}s")
+        if self.max_rss_mb is not None:
+            parts.append(f"max_rss={self.max_rss_mb:g}MiB")
+        return ", ".join(parts) or "unbounded"
+
+    def __repr__(self) -> str:
+        return f"RunBudget({self.describe()})"
+
+
+# -- ambient budget (mirrors runner.cache / faults / telemetry) ---------
+
+_ACTIVE: Optional[RunBudget] = None
+
+
+def configure(budget: Optional[RunBudget]) -> None:
+    """Install ``budget`` as the ambient run budget."""
+    global _ACTIVE
+    _ACTIVE = budget
+
+
+def active() -> Optional[RunBudget]:
+    """The ambient budget, or ``None`` when the run is unbounded."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_budget(budget: Optional[RunBudget]) -> Iterator[Optional[RunBudget]]:
+    """Scoped ambient budget (restores the previous one on exit)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = budget.start() if budget is not None else None
+    try:
+        yield budget
+    finally:
+        _ACTIVE = previous

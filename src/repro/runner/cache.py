@@ -40,9 +40,11 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro import faults, telemetry
+from repro.chaos.points import crash_point
 from repro.runner.keys import cache_key, segmented_digest, trace_digest
 from repro.trace import serialize
 from repro.trace.trace import Trace
+from repro.util import tmp as tmpfiles
 
 #: environment override for the default cache location
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -139,10 +141,11 @@ class TraceCache:
     def put_blob(self, key: str, value) -> Path:
         path = self.blob_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+        tmp = tmpfiles.tmp_name(path)
         try:
             with gzip.open(tmp, "wb", compresslevel=1) as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            crash_point("cache.commit")
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
@@ -154,7 +157,19 @@ class TraceCache:
         for sub in ("traces", "blobs"):
             base = self.root / sub
             if base.exists():
-                yield from (p for p in base.rglob("*") if p.is_file())
+                # skip atomic-write staging files: a SIGKILLed writer's
+                # leftovers are never entries, just litter awaiting a reap
+                yield from (
+                    p for p in base.rglob("*")
+                    if p.is_file() and not tmpfiles.is_tmp_name(p.name)
+                )
+
+    def reap_tmp(self) -> int:
+        """Remove staging files whose owning process died; returns count."""
+        removed = tmpfiles.reap_stale(self.root)
+        if removed:
+            telemetry.count("cache.tmp_reaped", removed)
+        return removed
 
     def info(self) -> CacheInfo:
         traces = blobs = total = 0
@@ -180,10 +195,20 @@ class TraceCache:
 _ACTIVE: Optional[TraceCache] = None
 
 
-def configure(root: Optional[Union[str, Path]]) -> Optional[TraceCache]:
-    """Set the process-wide active cache (``None`` disables caching)."""
+def configure(root: Optional[Union[str, Path]],
+              reap: bool = True) -> Optional[TraceCache]:
+    """Set the process-wide active cache (``None`` disables caching).
+
+    Opening a cache sweeps staging files leaked by writers that were
+    SIGKILLed between ``open`` and ``os.replace`` (live writers' files
+    are left alone — the pid in the name is checked).  Pool workers pass
+    ``reap=False``: they re-configure per task, and one sweep per run in
+    the parent is enough.
+    """
     global _ACTIVE
     _ACTIVE = TraceCache(root) if root is not None else None
+    if reap and _ACTIVE is not None and _ACTIVE.root.is_dir():
+        _ACTIVE.reap_tmp()
     return _ACTIVE
 
 
@@ -197,6 +222,8 @@ def use_cache(root: Optional[Union[str, Path]]):
     global _ACTIVE
     previous = _ACTIVE
     _ACTIVE = TraceCache(root) if root is not None else None
+    if _ACTIVE is not None and _ACTIVE.root.is_dir():
+        _ACTIVE.reap_tmp()
     try:
         yield _ACTIVE
     finally:

@@ -1,0 +1,111 @@
+"""Segment-granular checkpoints for the streaming analysis paths.
+
+The segmented trace format (PR 6) processes a trace one immutable
+segment at a time, carrying a small amount of state between segments
+(open critical sections, per-thread access masks, timeline lanes).
+That carried state *is* the checkpoint: persist it every N segments and
+a killed analysis restarts from the last saved segment boundary instead
+of byte 0.
+
+A checkpoint is a gzip-pickle written atomically (tmp + ``os.replace``)
+and stamped with a *tag* — the trace's content digest and file size —
+so a checkpoint taken against one file can never be replayed against
+another.  Any unreadable, mismatched, or version-skewed checkpoint is
+silently discarded and the analysis restarts from the beginning: a
+checkpoint can only ever save work, never change a result.
+
+(Not to be confused with :mod:`repro.trace.checkpoint`, the paper's
+§5.1 in-simulation re-debugging snapshot — that checkpoints the
+*simulated machine*; this checkpoints the *analysis process*.)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gzip
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from repro.chaos.points import crash_point
+
+#: on-disk format marker + version for checkpoint payloads
+FORMAT_KEY = "repro-checkpoint"
+FORMAT_VERSION = 1
+
+#: default checkpoint cadence (segments between saves)
+DEFAULT_EVERY = 16
+
+
+class Checkpointer:
+    """Persists streaming-analysis state every ``every`` segments."""
+
+    def __init__(self, path: Union[str, Path], tag: str, every: int = DEFAULT_EVERY):
+        if every < 1:
+            raise ValueError(f"checkpoint cadence must be >= 1, got {every}")
+        self.path = Path(path)
+        self.tag = tag
+        self.every = every
+        self._last_saved = -1
+
+    def due(self, segments_done: int) -> bool:
+        """Whether a save should happen after ``segments_done`` segments."""
+        return (
+            segments_done > 0
+            and segments_done % self.every == 0
+            and segments_done != self._last_saved
+        )
+
+    def save(self, payload: Any, segments_done: int) -> None:
+        """Atomically persist ``payload`` as the state after ``segments_done``."""
+        record = {
+            "format": FORMAT_KEY,
+            "version": FORMAT_VERSION,
+            "tag": self.tag,
+            "segments_done": segments_done,
+            "payload": payload,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".tmp-{os.getpid()}-{self.path.name}")
+        try:
+            with open(tmp, "wb") as raw:
+                with gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0) as gz:
+                    pickle.dump(record, gz, protocol=pickle.HIGHEST_PROTOCOL)
+                raw.flush()
+                os.fsync(raw.fileno())
+            crash_point("checkpoint.save")
+            os.replace(tmp, self.path)
+        finally:
+            with contextlib.suppress(OSError):
+                tmp.unlink(missing_ok=True)
+        self._last_saved = segments_done
+
+    def load(self) -> Optional[Tuple[Any, int]]:
+        """``(payload, segments_done)`` if a usable checkpoint exists.
+
+        Returns ``None`` — never raises — when the file is absent,
+        torn, version-skewed, or was taken against different trace
+        bytes (tag mismatch).
+        """
+        try:
+            with gzip.open(self.path, "rb") as gz:
+                record = pickle.load(gz)
+        except (OSError, EOFError, ValueError, pickle.UnpicklingError,
+                AttributeError, ImportError, IndexError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("format") != FORMAT_KEY or record.get("version") != FORMAT_VERSION:
+            return None
+        if record.get("tag") != self.tag:
+            return None
+        segments_done = record.get("segments_done")
+        if not isinstance(segments_done, int) or segments_done < 0:
+            return None
+        return record.get("payload"), segments_done
+
+    def clear(self) -> None:
+        """Delete the checkpoint (after full success, or when stale)."""
+        with contextlib.suppress(OSError):
+            self.path.unlink(missing_ok=True)

@@ -1,0 +1,304 @@
+"""Append-only per-run journal: the ledger that makes runs resumable.
+
+Every supervised run (``repro experiment --run-id ...``) keeps a JSONL
+ledger at ``<cache-root>/journal/<run-id>.jsonl``.  The first line is a
+header recording the run's spec (enough for ``repro resume`` to rebuild
+the exact invocation); each subsequent line is one event:
+
+* ``task_start`` — a task attempt was launched (index, content key,
+  attempt number),
+* ``task_done`` — a task completed; its result was committed to the
+  blob cache under its content key, and the ledger records the result's
+  pickle digest,
+* ``interrupted`` — the run stopped early (SIGINT, budget, crash did
+  not get to write one),
+* ``complete`` — every task finished.
+
+The header is written atomically (staged, fsynced, ``os.replace``\\ d):
+after a SIGKILL the journal either does not exist or is identifiable.
+Event appends are flushed and fsynced line-by-line, so after SIGKILL
+the file is at worst torn mid-line.  Readers tolerate exactly that: a
+malformed trailing line is skipped (and counted), never fatal.  Resume trusts
+only ``task_done`` lines, and re-verifies each digest against the blob
+actually in the cache — a journal can claim nothing the cache cannot
+back.
+
+No wall-clock timestamps anywhere: journals for identical runs are
+byte-comparable, which the chaos harness and the determinism tests
+exploit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.chaos.points import crash_point
+from repro.errors import ReproError
+from repro.runner.keys import cache_key
+from repro.util.tmp import tmp_name
+
+#: journal format version (header field ``journal``)
+FORMAT_VERSION = 1
+
+#: directory under the cache root holding run journals
+JOURNAL_DIRNAME = "journal"
+
+_RUN_ID_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+class JournalError(ReproError):
+    """A run journal is missing or its header is unreadable."""
+
+
+def sanitize_run_id(run_id: str) -> str:
+    """Validate a run id for use as a filename component."""
+    if not run_id or not set(run_id) <= _RUN_ID_SAFE:
+        raise JournalError(
+            f"invalid run id {run_id!r}: use letters, digits, '.', '_', '-'"
+        )
+    return run_id
+
+
+def journal_path(root: Path, run_id: str) -> Path:
+    """Where the journal for ``run_id`` lives under cache root ``root``."""
+    return Path(root) / JOURNAL_DIRNAME / f"{sanitize_run_id(run_id)}.jsonl"
+
+
+def task_key(fn, index: int, task) -> str:
+    """Content-addressed key for one ``parallel_map`` task.
+
+    Folds in the function's qualified name, the task's position, and its
+    ``repr`` — plus (via :func:`cache_key`) the package code version, so
+    editing any module invalidates journaled results the same way it
+    invalidates the cache.
+    """
+    fn_name = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+    return cache_key("journal.task", fn=fn_name, index=index, task=repr(task))
+
+
+def result_digest(value: Any) -> str:
+    """Digest of a task result, over the same pickle the cache stores."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(payload).hexdigest()[:32]
+
+
+class RunJournal:
+    """One run's append-only ledger.
+
+    Opened either fresh (:meth:`create`) or for resume
+    (:meth:`attach`); both return a journal positioned for appending.
+    """
+
+    def __init__(self, path: Path, header: Dict[str, Any], events: List[dict],
+                 skipped_lines: int = 0):
+        self.path = Path(path)
+        self.header = header
+        self.events = events
+        #: malformed (torn) lines skipped while reading an existing ledger
+        self.skipped_lines = skipped_lines
+        self._handle = None
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(cls, root: Path, run_id: str, spec: Optional[dict] = None) -> "RunJournal":
+        """Start a fresh journal, replacing any previous run of this id.
+
+        The header is staged and ``os.replace``\\ d rather than appended:
+        a SIGKILL during creation must leave either no journal or one
+        with a complete header, because a journal whose *header* is torn
+        cannot be identified and therefore cannot be resumed.  (Event
+        appends, by contrast, may tear — readers seal and skip those.)
+        """
+        path = journal_path(root, run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"journal": FORMAT_VERSION, "run_id": run_id, "spec": spec or {}}
+        line = json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n"
+        staging = tmp_name(path)
+        try:
+            with open(staging, "w", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(staging, path)
+        finally:
+            with contextlib.suppress(OSError):
+                staging.unlink(missing_ok=True)
+        journal = cls(path, header, [])
+        journal._handle = open(path, "a", encoding="utf-8")
+        return journal
+
+    @classmethod
+    def attach(cls, root: Path, run_id: str) -> "RunJournal":
+        """Reopen an existing journal for resume, sealing any torn tail."""
+        path = journal_path(root, run_id)
+        header, events, skipped = read_journal(path)
+        journal = cls(path, header, events, skipped_lines=skipped)
+        # a SIGKILL mid-append leaves a half line with no newline; seal it
+        # so our appends start on a fresh line (readers skip the torn one)
+        with open(path, "rb+") as raw:
+            raw.seek(0, os.SEEK_END)
+            if raw.tell() > 0:
+                raw.seek(-1, os.SEEK_END)
+                if raw.read(1) != b"\n":
+                    raw.write(b"\n")
+        journal._handle = open(path, "a", encoding="utf-8")
+        return journal
+
+    @classmethod
+    def load(cls, root: Path, run_id: str) -> "RunJournal":
+        """Read a journal without opening it for appending."""
+        path = journal_path(root, run_id)
+        header, events, skipped = read_journal(path)
+        return cls(path, header, events, skipped_lines=skipped)
+
+    # -- appending ------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path.name} is not open for appending")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        # split the write so an armed "journal.append" crash point leaves
+        # a genuinely torn line, exactly like a SIGKILL mid-write would
+        half = max(1, len(line) // 2)
+        self._handle.write(line[:half])
+        self._handle.flush()
+        crash_point("journal.append")
+        self._handle.write(line[half:] + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def task_start(self, index: int, key: str, attempt: int) -> None:
+        self._append({"event": "task_start", "index": index, "key": key,
+                      "attempt": attempt})
+
+    def task_done(self, index: int, key: str, attempt: int, digest: str) -> None:
+        record = {"event": "task_done", "index": index, "key": key,
+                  "attempt": attempt, "digest": digest}
+        self._append(record)
+        self.events.append(record)
+
+    def interrupted(self, note: str = "") -> None:
+        with contextlib.suppress(Exception):
+            self._append({"event": "interrupted", "note": note})
+
+    def complete(self, tasks: int) -> None:
+        self._append({"event": "complete", "tasks": tasks})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            with contextlib.suppress(Exception):
+                self._handle.close()
+            self._handle = None
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def run_id(self) -> str:
+        return self.header.get("run_id", "")
+
+    @property
+    def spec(self) -> dict:
+        return self.header.get("spec", {})
+
+    def done_tasks(self) -> Dict[int, Tuple[str, str]]:
+        """``index -> (key, digest)`` for every journaled completion."""
+        done: Dict[int, Tuple[str, str]] = {}
+        for event in self.events:
+            if event.get("event") == "task_done":
+                done[event["index"]] = (event["key"], event["digest"])
+        return done
+
+    def is_complete(self) -> bool:
+        return any(e.get("event") == "complete" for e in self.events)
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: Path) -> Tuple[Dict[str, Any], List[dict], int]:
+    """Parse a journal file: ``(header, events, skipped_line_count)``.
+
+    Malformed lines — the torn tail a SIGKILL mid-append leaves — are
+    skipped and counted, never fatal.  Only a missing file or an
+    unreadable *header* is an error: with no header the run cannot be
+    identified, so there is nothing to resume.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except FileNotFoundError:
+        raise JournalError(f"no journal at {path}") from None
+    header: Optional[Dict[str, Any]] = None
+    events: List[dict] = []
+    skipped = 0
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            skipped += 1
+            continue
+        if not isinstance(record, dict):
+            skipped += 1
+            continue
+        if header is None:
+            if record.get("journal") != FORMAT_VERSION:
+                raise JournalError(
+                    f"{path.name}: unsupported journal header {record!r}"
+                )
+            header = record
+        else:
+            events.append(record)
+    if header is None:
+        raise JournalError(f"{path.name}: journal has no readable header")
+    return header, events, skipped
+
+
+def list_runs(root: Path) -> List[str]:
+    """Run ids with a journal under cache root ``root``, sorted."""
+    directory = Path(root) / JOURNAL_DIRNAME
+    if not directory.is_dir():
+        return []
+    return sorted(p.stem for p in directory.glob("*.jsonl"))
+
+
+# -- ambient journal (mirrors runner.cache / faults / telemetry) --------
+
+_ACTIVE: Optional[RunJournal] = None
+
+
+def configure(journal: Optional[RunJournal]) -> None:
+    """Install ``journal`` as the ambient journal for ``parallel_map``."""
+    global _ACTIVE
+    _ACTIVE = journal
+
+
+def active() -> Optional[RunJournal]:
+    """The ambient journal, or ``None`` when runs are not journaled."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_journal(journal: Optional[RunJournal]) -> Iterator[Optional[RunJournal]]:
+    """Scoped ambient journal (restores the previous one on exit)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = journal
+    try:
+        yield journal
+    finally:
+        _ACTIVE = previous

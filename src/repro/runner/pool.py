@@ -54,7 +54,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro import faults, log, telemetry
 from repro.errors import (
+    BudgetExceededError,
     FaultInjected,
+    RunInterrupted,
     TaskCrashError,
     TaskError,
     TaskTimeoutError,
@@ -72,7 +74,29 @@ HANG_SECONDS = 3600.0
 #: supervisor poll granularity, seconds
 _POLL_SECONDS = 0.05
 #: failure kinds worth retrying (transient); plain errors are deterministic
+#: ("budget" is never retried: the whole run is out of time or memory)
 RETRYABLE_KINDS = frozenset({"crash", "timeout", "fault"})
+
+
+class _RunStats:
+    """Counters the CLI reads to pick its exit code (reset per command)."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: tasks quarantined as TaskFailure results (partial mode)
+        self.quarantined = 0
+        #: tasks stopped/never started because the run budget was spent
+        self.budget_stopped = 0
+        #: tasks skipped because the journal already had their results
+        self.skipped = 0
+
+    def degraded(self) -> bool:
+        return self.quarantined > 0 or self.budget_stopped > 0
+
+
+RUN_STATS = _RunStats()
 
 
 def effective_jobs(jobs: Optional[int]) -> int:
@@ -108,7 +132,7 @@ class TaskFailure:
 
     index: int
     task_repr: str
-    kind: str  # "crash" | "timeout" | "error" | "fault"
+    kind: str  # "crash" | "timeout" | "error" | "fault" | "budget"
     message: str
     attempts: int
     #: the deterministic backoff schedule the retries used (no wall-clock)
@@ -132,6 +156,7 @@ def _to_exception(failure: TaskFailure) -> TaskError:
     cls = {
         "timeout": TaskTimeoutError,
         "crash": TaskCrashError,
+        "budget": BudgetExceededError,
     }.get(failure.kind, TaskError)
     exc = cls(
         f"task {failure.index} ({failure.task_repr}) {failure.kind} after "
@@ -144,7 +169,8 @@ def _to_exception(failure: TaskFailure) -> TaskError:
 def _worker_init(cache_root: Optional[str], plan=None) -> None:
     from repro.runner import cache
 
-    cache.configure(cache_root)
+    # reap=False: workers spawn per task; the parent already swept once
+    cache.configure(cache_root, reap=False)
     faults.configure(plan)
 
 
@@ -171,10 +197,74 @@ def parallel_map(
     tasks = list(tasks)
     if tasks:
         telemetry.count("pool.tasks", len(tasks))
+    from repro.runner import budget as budget_mod, cache, journal as journal_mod
+
+    run_budget = budget_mod.active()
+    store = cache.active()
+    journal = journal_mod.active()
+    if journal is not None and store is None:
+        # journaled completions live in the blob cache; without a cache
+        # there is nowhere to keep results, so run un-journaled
+        journal = None
+    keys: Optional[List[str]] = None
+    prefill: Dict[int, object] = {}
+    if journal is not None:
+        keys, prefill = _journal_prefill(journal, store, fn, tasks)
+        if prefill:
+            telemetry.count("pool.journal_skipped", len(prefill))
+            RUN_STATS.skipped += len(prefill)
     jobs = effective_jobs(jobs) if jobs != 1 else 1
     if jobs <= 1 or len(tasks) <= 1:
-        return _serial_map(fn, tasks, policy)
-    return _Supervisor(fn, tasks, jobs, policy).run()
+        results = _serial_map(fn, tasks, policy, journal=journal, store=store,
+                              keys=keys, prefill=prefill, budget=run_budget)
+    else:
+        results = _Supervisor(fn, tasks, jobs, policy, journal=journal,
+                              store=store, keys=keys, prefill=prefill,
+                              budget=run_budget).run()
+    if journal is not None and not any(isinstance(r, TaskFailure) for r in results):
+        journal.complete(len(tasks))
+    return results
+
+
+def _journal_prefill(journal, store, fn, tasks):
+    """Task keys plus results the journal (backed by the cache) already has.
+
+    A journaled completion is trusted only when the blob cache holds a
+    result under the same content key whose digest matches the ledger —
+    the journal can claim nothing the cache cannot back.
+    """
+    from repro.runner import journal as journal_mod
+
+    keys = [journal_mod.task_key(fn, index, task) for index, task in enumerate(tasks)]
+    prefill: Dict[int, object] = {}
+    for index, (key, digest) in journal.done_tasks().items():
+        if index >= len(tasks) or keys[index] != key:
+            continue
+        wrapped = store.get_blob(key)
+        if (
+            isinstance(wrapped, tuple)
+            and len(wrapped) == 2
+            and wrapped[0] == "repro.journal.result"
+            and journal_mod.result_digest(wrapped) == digest
+        ):
+            prefill[index] = wrapped[1]
+    return keys, prefill
+
+
+def _journal_commit(journal, store, index: int, key: str, attempt: int, value) -> None:
+    """Write-through: commit a result to the cache, then the ledger.
+
+    The wrapper tuple keeps a legitimately-``None`` result distinct from
+    a cache miss (``get_blob`` returns ``None`` for misses).  Order
+    matters: the blob must be durable before the ledger line that
+    promises it exists.
+    """
+    wrapped = ("repro.journal.result", value)
+    from repro.runner import journal as journal_mod
+
+    digest = journal_mod.result_digest(wrapped)
+    store.put_blob(key, wrapped)
+    journal.task_done(index, key, attempt, digest)
 
 
 def _count_attempt_failure(kind: str) -> None:
@@ -218,43 +308,93 @@ def _log_quarantine(failure: TaskFailure) -> None:
 # ------------------------------------------------------------- serial path
 
 
-def _serial_map(fn, tasks, policy: ExecPolicy) -> List:
+def _serial_map(fn, tasks, policy: ExecPolicy, *, journal=None, store=None,
+                keys=None, prefill=None, budget=None) -> List:
+    prefill = prefill or {}
     results = []
-    for index, task in enumerate(tasks):
-        backoff: List[float] = []
-        failure = None
-        for attempt in range(policy.retries + 1):
-            status, payload, detail = _attempt_inline(fn, task, index, attempt)
-            if status == "ok":
-                failure = None
-                results.append(payload)
-                break
-            _count_attempt_failure(status)
-            retrying = status in RETRYABLE_KINDS and attempt < policy.retries
-            _log_attempt_failure(index, status, payload, attempt, retrying)
-            failure = TaskFailure(
-                index=index,
-                task_repr=_short_repr(task),
-                kind=status,
-                message=payload,
-                attempts=attempt + 1,
-                backoff=tuple(backoff),
-                detail=detail,
-            )
-            if retrying:
-                # record the deterministic schedule; no need to actually
-                # sleep in-process — the failure was synchronous
-                backoff.append(policy.backoff_delay(attempt))
-                telemetry.count("pool.retries")
+    try:
+        for index, task in enumerate(tasks):
+            if index in prefill:
+                results.append(prefill[index])
                 continue
-            break
-        if failure is not None:
-            if not policy.partial:
-                raise _to_exception(failure)
-            telemetry.count("pool.quarantined")
-            _log_quarantine(failure)
-            results.append(failure)
+            if budget is not None:
+                reason = budget.exhausted()
+                if reason is not None:
+                    results.append(
+                        _quarantine_budget(policy, index, _short_repr(task),
+                                           f"not started: {reason}")
+                    )
+                    continue
+            backoff: List[float] = []
+            failure = None
+            for attempt in range(policy.retries + 1):
+                if journal is not None:
+                    journal.task_start(index, keys[index], attempt)
+                status, payload, detail = _attempt_inline(fn, task, index, attempt)
+                if status == "ok":
+                    failure = None
+                    if journal is not None:
+                        _journal_commit(journal, store, index, keys[index],
+                                        attempt, payload)
+                    results.append(payload)
+                    break
+                _count_attempt_failure(status)
+                retrying = status in RETRYABLE_KINDS and attempt < policy.retries
+                _log_attempt_failure(index, status, payload, attempt, retrying)
+                failure = TaskFailure(
+                    index=index,
+                    task_repr=_short_repr(task),
+                    kind=status,
+                    message=payload,
+                    attempts=attempt + 1,
+                    backoff=tuple(backoff),
+                    detail=detail,
+                )
+                if retrying:
+                    # record the deterministic schedule; no need to actually
+                    # sleep in-process — the failure was synchronous
+                    backoff.append(policy.backoff_delay(attempt))
+                    telemetry.count("pool.retries")
+                    continue
+                break
+            if failure is not None:
+                if not policy.partial:
+                    raise _to_exception(failure)
+                telemetry.count("pool.quarantined")
+                RUN_STATS.quarantined += 1
+                _log_quarantine(failure)
+                results.append(failure)
+    except KeyboardInterrupt:
+        _interrupted(journal, "operator interrupt during serial map")
     return results
+
+
+def _quarantine_budget(policy: ExecPolicy, index: int, task_repr: str,
+                       message: str) -> TaskFailure:
+    """A budget-stopped task: quarantined in partial mode, fatal otherwise."""
+    failure = TaskFailure(
+        index=index,
+        task_repr=task_repr,
+        kind="budget",
+        message=message,
+        attempts=0,
+    )
+    if not policy.partial:
+        raise _to_exception(failure)
+    telemetry.count("pool.budget_stopped")
+    RUN_STATS.budget_stopped += 1
+    _log_quarantine(failure)
+    return failure
+
+
+def _interrupted(journal, note: str) -> "None":
+    """Record the interrupt in the ledger, then raise the structured error."""
+    run_id = None
+    if journal is not None:
+        journal.interrupted(note)
+        run_id = journal.run_id
+    telemetry.count("pool.interrupted")
+    raise RunInterrupted(run_id=run_id) from None
 
 
 def _attempt_inline(fn, task, index: int, attempt: int):
@@ -298,6 +438,11 @@ def _run_remote(fn, task, index, attempt, cache_root, plan, collect, out_queue) 
         message = (index, "ok", result, "")
     except FaultInjected as exc:
         message = (index, "fault", str(exc), traceback.format_exc())
+    except KeyboardInterrupt:
+        # a terminal SIGINT reaches the whole process group; die quietly
+        # with the conventional 130 instead of spraying tracebacks — the
+        # parent is unwinding via RunInterrupted at the same moment
+        os._exit(130)
     except BaseException as exc:
         message = (index, "error", f"{type(exc).__name__}: {exc}",
                    traceback.format_exc())
@@ -311,11 +456,16 @@ def _run_remote(fn, task, index, attempt, cache_root, plan, collect, out_queue) 
 class _Supervisor:
     """Watches one bounded fleet of single-task worker processes."""
 
-    def __init__(self, fn, tasks, jobs: int, policy: ExecPolicy):
+    def __init__(self, fn, tasks, jobs: int, policy: ExecPolicy, *,
+                 journal=None, store=None, keys=None, prefill=None, budget=None):
         self.fn = fn
         self.tasks = tasks
         self.jobs = min(jobs, len(tasks))
         self.policy = policy
+        self.journal = journal
+        self.store = store
+        self.keys = keys
+        self.budget = budget
         self.ctx = multiprocessing.get_context()
         self.queue = self.ctx.Queue()
         from repro.runner import cache
@@ -324,23 +474,35 @@ class _Supervisor:
         self.cache_root = str(store.root) if store is not None else None
         self.plan = faults.active()
         self.collect = telemetry.enabled()
-        self.results: Dict[int, object] = {}
+        self.results: Dict[int, object] = dict(prefill or {})
         self.failures: Dict[int, TaskFailure] = {}
         self.attempt: Dict[int, int] = {}
         self.backoff_used: Dict[int, List[float]] = {}
         #: index -> worker snapshots in attempt order, merged at the end
         self.snapshots: Dict[int, List[dict]] = {}
         #: (index, earliest monotonic launch time)
-        self.pending: List[Tuple[int, float]] = [(i, 0.0) for i in range(len(tasks))]
-        #: index -> (process, per-attempt deadline or None)
-        self.in_flight: Dict[int, Tuple[multiprocessing.Process, Optional[float]]] = {}
+        self.pending: List[Tuple[int, float]] = [
+            (i, 0.0) for i in range(len(tasks)) if i not in self.results
+        ]
+        #: index -> (process, per-attempt deadline or None, timeout used)
+        self.in_flight: Dict[
+            int, Tuple[multiprocessing.Process, Optional[float], Optional[float]]
+        ] = {}
 
     def run(self) -> List:
         try:
             while len(self.results) + len(self.failures) < len(self.tasks):
+                if self.budget is not None:
+                    reason = self.budget.exhausted()
+                    if reason is not None:
+                        self._budget_stop(reason)
+                        continue
                 self._launch_ready()
                 self._drain(block=True)
                 self._reap()
+        except KeyboardInterrupt:
+            # finally still terminates workers and merges telemetry
+            _interrupted(self.journal, "operator interrupt during supervised run")
         finally:
             self._terminate_all()
             self._merge_telemetry()
@@ -348,6 +510,24 @@ class _Supervisor:
             self.results[i] if i in self.results else self.failures[i]
             for i in range(len(self.tasks))
         ]
+
+    def _budget_stop(self, reason: str) -> None:
+        """The run budget is spent: stop everything, fail what's unresolved."""
+        for index, (proc, _deadline, _timeout) in list(self.in_flight.items()):
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+            self.in_flight.pop(index, None)
+            self.failures[index] = _quarantine_budget(
+                self.policy, index, _short_repr(self.tasks[index]),
+                f"stopped mid-task: {reason}",
+            )
+        waiting, self.pending = self.pending, []
+        for index, _not_before in waiting:
+            self.failures[index] = _quarantine_budget(
+                self.policy, index, _short_repr(self.tasks[index]),
+                f"not started: {reason}",
+            )
 
     def _merge_telemetry(self) -> None:
         """Fold worker snapshots into the parent sink, in task order.
@@ -379,6 +559,8 @@ class _Supervisor:
 
     def _launch(self, index: int) -> None:
         attempt = self.attempt.get(index, 0)
+        if self.journal is not None:
+            self.journal.task_start(index, self.keys[index], attempt)
         proc = self.ctx.Process(
             target=_run_remote,
             args=(self.fn, self.tasks[index], index, attempt,
@@ -386,12 +568,11 @@ class _Supervisor:
             daemon=True,
         )
         proc.start()
-        deadline = (
-            time.monotonic() + self.policy.timeout
-            if self.policy.timeout is not None
-            else None
-        )
-        self.in_flight[index] = (proc, deadline)
+        timeout = self.policy.timeout
+        if self.budget is not None:
+            timeout = self.budget.clamp_timeout(timeout)
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        self.in_flight[index] = (proc, deadline, timeout)
 
     def _drain(self, *, block: bool) -> None:
         try:
@@ -418,13 +599,17 @@ class _Supervisor:
         if snapshot is not None:
             self.snapshots.setdefault(index, []).append(snapshot)
         if status == "ok":
+            if self.journal is not None:
+                _journal_commit(self.journal, self.store, index,
+                                self.keys[index], self.attempt.get(index, 0),
+                                payload)
             self.results[index] = payload
         else:
             self._failed(index, status, payload, detail)
 
     def _reap(self) -> None:
         now = time.monotonic()
-        for index, (proc, deadline) in list(self.in_flight.items()):
+        for index, (proc, deadline, _timeout) in list(self.in_flight.items()):
             if index not in self.in_flight:
                 # resolved by a message drained while reaping another entry
                 continue
@@ -444,10 +629,20 @@ class _Supervisor:
                 proc.terminate()
                 proc.join()
                 self.in_flight.pop(index)
-                self._failed(
-                    index, "timeout",
-                    f"task exceeded its {self.policy.timeout:g}s timeout", "",
-                )
+                if self.budget is not None and (
+                    self.policy.timeout is None or self.budget.expired()
+                ):
+                    # the deadline came from the run budget's clamp, not the
+                    # per-task policy: fail as "budget" (never retried)
+                    self.failures[index] = _quarantine_budget(
+                        self.policy, index, _short_repr(self.tasks[index]),
+                        "terminated at the run deadline",
+                    )
+                else:
+                    self._failed(
+                        index, "timeout",
+                        f"task exceeded its {self.policy.timeout:g}s timeout", "",
+                    )
 
     def _failed(self, index: int, kind: str, message: str, detail: str) -> None:
         attempt = self.attempt.get(index, 0)
@@ -472,6 +667,7 @@ class _Supervisor:
         )
         if self.policy.partial:
             telemetry.count("pool.quarantined")
+            RUN_STATS.quarantined += 1
             _log_quarantine(failure)
             self.failures[index] = failure
         else:
@@ -479,7 +675,7 @@ class _Supervisor:
             raise _to_exception(failure)
 
     def _terminate_all(self) -> None:
-        for proc, _deadline in self.in_flight.values():
+        for proc, _deadline, _timeout in self.in_flight.values():
             if proc.is_alive():
                 proc.terminate()
             proc.join()

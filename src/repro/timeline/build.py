@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro import telemetry
+from repro.errors import TraceError
 from repro.timeline.model import (
     BLOCKED,
     COMPUTE,
@@ -312,7 +314,23 @@ def _from_trace(trace, kinds: Dict[str, str], *, merge: bool) -> Timeline:
     return timeline
 
 
-def build_timeline_segments(reader, *, analysis=None, merge: bool = True) -> Timeline:
+def _restore_lanes(reader, checkpoint):
+    """Adopt a checkpointed mid-build state, or ``None`` for a cold start."""
+    loaded = checkpoint.load()
+    if loaded is None:
+        return None
+    payload, segments_done = loaded
+    try:
+        reader.resume(payload["reader"])
+        return payload["timeline"], payload["states"], \
+            payload["acquire_tid"], segments_done
+    except (TraceError, KeyError, TypeError):
+        checkpoint.clear()
+        return None
+
+
+def build_timeline_segments(reader, *, analysis=None, merge: bool = True,
+                            checkpoint=None) -> Timeline:
     """Build the interval lanes of a segmented trace file, streaming.
 
     ``reader`` is a fresh :class:`repro.trace.segments.SegmentedReader`.
@@ -326,6 +344,10 @@ def build_timeline_segments(reader, *, analysis=None, merge: bool = True) -> Tim
     exactly as in :func:`build_timeline`; pass the result of
     :func:`repro.analysis.streaming.analyze_segments` to keep the whole
     pipeline bounded.
+
+    ``checkpoint`` (a :class:`repro.runner.checkpoint.Checkpointer`)
+    persists the in-flight lane state every N segments and resumes from
+    the last saved boundary, exactly like the analysis scan.
     """
     kinds = classification_map(analysis)
     kinds_get = kinds.get
@@ -334,6 +356,12 @@ def build_timeline_segments(reader, *, analysis=None, merge: bool = True) -> Tim
     timeline = Timeline(name=reader.meta.name, source="trace")
     states = {tid: _LaneState() for tid in reader.threads}
     acquire_tid: Dict[str, str] = {}
+    segments_done = 0
+    if checkpoint is not None:
+        restored = _restore_lanes(reader, checkpoint)
+        if restored is not None:
+            timeline, states, acquire_tid, segments_done = restored
+            telemetry.count("timeline.segments_resumed", segments_done)
     for segment in reader.segments():
         for chunk in segment.chunks:
             column = chunk.column
@@ -344,6 +372,16 @@ def build_timeline_segments(reader, *, analysis=None, merge: bool = True) -> Tim
                     acquire_tid[uids[i]] = chunk.tid
             _walk_column(chunk.tid, column, states[chunk.tid], timeline,
                          kinds_get, lock_cost, mem_cost)
+        segments_done += 1
+        if checkpoint is not None and checkpoint.due(segments_done):
+            checkpoint.save({
+                "timeline": timeline,
+                "states": states,
+                "acquire_tid": acquire_tid,
+                "reader": reader.suspend(),
+            }, segments_done)
+    if checkpoint is not None:
+        checkpoint.clear()
     # schedule-predecessor holder map, exactly as _holder_maps derives it
     holders: Dict[str, str] = {}
     for uids in reader.lock_schedule.values():

@@ -61,6 +61,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro import telemetry
+from repro.chaos.points import crash_point
 from repro.errors import TraceError
 from repro.trace.codesite import CodeSite
 from repro.trace.events import TraceEvent
@@ -205,9 +207,13 @@ class SegmentedIndex:
     file_size: int
     digest: str  #: sha256 over the concatenated segment digests
     segments: List[SegmentInfo] = field(default_factory=list)
+    #: byte offset of the footer block (``None`` in pre-checkpoint indexes);
+    #: lets a resume at the final segment boundary seek straight to the
+    #: footer for validation instead of re-reading the last segment
+    footer_offset: Optional[int] = None
 
     def encode(self) -> dict:
-        return {
+        data = {
             "format": "repro-segments-index",
             "version": FORMAT_VERSION,
             "segment_events": self.segment_events,
@@ -219,6 +225,9 @@ class SegmentedIndex:
                 for s in self.segments
             ],
         }
+        if self.footer_offset is not None:
+            data["footer_offset"] = self.footer_offset
+        return data
 
     @staticmethod
     def decode(data: dict) -> "SegmentedIndex":
@@ -227,6 +236,7 @@ class SegmentedIndex:
             events=data["events"],
             file_size=data["file_size"],
             digest=data["digest"],
+            footer_offset=data.get("footer_offset"),
         )
         for entry in data["segments"]:
             index.segments.append(SegmentInfo(
@@ -250,6 +260,21 @@ def load_index(path: Union[str, Path]) -> Optional[SegmentedIndex]:
         return SegmentedIndex.decode(data)
     except (OSError, ValueError, KeyError, TypeError):
         return None
+
+
+def _write_index(data_path: Path, index: SegmentedIndex) -> None:
+    """Atomically (re)write the sidecar index for ``data_path``."""
+    target = index_path(data_path)
+    tmp = target.with_name(f".tmp-{os.getpid()}-{target.name}")
+    try:
+        tmp.write_text(
+            json.dumps(index.encode(), sort_keys=True,
+                       separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 class SegmentedTraceWriter:
@@ -367,6 +392,7 @@ class SegmentedTraceWriter:
         digest = digest.hexdigest()
         lines.append(json.dumps({"segment_end": k, "digest": digest}))
         offset = self._write_block(lines)
+        crash_point("segments.flush")
         self._segments.append(SegmentInfo(
             offset=offset, events=self._pending, digest=digest,
         ))
@@ -382,36 +408,29 @@ class SegmentedTraceWriter:
         for info in self._segments:
             combined.update(info.digest.encode("utf-8"))
         combined = combined.hexdigest()
-        self._write_block([json.dumps({"footer": {
+        footer_offset = self._write_block([json.dumps({"footer": {
             "segments": len(self._segments),
             "events": self._events_total,
             "digest": combined,
         }})])
         self._raw.close()
+        crash_point("segments.close")
         try:
             os.replace(self._tmp, self.path)
         except BaseException:
             self._tmp.unlink(missing_ok=True)
             raise
         self._closed = True
+        crash_point("segments.index")
         index = SegmentedIndex(
             segment_events=self.segment_events,
             events=self._events_total,
             file_size=self.path.stat().st_size,
             digest=combined,
             segments=self._segments,
+            footer_offset=footer_offset,
         )
-        target = index_path(self.path)
-        tmp = target.with_name(f".tmp-{os.getpid()}-{target.name}")
-        try:
-            tmp.write_text(
-                json.dumps(index.encode(), sort_keys=True,
-                           separators=(",", ":")) + "\n",
-                encoding="utf-8",
-            )
-            os.replace(tmp, target)
-        finally:
-            tmp.unlink(missing_ok=True)
+        _write_index(self.path, index)
         return index
 
     def abort(self) -> None:
@@ -494,6 +513,7 @@ class SegmentedReader:
         self.events_seen = 0
         self._thread_counts: Dict[str, int] = {}
         self._consumed = False
+        self._resume_segments_read = 0
         try:
             self._read_header()
         except BaseException:
@@ -510,6 +530,11 @@ class SegmentedReader:
 
     def close(self) -> None:
         self._handle.close()
+        raw = getattr(self, "_raw_handle", None)
+        if raw is not None:
+            # gzip.open over a fileobj does not close that fileobj
+            raw.close()
+            self._raw_handle = None
 
     # -- header ----------------------------------------------------------
 
@@ -774,7 +799,87 @@ class SegmentedReader:
                 "open a new reader to re-stream"
             )
         self._consumed = True
-        self._segments_read = 0
+        self._segments_read = self._resume_segments_read
+
+    # -- checkpoint support ----------------------------------------------
+
+    def suspend(self) -> dict:
+        """Picklable mid-stream state, captured at a segment boundary.
+
+        Everything a fresh reader needs to continue where this one is:
+        the (monotonically grown) intern tables, per-thread event counts
+        (chunk ``start`` offsets), and the stream position in segments
+        and events.  Valid only between segments — i.e. from a consumer
+        that checkpoints after fully processing a yielded segment.
+        """
+        return {
+            "tables": self.tables,
+            "thread_counts": dict(self._thread_counts),
+            "segments_read": getattr(self, "_segments_read",
+                                     self._resume_segments_read),
+            "events_seen": self.events_seen,
+        }
+
+    def resume(self, state: dict) -> int:
+        """Fast-forward this *fresh* reader to a suspended position.
+
+        Seeks straight to the next unread segment via the sidecar index
+        (rebuilding it if needed) and adopts the suspended intern tables
+        and counts; iteration then continues with segment ``k`` as if
+        the first ``k`` had just been streamed.  Returns ``k``.  Raises
+        :class:`TraceError` when the file cannot back the state (no
+        index and not reconstructable, fewer segments than claimed) —
+        callers fall back to a full restart.
+        """
+        if self._consumed:
+            raise TraceError("cannot resume a consumed reader")
+        k = state["segments_read"]
+        if k < 0:
+            raise TraceError(f"invalid resume state: segments_read={k}")
+        if k > 0:
+            index = ensure_index(self.path)
+            if index is None or len(index.segments) < k:
+                raise TraceError(
+                    f"{self.path} cannot back a resume at segment {k}"
+                )
+            if k < len(index.segments):
+                offset = index.segments[k].offset
+            elif index.footer_offset is not None:
+                offset = index.footer_offset
+            else:
+                raise TraceError(
+                    f"index for {self.path} lacks a footer offset; "
+                    f"cannot resume at the final boundary"
+                )
+            self._reopen_at(offset)
+        self.tables = state["tables"]
+        self._thread_counts = dict(state["thread_counts"])
+        self.events_seen = state["events_seen"]
+        self._resume_segments_read = k
+        return k
+
+    def _reopen_at(self, offset: int) -> None:
+        """Point the line stream at an absolute byte offset.
+
+        On ``.gz`` containers every block is its own gzip member, so any
+        block offset is a valid decompression start; the container kind
+        is re-probed from the magic bytes, as in :func:`_open_text`.
+        """
+        self.close()
+        raw = open(self.path, "rb")
+        try:
+            magic = raw.read(2)
+            raw.seek(offset)
+            if magic == _GZIP_MAGIC:
+                self._handle = gzip.open(raw, "rt", encoding="utf-8")
+                self._raw_handle = raw
+            else:
+                self._handle = io.TextIOWrapper(raw, encoding="utf-8")
+        except BaseException:
+            raw.close()
+            raise
+        self._lines = iter(self._handle)
+        self._peeked = None
 
 
 def open_segmented(path: Union[str, Path]) -> SegmentedReader:
@@ -851,19 +956,145 @@ def salvage_segmented(path: Union[str, Path]):
         )
 
 
+# ------------------------------------------------- index reconstruction
+
+
+def _gzip_member_offsets(path: Path) -> List[int]:
+    """Byte offset of every gzip member (= every block) in ``path``.
+
+    Streams the file through ``zlib`` tracking where each member's
+    compressed bytes end (``unused_data`` marks the handoff), so the
+    whole scan decompresses each byte once and holds one chunk in
+    memory.
+    """
+    offsets: List[int] = []
+    pos = 0  # absolute offset of the start of the unconsumed bytes
+    decomp = None
+    with open(path, "rb") as raw:
+        while True:
+            chunk = raw.read(1 << 16)
+            if not chunk:
+                break
+            while chunk:
+                if decomp is None:
+                    offsets.append(pos)
+                    decomp = zlib.decompressobj(wbits=31)
+                decomp.decompress(chunk)
+                if decomp.eof:
+                    unused = decomp.unused_data
+                    pos += len(chunk) - len(unused)
+                    chunk = unused
+                    decomp = None
+                else:
+                    pos += len(chunk)
+                    chunk = b""
+    if decomp is not None:
+        raise TraceError(f"{path} ends inside a gzip member")
+    return offsets
+
+
+def _plain_block_offsets(path: Path) -> List[int]:
+    """Block offsets of an uncompressed segmented file, by line scan.
+
+    The canonical ``json.dumps`` encoding guarantees a segment header
+    line starts with exactly ``{"segment":`` (the colon excludes
+    ``{"segment_end":``) and the footer with ``{"footer":``; the header
+    block is offset 0 by construction.
+    """
+    offsets = [0]
+    pos = 0
+    with open(path, "rb") as raw:
+        for line in raw:
+            if line.startswith(b'{"segment":') or line.startswith(b'{"footer":'):
+                offsets.append(pos)
+            pos += len(line)
+    return offsets
+
+
+def rebuild_index(path: Union[str, Path]) -> Optional[SegmentedIndex]:
+    """Reconstruct the sidecar index from the data file alone.
+
+    One strict streaming pass yields the digests and event counts; the
+    block offsets come from the gzip member boundaries (or a line scan
+    for plain files).  Returns ``None`` when the data file itself is
+    damaged — an index must never vouch for bytes it cannot verify.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as probe:
+            magic = probe.read(2)
+        offsets = (_gzip_member_offsets(path) if magic == _GZIP_MAGIC
+                   else _plain_block_offsets(path))
+        infos: List[SegmentInfo] = []
+        with open_segmented(path) as reader:
+            for segment in reader.segments():
+                infos.append(SegmentInfo(
+                    offset=0, events=segment.events, digest=segment.digest,
+                ))
+            footer = reader.footer or {}
+            segment_events = reader.segment_events
+            events_total = reader.events_seen
+        file_size = path.stat().st_size
+    except (TraceError, OSError, EOFError, zlib.error, UnicodeDecodeError,
+            ValueError, KeyError):
+        return None
+    # blocks are [header, segment 0..K-1, footer]
+    if len(offsets) != len(infos) + 2:
+        return None
+    for info, offset in zip(infos, offsets[1:]):
+        info.offset = offset
+    return SegmentedIndex(
+        segment_events=segment_events,
+        events=events_total,
+        file_size=file_size,
+        digest=footer.get("digest", ""),
+        segments=infos,
+        footer_offset=offsets[-1],
+    )
+
+
+def ensure_index(path: Union[str, Path]) -> Optional[SegmentedIndex]:
+    """A fresh sidecar index for ``path``, rebuilding it if needed.
+
+    A missing or stale sidecar — e.g. a writer killed between installing
+    the data file and writing the index, or a crashed rewrite leaving a
+    size mismatch — is silently re-indexed from the data file and
+    rewritten (atomically), not warned about: the data file is the
+    authority and the index is derived state.  Returns ``None`` only
+    when the data file itself is damaged.
+    """
+    path = Path(path)
+    try:
+        file_size = path.stat().st_size
+    except OSError:
+        return None
+    index = load_index(path)
+    if index is not None and index.file_size == file_size:
+        return index
+    index = rebuild_index(path)
+    if index is None:
+        return None
+    telemetry.count("segments.reindexed")
+    try:
+        _write_index(path, index)
+    except OSError:
+        pass  # read-only location: serve the in-memory index anyway
+    return index
+
+
 # ------------------------------------------------------------- digests
 
 
 def segment_digests(path: Union[str, Path]) -> List[str]:
     """Per-segment content digests, from the sidecar index when valid.
 
-    Falls back to streaming the file (decompressing it once) when the
-    index is missing or its recorded file size disagrees with the data
-    file on disk.
+    A missing or stale index is rebuilt in passing (one streaming pass);
+    only when the data file itself is damaged does this fall back to the
+    strict reader, whose error names the damage.
     """
     path = Path(path)
-    index = load_index(path)
-    if index is not None and index.file_size == path.stat().st_size:
+    index = ensure_index(path)
+    if index is not None:
         return [s.digest for s in index.segments]
     with open_segmented(path) as reader:
         return [segment.digest for segment in reader.segments()]

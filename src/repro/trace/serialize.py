@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import IO, Iterable, Iterator, List, Optional, Union
 
 from repro import faults
+from repro.chaos.points import crash_point
 from repro.errors import SalvageWarning, TraceError
 from repro.trace.events import ACQUIRE, POST, RELEASE, WAIT, TraceEvent
 from repro.trace.interning import InternTables
@@ -492,6 +493,7 @@ def dump(trace: Trace, path: Union[str, Path]) -> None:
         else:
             with open(tmp, "w", encoding="utf-8") as out:
                 write_trace(trace, out)
+        crash_point("trace.dump")
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)

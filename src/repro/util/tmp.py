@@ -1,0 +1,93 @@
+"""Stale temp-file hygiene for the atomic-write pattern.
+
+Every atomic writer in the package (``serialize.dump``, the segmented
+writer, ``runner.cache``, the checkpointer) stages bytes as
+``.tmp-<pid>-<name>`` in the destination directory and ``os.replace``\\ s
+them into place.  A SIGKILL between ``open`` and ``os.replace`` leaks
+that temp file forever — harmless to correctness (readers never open
+temp names) but it accumulates, pollutes ``cache info`` counts and
+defeats "no torn files" audits.
+
+This module is the single source of truth for the temp-name convention:
+
+* :func:`is_tmp_name` — the ignore-pattern every reader/count applies,
+* :func:`reap_stale` — delete temp files whose owning pid is gone,
+  called when a cache is opened (and by the chaos harness's invariant
+  checks).  Temp files of *live* pids are left alone: they belong to a
+  concurrent writer mid-flight.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+#: prefix of every atomically-staged temp file
+TMP_PREFIX = ".tmp-"
+
+
+def tmp_name(path: Union[str, Path]) -> Path:
+    """The staging name for ``path``, owned by this process."""
+    path = Path(path)
+    return path.with_name(f"{TMP_PREFIX}{os.getpid()}-{path.name}")
+
+
+def is_tmp_name(name: str) -> bool:
+    """Whether ``name`` is an atomic-write staging file."""
+    return name.startswith(TMP_PREFIX)
+
+
+def tmp_owner_pid(name: str) -> Optional[int]:
+    """The pid embedded in a staging name, or ``None`` if unparsable."""
+    if not name.startswith(TMP_PREFIX):
+        return None
+    rest = name[len(TMP_PREFIX):]
+    pid_text, _, remainder = rest.partition("-")
+    if not remainder or not pid_text.isdigit():
+        return None
+    return int(pid_text)
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness check (signal 0; permission errors = alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def find_stale(root: Union[str, Path]) -> List[Path]:
+    """Staging files under ``root`` whose owning process is gone."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    stale: List[Path] = []
+    for path in root.rglob(f"{TMP_PREFIX}*"):
+        if not path.is_file():
+            continue
+        pid = tmp_owner_pid(path.name)
+        if pid is None or not pid_alive(pid):
+            stale.append(path)
+    return sorted(stale)
+
+
+def reap_stale(root: Union[str, Path]) -> int:
+    """Delete dead-owner staging files under ``root``; returns the count."""
+    removed = 0
+    for path in find_stale(root):
+        try:
+            path.unlink(missing_ok=True)
+            removed += 1
+        except OSError:
+            # a racing reaper (another process opening the same cache)
+            # already got it, or the directory is read-only: both fine
+            continue
+    return removed

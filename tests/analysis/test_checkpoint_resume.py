@@ -1,0 +1,138 @@
+"""Checkpointed streaming analysis resumes mid-scan and matches a clean run."""
+
+import pytest
+
+from repro import api, telemetry
+from repro.runner.checkpoint import Checkpointer
+from repro.telemetry import to_dict
+from repro.trace.segments import ensure_index, open_segmented, write_segmented
+
+
+class _AbortAfter(Checkpointer):
+    """A checkpointer that kills the scan right after its Nth save —
+    the in-process stand-in for SIGKILL between two checkpoints."""
+
+    class Abort(BaseException):
+        pass
+
+    def __init__(self, *args, abort_after=1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.abort_after = abort_after
+        self.saves = 0
+
+    def save(self, payload, segments_done):
+        super().save(payload, segments_done)
+        self.saves += 1
+        if self.saves >= self.abort_after:
+            raise self.Abort
+
+
+@pytest.fixture(scope="module")
+def seg_file(tmp_path_factory):
+    trace = api.record("mysql", threads=3, input_size="simsmall")
+    path = tmp_path_factory.mktemp("seg") / "t.seg.jsonl.gz"
+    index = write_segmented(trace, path, segment_events=32)
+    assert len(index.segments) >= 6  # the resume tests need a real tail
+    return path
+
+
+def _tag(path):
+    index = ensure_index(path)
+    return f"{index.digest}:{index.file_size}"
+
+
+class TestAnalysisResume:
+    def test_resume_after_abort_matches_clean(self, seg_file, tmp_path):
+        from repro.analysis.streaming import analyze_segments
+
+        clean = analyze_segments(seg_file)
+
+        ckpt_path = tmp_path / "scan.ckpt.pkl.gz"
+        aborting = _AbortAfter(
+            ckpt_path, tag=_tag(seg_file), every=2, abort_after=2
+        )
+        with pytest.raises(_AbortAfter.Abort):
+            analyze_segments(seg_file, checkpoint=aborting)
+        assert ckpt_path.exists()
+
+        sink = telemetry.Telemetry()
+        with telemetry.use_telemetry(sink):
+            resumed = analyze_segments(
+                seg_file,
+                checkpoint=Checkpointer(ckpt_path, tag=_tag(seg_file), every=2),
+            )
+        counters = to_dict(sink, timings=False)["counters"]
+        # the scan really did restart mid-file, from the 2nd save (4 done)
+        assert counters.get("analyze.segments_resumed") == 4
+        assert resumed.breakdown == clean.breakdown
+        assert len(resumed.pairs) == len(clean.pairs)
+        assert [p.kind for p in resumed.pairs] == [p.kind for p in clean.pairs]
+        # a finished analysis clears its checkpoint
+        assert not ckpt_path.exists()
+
+    def test_resume_redoes_less_than_ten_percent_with_tight_cadence(
+        self, seg_file, tmp_path
+    ):
+        """The acceptance bar: with cadence ~1% of the segment count, a
+        resumed scan redoes < 10% of the segments."""
+        from repro.analysis.streaming import analyze_segments
+
+        index = ensure_index(seg_file)
+        total = len(index.segments)
+        ckpt_path = tmp_path / "scan.ckpt.pkl.gz"
+        aborting = _AbortAfter(
+            ckpt_path, tag=_tag(seg_file), every=1, abort_after=total - 1
+        )
+        with pytest.raises(_AbortAfter.Abort):
+            analyze_segments(seg_file, checkpoint=aborting)
+
+        sink = telemetry.Telemetry()
+        with telemetry.use_telemetry(sink):
+            analyze_segments(
+                seg_file,
+                checkpoint=Checkpointer(ckpt_path, tag=_tag(seg_file), every=1),
+            )
+        counters = to_dict(sink, timings=False)["counters"]
+        redone = total - counters.get("analyze.segments_resumed", 0)
+        assert redone / total < 0.10
+
+    def test_api_resume_roundtrip(self, seg_file):
+        clean = api.analyze(seg_file)
+        resumed = api.analyze(seg_file, resume="api-rt", checkpoint_every=2)
+        assert resumed.breakdown == clean.breakdown
+
+
+class TestTimelineResume:
+    def test_timeline_resume_matches_clean(self, seg_file, tmp_path):
+        from repro.timeline import to_columnar_json
+        from repro.timeline.build import build_timeline_segments
+
+        analysis = api.analyze(seg_file)
+        with open_segmented(seg_file) as reader:
+            clean = build_timeline_segments(reader, analysis=analysis)
+
+        ckpt_path = tmp_path / "lanes.ckpt.pkl.gz"
+        aborting = _AbortAfter(
+            ckpt_path, tag=_tag(seg_file), every=2, abort_after=2
+        )
+        with pytest.raises(_AbortAfter.Abort):
+            with open_segmented(seg_file) as reader:
+                build_timeline_segments(
+                    reader, analysis=analysis, checkpoint=aborting
+                )
+        assert ckpt_path.exists()
+
+        sink = telemetry.Telemetry()
+        with telemetry.use_telemetry(sink):
+            with open_segmented(seg_file) as reader:
+                resumed = build_timeline_segments(
+                    reader,
+                    analysis=analysis,
+                    checkpoint=Checkpointer(
+                        ckpt_path, tag=_tag(seg_file), every=2
+                    ),
+                )
+        counters = to_dict(sink, timings=False)["counters"]
+        assert counters.get("timeline.segments_resumed") == 4
+        assert to_columnar_json(resumed) == to_columnar_json(clean)
+        assert not ckpt_path.exists()

@@ -1,0 +1,131 @@
+"""Tests for run budgets and graceful degradation (repro.runner.budget)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.runner import budget as budget_mod
+from repro.runner.budget import RunBudget, peak_rss_mb, use_budget
+
+
+def _slow_square(x):
+    return x * x
+
+
+class TestRunBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunBudget(deadline=0)
+        with pytest.raises(ValueError):
+            RunBudget(max_rss_mb=-1)
+
+    def test_unlimited_budget_never_exhausts(self):
+        budget = RunBudget().start()
+        assert budget.remaining() is None
+        assert not budget.expired()
+        assert budget.exhausted() is None
+        budget.check()  # no raise
+
+    def test_deadline_expiry(self):
+        budget = RunBudget(deadline=1e-9).start()
+        assert budget.expired()
+        reason = budget.exhausted()
+        assert reason is not None and "deadline" in reason
+        with pytest.raises(BudgetExceededError):
+            budget.check()
+
+    def test_clamp_timeout(self):
+        budget = RunBudget(deadline=100).start()
+        assert budget.clamp_timeout(5) == 5
+        clamped = budget.clamp_timeout(10_000)
+        assert clamped is not None and clamped <= 100
+        assert budget.clamp_timeout(None) is not None
+
+    def test_peak_rss_is_measured(self):
+        rss = peak_rss_mb()
+        assert rss is not None and rss > 0
+        # a watermark far above the process's real peak is not pressure
+        assert not RunBudget(max_rss_mb=10**9).start().over_memory()
+        # one far below it is
+        assert RunBudget(max_rss_mb=0.001).start().over_memory()
+
+    def test_use_budget_starts_and_scopes(self):
+        assert budget_mod.active() is None
+        budget = RunBudget(deadline=3600)
+        with use_budget(budget) as active:
+            assert active is budget
+            assert budget_mod.active() is budget
+            assert budget.elapsed() >= 0
+        assert budget_mod.active() is None
+
+
+class TestPoolDegradation:
+    def test_expired_deadline_raises_without_partial(self):
+        from repro.runner import parallel_map
+
+        with use_budget(RunBudget(deadline=1e-9)):
+            with pytest.raises(BudgetExceededError):
+                parallel_map(_slow_square, [1, 2, 3])
+
+    def test_expired_deadline_quarantines_under_partial(self):
+        from repro.runner import ExecPolicy, TaskFailure, parallel_map
+        from repro.runner.pool import RUN_STATS
+
+        RUN_STATS.reset()
+        with use_budget(RunBudget(deadline=1e-9)):
+            results = parallel_map(
+                _slow_square, [1, 2, 3], policy=ExecPolicy(partial=True)
+            )
+        assert len(results) == 3
+        assert all(isinstance(r, TaskFailure) for r in results)
+        assert all(r.kind == "budget" for r in results)
+        assert RUN_STATS.budget_stopped == 3
+        assert RUN_STATS.degraded()
+
+    def test_expired_deadline_supervised_quarantines(self):
+        from repro.runner import ExecPolicy, TaskFailure, parallel_map
+
+        with use_budget(RunBudget(deadline=1e-9)):
+            results = parallel_map(
+                _slow_square, [1, 2, 3], jobs=2,
+                policy=ExecPolicy(partial=True),
+            )
+        assert all(isinstance(r, TaskFailure) for r in results)
+        assert all(r.kind == "budget" for r in results)
+
+    def test_generous_budget_changes_nothing(self):
+        from repro.runner import parallel_map
+
+        plain = parallel_map(_slow_square, [1, 2, 3], jobs=2)
+        with use_budget(RunBudget(deadline=3600, max_rss_mb=10**9)):
+            budgeted = parallel_map(_slow_square, [1, 2, 3], jobs=2)
+        assert plain == budgeted == [1, 4, 9]
+
+
+class TestApiDegradation:
+    def test_memory_pressure_degrades_full_load_to_streaming(self, tmp_path):
+        from repro import api, telemetry
+        from repro.telemetry import to_dict
+        from repro.trace.segments import write_segmented
+
+        trace = api.record("transmissionBT", input_size="simsmall")
+        seg = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, seg, segment_events=64)
+
+        full = api.analyze(seg, stream=False)
+        sink = telemetry.Telemetry()
+        degraded = api.analyze(
+            seg, stream=False,
+            budget=RunBudget(max_rss_mb=0.001).start(),
+            telemetry=sink,
+        )
+        counters = to_dict(sink, timings=False)["counters"]
+        assert counters.get("analyze.degraded_to_stream") == 1
+        assert degraded.breakdown == full.breakdown
+        assert len(degraded.pairs) == len(full.pairs)
+
+    def test_expired_budget_fails_fast_in_analyze(self):
+        from repro import api
+
+        trace = api.record("transmissionBT", input_size="simsmall")
+        with pytest.raises(BudgetExceededError):
+            api.analyze(trace, budget=RunBudget(deadline=1e-9).start())

@@ -1,0 +1,88 @@
+"""Tests for segment-granular checkpoints (repro.runner.checkpoint)."""
+
+import gzip
+
+import pytest
+
+from repro.runner.checkpoint import Checkpointer
+
+
+class TestCheckpointer:
+    def test_roundtrip(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "c.ckpt.pkl.gz", tag="t1", every=4)
+        ckpt.save({"x": [1, 2, 3]}, segments_done=8)
+        loaded = Checkpointer(tmp_path / "c.ckpt.pkl.gz", tag="t1").load()
+        assert loaded == ({"x": [1, 2, 3]}, 8)
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert Checkpointer(tmp_path / "nope", tag="t1").load() is None
+
+    def test_due_cadence(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "c", tag="t1", every=3)
+        assert [n for n in range(10) if ckpt.due(n)] == [3, 6, 9]
+        ckpt.save({}, 3)
+        # the cadence never re-saves the point it just saved
+        assert not ckpt.due(3)
+        assert ckpt.due(6)
+
+    def test_bad_cadence_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path / "c", tag="t1", every=0)
+
+    def test_tag_mismatch_loads_none(self, tmp_path):
+        path = tmp_path / "c.ckpt.pkl.gz"
+        Checkpointer(path, tag="digest-a:100").save({"x": 1}, 4)
+        assert Checkpointer(path, tag="digest-b:200").load() is None
+
+    def test_truncated_file_loads_none(self, tmp_path):
+        path = tmp_path / "c.ckpt.pkl.gz"
+        Checkpointer(path, tag="t1").save({"x": list(range(1000))}, 4)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert Checkpointer(path, tag="t1").load() is None
+
+    def test_garbage_file_loads_none(self, tmp_path):
+        path = tmp_path / "c.ckpt.pkl.gz"
+        path.write_bytes(b"not a checkpoint at all")
+        assert Checkpointer(path, tag="t1").load() is None
+
+    def test_wrong_pickle_shape_loads_none(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "c.ckpt.pkl.gz"
+        with gzip.open(path, "wb") as handle:
+            pickle.dump(["not", "a", "dict"], handle)
+        assert Checkpointer(path, tag="t1").load() is None
+
+    def test_clear_removes_the_file(self, tmp_path):
+        path = tmp_path / "c.ckpt.pkl.gz"
+        ckpt = Checkpointer(path, tag="t1")
+        ckpt.save({}, 4)
+        assert path.exists()
+        ckpt.clear()
+        assert not path.exists()
+        ckpt.clear()  # idempotent
+
+    def test_save_is_atomic_under_crash(self, tmp_path, monkeypatch):
+        """A kill during save leaves the previous checkpoint intact."""
+        from repro.chaos import points
+
+        path = tmp_path / "c.ckpt.pkl.gz"
+        ckpt = Checkpointer(path, tag="t1", every=1)
+        ckpt.save({"gen": 1}, 1)
+
+        class Killed(BaseException):
+            pass
+
+        def fake_kill():
+            raise Killed
+
+        monkeypatch.setattr(points, "kill_now", fake_kill)
+        points.arm("checkpoint.save@1")
+        try:
+            with pytest.raises(Killed):
+                ckpt.save({"gen": 2}, 2)
+        finally:
+            points.disarm()
+        # the interrupted rewrite must not have torn the previous save
+        assert Checkpointer(path, tag="t1").load() == ({"gen": 1}, 1)

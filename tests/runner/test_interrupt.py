@@ -1,0 +1,56 @@
+"""Operator interrupts flush state and surface as RunInterrupted."""
+
+import pytest
+
+from repro.errors import ReproError, RunInterrupted
+from repro.runner import parallel_map
+from repro.runner import cache as cache_mod
+from repro.runner.journal import RunJournal, use_journal
+
+
+_COUNT = {"n": 0}
+
+
+def _interrupt_on_third(x):
+    _COUNT["n"] += 1
+    if _COUNT["n"] == 3:
+        raise KeyboardInterrupt
+    return x * 2
+
+
+class TestSerialInterrupt:
+    def test_interrupt_becomes_run_interrupted(self):
+        _COUNT["n"] = 0
+        with pytest.raises(RunInterrupted):
+            parallel_map(_interrupt_on_third, [1, 2, 3, 4])
+
+    def test_run_interrupted_is_a_repro_error(self):
+        assert issubclass(RunInterrupted, ReproError)
+        message = str(RunInterrupted(run_id="r9"))
+        assert "repro resume r9" in message
+
+    def test_interrupt_is_journaled_and_resumable(self, tmp_path):
+        _COUNT["n"] = 0
+        tasks = [1, 2, 3, 4]
+        with cache_mod.use_cache(tmp_path / "cache"):
+            store = cache_mod.active()
+            journal = RunJournal.create(store.root, "r1", {})
+            with pytest.raises(RunInterrupted) as excinfo:
+                with journal, use_journal(journal):
+                    parallel_map(_interrupt_on_third, tasks)
+            assert "repro resume r1" in str(excinfo.value)
+            loaded = RunJournal.load(store.root, "r1")
+            # the interrupt landed in the ledger, after the completed work
+            assert not loaded.is_complete()
+            assert any(
+                e.get("event") == "interrupted" for e in loaded.events
+            )
+            done = loaded.done_tasks()
+            assert set(done) == {0, 1}
+            # resuming skips the flushed prefix: the poisoned third call
+            # never fires again because only tasks 2 and 3 re-run
+            _COUNT["n"] = 100
+            journal = RunJournal.attach(store.root, "r1")
+            with journal, use_journal(journal):
+                results = parallel_map(_interrupt_on_third, tasks)
+        assert results == [2, 4, 6, 8]

@@ -1,0 +1,212 @@
+"""Tests for the append-only run journal (repro.runner.journal)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import journal as journal_mod
+from repro.runner.journal import (
+    RunJournal,
+    journal_path,
+    read_journal,
+    result_digest,
+    sanitize_run_id,
+    task_key,
+    use_journal,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestBasics:
+    def test_create_writes_header_with_spec(self, tmp_path):
+        with RunJournal.create(tmp_path, "r1", {"name": "t"}) as journal:
+            assert journal.run_id == "r1"
+        header, events, skipped = read_journal(journal_path(tmp_path, "r1"))
+        assert header["journal"] == 1
+        assert header["spec"] == {"name": "t"}
+        assert events == []
+        assert skipped == 0
+
+    def test_header_is_on_disk_before_create_returns(self, tmp_path):
+        # found by the chaos soak: a SIGKILL right after create() must
+        # leave an identifiable journal, so the header cannot ride the
+        # torn-line append path — it is staged and os.replace'd whole
+        journal = RunJournal.create(tmp_path, "r1", {"name": "t"})
+        try:
+            header, events, skipped = read_journal(journal_path(tmp_path, "r1"))
+            assert header["run_id"] == "r1"
+            assert events == [] and skipped == 0
+        finally:
+            journal.close()
+        leftovers = [
+            p.name for p in (tmp_path / "journal").iterdir()
+            if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_first_append_crash_tears_an_event_not_the_header(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.chaos import points
+
+        class Killed(BaseException):
+            pass
+
+        def _die():
+            raise Killed
+
+        monkeypatch.setattr(points, "kill_now", _die)
+        points.arm("journal.append@1")
+        try:
+            journal = RunJournal.create(tmp_path, "r1", {"name": "t"})
+            with pytest.raises(Killed):
+                journal.task_start(0, "k0", 1)
+            journal.close()
+        finally:
+            points.disarm()
+        # the header survived whole; only the event line is torn, and
+        # attach seals it so the run resumes
+        resumed = RunJournal.attach(tmp_path, "r1")
+        try:
+            assert resumed.run_id == "r1"
+            assert resumed.skipped_lines == 1
+            assert resumed.done_tasks() == {}
+        finally:
+            resumed.close()
+
+    def test_task_lifecycle_roundtrip(self, tmp_path):
+        with RunJournal.create(tmp_path, "r1") as journal:
+            journal.task_start(0, "k0", 1)
+            journal.task_done(0, "k0", 1, "d0")
+            journal.complete(1)
+        loaded = RunJournal.load(tmp_path, "r1")
+        assert loaded.done_tasks() == {0: ("k0", "d0")}
+        assert loaded.is_complete()
+
+    def test_attach_continues_an_interrupted_run(self, tmp_path):
+        with RunJournal.create(tmp_path, "r1") as journal:
+            journal.task_done(0, "k0", 1, "d0")
+        with RunJournal.attach(tmp_path, "r1") as journal:
+            assert journal.done_tasks() == {0: ("k0", "d0")}
+            journal.task_done(1, "k1", 1, "d1")
+        loaded = RunJournal.load(tmp_path, "r1")
+        assert set(loaded.done_tasks()) == {0, 1}
+
+    def test_attach_seals_a_torn_tail_line(self, tmp_path):
+        with RunJournal.create(tmp_path, "r1") as journal:
+            journal.task_done(0, "k0", 1, "d0")
+        path = journal_path(tmp_path, "r1")
+        with open(path, "ab") as handle:
+            handle.write(b'{"event": "task_done", "index": 1, "ke')
+        with RunJournal.attach(tmp_path, "r1") as journal:
+            # the torn line is ignored, not fatal, and appending works
+            assert journal.done_tasks() == {0: ("k0", "d0")}
+            journal.task_done(2, "k2", 1, "d2")
+        _header, _events, skipped = read_journal(path)
+        assert skipped == 1
+        assert 2 in RunJournal.load(tmp_path, "r1").done_tasks()
+
+    def test_later_entries_win_per_index(self, tmp_path):
+        with RunJournal.create(tmp_path, "r1") as journal:
+            journal.task_done(0, "old", 1, "d-old")
+            journal.task_done(0, "new", 2, "d-new")
+        assert RunJournal.load(tmp_path, "r1").done_tasks() == {
+            0: ("new", "d-new")
+        }
+
+    def test_run_id_sanitization(self):
+        assert sanitize_run_id("ok-run.1_x") == "ok-run.1_x"
+        for bad in ("", "a/b", "a b", "../x"):
+            with pytest.raises(ReproError):
+                sanitize_run_id(bad)
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            RunJournal.attach(tmp_path, "nope")
+
+    def test_list_runs(self, tmp_path):
+        assert journal_mod.list_runs(tmp_path) == []
+        RunJournal.create(tmp_path, "b").close()
+        RunJournal.create(tmp_path, "a").close()
+        assert journal_mod.list_runs(tmp_path) == ["a", "b"]
+
+
+class TestKeysAndDigests:
+    def test_task_key_depends_on_fn_index_and_task(self):
+        k = task_key(_square, 0, 3)
+        assert k == task_key(_square, 0, 3)
+        assert k != task_key(_square, 1, 3)
+        assert k != task_key(_square, 0, 4)
+        assert k != task_key(len, 0, 3)
+
+    def test_result_digest_is_stable_and_discriminating(self):
+        wrapped = ("repro.journal.result", [1, 2, 3])
+        assert result_digest(wrapped) == result_digest(
+            ("repro.journal.result", [1, 2, 3])
+        )
+        assert result_digest(wrapped) != result_digest(
+            ("repro.journal.result", [1, 2, 4])
+        )
+        # None results are distinct from "no entry"
+        assert result_digest(("repro.journal.result", None))
+
+
+class TestAmbient:
+    def test_use_journal_scopes_the_active_journal(self, tmp_path):
+        assert journal_mod.active() is None
+        with RunJournal.create(tmp_path, "r1") as journal:
+            with use_journal(journal) as active:
+                assert active is journal
+                assert journal_mod.active() is journal
+            assert journal_mod.active() is None
+
+
+class TestPoolIntegration:
+    def test_parallel_map_skips_journaled_tasks(self, tmp_path):
+        from repro.runner import cache as cache_mod
+        from repro.runner import parallel_map
+        from repro.runner.pool import RUN_STATS
+
+        tasks = list(range(6))
+        with cache_mod.use_cache(tmp_path / "cache"):
+            store = cache_mod.active()
+            with RunJournal.create(store.root, "r1") as journal, \
+                    use_journal(journal):
+                first = parallel_map(_square, tasks)
+            RUN_STATS.reset()
+            with RunJournal.attach(store.root, "r1") as journal, \
+                    use_journal(journal):
+                second = parallel_map(_square, tasks)
+        assert first == second == [x * x for x in tasks]
+        assert RUN_STATS.skipped == len(tasks)
+
+    def test_stale_blob_forces_recompute(self, tmp_path):
+        from repro.runner import cache as cache_mod
+        from repro.runner import parallel_map
+
+        tasks = [2, 3]
+        with cache_mod.use_cache(tmp_path / "cache"):
+            store = cache_mod.active()
+            with RunJournal.create(store.root, "r1") as journal, \
+                    use_journal(journal):
+                parallel_map(_square, tasks)
+            # corrupt one journaled blob: its digest no longer matches,
+            # so resume must recompute that task, not trust the ledger
+            key = task_key(_square, 0, 2)
+            store.put_blob(key, ("repro.journal.result", 999))
+            with RunJournal.attach(store.root, "r1") as journal, \
+                    use_journal(journal):
+                results = parallel_map(_square, tasks)
+        assert results == [4, 9]
+
+    def test_no_cache_means_no_journaling(self, tmp_path):
+        from repro.runner import parallel_map
+
+        with RunJournal.create(tmp_path, "r1") as journal, \
+                use_journal(journal):
+            results = parallel_map(_square, [1, 2])
+        assert results == [1, 4]
+        # nothing was recorded: no cache to hold the result blobs
+        assert RunJournal.load(tmp_path, "r1").done_tasks() == {}

@@ -1,0 +1,129 @@
+"""Property: resuming after any journal prefix equals the clean run.
+
+The crash model: a run may be SIGKILLed after any whole number of
+journal appends, possibly mid-append (leaving a torn final line).  For
+every such prefix, attaching to the survived journal and re-running the
+same fan-out must produce results identical to an uninterrupted run —
+the journal may only change *how much work* the rerun does, never what
+it returns.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import ExecPolicy, parallel_map
+from repro.runner import cache as cache_mod
+from repro.runner.journal import RunJournal, journal_path, use_journal
+
+
+def _cell(task):
+    a, b = task
+    return {"cell": a * 31 + b, "parts": [a, b]}
+
+
+TASKS = [(i, (i * 5) % 7) for i in range(8)]
+CLEAN = [_cell(t) for t in TASKS]
+
+
+def _run_journaled(root: Path, run_id: str):
+    with cache_mod.use_cache(root):
+        store = cache_mod.active()
+        if journal_path(store.root, run_id).exists():
+            journal = RunJournal.attach(store.root, run_id)
+        else:
+            journal = RunJournal.create(store.root, run_id, {"p": 1})
+        with journal, use_journal(journal):
+            return parallel_map(_cell, TASKS, policy=ExecPolicy(retries=1))
+
+
+class TestResumeEqualsClean:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        prefix_lines=st.integers(min_value=1, max_value=2 * len(TASKS) + 2),
+        torn_bytes=st.integers(min_value=0, max_value=20),
+    )
+    def test_any_journal_prefix_resumes_identically(
+        self, prefix_lines, torn_bytes
+    ):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "cache"
+            assert _run_journaled(root, "r") == CLEAN
+
+            # simulate the kill: keep only a prefix of the ledger, and
+            # optionally a torn fragment of the next line
+            path = journal_path(root, "r")
+            lines = path.read_bytes().splitlines(keepends=True)
+            kept = b"".join(lines[:prefix_lines])
+            if torn_bytes and prefix_lines < len(lines):
+                kept += lines[prefix_lines][:torn_bytes]
+            path.write_bytes(kept)
+
+            assert _run_journaled(root, "r") == CLEAN
+
+    @settings(max_examples=10, deadline=None)
+    @given(missing=st.integers(min_value=0, max_value=len(TASKS)))
+    def test_missing_blobs_only_cost_recompute(self, missing):
+        """Journal says done, but the blob is gone: recompute, same result."""
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "cache"
+            assert _run_journaled(root, "r") == CLEAN
+            blobs = sorted((root / "blobs").rglob("*.pkl.gz"))
+            for path in blobs[:missing]:
+                path.unlink()
+            assert _run_journaled(root, "r") == CLEAN
+
+
+class TestCheckpointKillRegression:
+    def test_kill_during_checkpoint_save_still_resumes(self, tmp_path):
+        """Regression: a checkpoint torn by a kill mid-save must act like
+        no checkpoint at all — silent cold start, identical answer."""
+        from repro import api
+
+        trace = api.record("transmissionBT", input_size="simsmall")
+        from repro.trace.segments import write_segmented
+
+        seg = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, seg, segment_events=32)
+        clean = api.analyze(seg)
+
+        # build a real checkpoint, then tear it the way SIGKILL would
+        # (the atomic writer makes this impossible on the real path; the
+        # torn file stands in for any damaged/stale checkpoint)
+        from repro.api import _checkpointer_for
+
+        ckpt = _checkpointer_for(seg, "kill-test", 2)
+        ckpt.save({"garbage": True}, 2)
+        data = ckpt.path.read_bytes()
+        ckpt.path.write_bytes(data[: len(data) // 2])
+
+        resumed = api.analyze(seg, resume="kill-test", checkpoint_every=2)
+        assert resumed.breakdown == clean.breakdown
+        assert len(resumed.pairs) == len(clean.pairs)
+
+    def test_checkpoint_of_other_file_is_ignored(self, tmp_path):
+        """A checkpoint tagged for a different trace must not be loaded."""
+        from repro import api
+        from repro.api import _checkpointer_for
+        from repro.trace.segments import write_segmented
+
+        trace_a = api.record("transmissionBT", input_size="simsmall")
+        trace_b = api.record("transmissionBT", input_size="simsmall", seed=1)
+        seg_a = tmp_path / "a.seg.jsonl.gz"
+        seg_b = tmp_path / "b.seg.jsonl.gz"
+        write_segmented(trace_a, seg_a, segment_events=32)
+        write_segmented(trace_b, seg_b, segment_events=32)
+        clean = api.analyze(seg_a)
+
+        # plant b's checkpoint under the path a's run id resolves to
+        ckpt_a = _checkpointer_for(seg_a, "xfile", 2)
+        ckpt_b = _checkpointer_for(seg_b, "xfile", 2)
+        ckpt_b.save({"from": "b"}, 2)
+        ckpt_a.path.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy2(ckpt_b.path, ckpt_a.path)
+
+        resumed = api.analyze(seg_a, resume="xfile", checkpoint_every=2)
+        assert resumed.breakdown == clean.breakdown

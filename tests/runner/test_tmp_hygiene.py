@@ -1,0 +1,103 @@
+"""Tests for atomic-write staging hygiene (repro.util.tmp) and crash points."""
+
+import os
+
+import pytest
+
+from repro.util import tmp as tmpfiles
+
+
+class TestTmpNames:
+    def test_tmp_name_is_a_sibling_with_owner_pid(self, tmp_path):
+        tmp = tmpfiles.tmp_name(tmp_path / "out.pkl.gz")
+        assert tmp.parent == tmp_path
+        assert tmpfiles.is_tmp_name(tmp.name)
+        assert tmpfiles.tmp_owner_pid(tmp.name) == os.getpid()
+
+    def test_foreign_names_are_not_tmp(self):
+        assert not tmpfiles.is_tmp_name("out.pkl.gz")
+        assert not tmpfiles.is_tmp_name("tmp-123-x")
+        assert tmpfiles.tmp_owner_pid(".tmp-notanint-x") is None
+
+    def test_own_pid_is_alive(self):
+        assert tmpfiles.pid_alive(os.getpid())
+
+
+class TestReaping:
+    def test_dead_owner_reaped_live_owner_spared(self, tmp_path):
+        live = tmp_path / f".tmp-{os.getpid()}-live.bin"
+        live.write_bytes(b"x")
+        # a pid far above pid_max never names a live process
+        dead = tmp_path / "sub" / ".tmp-999999999-dead.bin"
+        dead.parent.mkdir()
+        dead.write_bytes(b"x")
+        assert [p.name for p in tmpfiles.find_stale(tmp_path)] == [
+            ".tmp-999999999-dead.bin"
+        ]
+        assert tmpfiles.reap_stale(tmp_path) == 1
+        assert live.exists()
+        assert not dead.exists()
+
+    def test_unparsable_owner_is_reaped(self, tmp_path):
+        weird = tmp_path / ".tmp-garbage-x.bin"
+        weird.write_bytes(b"x")
+        assert tmpfiles.reap_stale(tmp_path) == 1
+        assert not weird.exists()
+
+    def test_cache_ignores_and_reaps_tmp_litter(self, tmp_path):
+        from repro.runner.cache import TraceCache
+
+        store = TraceCache(tmp_path)
+        store.put_blob("aabbccdd", {"v": 1})
+        litter = tmp_path / "blobs" / "aa" / ".tmp-999999999-x.pkl.gz"
+        litter.write_bytes(b"torn")
+        info = store.info()
+        assert info.blobs == 1  # the staging file is not an entry
+        assert store.reap_tmp() == 1
+        assert not litter.exists()
+        assert store.get_blob("aabbccdd") == {"v": 1}
+
+    def test_use_cache_reaps_on_entry(self, tmp_path):
+        from repro.runner import cache as cache_mod
+
+        (tmp_path / "blobs").mkdir(parents=True)
+        litter = tmp_path / "blobs" / ".tmp-999999999-x.pkl.gz"
+        litter.write_bytes(b"torn")
+        with cache_mod.use_cache(tmp_path):
+            pass
+        assert not litter.exists()
+
+
+class TestCrashPoints:
+    def test_parse_spec(self):
+        from repro.chaos import points
+
+        assert points.parse_spec("cache.commit") == ("cache.commit", 1)
+        assert points.parse_spec("journal.append@7") == ("journal.append", 7)
+        with pytest.raises(ValueError):
+            points.parse_spec("no.such.point")
+        with pytest.raises(ValueError):
+            points.parse_spec("cache.commit@0")
+
+    def test_crash_point_is_noop_when_disarmed(self):
+        from repro.chaos import points
+
+        assert points.armed() is None
+        points.crash_point("cache.commit")  # must not raise or exit
+
+    def test_armed_point_fires_on_nth_hit(self, monkeypatch):
+        from repro.chaos import points
+
+        fired = []
+        monkeypatch.setattr(points, "kill_now", lambda: fired.append(True))
+        points.arm("cache.commit@3")
+        try:
+            points.crash_point("trace.dump")  # different point: no hit
+            points.crash_point("cache.commit")
+            points.crash_point("cache.commit")
+            assert not fired
+            points.crash_point("cache.commit")
+            assert fired == [True]
+        finally:
+            points.disarm()
+        assert points.armed() is None

@@ -1,0 +1,67 @@
+"""Tests for the chaos soak harness (repro.chaos.harness)."""
+
+import json
+
+import pytest
+
+from repro.chaos import harness
+
+
+class TestScheduling:
+    def test_every_point_belongs_to_the_registry(self):
+        from repro.chaos.points import CRASH_POINTS
+
+        for op, points in harness.POINTS_BY_OP.items():
+            assert op in harness.OPS
+            for point in points:
+                assert point in CRASH_POINTS
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            harness.run_soak(cycles=1, ops=["nope"])
+
+    def test_same_seed_same_schedule(self, tmp_path):
+        a = harness.run_soak(
+            cycles=4, seed=3, ops=["cache"], workdir=tmp_path / "a"
+        )
+        b = harness.run_soak(
+            cycles=4, seed=3, ops=["cache"], workdir=tmp_path / "b"
+        )
+        assert [(r.op, r.point, r.nth) for r in a.results] == \
+            [(r.op, r.point, r.nth) for r in b.results]
+
+
+class TestSoak:
+    def test_soak_over_every_op_has_no_violations(self, tmp_path):
+        report = harness.run_soak(cycles=6, seed=11, workdir=tmp_path)
+        assert len(report.results) == 6
+        assert report.violations == []
+        assert sum(report.kills.values()) >= 1
+        text = report.render()
+        assert "chaos soak: 6 cycles" in text
+        assert "invariant violations: none" in text
+        data = json.loads(report.to_json())
+        assert data["seed"] == 11
+        assert data["violations"] == []
+
+    def test_journal_cycle_composes_fault_injection(self, tmp_path):
+        # force the composition path: with this seed the 25% fault coin
+        # lands at least once across the journal cycles
+        report = harness.run_soak(
+            cycles=4, seed=0, ops=["journal"], workdir=tmp_path
+        )
+        assert report.violations == []
+        assert any(r.faults for r in report.results)
+
+    def test_analyze_cycles_resume_from_checkpoints(self, tmp_path):
+        report = harness.run_soak(
+            cycles=4, seed=5, ops=["analyze"], workdir=tmp_path
+        )
+        assert report.violations == []
+        resumed = [
+            r.resumed_segments for r in report.results
+            if r.killed and r.resumed_segments
+        ]
+        # at least one kill landed past the first checkpoint, so the
+        # resume measurably skipped work instead of starting at byte 0
+        assert resumed and max(resumed) >= harness.child_mod.CHECKPOINT_EVERY

@@ -332,11 +332,13 @@ class TestFaultsCommand:
 
 class TestRobustExperimentFlags:
     def test_partial_mode_renders_na_for_quarantined_cell(self, capsys):
+        # a run that finished but degraded cells to n/a exits 3, not 0,
+        # so scripts can tell "clean table" from "table with holes"
         assert main([
             "experiment", "table1", "--no-cache", "--jobs", "2",
             "--retries", "0", "--partial",
             "--fault", "pool.worker_crash@1:times=99",
-        ]) == 0
+        ]) == 3
         out = capsys.readouterr().out
         assert "n/a" in out
         assert "crash after 1 attempt" in out
@@ -564,3 +566,104 @@ class TestStreamingCli:
         ascii_seg = capsys.readouterr().out
         assert main(["timeline", trace_file, "--width", "40"]) == 0
         assert ascii_seg == capsys.readouterr().out
+
+
+class TestResumeAndExitCodes:
+    def test_run_id_then_resume_is_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "experiment", "table1", "--cache-dir", cache_dir,
+            "--run-id", "r1",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main(["resume", "r1", "--cache-dir", cache_dir]) == 0
+        resumed = capsys.readouterr().out
+        # the resume banner aside, the rendered table must be identical
+        assert resumed.splitlines()[0].startswith("resuming run r1")
+        assert resumed.split("\n", 1)[1] == first
+
+    def test_resume_skips_journaled_tasks(self, tmp_path, capsys):
+        from repro.runner.pool import RUN_STATS
+
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "experiment", "table1", "--cache-dir", cache_dir,
+            "--run-id", "r2", "--jobs", "2",
+        ]) == 0
+        assert main(["resume", "r2", "--cache-dir", cache_dir]) == 0
+        assert RUN_STATS.skipped > 0
+
+    def test_resume_unknown_run_is_usage_error(self, tmp_path, capsys):
+        assert main([
+            "resume", "nope", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        assert "no journal for run" in capsys.readouterr().err
+
+    def test_run_id_without_cache_is_usage_error(self, capsys):
+        assert main([
+            "experiment", "table1", "--no-cache", "--run-id", "r3",
+        ]) == 2
+        assert "--run-id needs" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        from repro import cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli.COMMANDS, "list", boom)
+        assert main(["list"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_budget_deadline_partial_exits_3(self, capsys):
+        # an already-expired deadline quarantines every cell under
+        # --partial: the run completes degraded and reports it via rc 3
+        assert main([
+            "experiment", "table1", "--no-cache", "--partial",
+            "--deadline", "0.000001",
+        ]) == 3
+        assert "n/a" in capsys.readouterr().out
+
+    def test_analyze_resume_needs_streaming(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        capsys.readouterr()
+        assert main([
+            "analyze", trace_file, "--no-stream", "--resume", "r4",
+        ]) == 2
+        assert "--resume needs a segmented" in capsys.readouterr().err
+
+    def test_analyze_resume_on_segmented_file(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        seg_file = str(tmp_path / "t.seg.jsonl")
+        main(["record", "transmissionBT", "-o", trace_file])
+        main(["convert", trace_file, seg_file, "--segment-events", "64"])
+        capsys.readouterr()
+        assert main(["analyze", seg_file, "--format", "json"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "analyze", seg_file, "--resume", "r5", "--checkpoint-every", "2",
+            "--format", "json",
+        ]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestChaosCommand:
+    def test_chaos_smoke(self, tmp_path, capsys):
+        report_file = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--cycles", "3", "--seed", "7",
+            "--report", str(report_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos soak: 3 cycles" in out
+        assert "invariant violations: none" in out
+        import json
+
+        data = json.loads(report_file.read_text())
+        assert data["violations"] == []
+        assert len(data["results"]) == 3
+
+    def test_chaos_unknown_op_is_error(self, capsys):
+        assert main(["chaos", "--cycles", "1", "--ops", "nope"]) == 2
+        assert "unknown chaos ops" in capsys.readouterr().err

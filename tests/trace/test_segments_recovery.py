@@ -1,0 +1,161 @@
+"""Index rebuild and reader resume for the segmented streaming format."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.errors import TraceError
+from repro.trace.segments import (
+    ensure_index,
+    open_segmented,
+    rebuild_index,
+    write_segmented,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return api.record("mysql", threads=3, input_size="simsmall")
+
+
+def _write(trace, path, events=32):
+    return write_segmented(trace, path, segment_events=events)
+
+
+def _index_dict(index):
+    return {
+        "digest": index.digest,
+        "events": index.events,
+        "file_size": index.file_size,
+        "footer_offset": index.footer_offset,
+        "offsets": [s.offset for s in index.segments],
+    }
+
+
+class TestRebuildIndex:
+    @pytest.mark.parametrize("name", ["t.seg.jsonl.gz", "t.seg.jsonl"])
+    def test_rebuild_matches_writer_index(self, trace, tmp_path, name):
+        path = tmp_path / name
+        written = _write(trace, path)
+        rebuilt = rebuild_index(path)
+        assert rebuilt is not None
+        assert _index_dict(rebuilt) == _index_dict(written)
+
+    def test_writer_records_footer_offset(self, trace, tmp_path):
+        written = _write(trace, tmp_path / "t.seg.jsonl.gz")
+        assert written.footer_offset is not None
+        assert written.footer_offset > written.segments[-1].offset
+
+    def test_truncated_file_rebuilds_to_none(self, trace, tmp_path):
+        path = tmp_path / "t.seg.jsonl.gz"
+        _write(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 40])
+        assert rebuild_index(path) is None
+
+
+class TestEnsureIndex:
+    def test_missing_sidecar_is_silently_rebuilt(self, trace, tmp_path):
+        path = tmp_path / "t.seg.jsonl.gz"
+        written = _write(trace, path)
+        sidecar = path.with_name(path.name + ".idx")
+        sidecar.unlink()
+        index = ensure_index(path)
+        assert index is not None
+        assert _index_dict(index) == _index_dict(written)
+        assert sidecar.exists()  # rewritten for the next reader
+
+    def test_stale_sidecar_is_silently_reindexed(self, trace, tmp_path,
+                                                 recwarn):
+        from repro import telemetry
+        from repro.telemetry import to_dict
+
+        path = tmp_path / "t.seg.jsonl.gz"
+        written = _write(trace, path)
+        sidecar = path.with_name(path.name + ".idx")
+        # a crashed rewrite: sidecar describes a different file size
+        stale = json.loads(sidecar.read_text())
+        stale["file_size"] += 12345
+        sidecar.write_text(json.dumps(stale))
+        sink = telemetry.Telemetry()
+        with telemetry.use_telemetry(sink):
+            index = ensure_index(path)
+        assert index is not None
+        assert _index_dict(index) == _index_dict(written)
+        counters = to_dict(sink, timings=False)["counters"]
+        assert counters.get("segments.reindexed") == 1
+        assert len(recwarn) == 0  # silent, not a warning
+
+    def test_fresh_sidecar_is_used_as_is(self, trace, tmp_path):
+        from repro import telemetry
+        from repro.telemetry import to_dict
+
+        path = tmp_path / "t.seg.jsonl.gz"
+        _write(trace, path)
+        sink = telemetry.Telemetry()
+        with telemetry.use_telemetry(sink):
+            assert ensure_index(path) is not None
+        counters = to_dict(sink, timings=False)["counters"]
+        assert "segments.reindexed" not in counters
+
+
+class TestReaderResume:
+    @pytest.mark.parametrize("name", ["t.seg.jsonl.gz", "t.seg.jsonl"])
+    def test_suspend_resume_mid_stream_sees_identical_tail(
+        self, trace, tmp_path, name
+    ):
+        path = tmp_path / name
+        _write(trace, path)
+
+        def segment_events(segment):
+            return [
+                chunk.column.event(i)
+                for chunk in segment.chunks
+                for i in range(len(chunk.column.kind))
+            ]
+
+        with open_segmented(path) as reader:
+            clean = [segment_events(s) for s in reader.segments()]
+
+        for k in (1, len(clean) // 2, len(clean) - 1):
+            with open_segmented(path) as reader:
+                state = None
+                for j, segment in enumerate(reader.segments(), start=1):
+                    if j == k:
+                        state = reader.suspend()
+                        break
+            fresh = open_segmented(path)
+            try:
+                fresh.resume(state)
+                tail = [segment_events(s) for s in fresh.segments()]
+            finally:
+                fresh.close()
+            assert len(tail) == len(clean) - k
+            for got, expected in zip(tail, clean[k:]):
+                assert [e.uid for e in got] == [e.uid for e in expected]
+
+    def test_resume_past_last_segment_yields_empty_tail(self, trace, tmp_path):
+        path = tmp_path / "t.seg.jsonl.gz"
+        _write(trace, path)
+        with open_segmented(path) as reader:
+            for _segment in reader.segments():
+                pass
+            state = reader.suspend()
+        fresh = open_segmented(path)
+        try:
+            fresh.resume(state)
+            assert list(fresh.segments()) == []
+        finally:
+            fresh.close()
+
+    def test_resume_rejects_unbackable_state(self, trace, tmp_path):
+        path = tmp_path / "t.seg.jsonl.gz"
+        _write(trace, path)
+        fresh = open_segmented(path)
+        try:
+            with pytest.raises(TraceError):
+                fresh.resume({"tables": None, "thread_counts": {},
+                              "segments_read": -1, "events_seen": 0})
+        finally:
+            fresh.close()

@@ -1,0 +1,177 @@
+"""Per-backend kernel benchmark worker: one backend per process.
+
+The kernel backend is chosen once at ``repro.kernels`` import, and the
+scan/columnar memos would let a second backend in the same process reuse
+the first one's work — so each measurement runs in a fresh subprocess::
+
+    PYTHONPATH=src python benchmarks/_kernelbench.py generate VARIANT EVENTS PATH
+    PYTHONPATH=src python benchmarks/_kernelbench.py run BACKEND PATH
+
+``run`` loads the segmented file straight into its columnar form
+(:func:`load_segmented_columnar` — untimed: both backends pay it
+identically and it is the production load path for giant traces), then
+times the full analyze+transform pipeline plus the timeline build, and
+prints one JSON object with wall times, per-kernel timings and a SHA-256
+digest of the serialized transformed trace and the columnar timeline
+JSON.  The companion ``test_kernels.py`` asserts the digests match
+across backends (byte-identical results) and gates the speedup ratio.
+
+Workload variants (both two-thread, one short critical section per 100
+events, built with the bulk ``add_block`` writer):
+
+* ``ulcp`` — the ``_segbench`` shape: disjoint writes + shared reads,
+  every pair settles via Algorithm 1 alone (pure scan/classify/rewrite).
+* ``conflict`` — even sections write the *same* field, so every
+  same-lock write pair classifies FALSE and goes through the
+  reversed-replay benign test (exercises the evidence-collection and
+  write-timeline kernels).
+"""
+
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+THREADS = ("t0", "t1")
+SECTION_PERIOD = 100
+SEGMENT_EVENTS = 65536
+
+
+def _complete(s: int, total_events: int) -> bool:
+    return s * SECTION_PERIOD + 2 < total_events
+
+
+def generate(path: Path, total_events: int, variant: str) -> dict:
+    """Stream a synthetic workload into a segmented file (see module doc)."""
+    from repro.trace.segments import SegmentedTraceWriter
+    from repro.trace.trace import TraceMeta
+
+    if variant not in ("ulcp", "conflict"):
+        raise ValueError(f"unknown workload variant: {variant!r}")
+    schedule = {"L_write": [], "L_read": []}
+    s = 0
+    while _complete(s, total_events):
+        lock = "L_write" if s % 2 == 0 else "L_read"
+        schedule[lock].append(f"e{s * SECTION_PERIOD}")
+        s += 1
+
+    writer = SegmentedTraceWriter(
+        path,
+        meta=TraceMeta(name=f"kernelbench-{variant}", lock_cost=0, mem_cost=0),
+        threads=list(THREADS),
+        lock_schedule=schedule,
+        segment_events=SEGMENT_EVENTS,
+    )
+    n0 = 0
+    while n0 < total_events:
+        s = n0 // SECTION_PERIOD
+        count = min(SECTION_PERIOD, total_events - n0)
+        thread_idx = (s // 2) % 2
+        tid = THREADS[thread_idx]
+        uids = [f"e{k}" for k in range(n0, n0 + count)]
+        ts = list(range(n0 * 10, (n0 + count) * 10, 10))
+        body = 0
+        if _complete(s, total_events):
+            lock = "L_write" if s % 2 == 0 else "L_read"
+            if s % 2 == 0:
+                # "ulcp": each thread its own field (disjoint-write);
+                # "conflict": both threads hammer one field, forcing the
+                # pair through the reversed-replay benign test
+                field = "obj.hot" if variant == "conflict" else \
+                    f"obj.f{thread_idx}"
+                mem = ("write", field, s)
+            else:
+                mem = ("read", "obj.shared", 0)
+            writer.add_block(
+                tid,
+                uids=uids[:3],
+                kinds=["acquire", mem[0], "release"],
+                t=ts[:3],
+                t_request=[ts[0], 0, 0],
+                lock=[lock, "", lock],
+                addr=["", mem[1], ""],
+                value=[0, mem[2], 0],
+                # the reversed-replay benign test re-executes write ops,
+                # so writes carry their encoded Store (block index 1)
+                op={1: ("store", mem[2])} if mem[0] == "write" else None,
+            )
+            body = 3
+        if count > body:
+            writer.add_block(tid, uids=uids[body:], kinds="compute",
+                             t=ts[body:], duration=10)
+        n0 += count
+    index = writer.close()
+    return {"segments": len(index.segments), "events": index.events}
+
+
+def run(backend: str, path: str) -> dict:
+    """Time analyze+transform+timeline under one backend; digest the output."""
+    if backend == "python":
+        os.environ["REPRO_NO_NUMPY"] = "1"
+    elif backend == "numpy":
+        import numpy as np
+
+        # first-call import costs (numpy.ma inside np.unique) would
+        # otherwise land inside the timed region
+        np.unique(np.arange(4))
+    else:
+        raise ValueError(f"unknown backend: {backend!r}")
+
+    from repro import kernels
+    from repro.analysis.pairs import analyze_pairs
+    from repro.analysis.transform import transform
+    from repro.timeline.build import build_timeline
+    from repro.timeline.export import to_columnar_json
+    from repro.trace import serialize
+    from repro.trace.segments import load_segmented_columnar
+
+    core = load_segmented_columnar(path)
+
+    t0 = time.perf_counter()
+    analysis = analyze_pairs(core, benign_detection=True)
+    t1 = time.perf_counter()
+    result = transform(core, analysis=analysis)
+    t2 = time.perf_counter()
+    timeline = build_timeline(core, analysis=analysis)
+    t3 = time.perf_counter()
+
+    timeline_json = to_columnar_json(timeline)
+    digest = hashlib.sha256()
+    digest.update(serialize.dumps(result.trace).encode("utf-8"))
+    digest.update(timeline_json.encode("utf-8"))
+    return {
+        "backend": kernels.backend(),
+        "events": len(core),
+        "sections": len(analysis.sections),
+        "pairs": len(analysis.pairs),
+        "ulcps": len(analysis.ulcps),
+        "analyze_seconds": round(t1 - t0, 3),
+        "transform_seconds": round(t2 - t1, 3),
+        "timeline_seconds": round(t3 - t2, 3),
+        "analyze_transform_seconds": round(t2 - t0, 3),
+        "kernels": {
+            name: round(entry["seconds"], 3)
+            for name, entry in sorted(kernels.timings().items())
+        },
+        "digest": digest.hexdigest(),
+    }
+
+
+def main(argv) -> int:
+    mode = argv[1]
+    if mode == "generate":
+        variant, events, path = argv[2], int(argv[3]), Path(argv[4])
+        print(json.dumps(generate(path, events, variant), sort_keys=True))
+    elif mode == "run":
+        backend, path = argv[2], argv[3]
+        print(json.dumps(run(backend, path), sort_keys=True))
+    else:
+        print(f"unknown mode: {mode!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,7 +26,6 @@ import sys
 import time
 from pathlib import Path
 
-from repro.trace.events import TraceEvent
 from repro.trace.segments import SegmentedTraceWriter
 from repro.trace.trace import TraceMeta
 
@@ -60,34 +59,41 @@ def generate(path: Path, total_events: int) -> dict:
         lock_schedule=schedule,
         segment_events=SEGMENT_EVENTS,
     )
-    t = 0
-    n = 0
-    while n < total_events:
-        s = n // SECTION_PERIOD  # current section index
+    # one bulk block per run of same-shaped events (`add_block` is
+    # byte-identical to per-event `add`): a complete section is a
+    # 3-event lock block plus a block of computes, the incomplete tail
+    # is computes only — event n keeps uid f"e{n}" and t = 10*n
+    n0 = 0
+    while n0 < total_events:
+        s = n0 // SECTION_PERIOD
+        count = min(SECTION_PERIOD, total_events - n0)
         thread_idx = (s // 2) % 2
         tid = THREADS[thread_idx]
-        phase = n % SECTION_PERIOD
-        uid = f"e{n}"
-        if phase > 2 or not _complete(s, total_events):
-            event = TraceEvent(uid, tid, "compute", t=t, duration=10)
-        elif phase == 0:
-            event = TraceEvent(uid, tid, "acquire",
-                               t=t, lock="L_write" if s % 2 == 0 else "L_read",
-                               t_request=t)
-        elif phase == 1:
+        uids = [f"e{k}" for k in range(n0, n0 + count)]
+        ts = list(range(n0 * 10, (n0 + count) * 10, 10))
+        body = 0
+        if _complete(s, total_events):
+            lock = "L_write" if s % 2 == 0 else "L_read"
             if s % 2 == 0:
                 # disjoint-write ULCP: each thread its own field
-                event = TraceEvent(uid, tid, "write", t=t,
-                                   addr=f"obj.f{thread_idx}", value=s)
+                mem = ("write", f"obj.f{thread_idx}", s)
             else:
-                event = TraceEvent(uid, tid, "read", t=t,
-                                   addr="obj.shared", value=0)
-        else:
-            event = TraceEvent(uid, tid, "release", t=t,
-                               lock="L_write" if s % 2 == 0 else "L_read")
-        writer.add(event)
-        t += 10
-        n += 1
+                mem = ("read", "obj.shared", 0)
+            writer.add_block(
+                tid,
+                uids=uids[:3],
+                kinds=["acquire", mem[0], "release"],
+                t=ts[:3],
+                t_request=[ts[0], 0, 0],
+                lock=[lock, "", lock],
+                addr=["", mem[1], ""],
+                value=[0, mem[2], 0],
+            )
+            body = 3
+        if count > body:
+            writer.add_block(tid, uids=uids[body:], kinds="compute",
+                             t=ts[body:], duration=10)
+        n0 += count
     index = writer.close()
     return {"segments": len(index.segments), "events": index.events}
 

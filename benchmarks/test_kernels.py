@@ -1,0 +1,109 @@
+"""Bench gate: vectorized kernels vs the pure-Python reference path.
+
+Drives ``_kernelbench.py`` in subprocesses — one process per backend per
+workload, because the backend is fixed at ``repro.kernels`` import and
+in-process memos (the scan cache, the columnar view cache) would let the
+second backend coast on the first one's work.  Asserts:
+
+* **byte-identity** — both backends produce the same SHA-256 over the
+  serialized transformed trace + the columnar timeline JSON, on every
+  workload (including the conflict variant that runs the benign test),
+* **the speedup gate** — analyze+transform under numpy is at least
+  ``MIN_SPEEDUP``x faster than pure Python on the largest workload,
+
+and records the numbers in ``BENCH_kernels.json`` next to the other
+benchmark artifacts.  ``REPRO_KERNELBENCH_EVENTS`` overrides the large
+workload's size (default 2M events).
+
+Skipped wholesale when numpy is not installed — there is nothing to
+compare, and the kernel layer already falls back silently.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+BENCH_SCRIPT = Path(__file__).with_name("_kernelbench.py")
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+RESULT_FILE = Path("BENCH_kernels.json")
+
+DEFAULT_LARGE_EVENTS = 2_000_000
+#: the ISSUE gate: analyze+transform at least this much faster vectorized
+MIN_SPEEDUP = 5.0
+
+#: (name, variant, events, gated?) — the small workloads are parity
+#: checks; only the large one is big enough for a stable timing ratio
+def _workloads():
+    try:
+        large = int(os.environ.get(
+            "REPRO_KERNELBENCH_EVENTS", DEFAULT_LARGE_EVENTS))
+    except ValueError:
+        large = DEFAULT_LARGE_EVENTS
+    return [
+        ("ulcp-small", "ulcp", 100_000, False),
+        ("conflict-small", "conflict", 100_000, False),
+        ("ulcp-large", "ulcp", large, True),
+    ]
+
+
+def _bench(args, timeout=1800):
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_SCRIPT), *args],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(SRC_DIR)},
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_kernel_backends_identical_and_fast(tmp_path):
+    report = {"min_speedup": MIN_SPEEDUP, "workloads": {}}
+    for name, variant, events, gated in _workloads():
+        path = tmp_path / f"{name}.seg.jsonl.gz"
+        written = _bench(["generate", variant, str(events), str(path)])
+        assert written["events"] == events
+
+        by_backend = {}
+        for backend in ("numpy", "python"):
+            result = _bench(["run", backend, str(path)])
+            assert result["backend"] == backend, (
+                f"{name}: subprocess resolved backend "
+                f"{result['backend']!r}, wanted {backend!r}"
+            )
+            by_backend[backend] = result
+
+        fast, slow = by_backend["numpy"], by_backend["python"]
+        assert fast["digest"] == slow["digest"], (
+            f"{name}: backends disagree — the vectorized kernels are "
+            f"not byte-identical to the reference path"
+        )
+        ratio = (
+            slow["analyze_transform_seconds"]
+            / max(fast["analyze_transform_seconds"], 1e-9)
+        )
+        report["workloads"][name] = {
+            "variant": variant,
+            "events": events,
+            "gated": gated,
+            "speedup": round(ratio, 2),
+            "numpy": fast,
+            "python": slow,
+        }
+        if gated:
+            assert ratio >= MIN_SPEEDUP, (
+                f"{name}: analyze+transform speedup {ratio:.2f}x under "
+                f"numpy (python {slow['analyze_transform_seconds']}s vs "
+                f"numpy {fast['analyze_transform_seconds']}s) — below "
+                f"the {MIN_SPEEDUP}x gate"
+            )
+
+    RESULT_FILE.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\n{json.dumps({n: w['speedup'] for n, w in report['workloads'].items()})}")

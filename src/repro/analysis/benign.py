@@ -16,8 +16,10 @@ each pair is judged against the state it actually executed under.
 from __future__ import annotations
 
 import bisect
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from repro import kernels
 from repro.analysis.sections import CriticalSection
 from repro.sim.requests import decode_op
 from repro.trace.events import READ, WRITE, TraceEvent
@@ -69,20 +71,27 @@ class WriteTimeline:
         if core is None and hasattr(trace, "columns"):
             core = trace  # already a ColumnarTrace
         if core is not None:
-            from repro.trace.interning import WRITE_CODE
+            start = perf_counter()
+            if kernels.use_numpy():
+                from repro.kernels import benign_np
 
-            addr_name = core.tables.addrs.name
-            for column in core.columns.values():
-                kinds = column.kind
-                addr_ids = column.addr_id
-                ts = column.t
-                values = column.value
-                uids = column.uids
-                for i in range(len(kinds)):
-                    if kinds[i] == WRITE_CODE:
-                        writes.setdefault(addr_name(addr_ids[i]), []).append(
-                            (ts[i], _uid_order(uids[i]), values[i])
-                        )
+                writes = benign_np.collect_writes(core)
+            else:
+                from repro.trace.interning import WRITE_CODE
+
+                addr_name = core.tables.addrs.name
+                for column in core.columns.values():
+                    kinds = column.kind
+                    addr_ids = column.addr_id
+                    ts = column.t
+                    values = column.value
+                    uids = column.uids
+                    for i in range(len(kinds)):
+                        if kinds[i] == WRITE_CODE:
+                            writes.setdefault(
+                                addr_name(addr_ids[i]), []
+                            ).append((ts[i], _uid_order(uids[i]), values[i]))
+            kernels.record("timeline_collect", perf_counter() - start)
         else:
             for event in trace.iter_events():
                 if event.kind == WRITE:

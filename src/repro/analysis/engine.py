@@ -31,9 +31,10 @@ holds both paths to it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.analysis.sections import CriticalSection
 from repro.errors import TraceError
 from repro.trace.interning import (
@@ -92,11 +93,25 @@ def scan_trace(core: ColumnarTrace) -> TraceScan:
 
 
 def _scan_trace(core: ColumnarTrace) -> TraceScan:
+    scan = TraceScan(tables=core.tables)
+    first_toucher: Dict[int, int] = {}
+    start = perf_counter()
+    if kernels.use_numpy():
+        from repro.kernels import scan_np
+
+        scan_np.scan_core(core, scan, first_toucher)
+    else:
+        _scan_core_py(core, scan, first_toucher)
+    kernels.record("scan", perf_counter() - start)
+    _finalize_scan(scan)
+    return scan
+
+
+def _scan_core_py(core: ColumnarTrace, scan: TraceScan,
+                  first_toucher: Dict[int, int]) -> None:
     tables = core.tables
     lock_name = tables.locks.name
-    scan = TraceScan(tables=tables)
     sections = scan.sections
-    first_toucher: Dict[int, int] = {}
     shared_ids = scan.shared_ids
 
     for tid, column in core.columns.items():
@@ -130,15 +145,10 @@ def _scan_trace(core: ColumnarTrace) -> TraceScan:
                     raise TraceError(
                         f"{tid}: nested acquire of same lock {lock_name(lid)}"
                     )
-                cs = CriticalSection(
-                    uid=uids[i],
-                    tid=tid,
-                    lock=lock_name(lid),
-                    acquire=view[i],
-                    release=view[i],  # patched at RELEASE
-                    pre_anchor=uids[i - 1] if i > 0 else None,
+                cs = CriticalSection._open(
+                    uids[i], tid, lock_name(lid), view[i],
+                    uids[i - 1] if i > 0 else None,
                 )
-                cs._body = None
                 cs._body_source = (view, i + 1, i + 1)  # end patched at RELEASE
                 open_by_lock[lid] = cs
                 stack.append(cs)
@@ -160,9 +170,6 @@ def _scan_trace(core: ColumnarTrace) -> TraceScan:
                     cs.post_anchor = uids[i + 1]
         if open_by_lock:
             raise TraceError(f"{tid}: unclosed critical sections")
-
-    _finalize_scan(scan)
-    return scan
 
 
 def _finalize_scan(scan: TraceScan) -> None:
@@ -231,6 +238,95 @@ def _restore_scan(reader, checkpoint):
         return None
 
 
+def walk_chunk(tid, column, base, st, scan, first_toucher, lock_name) -> None:
+    """Advance one thread's scan by one columnar chunk.
+
+    Backend-dispatched: the numpy twin in :mod:`repro.kernels.scan_np`
+    and the pure walk below are byte-equivalent.  Shared by the serial
+    segment scan and the sharded fan-out workers
+    (:mod:`repro.analysis.sharded`).
+    """
+    start = perf_counter()
+    if kernels.use_numpy():
+        from repro.kernels import scan_np
+
+        scan_np.walk_chunk(tid, column, base, st, scan, first_toucher,
+                           lock_name)
+    else:
+        _walk_chunk_py(tid, column, base, st, scan, first_toucher, lock_name)
+    kernels.record("scan", perf_counter() - start)
+
+
+def _walk_chunk_py(tid, column, base, st, scan, first_toucher,
+                   lock_name) -> None:
+    kinds = column.kind
+    lock_ids = column.lock_id
+    addr_ids = column.addr_id
+    uids = column.uids
+    tid_id = column.tid_id
+    n = len(kinds)
+    sections = scan.sections
+    body_spans = scan.body_spans
+    shared_ids = scan.shared_ids
+    open_by_lock = st.open_by_lock
+    stack = st.stack
+    read_masks = st.read_masks
+    write_masks = st.write_masks
+
+    for i in range(n):
+        kind = kinds[i]
+        if st.pending_post:
+            for cs in st.pending_post:
+                cs.post_anchor = uids[i]
+            st.pending_post.clear()
+        if kind == READ_CODE or kind == WRITE_CODE:
+            aid = addr_ids[i]
+            if first_toucher.setdefault(aid, tid_id) != tid_id:
+                shared_ids.add(aid)
+            if stack:
+                bit = 1 << aid
+                masks = (
+                    read_masks if kind == READ_CODE else write_masks
+                )
+                for depth in range(len(masks)):
+                    masks[depth] |= bit
+        elif kind == ACQUIRE_CODE:
+            lid = lock_ids[i]
+            if lid in open_by_lock:
+                raise TraceError(
+                    f"{tid}: nested acquire of same lock "
+                    f"{lock_name(lid)}"
+                )
+            cs = CriticalSection._open(
+                uids[i], tid, lock_name(lid), column.event(i), st.last_uid,
+            )
+            # no whole-thread view exists to slice a body from:
+            # accidental .body access should fail loud (source stays
+            # None), and pass-2 consumers use body_spans instead
+            body_spans[cs.uid] = (tid, base + i + 1, base + i + 1)
+            open_by_lock[lid] = cs
+            stack.append(cs)
+            read_masks.append(0)
+            write_masks.append(0)
+            sections.append(cs)
+        elif kind == RELEASE_CODE:
+            lid = lock_ids[i]
+            cs = open_by_lock.pop(lid, None)
+            if cs is None:
+                raise TraceError(
+                    f"{tid}: release of unheld {lock_name(lid)}"
+                )
+            depth = stack.index(cs)
+            stack.pop(depth)
+            cs.read_mask = read_masks.pop(depth)
+            cs.write_mask = write_masks.pop(depth)
+            cs.release = column.event(i)
+            span = body_spans[cs.uid]
+            body_spans[cs.uid] = (tid, span[1], base + i)
+            st.pending_post.append(cs)
+        st.last_uid = uids[i]
+
+
 def scan_segments(reader, *, checkpoint=None) -> TraceScan:
     """The engine walk of :func:`scan_trace`, over a segment stream.
 
@@ -256,10 +352,7 @@ def scan_segments(reader, *, checkpoint=None) -> TraceScan:
         tables = reader.tables
         lock_name = tables.locks.name
         scan = TraceScan(tables=tables)
-        sections = scan.sections
-        body_spans = scan.body_spans
         first_toucher: Dict[int, int] = {}
-        shared_ids = scan.shared_ids
         states: Dict[str, _ThreadScanState] = {
             tid: _ThreadScanState() for tid in reader.threads
         }
@@ -272,90 +365,15 @@ def scan_segments(reader, *, checkpoint=None) -> TraceScan:
                 # scan.tables is that same object (pickled together)
                 tables = reader.tables
                 lock_name = tables.locks.name
-                sections = scan.sections
-                body_spans = scan.body_spans
-                shared_ids = scan.shared_ids
                 telemetry.count("analyze.segments_resumed", start_at)
         segments_done = start_at
 
         for segment in reader.segments():
             for chunk in segment.chunks:
                 tid = chunk.tid
-                st = states[tid]
-                column = chunk.column
-                kinds = column.kind
-                lock_ids = column.lock_id
-                addr_ids = column.addr_id
-                uids = column.uids
-                tid_id = column.tid_id
-                base = chunk.start
-                n = len(kinds)
-                open_by_lock = st.open_by_lock
-                stack = st.stack
-                read_masks = st.read_masks
-                write_masks = st.write_masks
-                scan.events += n
-
-                for i in range(n):
-                    kind = kinds[i]
-                    if st.pending_post:
-                        for cs in st.pending_post:
-                            cs.post_anchor = uids[i]
-                        st.pending_post.clear()
-                    if kind == READ_CODE or kind == WRITE_CODE:
-                        aid = addr_ids[i]
-                        if first_toucher.setdefault(aid, tid_id) != tid_id:
-                            shared_ids.add(aid)
-                        if stack:
-                            bit = 1 << aid
-                            masks = (
-                                read_masks if kind == READ_CODE else write_masks
-                            )
-                            for depth in range(len(masks)):
-                                masks[depth] |= bit
-                    elif kind == ACQUIRE_CODE:
-                        lid = lock_ids[i]
-                        if lid in open_by_lock:
-                            raise TraceError(
-                                f"{tid}: nested acquire of same lock "
-                                f"{lock_name(lid)}"
-                            )
-                        event = column.event(i)
-                        cs = CriticalSection(
-                            uid=uids[i],
-                            tid=tid,
-                            lock=lock_name(lid),
-                            acquire=event,
-                            release=event,  # patched at RELEASE
-                            pre_anchor=st.last_uid,
-                        )
-                        # no whole-thread view exists to slice a body
-                        # from: accidental .body access should fail loud,
-                        # and pass-2 consumers use body_spans instead
-                        cs._body = None
-                        cs._body_source = None
-                        body_spans[cs.uid] = (tid, base + i + 1, base + i + 1)
-                        open_by_lock[lid] = cs
-                        stack.append(cs)
-                        read_masks.append(0)
-                        write_masks.append(0)
-                        sections.append(cs)
-                    elif kind == RELEASE_CODE:
-                        lid = lock_ids[i]
-                        cs = open_by_lock.pop(lid, None)
-                        if cs is None:
-                            raise TraceError(
-                                f"{tid}: release of unheld {lock_name(lid)}"
-                            )
-                        depth = stack.index(cs)
-                        stack.pop(depth)
-                        cs.read_mask = read_masks.pop(depth)
-                        cs.write_mask = write_masks.pop(depth)
-                        cs.release = column.event(i)
-                        span = body_spans[cs.uid]
-                        body_spans[cs.uid] = (tid, span[1], base + i)
-                        st.pending_post.append(cs)
-                    st.last_uid = uids[i]
+                scan.events += len(chunk.column.kind)
+                walk_chunk(tid, chunk.column, chunk.start, states[tid],
+                           scan, first_toucher, lock_name)
 
             segments_done += 1
             if checkpoint is not None and checkpoint.due(segments_done):

@@ -118,6 +118,42 @@ class CriticalSection:
         self._swr = swr if swr is not None else set()
         self._mem_ops = None
 
+    @classmethod
+    def _open(cls, uid, tid, lock, acquire, pre_anchor):
+        """Fast constructor for the engine walks.
+
+        The engine opens one section per ACQUIRE — on lock-heavy traces
+        this constructor is a measurable slice of the whole scan, so it
+        skips ``__init__``'s kwargs and eager-set defaults: masks start
+        at ``None`` (the walk assigns them at RELEASE) and the string
+        sets start at ``None`` (``_finalize_scan`` re-Nones them anyway
+        to decode lazily from the masks).  ``release`` starts as the
+        acquire event and is patched at RELEASE, exactly like the
+        reference walk does.
+        """
+        cs = object.__new__(cls)
+        cs.uid = uid
+        cs.tid = tid
+        cs.lock = lock
+        cs.acquire = acquire
+        cs.release = acquire
+        cs.pre_anchor = pre_anchor
+        cs.post_anchor = None
+        cs.lock_index = -1
+        cs.read_mask = None
+        cs.write_mask = None
+        cs.srd_mask = None
+        cs.swr_mask = None
+        cs._tables = None
+        cs._body = None
+        cs._body_source = None
+        cs._reads = None
+        cs._writes = None
+        cs._srd = None
+        cs._swr = None
+        cs._mem_ops = None
+        return cs
+
     # ------------------------------------------------- lazy body / sets
 
     @property

@@ -30,9 +30,10 @@ entirely.
 from __future__ import annotations
 
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, List, Tuple, Union
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.analysis.benign import WriteTimeline, is_benign
 from repro.analysis.classify import FALSE, classify_pair
 from repro.analysis.engine import scan_segments
@@ -45,7 +46,8 @@ from repro.trace.trace import _uid_order
 
 
 def analyze_segments(
-    path: Union[str, Path], *, benign_detection: bool = True, checkpoint=None
+    path: Union[str, Path], *, benign_detection: bool = True, checkpoint=None,
+    jobs: int = 1,
 ) -> PairAnalysis:
     """Scan, enumerate and classify all same-lock pairs of a segmented file.
 
@@ -57,14 +59,27 @@ def analyze_segments(
     ``checkpoint`` (a :class:`repro.runner.checkpoint.Checkpointer`)
     makes the scan pass resumable at segment granularity; it is cleared
     once the analysis completes, so a later identical run starts clean.
+
+    ``jobs > 1`` fans the scan pass out over affinity-pinned worker
+    processes (:func:`repro.analysis.sharded.scan_segments_sharded`),
+    one thread shard per worker, with results identical to a serial
+    scan.  The fan-out is a fast path, not a resumable one, so it is
+    mutually exclusive with ``checkpoint``.
     """
+    if jobs > 1 and checkpoint is not None:
+        raise ValueError("checkpointing requires a serial scan (jobs=1)")
     with telemetry.span("analyze.pairs"):
-        with open_segmented(path) as reader:
-            scan = scan_segments(reader, checkpoint=checkpoint)
-        if checkpoint is not None:
-            # the scan finished; a leftover checkpoint would only tempt a
-            # future run into "resuming" work that is already done
-            checkpoint.clear()
+        if jobs > 1:
+            from repro.analysis.sharded import scan_segments_sharded
+
+            scan = scan_segments_sharded(path, jobs=jobs)
+        else:
+            with open_segmented(path) as reader:
+                scan = scan_segments(reader, checkpoint=checkpoint)
+            if checkpoint is not None:
+                # the scan finished; a leftover checkpoint would only
+                # tempt a future run into "resuming" finished work
+                checkpoint.clear()
         sections = scan.sections
 
         classified: List[Tuple[CriticalSection, CriticalSection, str]] = []
@@ -152,7 +167,14 @@ def _collect_benign_evidence(
     active: Dict[str, List[Tuple[int, int, str]]] = {
         tid: [] for tid in spans_by_tid
     }
+    vectorized = kernels.use_numpy()
+    lut = None
+    if vectorized:
+        from repro.kernels import benign_np
 
+        lut = benign_np.wanted_lut(wanted_mask, len(scan.tables.addrs))
+
+    t0 = perf_counter()
     with open_segmented(path) as reader:
         for segment in reader.segments():
             for chunk in segment.chunks:
@@ -172,14 +194,17 @@ def _collect_benign_evidence(
                         pos += 1
                     cursor[tid] = pos
                     live[:] = [s for s in live if s[1] > base]
-                for i in range(n):
-                    kind = kinds[i]
-                    if kind != READ_CODE and kind != WRITE_CODE:
-                        continue
+                if vectorized:
+                    hits = benign_np.evidence_hits(column, lut)
+                else:
+                    hits = [
+                        i for i in range(n)
+                        if (kinds[i] == READ_CODE or kinds[i] == WRITE_CODE)
+                        and (wanted_mask >> addr_ids[i]) & 1
+                    ]
+                for i in hits:
                     aid = addr_ids[i]
-                    if not (wanted_mask >> aid) & 1:
-                        continue
-                    if kind == WRITE_CODE:
+                    if kinds[i] == WRITE_CODE:
                         writes.setdefault(addr_name(aid), []).append((
                             column.t[i],
                             _uid_order(column.uids[i]),
@@ -193,4 +218,5 @@ def _collect_benign_evidence(
                                 if event is None:
                                     event = column.event(i)
                                 wanted_sections[uid]._mem_ops.append(event)
+    kernels.record("benign_evidence", perf_counter() - t0)
     return WriteTimeline.from_writes(writes)

@@ -18,9 +18,10 @@ the chosen synchronization mode (DLS END-flags or full locksets).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Set
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.analysis.pairs import PairAnalysis, analyze_pairs
 from repro.analysis.resync import ResyncPlan, build_resync_plan
 from repro.analysis.sections import CriticalSection
@@ -126,7 +127,28 @@ def _reserialize_unselected(
 def _rewrite(
     trace: Trace, sections: List[CriticalSection], plan: ResyncPlan
 ) -> Trace:
-    """Produce the marker-based ULCP-free trace."""
+    """Produce the marker-based ULCP-free trace.
+
+    Backend-dispatched: under the numpy backend the rewrite runs on the
+    interned columns (:mod:`repro.kernels.rewrite_np`) and returns a
+    :class:`~repro.trace.interning.ColumnarTrace` — read-compatible with
+    :class:`Trace` and serializing to identical bytes.
+    """
+    start = perf_counter()
+    if kernels.use_numpy() and hasattr(trace, "columnar"):
+        from repro.kernels import rewrite_np
+
+        result = rewrite_np.rewrite(trace.columnar(), sections, plan)
+        kernels.record("rewrite", perf_counter() - start)
+        return result
+    result = _rewrite_py(trace, sections, plan)
+    kernels.record("rewrite", perf_counter() - start)
+    return result
+
+
+def _rewrite_py(
+    trace: Trace, sections: List[CriticalSection], plan: ResyncPlan
+) -> Trace:
     release_to_cs: Dict[str, CriticalSection] = {
         cs.release.uid: cs for cs in sections
     }

@@ -201,6 +201,7 @@ def analyze(
     stream: Union[bool, str] = "auto",
     resume: Optional[str] = None,
     checkpoint_every: int = 16,
+    jobs: int = 1,
     budget=None,
     telemetry: Optional[Telemetry] = None,
 ) -> PairAnalysis:
@@ -221,7 +222,12 @@ def analyze(
     ``resume`` names a run id whose streaming scan checkpoints every
     ``checkpoint_every`` segments; a killed analysis re-invoked with the
     same id restarts from the last checkpoint instead of byte 0 (only
-    meaningful for segmented file paths).  ``budget`` is an optional
+    meaningful for segmented file paths).  ``jobs > 1`` fans the
+    streaming scan out over affinity-pinned worker processes (one
+    thread shard each) with results identical to a serial scan; it
+    needs the streaming path and is mutually exclusive with ``resume``
+    (a sharded scan is the fast path, not the resumable one).
+    ``budget`` is an optional
     :class:`repro.runner.budget.RunBudget`: the call fails fast when the
     deadline has already passed, and memory pressure degrades a
     ``stream=False`` load of a segmented file back to the streaming path.
@@ -264,7 +270,16 @@ def analyze(
                     trace,
                     benign_detection=benign_detection,
                     checkpoint=checkpoint,
+                    jobs=jobs,
                 )
+        if jobs > 1:
+            from repro.errors import TraceError
+
+            raise TraceError(
+                "analyze(jobs=...) fans out the streaming scan, so it "
+                "needs a path to a segmented trace file (write one with "
+                "repro.trace.segments.write_segmented or `repro convert`)"
+            )
         if stream is True:
             from repro.errors import TraceError
 
@@ -305,6 +320,10 @@ def transform(
     """
     with _call("transform", telemetry):
         result = _transform_trace(_coerce_trace(trace), **options)
+    if not isinstance(result.trace, Trace):
+        # the numpy rewrite emits a ColumnarTrace; the facade contract
+        # is a plain, independently mutable Trace
+        result.trace = result.trace.to_trace()
     return result if full else result.trace
 
 

@@ -299,14 +299,23 @@ def cmd_replay(args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    if args.jobs > 1 and args.resume is not None:
+        print("error: --jobs fans the scan out, --resume checkpoints it; "
+              "pick one", file=sys.stderr)
+        return EXIT_USAGE
     if _want_stream(args.trace, args):
         analysis = api.analyze(
             args.trace, benign_detection=not args.no_benign, stream=True,
             resume=args.resume, checkpoint_every=args.checkpoint_every,
+            jobs=args.jobs,
         )
     else:
         if args.resume is not None:
             print("error: --resume needs a segmented trace file and the "
+                  "streaming path (see 'repro convert')", file=sys.stderr)
+            return EXIT_USAGE
+        if args.jobs > 1:
+            print("error: --jobs needs a segmented trace file and the "
                   "streaming path (see 'repro convert')", file=sys.stderr)
             return EXIT_USAGE
         trace = _load_trace(args.trace, args)
@@ -878,6 +887,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "exists (segmented files only)")
     p.add_argument("--checkpoint-every", type=int, default=16, metavar="N",
                    help="segments between checkpoints (default: %(default)s)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="affinity-pinned worker processes for the "
+                        "streaming scan (segmented files only)")
     _add_format_option(p)
     _add_telemetry_options(p)
 

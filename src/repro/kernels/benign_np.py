@@ -1,0 +1,72 @@
+"""Vectorized write-timeline collection and benign-evidence filtering.
+
+The benign test itself (reversed replay of two small CS bodies) is not
+worth vectorizing — it touches a handful of events per pair.  What *is*
+hot is locating the events it needs inside a large trace:
+
+* :func:`collect_writes` — the ``WriteTimeline`` history gather: one
+  ``flatnonzero`` per thread column finds every WRITE, and only those
+  slots are touched from Python,
+* :func:`evidence_hits` — pass 2 of the streaming analysis: a boolean
+  address-id lookup table turns "READ/WRITE whose address is in the
+  wanted mask" into one gather per chunk.
+
+Tuple contents are built from the original ``array`` columns (not the
+numpy views), so values are plain Python ints — byte-identical to the
+pure path's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.trace.interning import READ_CODE, WRITE_CODE
+from repro.trace.trace import _uid_order
+
+
+def collect_writes(core) -> Dict[str, List[Tuple]]:
+    """Per-address ``(t, order_key, value)`` write histories of a core."""
+    writes: Dict[str, List[Tuple]] = {}
+    addr_name = core.tables.addrs.name
+    for column in core.columns.values():
+        if not len(column.kind):
+            continue
+        k = np.frombuffer(column.kind, dtype=np.int8)
+        hits = np.flatnonzero(k == WRITE_CODE)
+        if not len(hits):
+            continue
+        ts = column.t
+        values = column.value
+        uids = column.uids
+        addr_ids = column.addr_id
+        for i in hits.tolist():
+            writes.setdefault(addr_name(addr_ids[i]), []).append(
+                (ts[i], _uid_order(uids[i]), values[i])
+            )
+    return writes
+
+
+def wanted_lut(mask: int, size: int):
+    """Bool lookup table over address ids for an int bitmask."""
+    lut = np.zeros(max(size, 1), dtype=bool)
+    aid = 0
+    while mask:
+        if mask & 1:
+            lut[aid] = True
+        mask >>= 1
+        aid += 1
+    return lut
+
+
+def evidence_hits(column, lut) -> List[int]:
+    """Chunk positions of READ/WRITE events whose address is wanted."""
+    if not len(column.kind):
+        return []
+    k = np.frombuffer(column.kind, dtype=np.int8)
+    rw = np.flatnonzero((k == READ_CODE) | (k == WRITE_CODE))
+    if not len(rw):
+        return []
+    aid = np.frombuffer(column.addr_id, dtype=np.int32)
+    return rw[lut[aid[rw]]].tolist()

@@ -1,0 +1,168 @@
+"""Vectorized ULCP-free trace rewrite: numpy twin of ``transform._rewrite``.
+
+The pure rewrite walks every event object and re-emits it; for large
+traces that walk (and, on a columnar input, materializing an event
+object per trace event just to re-emit it) dominates the transform
+stage.  Here the rewrite happens directly on the interned columns:
+
+* ACQUIRE/RELEASE positions come from one ``flatnonzero`` per thread,
+* removed sections' lock events are dropped during a single masked copy
+  per array (only lock events can be dropped, so survivor indexes are
+  ``position - dropped_before(position)`` — no full-length index map),
+* surviving lock events are retyped in place on the copy
+  (CS_ENTER/CS_EXIT codes, payload fields zeroed, token = the section
+  uid) — no event objects exist at any point,
+
+and the result is a :class:`~repro.trace.interning.ColumnarTrace`
+sharing the source core's intern tables.  Serialization re-derives
+canonical tables (`serialize.write_trace`), so the emitted bytes are
+identical to the pure path's ``Trace``.
+"""
+
+from __future__ import annotations
+
+from itertools import compress
+from typing import List
+
+import numpy as np
+
+from repro.trace.interning import (
+    ACQUIRE_CODE,
+    CS_ENTER_CODE,
+    CS_EXIT_CODE,
+    FLAG_SPIN,
+    RELEASE_CODE,
+    ColumnarThread,
+    ColumnarTrace,
+)
+from repro.trace.trace import TraceMeta
+
+_ARRAY_DTYPES = (
+    ("kind", np.int8),
+    ("t", np.int64),
+    ("duration", np.int64),
+    ("t_request", np.int64),
+    ("value", np.int64),
+    ("lock_id", np.int32),
+    ("addr_id", np.int32),
+    ("flags", np.uint8),
+)
+
+
+def rewrite(core, sections, plan) -> ColumnarTrace:
+    """Produce the marker-based ULCP-free trace as a columnar core."""
+    release_to_cs = {cs.release.uid: cs for cs in sections}
+    acquire_to_cs = {cs.uid: cs for cs in sections}
+    removed = plan.removed
+
+    meta = core.meta
+    new_meta = TraceMeta(
+        name=f"{meta.name}+ulcpfree" if meta.name else "ulcpfree",
+        seed=meta.seed,
+        num_cores=meta.num_cores,
+        lock_cost=meta.lock_cost,
+        mem_cost=meta.mem_cost,
+        params={**meta.params, "transformed": True},
+    )
+    out = ColumnarTrace(new_meta, core.side, {}, tables=core.tables)
+
+    for tid, column in core.columns.items():
+        out.columns[tid] = _rewrite_column(
+            tid, column, acquire_to_cs, release_to_cs, removed
+        )
+    return out
+
+
+def _rewrite_column(tid, column, acquire_to_cs, release_to_cs, removed):
+    tables = column.tables
+    n = len(column.kind)
+    new = ColumnarThread(tid, column.tid_id, tables)
+    if not n:
+        return new
+    uids = column.uids
+    k = np.frombuffer(column.kind, dtype=np.int8)
+    acq_pos = np.flatnonzero(k == ACQUIRE_CODE).tolist()
+    rel_pos = np.flatnonzero(k == RELEASE_CODE).tolist()
+
+    kept_acq: List[int] = []
+    kept_rel: List[int] = []
+    drop: List[int] = []
+    rel_token: List[str] = []
+    for i in acq_pos:
+        cs = acquire_to_cs[uids[i]]
+        if cs.uid in removed:
+            drop.append(i)
+        else:
+            kept_acq.append(i)
+    for i in rel_pos:
+        cs = release_to_cs.get(uids[i])
+        if cs is None or cs.uid in removed:
+            drop.append(i)
+        else:
+            kept_rel.append(i)
+            rel_token.append(cs.uid)
+
+    acq_np = np.asarray(kept_acq, dtype=np.int64)
+    rel_np = np.asarray(kept_rel, dtype=np.int64)
+    if drop:
+        # only lock events drop, so a survivor's new index is its old one
+        # minus the dropped positions before it
+        drop_np = np.sort(np.asarray(drop, dtype=np.int64))
+        new_acq = acq_np - np.searchsorted(drop_np, acq_np)
+        new_rel = rel_np - np.searchsorted(drop_np, rel_np)
+        keep = np.ones(n, dtype=bool)
+        keep[drop_np] = False
+        keep_list = keep.tolist()
+        new.uids = list(compress(uids, keep_list))
+        new.sites = list(compress(column.sites, keep_list))
+
+        def ni(p):
+            return p - int(np.searchsorted(drop_np, p))
+    else:
+        new_acq = acq_np
+        new_rel = rel_np
+        keep = None
+        new.uids = list(uids)
+        new.sites = list(column.sites)
+
+        def ni(p):
+            return p
+
+    # one masked copy per array, then retype the surviving lock events in
+    # place on the output: payload fields reset exactly as the pure
+    # path's fresh TraceEvent construction does
+    new_lock = np.concatenate((new_acq, new_rel))
+    for name, dtype in _ARRAY_DTYPES:
+        src = np.frombuffer(getattr(column, name), dtype=dtype)
+        out = src[keep] if keep is not None else src.copy()
+        if name == "kind":
+            out[new_acq] = CS_ENTER_CODE
+            out[new_rel] = CS_EXIT_CODE
+        elif name in ("duration", "t_request", "value"):
+            out[new_lock] = 0
+        elif name == "addr_id":
+            out[new_lock] = -1
+        elif name == "flags":
+            out[new_acq] &= FLAG_SPIN  # spin carries over to enter
+            out[new_rel] = 0
+        # memcpy straight out of the ndarray buffer (no tobytes copy)
+        getattr(new, name).frombytes(memoryview(out).cast("B"))
+
+    # sparse payloads: reindex survivors; retyped lock events shed any
+    # original payload and carry only their section-uid token
+    lock_set = set(kept_acq)
+    lock_set.update(kept_rel)
+    dropped_set = set(drop)
+    for attr in ("ops", "tokens", "reasons", "woken"):
+        old = getattr(column, attr)
+        if old:
+            setattr(new, attr, {
+                ni(p): v for p, v in old.items()
+                if p not in dropped_set and p not in lock_set
+            })
+    tokens = new.tokens
+    for j, p in enumerate(new_acq.tolist()):
+        tokens[p] = uids[kept_acq[j]]  # cs.uid is its acquire uid
+    for j, p in enumerate(new_rel.tolist()):
+        tokens[p] = rel_token[j]
+    return new

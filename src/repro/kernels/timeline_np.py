@@ -1,0 +1,152 @@
+"""Vectorized timeline lane build: numpy twin of ``timeline.build``.
+
+The raw lane is a list of span tuples that ``_finish_lane`` sorts before
+materializing, and tuples are totally ordered (uids tie-break), so the
+*multiset* of spans is all that must match — append order is free.  That
+makes the dense kinds bulk-extractable:
+
+* COMPUTE spans (the bulk of most traces) from one ``flatnonzero``,
+* READ/WRITE overhead spans likewise (only when ``mem_cost`` is set),
+* WAIT/SLEEP blocked spans from their (sparse) positions,
+
+while the order-sensitive remainder — lock acquire/release and CS
+enter/exit stack pushes/pops, thread start/end markers — walks only its
+own sparse positions in Python, in event order, with carried
+``_LaneState`` exactly like the pure walk (so the streaming path can
+call this per chunk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.interning import (
+    ACQUIRE_CODE,
+    COMPUTE_CODE,
+    CS_ENTER_CODE,
+    CS_EXIT_CODE,
+    READ_CODE,
+    RELEASE_CODE,
+    SLEEP_CODE,
+    THREAD_END_CODE,
+    THREAD_START_CODE,
+    WAIT_CODE,
+    WRITE_CODE,
+)
+
+#: kinds whose handling is stateful (stack/marker) and stays a sparse walk
+_SPARSE_CODES = np.array(
+    [ACQUIRE_CODE, RELEASE_CODE, CS_ENTER_CODE, CS_EXIT_CODE,
+     THREAD_START_CODE, THREAD_END_CODE],
+    dtype=np.int8,
+)
+
+
+def walk_column(tid, column, st, timeline, kinds_get, lock_cost, mem_cost,
+                codes) -> None:
+    """Vectorized twin of ``timeline.build._walk_column``.
+
+    ``codes`` is the ``(_C_COMPUTE, _C_CS, _C_LOCK_WAIT, _C_BLOCKED,
+    _C_OVERHEAD)`` tuple from the caller's module (kept there so the
+    interval-kind coding has a single owner).
+    """
+    c_compute, c_cs, c_lock_wait, c_blocked, c_overhead = codes
+    n = len(column.kind)
+    if not n:
+        return
+    k = np.frombuffer(column.kind, dtype=np.int8)
+    t_np = np.frombuffer(column.t, dtype=np.int64)
+    dur_np = np.frombuffer(column.duration, dtype=np.int64)
+    raw = st.raw
+
+    pos = np.flatnonzero((k == COMPUTE_CODE) & (dur_np > 0))
+    if len(pos):
+        raw.extend(
+            (ts, te, c_compute, "", "", "", "", False, "")
+            for ts, te in zip((t_np[pos] - dur_np[pos]).tolist(),
+                              t_np[pos].tolist())
+        )
+
+    if mem_cost:
+        pos = np.flatnonzero((k == READ_CODE) | (k == WRITE_CODE))
+        if len(pos):
+            raw.extend(
+                (ti, ti + mem_cost, c_overhead, "", "", "", "", False, "")
+                for ti in t_np[pos].tolist()
+            )
+
+    pos = np.flatnonzero(((k == WAIT_CODE) | (k == SLEEP_CODE)) & (dur_np > 0))
+    if len(pos):
+        reasons = column.reasons
+        t = column.t
+        duration = column.duration
+        raw.extend(
+            (t[i] - duration[i], t[i], c_blocked,
+             "", "", "", "", False, reasons.get(i, ""))
+            for i in pos.tolist()
+        )
+
+    sparse = np.flatnonzero(np.isin(k, _SPARSE_CODES))
+    if len(sparse):
+        kind = column.kind
+        t = column.t
+        t_request = column.t_request
+        lock_id = column.lock_id
+        flags = column.flags
+        uids = column.uids
+        tokens = column.tokens
+        lock_name = column.tables.locks.name
+        add = raw.append
+        open_cs = st.open_cs
+        for i in sparse.tolist():
+            code = kind[i]
+            ti = t[i]
+            if code == ACQUIRE_CODE:
+                uid = uids[i]
+                name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+                if ti > t_request[i]:
+                    add((t_request[i], ti, c_lock_wait,
+                         name, uid, kinds_get(uid, ""),
+                         "", bool(flags[i] & 1), ""))
+                if lock_cost:
+                    add((ti, ti + lock_cost, c_overhead,
+                         name, "", "", "", False, ""))
+                open_cs.setdefault(lock_id[i], []).append((ti, uid, name))
+            elif code == RELEASE_CODE:
+                stack = open_cs.get(lock_id[i])
+                if stack:
+                    t_open, uid, name = stack.pop()
+                    add((t_open, ti, c_cs,
+                         name, uid, kinds_get(uid, ""), "", False, ""))
+                # unmatched release (salvaged prefix): nothing to close
+                if lock_cost:
+                    name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+                    add((ti, ti + lock_cost, c_overhead,
+                         name, "", "", "", False, ""))
+            elif code == CS_ENTER_CODE:
+                uid = tokens.get(i, uids[i])
+                name = lock_name(lock_id[i]) if lock_id[i] >= 0 else ""
+                open_cs.setdefault(lock_id[i], []).append((ti, uid, name))
+            elif code == CS_EXIT_CODE:
+                stack = open_cs.get(lock_id[i])
+                if stack:
+                    t_open, uid, name = stack.pop()
+                    add((t_open, ti, c_cs,
+                         name, uid, kinds_get(uid, ""),
+                         "", False, "transformed"))
+            elif code == THREAD_START_CODE:
+                timeline.thread_start[tid] = ti
+            else:
+                timeline.thread_end[tid] = ti
+
+    chunk_max = int(t_np.max())
+    if chunk_max > st.last_t:
+        st.last_t = chunk_max
+
+
+def acquire_positions(column):
+    """Positions of ACQUIRE events in one column (for holder maps)."""
+    if not len(column.kind):
+        return []
+    k = np.frombuffer(column.kind, dtype=np.int8)
+    return np.flatnonzero(k == ACQUIRE_CODE).tolist()

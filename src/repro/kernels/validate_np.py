@@ -1,0 +1,117 @@
+"""Vectorized trace validation for columnar traces.
+
+Strategy: per thread, a set of cheap array checks proves the thread
+*clean* (the overwhelmingly common case — ``transform`` validates every
+output trace it produces); any thread that trips a check falls back to
+the reference event-object walk for that thread alone, reproducing the
+exact message list in the exact order.  Schedule checks run from one
+vectorized acquire gather.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.trace.interning import (
+    ACQUIRE_CODE,
+    POST_CODE,
+    RELEASE_CODE,
+    THREAD_END_CODE,
+    THREAD_START_CODE,
+    WAIT_CODE,
+)
+
+
+def _post_tokens(trace) -> Set:
+    tokens: Set = set()
+    for column in trace.columns.values():
+        if not len(column.kind):
+            continue
+        k = np.frombuffer(column.kind, dtype=np.int8)
+        for i in np.flatnonzero(k == POST_CODE).tolist():
+            tokens.add(column.tokens.get(i))
+    return tokens
+
+
+def _thread_clean(tid, column, post_tokens) -> bool:
+    """True when the reference walk would report nothing for this thread."""
+    n = len(column.kind)
+    if not n:
+        return True
+    # tid mismatches cannot occur: columnar events materialize with the
+    # column's own tid
+    k = np.frombuffer(column.kind, dtype=np.int8)
+    t = np.frombuffer(column.t, dtype=np.int64)
+    if n > 1 and bool((np.diff(t) < 0).any()):
+        return False
+    pos = np.flatnonzero(k == THREAD_START_CODE)
+    if len(pos) and (len(pos) > 1 or pos[0] != 0):
+        return False
+    pos = np.flatnonzero(k == THREAD_END_CODE)
+    if len(pos) and (len(pos) > 1 or pos[-1] != n - 1):
+        return False
+    lock_pos = np.flatnonzero((k == ACQUIRE_CODE) | (k == RELEASE_CODE))
+    if len(lock_pos):
+        kinds = column.kind
+        lock_ids = column.lock_id
+        held = set()
+        for i in lock_pos.tolist():
+            lid = lock_ids[i]
+            if kinds[i] == ACQUIRE_CODE:
+                if lid in held:
+                    return False
+                held.add(lid)
+            else:
+                if lid not in held:
+                    return False
+                held.discard(lid)
+        if held:
+            return False
+    wait_pos = np.flatnonzero(k == WAIT_CODE)
+    if len(wait_pos):
+        reasons = column.reasons
+        tokens = column.tokens
+        for i in wait_pos.tolist():
+            if reasons.get(i, "") == "posted" \
+                    and tokens.get(i) not in post_tokens:
+                return False
+    return True
+
+
+def problems_columnar(trace) -> List[str]:
+    """Vectorized twin of ``trace.validate.problems`` for columnar traces."""
+    from repro.trace.validate import _schedule_problems, _thread_problems
+
+    post_tokens = _post_tokens(trace)
+    issues: List[str] = []
+    for tid, column in trace.columns.items():
+        if not _thread_clean(tid, column, post_tokens):
+            issues.extend(
+                _thread_problems(tid, trace.threads[tid], post_tokens)
+            )
+
+    if trace.lock_schedule:
+        acquires_by_lock: Dict[str, Set[str]] = {}
+        lock_name = trace.tables.locks.name
+        for column in trace.columns.values():
+            if not len(column.kind):
+                continue
+            k = np.frombuffer(column.kind, dtype=np.int8)
+            pos = np.flatnonzero(k == ACQUIRE_CODE)
+            if not len(pos):
+                continue
+            lock_ids = column.lock_id
+            uids = column.uids
+            for i in pos.tolist():
+                lid = lock_ids[i]
+                name = lock_name(lid) if lid >= 0 else ""
+                acquires_by_lock.setdefault(name, set()).add(uids[i])
+        issues.extend(
+            _schedule_problems(trace.lock_schedule, {
+                lock: acquires_by_lock.get(lock, set())
+                for lock in trace.lock_schedule
+            })
+        )
+    return issues

@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.analysis.benign import WriteTimeline, is_benign
 from repro.analysis.classify import FALSE, classify_pair
 from repro.analysis.engine import scan_trace
@@ -51,6 +51,8 @@ class ProfileReport:
     pairs: int = 0
     analysis: Optional[PairAnalysis] = None
     result: Optional[TransformResult] = None
+    backend: str = ""
+    kernels: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -75,6 +77,13 @@ class ProfileReport:
                 "disjoint-write={0.disjoint_write} benign={0.benign} "
                 "tlcp={0.tlcp}".format(breakdown)
             )
+        if self.backend:
+            lines.append(f"kernel backend: {self.backend}")
+        for name, entry in sorted(self.kernels.items()):
+            lines.append(
+                f"  kernel {name:<18} {entry['seconds'] * 1000.0:9.2f} ms"
+                f"  ({entry['calls']} calls)"
+            )
         return "\n".join(lines)
 
 
@@ -90,7 +99,8 @@ def profile_pipeline(
     if (trace is None) == (workload is None):
         raise ValueError("profile_pipeline needs a trace OR a workload")
 
-    report = ProfileReport()
+    report = ProfileReport(backend=kernels.backend())
+    kernels.reset_timings()
 
     def timed(name: str, fn, detail: str = ""):
         # one span per stage, labelled, so stage wall times never overlap
@@ -157,4 +167,7 @@ def profile_pipeline(
             lambda: replayer.replay_transformed(result, seed=seed),
             detail="transformed trace, 1 run",
         )
+    # attribute stage time to individual kernels (scan/rewrite/validate/
+    # ...) — the registry accumulated while the stages above ran
+    report.kernels = kernels.timings()
     return report

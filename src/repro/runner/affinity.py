@@ -1,0 +1,55 @@
+"""CPU-affinity pinning for fan-out workers.
+
+The sharded single-trace scan (:mod:`repro.analysis.sharded`) asks the
+pool to pin each worker process to one CPU so shards do not migrate
+mid-walk and trample each other's caches.  Placement is *compact*:
+worker ``index`` lands on slot ``index % len(slots)`` of the parent's
+allowed-CPU list (sorted), so co-scheduled shards fill cores densely
+and deterministically.
+
+Everything degrades silently: platforms without
+``os.sched_setaffinity`` (macOS, Windows), restricted containers, or a
+raced-away CPU mask simply run unpinned — pinning is a performance
+hint, never a correctness requirement.  The parent records what
+happened in the ``runner.affinity`` gauge (the number of pinnable CPU
+slots; 0 when pinning is off or unsupported).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+__all__ = ["supported", "slots", "pin"]
+
+
+def supported() -> bool:
+    """Can this platform pin processes to CPUs at all?"""
+    return hasattr(os, "sched_setaffinity") and hasattr(os, "sched_getaffinity")
+
+
+def slots() -> List[int]:
+    """The CPUs the current process may run on, sorted; [] if unknown."""
+    if not supported():
+        return []
+    try:
+        return sorted(os.sched_getaffinity(0))
+    except OSError:  # pragma: no cover - exotic kernel refusal
+        return []
+
+
+def pin(index: int, cpu_slots: Optional[Sequence[int]] = None) -> Optional[int]:
+    """Pin the calling process to one CPU (compact placement).
+
+    Returns the CPU pinned to, or ``None`` when pinning is unavailable
+    or fails — callers must treat ``None`` as "keep running unpinned".
+    """
+    cpus = list(cpu_slots) if cpu_slots is not None else slots()
+    if not cpus:
+        return None
+    cpu = cpus[index % len(cpus)]
+    try:
+        os.sched_setaffinity(0, {cpu})
+    except (AttributeError, OSError):
+        return None
+    return cpu

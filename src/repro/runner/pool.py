@@ -120,6 +120,10 @@ class ExecPolicy:
     #: quarantine failed tasks as :class:`TaskFailure` results instead of
     #: aborting the whole map
     partial: bool = False
+    #: pin each worker to one CPU (compact placement over the parent's
+    #: allowed CPUs); silently ignored where unsupported — see
+    #: :mod:`repro.runner.affinity`
+    pin_workers: bool = False
 
     def backoff_delay(self, attempt: int) -> float:
         """Deterministic delay before retrying after 0-based ``attempt``."""
@@ -418,7 +422,8 @@ def _attempt_inline(fn, task, index: int, attempt: int):
 # ----------------------------------------------------------- parallel path
 
 
-def _run_remote(fn, task, index, attempt, cache_root, plan, collect, out_queue) -> None:
+def _run_remote(fn, task, index, attempt, cache_root, plan, collect, out_queue,
+                pin_cpus=()) -> None:
     """Worker body: run one task attempt, send one message, exit.
 
     With ``collect`` set (telemetry enabled in the parent) the worker
@@ -426,6 +431,10 @@ def _run_remote(fn, task, index, attempt, cache_root, plan, collect, out_queue) 
     result; the parent merges snapshots in task order, which is what
     makes merged ``--jobs N`` metrics equal a serial run's.
     """
+    if pin_cpus:
+        from repro.runner import affinity
+
+        affinity.pin(index, pin_cpus)  # best effort; None = run unpinned
     _worker_init(cache_root, plan)
     sink = telemetry.configure(telemetry.Telemetry()) if collect else None
     try:
@@ -468,6 +477,13 @@ class _Supervisor:
         self.budget = budget
         self.ctx = multiprocessing.get_context()
         self.queue = self.ctx.Queue()
+        self.pin_cpus: Tuple[int, ...] = ()
+        if policy.pin_workers:
+            from repro.runner import affinity
+
+            self.pin_cpus = tuple(affinity.slots())
+            # 0 = pinning requested but unavailable on this platform
+            telemetry.gauge("runner.affinity", len(self.pin_cpus))
         from repro.runner import cache
 
         store = cache.active()
@@ -564,7 +580,8 @@ class _Supervisor:
         proc = self.ctx.Process(
             target=_run_remote,
             args=(self.fn, self.tasks[index], index, attempt,
-                  self.cache_root, self.plan, self.collect, self.queue),
+                  self.cache_root, self.plan, self.collect, self.queue,
+                  self.pin_cpus),
             daemon=True,
         )
         proc.start()

@@ -75,6 +75,8 @@ COUNTERS: Dict[str, str] = {
 GAUGES: Dict[str, str] = {
     "trace.events": "events in the most recently handled trace",
     "trace.threads": "threads in the most recently handled trace",
+    "runner.affinity": "CPU slots available for worker pinning "
+                       "(0 = requested but unsupported)",
 }
 
 #: histogram name -> description (power-of-two buckets, integer values)
@@ -87,6 +89,7 @@ HISTOGRAMS: Dict[str, str] = {
 SPANS: Dict[str, str] = {
     "record": "record one workload execution into a trace",
     "analyze.scan_trace": "fused columnar walk (sections + sharedness)",
+    "analyze.scan_sharded": "fan-out segment scan over pinned workers",
     "analyze.pairs": "pair enumeration, Algorithm 1, benign tests",
     "transform": "RULE 1-4 transformation to the ULCP-free trace",
     "replay.run": "one seeded replay on the simulated machine",

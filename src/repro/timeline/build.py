@@ -22,9 +22,10 @@ truncated trace closes at the thread's last event and is flagged
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.errors import TraceError
 from repro.timeline.model import (
     BLOCKED,
@@ -91,11 +92,9 @@ def _holder_maps(trace) -> Dict[str, str]:
     uid_tid: Dict[str, str] = {}
     core = trace.columnar()
     for tid, column in core.columns.items():
-        kind = column.kind
         uids = column.uids
-        for i in range(len(kind)):
-            if kind[i] == ACQUIRE_CODE:
-                uid_tid[uids[i]] = tid
+        for i in _acquire_positions(column):
+            uid_tid[uids[i]] = tid
     holder: Dict[str, str] = {}
     for uids in trace.lock_schedule.values():
         for j in range(1, len(uids)):
@@ -177,6 +176,16 @@ class _LaneState:
         self.last_t = 0
 
 
+def _acquire_positions(column) -> List[int]:
+    """Positions of ACQUIRE events in one column (backend-dispatched)."""
+    if kernels.use_numpy():
+        from repro.kernels import timeline_np
+
+        return timeline_np.acquire_positions(column)
+    kind = column.kind
+    return [i for i in range(len(kind)) if kind[i] == ACQUIRE_CODE]
+
+
 def _walk_column(
     tid: str,
     column,
@@ -193,7 +202,35 @@ def _walk_column(
     state).  Lock-wait holders are intentionally left blank here —
     :func:`_finish_lane` patches them in before the sort, because in a
     segment stream the holder's own acquire may not have been walked yet.
+
+    Backend-dispatched: the numpy twin bulk-extracts the dense span
+    kinds and sparse-walks the stateful ones; raw tuples are totally
+    ordered and sorted in :func:`_finish_lane`, so the lanes come out
+    identical.
     """
+    start = perf_counter()
+    if kernels.use_numpy():
+        from repro.kernels import timeline_np
+
+        timeline_np.walk_column(
+            tid, column, st, timeline, kinds_get, lock_cost, mem_cost,
+            (_C_COMPUTE, _C_CS, _C_LOCK_WAIT, _C_BLOCKED, _C_OVERHEAD),
+        )
+    else:
+        _walk_column_py(tid, column, st, timeline, kinds_get, lock_cost,
+                        mem_cost)
+    kernels.record("timeline_walk", perf_counter() - start)
+
+
+def _walk_column_py(
+    tid: str,
+    column,
+    st: _LaneState,
+    timeline: Timeline,
+    kinds_get,
+    lock_cost: int,
+    mem_cost: int,
+) -> None:
     kind = column.kind
     t = column.t
     duration = column.duration
@@ -365,11 +402,9 @@ def build_timeline_segments(reader, *, analysis=None, merge: bool = True,
     for segment in reader.segments():
         for chunk in segment.chunks:
             column = chunk.column
-            kind = column.kind
             uids = column.uids
-            for i in range(len(kind)):
-                if kind[i] == ACQUIRE_CODE:
-                    acquire_tid[uids[i]] = chunk.tid
+            for i in _acquire_positions(column):
+                acquire_tid[uids[i]] = chunk.tid
             _walk_column(chunk.tid, column, states[chunk.tid], timeline,
                          kinds_get, lock_cost, mem_cost)
         segments_done += 1

@@ -411,6 +411,10 @@ class ColumnarTrace:
         core._views = views
         return core
 
+    def columnar(self) -> "ColumnarTrace":
+        """This core *is* the columnar form (Trace API compatibility)."""
+        return self
+
     # -------------------------------------------------- Trace read API
 
     @property

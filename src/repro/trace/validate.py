@@ -5,12 +5,20 @@
 The transformation pipeline validates its output trace before replaying
 it, so a buggy transformation fails loudly instead of producing nonsense
 performance numbers.
+
+Backend note: for a :class:`~repro.trace.interning.ColumnarTrace` under
+the numpy kernel backend, the checks run vectorized over the id columns
+(:mod:`repro.kernels.validate_np`); a thread that trips any fast check
+falls back to the event-object walk below for the exact message list, so
+output is byte-identical either way.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List
 
+from repro import kernels
 from repro.errors import TraceError
 from repro.trace.events import (
     ACQUIRE,
@@ -23,59 +31,56 @@ from repro.trace.events import (
 from repro.trace.trace import Trace
 
 
-def problems(trace: Trace) -> List[str]:
-    """Return a list of well-formedness violations (empty when clean)."""
+def _thread_problems(tid, events, post_tokens) -> List[str]:
+    """One thread's violations, in event order (the reference walk)."""
     issues: List[str] = []
-    posts = {}
-    for event in trace.iter_events():
-        if event.kind == POST:
-            posts[event.token] = event
-
-    for tid, events in trace.threads.items():
-        # A declared-but-empty thread is legal (serialization preserves the
-        # declaration), but every event filed under a thread must carry
-        # that thread's tid — a mismatch means the container was built by
-        # bypassing add_thread/append bookkeeping.
-        held = set()
-        last_t = -1
-        for i, event in enumerate(events):
-            if event.tid != tid:
+    # A declared-but-empty thread is legal (serialization preserves the
+    # declaration), but every event filed under a thread must carry
+    # that thread's tid — a mismatch means the container was built by
+    # bypassing add_thread/append bookkeeping.
+    held = set()
+    last_t = -1
+    for i, event in enumerate(events):
+        if event.tid != tid:
+            issues.append(
+                f"{tid}: event {event.uid} filed under wrong thread "
+                f"(tid={event.tid!r})"
+            )
+        if event.t < last_t:
+            issues.append(
+                f"{tid}: event {event.uid} at t={event.t} before t={last_t}"
+            )
+        last_t = event.t
+        if event.kind == THREAD_START and i != 0:
+            issues.append(f"{tid}: thread_start not first ({event.uid})")
+        if event.kind == THREAD_END and i != len(events) - 1:
+            issues.append(f"{tid}: thread_end not last ({event.uid})")
+        if event.kind == ACQUIRE:
+            if event.lock in held:
+                issues.append(f"{tid}: re-acquired {event.lock} ({event.uid})")
+            held.add(event.lock)
+        elif event.kind == RELEASE:
+            if event.lock not in held:
                 issues.append(
-                    f"{tid}: event {event.uid} filed under wrong thread "
-                    f"(tid={event.tid!r})"
+                    f"{tid}: released unheld {event.lock} ({event.uid})"
                 )
-            if event.t < last_t:
+            held.discard(event.lock)
+        elif event.kind == WAIT:
+            if event.reason == "posted" and event.token not in post_tokens:
                 issues.append(
-                    f"{tid}: event {event.uid} at t={event.t} before t={last_t}"
+                    f"{tid}: wait {event.uid} references missing post "
+                    f"{event.token!r}"
                 )
-            last_t = event.t
-            if event.kind == THREAD_START and i != 0:
-                issues.append(f"{tid}: thread_start not first ({event.uid})")
-            if event.kind == THREAD_END and i != len(events) - 1:
-                issues.append(f"{tid}: thread_end not last ({event.uid})")
-            if event.kind == ACQUIRE:
-                if event.lock in held:
-                    issues.append(f"{tid}: re-acquired {event.lock} ({event.uid})")
-                held.add(event.lock)
-            elif event.kind == RELEASE:
-                if event.lock not in held:
-                    issues.append(
-                        f"{tid}: released unheld {event.lock} ({event.uid})"
-                    )
-                held.discard(event.lock)
-            elif event.kind == WAIT:
-                if event.reason == "posted" and event.token not in posts:
-                    issues.append(
-                        f"{tid}: wait {event.uid} references missing post "
-                        f"{event.token!r}"
-                    )
-        if held:
-            issues.append(f"{tid}: locks never released: {sorted(held)}")
+    if held:
+        issues.append(f"{tid}: locks never released: {sorted(held)}")
+    return issues
 
-    for lock, uids in trace.lock_schedule.items():
-        seen_uids = {
-            e.uid for e in trace.iter_events() if e.kind == ACQUIRE and e.lock == lock
-        }
+
+def _schedule_problems(lock_schedule, acquires_by_lock) -> List[str]:
+    """Lock-schedule violations; ``acquires_by_lock`` maps lock -> uid set."""
+    issues: List[str] = []
+    for lock, uids in lock_schedule.items():
+        seen_uids = acquires_by_lock.get(lock, set())
         for uid in uids:
             if uid not in seen_uids:
                 issues.append(f"schedule[{lock}]: unknown acquire uid {uid}")
@@ -84,6 +89,36 @@ def problems(trace: Trace) -> List[str]:
                 f"schedule[{lock}]: {len(uids)} scheduled vs "
                 f"{len(seen_uids)} recorded acquires"
             )
+    return issues
+
+
+def problems(trace: Trace) -> List[str]:
+    """Return a list of well-formedness violations (empty when clean)."""
+    start = perf_counter()
+    if kernels.use_numpy() and hasattr(trace, "columns"):
+        from repro.kernels import validate_np
+
+        issues = validate_np.problems_columnar(trace)
+        kernels.record("validate", perf_counter() - start)
+        return issues
+
+    post_tokens = set()
+    for event in trace.iter_events():
+        if event.kind == POST:
+            post_tokens.add(event.token)
+
+    issues: List[str] = []
+    for tid, events in trace.threads.items():
+        issues.extend(_thread_problems(tid, events, post_tokens))
+
+    acquires_by_lock = {}
+    for lock in trace.lock_schedule:
+        acquires_by_lock[lock] = {
+            e.uid for e in trace.iter_events()
+            if e.kind == ACQUIRE and e.lock == lock
+        }
+    issues.extend(_schedule_problems(trace.lock_schedule, acquires_by_lock))
+    kernels.record("validate", perf_counter() - start)
     return issues
 
 

@@ -255,3 +255,168 @@ class TestDamage:
             loaded = salvage_segmented(path)
         result = Replayer(jitter=0.0).replay(loaded.trace)
         assert result.end_time >= 0
+
+
+class TestAddBlock:
+    """``add_block`` must be byte-for-byte what the same ``add`` calls do."""
+
+    META = dict(lock_cost=0, mem_cost=0)
+
+    def _events(self):
+        from repro.trace.codesite import CodeSite
+        from repro.trace.events import TraceEvent
+
+        site = CodeSite("gen.c", 7, "f")
+        return [
+            TraceEvent("e0", "a", "compute", t=0, duration=5, site=site),
+            TraceEvent("e1", "a", "acquire", t=5, lock="L", t_request=3,
+                       spin=True),
+            TraceEvent("e2", "a", "write", t=6, addr="x", value=2,
+                       op=("store", 2)),
+            TraceEvent("e3", "a", "release", t=7, lock="L"),
+            TraceEvent("e4", "a", "wait", t=8, token="tok", reason="cond"),
+            TraceEvent("e5", "a", "post", t=9, token="tok", woken=["b"]),
+            TraceEvent("e6", "a", "read", t=10, addr="y.late", value=0),
+            TraceEvent("e7", "a", "acquire", t=11, lock="M", t_request=11,
+                       shared=True),
+            TraceEvent("e8", "a", "release", t=12, lock="M"),
+            TraceEvent("e9", "a", "compute", t=13, duration=1),
+        ]
+
+    def _write_with_add(self, path, events, segment_events):
+        from repro.trace.trace import TraceMeta
+
+        writer = SegmentedTraceWriter(
+            path, meta=TraceMeta(name="blk", **self.META), threads=["a"],
+            lock_schedule={"L": ["e1"], "M": ["e7"]},
+            segment_events=segment_events,
+        )
+        for event in events:
+            writer.add(event)
+        writer.close()
+
+    def _write_with_add_block(self, path, events, segment_events):
+        from repro.trace.trace import TraceMeta
+
+        writer = SegmentedTraceWriter(
+            path, meta=TraceMeta(name="blk", **self.META), threads=["a"],
+            lock_schedule={"L": ["e1"], "M": ["e7"]},
+            segment_events=segment_events,
+        )
+        writer.add_block(
+            "a",
+            uids=[e.uid for e in events],
+            kinds=[e.kind for e in events],
+            t=[e.t for e in events],
+            duration=[e.duration for e in events],
+            t_request=[e.t_request for e in events],
+            value=[e.value for e in events],
+            lock=[e.lock for e in events],
+            addr=[e.addr for e in events],
+            spin=[e.spin for e in events],
+            shared=[e.shared for e in events],
+            sites=[e.site for e in events],
+            op={i: e.op for i, e in enumerate(events) if e.op is not None},
+            token={i: e.token for i, e in enumerate(events)
+                   if e.token is not None},
+            reason={i: e.reason for i, e in enumerate(events) if e.reason},
+            woken={i: e.woken for i, e in enumerate(events) if e.woken},
+        )
+        writer.close()
+
+    @pytest.mark.parametrize("segment_events", [1, 3, 4, 7, 10, 64])
+    def test_byte_identical_to_add(self, tmp_path, segment_events):
+        # segment_events < len(events) makes one block span several
+        # flushes, so mid-block symbol deltas (the "y.late" addr first
+        # appears at event 6) must land in the same segment both ways
+        events = self._events()
+        one = tmp_path / "one.seg.jsonl.gz"
+        blk = tmp_path / "blk.seg.jsonl.gz"
+        self._write_with_add(one, events, segment_events)
+        self._write_with_add_block(blk, events, segment_events)
+        assert one.read_bytes() == blk.read_bytes()
+        assert dumps(load_segmented(one)) == dumps(load_segmented(blk))
+
+    def test_scalar_broadcast(self, tmp_path):
+        from repro.trace.trace import TraceMeta
+
+        path = tmp_path / "b.seg.jsonl.gz"
+        writer = SegmentedTraceWriter(
+            path, meta=TraceMeta(name="blk", **self.META), threads=["a"],
+            lock_schedule={},
+        )
+        writer.add_block("a", uids=["e0", "e1"], kinds="compute",
+                         t=[0, 10], duration=10)
+        writer.close()
+        trace = load_segmented(path)
+        events = list(trace.iter_time_order())
+        assert [e.kind for e in events] == ["compute", "compute"]
+        assert [e.duration for e in events] == [10, 10]
+
+    def test_undeclared_thread_rejected(self, tmp_path):
+        from repro.trace.trace import TraceMeta
+
+        writer = SegmentedTraceWriter(
+            tmp_path / "b.seg.jsonl.gz",
+            meta=TraceMeta(name="blk", **self.META), threads=["a"],
+            lock_schedule={},
+        )
+        with pytest.raises(TraceError, match="undeclared thread"):
+            writer.add_block("ghost", uids=["e0"], kinds="compute", t=[0])
+        writer.abort()
+
+    def test_column_length_mismatch_rejected(self, tmp_path):
+        from repro.trace.trace import TraceMeta
+
+        writer = SegmentedTraceWriter(
+            tmp_path / "b.seg.jsonl.gz",
+            meta=TraceMeta(name="blk", **self.META), threads=["a"],
+            lock_schedule={},
+        )
+        with pytest.raises(TraceError, match="column 't'"):
+            writer.add_block("a", uids=["e0", "e1"], kinds="compute", t=[0])
+        writer.abort()
+
+    def test_empty_block_is_a_no_op(self, tmp_path):
+        from repro.trace.trace import TraceMeta
+
+        path = tmp_path / "b.seg.jsonl.gz"
+        writer = SegmentedTraceWriter(
+            path, meta=TraceMeta(name="blk", **self.META), threads=["a"],
+            lock_schedule={},
+        )
+        writer.add_block("a", uids=[], kinds="compute", t=[])
+        writer.close()
+        assert len(load_segmented(path)) == 0
+
+
+class TestColumnarLoader:
+    def test_byte_identical_to_eager_loader(self, tmp_path):
+        from repro.trace.segments import load_segmented_columnar
+
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=5)
+        assert dumps(load_segmented_columnar(path)) == dumps(trace)
+
+    def test_zero_event_threads_survive(self, tmp_path):
+        from repro.trace.segments import load_segmented_columnar
+
+        trace = zero_event_thread_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=3)
+        core = load_segmented_columnar(path)
+        assert dumps(core) == dumps(trace)
+        assert "idle" in core.thread_ids
+
+    def test_analysis_equals_eager_load(self, tmp_path):
+        from repro.analysis import analyze_pairs
+        from repro.trace.segments import load_segmented_columnar
+
+        trace = locked_trace()
+        path = tmp_path / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=4)
+        eager = analyze_pairs(load_segmented(path))
+        columnar = analyze_pairs(load_segmented_columnar(path))
+        assert [(p.c1.uid, p.c2.uid, p.kind) for p in eager.pairs] == \
+            [(p.c1.uid, p.c2.uid, p.kind) for p in columnar.pairs]

@@ -61,6 +61,7 @@ from repro.replay import (
 from repro.trace import CodeRegion, CodeSite, Trace, TraceMeta
 from repro import api, telemetry
 from repro.api import analyze, debug, record, replay, report, transform
+from repro.options import AnalyzeOptions, ReplayOptions, ReportOptions
 
 __version__ = "1.0.0"
 
@@ -73,6 +74,9 @@ __all__ = [
     "replay",
     "debug",
     "report",
+    "AnalyzeOptions",
+    "ReplayOptions",
+    "ReportOptions",
     "PerfPlay",
     "DebugReport",
     "Recorder",

@@ -11,9 +11,16 @@ package — the five stages of the PERFPLAY pipeline, one function each::
     report(trace)            -> str           # self-contained HTML debug report
 
 Everything else in the package is internal: it keeps working, but only
-these functions (plus :mod:`repro.telemetry`) are covered by the
-deprecation policy — renamed keyword arguments get a one-release
-``DeprecationWarning`` shim before removal.
+these functions (plus :mod:`repro.telemetry` and :mod:`repro.options`)
+are covered by the deprecation policy — renamed keyword arguments get a
+one-release ``DeprecationWarning`` shim before removal.
+
+``analyze``, ``replay`` and ``report`` take their configuration as one
+typed options object (:class:`repro.options.AnalyzeOptions`,
+:class:`~repro.options.ReplayOptions`, :class:`~repro.options.ReportOptions`)
+shared with the CLI and the ``repro serve`` wire API.  The pre-redesign
+bare keyword spellings (``api.analyze(trace, benign_detection=False)``)
+still work for one release behind a ``DeprecationWarning`` shim.
 
 Every entry point accepts an optional ``telemetry=`` sink
 (:class:`repro.telemetry.Telemetry`); when given, the call's spans and
@@ -38,34 +45,49 @@ from typing import Optional, Union
 from repro.analysis.pairs import PairAnalysis, analyze_pairs
 from repro.analysis.transform import TransformResult
 from repro.analysis.transform import transform as _transform_trace
+from repro.options import AnalyzeOptions, ReplayOptions, ReportOptions
 from repro.perfdebug.framework import DebugReport, PerfPlay
 from repro.record.recorder import RecordResult, Recorder
 from repro.replay.replayer import Replayer
 from repro.replay.results import ReplayResult, ReplaySeries
-from repro.replay.schemes import ALL_SCHEMES, ELSC_S
 from repro.telemetry import Telemetry, use_telemetry
 from repro.trace.trace import Trace
 from repro.workloads.base import Workload, get_workload
 
-__all__ = ["record", "analyze", "transform", "replay", "debug", "report"]
+__all__ = [
+    "record", "analyze", "transform", "replay", "debug", "report",
+    "AnalyzeOptions", "ReplayOptions", "ReportOptions",
+]
 
 TraceLike = Union[Trace, str, Path]
 
 
-def _shim_renamed_kwargs(func_name: str, kwargs: dict, renames: dict) -> None:
-    """Accept pre-redesign keyword spellings for one release, with a warning."""
-    for old, new in renames.items():
-        if old in kwargs:
-            if new in kwargs:
-                raise TypeError(
-                    f"{func_name}() got both {old!r} and its replacement {new!r}"
-                )
-            warnings.warn(
-                f"{func_name}(... {old}=) is deprecated; use {new}=",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            kwargs[new] = kwargs.pop(old)
+def _options_shim(func_name: str, cls, options, legacy: dict):
+    """Resolve the one-options-object signature against bare kwargs.
+
+    The redesigned entry points take a single typed options object; the
+    pre-redesign bare keyword spellings keep working for one release via
+    this shim (``DeprecationWarning``).  Mixing both is ambiguous and a
+    ``TypeError``; so is an unknown keyword (exactly as before the
+    redesign, when the signature itself would have rejected it).
+    """
+    if not legacy:
+        return options if options is not None else cls()
+    if options is not None:
+        raise TypeError(
+            f"{func_name}() got both options= and bare keyword arguments "
+            f"{sorted(legacy)}; pass one {cls.__name__}"
+        )
+    warnings.warn(
+        f"{func_name}(**kwargs) bare keyword options are deprecated; "
+        f"pass options={cls.__name__}(...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    try:
+        return cls.from_kwargs(legacy)
+    except TypeError as exc:
+        raise TypeError(f"{func_name}() {exc}") from None
 
 
 def _sink(telemetry: Optional[Telemetry]):
@@ -196,44 +218,49 @@ def _checkpointer_for(path: Union[str, Path], run_id: str, every: int):
 
 def analyze(
     trace: TraceLike,
+    options: Optional[AnalyzeOptions] = None,
     *,
-    benign_detection: bool = True,
-    stream: Union[bool, str] = "auto",
-    resume: Optional[str] = None,
-    checkpoint_every: int = 16,
-    jobs: int = 1,
     budget=None,
     telemetry: Optional[Telemetry] = None,
+    **legacy,
 ) -> PairAnalysis:
     """Identify and classify every same-lock pair in ``trace``.
 
     Returns the :class:`PairAnalysis` (sections, pairs, per-category
     breakdown, cached benign verdicts) that :func:`transform` can reuse.
 
-    ``stream`` selects the analysis path.  The default ``"auto"``
-    streams segment by segment — in memory bounded by one segment, not
-    the trace — when ``trace`` is a path to a segmented file (see
-    :mod:`repro.trace.segments`), and loads the whole trace otherwise.
-    ``stream=True`` requires a segmented file path (raises
-    :class:`~repro.errors.TraceError` for traces and monolithic files);
-    ``stream=False`` always loads fully.  Both paths produce identical
-    results.
+    ``options`` is an :class:`repro.options.AnalyzeOptions` — the same
+    object the CLI and the wire API build.  Its ``stream`` field selects
+    the analysis path: the default ``"auto"`` streams segment by segment
+    — in memory bounded by one segment, not the trace — when ``trace``
+    is a path to a segmented file (see :mod:`repro.trace.segments`), and
+    loads the whole trace otherwise.  ``stream=True`` requires a
+    segmented file path (raises :class:`~repro.errors.TraceError` for
+    traces and monolithic files); ``stream=False`` always loads fully.
+    Both paths produce identical results.
 
-    ``resume`` names a run id whose streaming scan checkpoints every
-    ``checkpoint_every`` segments; a killed analysis re-invoked with the
-    same id restarts from the last checkpoint instead of byte 0 (only
-    meaningful for segmented file paths).  ``jobs > 1`` fans the
-    streaming scan out over affinity-pinned worker processes (one
-    thread shard each) with results identical to a serial scan; it
-    needs the streaming path and is mutually exclusive with ``resume``
-    (a sharded scan is the fast path, not the resumable one).
+    ``options.resume`` names a run id whose streaming scan checkpoints
+    every ``options.checkpoint_every`` segments; a killed analysis
+    re-invoked with the same id restarts from the last checkpoint
+    instead of byte 0 (only meaningful for segmented file paths).
+    ``options.jobs > 1`` fans the streaming scan out over
+    affinity-pinned worker processes (one thread shard each) with
+    results identical to a serial scan; it needs the streaming path and
+    is mutually exclusive with ``resume`` (a sharded scan is the fast
+    path, not the resumable one).
+
     ``budget`` is an optional
     :class:`repro.runner.budget.RunBudget`: the call fails fast when the
     deadline has already passed, and memory pressure degrades a
     ``stream=False`` load of a segmented file back to the streaming path.
+
+    Bare keyword spellings (``benign_detection=``, ``stream=``, ...)
+    are deprecated; they keep working for one release via a
+    ``DeprecationWarning`` shim.
     """
     from repro.trace import segments as _segments
 
+    opts = _options_shim("analyze", AnalyzeOptions, options, legacy)
     with _call("analyze", telemetry):
         from repro import telemetry as _tel
         from repro.runner import budget as _budget_mod
@@ -244,7 +271,7 @@ def analyze(
             # a spent deadline fails fast; memory pressure, by contrast,
             # is recoverable — it degrades the load below instead
             budget.check()
-        want_stream = stream is not False
+        want_stream = opts.stream is not False
         if (
             not want_stream
             and budget is not None
@@ -262,17 +289,17 @@ def analyze(
                 from repro.analysis.streaming import analyze_segments
 
                 checkpoint = None
-                if resume is not None:
+                if opts.resume is not None:
                     checkpoint = _checkpointer_for(
-                        trace, resume, checkpoint_every
+                        trace, opts.resume, opts.checkpoint_every
                     )
                 return analyze_segments(
                     trace,
-                    benign_detection=benign_detection,
+                    benign_detection=opts.benign_detection,
                     checkpoint=checkpoint,
-                    jobs=jobs,
+                    jobs=opts.jobs,
                 )
-        if jobs > 1:
+        if opts.jobs > 1:
             from repro.errors import TraceError
 
             raise TraceError(
@@ -280,7 +307,7 @@ def analyze(
                 "needs a path to a segmented trace file (write one with "
                 "repro.trace.segments.write_segmented or `repro convert`)"
             )
-        if stream is True:
+        if opts.stream is True:
             from repro.errors import TraceError
 
             raise TraceError(
@@ -288,7 +315,7 @@ def analyze(
                 "file (write one with repro.trace.segments.write_segmented "
                 "or `repro convert`)"
             )
-        if resume is not None:
+        if opts.resume is not None:
             from repro.errors import TraceError
 
             raise TraceError(
@@ -297,7 +324,7 @@ def analyze(
                 "segment boundaries to checkpoint at"
             )
         return analyze_pairs(
-            _coerce_trace(trace), benign_detection=benign_detection
+            _coerce_trace(trace), benign_detection=opts.benign_detection
         )
 
 
@@ -350,20 +377,15 @@ def _journal_for(run_id: str, spec: dict):
 
 def replay(
     trace: TraceLike,
+    options: Optional[ReplayOptions] = None,
     *,
-    scheme: str = ELSC_S,
-    runs: int = 1,
-    seed: Optional[int] = None,
-    jitter: float = 0.02,
-    jobs: int = 1,
-    timeline: bool = False,
-    resume: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
-    **deprecated,
+    **legacy,
 ) -> Union[ReplayResult, ReplaySeries]:
-    """Replay ``trace`` under ``scheme`` (one of ``ALL_SCHEMES``).
+    """Replay ``trace`` under ``options.scheme`` (one of ``ALL_SCHEMES``).
 
-    With ``runs=1`` (the default) returns a single :class:`ReplayResult`;
+    ``options`` is a :class:`repro.options.ReplayOptions`.  With
+    ``runs=1`` (the default) returns a single :class:`ReplayResult`;
     with ``runs>1`` returns a :class:`ReplaySeries` of seeded runs
     (``seed``, ``seed+1``, ...; default seed 0), fanned over ``jobs``
     worker processes — parallel output is identical to serial.
@@ -376,42 +398,44 @@ def replay(
     lands, and re-invoking with the same id skips runs the journal
     already holds — the series is identical to an uninterrupted call.
     Needs ``runs>1`` and an active cache.
+
+    Bare keyword spellings (``scheme=``, ``runs=``, ``seed=``, ...) are
+    deprecated; they keep working for one release via a
+    ``DeprecationWarning`` shim.  The pre-redesign ``base_seed=``
+    spelling (deprecated since the facade's introduction) is retired —
+    it now raises ``TypeError`` like any other unknown keyword.
     """
-    if seed is not None:
-        deprecated["seed"] = seed
-    _shim_renamed_kwargs("replay", deprecated, {"base_seed": "seed"})
-    seed = deprecated.pop("seed", 0)
-    if deprecated:
-        raise TypeError(
-            f"replay() got unexpected keyword arguments {sorted(deprecated)}"
-        )
-    if scheme not in ALL_SCHEMES:
-        raise ValueError(f"unknown scheme {scheme!r} (expected one of {ALL_SCHEMES})")
+    opts = _options_shim("replay", ReplayOptions, options, legacy)
+    opts.validate()
     with _call("replay", telemetry):
         loaded = _coerce_trace(trace)
-        replayer = Replayer(jitter=jitter)
-        if runs <= 1:
-            if resume is not None:
+        replayer = Replayer(jitter=opts.jitter)
+        if opts.runs <= 1:
+            if opts.resume is not None:
                 raise ValueError(
                     "replay(resume=...) needs runs>1; a single replay has "
                     "no per-run progress to journal"
                 )
             return replayer.replay(
-                loaded, scheme=scheme, seed=seed, timeline=timeline
+                loaded, scheme=opts.scheme, seed=opts.seed,
+                timeline=opts.timeline,
             )
-        if resume is not None:
+        if opts.resume is not None:
             from repro.runner.journal import use_journal
 
             spec = {
-                "api": "replay", "scheme": scheme, "runs": runs,
-                "seed": seed, "jitter": jitter,
+                "api": "replay", "scheme": opts.scheme, "runs": opts.runs,
+                "seed": opts.seed, "jitter": opts.jitter,
             }
-            with _journal_for(resume, spec) as journal, use_journal(journal):
+            with _journal_for(opts.resume, spec) as journal, \
+                    use_journal(journal):
                 return replayer.replay_many(
-                    loaded, scheme=scheme, runs=runs, seed=seed, jobs=jobs
+                    loaded, scheme=opts.scheme, runs=opts.runs,
+                    seed=opts.seed, jobs=opts.jobs,
                 )
         return replayer.replay_many(
-            loaded, scheme=scheme, runs=runs, seed=seed, jobs=jobs
+            loaded, scheme=opts.scheme, runs=opts.runs, seed=opts.seed,
+            jobs=opts.jobs,
         )
 
 
@@ -463,16 +487,11 @@ def debug(
 def report(
     trace,
     transformed: Optional[TraceLike] = None,
+    options: Optional[ReportOptions] = None,
     *,
     output: Optional[Union[str, Path]] = None,
-    threads: int = 2,
-    input_size: str = "simlarge",
-    scale: float = 1.0,
-    seed: int = 0,
-    benign_detection: bool = True,
-    order_edges: bool = True,
     telemetry: Optional[Telemetry] = None,
-    **workload_kwargs,
+    **legacy,
 ) -> str:
     """Render the full debugging session as one self-contained HTML file.
 
@@ -480,6 +499,8 @@ def report(
     workload name, program pairs).  The pipeline runs with jitter 0 and
     live timeline collection, so the report's waterfalls show the exact
     replayed schedules and reconcile with the machine accounting.
+    ``options`` is a :class:`repro.options.ReportOptions` (workload
+    parameters for workload-name inputs, analysis knobs for both).
 
     ``transformed`` optionally supplies an already-saved ULCP-free trace
     (e.g. the output of ``repro transform``) to render as the right-hand
@@ -488,24 +509,39 @@ def report(
     Returns the HTML text; ``output`` additionally writes it to a file.
     The document is byte-deterministic for a fixed input trace: repeated
     runs (and ``--jobs`` variations upstream) produce identical bytes.
+
+    Bare keyword spellings (``threads=``, ``seed=``, extra workload
+    keyword arguments, ...) are deprecated; they keep working for one
+    release via a ``DeprecationWarning`` shim (unknown names fold into
+    ``ReportOptions.workload_kwargs``).
     """
+    from dataclasses import fields as _fields
+
     from repro.perfdebug.report import render_html_report
     from repro.telemetry import to_dict
     from repro.timeline.build import build_timeline
 
+    if legacy:
+        # split bare kwargs into ReportOptions fields and workload
+        # passthrough arguments before the common shim
+        known = {f.name for f in _fields(ReportOptions)}
+        extra = {k: legacy.pop(k) for k in list(legacy) if k not in known}
+        if extra:
+            legacy.setdefault("workload_kwargs", extra)
+    opts = _options_shim("report", ReportOptions, options, legacy)
     sink = telemetry if telemetry is not None else Telemetry()
     with _call("report", sink):
         session = debug(
             trace,
-            threads=threads,
-            input_size=input_size,
-            scale=scale,
-            seed=seed,
+            threads=opts.threads,
+            input_size=opts.input_size,
+            scale=opts.scale,
+            seed=opts.seed,
             jitter=0.0,
-            benign_detection=benign_detection,
-            order_edges=order_edges,
+            benign_detection=opts.benign_detection,
+            order_edges=opts.order_edges,
             timeline=True,
-            **workload_kwargs,
+            **opts.workload_kwargs,
         )
         original_timeline, free_timeline = session.timelines()
         if transformed is not None:

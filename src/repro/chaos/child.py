@@ -132,13 +132,13 @@ def op_journal(root: Path) -> None:
 
 def op_analyze(root: Path) -> None:
     from repro import api, telemetry
+    from repro.options import AnalyzeOptions
     from repro.telemetry import to_dict
 
     sink = telemetry.Telemetry()
     analysis = api.analyze(
         root / "input.seg.jsonl.gz",
-        resume=RUN_ID,
-        checkpoint_every=CHECKPOINT_EVERY,
+        AnalyzeOptions(resume=RUN_ID, checkpoint_every=CHECKPOINT_EVERY),
         telemetry=sink,
     )
     (root / "out.analysis.json").write_text(

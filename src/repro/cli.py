@@ -66,6 +66,24 @@ Commands
     salvaged).
 ``telemetry FILE [--format json|prom|summary]``
     Render a saved ``TELEMETRY.json`` artifact.
+``serve [--port P] [--workers N] [--cache-dir DIR]``
+    Run the multi-tenant HTTP analysis service: ``POST
+    /v1/analyze|transform|report|timeline`` (sync or ``mode=async`` with
+    ``GET /v1/jobs/<id>`` polling), Prometheus metrics at ``/metrics``.
+    Identical concurrent requests share one computation; failures come
+    back as the structured v1 error envelope.  See ``docs/SERVICE.md``.
+``loadtest [--url URL] [--clients N] [--seed S]``
+    Seeded synthetic load (mixed trace sizes, configurable read/compute
+    mix) against a running server — or an in-process one with no
+    ``--url`` — publishing p50/p99 latency and throughput as
+    ``BENCH_serve.json``.  ``--fail-on-errors`` / ``--max-p99-ms`` turn
+    it into the CI smoke gate.
+
+Commands printing ``--format json`` output emit the same versioned v1
+envelope the HTTP service speaks — ``{"v": 1, "ok": true, "result":
+...}`` — built by the same code, so local and served output are
+byte-identical for the same input.  Errors print as ``error: [<code>]
+<message>`` with the envelope's stable code.
 
 Every command that reads a TRACE file accepts ``--salvage`` to recover
 the longest well-formed prefix of a damaged file instead of failing
@@ -99,6 +117,7 @@ import json
 import sys
 
 from repro import api, log, telemetry
+from repro.options import AnalyzeOptions, ReplayOptions, ReportOptions
 from repro.perfdebug.framework import PerfPlay
 from repro.replay.schemes import ALL_SCHEMES, ELSC_S
 from repro.trace import serialize
@@ -214,6 +233,18 @@ def _load_trace(path, args):
     return loaded.trace
 
 
+def _emit_json(result) -> None:
+    """Print a v1 success envelope (the CLI's ``--format json`` contract).
+
+    The body is built by the same :mod:`repro.serve.protocol` result
+    builders and canonical encoder the HTTP service uses, so local JSON
+    output is byte-identical to the server's response for the same input.
+    """
+    from repro.serve import protocol
+
+    print(protocol.wire_dumps(protocol.ok_envelope(result)), end="")
+
+
 def _workload_from(args):
     return get_workload(
         args.workload,
@@ -278,10 +309,10 @@ def cmd_convert(args) -> int:
 
 def cmd_replay(args) -> int:
     trace = _load_trace(args.trace, args)
-    result = api.replay(
-        trace, scheme=args.scheme, runs=args.runs, seed=args.seed,
+    result = api.replay(trace, ReplayOptions(
+        scheme=args.scheme, runs=args.runs, seed=args.seed,
         jitter=args.jitter, jobs=args.jobs,
-    )
+    ))
     if args.runs <= 1:  # a single run comes back as one ReplayResult
         from repro.replay.results import ReplaySeries
 
@@ -304,11 +335,11 @@ def cmd_analyze(args) -> int:
               "pick one", file=sys.stderr)
         return EXIT_USAGE
     if _want_stream(args.trace, args):
-        analysis = api.analyze(
-            args.trace, benign_detection=not args.no_benign, stream=True,
+        analysis = api.analyze(args.trace, AnalyzeOptions(
+            benign_detection=not args.no_benign, stream=True,
             resume=args.resume, checkpoint_every=args.checkpoint_every,
             jobs=args.jobs,
-        )
+        ))
     else:
         if args.resume is not None:
             print("error: --resume needs a segmented trace file and the "
@@ -319,24 +350,14 @@ def cmd_analyze(args) -> int:
                   "streaming path (see 'repro convert')", file=sys.stderr)
             return EXIT_USAGE
         trace = _load_trace(args.trace, args)
-        analysis = api.analyze(
-            trace, benign_detection=not args.no_benign, stream=False
-        )
+        analysis = api.analyze(trace, AnalyzeOptions(
+            benign_detection=not args.no_benign, stream=False
+        ))
     breakdown = analysis.breakdown
     if args.format == "json":
-        print(json.dumps({
-            "events": analysis.events,
-            "sections": len(analysis.sections),
-            "pairs": len(analysis.pairs),
-            "ulcps": len(analysis.ulcps),
-            "breakdown": {
-                "null_lock": breakdown.null_lock,
-                "read_read": breakdown.read_read,
-                "disjoint_write": breakdown.disjoint_write,
-                "benign": breakdown.benign,
-                "tlcp": breakdown.tlcp,
-            },
-        }, indent=2, sort_keys=True))
+        from repro.serve import protocol
+
+        _emit_json(protocol.analyze_result(analysis))
         return 0
     print(f"events            : {analysis.events}")
     print(f"critical sections : {len(analysis.sections)}")
@@ -402,16 +423,9 @@ def cmd_profile(args) -> int:
             replay=not args.no_replay,
         )
     if args.format == "json":
-        print(json.dumps({
-            "stages": [
-                {"name": s.name, "seconds": s.seconds, "detail": s.detail}
-                for s in report.stages
-            ],
-            "total_seconds": report.total_seconds,
-            "events": report.events,
-            "sections": report.sections,
-            "pairs": report.pairs,
-        }, indent=2, sort_keys=True))
+        from repro.serve import protocol
+
+        _emit_json(protocol.profile_result(report))
         return 0
     print(report.render())
     return 0
@@ -479,11 +493,13 @@ def cmd_report(args) -> int:
     html_text = api.report(
         source,
         transformed,
+        ReportOptions(
+            threads=args.threads,
+            input_size=args.input_size,
+            scale=args.scale,
+            seed=args.seed,
+        ),
         output=args.output,
-        threads=args.threads,
-        input_size=args.input_size,
-        scale=args.scale,
-        seed=args.seed,
         telemetry=telemetry.active(),
     )
     print(f"report -> {args.output} ({len(html_text)} bytes)", file=sys.stderr)
@@ -502,26 +518,9 @@ def cmd_stats(args) -> int:
         trace = _load_trace(args.trace, args)
         stats = trace_stats(trace)
     if args.format == "json":
-        print(json.dumps({
-            "events": stats.total_events,
-            "end_time": stats.end_time,
-            "locks": stats.locks,
-            "shared_addresses": stats.shared_addresses,
-            "contention_rate": stats.contention_rate,
-            "kinds": dict(stats.kinds),
-            "threads": {
-                tid: {
-                    "events": t.events,
-                    "compute_ns": t.compute_ns,
-                    "acquisitions": t.acquisitions,
-                    "contended": t.contended,
-                    "wait_ns": t.wait_ns,
-                    "reads": t.reads,
-                    "writes": t.writes,
-                }
-                for tid, t in stats.threads.items()
-            },
-        }, indent=2, sort_keys=True))
+        from repro.serve import protocol
+
+        _emit_json(protocol.stats_result(stats))
         return 0
     print(stats.render())
     return 0
@@ -547,19 +546,9 @@ def cmd_locks(args) -> int:
     trace = _load_trace(args.trace, args)
     profiles = profile_locks(trace)
     if args.format == "json":
-        print(json.dumps([
-            {
-                "lock": p.lock,
-                "acquisitions": p.acquisitions,
-                "contended": p.contended,
-                "contention_rate": p.contention_rate,
-                "total_wait_ns": p.total_wait_ns,
-                "total_hold_ns": p.total_hold_ns,
-                "max_wait_ns": p.max_wait_ns,
-                "threads": sorted(p.threads),
-            }
-            for p in profiles[: args.limit]
-        ], indent=2, sort_keys=True))
+        from repro.serve import protocol
+
+        _emit_json(protocol.locks_result(profiles, limit=args.limit))
         return 0
     print(render_lock_profiles(profiles, limit=args.limit))
     return 0
@@ -828,6 +817,83 @@ def cmd_sensitivity(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import contextlib
+
+    from repro.runner import ExecPolicy, cache
+    from repro.serve.server import serve
+
+    policy = ExecPolicy(
+        timeout=args.task_timeout, retries=args.retries, partial=True
+    )
+    cache_ctx = (
+        cache.use_cache(args.cache_dir) if args.cache_dir
+        else contextlib.nullcontext()
+    )
+    with cache_ctx:
+        server = serve(
+            host=args.host,
+            port=args.port,
+            policy=policy,
+            max_workers=args.workers,
+            keep_jobs=args.keep_jobs,
+            max_body_mb=args.max_body_mb,
+            sync_timeout=args.sync_timeout,
+            spool_dir=args.spool_dir,
+        )
+        print(f"repro serve: listening on {server.url} "
+              f"(workers={args.workers}, ctrl-c to stop)", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("repro serve: shutting down", file=sys.stderr)
+        finally:
+            server.close()
+    return EXIT_OK
+
+
+def cmd_loadtest(args) -> int:
+    from repro.serve.loadtest import run_loadtest
+
+    report = run_loadtest(
+        args.url,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        read_mix=args.read_mix,
+        sizes=tuple(args.sizes),
+        timeout=args.timeout,
+        tenants=args.tenants,
+        out=args.output,
+    )
+    overall = report.latency_ms.get("all", {})
+    print(f"clients           : {report.clients}")
+    print(f"requests          : {report.requests}")
+    print(f"wall time         : {report.wall_seconds:.2f} s")
+    print(f"throughput        : {report.throughput_rps:.1f} req/s")
+    print(f"latency p50/p99   : {overall.get('p50_ms', 0)} / "
+          f"{overall.get('p99_ms', 0)} ms")
+    print(f"dedup             : {report.dedup or '{}'}")
+    print(f"error envelopes   : {report.error_envelopes}")
+    print(f"transport errors  : {report.transport_errors}")
+    if args.output:
+        print(f"report -> {args.output}", file=sys.stderr)
+    if report.transport_errors:
+        print(f"error: {report.transport_errors} request(s) lost at the "
+              "transport layer", file=sys.stderr)
+        return EXIT_ERROR
+    if args.fail_on_errors and report.error_envelopes:
+        print(f"error: {report.error_envelopes} structured error "
+              "envelope(s) received (gate: 0)", file=sys.stderr)
+        return EXIT_ERROR
+    if args.max_p99_ms is not None and overall \
+            and overall["p99_ms"] > args.max_p99_ms:
+        print(f"error: overall p99 {overall['p99_ms']} ms exceeds the "
+              f"--max-p99-ms gate of {args.max_p99_ms} ms", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1066,6 +1132,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="a TELEMETRY.json written by --telemetry")
     _add_format_option(p, choices=telemetry.EXPORT_FORMATS, default="summary")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP analysis service (v1 wire API)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: %(default)s)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="bind port, 0 = any free port (default: %(default)s)")
+    p.add_argument("--workers", type=int, default=16,
+                   help="job-manager worker threads (default: %(default)s)")
+    p.add_argument("--keep-jobs", type=int, default=512, metavar="N",
+                   help="finished jobs retained for polling "
+                        "(default: %(default)s)")
+    p.add_argument("--max-body-mb", type=float, default=64.0, metavar="MB",
+                   help="largest accepted request body (default: %(default)s)")
+    p.add_argument("--sync-timeout", type=float, default=600.0,
+                   metavar="SECONDS",
+                   help="longest a sync request waits for its job "
+                        "(default: %(default)s)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job compute budget (quarantined past it)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retry budget for crashed/faulted jobs "
+                        "(default: %(default)s)")
+    p.add_argument("--cache-dir", default=None,
+                   help="back responses with the on-disk cache so a "
+                        "restarted server answers repeats from disk")
+    p.add_argument("--spool-dir", default=None,
+                   help="directory for uploaded traces (default: a "
+                        "temporary directory)")
+
+    p = sub.add_parser(
+        "loadtest",
+        help="seeded synthetic load against the service; writes "
+             "BENCH_serve.json",
+    )
+    p.add_argument("--url", default=None,
+                   help="server base URL (default: start an in-process "
+                        "server on an ephemeral port)")
+    p.add_argument("--clients", type=int, default=32,
+                   help="concurrent clients (default: %(default)s)")
+    p.add_argument("--requests", type=int, default=6, metavar="N",
+                   help="requests per client (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the per-client op mix (default: 0)")
+    p.add_argument("--read-mix", type=float, default=0.5, metavar="FRACTION",
+                   help="fraction of read (health/metrics/poll) requests "
+                        "(default: %(default)s)")
+    p.add_argument("--sizes", nargs="+",
+                   default=["small", "medium", "large"],
+                   choices=("small", "medium", "large"),
+                   help="trace sizes in the upload corpus")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request client timeout (default: %(default)s)")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="distinct X-Repro-Tenant values (default: %(default)s)")
+    p.add_argument("-o", "--output", default="BENCH_serve.json",
+                   help="report file (default: %(default)s)")
+    p.add_argument("--fail-on-errors", action="store_true",
+                   help="exit 1 if any structured error envelope comes back "
+                        "(the CI smoke gate)")
+    p.add_argument("--max-p99-ms", type=float, default=None, metavar="MS",
+                   help="exit 1 if overall p99 latency exceeds this")
+
     p = sub.add_parser("faults",
                        help="fault-injection sites and the recovery demo")
     p.add_argument("action", choices=("list", "demo"))
@@ -1103,6 +1234,8 @@ COMMANDS = {
     "cache": cmd_cache,
     "sensitivity": cmd_sensitivity,
     "faults": cmd_faults,
+    "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
 }
 
 
@@ -1149,9 +1282,9 @@ def main(argv=None) -> int:
         print(f"interrupted: {note}", file=sys.stderr)
         return EXIT_INTERRUPTED
     except ReproError as exc:
-        # the whole taxonomy renders as one clean line: TraceError,
-        # DeadlockError, FaultInjected, TaskTimeoutError, TaskCrashError, ...
-        print(f"error: {exc}", file=sys.stderr)
+        # the whole taxonomy renders as one clean line carrying the same
+        # stable machine-readable code the HTTP error envelope uses
+        print(f"error: [{exc.code}] {exc}", file=sys.stderr)
         return EXIT_ERROR
     except FileNotFoundError as exc:
         print(f"error: {exc.strerror}: {exc.filename}", file=sys.stderr)

@@ -1,16 +1,31 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package.
+
+Every :class:`ReproError` subclass carries a stable, machine-readable
+``code`` string.  Codes are part of the wire contract: the v1 error
+envelope (:mod:`repro.serve.protocol`) and the CLI's one-line error
+rendering (``error: [<code>] <message>``) both use them, so they must
+never change meaning once released.  New subclasses must assign a new
+code; reusing a code for a different failure class is a breaking change.
+"""
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
+    #: stable machine-readable identifier, overridden by every subclass
+    code = "repro.error"
+
 
 class SimulationError(ReproError):
     """The discrete-event machine reached an invalid state."""
 
+    code = "sim.invalid"
+
 
 class DeadlockError(SimulationError):
     """No thread can make progress but some threads are not finished."""
+
+    code = "sim.deadlock"
 
     def __init__(self, blocked_threads, now):
         self.blocked_threads = list(blocked_threads)
@@ -22,21 +37,42 @@ class DeadlockError(SimulationError):
 class TraceError(ReproError):
     """A trace is malformed or violates well-formedness invariants."""
 
+    code = "trace.invalid"
+
 
 class TransformError(ReproError):
     """ULCP transformation could not be applied to a trace."""
+
+    code = "transform.failed"
 
 
 class ReplayError(ReproError):
     """A replay diverged from the trace or its enforcement scheme."""
 
+    code = "replay.diverged"
+
 
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
 
+    code = "workload.invalid"
+
+
+class OptionsError(ReproError, ValueError):
+    """An options object (or its wire/kwargs form) is invalid.
+
+    Also a :class:`ValueError`: the pre-redesign facade rejected bad
+    values (e.g. an unknown replay scheme) with ``ValueError``, and the
+    typed options objects keep that contract.
+    """
+
+    code = "options.invalid"
+
 
 class FaultInjected(ReproError):
     """A deterministic fault-injection site fired (``repro.faults``)."""
+
+    code = "fault.injected"
 
     def __init__(self, site, key=None, note=""):
         self.site = site
@@ -57,6 +93,8 @@ class RunInterrupted(ReproError):
     telemetry are flushed.  The CLI maps it to exit code 130.
     """
 
+    code = "run.interrupted"
+
     def __init__(self, message="run interrupted", run_id=None):
         self.run_id = run_id
         if run_id:
@@ -71,20 +109,51 @@ class TaskError(ReproError):
     :class:`~repro.runner.pool.TaskFailure` record as ``.failure``.
     """
 
+    code = "task.failed"
     failure = None
 
 
 class TaskTimeoutError(TaskError):
     """A task exceeded its per-attempt timeout and was terminated."""
 
+    code = "task.timeout"
+
 
 class TaskCrashError(TaskError):
     """A worker process died (non-zero exit) while running a task."""
+
+    code = "task.crash"
 
 
 class BudgetExceededError(TaskError):
     """A :class:`~repro.runner.budget.RunBudget` limit stopped the run."""
 
+    code = "budget.exceeded"
+
+
+class RequestError(ReproError):
+    """A service request is malformed (bad route, body, or options).
+
+    Raised by :mod:`repro.serve`; maps to HTTP 400 unless a subclass
+    narrows it.
+    """
+
+    code = "request.invalid"
+
+
+class NotFoundError(RequestError):
+    """The requested resource (route, job id) does not exist (HTTP 404)."""
+
+    code = "request.not_found"
+
+
+class PayloadTooLarge(RequestError):
+    """The uploaded request body exceeds the server's limit (HTTP 413)."""
+
+    code = "request.too_large"
+
 
 class SalvageWarning(ReproError, Warning):
     """A trace was loaded in salvage mode and some content was dropped."""
+
+    code = "trace.salvaged"

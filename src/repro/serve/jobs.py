@@ -1,0 +1,224 @@
+"""Content-addressed job manager: dedup, supervision, async polling.
+
+Every service request resolves to a *job key* — a
+:func:`repro.runner.keys.cache_key` over the endpoint, the request's
+content (trace digest or workload spec) and its options, folding in the
+package's code version exactly like the batch cache.  The manager keeps
+one :class:`Job` per key:
+
+* a request whose key matches a **running** job attaches to it instead
+  of computing again (``serve.dedup.inflight``) — this is what makes
+  concurrent identical submissions compute once;
+* a request whose key matches a **finished, still-retained** job gets
+  the stored response bytes back immediately (``serve.dedup.done``);
+* otherwise the computation is submitted to the worker thread pool and
+  runs under the supervised executor
+  (:func:`repro.runner.pool.parallel_map` with the server's
+  :class:`~repro.runner.pool.ExecPolicy`, ``partial=True``), so
+  injected faults, worker hangs and crashes surface as quarantined
+  :class:`~repro.runner.pool.TaskFailure` records — which the manager
+  maps to the structured error envelope, never to a lost request.
+
+Job ids are derived from the key (``<endpoint>-<key prefix>``), so they
+are stable across identical submissions: polling ``/v1/jobs/<id>`` for
+a deduplicated request finds the shared job.  Finished jobs are
+retained FIFO up to ``keep`` entries for async pollers.
+
+Determinism note: replay-based analysis is deterministic per content
+key, so handing one job's result to many tenants is safe — the dedup
+can never leak one request's data into a different request's answer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Tuple
+
+from repro import log, telemetry
+from repro.runner.pool import ExecPolicy, TaskFailure, parallel_map
+from repro.serve import protocol
+
+__all__ = ["Job", "JobResult", "JobManager"]
+
+_log = log.get_logger("serve.jobs")
+
+
+@dataclasses.dataclass
+class JobResult:
+    """What one finished job hands back to the HTTP layer.
+
+    ``envelope`` is always set (the v1 success or error envelope);
+    ``blob``/``content_type`` carry the artifact body for blob
+    endpoints (transform's trace, report's HTML, timeline's JSON).
+    """
+
+    envelope: dict
+    blob: Optional[bytes] = None
+    content_type: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.envelope.get("ok"))
+
+
+class Job:
+    """One content-addressed computation and its completion latch."""
+
+    __slots__ = ("id", "key", "kind", "tenant", "seq", "_done", "result")
+
+    def __init__(self, job_id: str, key: str, kind: str, tenant: str, seq: int):
+        self.id = job_id
+        self.key = key
+        self.kind = kind
+        self.tenant = tenant
+        self.seq = seq
+        self._done = threading.Event()
+        self.result: Optional[JobResult] = None
+
+    @property
+    def state(self) -> str:
+        return "done" if self._done.is_set() else "running"
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; False on timeout."""
+        return self._done.wait(timeout)
+
+    def finish(self, result: JobResult) -> None:
+        self.result = result
+        self._done.set()
+
+    def status(self) -> dict:
+        """The ``/v1/jobs/<id>`` status object (state + links)."""
+        status = {
+            "job": self.id,
+            "kind": self.kind,
+            "state": self.state,
+        }
+        if self.state == "done" and self.result is not None:
+            status["ok"] = self.result.ok
+            if self.result.blob is not None:
+                status["artifact"] = f"/v1/jobs/{self.id}/artifact"
+        return status
+
+
+def _run_supervised(compute: Callable[[], JobResult],
+                    policy: ExecPolicy) -> JobResult:
+    """One computation under the supervised executor's failure contract.
+
+    ``partial=True`` is forced: a failed task must come back as a
+    quarantined :class:`TaskFailure` (-> structured error envelope), not
+    abort the serving thread.  Retries/timeouts follow the policy.
+    """
+    policy = dataclasses.replace(policy, partial=True)
+    outcome = parallel_map(lambda thunk: thunk(), [compute], policy=policy)[0]
+    if isinstance(outcome, TaskFailure):
+        telemetry.count("serve.quarantined")
+        _log.warning(
+            "job quarantined: %s", outcome.message,
+            extra={"event": "serve.quarantine", "kind": outcome.kind},
+        )
+        return JobResult(envelope=protocol.envelope_from_failure(outcome))
+    return outcome
+
+
+class JobManager:
+    """Deduplicating executor over a bounded worker thread pool."""
+
+    def __init__(
+        self,
+        *,
+        policy: Optional[ExecPolicy] = None,
+        max_workers: int = 16,
+        keep: int = 512,
+    ):
+        self.policy = policy or ExecPolicy()
+        self.keep = keep
+        self._lock = threading.Lock()
+        self._running: dict = {}          # key -> Job
+        self._finished: OrderedDict = OrderedDict()  # key -> Job (FIFO cap)
+        self._by_id: dict = {}            # job id -> Job
+        self._seq = itertools.count()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        #: computations actually executed (dedup hits do not increment)
+        self.computed = 0
+
+    # ------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        kind: str,
+        key: str,
+        compute: Callable[[], JobResult],
+        *,
+        tenant: str = "",
+    ) -> Tuple[Job, str]:
+        """Attach to (or start) the job for ``key``.
+
+        Returns ``(job, dedup)`` where dedup is ``"miss"`` (started a
+        computation), ``"inflight"`` (attached to a running job) or
+        ``"done"`` (served from a retained finished job).
+        """
+        with self._lock:
+            job = self._running.get(key)
+            if job is not None:
+                telemetry.count("serve.dedup.inflight")
+                return job, "inflight"
+            job = self._finished.get(key)
+            if job is not None:
+                telemetry.count("serve.dedup.done")
+                return job, "done"
+            job = Job(self._job_id(kind, key), key, kind,
+                      tenant, next(self._seq))
+            self._running[key] = job
+            self._by_id[job.id] = job
+            telemetry.count("serve.jobs")
+            self.computed += 1
+        telemetry.count("serve.computed")
+        self._pool.submit(self._run, job, compute)
+        return job, "miss"
+
+    @staticmethod
+    def _job_id(kind: str, key: str) -> str:
+        # derived from the content key: identical requests share the id,
+        # so a deduplicated submitter can poll the same /v1/jobs/<id>
+        return f"{kind}-{key[:16]}"
+
+    def _run(self, job: Job, compute: Callable[[], JobResult]) -> None:
+        try:
+            result = _run_supervised(compute, self.policy)
+        except BaseException as exc:  # a bug, not a task failure
+            _log.error(
+                "job %s internal failure: %s", job.id, exc,
+                extra={"event": "serve.internal", "job": job.id},
+            )
+            result = JobResult(envelope=protocol.envelope_from_exception(exc))
+        job.finish(result)
+        with self._lock:
+            self._running.pop(job.key, None)
+            self._finished[job.key] = job
+            while len(self._finished) > self.keep:
+                _, evicted = self._finished.popitem(last=False)
+                self._by_id.pop(evicted.id, None)
+
+    # -------------------------------------------------------------- reads
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._by_id.get(job_id)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "running": len(self._running),
+                "finished": len(self._finished),
+                "computed": self.computed,
+            }
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,441 @@
+"""Seeded synthetic load generator for the service: ``repro loadtest``.
+
+Drives a running (or in-process) :class:`~repro.serve.server.ReproServer`
+with N concurrent clients issuing a seeded, reproducible mix of
+
+* **read** requests — ``GET /v1/health``, ``GET /metrics``, job polls —
+  cheap, exercise the routing and telemetry path; and
+* **compute** requests — trace uploads and workload-spec submissions to
+  ``POST /v1/analyze`` / ``/v1/transform`` / ``/v1/timeline``, sync and
+  async — exercise the job manager, the dedup and the supervised pool.
+
+The upload corpus is recorded locally at startup (mixed trace sizes:
+a few KB to a few hundred KB, from the registered workload models) so
+the run needs nothing but the server address.  Per-client RNGs are
+seeded from the run seed, so the *request sequence* is reproducible
+even though latencies are not.
+
+The result is a :class:`LoadTestReport` — p50/p90/p99 latency per
+operation class, throughput, per-status and per-dedup-outcome counters,
+and the count of structured error envelopes received (the CI smoke gate
+requires zero with a clean mix) — published as ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import io
+import json
+import random
+import threading
+import time
+import urllib.parse
+from typing import Dict, List, Optional, Tuple
+
+from repro import log
+
+__all__ = ["LoadTestReport", "run_loadtest", "build_corpus"]
+
+_log = log.get_logger("serve.loadtest")
+
+#: size label -> (workload name, record parameters); scales span ~3 KB
+#: (blackscholes small) to ~300 KB (mysql) of JSONL trace text
+_CORPUS_SPECS = {
+    "small": ("blackscholes", {"threads": 2, "scale": 0.2}),
+    "medium": ("mixed-bag", {"threads": 2, "scale": 1.0}),
+    "large": ("mysql", {"threads": 4, "scale": 1.0}),
+}
+
+
+@dataclasses.dataclass
+class _CorpusTrace:
+    size: str
+    workload: str
+    body: bytes
+
+
+def build_corpus(sizes=("small", "medium", "large"), seed: int = 0):
+    """Record the upload corpus locally (one trace per size label)."""
+    from repro import api
+    from repro.trace import serialize
+
+    corpus = []
+    for size in sizes:
+        name, kwargs = _CORPUS_SPECS[size]
+        trace = api.record(name, seed=seed, **kwargs)
+        out = io.StringIO()
+        serialize.write_trace(trace, out)
+        corpus.append(_CorpusTrace(size, name, out.getvalue().encode("utf-8")))
+    return corpus
+
+
+# -------------------------------------------------------------- the client
+
+
+class _Client:
+    """One keep-alive HTTP/1.1 connection with a single reconnect retry."""
+
+    def __init__(self, base_url: str, timeout: float):
+        parsed = urllib.parse.urlsplit(base_url)
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self.conn = None
+
+    def _connect(self):
+        self.conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def request(self, method: str, path: str, body: Optional[bytes] = None,
+                headers: Optional[dict] = None) -> Tuple[int, dict, bytes]:
+        for attempt in (0, 1):
+            if self.conn is None:
+                self._connect()
+            try:
+                self.conn.request(method, path, body=body,
+                                  headers=headers or {})
+                response = self.conn.getresponse()
+                payload = response.read()
+                return response.status, dict(response.getheaders()), payload
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # stale keep-alive connection: reconnect once, then give up
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def close(self):
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            finally:
+                self.conn = None
+
+
+@dataclasses.dataclass
+class _Sample:
+    op: str
+    status: int
+    ms: float
+    dedup: str = ""
+    error_code: str = ""
+
+
+class _Worker:
+    """One synthetic client: seeded op mix over a shared corpus."""
+
+    def __init__(self, index: int, base_url: str, corpus, *, seed: int,
+                 requests: int, read_mix: float, timeout: float,
+                 tenants: int):
+        self.rng = random.Random(seed * 100_003 + index * 7919)
+        self.client = _Client(base_url, timeout)
+        self.corpus = corpus
+        self.requests = requests
+        self.read_mix = read_mix
+        self.tenant = f"tenant-{index % max(tenants, 1)}"
+        self.samples: List[_Sample] = []
+        self.transport_errors = 0
+        self.job_ids: List[str] = []
+
+    # each op issues HTTP round-trip(s) and records exactly one sample
+
+    def run(self) -> None:
+        try:
+            for _ in range(self.requests):
+                op = self._pick_op()
+                started = time.perf_counter()
+                try:
+                    status, headers, body = op[1]()
+                except Exception:
+                    self.transport_errors += 1
+                    continue
+                ms = (time.perf_counter() - started) * 1000.0
+                self.samples.append(_Sample(
+                    op=op[0],
+                    status=status,
+                    ms=ms,
+                    dedup=headers.get("X-Repro-Dedup", ""),
+                    error_code=_error_code(headers, body),
+                ))
+        finally:
+            self.client.close()
+
+    def _pick_op(self):
+        if self.rng.random() < self.read_mix:
+            reads = [("health", self._op_health), ("metrics", self._op_metrics)]
+            if self.job_ids:
+                reads.append(("poll", self._op_poll))
+            return self.rng.choice(reads)
+        computes = [
+            ("analyze", self._op_analyze),
+            ("analyze", self._op_analyze),       # dominant op
+            ("analyze_async", self._op_analyze_async),
+            ("analyze_spec", self._op_analyze_spec),
+            ("transform", self._op_transform),
+            ("timeline", self._op_timeline),
+        ]
+        return self.rng.choice(computes)
+
+    def _headers(self, content_type: str = "application/octet-stream"):
+        return {"Content-Type": content_type, "X-Repro-Tenant": self.tenant}
+
+    def _trace(self) -> _CorpusTrace:
+        return self.rng.choice(self.corpus)
+
+    def _op_health(self):
+        return self.client.request("GET", "/v1/health")
+
+    def _op_metrics(self):
+        return self.client.request("GET", "/metrics")
+
+    def _op_poll(self):
+        job_id = self.rng.choice(self.job_ids)
+        return self.client.request("GET", f"/v1/jobs/{job_id}")
+
+    def _op_analyze(self):
+        result = self.client.request(
+            "POST", "/v1/analyze", self._trace().body, self._headers()
+        )
+        self._note_job(result)
+        return result
+
+    def _op_transform(self):
+        return self.client.request(
+            "POST", "/v1/transform", self._trace().body, self._headers()
+        )
+
+    def _op_timeline(self):
+        return self.client.request(
+            "POST", "/v1/timeline?format=json", self._trace().body,
+            self._headers(),
+        )
+
+    def _op_analyze_spec(self):
+        trace = self._trace()
+        name, kwargs = _CORPUS_SPECS[trace.size]
+        body = json.dumps({
+            "workload": {"name": name, **kwargs, "seed": 0},
+        }).encode("utf-8")
+        return self.client.request(
+            "POST", "/v1/analyze", body, self._headers("application/json")
+        )
+
+    def _op_analyze_async(self):
+        status, headers, body = self.client.request(
+            "POST", "/v1/analyze?mode=async", self._trace().body,
+            self._headers(),
+        )
+        if status != 202:
+            return status, headers, body
+        job_id = headers.get("X-Repro-Job", "")
+        self._note_job((status, headers, body))
+        deadline = time.monotonic() + self.client.timeout
+        while time.monotonic() < deadline:
+            status, headers, body = self.client.request(
+                "GET", f"/v1/jobs/{job_id}"
+            )
+            document = _maybe_json(headers, body)
+            if document is None or document.get("ok") is False:
+                return status, headers, body
+            result = document.get("result")
+            still_running = (
+                isinstance(result, dict) and result.get("state") == "running"
+            )
+            if not still_running:
+                return status, headers, body
+            time.sleep(0.005)
+        raise TimeoutError(f"async job {job_id} never finished")
+
+    def _note_job(self, result) -> None:
+        job_id = result[1].get("X-Repro-Job")
+        if job_id and len(self.job_ids) < 32:
+            self.job_ids.append(job_id)
+
+
+def _maybe_json(headers: dict, body: bytes) -> Optional[dict]:
+    content_type = headers.get("Content-Type", "")
+    if not content_type.startswith("application/json"):
+        return None
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def _error_code(headers: dict, body: bytes) -> str:
+    document = _maybe_json(headers, body)
+    if document is not None and document.get("ok") is False:
+        return document.get("error", {}).get("code", "unknown")
+    return ""
+
+
+# --------------------------------------------------------------- reporting
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample."""
+    index = min(len(values) - 1, max(0, int(round(fraction * (len(values) - 1)))))
+    return values[index]
+
+
+def _summarize(samples_ms: List[float]) -> dict:
+    ordered = sorted(samples_ms)
+    return {
+        "count": len(ordered),
+        "p50_ms": round(_percentile(ordered, 0.50), 3),
+        "p90_ms": round(_percentile(ordered, 0.90), 3),
+        "p99_ms": round(_percentile(ordered, 0.99), 3),
+        "max_ms": round(ordered[-1], 3),
+        "mean_ms": round(sum(ordered) / len(ordered), 3),
+    }
+
+
+@dataclasses.dataclass
+class LoadTestReport:
+    """Aggregate of one load-test run; serialized as ``BENCH_serve.json``."""
+
+    clients: int
+    requests: int
+    seed: int
+    read_mix: float
+    wall_seconds: float
+    throughput_rps: float
+    latency_ms: Dict[str, dict]          # op class -> percentile summary
+    status_counts: Dict[str, int]        # HTTP status -> count
+    dedup: Dict[str, int]                # miss / inflight / done -> count
+    error_envelopes: int                 # structured ok:false responses
+    error_codes: Dict[str, int]          # error code -> count
+    transport_errors: int                # dropped connections (gate: 0)
+    server_jobs: dict                    # /v1/health jobs stats at the end
+    corpus: List[dict]
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def write(self, path) -> None:
+        from pathlib import Path
+
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        Path(path).write_text(text, encoding="utf-8")
+
+
+def run_loadtest(
+    url: Optional[str] = None,
+    *,
+    clients: int = 32,
+    requests_per_client: int = 6,
+    seed: int = 0,
+    read_mix: float = 0.5,
+    sizes=("small", "medium", "large"),
+    timeout: float = 120.0,
+    tenants: int = 4,
+    out=None,
+    server_kwargs: Optional[dict] = None,
+) -> LoadTestReport:
+    """Run the synthetic load against ``url`` (or an in-process server).
+
+    With ``url=None`` a :class:`~repro.serve.server.ReproServer` is
+    started on an ephemeral port for the duration of the run — the
+    one-command path used by ``repro loadtest`` and the CI smoke job.
+    ``out`` optionally writes the report (``BENCH_serve.json``).
+    """
+    from repro.serve.server import serve
+
+    server = None
+    server_thread = None
+    if url is None:
+        server = serve(port=0, **(server_kwargs or {}))
+        server_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        server_thread.start()
+        url = server.url
+    try:
+        corpus = build_corpus(sizes, seed=seed)
+        _log.info(
+            "load test: %d clients x %d requests against %s",
+            clients, requests_per_client, url,
+            extra={"event": "loadtest.start", "clients": clients},
+        )
+        workers = [
+            _Worker(
+                index, url, corpus, seed=seed, requests=requests_per_client,
+                read_mix=read_mix, timeout=timeout, tenants=tenants,
+            )
+            for index in range(clients)
+        ]
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=worker.run, name=f"loadtest-{i}")
+            for i, worker in enumerate(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+
+        health = _Client(url, timeout)
+        try:
+            _, _, body = health.request("GET", "/v1/health")
+            server_jobs = json.loads(body.decode("utf-8"))["result"]["jobs"]
+        except Exception:
+            server_jobs = {}
+        finally:
+            health.close()
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.close()
+            server_thread.join(timeout=5)
+
+    samples = [s for worker in workers for s in worker.samples]
+    by_op: Dict[str, List[float]] = {}
+    status_counts: Dict[str, int] = {}
+    dedup: Dict[str, int] = {}
+    error_codes: Dict[str, int] = {}
+    for sample in samples:
+        by_op.setdefault(sample.op, []).append(sample.ms)
+        status_counts[str(sample.status)] = \
+            status_counts.get(str(sample.status), 0) + 1
+        if sample.dedup:
+            dedup[sample.dedup] = dedup.get(sample.dedup, 0) + 1
+        if sample.error_code:
+            error_codes[sample.error_code] = \
+                error_codes.get(sample.error_code, 0) + 1
+    latency = {op: _summarize(ms) for op, ms in sorted(by_op.items())}
+    if samples:
+        latency["all"] = _summarize([s.ms for s in samples])
+
+    report = LoadTestReport(
+        clients=clients,
+        requests=len(samples),
+        seed=seed,
+        read_mix=read_mix,
+        wall_seconds=round(wall, 3),
+        throughput_rps=round(len(samples) / wall, 2) if wall > 0 else 0.0,
+        latency_ms=latency,
+        status_counts=dict(sorted(status_counts.items())),
+        dedup=dict(sorted(dedup.items())),
+        error_envelopes=sum(error_codes.values()),
+        error_codes=dict(sorted(error_codes.items())),
+        transport_errors=sum(w.transport_errors for w in workers),
+        server_jobs=server_jobs,
+        corpus=[
+            {"size": c.size, "workload": c.workload, "bytes": len(c.body)}
+            for c in corpus
+        ],
+    )
+    if out is not None:
+        report.write(out)
+    _log.info(
+        "load test done: %d requests in %.2fs (%.1f rps), "
+        "%d error envelopes, %d transport errors",
+        report.requests, report.wall_seconds, report.throughput_rps,
+        report.error_envelopes, report.transport_errors,
+        extra={"event": "loadtest.done", "rps": report.throughput_rps},
+    )
+    return report

@@ -1,0 +1,337 @@
+"""The versioned v1 wire contract: envelope, error codes, result schemas.
+
+Every JSON document the project emits over a machine interface — the
+HTTP service's responses and the CLI's ``--format json`` output — is one
+*envelope*::
+
+    {"v": 1, "ok": true,  "result": <endpoint-specific object>}
+    {"v": 1, "ok": false, "error": {"code": "...", "message": "...",
+                                    ["detail": {...}]}}
+
+``v`` is the wire version: additive changes (new result fields) keep
+``v: 1``; anything that changes the meaning of an existing field bumps
+it.  Error ``code`` strings come from the :mod:`repro.errors` hierarchy
+(every ``ReproError`` subclass carries a stable ``code``) plus the
+supervised executor's quarantine kinds; they are part of the contract
+and never change meaning.
+
+The per-endpoint ``result`` builders live here too, so the CLI and the
+HTTP service cannot drift: ``repro analyze --format json`` and a
+``POST /v1/analyze`` response body are built by the same function and
+serialized by the same canonical encoder (:func:`wire_dumps` — sorted
+keys, two-space indent, trailing newline), which is what makes
+server-side output byte-identical to local output.  Golden-file tests
+(``tests/serve/test_protocol.py``) pin the exact bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro import errors
+
+__all__ = [
+    "WIRE_VERSION",
+    "ok_envelope",
+    "error_envelope",
+    "envelope_from_exception",
+    "envelope_from_failure",
+    "http_status",
+    "wire_dumps",
+    "analyze_result",
+    "stats_result",
+    "locks_result",
+    "profile_result",
+    "transform_summary",
+]
+
+WIRE_VERSION = 1
+
+#: HTTP status per error code; codes not listed map to 500.  4xx = the
+#: request can never succeed as posed; 5xx = the server (or its budget)
+#: failed, a retry or a different deployment might succeed.
+_HTTP_STATUS = {
+    "request.invalid": 400,
+    "request.not_found": 404,
+    "request.too_large": 413,
+    "options.invalid": 400,
+    "workload.invalid": 400,
+    "trace.invalid": 400,
+    "trace.salvaged": 400,
+    "transform.failed": 422,
+    "replay.diverged": 422,
+    "task.timeout": 504,
+    "budget.exceeded": 503,
+    "run.interrupted": 503,
+}
+
+#: quarantine kind (``repro.runner.pool.TaskFailure.kind``) -> error code
+_FAILURE_CODES = {
+    "crash": "task.crash",
+    "timeout": "task.timeout",
+    "fault": "fault.injected",
+    "budget": "budget.exceeded",
+    "error": "task.failed",
+}
+
+
+def ok_envelope(result) -> dict:
+    """The success envelope around an endpoint-specific result."""
+    return {"v": WIRE_VERSION, "ok": True, "result": result}
+
+
+def error_envelope(code: str, message: str, detail: Optional[dict] = None) -> dict:
+    """The error envelope; ``detail`` is optional structured context."""
+    error = {"code": code, "message": message}
+    if detail:
+        error["detail"] = detail
+    return {"v": WIRE_VERSION, "ok": False, "error": error}
+
+
+def _code_registry() -> dict:
+    """Exception class name -> stable code, from the errors hierarchy."""
+    table = {}
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, errors.ReproError):
+            table[obj.__name__] = obj.code
+    return table
+
+
+_CODES_BY_CLASS = _code_registry()
+
+
+def envelope_from_exception(exc: BaseException) -> dict:
+    """Map any exception to the error envelope.
+
+    ``ReproError`` subclasses carry their own stable code; anything else
+    is an internal server failure (``serve.internal``) — the message is
+    included, the traceback is not (it belongs in the server log).
+    """
+    if isinstance(exc, errors.ReproError):
+        return error_envelope(exc.code, str(exc))
+    return error_envelope("serve.internal", f"{type(exc).__name__}: {exc}")
+
+
+def envelope_from_failure(failure) -> dict:
+    """Map a quarantined :class:`~repro.runner.pool.TaskFailure`.
+
+    The supervised executor flattens in-task exceptions to
+    ``"<ClassName>: <message>"`` strings; when the class name is a
+    ``ReproError`` subclass its stable code is recovered, so a
+    ``TraceError`` raised three layers down still reaches the client as
+    ``trace.invalid``, not a generic ``task.failed``.
+    """
+    code = _FAILURE_CODES.get(failure.kind, "task.failed")
+    message = failure.message
+    if failure.kind == "error":
+        head, _, rest = message.partition(": ")
+        if head in _CODES_BY_CLASS:
+            code = _CODES_BY_CLASS[head]
+            message = rest or message
+    return error_envelope(
+        code,
+        message,
+        detail={"kind": failure.kind, "attempts": failure.attempts,
+                "task": failure.index},
+    )
+
+
+def http_status(envelope: dict) -> int:
+    """The HTTP status an envelope travels under (200 for successes)."""
+    if envelope.get("ok"):
+        return 200
+    code = envelope.get("error", {}).get("code", "")
+    return _HTTP_STATUS.get(code, 500)
+
+
+def wire_dumps(envelope: dict) -> str:
+    """Canonical envelope text: sorted keys, indent 2, one trailing newline.
+
+    Byte-determinism is part of the contract — it is what lets the
+    service's dedup return cached response bytes, the CLI's JSON output
+    be compared with ``cmp``, and the golden-file tests pin the format.
+    """
+    return json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------- result schemas (v1)
+
+
+def analyze_result(analysis) -> dict:
+    """``/v1/analyze`` + ``repro analyze --format json`` result object."""
+    breakdown = analysis.breakdown
+    return {
+        "events": analysis.events,
+        "sections": len(analysis.sections),
+        "pairs": len(analysis.pairs),
+        "ulcps": len(analysis.ulcps),
+        "breakdown": {
+            "null_lock": breakdown.null_lock,
+            "read_read": breakdown.read_read,
+            "disjoint_write": breakdown.disjoint_write,
+            "benign": breakdown.benign,
+            "tlcp": breakdown.tlcp,
+        },
+    }
+
+
+def stats_result(stats) -> dict:
+    """``repro stats --format json`` result object."""
+    return {
+        "events": stats.total_events,
+        "end_time": stats.end_time,
+        "locks": stats.locks,
+        "shared_addresses": stats.shared_addresses,
+        "contention_rate": stats.contention_rate,
+        "kinds": dict(stats.kinds),
+        "threads": {
+            tid: {
+                "events": t.events,
+                "compute_ns": t.compute_ns,
+                "acquisitions": t.acquisitions,
+                "contended": t.contended,
+                "wait_ns": t.wait_ns,
+                "reads": t.reads,
+                "writes": t.writes,
+            }
+            for tid, t in stats.threads.items()
+        },
+    }
+
+
+def locks_result(profiles, limit: Optional[int] = None) -> list:
+    """``repro locks --format json`` result array."""
+    return [
+        {
+            "lock": p.lock,
+            "acquisitions": p.acquisitions,
+            "contended": p.contended,
+            "contention_rate": p.contention_rate,
+            "total_wait_ns": p.total_wait_ns,
+            "total_hold_ns": p.total_hold_ns,
+            "max_wait_ns": p.max_wait_ns,
+            "threads": sorted(p.threads),
+        }
+        for p in (profiles if limit is None else profiles[:limit])
+    ]
+
+
+def profile_result(report) -> dict:
+    """``repro profile --format json`` result object (wall times inside —
+    deterministic in shape, not in values)."""
+    return {
+        "stages": [
+            {"name": s.name, "seconds": s.seconds, "detail": s.detail}
+            for s in report.stages
+        ],
+        "total_seconds": report.total_seconds,
+        "events": report.events,
+        "sections": report.sections,
+        "pairs": report.pairs,
+    }
+
+
+def transform_summary(result) -> dict:
+    """``/v1/transform`` result object (the trace itself travels as an
+    artifact blob; this is the envelope-sized summary)."""
+    breakdown = result.analysis.breakdown
+    return {
+        "sections": len(result.sections),
+        "removed_sections": result.removed_sections,
+        "aux_locks": len(result.plan.aux_locks),
+        "causal_edges": len(result.topology.causal_edges()),
+        "order_edges": len(result.topology.order_edges()),
+        "breakdown": {
+            "null_lock": breakdown.null_lock,
+            "read_read": breakdown.read_read,
+            "disjoint_write": breakdown.disjoint_write,
+            "benign": breakdown.benign,
+            "tlcp": breakdown.tlcp,
+        },
+    }
+
+
+# ------------------------------------------------------ request validation
+
+
+#: fields every job-request JSON body may carry
+_REQUEST_FIELDS = {"v", "workload", "options", "mode", "format"}
+#: per-endpoint artifact formats (None = the endpoint has one format)
+_FORMATS = {"timeline": ("json", "chrome")}
+
+
+def parse_request(endpoint: str, payload: dict) -> dict:
+    """Validate a v1 JSON job request; returns the normalized fields.
+
+    Raises :class:`~repro.errors.RequestError` (code
+    ``request.invalid``) on shape violations and
+    :class:`~repro.errors.OptionsError` on bad option values — both map
+    to HTTP 400.
+    """
+    from repro.errors import RequestError
+
+    if not isinstance(payload, dict):
+        raise RequestError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - _REQUEST_FIELDS)
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s) {unknown}; "
+            f"known: {sorted(_REQUEST_FIELDS)}"
+        )
+    version = payload.get("v", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise RequestError(
+            f"unsupported wire version {version!r} (this server speaks "
+            f"v{WIRE_VERSION})"
+        )
+    mode = payload.get("mode", "sync")
+    if mode not in ("sync", "async"):
+        raise RequestError(f'mode must be "sync" or "async", got {mode!r}')
+    fmt = payload.get("format")
+    allowed = _FORMATS.get(endpoint)
+    if fmt is not None and (allowed is None or fmt not in allowed):
+        raise RequestError(
+            f"format {fmt!r} is not valid for /v1/{endpoint}"
+            + (f" (expected one of {allowed})" if allowed else "")
+        )
+    workload = payload.get("workload")
+    if workload is not None:
+        workload = parse_workload_spec(workload)
+    return {
+        "workload": workload,
+        "options": payload.get("options"),
+        "mode": mode,
+        "format": fmt or (allowed[0] if allowed else None),
+    }
+
+
+#: workload-spec fields; everything else is passed to the workload ctor
+_WORKLOAD_FIELDS = {"name", "threads", "input_size", "scale", "seed"}
+
+
+def parse_workload_spec(spec) -> dict:
+    """Validate the ``workload`` object of a job request."""
+    from repro.errors import RequestError
+
+    if not isinstance(spec, dict) or not isinstance(spec.get("name"), str):
+        raise RequestError(
+            'workload must be an object with a string "name" field, e.g. '
+            '{"name": "mysql", "threads": 2}'
+        )
+    for field, types, label in (
+        ("threads", (int,), "an integer"),
+        ("seed", (int,), "an integer"),
+        ("scale", (int, float), "a number"),
+        ("input_size", (str,), "a string"),
+    ):
+        value = spec.get(field)
+        if value is not None and (
+            not isinstance(value, types) or isinstance(value, bool)
+        ):
+            raise RequestError(f"workload.{field} must be {label}, got {value!r}")
+    return spec

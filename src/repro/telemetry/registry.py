@@ -69,6 +69,21 @@ COUNTERS: Dict[str, str] = {
     # salvage loader
     "salvage.loads": "trace loads attempted in salvage mode",
     "salvage.events_dropped": "events trimmed while salvaging damaged traces",
+    # HTTP service (repro serve)
+    "serve.jobs": "service jobs started (one per distinct content key)",
+    "serve.computed": "service computations actually executed",
+    "serve.dedup.inflight": "requests attached to an already-running job",
+    "serve.dedup.done": "requests served from a retained finished job",
+    "serve.jobs.async": "requests answered 202 for later polling",
+    "serve.quarantined": "service jobs quarantined by the supervised pool",
+    "serve.errors": "requests answered with a structured error envelope",
+    "serve.requests.analyze": "requests routed to POST /v1/analyze",
+    "serve.requests.transform": "requests routed to POST /v1/transform",
+    "serve.requests.report": "requests routed to POST /v1/report",
+    "serve.requests.timeline": "requests routed to POST /v1/timeline",
+    "serve.requests.jobs": "requests routed to GET /v1/jobs/*",
+    "serve.requests.health": "requests routed to GET /v1/health",
+    "serve.requests.metrics": "requests routed to GET /metrics",
 }
 
 #: gauge name -> description
@@ -83,6 +98,16 @@ GAUGES: Dict[str, str] = {
 HISTOGRAMS: Dict[str, str] = {
     "replay.end_ns": "simulated end time per replay run",
     "record.trace_events": "events per recorded trace",
+    # per-endpoint request latency (wall ms — the one histogram family
+    # that is intentionally nondeterministic; it never enters golden
+    # comparisons, only the /metrics scrape)
+    "serve.latency_ms.analyze": "wall ms per POST /v1/analyze request",
+    "serve.latency_ms.transform": "wall ms per POST /v1/transform request",
+    "serve.latency_ms.report": "wall ms per POST /v1/report request",
+    "serve.latency_ms.timeline": "wall ms per POST /v1/timeline request",
+    "serve.latency_ms.jobs": "wall ms per GET /v1/jobs/* request",
+    "serve.latency_ms.health": "wall ms per GET /v1/health request",
+    "serve.latency_ms.metrics": "wall ms per GET /metrics request",
 }
 
 #: span name -> description (wall time; excluded from deterministic exports)

@@ -106,17 +106,26 @@ class TestReplay:
         with pytest.raises(ValueError):
             api.replay(trace, scheme="TURBO-S")
 
-    def test_base_seed_shim_warns(self, trace):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shimmed = api.replay(trace, runs=2, base_seed=5)
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        modern = api.replay(trace, runs=2, seed=5)
-        assert shimmed.end_times == modern.end_times
+    def test_base_seed_retired(self, trace):
+        # the base_seed= -> seed= DeprecationWarning shim served its one
+        # release; the old spelling is now rejected like any unknown field
+        with pytest.raises(TypeError, match="base_seed"):
+            api.replay(trace, runs=2, base_seed=5)
 
-    def test_base_seed_and_seed_conflict(self, trace):
+    def test_options_object(self, trace):
+        from repro.options import ReplayOptions
+
+        modern = api.replay(trace, ReplayOptions(runs=2, seed=5))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = api.replay(trace, runs=2, seed=5)
+        assert modern.end_times == legacy.end_times
+
+    def test_options_and_kwargs_conflict(self, trace):
+        from repro.options import ReplayOptions
+
         with pytest.raises(TypeError):
-            api.replay(trace, seed=1, base_seed=2)
+            api.replay(trace, ReplayOptions(runs=2), seed=1)
 
     def test_unknown_kwarg_rejected(self, trace):
         with pytest.raises(TypeError):

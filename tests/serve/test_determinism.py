@@ -1,0 +1,76 @@
+"""Server output must be byte-identical to local CLI output."""
+
+import http.client
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.serve.server import ReproServer
+
+
+@pytest.fixture()
+def server():
+    server = ReproServer(("127.0.0.1", 0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.close()
+    thread.join(timeout=5)
+
+
+def _post(server, path, body, content_type="application/octet-stream"):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        conn.request("POST", path, body=body,
+                     headers={"Content-Type": content_type})
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def trace_file(tmp_path, capsys):
+    path = str(tmp_path / "t.jsonl")
+    assert main(["record", "mixed-bag", "-o", path, "--seed", "5"]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestByteIdentity:
+    def test_analyze(self, server, trace_file, capsys):
+        assert main(["analyze", trace_file, "--format", "json"]) == 0
+        local = capsys.readouterr().out
+        status, body = _post(
+            server, "/v1/analyze", open(trace_file, "rb").read()
+        )
+        assert status == 200
+        assert body.decode("utf-8") == local
+
+    def test_analyze_segmented_upload(self, server, trace_file, tmp_path,
+                                      capsys):
+        seg_file = str(tmp_path / "t.seg.jsonl")
+        assert main(["convert", trace_file, seg_file,
+                     "--segment-events", "64"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", trace_file, "--format", "json"]) == 0
+        local = capsys.readouterr().out
+        # uploading the segmented container streams server-side, yet the
+        # envelope bytes must match the monolithic local analysis
+        status, body = _post(
+            server, "/v1/analyze", open(seg_file, "rb").read()
+        )
+        assert status == 200
+        assert body.decode("utf-8") == local
+
+    def test_timeline(self, server, trace_file, capsys):
+        assert main(["timeline", trace_file, "--format", "json"]) == 0
+        local = capsys.readouterr().out
+        status, body = _post(
+            server, "/v1/timeline?format=json", open(trace_file, "rb").read()
+        )
+        assert status == 200
+        assert body.decode("utf-8") == local

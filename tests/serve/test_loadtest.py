@@ -1,0 +1,35 @@
+"""The load-test harness: in-process smoke run and report shape."""
+
+import json
+
+from repro.serve.loadtest import LoadTestReport, run_loadtest
+
+
+class TestLoadTest:
+    def test_in_process_run(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        report = run_loadtest(
+            clients=8, requests_per_client=3, seed=1, out=out
+        )
+        assert isinstance(report, LoadTestReport)
+        assert report.requests == 8 * 3
+        assert report.transport_errors == 0
+        assert report.error_envelopes == 0
+        assert report.status_counts.keys() <= {"200", "202"}
+        assert report.throughput_rps > 0
+        assert "all" in report.latency_ms
+        assert report.latency_ms["all"]["p99_ms"] >= \
+            report.latency_ms["all"]["p50_ms"]
+        # the dedup did its job: far fewer computations than requests
+        assert 0 < report.server_jobs["computed"] < report.requests
+        document = json.loads(out.read_text())
+        assert document["seed"] == 1
+        assert document["corpus"][0]["bytes"] > 0
+
+    def test_seeded_mix_is_reproducible(self):
+        # same seed -> same op sequence -> same request count per class
+        first = run_loadtest(clients=4, requests_per_client=3, seed=9)
+        second = run_loadtest(clients=4, requests_per_client=3, seed=9)
+        ops_first = {op: s["count"] for op, s in first.latency_ms.items()}
+        ops_second = {op: s["count"] for op, s in second.latency_ms.items()}
+        assert ops_first == ops_second

@@ -1,0 +1,103 @@
+"""The typed options dataclasses and their wire/kwargs constructors."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.errors import OptionsError, ReproError
+from repro.options import AnalyzeOptions, ReplayOptions, ReportOptions
+
+
+class TestConstruction:
+    def test_defaults(self):
+        opts = AnalyzeOptions()
+        assert opts.benign_detection is True
+        assert opts.stream == "auto"
+        assert opts.jobs == 1
+
+    def test_from_kwargs_unknown_field_is_type_error(self):
+        with pytest.raises(TypeError, match="bogus"):
+            AnalyzeOptions.from_kwargs({"bogus": 1})
+
+    def test_from_wire_unknown_field_is_options_error(self):
+        with pytest.raises(OptionsError, match="bogus"):
+            AnalyzeOptions.from_wire({"bogus": 1})
+
+    def test_from_wire_bad_type(self):
+        with pytest.raises(OptionsError, match="benign_detection"):
+            AnalyzeOptions.from_wire({"benign_detection": "yes"})
+
+    def test_from_wire_not_an_object(self):
+        with pytest.raises(OptionsError):
+            AnalyzeOptions.from_wire([1, 2])
+
+    def test_replace(self):
+        opts = ReplayOptions().replace(runs=3)
+        assert opts.runs == 3
+        assert opts.scheme == ReplayOptions().scheme
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AnalyzeOptions().jobs = 4
+
+
+class TestValidation:
+    def test_bad_scheme_is_value_error_and_repro_error(self):
+        # OptionsError subclasses both, preserving the facade's historic
+        # ValueError contract while carrying a stable wire code
+        with pytest.raises(ValueError):
+            ReplayOptions.from_kwargs({"scheme": "TURBO-S"})
+        with pytest.raises(ReproError) as excinfo:
+            ReplayOptions.from_kwargs({"scheme": "TURBO-S"})
+        assert excinfo.value.code == "options.invalid"
+
+    def test_jobs_xor_resume(self):
+        with pytest.raises(OptionsError):
+            AnalyzeOptions(jobs=2, resume="r1").validate()
+
+    def test_checkpoint_every_positive(self):
+        with pytest.raises(OptionsError):
+            AnalyzeOptions(checkpoint_every=0).validate()
+
+    def test_bad_input_size(self):
+        with pytest.raises(OptionsError):
+            ReportOptions(input_size="huge").validate()
+
+
+class TestWireRoundTrip:
+    def test_to_wire_only_non_defaults(self):
+        assert AnalyzeOptions().to_wire() == {}
+        assert AnalyzeOptions(jobs=3).to_wire() == {"jobs": 3}
+
+    def test_round_trip(self):
+        opts = ReplayOptions(scheme="SYNC-S", runs=4, jitter=0.1)
+        assert ReplayOptions.from_wire(opts.to_wire()) == opts
+
+
+class TestFacadeShim:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return api.record("tunable-contention", threads=2, scale=0.3, seed=0)
+
+    def test_bare_kwargs_warn_and_match(self, trace):
+        modern = api.analyze(trace, AnalyzeOptions(benign_detection=False))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = api.analyze(trace, benign_detection=False)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert legacy.breakdown == modern.breakdown
+
+    def test_options_and_kwargs_conflict(self, trace):
+        with pytest.raises(TypeError, match="both"):
+            api.analyze(trace, AnalyzeOptions(), benign_detection=False)
+
+    def test_report_legacy_workload_kwargs_fold(self):
+        # unknown bare kwargs historically passed through to the workload
+        # constructor; the shim folds them into workload_kwargs
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            html_text = api.report(
+                "tunable-contention", threads=2, scale=0.3, utilization=0.6
+            )
+        assert "<html" in html_text

@@ -1,0 +1,156 @@
+"""The v1 wire contract: envelope shape, codes, golden bytes."""
+
+import json
+from pathlib import Path
+
+from repro import api, errors
+from repro.runner.pool import TaskFailure
+from repro.serve import protocol
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+class TestEnvelope:
+    def test_ok_shape(self):
+        env = protocol.ok_envelope({"x": 1})
+        assert env == {"v": 1, "ok": True, "result": {"x": 1}}
+
+    def test_error_shape(self):
+        env = protocol.error_envelope("trace.invalid", "boom")
+        assert env == {
+            "v": 1, "ok": False,
+            "error": {"code": "trace.invalid", "message": "boom"},
+        }
+
+    def test_wire_dumps_canonical(self):
+        text = protocol.wire_dumps({"b": 1, "a": 2})
+        assert text == '{\n  "a": 2,\n  "b": 1\n}\n'
+
+    def test_http_status(self):
+        assert protocol.http_status(protocol.ok_envelope({})) == 200
+        assert protocol.http_status(
+            protocol.error_envelope("request.not_found", "x")) == 404
+        assert protocol.http_status(
+            protocol.error_envelope("trace.invalid", "x")) == 400
+        assert protocol.http_status(
+            protocol.error_envelope("task.timeout", "x")) == 504
+        assert protocol.http_status(
+            protocol.error_envelope("no.such.code", "x")) == 500
+
+
+class TestErrorCodes:
+    def test_every_repro_error_has_a_code(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, errors.ReproError):
+                assert isinstance(obj.code, str) and "." in obj.code, name
+
+    def test_codes_are_distinct_per_leaf(self):
+        # subclasses may share a base's code only by inheriting it
+        codes = {}
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, errors.ReproError) \
+                    and "code" in vars(obj):
+                assert obj.code not in codes, (name, codes[obj.code])
+                codes[obj.code] = name
+
+    def test_exception_mapping(self):
+        env = protocol.envelope_from_exception(errors.TraceError("bad"))
+        assert env["error"]["code"] == "trace.invalid"
+        env = protocol.envelope_from_exception(RuntimeError("boom"))
+        assert env["error"]["code"] == "serve.internal"
+
+    def test_failure_mapping_recovers_repro_codes(self):
+        failure = TaskFailure(
+            index=0, task_repr="t", kind="error",
+            message="TraceError: malformed trace line", attempts=1,
+        )
+        env = protocol.envelope_from_failure(failure)
+        assert env["error"]["code"] == "trace.invalid"
+        assert env["error"]["message"] == "malformed trace line"
+        assert env["error"]["detail"]["attempts"] == 1
+
+    def test_failure_mapping_by_kind(self):
+        for kind, code in (
+            ("crash", "task.crash"),
+            ("timeout", "task.timeout"),
+            ("fault", "fault.injected"),
+            ("budget", "budget.exceeded"),
+        ):
+            failure = TaskFailure(index=0, task_repr="t", kind=kind,
+                                  message="x", attempts=1)
+            assert protocol.envelope_from_failure(failure)["error"]["code"] \
+                == code
+
+
+class TestGolden:
+    """The exact bytes are the contract; regenerating goldens is a
+    deliberate, reviewed act."""
+
+    def test_analyze_envelope_bytes(self):
+        trace = api.record("mixed-bag", threads=2, scale=1.0, seed=3)
+        envelope = protocol.ok_envelope(
+            protocol.analyze_result(api.analyze(trace))
+        )
+        assert protocol.wire_dumps(envelope) == \
+            (GOLDEN / "analyze_envelope.json").read_text()
+
+    def test_error_envelope_bytes(self):
+        envelope = protocol.error_envelope(
+            "trace.invalid", "malformed trace line: boom",
+            detail={"kind": "error", "attempts": 1, "task": 0},
+        )
+        assert protocol.wire_dumps(envelope) == \
+            (GOLDEN / "error_envelope.json").read_text()
+
+
+class TestParseRequest:
+    def test_defaults(self):
+        parsed = protocol.parse_request("analyze", {})
+        assert parsed == {"workload": None, "options": None,
+                          "mode": "sync", "format": None}
+
+    def test_unknown_field(self):
+        try:
+            protocol.parse_request("analyze", {"nope": 1})
+        except errors.RequestError as exc:
+            assert exc.code == "request.invalid"
+        else:
+            raise AssertionError("expected RequestError")
+
+    def test_wrong_version(self):
+        try:
+            protocol.parse_request("analyze", {"v": 2})
+        except errors.RequestError as exc:
+            assert "wire version" in str(exc)
+        else:
+            raise AssertionError("expected RequestError")
+
+    def test_timeline_format_default(self):
+        parsed = protocol.parse_request("timeline", {})
+        assert parsed["format"] == "json"
+        parsed = protocol.parse_request("timeline", {"format": "chrome"})
+        assert parsed["format"] == "chrome"
+
+    def test_format_rejected_elsewhere(self):
+        try:
+            protocol.parse_request("analyze", {"format": "chrome"})
+        except errors.RequestError:
+            pass
+        else:
+            raise AssertionError("expected RequestError")
+
+    def test_workload_spec_validation(self):
+        try:
+            protocol.parse_request(
+                "analyze", {"workload": {"name": "x", "threads": "two"}}
+            )
+        except errors.RequestError as exc:
+            assert "threads" in str(exc)
+        else:
+            raise AssertionError("expected RequestError")
+
+    def test_envelope_is_json_serializable(self):
+        env = protocol.error_envelope("a.b", "m", detail={"k": 1})
+        assert json.loads(protocol.wire_dumps(env)) == env

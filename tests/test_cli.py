@@ -226,7 +226,8 @@ class TestAnalyzeCommand:
         capsys.readouterr()
         assert main(["analyze", trace_file, "--format", "json"]) == 0
         data = json.loads(capsys.readouterr().out)
-        assert "pairs" in data
+        assert data["v"] == 1 and data["ok"] is True
+        assert "pairs" in data["result"]
 
 
 class TestTelemetryFlag:

@@ -80,47 +80,72 @@ def analyze_segments(
                 # the scan finished; a leftover checkpoint would only
                 # tempt a future run into "resuming" finished work
                 checkpoint.clear()
-        sections = scan.sections
-
-        classified: List[Tuple[CriticalSection, CriticalSection, str]] = []
-        false_pairs: List[Tuple[CriticalSection, CriticalSection]] = []
-        for first, second in iter_candidate_pairs(sections):
-            kind = classify_pair(first, second)
-            if kind == FALSE:
-                false_pairs.append((first, second))
-            classified.append((first, second, kind))
-
-        timeline = None
-        benign_cache: Dict[Tuple[str, str], bool] = {}
-        benign_tests = 0
-        if benign_detection and false_pairs:
-            timeline = _collect_benign_evidence(path, scan, false_pairs)
-            for first, second in false_pairs:
-                benign_cache[(first.uid, second.uid)] = is_benign(
-                    first, second, timeline
-                )
-                benign_tests += 1
-        elif benign_detection:
-            # nothing reached the benign test; keep the (empty) timeline
-            # shape downstream consumers expect from a benign-enabled run
-            timeline = WriteTimeline.from_writes({})
-
-        analysis = PairAnalysis(
-            sections=sections,
-            timeline=timeline,
-            benign_cache=benign_cache,
-            events=scan.events,
+        analysis, benign_tests = assemble_analysis(
+            path, scan, benign_detection=benign_detection
         )
-        for first, second, kind in classified:
-            if kind == FALSE:
-                if benign_detection:
-                    kind = (
-                        BENIGN if benign_cache[(first.uid, second.uid)] else TLCP
-                    )
-                else:
-                    kind = TLCP
-            analysis.pairs.append(UlcpPair(c1=first, c2=second, kind=kind))
-            analysis.breakdown.add(kind)
+    count_analysis(analysis, benign_tests)
+    return analysis
+
+
+def assemble_analysis(
+    path: Union[str, Path], scan, *, benign_detection: bool = True,
+) -> Tuple[PairAnalysis, int]:
+    """Classification + benign pass + assembly over a *finished* scan.
+
+    Everything :func:`analyze_segments` does after
+    :func:`~repro.analysis.engine.scan_segments` returns, factored out so
+    the incremental watch fold (:mod:`repro.observe`) finishes through
+    the exact same code — the byte-identity of watch-vs-batch final
+    results is this shared path, not a parallel implementation.  Returns
+    ``(analysis, benign_tests_run)``; telemetry counters are the
+    caller's job (:func:`count_analysis`).
+    """
+    sections = scan.sections
+
+    classified: List[Tuple[CriticalSection, CriticalSection, str]] = []
+    false_pairs: List[Tuple[CriticalSection, CriticalSection]] = []
+    for first, second in iter_candidate_pairs(sections):
+        kind = classify_pair(first, second)
+        if kind == FALSE:
+            false_pairs.append((first, second))
+        classified.append((first, second, kind))
+
+    timeline = None
+    benign_cache: Dict[Tuple[str, str], bool] = {}
+    benign_tests = 0
+    if benign_detection and false_pairs:
+        timeline = _collect_benign_evidence(path, scan, false_pairs)
+        for first, second in false_pairs:
+            benign_cache[(first.uid, second.uid)] = is_benign(
+                first, second, timeline
+            )
+            benign_tests += 1
+    elif benign_detection:
+        # nothing reached the benign test; keep the (empty) timeline
+        # shape downstream consumers expect from a benign-enabled run
+        timeline = WriteTimeline.from_writes({})
+
+    analysis = PairAnalysis(
+        sections=sections,
+        timeline=timeline,
+        benign_cache=benign_cache,
+        events=scan.events,
+    )
+    for first, second, kind in classified:
+        if kind == FALSE:
+            if benign_detection:
+                kind = (
+                    BENIGN if benign_cache[(first.uid, second.uid)] else TLCP
+                )
+            else:
+                kind = TLCP
+        analysis.pairs.append(UlcpPair(c1=first, c2=second, kind=kind))
+        analysis.breakdown.add(kind)
+    return analysis, benign_tests
+
+
+def count_analysis(analysis: PairAnalysis, benign_tests: int) -> None:
+    """The pair-pass telemetry counters, shared by batch and watch."""
     telemetry.count("analyze.pairs", len(analysis.pairs))
     if benign_tests:
         telemetry.count("analyze.benign_tests", benign_tests)
@@ -129,7 +154,6 @@ def analyze_segments(
         n = getattr(breakdown, kind)
         if n:
             telemetry.count(f"ulcp.{kind}", n)
-    return analysis
 
 
 def _collect_benign_evidence(

@@ -221,6 +221,7 @@ def analyze(
     options: Optional[AnalyzeOptions] = None,
     *,
     budget=None,
+    on_progress=None,
     telemetry: Optional[Telemetry] = None,
     **legacy,
 ) -> PairAnalysis:
@@ -253,6 +254,14 @@ def analyze(
     :class:`repro.runner.budget.RunBudget`: the call fails fast when the
     deadline has already passed, and memory pressure degrades a
     ``stream=False`` load of a segmented file back to the streaming path.
+
+    ``on_progress`` is an optional callback receiving
+    :mod:`repro.observe` progress snapshots (plain dicts, see
+    :func:`repro.observe.snapshot_dumps`).  On the serial streaming path
+    it fires after every folded segment and once with the terminal
+    snapshot; on the in-memory and sharded paths — which have no
+    per-segment epochs — it fires once, with the terminal snapshot.
+    The returned analysis is byte-identical either way.
 
     Bare keyword spellings (``benign_detection=``, ``stream=``, ...)
     are deprecated; they keep working for one release via a
@@ -293,12 +302,26 @@ def analyze(
                     checkpoint = _checkpointer_for(
                         trace, opts.resume, opts.checkpoint_every
                     )
-                return analyze_segments(
+                if on_progress is not None and opts.jobs <= 1:
+                    from repro.observe.fold import run_with_progress
+
+                    return run_with_progress(
+                        trace,
+                        benign_detection=opts.benign_detection,
+                        checkpoint=checkpoint,
+                        on_progress=on_progress,
+                    )
+                analysis = analyze_segments(
                     trace,
                     benign_detection=opts.benign_detection,
                     checkpoint=checkpoint,
                     jobs=opts.jobs,
                 )
+                if on_progress is not None:
+                    from repro.observe.fold import terminal_snapshot
+
+                    on_progress(terminal_snapshot(analysis))
+                return analysis
         if opts.jobs > 1:
             from repro.errors import TraceError
 
@@ -323,9 +346,14 @@ def analyze(
                 "file; in-memory traces and monolithic files have no "
                 "segment boundaries to checkpoint at"
             )
-        return analyze_pairs(
+        analysis = analyze_pairs(
             _coerce_trace(trace), benign_detection=opts.benign_detection
         )
+        if on_progress is not None:
+            from repro.observe.fold import terminal_snapshot
+
+            on_progress(terminal_snapshot(analysis))
+        return analysis
 
 
 # --------------------------------------------------------------- transform

@@ -58,6 +58,18 @@ Commands
     Per-category fix strategies with measured gains; apply one and verify.
 ``analyze TRACE [--format text|json]``
     Identify and classify the ULCP pairs of a trace (no transformation).
+``watch TRACE [--interval S] [--until-stable N] [--format text|json]``
+    Live incremental analysis of a segmented trace — including one still
+    being written by ``repro record --segment-events`` in another
+    process.  Repaints a progress snapshot per folded segment (events,
+    ULCP breakdown, per-lock contention, Eq. 2 top-K ranking);
+    ``--format json`` prints one canonical snapshot per line instead.
+    ``--until-stable N`` stops early once the top-K ranking has held for
+    N consecutive snapshots (exit 3); with ``--resume RUN_ID`` the
+    fold's checkpoint lets a later ``repro analyze --resume RUN_ID``
+    continue without redoing the folded segments.  The final snapshot's
+    ``result`` is byte-identical to ``repro analyze --format json``
+    (``--final-output PATH`` writes exactly that envelope).
 ``selfcheck WORKLOAD``
     Verify the pipeline invariants (determinism, exact ELSC replay, ...).
 ``faults list | faults demo``
@@ -369,6 +381,71 @@ def cmd_analyze(args) -> int:
         f"(TLCP={breakdown.tlcp})"
     )
     return 0
+
+
+def cmd_watch(args) -> int:
+    from repro.observe import render_snapshot, snapshot_dumps, watch
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return EXIT_USAGE
+    if args.until_stable < 0:
+        print("error: --until-stable must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    from pathlib import Path
+
+    from repro.trace import segments as _segments
+
+    target = Path(args.trace)
+    if target.exists() and not _segments.is_segmented_file(target):
+        print(f"error: {args.trace} is not a segmented trace file; watch "
+              "follows the segmented streaming format (see 'repro convert' "
+              "or 'repro record --segment-events')", file=sys.stderr)
+        return EXIT_USAGE
+
+    is_tty = sys.stdout.isatty()
+
+    def on_snapshot(snap: dict) -> None:
+        if args.format == "json":
+            sys.stdout.write(snapshot_dumps(snap))
+        else:
+            if is_tty:
+                sys.stdout.write("\x1b[H\x1b[2J")  # repaint in place
+            sys.stdout.write(render_snapshot(snap))
+        sys.stdout.flush()
+
+    result = watch(
+        args.trace,
+        on_snapshot=on_snapshot,
+        interval=args.interval,
+        grace=args.grace,
+        until_stable=args.until_stable,
+        top_k=args.top,
+        benign_detection=not args.no_benign,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if result.complete and args.final_output:
+        from repro.serve import protocol
+
+        Path(args.final_output).write_text(
+            protocol.wire_dumps(
+                protocol.ok_envelope(result.final_snapshot["result"])
+            ),
+            encoding="utf-8",
+        )
+    if result.stalled:
+        print(f"watch: {args.trace} stopped growing without a footer "
+              f"(waited {args.grace:.0f}s); partial results stand",
+              file=sys.stderr)
+        return EXIT_PARTIAL
+    if result.early_stopped:
+        note = " (checkpoint saved)" if result.checkpoint_saved else ""
+        print(f"watch: ranking stable for {args.until_stable} consecutive "
+              f"snapshots after {result.segments} segments; "
+              f"stopping early{note}", file=sys.stderr)
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def cmd_transform(args) -> int:
@@ -876,11 +953,16 @@ def cmd_loadtest(args) -> int:
     print(f"dedup             : {report.dedup or '{}'}")
     print(f"error envelopes   : {report.error_envelopes}")
     print(f"transport errors  : {report.transport_errors}")
+    print(f"event streams     : {report.streams}")
     if args.output:
         print(f"report -> {args.output}", file=sys.stderr)
     if report.transport_errors:
         print(f"error: {report.transport_errors} request(s) lost at the "
               "transport layer", file=sys.stderr)
+        return EXIT_ERROR
+    if report.streams.get("dropped"):
+        print(f"error: {report.streams['dropped']} event stream(s) ended "
+              "without the terminal result frame (gate: 0)", file=sys.stderr)
         return EXIT_ERROR
     if args.fail_on_errors and report.error_envelopes:
         print(f"error: {report.error_envelopes} structured error "
@@ -956,6 +1038,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="affinity-pinned worker processes for the "
                         "streaming scan (segmented files only)")
+    _add_format_option(p)
+    _add_telemetry_options(p)
+
+    p = sub.add_parser(
+        "watch",
+        help="live incremental analysis of a (possibly still growing) "
+             "segmented trace",
+    )
+    p.add_argument("trace", help="segmented trace file; may still be "
+                                 "written by another process")
+    p.add_argument("--interval", type=float, default=0.5, metavar="SECONDS",
+                   help="poll interval while the file is quiet "
+                        "(default: %(default)s)")
+    p.add_argument("--grace", type=float, default=30.0, metavar="SECONDS",
+                   help="give up (exit 3) after this long without growth "
+                        "and no footer; 0 waits forever "
+                        "(default: %(default)s)")
+    p.add_argument("--until-stable", type=int, default=0, metavar="N",
+                   help="stop early (exit 3) once the top-K ranking held "
+                        "for N consecutive snapshots (default: run to "
+                        "completion)")
+    p.add_argument("--top", type=int, default=5, metavar="K",
+                   help="ranking depth for display and the stability "
+                        "check (default: %(default)s)")
+    p.add_argument("--no-benign", action="store_true",
+                   help="skip the reversed-replay benign test in the "
+                        "final pass (conflicting pairs count as TLCPs)")
+    p.add_argument("--resume", metavar="RUN_ID", default=None,
+                   help="checkpoint the fold under this run id so 'repro "
+                        "analyze --resume RUN_ID' continues after an "
+                        "early stop without redoing folded segments")
+    p.add_argument("--checkpoint-every", type=int, default=16, metavar="N",
+                   help="segments between checkpoints (default: "
+                        "%(default)s)")
+    p.add_argument("--final-output", metavar="PATH", default=None,
+                   help="also write the final v1 result envelope here "
+                        "(byte-identical to 'repro analyze --format "
+                        "json')")
     _add_format_option(p)
     _add_telemetry_options(p)
 
@@ -1216,6 +1336,7 @@ COMMANDS = {
     "convert": cmd_convert,
     "replay": cmd_replay,
     "analyze": cmd_analyze,
+    "watch": cmd_watch,
     "transform": cmd_transform,
     "debug": cmd_debug,
     "telemetry": cmd_telemetry,

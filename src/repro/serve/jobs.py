@@ -68,7 +68,8 @@ class JobResult:
 class Job:
     """One content-addressed computation and its completion latch."""
 
-    __slots__ = ("id", "key", "kind", "tenant", "seq", "_done", "result")
+    __slots__ = ("id", "key", "kind", "tenant", "seq", "_done", "result",
+                 "progress", "_progress_cond")
 
     def __init__(self, job_id: str, key: str, kind: str, tenant: str, seq: int):
         self.id = job_id
@@ -78,6 +79,11 @@ class Job:
         self.seq = seq
         self._done = threading.Event()
         self.result: Optional[JobResult] = None
+        #: append-only progress snapshots (repro.observe dicts); every
+        #: follower replays the full list from the start, so a watcher
+        #: attaching late still sees the deterministic whole sequence
+        self.progress: list = []
+        self._progress_cond = threading.Condition()
 
     @property
     def state(self) -> str:
@@ -90,6 +96,39 @@ class Job:
     def finish(self, result: JobResult) -> None:
         self.result = result
         self._done.set()
+        with self._progress_cond:
+            self._progress_cond.notify_all()
+
+    def publish(self, snapshot: dict) -> None:
+        """Append one progress snapshot and wake any followers.
+
+        This is the ``on_progress`` callback the analyze computation is
+        wired with; it runs on the job's worker thread.
+        """
+        with self._progress_cond:
+            self.progress.append(snapshot)
+            self._progress_cond.notify_all()
+
+    def events(self, timeout: Optional[float] = None):
+        """Yield progress snapshots in order until the job finishes.
+
+        Starts from the beginning of the job's progress list (late
+        subscribers replay everything), then follows live.  ``timeout``
+        bounds each wait for *new* progress; a quiet period longer than
+        that ends the stream early (the caller can poll the job state).
+        """
+        i = 0
+        while True:
+            with self._progress_cond:
+                while i >= len(self.progress) and not self._done.is_set():
+                    if not self._progress_cond.wait(timeout):
+                        return
+                batch = list(self.progress[i:])
+            for snapshot in batch:
+                yield snapshot
+            i += len(batch)
+            if self._done.is_set() and i >= len(self.progress):
+                return
 
     def status(self) -> dict:
         """The ``/v1/jobs/<id>`` status object (state + links)."""
@@ -190,6 +229,10 @@ class JobManager:
         return f"{kind}-{key[:16]}"
 
     def _run(self, job: Job, compute: Callable[[], JobResult]) -> None:
+        if getattr(compute, "wants_job", False):
+            # progress-publishing computations take the job so they can
+            # call job.publish from inside the analysis
+            bound, compute = compute, (lambda: bound(job))
         try:
             result = _run_supervised(compute, self.policy)
         except BaseException as exc:  # a bug, not a task failure

@@ -7,7 +7,12 @@ with N concurrent clients issuing a seeded, reproducible mix of
   cheap, exercise the routing and telemetry path; and
 * **compute** requests — trace uploads and workload-spec submissions to
   ``POST /v1/analyze`` / ``/v1/transform`` / ``/v1/timeline``, sync and
-  async — exercise the job manager, the dedup and the supervised pool.
+  async — exercise the job manager, the dedup and the supervised pool;
+* **watch** requests — async submissions followed end-to-end over
+  ``GET /v1/jobs/<id>/events`` — exercise the SSE progress stream and
+  the ``serve.watchers`` accounting under concurrency.  A stream that
+  ends without the terminal ``event: result`` frame counts as
+  *dropped*; the CI gate requires zero.
 
 The upload corpus is recorded locally at startup (mixed trace sizes:
 a few KB to a few hundred KB, from the registered workload models) so
@@ -138,6 +143,8 @@ class _Worker:
         self.samples: List[_Sample] = []
         self.transport_errors = 0
         self.job_ids: List[str] = []
+        self.streams_started = 0
+        self.streams_completed = 0
 
     # each op issues HTTP round-trip(s) and records exactly one sample
 
@@ -175,6 +182,7 @@ class _Worker:
             ("analyze_spec", self._op_analyze_spec),
             ("transform", self._op_transform),
             ("timeline", self._op_timeline),
+            ("watch", self._op_watch),
         ]
         return self.rng.choice(computes)
 
@@ -248,10 +256,47 @@ class _Worker:
             time.sleep(0.005)
         raise TimeoutError(f"async job {job_id} never finished")
 
+    def _op_watch(self):
+        status, headers, body = self.client.request(
+            "POST", "/v1/analyze?mode=async", self._trace().body,
+            self._headers(),
+        )
+        if status != 202:
+            return status, headers, body
+        job_id = headers.get("X-Repro-Job", "")
+        self._note_job((status, headers, body))
+        self.streams_started += 1
+        # the SSE response is Connection: close, so it gets a dedicated
+        # connection instead of poisoning the keep-alive one
+        conn = http.client.HTTPConnection(
+            self.client.host, self.client.port, timeout=self.client.timeout
+        )
+        try:
+            conn.request(
+                "GET", f"/v1/jobs/{job_id}/events",
+                headers={"X-Repro-Tenant": self.tenant},
+            )
+            response = conn.getresponse()
+            payload = response.read()
+            status = response.status
+            headers = dict(response.getheaders())
+        finally:
+            conn.close()
+        if status == 200 and _sse_terminated(payload):
+            self.streams_completed += 1
+        return status, headers, payload
+
     def _note_job(self, result) -> None:
         job_id = result[1].get("X-Repro-Job")
         if job_id and len(self.job_ids) < 32:
             self.job_ids.append(job_id)
+
+
+def _sse_terminated(payload: bytes) -> bool:
+    """True when the last SSE frame in ``payload`` is ``event: result``."""
+    text = payload.decode("utf-8", "replace")
+    frames = [frame for frame in text.split("\n\n") if frame]
+    return bool(frames) and frames[-1].startswith("event: result")
 
 
 def _maybe_json(headers: dict, body: bytes) -> Optional[dict]:
@@ -309,6 +354,7 @@ class LoadTestReport:
     error_envelopes: int                 # structured ok:false responses
     error_codes: Dict[str, int]          # error code -> count
     transport_errors: int                # dropped connections (gate: 0)
+    streams: Dict[str, int]              # SSE started/completed/dropped
     server_jobs: dict                    # /v1/health jobs stats at the end
     corpus: List[dict]
 
@@ -423,6 +469,12 @@ def run_loadtest(
         error_envelopes=sum(error_codes.values()),
         error_codes=dict(sorted(error_codes.items())),
         transport_errors=sum(w.transport_errors for w in workers),
+        streams={
+            "started": sum(w.streams_started for w in workers),
+            "completed": sum(w.streams_completed for w in workers),
+            "dropped": sum(w.streams_started - w.streams_completed
+                           for w in workers),
+        },
         server_jobs=server_jobs,
         corpus=[
             {"size": c.size, "workload": c.workload, "bytes": len(c.body)}
@@ -433,9 +485,10 @@ def run_loadtest(
         report.write(out)
     _log.info(
         "load test done: %d requests in %.2fs (%.1f rps), "
-        "%d error envelopes, %d transport errors",
+        "%d error envelopes, %d transport errors, %d/%d event streams",
         report.requests, report.wall_seconds, report.throughput_rps,
         report.error_envelopes, report.transport_errors,
+        report.streams["completed"], report.streams["started"],
         extra={"event": "loadtest.done", "rps": report.throughput_rps},
     )
     return report

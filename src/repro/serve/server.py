@@ -8,6 +8,9 @@ Routes (see ``docs/SERVICE.md`` for the full contract)::
     POST /v1/timeline   columnar/Chrome timeline -> JSON artifact
     GET  /v1/jobs/<id>            poll an async job
     GET  /v1/jobs/<id>/artifact   fetch a finished job's artifact blob
+    GET  /v1/jobs/<id>/events     live progress snapshots (SSE); the
+                                  terminal "result" event is
+                                  byte-identical to the polled result
     GET  /v1/health               liveness + job-manager stats
     GET  /metrics                 Prometheus exposition (repro.telemetry)
 
@@ -137,7 +140,7 @@ def _split_workload_spec(spec: dict):
 
 
 def _analyze_compute(server, source, options: AnalyzeOptions):
-    def compute() -> JobResult:
+    def compute(job) -> JobResult:
         from repro import api
 
         target = _load_source(server, source)
@@ -146,10 +149,13 @@ def _analyze_compute(server, source, options: AnalyzeOptions):
 
             if not segments.is_segmented_file(target):
                 target = serialize.load(target)
-        analysis = api.analyze(target, options)
+        analysis = api.analyze(target, options, on_progress=job.publish)
         envelope = protocol.ok_envelope(protocol.analyze_result(analysis))
         return JobResult(envelope=envelope)
 
+    # the job manager passes the Job in so the analysis can stream
+    # progress snapshots to /v1/jobs/<id>/events subscribers
+    compute.wants_job = True
     return compute
 
 
@@ -304,6 +310,10 @@ class ReproServer(ThreadingHTTPServer):
         self.started = time.monotonic()
         self.tenants: dict = {}
         self._tenants_lock = __import__("threading").Lock()
+        #: open SSE event streams (exported as the serve.watchers gauge)
+        self.watchers = 0
+        self._watchers_lock = __import__("threading").Lock()
+        self._request_ids = __import__("itertools").count(1)
         # the server owns the process-wide ambient sink for its lifetime:
         # handler threads and job-manager workers all record into one
         # Telemetry without per-request global swaps (those would race
@@ -321,6 +331,13 @@ class ReproServer(ThreadingHTTPServer):
         with self._tenants_lock:
             self.tenants[tenant] = self.tenants.get(tenant, 0) + 1
 
+    def adjust_watchers(self, delta: int) -> int:
+        """Track open SSE streams; mirrors into the serve.watchers gauge."""
+        with self._watchers_lock:
+            self.watchers += delta
+            self.sink.gauge("serve.watchers", self.watchers)
+            return self.watchers
+
     def close(self) -> None:
         self.manager.shutdown()
         self.server_close()
@@ -332,6 +349,39 @@ class _Handler(BaseHTTPRequestHandler):
     server: ReproServer
 
     # ------------------------------------------------------------- plumbing
+    #
+    # http.server's default request logging writes bare lines to stderr;
+    # everything here routes through repro.log instead, with structured
+    # fields (request id, job id, status) so server logs correlate with
+    # the run ids the analysis emits and with /v1/jobs ids.
+
+    #: per-request correlation fields, assigned at route entry
+    request_id: str = ""
+    job_id: str = ""
+
+    def _log_fields(self, **extra) -> dict:
+        fields = {
+            "event": "serve.request",
+            "request_id": self.request_id,
+            "client": self.address_string(),
+        }
+        if self.job_id:
+            fields["job"] = self.job_id
+        fields.update(extra)
+        return fields
+
+    def log_request(self, code="-", size="-"):  # noqa: D102 (contract)
+        _log.info(
+            "%s %s -> %s", self.command, self.path,
+            getattr(code, "value", code),
+            extra=self._log_fields(status=str(getattr(code, "value", code))),
+        )
+
+    def log_error(self, fmt, *args):
+        _log.warning(
+            fmt, *args,
+            extra=self._log_fields(event="serve.request_error"),
+        )
 
     def log_message(self, fmt, *args):  # route through repro.log, not stderr
         _log.debug("%s " + fmt, self.address_string(), *args)
@@ -362,6 +412,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server contract)
         started = time.perf_counter()
+        self.request_id = f"req-{next(self.server._request_ids):06d}"
         parsed = urllib.parse.urlsplit(self.path)
         try:
             self._route_get(parsed)
@@ -374,6 +425,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         started = time.perf_counter()
+        self.request_id = f"req-{next(self.server._request_ids):06d}"
         parsed = urllib.parse.urlsplit(self.path)
         try:
             self._route_post(parsed)
@@ -406,7 +458,10 @@ class _Handler(BaseHTTPRequestHandler):
         if parts[0] == "metrics":
             return "metrics"
         if len(parts) >= 2 and parts[0] == "v1":
-            return "jobs" if parts[1] == "jobs" else parts[1]
+            if parts[1] == "jobs":
+                return "events" if len(parts) >= 4 and parts[3] == "events" \
+                    else "jobs"
+            return parts[1]
         return "other"
 
     def _route_get(self, parsed) -> None:
@@ -434,6 +489,7 @@ class _Handler(BaseHTTPRequestHandler):
         if job is None:
             raise NotFoundError(f"no such job: {rest[0]!r} (it may have "
                                 "been evicted; resubmit the request)")
+        self.job_id = job.id
         if len(rest) == 1:
             if job.state == "done" and job.result.blob is None:
                 # JSON-result jobs answer with the result envelope itself,
@@ -459,7 +515,49 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(200, job.result.blob, job.result.content_type,
                           {"X-Repro-Job": job.id})
             return
+        if rest[1] == "events":
+            self._stream_events(job)
+            return
         raise NotFoundError(f"no such job route: {'/'.join(rest)}")
+
+    def _stream_events(self, job) -> None:
+        """``GET /v1/jobs/<id>/events``: progress snapshots over SSE.
+
+        Each progress snapshot is one ``event: snapshot`` frame whose
+        data line is the canonical :func:`repro.observe.snapshot_dumps`
+        encoding; the stream ends with one ``event: result`` frame whose
+        data lines carry exactly the bytes a ``GET /v1/jobs/<id>`` poll
+        of the finished job returns — byte-identical after the standard
+        SSE join of data lines with a newline.  The response has no
+        Content-Length (the connection closes when the stream ends), so
+        ``Connection: close`` is explicit.
+        """
+        from repro.observe import snapshot_dumps
+
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.send_header("X-Repro-Job", job.id)
+        self.end_headers()
+        self.close_connection = True
+        self.server.adjust_watchers(+1)
+        try:
+            for snapshot in job.events(timeout=self.server.sync_timeout):
+                data = snapshot_dumps(snapshot).rstrip("\n")
+                self.wfile.write(
+                    f"event: snapshot\ndata: {data}\n\n".encode("utf-8")
+                )
+                self.wfile.flush()
+            if job.state == "done":
+                body = protocol.wire_dumps(job.result.envelope)
+                frame = "event: result\n" + "".join(
+                    f"data: {line}\n" for line in body.split("\n")
+                ) + "\n"
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+        finally:
+            self.server.adjust_watchers(-1)
 
     def _route_post(self, parsed) -> None:
         parts = [p for p in parsed.path.split("/") if p]
@@ -499,6 +597,7 @@ class _Handler(BaseHTTPRequestHandler):
         job, dedup = self.server.manager.submit(
             endpoint, key, self._cached(endpoint, key, compute), tenant=tenant
         )
+        self.job_id = job.id
         headers = {
             "X-Repro-Job": job.id,
             "X-Repro-Dedup": dedup,
@@ -535,15 +634,21 @@ class _Handler(BaseHTTPRequestHandler):
 
         if _cache.active() is None:
             return compute
+        wants_job = getattr(compute, "wants_job", False)
 
-        def cached_compute() -> JobResult:
+        def cached_compute(job=None) -> JobResult:
+            run = (lambda: compute(job)) if wants_job else compute
             envelope, blob, content_type = _cache.memoized(
                 "serve.response", {"key": key},
-                lambda: _result_tuple(compute()),
+                lambda: _result_tuple(run()),
             )
             return JobResult(envelope=envelope, blob=blob,
                              content_type=content_type)
 
+        # a cache hit skips the computation, so no intermediate progress
+        # is published — the event stream then carries just the terminal
+        # result, which is the correct replay of "no work was redone"
+        cached_compute.wants_job = wants_job
         return cached_compute
 
     # ------------------------------------------------------------- parsing

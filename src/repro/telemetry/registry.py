@@ -39,6 +39,14 @@ COUNTERS: Dict[str, str] = {
     "analyze.sections": "critical sections extracted",
     "analyze.pairs": "same-lock candidate pairs classified",
     "analyze.benign_tests": "reversed-replay benign tests executed",
+    "analyze.degraded_to_stream": "full loads degraded to the streaming "
+                                  "path under memory pressure",
+    "analyze.segments_resumed": "segments fast-forwarded from a checkpoint "
+                                "instead of rescanned",
+    "analyze.segments_folded": "segments folded by the incremental "
+                               "(watch/progress) analysis",
+    "analyze.early_stop": "watches stopped early by a stable top-K ranking",
+    "segments.reindexed": "segment indexes rebuilt from a sidecar-less file",
     "ulcp.null_lock": "pairs classified null-lock",
     "ulcp.read_read": "pairs classified read-read",
     "ulcp.disjoint_write": "pairs classified disjoint-write",
@@ -84,6 +92,7 @@ COUNTERS: Dict[str, str] = {
     "serve.requests.jobs": "requests routed to GET /v1/jobs/*",
     "serve.requests.health": "requests routed to GET /v1/health",
     "serve.requests.metrics": "requests routed to GET /metrics",
+    "serve.requests.events": "requests routed to GET /v1/jobs/*/events (SSE)",
 }
 
 #: gauge name -> description
@@ -92,6 +101,7 @@ GAUGES: Dict[str, str] = {
     "trace.threads": "threads in the most recently handled trace",
     "runner.affinity": "CPU slots available for worker pinning "
                        "(0 = requested but unsupported)",
+    "serve.watchers": "SSE event streams currently open",
 }
 
 #: histogram name -> description (power-of-two buckets, integer values)
@@ -108,13 +118,17 @@ HISTOGRAMS: Dict[str, str] = {
     "serve.latency_ms.jobs": "wall ms per GET /v1/jobs/* request",
     "serve.latency_ms.health": "wall ms per GET /v1/health request",
     "serve.latency_ms.metrics": "wall ms per GET /metrics request",
+    "serve.latency_ms.events": "wall ms per GET /v1/jobs/*/events stream",
 }
 
 #: span name -> description (wall time; excluded from deterministic exports)
 SPANS: Dict[str, str] = {
     "record": "record one workload execution into a trace",
     "analyze.scan_trace": "fused columnar walk (sections + sharedness)",
+    "analyze.scan_segments": "streaming segment-by-segment scan pass",
     "analyze.scan_sharded": "fan-out segment scan over pinned workers",
+    "analyze.fold_segments": "incremental fold of a segmented trace "
+                             "(watch / on_progress)",
     "analyze.pairs": "pair enumeration, Algorithm 1, benign tests",
     "transform": "RULE 1-4 transformation to the ULCP-free trace",
     "replay.run": "one seeded replay on the simulated machine",

@@ -330,11 +330,15 @@ class SegmentedTraceWriter:
         lock_schedule: Dict[str, List[str]],
         side: Optional[SideTable] = None,
         segment_events: int = DEFAULT_SEGMENT_EVENTS,
+        on_segment=None,
     ):
         if segment_events < 1:
             raise ValueError(f"segment_events must be >= 1: {segment_events}")
         self.path = Path(path)
         self.segment_events = segment_events
+        #: called as ``on_segment(index, SegmentInfo)`` after each segment
+        #: reaches the file — the recorder-side hook live observers attach to
+        self.on_segment = on_segment
         self.threads = list(threads)
         self.tables = InternTables()
         for tid in self.threads:
@@ -372,6 +376,9 @@ class SegmentedTraceWriter:
                 member.write(text.encode("utf-8"))
         else:
             self._raw.write(text.encode("utf-8"))
+        # push the block to the OS now: a live tail reader (SegmentTail)
+        # must see whole blocks, not whatever the userspace buffer held
+        self._raw.flush()
         return offset
 
     def add(self, event: TraceEvent) -> None:
@@ -543,12 +550,15 @@ class SegmentedTraceWriter:
         lines.append(json.dumps({"segment_end": k, "digest": digest}))
         offset = self._write_block(lines)
         crash_point("segments.flush")
-        self._segments.append(SegmentInfo(
+        info = SegmentInfo(
             offset=offset, events=self._pending, digest=digest,
-        ))
+        )
+        self._segments.append(info)
         self._events_total += self._pending
         self._pending = 0
         self._chunks = {}
+        if self.on_segment is not None:
+            self.on_segment(k, info)
 
     def close(self) -> SegmentedIndex:
         if self._closed:
@@ -596,8 +606,13 @@ def write_segmented(
     path: Union[str, Path],
     *,
     segment_events: int = DEFAULT_SEGMENT_EVENTS,
+    on_segment=None,
 ) -> SegmentedIndex:
-    """Write ``trace`` to ``path`` in the segmented format (atomically)."""
+    """Write ``trace`` to ``path`` in the segmented format (atomically).
+
+    ``on_segment(index, SegmentInfo)`` fires after every segment reaches
+    the file — in-process pipelines hook a live fold onto it.
+    """
     writer = SegmentedTraceWriter(
         path,
         meta=trace.meta,
@@ -605,6 +620,7 @@ def write_segmented(
         lock_schedule=trace.lock_schedule,
         side=trace.side,
         segment_events=segment_events,
+        on_segment=on_segment,
     )
     try:
         for event in trace.iter_time_order():
@@ -652,10 +668,12 @@ class SegmentedReader:
     mismatch; the tolerant iterator underpinning salvage stops instead.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], *, _handle=None):
         self.path = Path(path)
         self.source = str(path)
-        self._handle = _open_text(self.path)
+        # _handle is the SegmentTail hook: an already-decoded line source
+        # (fed only *complete* blocks) replaces the on-disk stream
+        self._handle = _handle if _handle is not None else _open_text(self.path)
         self._lines = iter(self._handle)
         self.tables = InternTables()
         self.stop_reason = ""
@@ -1035,6 +1053,305 @@ class SegmentedReader:
 def open_segmented(path: Union[str, Path]) -> SegmentedReader:
     """Open a segmented trace for streaming (header parsed eagerly)."""
     return SegmentedReader(path)
+
+
+# ---------------------------------------------------------------- tailing
+
+
+class _LineFeed:
+    """Line source for a tail-driven :class:`SegmentedReader`.
+
+    Holds only *complete* decoded lines; the tail driver guarantees the
+    reader is never advanced past what has been fed, so running dry here
+    is a driver bug, not an end-of-stream condition.
+    """
+
+    def __init__(self):
+        self._lines: List[str] = []
+        self._pos = 0
+
+    def feed(self, lines: List[str]) -> None:
+        self._lines.extend(lines)
+        if self._pos > 4096:  # reclaim consumed prefix occasionally
+            del self._lines[: self._pos]
+            self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._lines) - self._pos
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> str:
+        if self._pos >= len(self._lines):
+            raise TraceError(
+                "segment tail driver advanced the parser past the fed "
+                "lines (internal invariant violation)"
+            )
+        line = self._lines[self._pos]
+        self._pos += 1
+        return line
+
+    def close(self) -> None:
+        self._lines = []
+        self._pos = 0
+
+
+class SegmentTail:
+    """Incremental reader over a (possibly still growing) segmented trace.
+
+    The writer appends whole blocks — on ``.gz`` paths one gzip member
+    per block — and renames ``.tmp-<pid>-<name>`` to the final path only
+    at close.  This reader follows either file, consuming bytes only up
+    to the last *complete* block boundary, so a mid-write tail (a
+    partial gzip member, a line without its newline) is treated as
+    "not yet written" and retried on the next :meth:`poll` — never
+    misdiagnosed as corruption.  Damage *inside* a complete block
+    (digest mismatch, malformed JSON, out-of-order segments) still
+    raises :class:`TraceError` exactly like the strict reader: the torn
+    / corrupt verdict is reserved for bytes the writer claims finished.
+
+    Typical loop::
+
+        tail = SegmentTail(path)
+        while not tail.complete:
+            for segment in tail.poll():
+                fold(segment)
+            time.sleep(interval)
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        #: byte offset of the first unconsumed block in the active file
+        self.offset = 0
+        #: True once the footer block has been parsed
+        self.complete = False
+        self._carry = b""            # bytes past the last complete boundary
+        self._gz: Optional[bool] = None  # sniffed from the first 2 bytes
+        self._feed = _LineFeed()
+        self._reader: Optional[SegmentedReader] = None
+        self._gen = None
+        #: segment_end/footer lines fed but not yet consumed by the parser
+        self._terminators = 0
+        #: opt-in per-segment boundary capture for :meth:`suspend_at`
+        #: (off by default: only checkpointing consumers need it)
+        self.keep_boundaries = False
+        self._suspends: Dict[int, dict] = {}
+        self._closed = False
+
+    # -- file discovery ---------------------------------------------------
+
+    def active_path(self) -> Optional[Path]:
+        """The file currently backing the trace: the final path once the
+        writer's atomic rename happened, else the in-progress temp file.
+
+        Byte offsets are preserved across the rename (same content, new
+        name), so switching files mid-tail is seamless."""
+        if self.path.exists():
+            return self.path
+        pattern = f".tmp-*-{self.path.name}"
+        candidates = sorted(self.path.parent.glob(pattern))
+        if not candidates:
+            return None
+        if len(candidates) > 1:
+            # several writers (or leftovers): newest mtime wins
+
+            def _mtime(p: Path) -> float:
+                try:
+                    return p.stat().st_mtime
+                except OSError:
+                    return 0.0  # renamed away mid-sort: deprioritize
+
+            candidates.sort(key=lambda p: (_mtime(p), p.name))
+        return candidates[-1]
+
+    # -- byte-level completeness ------------------------------------------
+
+    def _pull_bytes(self) -> bool:
+        """Read newly appended bytes into the carry buffer."""
+        active = self.active_path()
+        if active is None:
+            return False
+        read_from = self.offset + len(self._carry)
+        try:
+            with open(active, "rb") as raw:
+                raw.seek(read_from)
+                data = raw.read()
+        except OSError:
+            return False  # renamed between glob and open: retry next poll
+        if not data:
+            return False
+        self._carry += data
+        return True
+
+    def _complete_text(self) -> str:
+        """Split decoded text of all complete blocks off the carry buffer.
+
+        gz containers: whole gzip members only — a trailing partial
+        member stays in the carry (``incomplete tail, retry later``).
+        Plain containers: whole lines only (terminated by a newline).
+        """
+        if self._gz is None:
+            if len(self._carry) < 2:
+                return ""
+            self._gz = self._carry[:2] == _GZIP_MAGIC
+        if not self._gz:
+            cut = self._carry.rfind(b"\n")
+            if cut < 0:
+                return ""
+            complete, self._carry = self._carry[: cut + 1], self._carry[cut + 1:]
+            self.offset += len(complete)
+            try:
+                return complete.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise TraceError(
+                    f"unreadable segmented trace tail {self.path}: {exc}"
+                ) from None
+        pieces: List[str] = []
+        while self._carry:
+            decomp = zlib.decompressobj(wbits=31)
+            try:
+                out = decomp.decompress(self._carry)
+            except zlib.error as exc:
+                raise TraceError(
+                    f"unreadable segmented trace tail {self.path}: {exc}"
+                ) from None
+            if not decomp.eof:
+                break  # partial member still being written: retry later
+            member_len = len(self._carry) - len(decomp.unused_data)
+            self._carry = self._carry[member_len:]
+            self.offset += member_len
+            try:
+                pieces.append(out.decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise TraceError(
+                    f"unreadable segmented trace tail {self.path}: {exc}"
+                ) from None
+        return "".join(pieces)
+
+    # -- parsing ----------------------------------------------------------
+
+    def _feed_lines(self, text: str) -> None:
+        lines = text.splitlines(keepends=True)
+        for line in lines:
+            if line.startswith('{"segment_end"') or line.startswith('{"footer"'):
+                self._terminators += 1
+        self._feed.feed(lines)
+
+    def _ensure_reader(self) -> bool:
+        """Construct the inner strict reader once the header is parseable.
+
+        Header parsing peeks one line past the header block, so it is
+        deferred until the feed holds a block-start marker line — which
+        also guarantees the optional ``side`` line has been settled."""
+        if self._reader is not None:
+            return True
+        if self._terminators == 0:
+            return False
+        self._reader = SegmentedReader(self.path, _handle=self._feed)
+        self._gen = self._reader.segments()
+        return True
+
+    def poll(self) -> List[Segment]:
+        """All segments that have become complete since the last poll.
+
+        Returns ``[]`` while the writer is mid-block (or idle); raises
+        :class:`TraceError` on damage inside completed blocks.  After the
+        footer is parsed :attr:`complete` turns True and further polls
+        return ``[]``."""
+        if self._closed:
+            raise TraceError(f"segment tail for {self.path} is closed")
+        if self.complete:
+            return []
+        if self._pull_bytes() or self._carry:
+            text = self._complete_text()
+            if text:
+                self._feed_lines(text)
+        if not self._ensure_reader():
+            return []
+        out: List[Segment] = []
+        while self._terminators > 0:
+            try:
+                segment = next(self._gen)
+            except StopIteration:
+                self.complete = True
+                self._terminators = 0
+                break
+            self._terminators -= 1
+            if self.keep_boundaries:
+                # a poll can parse ahead of the consumer's fold position,
+                # and a checkpoint at fold position k needs the reader
+                # state *as of k*, not the parse frontier (suspend_at)
+                self._suspends[self._reader._segments_read] = (
+                    self._reader.suspend()
+                )
+            out.append(segment)
+        return out
+
+    # -- reader facade ----------------------------------------------------
+
+    @property
+    def header_ready(self) -> bool:
+        """True once meta/threads/lock_schedule are available."""
+        return self._reader is not None
+
+    def __getattr__(self, name):
+        if name in ("meta", "threads", "lock_schedule", "side", "tables",
+                    "segment_events", "footer", "events_seen"):
+            if self._reader is None:
+                raise TraceError(
+                    f"segmented trace header not yet available for "
+                    f"{self.path}; poll() until header_ready"
+                )
+            return getattr(self._reader, name)
+        raise AttributeError(name)
+
+    @property
+    def segments_read(self) -> int:
+        if self._reader is None:
+            return 0
+        return getattr(self._reader, "_segments_read", 0)
+
+    def suspend(self) -> dict:
+        """Checkpoint-shaped mid-stream state (see
+        :meth:`SegmentedReader.suspend`); valid at segment boundaries."""
+        if self._reader is None:
+            raise TraceError(f"nothing read yet from {self.path}")
+        return self._reader.suspend()
+
+    def suspend_at(self, k: int) -> dict:
+        """Checkpoint-shaped reader state as of ``k`` segments consumed.
+
+        :meth:`poll` records the boundary state after each parsed
+        segment precisely because parsing can run ahead of the caller's
+        processing; states at or below ``k`` are dropped (a checkpoint at
+        ``k`` supersedes them).  The intern tables in the state are the
+        live (monotonically grown, possibly ahead) tables — interning is
+        idempotent by name, so a superset is valid resume state; the
+        positional fields (``thread_counts``, ``events_seen``,
+        ``segments_read``) are exact for ``k``.
+        """
+        try:
+            state = self._suspends[k]
+        except KeyError:
+            raise TraceError(
+                f"no boundary state for segment position {k} of {self.path}"
+            ) from None
+        for done in [pos for pos in self._suspends if pos <= k]:
+            del self._suspends[done]
+        return state
+
+    def __enter__(self) -> "SegmentTail":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._closed = True
+        self._feed.close()
+        self._reader = None
+        self._gen = None
 
 
 # ------------------------------------------------- whole-trace (compat)

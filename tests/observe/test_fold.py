@@ -1,0 +1,163 @@
+"""Incremental fold: determinism, batch equivalence, prefix property.
+
+The contract under test (INTERNALS §17): the snapshot sequence is a pure
+function of the trace *prefix* — independent of how the bytes arrived
+(whole file, arbitrary byte dribbles) — and the terminal snapshot's
+``result`` is byte-identical to batch ``repro analyze``.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.observe.fold import (
+    SNAPSHOT_VERSION,
+    IncrementalFold,
+    fold_snapshots,
+    run_with_progress,
+    snapshot_dumps,
+    terminal_snapshot,
+)
+from repro.serve import protocol
+from repro.trace.segments import SegmentTail, write_segmented
+
+
+@pytest.fixture(scope="module")
+def seg_trace(tmp_path_factory):
+    trace = api.record("mixed-bag", threads=2, scale=1.0, seed=3)
+    path = tmp_path_factory.mktemp("fold") / "t.seg.jsonl.gz"
+    write_segmented(trace, path, segment_events=64)
+    return path
+
+
+def _lines(path, **kwargs):
+    return [snapshot_dumps(s) for s in fold_snapshots(path, **kwargs)]
+
+
+class TestFoldBatchEquivalence:
+    def test_terminal_result_matches_batch_analyze(self, seg_trace):
+        snapshots = list(fold_snapshots(seg_trace))
+        terminal = snapshots[-1]
+        assert terminal["complete"] is True
+        assert terminal["pending"] == 0
+        assert terminal["open_sections"] == 0
+        batch = api.analyze(seg_trace)
+        assert protocol.wire_dumps(terminal["result"]) == \
+            protocol.wire_dumps(protocol.analyze_result(batch))
+
+    def test_stream_is_deterministic(self, seg_trace):
+        assert _lines(seg_trace) == _lines(seg_trace)
+
+    def test_snapshot_schema(self, seg_trace):
+        snapshots = list(fold_snapshots(seg_trace))
+        assert [s["seq"] for s in snapshots] == \
+            list(range(1, len(snapshots) + 1))
+        for snap in snapshots:
+            assert snap["v"] == SNAPSHOT_VERSION
+            # mid-fold, benign detection has not run yet (those pairs sit
+            # in "pending"); at the terminal, benign is its own bucket
+            assert snap["ulcps"] == (
+                snap["breakdown"]["null_lock"]
+                + snap["breakdown"]["read_read"]
+                + snap["breakdown"]["disjoint_write"]
+                + (snap["breakdown"]["benign"] if snap["complete"] else 0)
+            )
+            assert snap["stable_for"] >= 0
+            assert snap["top"] == [e["lock"] for e in snap["ranking"]]
+        assert all(not s["complete"] for s in snapshots[:-1])
+
+    def test_monotone_progress(self, seg_trace):
+        snapshots = list(fold_snapshots(seg_trace))
+        for prev, cur in zip(snapshots, snapshots[1:-1]):
+            assert cur["segments"] == prev["segments"] + 1
+            assert cur["events"] >= prev["events"]
+
+    def test_terminal_snapshot_of_in_memory_analysis(self, seg_trace):
+        analysis = api.analyze(seg_trace)
+        snap = terminal_snapshot(analysis)
+        assert snap["complete"] is True
+        assert protocol.wire_dumps(snap["result"]) == \
+            protocol.wire_dumps(protocol.analyze_result(analysis))
+
+
+class TestRunWithProgress:
+    def test_callback_sequence_matches_generator(self, seg_trace):
+        seen = []
+        analysis = run_with_progress(seg_trace, on_progress=seen.append)
+        assert [snapshot_dumps(s) for s in seen] == _lines(seg_trace)
+        assert protocol.wire_dumps(protocol.analyze_result(analysis)) == \
+            protocol.wire_dumps(seen[-1]["result"])
+
+    def test_api_analyze_on_progress(self, seg_trace):
+        seen = []
+        analysis = api.analyze(seg_trace, on_progress=seen.append)
+        assert seen, "on_progress never fired"
+        assert seen[-1]["complete"] is True
+        assert protocol.wire_dumps(seen[-1]["result"]) == \
+            protocol.wire_dumps(protocol.analyze_result(analysis))
+
+    def test_api_analyze_on_progress_monolithic(self, tmp_path):
+        # the in-memory path emits exactly one terminal snapshot
+        from repro.trace import serialize
+
+        trace_file = tmp_path / "t.jsonl"
+        trace = api.record("blackscholes", threads=2, scale=0.2, seed=1)
+        with open(trace_file, "w", encoding="utf-8") as handle:
+            serialize.write_trace(trace, handle)
+        seen = []
+        analysis = api.analyze(trace_file, on_progress=seen.append)
+        assert len(seen) == 1 and seen[0]["complete"] is True
+        assert protocol.wire_dumps(seen[0]["result"]) == \
+            protocol.wire_dumps(protocol.analyze_result(analysis))
+
+
+# one small corpus shared by all hypothesis examples, built lazily so
+# collection stays cheap
+_PREFIX_CACHE = {}
+
+
+def _prefix_corpus():
+    if not _PREFIX_CACHE:
+        trace = api.record("blackscholes", threads=2, scale=0.2, seed=1)
+        tmp = Path(tempfile.mkdtemp(prefix="repro-prefix-"))
+        path = tmp / "t.seg.jsonl.gz"
+        write_segmented(trace, path, segment_events=8)
+        _PREFIX_CACHE["bytes"] = path.read_bytes()
+        _PREFIX_CACHE["lines"] = _lines(path)
+    return _PREFIX_CACHE["bytes"], _PREFIX_CACHE["lines"]
+
+
+class TestPrefixProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=4096),
+                    min_size=1, max_size=24))
+    def test_any_byte_dribble_yields_a_prefix_of_the_full_stream(self, cuts):
+        """Feeding the file in arbitrary byte chunks emits, at every
+        point, an exact prefix of the batch snapshot sequence — and the
+        whole sequence (terminal included) once the footer arrives."""
+        blob, full_lines = _prefix_corpus()
+        with tempfile.TemporaryDirectory(prefix="repro-dribble-") as tmp:
+            live = Path(tmp) / "live.seg.jsonl.gz"
+            emitted = []
+            with SegmentTail(live) as tail:
+                offset = 0
+                fold = None
+                for cut in cuts + [len(blob)]:
+                    offset = min(len(blob), offset + cut)
+                    live.write_bytes(blob[:offset])
+                    for segment in tail.poll():
+                        if fold is None:
+                            fold = IncrementalFold(tail)
+                        fold.add(segment)
+                        emitted.append(snapshot_dumps(fold.snapshot()))
+                    assert emitted == full_lines[:len(emitted)]
+                    if offset == len(blob):
+                        break
+                assert tail.complete
+                _, terminal = fold.finish(live)
+            emitted.append(snapshot_dumps(terminal))
+            assert emitted == full_lines

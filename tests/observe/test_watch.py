@@ -1,0 +1,127 @@
+"""The watch loop: completion, early stop, stall, checkpoint hand-off."""
+
+import pytest
+
+from repro import api, telemetry
+from repro.observe.fold import fold_snapshots, snapshot_dumps
+from repro.observe.watch import render_snapshot, watch
+from repro.options import AnalyzeOptions
+from repro.serve import protocol
+from repro.telemetry import to_dict
+from repro.trace.segments import write_segmented
+
+
+@pytest.fixture(scope="module")
+def seg_trace(tmp_path_factory):
+    trace = api.record("mysql", threads=3, input_size="simsmall")
+    path = tmp_path_factory.mktemp("watch") / "t.seg.jsonl.gz"
+    index = write_segmented(trace, path, segment_events=32)
+    assert len(index.segments) >= 6
+    return path
+
+
+def _batch_lines(path):
+    return [snapshot_dumps(s) for s in fold_snapshots(path)]
+
+
+class TestComplete:
+    def test_watch_equals_batch_fold(self, seg_trace):
+        seen = []
+        result = watch(seg_trace, on_snapshot=seen.append, interval=0.01)
+        assert result.complete and not result.stalled
+        assert result.snapshots == len(seen)
+        assert [snapshot_dumps(s) for s in seen] == _batch_lines(seg_trace)
+
+    def test_final_result_matches_analyze(self, seg_trace):
+        result = watch(seg_trace, interval=0.01)
+        batch = api.analyze(seg_trace)
+        assert protocol.wire_dumps(result.final_snapshot["result"]) == \
+            protocol.wire_dumps(protocol.analyze_result(batch))
+
+    def test_render_snapshot_smoke(self, seg_trace):
+        result = watch(seg_trace, interval=0.01)
+        text = render_snapshot(result.final_snapshot)
+        assert "final snapshot" in text
+        assert f"segments {result.segments}" in text
+
+
+class TestEarlyStop:
+    def test_until_stable_emits_exact_prefix(self, seg_trace):
+        seen = []
+        result = watch(
+            seg_trace, on_snapshot=seen.append, until_stable=2, interval=0.01
+        )
+        assert result.early_stopped and not result.complete
+        assert seen[-1]["stable_for"] >= 2
+        lines = [snapshot_dumps(s) for s in seen]
+        assert lines == _batch_lines(seg_trace)[:len(lines)]
+
+    def test_checkpoint_resumes_batch_analysis(self, seg_trace):
+        fresh = api.analyze(seg_trace)
+        result = watch(
+            seg_trace, until_stable=2, resume="watchrun", interval=0.01
+        )
+        assert result.early_stopped and result.checkpoint_saved
+
+        sink = telemetry.Telemetry()
+        with telemetry.use_telemetry(sink):
+            resumed = api.analyze(
+                seg_trace, AnalyzeOptions(resume="watchrun")
+            )
+        counters = to_dict(sink, timings=False)["counters"]
+        # the batch run really did skip every segment the watch folded
+        assert counters.get("analyze.segments_resumed") == result.segments
+        assert protocol.wire_dumps(protocol.analyze_result(resumed)) == \
+            protocol.wire_dumps(protocol.analyze_result(fresh))
+
+    def test_completed_watch_clears_checkpoint(self, seg_trace):
+        result = watch(seg_trace, resume="watchdone", interval=0.01)
+        assert result.complete
+        sink = telemetry.Telemetry()
+        with telemetry.use_telemetry(sink):
+            api.analyze(seg_trace, AnalyzeOptions(resume="watchdone"))
+        counters = to_dict(sink, timings=False)["counters"]
+        assert "analyze.segments_resumed" not in counters
+
+
+class TestStall:
+    def test_growth_pause_then_footer_completes(self, seg_trace, tmp_path):
+        blob = seg_trace.read_bytes()
+        live = tmp_path / "live.seg.jsonl.gz"
+        cut = len(blob) // 2
+        live.write_bytes(blob[:cut])
+
+        clock = [0.0]
+        polls = [0]
+
+        def fake_sleep(seconds):
+            clock[0] += seconds
+            polls[0] += 1
+            if polls[0] == 3:  # the writer comes back before grace runs out
+                with open(live, "ab") as handle:
+                    handle.write(blob[cut:])
+
+        result = watch(
+            live, interval=1.0, grace=60.0,
+            sleep=fake_sleep, clock=lambda: clock[0],
+        )
+        assert result.complete
+        assert [0] != polls
+
+    def test_stalled_file_reports_partial(self, seg_trace, tmp_path):
+        blob = seg_trace.read_bytes()
+        live = tmp_path / "live.seg.jsonl.gz"
+        live.write_bytes(blob[:len(blob) // 2])
+
+        clock = [0.0]
+
+        def fake_sleep(seconds):
+            clock[0] += seconds
+
+        result = watch(
+            live, interval=10.0, grace=5.0,
+            sleep=fake_sleep, clock=lambda: clock[0],
+        )
+        assert result.stalled
+        assert not result.complete and not result.early_stopped
+        assert result.snapshots > 0  # partial progress was still streamed

@@ -1,0 +1,184 @@
+"""SSE job event streams: framing, terminal identity, watcher gauge."""
+
+import http.client
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.observe.fold import fold_snapshots, snapshot_dumps
+from repro.serve.jobs import Job, JobResult
+from repro.serve.server import ReproServer
+from repro.trace.segments import write_segmented
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = ReproServer(("127.0.0.1", 0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+
+    def request(method, path, body=None, content_type=None):
+        headers = {"Content-Type": content_type} if content_type else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+
+    yield request
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def seg_upload(tmp_path_factory):
+    """Segmented trace bytes: uploads take the streaming fold path, so
+    the SSE stream carries one snapshot per segment plus the terminal."""
+    trace = api.record("mixed-bag", threads=2, scale=1.0, seed=3)
+    path = tmp_path_factory.mktemp("events") / "t.seg.jsonl.gz"
+    write_segmented(trace, path, segment_events=64)
+    return path, path.read_bytes()
+
+
+def _sse_request(server, path):
+    """One dedicated connection (the SSE response is Connection: close)."""
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def _frames(payload: bytes):
+    """Parse ``(event, data)`` pairs; multi-line data joined with \\n."""
+    frames = []
+    for block in payload.decode("utf-8").split("\n\n"):
+        if not block:
+            continue
+        lines = block.split("\n")
+        assert lines[0].startswith("event: ")
+        data = [line[len("data: "):] for line in lines[1:]]
+        frames.append((lines[0][len("event: "):], "\n".join(data)))
+    return frames
+
+
+class TestEventStream:
+    def test_stream_matches_fold_and_polled_result(self, server, client,
+                                                   seg_upload):
+        path, body = seg_upload
+        status, headers, _ = client(
+            "POST", "/v1/analyze?mode=async", body,
+            "application/octet-stream",
+        )
+        assert status == 202
+        job_id = headers["X-Repro-Job"]
+
+        status, headers, payload = _sse_request(
+            server, f"/v1/jobs/{job_id}/events"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/event-stream")
+        assert headers["X-Repro-Job"] == job_id
+        assert "Content-Length" not in headers
+
+        frames = _frames(payload)
+        assert frames[-1][0] == "result"
+        snapshots = [f for f in frames[:-1] if f[0] == "snapshot"]
+        assert len(snapshots) == len(frames) - 1
+
+        # snapshot frames are exactly the canonical fold sequence
+        expected = [snapshot_dumps(s).rstrip("\n")
+                    for s in fold_snapshots(path)]
+        assert [data for _, data in snapshots] == expected
+
+        # terminal frame is byte-identical to the polled job result
+        _, _, polled = client("GET", f"/v1/jobs/{job_id}")
+        assert frames[-1][1].encode("utf-8") == polled
+
+    def test_late_subscriber_replays_everything(self, server, client,
+                                                seg_upload):
+        path, body = seg_upload
+        _, headers, _ = client(
+            "POST", "/v1/analyze?mode=async", body,
+            "application/octet-stream",
+        )
+        job_id = headers["X-Repro-Job"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, _, polled = client("GET", f"/v1/jobs/{job_id}")
+            document = json.loads(polled)
+            result = document.get("result")
+            if not (isinstance(result, dict)
+                    and result.get("state") == "running"):
+                break
+            time.sleep(0.02)
+        first = _sse_request(server, f"/v1/jobs/{job_id}/events")[2]
+        second = _sse_request(server, f"/v1/jobs/{job_id}/events")[2]
+        assert first == second
+        assert _frames(first)[-1][0] == "result"
+
+    def test_unknown_job_is_404(self, server):
+        status, _, _ = _sse_request(server, "/v1/jobs/nope-0000/events")
+        assert status == 404
+
+    def test_watcher_gauge_returns_to_zero(self, server, client, seg_upload):
+        _, body = seg_upload
+        _, headers, _ = client(
+            "POST", "/v1/analyze?mode=async", body,
+            "application/octet-stream",
+        )
+        _sse_request(server, f"/v1/jobs/{headers['X-Repro-Job']}/events")
+        assert server.watchers == 0
+        _, _, metrics = client("GET", "/metrics")
+        text = metrics.decode("utf-8")
+        assert "serve_watchers 0" in text
+        assert "serve_requests_events" in text
+        assert "analyze_segments_folded" in text
+
+
+class TestJobProgressChannel:
+    def test_publish_then_subscribe_replays(self):
+        job = Job("analyze-x", "key", "analyze", "", 0)
+        job.publish({"seq": 1})
+        job.publish({"seq": 2})
+        job.finish(JobResult(envelope={"ok": True}))
+        assert list(job.events()) == [{"seq": 1}, {"seq": 2}]
+
+    def test_live_follower_sees_later_publishes(self):
+        job = Job("analyze-y", "key", "analyze", "", 0)
+        seen = []
+
+        def follow():
+            for snap in job.events():
+                seen.append(snap["seq"])
+
+        follower = threading.Thread(target=follow)
+        follower.start()
+        for seq in (1, 2, 3):
+            job.publish({"seq": seq})
+            time.sleep(0.01)
+        job.finish(JobResult(envelope={"ok": True}))
+        follower.join(timeout=10)
+        assert not follower.is_alive()
+        assert seen == [1, 2, 3]
+
+    def test_quiet_timeout_ends_the_stream(self):
+        job = Job("analyze-z", "key", "analyze", "", 0)
+        job.publish({"seq": 1})
+        started = time.monotonic()
+        assert list(job.events(timeout=0.05)) == [{"seq": 1}]
+        assert time.monotonic() - started < 5

@@ -26,6 +26,19 @@ class TestLoadTest:
         assert document["seed"] == 1
         assert document["corpus"][0]["bytes"] > 0
 
+    def test_in_process_run_streams_report(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        report = run_loadtest(
+            clients=6, requests_per_client=6, seed=3, read_mix=0.2, out=out
+        )
+        # the watch op is part of the compute mix: some streams must
+        # have run, and every one must end with the terminal frame
+        assert report.streams["started"] > 0
+        assert report.streams["dropped"] == 0
+        assert report.streams["completed"] == report.streams["started"]
+        document = json.loads(out.read_text())
+        assert document["streams"] == report.streams
+
     def test_seeded_mix_is_reproducible(self):
         # same seed -> same op sequence -> same request count per class
         first = run_loadtest(clients=4, requests_per_client=3, seed=9)

@@ -1,0 +1,123 @@
+"""SegmentTail: incremental reads of a growing file, torn-tail verdicts.
+
+The regression pinned down here: a gzip member that is still *being
+written* (the recorder got half a block onto disk) must read as
+"incomplete tail, retry later" — ``poll()`` returns what is complete and
+keeps the partial bytes in the carry — not as corruption.  Corruption
+(bytes that can never become a valid member) must still raise
+:class:`TraceError`.
+"""
+
+import pytest
+
+from repro import api
+from repro.errors import TraceError
+from repro.trace.segments import SegmentTail, write_segmented
+
+
+@pytest.fixture(scope="module")
+def seg_bytes(tmp_path_factory):
+    trace = api.record("blackscholes", threads=2, scale=0.2, seed=1)
+    path = tmp_path_factory.mktemp("tail") / "t.seg.jsonl.gz"
+    write_segmented(trace, path, segment_events=8)
+    return path.read_bytes()
+
+
+def _poll_all(tail):
+    segments = []
+    while True:
+        batch = tail.poll()
+        if not batch:
+            return segments
+        segments.extend(batch)
+
+
+class TestIncompleteTail:
+    def test_two_step_append_mid_gzip_member(self, seg_bytes, tmp_path):
+        """Cut the file inside a gzip member: the first poll parses only
+        the complete members (no error), the second — after the rest of
+        the bytes land — parses the remainder and reaches the footer."""
+        live = tmp_path / "live.seg.jsonl.gz"
+        cut = len(seg_bytes) // 2
+        with SegmentTail(live) as tail:
+            live.write_bytes(seg_bytes[:cut])
+            before = _poll_all(tail)
+            assert not tail.complete  # footer can't have been reached
+            with open(live, "ab") as handle:
+                handle.write(seg_bytes[cut:])
+            after = _poll_all(tail)
+            assert after, "completing the bytes must finish the parse"
+            assert tail.complete
+            assert len(before) + len(after) == tail.segments_read
+
+    def test_one_byte_dribble_never_errors(self, seg_bytes, tmp_path):
+        live = tmp_path / "live.seg.jsonl.gz"
+        total = 0
+        step = max(1, len(seg_bytes) // 257)
+        with SegmentTail(live) as tail:
+            for offset in range(0, len(seg_bytes), step):
+                with open(live, "ab") as handle:
+                    handle.write(seg_bytes[offset:offset + step])
+                total += len(tail.poll())
+            assert tail.complete
+            assert total == tail.segments_read
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        with SegmentTail(tmp_path / "nothere.seg.jsonl.gz") as tail:
+            assert tail.poll() == []
+            assert not tail.header_ready
+            assert not tail.complete
+
+    def test_pause_at_cut_is_not_corruption(self, seg_bytes, tmp_path):
+        """Polling repeatedly at a mid-member cut keeps returning [] —
+        the partial member is carried, never condemned."""
+        live = tmp_path / "live.seg.jsonl.gz"
+        cut = len(seg_bytes) - len(seg_bytes) // 3
+        live.write_bytes(seg_bytes[:cut])
+        with SegmentTail(live) as tail:
+            _poll_all(tail)
+            for _ in range(3):
+                assert tail.poll() == []
+            assert not tail.complete
+
+
+class TestTornTail:
+    def test_corrupt_gzip_member_is_trace_error(self, seg_bytes, tmp_path):
+        """Garbage that can never decompress is a verdict, not a retry."""
+        live = tmp_path / "live.seg.jsonl.gz"
+        cut = len(seg_bytes) // 2
+        blob = bytearray(seg_bytes[:cut])
+        # find the second member's header and wreck its deflate stream
+        second = bytes(blob).find(b"\x1f\x8b", 2)
+        assert second > 0
+        for i in range(second + 10, min(second + 64, len(blob))):
+            blob[i] ^= 0xFF
+        live.write_bytes(bytes(blob))
+        with SegmentTail(live) as tail:
+            with pytest.raises(TraceError):
+                for _ in range(8):
+                    tail.poll()
+
+
+class TestSuspendBoundaries:
+    def test_suspend_at_requires_keep_boundaries(self, seg_bytes, tmp_path):
+        live = tmp_path / "live.seg.jsonl.gz"
+        live.write_bytes(seg_bytes)
+        with SegmentTail(live) as tail:
+            _poll_all(tail)
+            with pytest.raises(TraceError):
+                tail.suspend_at(1)
+
+    def test_suspend_at_matches_fold_position(self, seg_bytes, tmp_path):
+        live = tmp_path / "live.seg.jsonl.gz"
+        live.write_bytes(seg_bytes)
+        with SegmentTail(live) as tail:
+            tail.keep_boundaries = True
+            segments = _poll_all(tail)
+            assert len(segments) >= 3
+            state = tail.suspend_at(2)
+            assert state["segments_read"] == 2
+            # earlier boundaries are pruned once a later one is taken
+            with pytest.raises(TraceError):
+                tail.suspend_at(1)
+            assert tail.suspend_at(3)["segments_read"] == 3
